@@ -1,0 +1,51 @@
+//! Ablation: cost of the Fourier–Motzkin decision procedure, the piece
+//! that makes the symbolic construction possible (paper §3's "procedure
+//! for evaluating the smallest value in a set of expressions, given a
+//! set of timing constraints").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tpn_symbolic::{ConstraintSet, LinExpr, Symbol};
+
+/// A chain x0 ≤ x1 ≤ … ≤ x(n−1) plus positivity, asking whether
+/// x(n−1) ≥ x0 is entailed (worst-case: the full chain is needed).
+fn chain(n: usize) -> (ConstraintSet, LinExpr, LinExpr) {
+    let xs: Vec<LinExpr> = (0..n)
+        .map(|i| LinExpr::symbol(Symbol::intern(&format!("bench_chain_{i}"))))
+        .collect();
+    let mut cs = ConstraintSet::new();
+    for w in xs.windows(2) {
+        cs.assume_le(w[0].clone(), w[1].clone());
+    }
+    for x in &xs {
+        cs.assume_ge(x.clone(), LinExpr::zero());
+    }
+    (cs, xs[0].clone(), xs[n - 1].clone())
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("constraints/entailment_chain");
+    for n in [4usize, 8, 16, 24] {
+        let (cs, lo, hi) = chain(n);
+        assert_eq!(cs.entails_ge(&hi, &lo), Ok(true));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(cs.entails_ge(&hi, &lo).unwrap()))
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("constraints/min_of");
+    for n in [2usize, 4, 8] {
+        let (cs, _, _) = chain(n);
+        let cands: Vec<LinExpr> = (0..n)
+            .map(|i| LinExpr::symbol(Symbol::intern(&format!("bench_chain_{i}"))))
+            .collect();
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(cs.min_of(&cands).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! E2/E3 — regenerate and benchmark Figures 4 and 5: the numeric timed
+//! reachability graph and decision graph of the paper's protocol.
+//!
+//! On first run the harness prints the regenerated artifacts (state
+//! count, decision-graph rows) so the output can be compared against
+//! the paper; the Criterion measurements then time each pipeline stage.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tpn_core::{solve_rates, DecisionGraph, Performance};
+use tpn_protocols::simple;
+use tpn_reach::{build_trg, NumericDomain, TrgOptions};
+
+fn print_regenerated() {
+    let proto = simple::paper();
+    let domain = NumericDomain::new();
+    let trg = build_trg(&proto.net, &domain, &TrgOptions::default()).unwrap();
+    eprintln!("[fig4] states = {} (paper: 18)", trg.num_states());
+    eprintln!("[fig4] decision nodes = {:?} (paper: states 3, 11)", trg.decision_states());
+    let dg = DecisionGraph::from_trg(&trg, &domain).unwrap();
+    eprintln!("[fig5] decision graph:");
+    eprint!("{}", dg.describe(&proto.net));
+    let rates = solve_rates(&dg, 0).unwrap();
+    let perf = Performance::new(&dg, rates, &domain).unwrap();
+    eprint!("{}", perf.describe(&proto.net, &dg));
+}
+
+fn bench(c: &mut Criterion) {
+    print_regenerated();
+    let proto = simple::paper();
+    let domain = NumericDomain::new();
+    let opts = TrgOptions::default();
+
+    c.bench_function("fig4/build_numeric_trg", |b| {
+        b.iter(|| build_trg(black_box(&proto.net), &domain, &opts).unwrap())
+    });
+
+    let trg = build_trg(&proto.net, &domain, &opts).unwrap();
+    c.bench_function("fig5/collapse_decision_graph", |b| {
+        b.iter(|| DecisionGraph::from_trg(black_box(&trg), &domain).unwrap())
+    });
+
+    let dg = DecisionGraph::from_trg(&trg, &domain).unwrap();
+    c.bench_function("fig5/solve_rates", |b| {
+        b.iter(|| solve_rates(black_box(&dg), 0).unwrap())
+    });
+
+    c.bench_function("fig5/full_pipeline_to_throughput", |b| {
+        b.iter(|| {
+            let trg = build_trg(&proto.net, &domain, &opts).unwrap();
+            let dg = DecisionGraph::from_trg(&trg, &domain).unwrap();
+            let rates = solve_rates(&dg, 0).unwrap();
+            let perf = Performance::new(&dg, rates, &domain).unwrap();
+            black_box(perf.throughput(&dg, proto.t[6]))
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! E4/E5/E6 — regenerate and benchmark Figures 6, 7 and 8: the
+//! *symbolic* reachability graph under constraints (1)–(4), the
+//! constraint-resolution audit, and the symbolic decision graph with
+//! its traversal-rate expressions.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tpn_core::{solve_rates, DecisionGraph, Performance};
+use tpn_protocols::simple;
+use tpn_reach::{build_trg, SymbolicDomain, TrgOptions};
+
+fn print_regenerated() {
+    let (proto, cs) = simple::symbolic();
+    let domain = SymbolicDomain::new(&proto.net, cs);
+    let trg = build_trg(&proto.net, &domain, &TrgOptions::default()).unwrap();
+    eprintln!("[fig6] symbolic states = {} (paper: 18)", trg.num_states());
+    eprintln!(
+        "[fig7] constraint-resolved minima = {} (paper: states 4, 5, 10, 12, 13)",
+        trg.min_resolutions().len()
+    );
+    let dg = DecisionGraph::from_trg(&trg, &domain).unwrap();
+    let rates = solve_rates(&dg, 0).unwrap();
+    let perf = Performance::new(&dg, rates, &domain).unwrap();
+    eprintln!("[fig8] symbolic throughput:");
+    eprintln!("  T = {}", perf.throughput(&dg, proto.t[6]));
+}
+
+fn bench(c: &mut Criterion) {
+    print_regenerated();
+    let (proto, cs) = simple::symbolic();
+    let domain = SymbolicDomain::new(&proto.net, cs);
+    let opts = TrgOptions::default();
+
+    c.bench_function("fig6/build_symbolic_trg", |b| {
+        b.iter(|| build_trg(black_box(&proto.net), &domain, &opts).unwrap())
+    });
+
+    let trg = build_trg(&proto.net, &domain, &opts).unwrap();
+    c.bench_function("fig8/symbolic_collapse_and_rates", |b| {
+        b.iter(|| {
+            let dg = DecisionGraph::from_trg(black_box(&trg), &domain).unwrap();
+            black_box(solve_rates(&dg, 0).unwrap())
+        })
+    });
+
+    let dg = DecisionGraph::from_trg(&trg, &domain).unwrap();
+    let rates = solve_rates(&dg, 0).unwrap();
+    let perf = Performance::new(&dg, rates.clone(), &domain).unwrap();
+    let expr = perf.throughput(&dg, proto.t[6]);
+    let a = simple::paper_assignment();
+    c.bench_function("fig8/evaluate_throughput_expression", |b| {
+        b.iter(|| black_box(expr.eval(&a).unwrap()))
+    });
+
+    // Ablation: the symbolic construction pays for Fourier–Motzkin
+    // entailment at every multi-candidate minimum; compare against the
+    // numeric construction of the same graph.
+    let nproto = simple::paper();
+    let ndomain = tpn_reach::NumericDomain::new();
+    c.bench_function("ablation/numeric_vs_symbolic_trg (numeric side)", |b| {
+        b.iter(|| build_trg(black_box(&nproto.net), &ndomain, &opts).unwrap())
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

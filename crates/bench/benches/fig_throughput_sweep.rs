@@ -1,0 +1,59 @@
+//! E7 — regenerate the paper's throughput result and the implied loss
+//! sweep, then benchmark the end-to-end expression derivation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tpn_core::{solve_rates, DecisionGraph, Performance};
+use tpn_protocols::simple;
+use tpn_rational::Rational;
+use tpn_reach::{build_trg, NumericDomain, TrgOptions};
+
+fn throughput(params: &simple::Params) -> Rational {
+    let proto = simple::numeric(params);
+    let domain = NumericDomain::new();
+    let trg = build_trg(&proto.net, &domain, &TrgOptions::default()).unwrap();
+    let dg = DecisionGraph::from_trg(&trg, &domain).unwrap();
+    let rates = solve_rates(&dg, 0).unwrap();
+    let perf = Performance::new(&dg, rates, &domain).unwrap();
+    perf.throughput(&dg, proto.t[6])
+}
+
+fn print_regenerated() {
+    let t = throughput(&simple::Params::paper());
+    eprintln!(
+        "[throughput] paper parameters: T = {} msg/ms = {:.4} msg/s (paper: 18.05/6329.22 ≈ 2.852 msg/s)",
+        t,
+        t.to_f64() * 1000.0
+    );
+    eprintln!("[throughput] loss sweep (loss% -> msg/s):");
+    for loss in [0i128, 1, 2, 5, 10, 20, 30, 40] {
+        let mut p = simple::Params::paper();
+        p.packet_loss = Rational::new(loss, 100);
+        p.ack_loss = p.packet_loss;
+        eprintln!("  {loss:>3}% -> {:.4}", throughput(&p).to_f64() * 1000.0);
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_regenerated();
+    let params = simple::Params::paper();
+    c.bench_function("throughput/numeric_end_to_end", |b| {
+        b.iter(|| black_box(throughput(black_box(&params))))
+    });
+
+    c.bench_function("throughput/loss_sweep_8_points", |b| {
+        b.iter(|| {
+            let mut acc = Rational::ZERO;
+            for loss in [0i128, 1, 2, 5, 10, 20, 30, 40] {
+                let mut p = simple::Params::paper();
+                p.packet_loss = Rational::new(loss, 100);
+                p.ack_loss = p.packet_loss;
+                acc += throughput(&p);
+            }
+            black_box(acc)
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! E8 — simulator performance: discrete events per second on the
+//! paper's protocol and on the alternating-bit extension, plus the
+//! convergence-versus-budget trade-off.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use tpn_protocols::{abp, simple};
+use tpn_sim::{simulate, SimOptions};
+
+fn bench(c: &mut Criterion) {
+    let proto = simple::paper();
+    let a = abp::abp(&simple::Params::paper());
+
+    let mut g = c.benchmark_group("sim/events_per_second");
+    for events in [10_000u64, 100_000] {
+        g.throughput(Throughput::Elements(events));
+        g.bench_with_input(
+            BenchmarkId::new("simple_protocol", events),
+            &events,
+            |b, &events| {
+                b.iter(|| {
+                    let opts = SimOptions { max_events: events, ..SimOptions::default() };
+                    black_box(simulate(&proto.net, &opts).unwrap())
+                })
+            },
+        );
+        g.bench_with_input(BenchmarkId::new("abp", events), &events, |b, &events| {
+            b.iter(|| {
+                let opts = SimOptions { max_events: events, ..SimOptions::default() };
+                black_box(simulate(&a.net, &opts).unwrap())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,1 @@
+//! Benchmark harness crate (Criterion benches live in `benches/`).

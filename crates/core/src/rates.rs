@@ -1,0 +1,243 @@
+//! Traversal-rate equations over the decision graph (paper §4).
+//!
+//! *"The rate at which an outgoing edge is traversed is a function of
+//! the branching probability for that edge and of the rate at which the
+//! incoming edges are traversed"*:
+//!
+//! ```text
+//! rₑ = pₑ · Σ { rₑ′ : e′ enters src(e) }
+//! ```
+//!
+//! The system is homogeneous; for an ergodic cycle its solution space is
+//! one-dimensional, and the paper fixes the scale by "assuming rⱼ = 1"
+//! for a chosen reference edge. [`solve_rates`] reproduces exactly that:
+//! exact null-space computation over the probability field (rationals or
+//! rational functions) followed by normalisation.
+
+use tpn_linalg::{Field, Matrix, SparseMatrix};
+use tpn_reach::AnalysisDomain;
+
+use crate::{CoreError, DecisionGraph};
+
+/// How to solve the homogeneous rate system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RateMethod {
+    /// Compute the null space of the full homogeneous system and
+    /// normalise (the default; detects non-ergodic graphs exactly).
+    #[default]
+    DenseKernel,
+    /// Replace the reference edge's equation by `r_ref = 1` and solve
+    /// the resulting inhomogeneous system with dense elimination.
+    DenseFixed,
+    /// Same fixed-reference system, solved with the sparse eliminator —
+    /// the representation that wins on large decision graphs (see the
+    /// `scaling` benchmarks).
+    SparseFixed,
+}
+
+/// Normalised traversal rates, one per decision-graph edge.
+#[derive(Debug, Clone)]
+pub struct Rates<P> {
+    rates: Vec<P>,
+    reference: usize,
+}
+
+impl<P: Clone> Rates<P> {
+    /// The rate of edge `e` (same indexing as
+    /// [`DecisionGraph::edges`]).
+    pub fn rate(&self, e: usize) -> &P {
+        &self.rates[e]
+    }
+
+    /// All rates in edge order.
+    pub fn as_slice(&self) -> &[P] {
+        &self.rates
+    }
+
+    /// The edge whose rate was normalised to one.
+    pub fn reference_edge(&self) -> usize {
+        self.reference
+    }
+}
+
+/// Solve the traversal-rate equations of `dg`, normalising the rate of
+/// `reference_edge` to one.
+///
+/// Errors: [`CoreError::NotErgodic`] if the solution space is not
+/// one-dimensional, [`CoreError::ZeroReferenceRate`] if the requested
+/// reference edge has rate zero, [`CoreError::NoSuchEdge`] for a bad
+/// index.
+pub fn solve_rates<D>(
+    dg: &DecisionGraph<D>,
+    reference_edge: usize,
+) -> Result<Rates<D::Prob>, CoreError>
+where
+    D: AnalysisDomain,
+    D::Prob: Field,
+{
+    solve_rates_with(dg, reference_edge, RateMethod::DenseKernel)
+}
+
+/// [`solve_rates`] with an explicit solver strategy. All strategies
+/// return the same rates on ergodic graphs; they differ in how
+/// non-ergodicity is detected and in performance on large graphs.
+pub fn solve_rates_with<D>(
+    dg: &DecisionGraph<D>,
+    reference_edge: usize,
+    method: RateMethod,
+) -> Result<Rates<D::Prob>, CoreError>
+where
+    D: AnalysisDomain,
+    D::Prob: Field,
+{
+    let m = dg.num_edges();
+    if reference_edge >= m {
+        return Err(CoreError::NoSuchEdge { edge: reference_edge });
+    }
+    // The homogeneous system A·r = 0 with rows
+    //   r_e − p_e·Σ_{e′→src(e)} r_{e′} = 0.
+    let coefficient = |ei: usize| {
+        let e = &dg.edges()[ei];
+        let mut row: Vec<(usize, D::Prob)> = vec![(ei, D::Prob::one())];
+        for into in dg.edges_into(e.from) {
+            // subtract p_e at column `into` (may coincide with ei)
+            if let Some(slot) = row.iter_mut().find(|(c, _)| *c == into) {
+                slot.1 = slot.1.sub(&e.prob);
+            } else {
+                row.push((into, D::Prob::zero().sub(&e.prob)));
+            }
+        }
+        row
+    };
+    match method {
+        RateMethod::DenseKernel => {
+            let mut a = Matrix::<D::Prob>::zeros(m, m);
+            for ei in 0..m {
+                for (c, v) in coefficient(ei) {
+                    a.set(ei, c, v);
+                }
+            }
+            let kernel = a.null_space();
+            if kernel.len() != 1 {
+                return Err(CoreError::NotErgodic { kernel_dim: kernel.len() });
+            }
+            let base = &kernel[0];
+            let scale = base[reference_edge].clone();
+            if scale.is_zero() {
+                return Err(CoreError::ZeroReferenceRate { edge: reference_edge });
+            }
+            let rates = base.iter().map(|r| r.div(&scale)).collect();
+            Ok(Rates { rates, reference: reference_edge })
+        }
+        RateMethod::DenseFixed => {
+            let mut a = Matrix::<D::Prob>::zeros(m, m);
+            for ei in 0..m {
+                if ei == reference_edge {
+                    a.set(ei, ei, D::Prob::one());
+                    continue;
+                }
+                for (c, v) in coefficient(ei) {
+                    a.set(ei, c, v);
+                }
+            }
+            let mut b = vec![D::Prob::zero(); m];
+            b[reference_edge] = D::Prob::one();
+            let rates = a.solve(&b).map_err(|_| CoreError::NotErgodic { kernel_dim: 0 })?;
+            Ok(Rates { rates, reference: reference_edge })
+        }
+        RateMethod::SparseFixed => {
+            let mut a = SparseMatrix::<D::Prob>::zeros(m, m);
+            for ei in 0..m {
+                if ei == reference_edge {
+                    a.set(ei, ei, D::Prob::one());
+                    continue;
+                }
+                for (c, v) in coefficient(ei) {
+                    a.set(ei, c, v);
+                }
+            }
+            let mut b = vec![D::Prob::zero(); m];
+            b[reference_edge] = D::Prob::one();
+            let rates = a.solve(&b).map_err(|_| CoreError::NotErgodic { kernel_dim: 0 })?;
+            Ok(Rates { rates, reference: reference_edge })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpn_net::NetBuilder;
+    use tpn_rational::Rational;
+    use tpn_reach::{build_trg, NumericDomain, TrgOptions};
+
+    use crate::DecisionGraph;
+
+    fn r(n: i128, d: i128) -> Rational {
+        Rational::new(n, d)
+    }
+
+    /// retry loop: succeed with p=3/4 (delay 1) or retry with p=1/4
+    /// (delay 2); expected rates relative to "succeed": retry = 1/3.
+    fn retry_dg() -> (tpn_net::TimedPetriNet, DecisionGraph<NumericDomain>) {
+        let mut b = NetBuilder::new("retry");
+        let p = b.place("p", 1);
+        b.transition("succeed").input(p).output(p).firing_const(1).weight_const(3).add();
+        b.transition("retry").input(p).output(p).firing_const(2).weight_const(1).add();
+        let net = b.build().unwrap();
+        let trg = build_trg(&net, &NumericDomain::new(), &TrgOptions::default()).unwrap();
+        let dg = DecisionGraph::from_trg(&trg, &NumericDomain::new()).unwrap();
+        (net, dg)
+    }
+
+    #[test]
+    fn rates_of_retry_loop() {
+        let (net, dg) = retry_dg();
+        let succeed = net.transition_by_name("succeed").unwrap();
+        let anchor = dg.nodes()[0];
+        let is_ = dg.edge_firing_first(anchor, succeed).unwrap();
+        let rates = solve_rates(&dg, is_).unwrap();
+        assert_eq!(rates.reference_edge(), is_);
+        assert_eq!(*rates.rate(is_), Rational::ONE);
+        let other = 1 - is_;
+        assert_eq!(*rates.rate(other), r(1, 3));
+        // the rates satisfy the defining equations: r_e = p_e · inflow
+        for (ei, e) in dg.edges().iter().enumerate() {
+            let inflow: Rational = dg.edges_into(e.from).iter().map(|&i| *rates.rate(i)).sum();
+            assert_eq!(*rates.rate(ei), e.prob * inflow);
+        }
+    }
+
+    #[test]
+    fn deterministic_cycle_rate_is_one() {
+        let mut b = NetBuilder::new("det");
+        let p = b.place("p", 1);
+        b.transition("go").input(p).output(p).firing_const(5).add();
+        let net = b.build().unwrap();
+        let trg = build_trg(&net, &NumericDomain::new(), &TrgOptions::default()).unwrap();
+        let dg = DecisionGraph::from_trg(&trg, &NumericDomain::new()).unwrap();
+        let rates = solve_rates(&dg, 0).unwrap();
+        assert_eq!(rates.as_slice(), &[Rational::ONE]);
+    }
+
+    #[test]
+    fn bad_reference_rejected() {
+        let (_, dg) = retry_dg();
+        assert_eq!(
+            solve_rates(&dg, 99).unwrap_err(),
+            CoreError::NoSuchEdge { edge: 99 }
+        );
+    }
+
+    #[test]
+    fn all_methods_agree() {
+        let (_, dg) = retry_dg();
+        for reference in 0..dg.num_edges() {
+            let kernel = solve_rates_with(&dg, reference, RateMethod::DenseKernel).unwrap();
+            let dense = solve_rates_with(&dg, reference, RateMethod::DenseFixed).unwrap();
+            let sparse = solve_rates_with(&dg, reference, RateMethod::SparseFixed).unwrap();
+            assert_eq!(kernel.as_slice(), dense.as_slice());
+            assert_eq!(kernel.as_slice(), sparse.as_slice());
+        }
+    }
+}

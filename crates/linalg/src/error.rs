@@ -1,0 +1,31 @@
+//! Linear-algebra errors.
+
+use std::fmt;
+
+/// An error from an exact linear-algebra operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinalgError {
+    /// Operand shapes are incompatible.
+    DimensionMismatch {
+        /// Human-readable description of the expected/actual shapes.
+        detail: String,
+    },
+    /// The system has no unique solution (singular matrix).
+    Singular,
+    /// A non-square matrix was passed where a square one is required.
+    NotSquare,
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::DimensionMismatch { detail } => {
+                write!(f, "dimension mismatch: {detail}")
+            }
+            LinalgError::Singular => write!(f, "matrix is singular"),
+            LinalgError::NotSquare => write!(f, "matrix is not square"),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}

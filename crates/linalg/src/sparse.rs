@@ -1,0 +1,243 @@
+//! Sparse exact matrices (map-per-row).
+//!
+//! Decision-graph rate systems are extremely sparse: each edge's rate
+//! equation mentions only the edges entering its source node. The dense
+//! solver is fine at paper scale, but the scaling benches sweep graphs
+//! with thousands of edges, where the sparse representation wins. Kept
+//! deliberately simple — a `BTreeMap` per row and elimination with
+//! first-fit pivoting — because exactness, not constant factors, is the
+//! point.
+
+use std::collections::BTreeMap;
+
+use crate::{Field, LinalgError, Matrix};
+
+/// A sparse matrix over an exact [`Field`], stored as one ordered map of
+/// `column → value` per row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SparseMatrix<F: Field> {
+    rows: Vec<BTreeMap<usize, F>>,
+    cols: usize,
+}
+
+impl<F: Field> SparseMatrix<F> {
+    /// The zero matrix of the given shape.
+    pub fn zeros(rows: usize, cols: usize) -> SparseMatrix<F> {
+        SparseMatrix { rows: vec![BTreeMap::new(); rows], cols }
+    }
+
+    /// Number of rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Number of columns.
+    pub fn num_cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of structurally non-zero entries.
+    pub fn nnz(&self) -> usize {
+        self.rows.iter().map(BTreeMap::len).sum()
+    }
+
+    /// Element access (zero if absent).
+    pub fn get(&self, r: usize, c: usize) -> F {
+        self.rows[r].get(&c).cloned().unwrap_or_else(F::zero)
+    }
+
+    /// Element update; zero values delete the entry.
+    pub fn set(&mut self, r: usize, c: usize, v: F) {
+        assert!(c < self.cols, "column out of range");
+        if v.is_zero() {
+            self.rows[r].remove(&c);
+        } else {
+            self.rows[r].insert(c, v);
+        }
+    }
+
+    /// Convert to a dense matrix.
+    pub fn to_dense(&self) -> Matrix<F> {
+        let mut out = Matrix::zeros(self.rows.len(), self.cols);
+        for (r, row) in self.rows.iter().enumerate() {
+            for (c, v) in row {
+                out.set(r, *c, v.clone());
+            }
+        }
+        out
+    }
+
+    /// Build from a dense matrix.
+    pub fn from_dense(m: &Matrix<F>) -> SparseMatrix<F> {
+        let mut out = SparseMatrix::zeros(m.num_rows(), m.num_cols());
+        for r in 0..m.num_rows() {
+            for c in 0..m.num_cols() {
+                let v = m.get(r, c);
+                if !v.is_zero() {
+                    out.set(r, c, v.clone());
+                }
+            }
+        }
+        out
+    }
+
+    /// Sparse matrix–vector product.
+    pub fn mul_vec(&self, v: &[F]) -> Result<Vec<F>, LinalgError> {
+        if v.len() != self.cols {
+            return Err(LinalgError::DimensionMismatch {
+                detail: format!("matrix has {} cols, vector has {}", self.cols, v.len()),
+            });
+        }
+        Ok(self
+            .rows
+            .iter()
+            .map(|row| {
+                let mut acc = F::zero();
+                for (c, x) in row {
+                    acc = acc.add(&x.mul(&v[*c]));
+                }
+                acc
+            })
+            .collect())
+    }
+
+    /// Solve `A·x = b` for a unique solution by sparse Gaussian
+    /// elimination with partial (fewest-fill first-fit) pivoting.
+    pub fn solve(&self, b: &[F]) -> Result<Vec<F>, LinalgError> {
+        if b.len() != self.rows.len() {
+            return Err(LinalgError::DimensionMismatch {
+                detail: format!("matrix has {} rows, rhs has {}", self.rows.len(), b.len()),
+            });
+        }
+        let n = self.cols;
+        let mut rows: Vec<BTreeMap<usize, F>> = self.rows.clone();
+        let mut rhs: Vec<F> = b.to_vec();
+        let mut pivot_of_col: Vec<Option<usize>> = vec![None; n];
+        let mut used_row = vec![false; rows.len()];
+        for col in 0..n {
+            // Choose the unused row with a non-zero in `col` and fewest
+            // entries (cheap Markowitz criterion).
+            let mut best: Option<(usize, usize)> = None;
+            for (r, row) in rows.iter().enumerate() {
+                if used_row[r] {
+                    continue;
+                }
+                if row.get(&col).map(|v| !v.is_zero()).unwrap_or(false) {
+                    let fill = row.len();
+                    if best.map(|(_, bf)| fill < bf).unwrap_or(true) {
+                        best = Some((r, fill));
+                    }
+                }
+            }
+            let Some((pr, _)) = best else { continue };
+            used_row[pr] = true;
+            pivot_of_col[col] = Some(pr);
+            let pivot = rows[pr][&col].clone();
+            // Eliminate `col` from every other row.
+            let pivot_row = rows[pr].clone();
+            let pivot_rhs = rhs[pr].clone();
+            for (r, row) in rows.iter_mut().enumerate() {
+                if r == pr {
+                    continue;
+                }
+                let Some(v) = row.get(&col).cloned() else { continue };
+                let factor = v.div(&pivot);
+                for (c, pv) in &pivot_row {
+                    let cur = row.get(c).cloned().unwrap_or_else(F::zero);
+                    let nv = cur.sub(&factor.mul(pv));
+                    if nv.is_zero() {
+                        row.remove(c);
+                    } else {
+                        row.insert(*c, nv);
+                    }
+                }
+                rhs[r] = rhs[r].sub(&factor.mul(&pivot_rhs));
+            }
+        }
+        // Inconsistent leftover rows?
+        for (r, row) in rows.iter().enumerate() {
+            if !used_row[r] && row.is_empty() && !rhs[r].is_zero() {
+                return Err(LinalgError::Singular);
+            }
+        }
+        // Unique solution requires a pivot in every column.
+        let mut x = vec![F::zero(); n];
+        for col in 0..n {
+            match pivot_of_col[col] {
+                Some(r) => {
+                    let pivot = rows[r][&col].clone();
+                    x[col] = rhs[r].div(&pivot);
+                }
+                None => return Err(LinalgError::Singular),
+            }
+        }
+        Ok(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpn_rational::Rational;
+
+    fn r(n: i128) -> Rational {
+        Rational::from_int(n)
+    }
+
+    #[test]
+    fn set_get_nnz() {
+        let mut m = SparseMatrix::<Rational>::zeros(2, 3);
+        assert_eq!(m.nnz(), 0);
+        m.set(0, 1, r(5));
+        m.set(1, 2, r(7));
+        assert_eq!(m.nnz(), 2);
+        assert_eq!(m.get(0, 1), r(5));
+        assert_eq!(m.get(0, 0), Rational::ZERO);
+        m.set(0, 1, Rational::ZERO);
+        assert_eq!(m.nnz(), 1);
+    }
+
+    #[test]
+    fn dense_roundtrip() {
+        let mut m = SparseMatrix::<Rational>::zeros(2, 2);
+        m.set(0, 0, r(1));
+        m.set(0, 1, r(2));
+        m.set(1, 1, r(3));
+        let d = m.to_dense();
+        assert_eq!(SparseMatrix::from_dense(&d), m);
+    }
+
+    #[test]
+    fn solve_matches_dense() {
+        let mut m = SparseMatrix::<Rational>::zeros(3, 3);
+        m.set(0, 0, r(2));
+        m.set(0, 1, r(1));
+        m.set(1, 1, r(3));
+        m.set(1, 2, r(-1));
+        m.set(2, 0, r(1));
+        m.set(2, 2, r(4));
+        let b = [r(5), r(2), r(9)];
+        let xs = m.solve(&b).unwrap();
+        let xd = m.to_dense().solve(&b).unwrap();
+        assert_eq!(xs, xd);
+        assert_eq!(m.mul_vec(&xs).unwrap(), b.to_vec());
+    }
+
+    #[test]
+    fn singular_detected() {
+        let mut m = SparseMatrix::<Rational>::zeros(2, 2);
+        m.set(0, 0, r(1));
+        m.set(0, 1, r(2));
+        m.set(1, 0, r(2));
+        m.set(1, 1, r(4));
+        assert_eq!(m.solve(&[r(1), r(2)]), Err(LinalgError::Singular));
+        assert_eq!(m.solve(&[r(1), r(3)]), Err(LinalgError::Singular));
+    }
+
+    #[test]
+    fn dimension_errors() {
+        let m = SparseMatrix::<Rational>::zeros(2, 2);
+        assert!(m.solve(&[r(1)]).is_err());
+        assert!(m.mul_vec(&[r(1)]).is_err());
+    }
+}

@@ -1,0 +1,150 @@
+//! Multisets of places (input/output bags).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::PlaceId;
+
+/// A bag (multiset) of places, as used for transition input and output
+/// functions. The paper writes `#(p, I(t))` for the multiplicity of
+/// place `p` in the input bag of `t`; that is [`Bag::count`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Bag {
+    counts: BTreeMap<PlaceId, u32>, // invariant: no zero counts
+}
+
+impl Bag {
+    /// The empty bag.
+    pub fn new() -> Bag {
+        Bag::default()
+    }
+
+    /// Build a bag from (place, multiplicity) pairs; multiplicities of
+    /// the same place accumulate.
+    pub fn from_pairs<I: IntoIterator<Item = (PlaceId, u32)>>(pairs: I) -> Bag {
+        let mut b = Bag::new();
+        for (p, n) in pairs {
+            b.insert(p, n);
+        }
+        b
+    }
+
+    /// Add `n` occurrences of `p`.
+    pub fn insert(&mut self, p: PlaceId, n: u32) {
+        if n == 0 {
+            return;
+        }
+        *self.counts.entry(p).or_insert(0) += n;
+    }
+
+    /// Multiplicity of `p` (zero if absent).
+    pub fn count(&self, p: PlaceId) -> u32 {
+        self.counts.get(&p).copied().unwrap_or(0)
+    }
+
+    /// `true` iff the bag is empty.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Number of *distinct* places.
+    pub fn num_distinct(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Total multiplicity.
+    pub fn total(&self) -> u32 {
+        self.counts.values().sum()
+    }
+
+    /// Iterate over (place, multiplicity) pairs in place order.
+    pub fn iter(&self) -> impl Iterator<Item = (PlaceId, u32)> + '_ {
+        self.counts.iter().map(|(p, n)| (*p, *n))
+    }
+
+    /// The distinct places.
+    pub fn places(&self) -> impl Iterator<Item = PlaceId> + '_ {
+        self.counts.keys().copied()
+    }
+
+    /// `true` iff the two bags share at least one place — the paper's
+    /// conflict condition `I(tᵢ) ∩ I(tⱼ) ≠ ∅`.
+    pub fn intersects(&self, other: &Bag) -> bool {
+        // Walk the smaller bag.
+        let (small, big) = if self.counts.len() <= other.counts.len() {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        small.counts.keys().any(|p| big.counts.contains_key(p))
+    }
+}
+
+impl FromIterator<PlaceId> for Bag {
+    fn from_iter<I: IntoIterator<Item = PlaceId>>(iter: I) -> Bag {
+        Bag::from_pairs(iter.into_iter().map(|p| (p, 1)))
+    }
+}
+
+impl fmt::Display for Bag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, (p, n)) in self.counts.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            if *n == 1 {
+                write!(f, "{p}")?;
+            } else {
+                write!(f, "{n}×{p}")?;
+            }
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: usize) -> PlaceId {
+        PlaceId::from_index(i)
+    }
+
+    #[test]
+    fn construction_and_counts() {
+        let b = Bag::from_pairs([(p(0), 1), (p(1), 2), (p(0), 1)]);
+        assert_eq!(b.count(p(0)), 2);
+        assert_eq!(b.count(p(1)), 2);
+        assert_eq!(b.count(p(2)), 0);
+        assert_eq!(b.total(), 4);
+        assert_eq!(b.num_distinct(), 2);
+        assert!(!b.is_empty());
+        assert!(Bag::new().is_empty());
+    }
+
+    #[test]
+    fn zero_insert_ignored() {
+        let mut b = Bag::new();
+        b.insert(p(0), 0);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn intersects() {
+        let a: Bag = [p(0), p(1)].into_iter().collect();
+        let b: Bag = [p(1), p(2)].into_iter().collect();
+        let c: Bag = [p(3)].into_iter().collect();
+        assert!(a.intersects(&b));
+        assert!(b.intersects(&a));
+        assert!(!a.intersects(&c));
+        assert!(!Bag::new().intersects(&a));
+    }
+
+    #[test]
+    fn display() {
+        let b = Bag::from_pairs([(p(0), 1), (p(1), 2)]);
+        assert_eq!(b.to_string(), "{p0, 2×p1}");
+        assert_eq!(Bag::new().to_string(), "{}");
+    }
+}

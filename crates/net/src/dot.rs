@@ -1,0 +1,66 @@
+//! Graphviz DOT export for nets.
+
+use std::fmt::Write as _;
+
+use crate::TimedPetriNet;
+
+/// Render the net as a Graphviz digraph: places as circles (token count
+/// shown), transitions as boxes annotated with `E`/`F`/weight, and arcs
+/// labelled with multiplicities greater than one.
+pub fn to_dot(net: &TimedPetriNet) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", net.name());
+    let _ = writeln!(out, "  rankdir=LR;");
+    for p in net.places() {
+        let tokens = net.initial_marking().tokens(p);
+        let label = if tokens > 0 {
+            format!("{}\\n●×{}", net.place_name(p), tokens)
+        } else {
+            net.place_name(p).to_string()
+        };
+        let _ = writeln!(out, "  \"{}\" [shape=circle, label=\"{}\"];", net.place_name(p), label);
+    }
+    for t in net.transitions() {
+        let tr = net.transition(t);
+        let _ = writeln!(
+            out,
+            "  \"{0}\" [shape=box, label=\"{0}\\nE={1} F={2} w={3}\"];",
+            tr.name(),
+            tr.enabling(),
+            tr.firing(),
+            tr.frequency()
+        );
+        for (p, n) in tr.input().iter() {
+            let label = if n > 1 { format!(" [label=\"{n}\"]") } else { String::new() };
+            let _ = writeln!(out, "  \"{}\" -> \"{}\"{};", net.place_name(p), tr.name(), label);
+        }
+        for (p, n) in tr.output().iter() {
+            let label = if n > 1 { format!(" [label=\"{n}\"]") } else { String::new() };
+            let _ = writeln!(out, "  \"{}\" -> \"{}\"{};", tr.name(), net.place_name(p), label);
+        }
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NetBuilder;
+
+    #[test]
+    fn renders_valid_dot() {
+        let mut b = NetBuilder::new("dot-test");
+        let a = b.place("src", 1);
+        let c = b.place("dst", 0);
+        b.transition("move").input_n(a, 2).output(c).firing_const(7).add();
+        let net = b.build().unwrap();
+        let dot = to_dot(&net);
+        assert!(dot.starts_with("digraph \"dot-test\""));
+        assert!(dot.contains("\"src\" [shape=circle"));
+        assert!(dot.contains("\"move\" [shape=box"));
+        assert!(dot.contains("\"src\" -> \"move\" [label=\"2\"]"));
+        assert!(dot.contains("\"move\" -> \"dst\";"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+}

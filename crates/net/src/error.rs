@@ -1,0 +1,78 @@
+//! Structural validation errors.
+
+use std::fmt;
+
+/// An error found while building or validating a Timed Petri Net.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetError {
+    /// Two places share a name.
+    DuplicatePlace {
+        /// The offending name.
+        name: String,
+    },
+    /// Two transitions share a name.
+    DuplicateTransition {
+        /// The offending name.
+        name: String,
+    },
+    /// A transition has an empty input bag. Such a transition is enabled
+    /// in every marking and could fire unboundedly often at a single
+    /// instant, violating the paper's requirement that firing a
+    /// transition disable all of its conflict set (including itself).
+    EmptyInputBag {
+        /// The offending transition's name.
+        transition: String,
+    },
+    /// A known enabling or firing time is negative.
+    NegativeTime {
+        /// The offending transition's name.
+        transition: String,
+        /// `"enabling"` or `"firing"`.
+        which: &'static str,
+    },
+    /// A known firing frequency is negative.
+    NegativeFrequency {
+        /// The offending transition's name.
+        transition: String,
+    },
+    /// The initial marking vector has the wrong length.
+    MarkingSizeMismatch {
+        /// Number of places in the net.
+        places: usize,
+        /// Length of the supplied vector.
+        got: usize,
+    },
+    /// A name was not found (when looking places/transitions up by name).
+    UnknownName {
+        /// The name that failed to resolve.
+        name: String,
+    },
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::DuplicatePlace { name } => write!(f, "duplicate place name {name:?}"),
+            NetError::DuplicateTransition { name } => {
+                write!(f, "duplicate transition name {name:?}")
+            }
+            NetError::EmptyInputBag { transition } => write!(
+                f,
+                "transition {transition:?} has an empty input bag (would be permanently enabled)"
+            ),
+            NetError::NegativeTime { transition, which } => {
+                write!(f, "transition {transition:?} has a negative {which} time")
+            }
+            NetError::NegativeFrequency { transition } => {
+                write!(f, "transition {transition:?} has a negative firing frequency")
+            }
+            NetError::MarkingSizeMismatch { places, got } => write!(
+                f,
+                "initial marking has {got} entries but the net has {places} places"
+            ),
+            NetError::UnknownName { name } => write!(f, "unknown place or transition {name:?}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}

@@ -1,0 +1,82 @@
+//! Typed indices for places, transitions and conflict sets.
+
+use std::fmt;
+
+/// Index of a place within its net.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PlaceId(pub(crate) u32);
+
+/// Index of a transition within its net.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TransId(pub(crate) u32);
+
+/// Index of a conflict set within its net.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ConflictSetId(pub(crate) u32);
+
+impl PlaceId {
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Construct from a raw index (for iteration helpers; the id is only
+    /// meaningful for the net it came from).
+    pub fn from_index(i: usize) -> PlaceId {
+        PlaceId(u32::try_from(i).expect("place index overflow"))
+    }
+}
+
+impl TransId {
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Construct from a raw index.
+    pub fn from_index(i: usize) -> TransId {
+        TransId(u32::try_from(i).expect("transition index overflow"))
+    }
+}
+
+impl ConflictSetId {
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for PlaceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl fmt::Display for TransId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+impl fmt::Display for ConflictSetId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "C{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_and_display() {
+        let p = PlaceId::from_index(3);
+        assert_eq!(p.index(), 3);
+        assert_eq!(p.to_string(), "p3");
+        let t = TransId::from_index(7);
+        assert_eq!(t.index(), 7);
+        assert_eq!(t.to_string(), "t7");
+        assert_eq!(ConflictSetId(2).to_string(), "C2");
+        assert_eq!(ConflictSetId(2).index(), 2);
+    }
+}

@@ -1,0 +1,304 @@
+//! Structural invariants: incidence matrix, P- and T-semiflows.
+//!
+//! Petri-net correctness arguments (the other half of the paper's
+//! motivation — "Petri Nets … have been used to specify and prove the
+//! correctness of protocols") rest on structural invariants:
+//!
+//! * a **P-semiflow** is a non-negative place weighting `y ≥ 0` with
+//!   `yᵀ·C = 0` (C the incidence matrix): the weighted token count
+//!   `yᵀ·μ` is constant under any firing. A net covered by positive
+//!   P-semiflows is bounded; a semiflow with weights ≤ 1 and constant 1
+//!   proves 1-safeness of its support.
+//! * a **T-semiflow** is a non-negative transition weighting `x ≥ 0`
+//!   with `C·x = 0`: firing each transition `xᵗ` times reproduces the
+//!   marking — the candidate steady-state cycles whose *timing* the
+//!   rest of this workspace analyses.
+//!
+//! Minimal-support semiflows are computed with the classical
+//! Martínez–Silva elimination.
+
+use tpn_linalg::Matrix;
+use tpn_rational::{gcd, Rational};
+
+use crate::{PlaceId, TimedPetriNet, TransId};
+
+/// The incidence matrix `C` with `C[p][t] = #(p, O(t)) − #(p, I(t))`,
+/// places as rows and transitions as columns.
+pub fn incidence(net: &TimedPetriNet) -> Matrix<Rational> {
+    let mut c = Matrix::zeros(net.num_places(), net.num_transitions());
+    for t in net.transitions() {
+        let tr = net.transition(t);
+        for (p, n) in tr.input().iter() {
+            let cur = *c.get(p.index(), t.index());
+            c.set(p.index(), t.index(), cur - Rational::from_int(n as i128));
+        }
+        for (p, n) in tr.output().iter() {
+            let cur = *c.get(p.index(), t.index());
+            c.set(p.index(), t.index(), cur + Rational::from_int(n as i128));
+        }
+    }
+    c
+}
+
+/// A non-negative integer semiflow with minimal support.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Semiflow {
+    /// Integer weights (length = number of places for P-semiflows, of
+    /// transitions for T-semiflows), content-normalised.
+    pub weights: Vec<i128>,
+}
+
+impl Semiflow {
+    /// Indices with non-zero weight.
+    pub fn support(&self) -> Vec<usize> {
+        self.weights
+            .iter()
+            .enumerate()
+            .filter(|(_, w)| **w != 0)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// The weighted sum `Σ wᵢ·vᵢ` of an integer vector (e.g. a marking).
+    pub fn weighted_sum(&self, v: impl Iterator<Item = u32>) -> i128 {
+        self.weights
+            .iter()
+            .zip(v)
+            .map(|(w, x)| w * x as i128)
+            .sum()
+    }
+}
+
+/// Minimal-support P-semiflows of the net (Martínez–Silva).
+pub fn p_semiflows(net: &TimedPetriNet) -> Vec<Semiflow> {
+    // Rows of [Cᵀ-columns | identity]: row i starts as (C[i][*], e_i).
+    let np = net.num_places();
+    let nt = net.num_transitions();
+    let c = incidence(net);
+    let rows: Vec<(Vec<i128>, Vec<i128>)> = (0..np)
+        .map(|p| {
+            let body: Vec<i128> = (0..nt).map(|t| c.get(p, t).numer()).collect();
+            let mut id = vec![0i128; np];
+            id[p] = 1;
+            (body, id)
+        })
+        .collect();
+    martinez_silva(rows, nt)
+}
+
+/// Minimal-support T-semiflows of the net.
+pub fn t_semiflows(net: &TimedPetriNet) -> Vec<Semiflow> {
+    let np = net.num_places();
+    let nt = net.num_transitions();
+    let c = incidence(net);
+    let rows: Vec<(Vec<i128>, Vec<i128>)> = (0..nt)
+        .map(|t| {
+            let body: Vec<i128> = (0..np).map(|p| c.get(p, t).numer()).collect();
+            let mut id = vec![0i128; nt];
+            id[t] = 1;
+            (body, id)
+        })
+        .collect();
+    martinez_silva(rows, np)
+}
+
+/// Eliminate the `cols` body columns by non-negative row combinations,
+/// keeping minimal-support rows.
+fn martinez_silva(mut rows: Vec<(Vec<i128>, Vec<i128>)>, cols: usize) -> Vec<Semiflow> {
+    const ROW_CAP: usize = 100_000;
+    for col in 0..cols {
+        let (zeros, nonzeros): (Vec<_>, Vec<_>) =
+            rows.into_iter().partition(|(body, _)| body[col] == 0);
+        let mut next = zeros;
+        let (pos, neg): (Vec<_>, Vec<_>) =
+            nonzeros.into_iter().partition(|(body, _)| body[col] > 0);
+        for (pb, pw) in &pos {
+            for (nb, nw) in &neg {
+                let a = pb[col];
+                let b = -nb[col];
+                let g = gcd(a, b);
+                let (ma, mb) = (b / g, a / g); // multiply pos row by ma, neg row by mb
+                let body: Vec<i128> = pb
+                    .iter()
+                    .zip(nb)
+                    .map(|(x, y)| ma * x + mb * y)
+                    .collect();
+                debug_assert_eq!(body[col], 0);
+                let weight: Vec<i128> = pw
+                    .iter()
+                    .zip(nw)
+                    .map(|(x, y)| ma * x + mb * y)
+                    .collect();
+                next.push(normalise(body, weight));
+            }
+        }
+        // Keep only minimal-support rows (Martínez–Silva minimality).
+        next = minimal_support(next);
+        assert!(next.len() <= ROW_CAP, "semiflow enumeration exploded");
+        rows = next;
+    }
+    rows.into_iter()
+        .filter(|(_, w)| w.iter().any(|x| *x != 0))
+        .map(|(_, weights)| Semiflow { weights })
+        .collect()
+}
+
+fn normalise(body: Vec<i128>, mut weight: Vec<i128>) -> (Vec<i128>, Vec<i128>) {
+    let mut g = 0i128;
+    for x in body.iter().chain(weight.iter()) {
+        g = gcd(g, *x);
+    }
+    if g > 1 {
+        let body = body.into_iter().map(|x| x / g).collect();
+        for w in &mut weight {
+            *w /= g;
+        }
+        return (body, weight);
+    }
+    (body, weight)
+}
+
+fn minimal_support(rows: Vec<(Vec<i128>, Vec<i128>)>) -> Vec<(Vec<i128>, Vec<i128>)> {
+    let supports: Vec<Vec<bool>> = rows
+        .iter()
+        .map(|(_, w)| w.iter().map(|x| *x != 0).collect())
+        .collect();
+    let mut keep = vec![true; rows.len()];
+    for i in 0..rows.len() {
+        if !keep[i] {
+            continue;
+        }
+        for j in 0..rows.len() {
+            if i == j || !keep[i] || !keep[j] {
+                continue;
+            }
+            // drop j if support(i) ⊊ support(j)
+            let i_subset_j = supports[i]
+                .iter()
+                .zip(&supports[j])
+                .all(|(a, b)| !a || *b);
+            let equal = supports[i] == supports[j];
+            if i_subset_j && !equal {
+                keep[j] = false;
+            } else if equal && j > i {
+                // identical support: keep one representative
+                keep[j] = false;
+            }
+        }
+    }
+    rows.into_iter()
+        .zip(keep)
+        .filter(|(_, k)| *k)
+        .map(|(r, _)| r)
+        .collect()
+}
+
+/// `true` iff every place is in the support of some P-semiflow — a
+/// sufficient structural condition for boundedness.
+pub fn covered_by_p_semiflows(net: &TimedPetriNet) -> bool {
+    let flows = p_semiflows(net);
+    (0..net.num_places()).all(|p| flows.iter().any(|f| f.weights[p] != 0))
+}
+
+/// The conserved quantity `yᵀ·μ₀` of a P-semiflow under the initial
+/// marking.
+pub fn conserved_quantity(net: &TimedPetriNet, flow: &Semiflow) -> i128 {
+    flow.weighted_sum(
+        (0..net.num_places()).map(|p| net.initial_marking().tokens(PlaceId::from_index(p))),
+    )
+}
+
+/// Check a T-semiflow by symbolic firing: `C·x = 0`.
+pub fn is_t_semiflow(net: &TimedPetriNet, weights: &[i128]) -> bool {
+    let c = incidence(net);
+    (0..net.num_places()).all(|p| {
+        let sum: i128 = (0..net.num_transitions())
+            .map(|t| c.get(p, t).numer() * weights[t])
+            .sum();
+        sum == 0
+    })
+}
+
+/// Convenience: the transitions in a T-semiflow's support.
+pub fn t_semiflow_transitions(flow: &Semiflow) -> Vec<TransId> {
+    flow.support().into_iter().map(TransId::from_index).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NetBuilder;
+
+    fn cycle2() -> TimedPetriNet {
+        let mut b = NetBuilder::new("inv-cycle");
+        let pa = b.place("pa", 1);
+        let pb = b.place("pb", 0);
+        b.transition("go").input(pa).output(pb).add();
+        b.transition("back").input(pb).output(pa).add();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn incidence_matrix() {
+        let net = cycle2();
+        let c = incidence(&net);
+        // go: pa −1, pb +1; back: pa +1, pb −1
+        assert_eq!(c.get(0, 0).numer(), -1);
+        assert_eq!(c.get(1, 0).numer(), 1);
+        assert_eq!(c.get(0, 1).numer(), 1);
+        assert_eq!(c.get(1, 1).numer(), -1);
+    }
+
+    #[test]
+    fn cycle_has_token_conservation() {
+        let net = cycle2();
+        let flows = p_semiflows(&net);
+        assert_eq!(flows.len(), 1);
+        assert_eq!(flows[0].weights, vec![1, 1], "pa + pb is conserved");
+        assert_eq!(conserved_quantity(&net, &flows[0]), 1);
+        assert!(covered_by_p_semiflows(&net));
+        let t = t_semiflows(&net);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t[0].weights, vec![1, 1], "go + back reproduces the marking");
+        assert!(is_t_semiflow(&net, &t[0].weights));
+        assert_eq!(t_semiflow_transitions(&t[0]).len(), 2);
+    }
+
+    #[test]
+    fn weighted_semiflow() {
+        // split: a → 2b; join: 2b → a. Conservation: 2·a + b.
+        let mut b = NetBuilder::new("weighted");
+        let pa = b.place("a", 1);
+        let pb = b.place("b", 0);
+        b.transition("split").input(pa).output_n(pb, 2).add();
+        b.transition("join").input_n(pb, 2).output(pa).add();
+        let net = b.build().unwrap();
+        let flows = p_semiflows(&net);
+        assert_eq!(flows.len(), 1);
+        assert_eq!(flows[0].weights, vec![2, 1]);
+        assert_eq!(conserved_quantity(&net, &flows[0]), 2);
+    }
+
+    #[test]
+    fn unbounded_net_not_covered() {
+        let mut b = NetBuilder::new("sink");
+        let p = b.place("p", 1);
+        let sink = b.place("sink", 0);
+        b.transition("emit").input(p).output(p).output(sink).add();
+        let net = b.build().unwrap();
+        assert!(!covered_by_p_semiflows(&net));
+        // p alone is conserved though
+        let flows = p_semiflows(&net);
+        assert!(flows.iter().any(|f| f.weights == vec![1, 0]));
+    }
+
+    #[test]
+    fn source_and_drain_have_no_t_semiflow() {
+        let mut b = NetBuilder::new("line");
+        let pa = b.place("a", 1);
+        let pb = b.place("b", 0);
+        b.transition("move").input(pa).output(pb).add();
+        let net = b.build().unwrap();
+        assert!(t_semiflows(&net).is_empty());
+    }
+}

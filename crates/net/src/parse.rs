@@ -1,0 +1,323 @@
+//! The `.tpn` line-oriented text format.
+//!
+//! A small hand-written format so nets can be stored in files and read
+//! without a serialization dependency. Grammar (one directive per line;
+//! `#` starts a comment; blank lines ignored):
+//!
+//! ```text
+//! net  <name>
+//! place <name> [init <tokens>]
+//! trans <name> in <bag> [out <bag>] [enabling <time>] [firing <time>] [weight <w>]
+//! ```
+//!
+//! where `<bag>` is a comma-separated list of `place` or `n*place`
+//! entries (`-` for the empty bag, only meaningful for `out`), `<time>`
+//! and `<w>` are rational literals (`1000`, `106.7`, `27/2`) or `?` for
+//! "unknown, treat symbolically". Omitted attributes default to
+//! `enabling 0`, `firing 0`, `weight 1`.
+//!
+//! # Examples
+//!
+//! ```
+//! use tpn_net::parse_tpn;
+//!
+//! let net = parse_tpn("
+//!     net demo
+//!     place ready init 1
+//!     place done
+//!     trans work in ready out done firing 106.7
+//!     trans drop in ready out - firing 106.7 weight 0.05
+//! ").unwrap();
+//! assert_eq!(net.num_transitions(), 2);
+//! assert_eq!(net.conflict_sets().len(), 1);
+//! ```
+
+use std::fmt;
+
+use tpn_rational::Rational;
+
+use crate::{NetBuilder, NetError, PlaceId, TimedPetriNet};
+
+/// A parse failure, with 1-based line number and message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number of the offending line (0 for whole-file
+    /// errors such as validation failures).
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "tpn: {}", self.message)
+        } else {
+            write!(f, "tpn line {}: {}", self.line, self.message)
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError { line, message: message.into() }
+}
+
+/// Parse a `.tpn` document into a validated net.
+pub fn parse_tpn(src: &str) -> Result<TimedPetriNet, ParseError> {
+    let mut builder: Option<NetBuilder> = None;
+    let mut places: Vec<(String, PlaceId)> = Vec::new();
+    // Transitions are collected first so places may be declared in any
+    // order before... no: places must be declared before use, which keeps
+    // the format single-pass and error messages precise.
+    for (idx, raw) in src.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = match raw.find('#') {
+            Some(pos) => &raw[..pos],
+            None => raw,
+        }
+        .trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut tokens = line.split_whitespace();
+        let directive = tokens.next().expect("non-empty line");
+        match directive {
+            "net" => {
+                let name = tokens.next().ok_or_else(|| err(lineno, "net: missing name"))?;
+                if tokens.next().is_some() {
+                    return Err(err(lineno, "net: trailing tokens"));
+                }
+                if builder.is_some() {
+                    return Err(err(lineno, "duplicate `net` directive"));
+                }
+                builder = Some(NetBuilder::new(name));
+            }
+            "place" => {
+                let b = builder.as_mut().ok_or_else(|| err(lineno, "`place` before `net`"))?;
+                let name = tokens.next().ok_or_else(|| err(lineno, "place: missing name"))?;
+                let mut init = 0u32;
+                match tokens.next() {
+                    None => {}
+                    Some("init") => {
+                        let v = tokens.next().ok_or_else(|| err(lineno, "place: missing init count"))?;
+                        init = v
+                            .parse()
+                            .map_err(|_| err(lineno, format!("place: invalid init count {v:?}")))?;
+                    }
+                    Some(other) => {
+                        return Err(err(lineno, format!("place: unexpected token {other:?}")));
+                    }
+                }
+                if tokens.next().is_some() {
+                    return Err(err(lineno, "place: trailing tokens"));
+                }
+                let id = b.place(name, init);
+                places.push((name.to_string(), id));
+            }
+            "trans" => {
+                let b = builder.as_mut().ok_or_else(|| err(lineno, "`trans` before `net`"))?;
+                let name = tokens.next().ok_or_else(|| err(lineno, "trans: missing name"))?;
+                let rest: Vec<&str> = tokens.collect();
+                let mut t = b.transition(name);
+                let mut i = 0usize;
+                let mut saw_in = false;
+                while i < rest.len() {
+                    let key = rest[i];
+                    let val = rest
+                        .get(i + 1)
+                        .ok_or_else(|| err(lineno, format!("trans: missing value after {key:?}")))?;
+                    match key {
+                        "in" | "out" => {
+                            for part in parse_bag(val, lineno)? {
+                                let (mult, pname) = part;
+                                let pid = lookup(&places, &pname)
+                                    .ok_or_else(|| err(lineno, format!("unknown place {pname:?}")))?;
+                                t = if key == "in" {
+                                    saw_in = true;
+                                    t.input_n(pid, mult)
+                                } else {
+                                    t.output_n(pid, mult)
+                                };
+                            }
+                            if key == "in" {
+                                saw_in = true;
+                            }
+                        }
+                        "enabling" => {
+                            t = match parse_time(val, lineno)? {
+                                Some(r) => t.enabling(r),
+                                None => t.enabling_unknown(),
+                            };
+                        }
+                        "firing" => {
+                            t = match parse_time(val, lineno)? {
+                                Some(r) => t.firing(r),
+                                None => t.firing_unknown(),
+                            };
+                        }
+                        "weight" => {
+                            t = match parse_time(val, lineno)? {
+                                Some(r) => t.weight(r),
+                                None => t.weight_unknown(),
+                            };
+                        }
+                        other => {
+                            return Err(err(lineno, format!("trans: unknown attribute {other:?}")));
+                        }
+                    }
+                    i += 2;
+                }
+                if !saw_in {
+                    return Err(err(lineno, format!("trans {name:?}: missing `in` bag")));
+                }
+                t.add();
+            }
+            other => return Err(err(lineno, format!("unknown directive {other:?}"))),
+        }
+    }
+    let builder = builder.ok_or_else(|| err(0, "missing `net` directive"))?;
+    builder
+        .build()
+        .map_err(|e: NetError| err(0, e.to_string()))
+}
+
+fn lookup(places: &[(String, PlaceId)], name: &str) -> Option<PlaceId> {
+    places.iter().find(|(n, _)| n == name).map(|(_, id)| *id)
+}
+
+/// Parse a bag literal: `a,b,2*c` or `-`.
+fn parse_bag(s: &str, lineno: usize) -> Result<Vec<(u32, String)>, ParseError> {
+    if s == "-" {
+        return Ok(Vec::new());
+    }
+    let mut out = Vec::new();
+    for part in s.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            return Err(err(lineno, "empty bag entry"));
+        }
+        match part.split_once('*') {
+            Some((n, pname)) => {
+                let mult: u32 = n
+                    .parse()
+                    .map_err(|_| err(lineno, format!("invalid multiplicity {n:?}")))?;
+                if mult == 0 {
+                    return Err(err(lineno, "zero multiplicity"));
+                }
+                out.push((mult, pname.to_string()));
+            }
+            None => out.push((1, part.to_string())),
+        }
+    }
+    Ok(out)
+}
+
+/// Parse a time/weight literal: a rational, or `?` for unknown.
+fn parse_time(s: &str, lineno: usize) -> Result<Option<Rational>, ParseError> {
+    if s == "?" {
+        return Ok(None);
+    }
+    s.parse::<Rational>()
+        .map(Some)
+        .map_err(|e| err(lineno, e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SIMPLE: &str = "
+        # the paper's medium fragment
+        net medium
+        place in_flight init 1
+        place delivered
+        trans deliver in in_flight out delivered firing 106.7 weight 0.95
+        trans lose    in in_flight out -         firing 106.7 weight 0.05
+    ";
+
+    #[test]
+    fn parses_simple() {
+        let net = parse_tpn(SIMPLE).unwrap();
+        assert_eq!(net.name(), "medium");
+        assert_eq!(net.num_places(), 2);
+        assert_eq!(net.num_transitions(), 2);
+        assert_eq!(net.conflict_sets().len(), 1);
+        let d = net.transition_by_name("deliver").unwrap();
+        assert_eq!(
+            net.transition(d).firing().known(),
+            Some(&Rational::new(1067, 10))
+        );
+        assert_eq!(
+            net.transition(d).frequency().weight(),
+            Some(&Rational::new(19, 20))
+        );
+    }
+
+    #[test]
+    fn parses_multiplicities_and_unknowns() {
+        let net = parse_tpn(
+            "net m\nplace a init 3\nplace b\ntrans t in 2*a,b out 3*b enabling ? firing ? weight ?",
+        )
+        .unwrap();
+        let t = net.transition_by_name("t").unwrap();
+        let a = net.place_by_name("a").unwrap();
+        let b = net.place_by_name("b").unwrap();
+        assert_eq!(net.transition(t).input().count(a), 2);
+        assert_eq!(net.transition(t).input().count(b), 1);
+        assert_eq!(net.transition(t).output().count(b), 3);
+        assert!(net.transition(t).enabling().known().is_none());
+        assert!(!net.is_fully_timed());
+    }
+
+    #[test]
+    fn error_reporting() {
+        for (src, fragment) in [
+            ("place a", "before `net`"),
+            ("net n\nplace a init x\ntrans t in a", "invalid init count"),
+            ("net n\nplace a init 1\ntrans t out a", "missing `in` bag"),
+            ("net n\nplace a init 1\ntrans t in b", "unknown place"),
+            ("net n\nplace a init 1\ntrans t in a firing abc", "cannot parse"),
+            ("net n\nnet m", "duplicate `net`"),
+            ("bogus x", "unknown directive"),
+            ("", "missing `net` directive"),
+            ("net n\nplace a init 1\ntrans t in 0*a", "zero multiplicity"),
+            ("net n\nplace a init 1\ntrans t in a bad 1", "unknown attribute"),
+        ] {
+            let e = parse_tpn(src).unwrap_err();
+            assert!(
+                e.to_string().contains(fragment),
+                "source {src:?}: expected {fragment:?} in {e}"
+            );
+        }
+    }
+
+    #[test]
+    fn line_numbers_reported() {
+        let e = parse_tpn("net n\nplace a init 1\nbogus").unwrap_err();
+        assert_eq!(e.line, 3);
+    }
+
+    #[test]
+    fn validation_errors_propagate() {
+        // duplicate place names caught by the builder
+        let e = parse_tpn("net n\nplace a init 1\nplace a\ntrans t in a").unwrap_err();
+        assert!(e.to_string().contains("duplicate place"));
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let net = parse_tpn("\n# leading comment\nnet n # trailing\nplace a init 1\ntrans t in a # hi\n\n").unwrap();
+        assert_eq!(net.name(), "n");
+    }
+
+    #[test]
+    fn display_reparses() {
+        let net = parse_tpn(SIMPLE).unwrap();
+        let round = parse_tpn(&net.to_string()).unwrap();
+        assert_eq!(round.num_places(), net.num_places());
+        assert_eq!(round.num_transitions(), net.num_transitions());
+        assert_eq!(round.name(), net.name());
+    }
+}

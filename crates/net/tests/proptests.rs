@@ -1,0 +1,143 @@
+//! Property tests for the net model: conflict-set partition laws,
+//! marking algebra, `.tpn` round-trips of random rings, and P-semiflow
+//! conservation under random firing sequences.
+
+use proptest::prelude::*;
+use tpn_net::{invariant, Bag, Marking, NetBuilder, PlaceId, TimedPetriNet};
+use tpn_rational::Rational;
+
+fn random_ring(times: &[(i128, i128)]) -> TimedPetriNet {
+    let mut b = NetBuilder::new("ring");
+    let places: Vec<_> = (0..times.len())
+        .map(|i| b.place(&format!("s{i}"), u32::from(i == 0)))
+        .collect();
+    for (i, (n, d)) in times.iter().enumerate() {
+        let next = (i + 1) % times.len();
+        b.transition(&format!("t{i}"))
+            .input(places[i])
+            .output(places[next])
+            .firing(Rational::new(*n, *d))
+            .add();
+    }
+    b.build().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn conflict_sets_partition_the_transitions(
+        // adjacency: each of 6 transitions consumes a subset of 4 places
+        inputs in proptest::collection::vec(proptest::collection::vec(any::<bool>(), 4), 1..6),
+    ) {
+        let mut b = NetBuilder::new("part");
+        let places: Vec<_> = (0..4).map(|i| b.place(&format!("p{i}"), 1)).collect();
+        let mut n = 0usize;
+        for (i, row) in inputs.iter().enumerate() {
+            if row.iter().all(|x| !x) {
+                continue; // empty input bags are rejected by validation
+            }
+            let mut t = b.transition(&format!("t{i}"));
+            for (p, used) in places.iter().zip(row) {
+                if *used {
+                    t = t.input(*p);
+                }
+            }
+            t.add();
+            n += 1;
+        }
+        prop_assume!(n > 0);
+        let net = b.build().unwrap();
+        // every transition in exactly one set; sets are disjoint & cover
+        let mut seen = vec![0usize; net.num_transitions()];
+        for cs in net.conflict_sets() {
+            for t in cs.members() {
+                seen[t.index()] += 1;
+            }
+        }
+        prop_assert!(seen.iter().all(|&c| c == 1));
+        // transitions sharing an input place are in the same set
+        for a in net.transitions() {
+            for z in net.transitions() {
+                let share = net.transition(a).input().intersects(net.transition(z).input());
+                if share {
+                    prop_assert_eq!(net.conflict_set_of(a), net.conflict_set_of(z));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn marking_add_sub_inverse(
+        tokens in proptest::collection::vec(0u32..4, 5),
+        bag in proptest::collection::vec(0u32..3, 5),
+    ) {
+        let m0 = Marking::from_vec(tokens);
+        let bag = Bag::from_pairs(
+            bag.into_iter().enumerate().map(|(i, n)| (PlaceId::from_index(i), n)),
+        );
+        let mut m = m0.clone();
+        m.add(&bag);
+        prop_assert!(m.covers(&bag));
+        m.subtract(&bag);
+        prop_assert_eq!(m, m0);
+    }
+
+    #[test]
+    fn tpn_roundtrip_random_rings(times in proptest::collection::vec((1i128..500, 1i128..10), 1..7)) {
+        let net = random_ring(&times);
+        let text = net.to_string();
+        let back = tpn_net::parse_tpn(&text).unwrap();
+        prop_assert_eq!(back.num_places(), net.num_places());
+        prop_assert_eq!(back.num_transitions(), net.num_transitions());
+        for t in net.transitions() {
+            let a = net.transition(t);
+            let b2 = back.transition(back.transition_by_name(a.name()).unwrap());
+            prop_assert_eq!(a.firing(), b2.firing());
+            prop_assert_eq!(a.enabling(), b2.enabling());
+            prop_assert_eq!(a.frequency(), b2.frequency());
+        }
+    }
+
+    #[test]
+    fn p_semiflows_are_conserved_under_firing(
+        times in proptest::collection::vec((1i128..9, 1i128..3), 2..6),
+        steps in proptest::collection::vec(any::<u8>(), 12),
+    ) {
+        let net = random_ring(&times);
+        let flows = invariant::p_semiflows(&net);
+        prop_assert!(!flows.is_empty());
+        // fire random enabled transitions atomically (consume + produce)
+        // and check every semiflow stays constant
+        let mut m = net.initial_marking().clone();
+        let baselines: Vec<i128> = flows
+            .iter()
+            .map(|f| f.weighted_sum(m.as_slice().iter().copied()))
+            .collect();
+        for s in steps {
+            let enabled = net.enabled_transitions(&m);
+            prop_assume!(!enabled.is_empty());
+            let t = enabled[s as usize % enabled.len()];
+            m.subtract(net.transition(t).input());
+            m.add(net.transition(t).output());
+            for (f, base) in flows.iter().zip(&baselines) {
+                prop_assert_eq!(f.weighted_sum(m.as_slice().iter().copied()), *base);
+            }
+        }
+    }
+
+    #[test]
+    fn t_semiflow_firing_counts_reproduce_marking(times in proptest::collection::vec((1i128..9, 1i128..3), 2..6)) {
+        let net = random_ring(&times);
+        let flows = invariant::t_semiflows(&net);
+        prop_assert_eq!(flows.len(), 1, "a ring has one minimal T-semiflow");
+        prop_assert!(invariant::is_t_semiflow(&net, &flows[0].weights));
+        // firing the whole ring once returns to the initial marking
+        let mut m = net.initial_marking().clone();
+        for t in net.transitions() {
+            m.subtract(net.transition(t).input());
+            m.add(net.transition(t).output());
+        }
+        prop_assert_eq!(&m, net.initial_marking());
+    }
+}

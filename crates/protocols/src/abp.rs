@@ -1,0 +1,164 @@
+//! The alternating-bit extension of the simple protocol.
+//!
+//! The paper notes its Figure-1 protocol "can be easily extended to be
+//! more robust by using alternating bits for message and acknowledgement
+//! sequencing". This module builds that extension: the sender stamps
+//! each message with a sequence bit, the receiver acknowledges with the
+//! same bit and flips its expectation, and duplicate messages (caused by
+//! an acknowledgement loss followed by a timeout retransmission) are
+//! detected and re-acknowledged without being delivered twice.
+//!
+//! Per bit `b ∈ {0, 1}` the net has a full copy of the Figure-1
+//! machinery (send, lossy message medium, receive+ack, lossy ack
+//! medium, ack receipt, timeout) plus the duplicate path
+//! `recv_dup_b` — receiver holding `expect_{1−b}` re-acknowledges a
+//! duplicate `msg_b` without flipping.
+
+use tpn_net::{NetBuilder, TimedPetriNet, TransId};
+use tpn_rational::Rational;
+
+use crate::simple::Params;
+
+/// The alternating-bit net plus the transitions measures care about.
+#[derive(Debug, Clone)]
+pub struct Abp {
+    /// The validated net.
+    pub net: TimedPetriNet,
+    /// `recv_0` and `recv_1`: first-time deliveries (throughput events).
+    pub deliveries: [TransId; 2],
+    /// `recv_dup_0` and `recv_dup_1`: duplicate re-acknowledgements.
+    pub duplicates: [TransId; 2],
+    /// `timeout_0` and `timeout_1`.
+    pub timeouts: [TransId; 2],
+}
+
+/// Build the alternating-bit protocol with the given parameters (use
+/// [`Params::paper`] for the Figure-1b values).
+pub fn abp(params: &Params) -> Abp {
+    let mut b = NetBuilder::new("alternating-bit");
+    // Global places.
+    let expect = [b.place("expect_0", 1), b.place("expect_1", 0)];
+    let sender_ready = [b.place("sender_ready_0", 1), b.place("sender_ready_1", 0)];
+    // Per-bit places.
+    let msg_medium = [b.place("msg0_in_medium", 0), b.place("msg1_in_medium", 0)];
+    let msg_deliv = [b.place("msg0_delivered", 0), b.place("msg1_delivered", 0)];
+    let awaiting = [b.place("awaiting_ack_0", 0), b.place("awaiting_ack_1", 0)];
+    let ack_medium = [b.place("ack0_in_medium", 0), b.place("ack1_in_medium", 0)];
+    let ack_deliv = [b.place("ack0_delivered", 0), b.place("ack1_delivered", 0)];
+    let ack_ok = [b.place("ack0_accepted", 0), b.place("ack1_accepted", 0)];
+
+    let mut deliveries = Vec::new();
+    let mut duplicates = Vec::new();
+    let mut timeouts = Vec::new();
+    for bit in 0..2usize {
+        let other = 1 - bit;
+        b.transition(&format!("send_{bit}"))
+            .input(sender_ready[bit])
+            .output(msg_medium[bit])
+            .output(awaiting[bit])
+            .firing(params.sender_step)
+            .add();
+        timeouts.push(
+            b.transition(&format!("timeout_{bit}"))
+                .input(awaiting[bit])
+                .output(sender_ready[bit])
+                .enabling(params.timeout)
+                .firing(params.sender_step)
+                .weight(Rational::ZERO)
+                .add(),
+        );
+        b.transition(&format!("xmit_msg_{bit}"))
+            .input(msg_medium[bit])
+            .output(msg_deliv[bit])
+            .firing(params.packet_time)
+            .weight(Rational::ONE - params.packet_loss)
+            .add();
+        b.transition(&format!("lose_msg_{bit}"))
+            .input(msg_medium[bit])
+            .firing(params.packet_time)
+            .weight(params.packet_loss)
+            .add();
+        // First-time delivery: consume the expectation and flip it.
+        deliveries.push(
+            b.transition(&format!("recv_{bit}"))
+                .input(msg_deliv[bit])
+                .input(expect[bit])
+                .output(ack_medium[bit])
+                .output(expect[other])
+                .firing(params.ack_handling)
+                .add(),
+        );
+        // Duplicate: the receiver already flipped; re-acknowledge only.
+        duplicates.push(
+            b.transition(&format!("recv_dup_{bit}"))
+                .input(msg_deliv[bit])
+                .input(expect[other])
+                .output(ack_medium[bit])
+                .output(expect[other])
+                .firing(params.ack_handling)
+                .add(),
+        );
+        b.transition(&format!("xmit_ack_{bit}"))
+            .input(ack_medium[bit])
+            .output(ack_deliv[bit])
+            .firing(params.ack_time)
+            .weight(Rational::ONE - params.ack_loss)
+            .add();
+        b.transition(&format!("lose_ack_{bit}"))
+            .input(ack_medium[bit])
+            .firing(params.ack_time)
+            .weight(params.ack_loss)
+            .add();
+        // ACK receipt beats the timeout (frequency-0 priority).
+        b.transition(&format!("recv_ack_{bit}"))
+            .input(awaiting[bit])
+            .input(ack_deliv[bit])
+            .output(ack_ok[bit])
+            .firing(params.ack_handling)
+            .add();
+        // Advance to the other sequence bit.
+        b.transition(&format!("next_{bit}"))
+            .input(ack_ok[bit])
+            .output(sender_ready[other])
+            .firing(params.sender_step)
+            .add();
+    }
+    let net = b.build().expect("abp net is structurally valid");
+    Abp {
+        net,
+        deliveries: [deliveries[0], deliveries[1]],
+        duplicates: [duplicates[0], duplicates[1]],
+        timeouts: [timeouts[0], timeouts[1]],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn structure() {
+        let a = abp(&Params::paper());
+        assert_eq!(a.net.num_transitions(), 20);
+        assert_eq!(a.net.num_places(), 16);
+        assert!(a.net.is_fully_timed());
+        // message media and ack media are conflict pairs
+        let stats = a.net.stats();
+        assert!(stats.nontrivial_conflict_sets >= 4, "{stats:?}");
+        // per-bit: recv and recv_dup conflict (they share msg_delivered)
+        assert_eq!(
+            a.net.conflict_set_of(a.deliveries[0]),
+            a.net.conflict_set_of(a.duplicates[0])
+        );
+    }
+
+    #[test]
+    fn initial_marking_has_bit_zero() {
+        let a = abp(&Params::paper());
+        let sr0 = a.net.place_by_name("sender_ready_0").unwrap();
+        let e0 = a.net.place_by_name("expect_0").unwrap();
+        assert_eq!(a.net.initial_marking().tokens(sr0), 1);
+        assert_eq!(a.net.initial_marking().tokens(e0), 1);
+        assert_eq!(a.net.initial_marking().total_tokens(), 2);
+    }
+}

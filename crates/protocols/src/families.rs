@@ -1,0 +1,169 @@
+//! Parametric net families for property tests and scaling benchmarks.
+
+use tpn_net::{NetBuilder, TimedPetriNet, TransId};
+use tpn_rational::Rational;
+
+/// A ring of `n` stages: place `i` feeds transition `i` which feeds
+/// place `(i+1) mod n`; stage `i` has firing time `times[i]`. One token
+/// circulates, so the TRG is a `2n`-state cycle with total cycle time
+/// `Σ times`.
+pub fn cycle(times: &[Rational]) -> TimedPetriNet {
+    assert!(!times.is_empty(), "cycle needs at least one stage");
+    let mut b = NetBuilder::new("cycle");
+    let places: Vec<_> = (0..times.len())
+        .map(|i| b.place(&format!("s{i}"), u32::from(i == 0)))
+        .collect();
+    for (i, t) in times.iter().enumerate() {
+        let next = (i + 1) % times.len();
+        b.transition(&format!("advance{i}"))
+            .input(places[i])
+            .output(places[next])
+            .firing(*t)
+            .add();
+    }
+    b.build().expect("cycle net is structurally valid")
+}
+
+/// Fork/join: a fork transition spawns `n` parallel branches with firing
+/// times `1, 2, …, n`; a join transition collects them and restarts.
+/// Exercises the cross-product selector logic and multi-candidate
+/// minimum resolution.
+pub fn fork_join(n: usize) -> TimedPetriNet {
+    assert!(n >= 1);
+    let mut b = NetBuilder::new("fork-join");
+    let start = b.place("start", 1);
+    let branches: Vec<_> = (0..n).map(|i| b.place(&format!("branch{i}"), 0)).collect();
+    let dones: Vec<_> = (0..n).map(|i| b.place(&format!("done{i}"), 0)).collect();
+    let mut fork = b.transition("fork").input(start).firing_const(1);
+    for p in &branches {
+        fork = fork.output(*p);
+    }
+    fork.add();
+    for i in 0..n {
+        b.transition(&format!("work{i}"))
+            .input(branches[i])
+            .output(dones[i])
+            .firing_const((i + 1) as i64)
+            .add();
+    }
+    let mut join = b.transition("join").output(start).firing_const(1);
+    for p in &dones {
+        join = join.input(*p);
+    }
+    join.add();
+    b.build().expect("fork-join net is structurally valid")
+}
+
+/// Bounded producer/consumer: the producer needs a free slot to emit an
+/// item; the consumer returns the slot. `capacity` bounds the buffer, so
+/// the TRG is finite with size linear in `capacity`.
+pub fn producer_consumer(
+    capacity: u32,
+    produce_time: Rational,
+    consume_time: Rational,
+) -> TimedPetriNet {
+    assert!(capacity >= 1);
+    let mut b = NetBuilder::new("producer-consumer");
+    let prod_ready = b.place("prod_ready", 1);
+    let cons_ready = b.place("cons_ready", 1);
+    let slots = b.place("slots", capacity);
+    let items = b.place("items", 0);
+    b.transition("produce")
+        .input(prod_ready)
+        .input(slots)
+        .output(prod_ready)
+        .output(items)
+        .firing(produce_time)
+        .add();
+    b.transition("consume")
+        .input(cons_ready)
+        .input(items)
+        .output(cons_ready)
+        .output(slots)
+        .firing(consume_time)
+        .add();
+    b.build().expect("producer-consumer net is structurally valid")
+}
+
+/// A lossy multi-hop forwarding chain: a token must traverse `hops`
+/// lossy hops; a loss at any hop sends it back to the start (immediate
+/// retransmission). Every hop is a decision node, so the family sweeps
+/// decision-graph size for the benchmarks. Returns the net and the final
+/// "arrive" transition whose traversal rate is the chain's throughput
+/// event.
+pub fn lossy_chain(hops: usize, loss: Rational, hop_time: Rational) -> (TimedPetriNet, TransId) {
+    assert!(hops >= 1);
+    let mut b = NetBuilder::new("lossy-chain");
+    let ats: Vec<_> = (0..=hops)
+        .map(|i| b.place(&format!("at{i}"), u32::from(i == 0)))
+        .collect();
+    for i in 0..hops {
+        b.transition(&format!("hop{i}"))
+            .input(ats[i])
+            .output(ats[i + 1])
+            .firing(hop_time)
+            .weight(Rational::ONE - loss)
+            .add();
+        b.transition(&format!("drop{i}"))
+            .input(ats[i])
+            .output(ats[0])
+            .firing(hop_time)
+            .weight(loss)
+            .add();
+    }
+    let arrive = b
+        .transition("arrive")
+        .input(ats[hops])
+        .output(ats[0])
+        .firing(hop_time)
+        .add();
+    let net = b.build().expect("lossy chain net is structurally valid");
+    (net, arrive)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: i128) -> Rational {
+        Rational::from_int(n)
+    }
+
+    #[test]
+    fn cycle_structure() {
+        let net = cycle(&[r(1), r(2), r(3)]);
+        assert_eq!(net.num_places(), 3);
+        assert_eq!(net.num_transitions(), 3);
+        assert_eq!(net.initial_marking().total_tokens(), 1);
+        assert_eq!(net.stats().nontrivial_conflict_sets, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one stage")]
+    fn cycle_rejects_empty() {
+        let _ = cycle(&[]);
+    }
+
+    #[test]
+    fn fork_join_structure() {
+        let net = fork_join(4);
+        assert_eq!(net.num_transitions(), 6); // fork + 4 work + join
+        assert_eq!(net.num_places(), 9);
+    }
+
+    #[test]
+    fn producer_consumer_structure() {
+        let net = producer_consumer(3, r(2), r(5));
+        assert_eq!(net.initial_marking().total_tokens(), 5); // 2 ready + 3 slots
+        assert_eq!(net.num_transitions(), 2);
+    }
+
+    #[test]
+    fn lossy_chain_structure() {
+        let (net, arrive) = lossy_chain(5, Rational::new(1, 10), r(2));
+        assert_eq!(net.num_places(), 6);
+        assert_eq!(net.num_transitions(), 11);
+        assert_eq!(net.transition(arrive).name(), "arrive");
+        assert_eq!(net.stats().nontrivial_conflict_sets, 5);
+    }
+}

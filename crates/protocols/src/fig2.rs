@@ -1,0 +1,74 @@
+//! The net of the paper's Figure 2a, used in §1 to contrast Timed Petri
+//! Nets with Merlin–Farber Time Petri Nets.
+//!
+//! The scenario: transition `t1` needs to stay enabled for 3 time units
+//! before it must fire (`E(t1) = 3`, `F(t1) = 7`), but a token arriving
+//! on a second place at time 2 makes a competing transition `t2`
+//! immediately firable, absorbing the shared token and *disabling* `t1`
+//! before its enabling time expires. Under Timed-Petri-Net semantics the
+//! outcome is deterministic (`t2` wins); under Time-Petri-Net semantics
+//! (Min/Max firing intervals) `t1`'s Min time alone would not prevent
+//! the race. The regression test `fig2_semantics` pins the TPN reading.
+
+use tpn_net::{NetBuilder, PlaceId, TimedPetriNet, TransId};
+
+/// Figure-2a net plus ids.
+#[derive(Debug, Clone)]
+pub struct Fig2 {
+    /// The net.
+    pub net: TimedPetriNet,
+    /// The slow, enabling-time-guarded transition (`E=3, F=7`).
+    pub t1: TransId,
+    /// The competing instant transition enabled by the arriving token.
+    pub t2: TransId,
+    /// The feeder transition that delivers the token at time 2.
+    pub feeder: TransId,
+    /// The shared input place of `t1` and `t2`.
+    pub shared: PlaceId,
+}
+
+/// Build the Figure-2a scenario.
+pub fn fig2() -> Fig2 {
+    let mut b = NetBuilder::new("fig2a");
+    let shared = b.place("P1", 1);
+    let arriving = b.place("P2", 0);
+    let src = b.place("P3", 1);
+    let out1 = b.place("out_t1", 0);
+    let out2 = b.place("out_t2", 0);
+    let t1 = b
+        .transition("t1")
+        .input(shared)
+        .output(out1)
+        .enabling_const(3)
+        .firing_const(7)
+        .add();
+    let t2 = b
+        .transition("t2")
+        .input(shared)
+        .input(arriving)
+        .output(out2)
+        .firing_const(1)
+        .add();
+    let feeder = b
+        .transition("feeder")
+        .input(src)
+        .output(arriving)
+        .firing_const(2)
+        .add();
+    let net = b.build().expect("fig2 net is structurally valid");
+    Fig2 { net, t1, t2, feeder, shared }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn structure() {
+        let f = fig2();
+        assert_eq!(f.net.num_transitions(), 3);
+        // t1 and t2 conflict on the shared place
+        assert_eq!(f.net.conflict_set_of(f.t1), f.net.conflict_set_of(f.t2));
+        assert_ne!(f.net.conflict_set_of(f.t1), f.net.conflict_set_of(f.feeder));
+    }
+}

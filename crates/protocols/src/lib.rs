@@ -1,0 +1,17 @@
+//! Model zoo: the nets analysed in the paper plus parametric families
+//! used by the test suite and the scaling benchmarks.
+//!
+//! * [`simple`] — the paper's Figure-1 protocol (unnumbered messages and
+//!   acknowledgements, lossy medium, sender timeout), in numeric
+//!   (Figure 1b times) and symbolic (constraints (1)–(4)) form;
+//! * [`fig2`] — the small net of Figure 2a used to contrast Timed Petri
+//!   Nets with Merlin–Farber Time Petri Nets;
+//! * [`abp`] — the alternating-bit extension the paper sketches ("easily
+//!   extended to be more robust by using alternating bits");
+//! * [`families`] — parametric nets (cycles, fork/join, producer–
+//!   consumer, lossy pipelines) for property tests and benches.
+
+pub mod abp;
+pub mod families;
+pub mod fig2;
+pub mod simple;

@@ -1,0 +1,302 @@
+//! The paper's simple communication protocol (Figure 1).
+//!
+//! *"In this protocol the sender sends a packet (t₂) and waits for an
+//! acknowledgement. A timeout (t₃) is used to recover from lost packets.
+//! The receiver waits for a message and sends an acknowledgement
+//! immediately (t₆). The medium can lose packets (t₅) and
+//! acknowledgements (t₉)."*
+//!
+//! Reconstructed structure (places renumbered to match the marking
+//! columns of the paper's Figure 4b):
+//!
+//! | Transition | Role | E | F (ms) | weight |
+//! |---|---|---|---|---|
+//! | `t1` | sender finishes processing the acknowledged exchange | 0 | 1 | 1 |
+//! | `t2` | sender transmits a packet, arming the timeout | 0 | 1 | 1 |
+//! | `t3` | sender timeout (priority-suppressed by `t7`) | 1000 | 1 | 0 |
+//! | `t4` | medium delivers the packet | 0 | 106.7 | 0.95 |
+//! | `t5` | medium loses the packet | 0 | 106.7 | 0.05 |
+//! | `t6` | receiver accepts the packet and emits an ACK | 0 | 13.5 | 1 |
+//! | `t7` | sender receives the ACK (disarms the timeout) | 0 | 13.5 | 1 |
+//! | `t8` | medium delivers the ACK | 0 | 106.7 | 0.95 |
+//! | `t9` | medium loses the ACK | 0 | 106.7 | 0.05 |
+//!
+//! Conflict sets: `{t4, t5}` (packet medium), `{t3, t7}` (timeout vs.
+//! ACK receipt — `t3` has frequency 0, so the ACK wins whenever both are
+//! firable), `{t8, t9}` (ACK medium).
+
+use tpn_net::{symbols, NetBuilder, PlaceId, TimedPetriNet, TransId};
+use tpn_rational::Rational;
+use tpn_symbolic::{Assignment, ConstraintSet, LinExpr};
+
+/// Exact timing/frequency parameters for the protocol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Params {
+    /// Timeout enabling time `E(t3)` (paper: 1000 ms).
+    pub timeout: Rational,
+    /// Sender processing times `F(t1) = F(t2) = F(t3)` (paper: 1 ms).
+    pub sender_step: Rational,
+    /// Packet transmission/loss time `F(t4) = F(t5)` (paper: 106.7 ms).
+    pub packet_time: Rational,
+    /// Receiver/sender ACK handling time `F(t6) = F(t7)` (paper: 13.5 ms).
+    pub ack_handling: Rational,
+    /// ACK transmission/loss time `F(t8) = F(t9)` (paper: 106.7 ms).
+    pub ack_time: Rational,
+    /// Probability of losing a packet (paper: 0.05).
+    pub packet_loss: Rational,
+    /// Probability of losing an ACK (paper: 0.05).
+    pub ack_loss: Rational,
+}
+
+impl Params {
+    /// The paper's Figure-1b values.
+    pub fn paper() -> Params {
+        Params {
+            timeout: Rational::from_int(1000),
+            sender_step: Rational::ONE,
+            packet_time: Rational::new(1067, 10),
+            ack_handling: Rational::new(27, 2),
+            ack_time: Rational::new(1067, 10),
+            packet_loss: Rational::new(1, 20),
+            ack_loss: Rational::new(1, 20),
+        }
+    }
+
+    /// `true` iff the parameters satisfy the paper's constraint (1): the
+    /// timeout exceeds the round-trip delay `F(t4)+F(t6)+F(t8)`.
+    pub fn satisfies_timeout_constraint(&self) -> bool {
+        self.timeout > self.packet_time + self.ack_handling + self.ack_time
+    }
+}
+
+/// The protocol net plus the ids needed to interrogate it.
+#[derive(Debug, Clone)]
+pub struct SimpleProtocol {
+    /// The validated net.
+    pub net: TimedPetriNet,
+    /// `t1` … `t9` in paper order (index 0 is `t1`).
+    pub t: [TransId; 9],
+    /// `p1` … `p8` in paper order (index 0 is `p1`).
+    pub p: [PlaceId; 8],
+}
+
+/// Build the protocol with explicit numeric parameters.
+pub fn numeric(params: &Params) -> SimpleProtocol {
+    build(Spec::Numeric(params.clone()))
+}
+
+/// Build the protocol with the paper's Figure-1b values.
+pub fn paper() -> SimpleProtocol {
+    numeric(&Params::paper())
+}
+
+/// Build the *symbolic* protocol of Section 4: `E(t3)` and every firing
+/// time are unknown symbols, the medium frequencies are unknown symbols,
+/// and the returned constraint set contains the paper's constraints:
+///
+/// 1. `E(t3) > F(t4) + F(t6) + F(t8)` — the timeout exceeds the
+///    round-trip delay;
+/// 2. `E(t) = 0` for `t ≠ t3` — encoded structurally as known-zero
+///    enabling times;
+/// 3. `F(t5) = F(t4)` — losing a packet takes as long as delivering it;
+/// 4. `F(t9) = F(t8)` — likewise for acknowledgements.
+pub fn symbolic() -> (SimpleProtocol, ConstraintSet) {
+    let proto = build(Spec::Symbolic);
+    let e3 = LinExpr::symbol(symbols::enabling("t3"));
+    let f4 = LinExpr::symbol(symbols::firing("t4"));
+    let f5 = LinExpr::symbol(symbols::firing("t5"));
+    let f6 = LinExpr::symbol(symbols::firing("t6"));
+    let f8 = LinExpr::symbol(symbols::firing("t8"));
+    let f9 = LinExpr::symbol(symbols::firing("t9"));
+    let mut cs = ConstraintSet::new();
+    // (1) timeout > round trip
+    cs.assume_gt(e3, f4.clone() + &f6 + &f8);
+    // (3), (4) loss takes exactly as long as success
+    cs.assume_eq(f5, f4);
+    cs.assume_eq(f9, f8);
+    (proto, cs)
+}
+
+/// The Figure-1b values as an [`Assignment`] over the canonical symbols,
+/// for instantiating symbolic results.
+pub fn paper_assignment() -> Assignment {
+    let p = Params::paper();
+    let mut a = Assignment::new();
+    a.set(symbols::enabling("t3"), p.timeout);
+    a.set(symbols::firing("t1"), p.sender_step);
+    a.set(symbols::firing("t2"), p.sender_step);
+    a.set(symbols::firing("t3"), p.sender_step);
+    a.set(symbols::firing("t4"), p.packet_time);
+    a.set(symbols::firing("t5"), p.packet_time);
+    a.set(symbols::firing("t6"), p.ack_handling);
+    a.set(symbols::firing("t7"), p.ack_handling);
+    a.set(symbols::firing("t8"), p.ack_time);
+    a.set(symbols::firing("t9"), p.ack_time);
+    // frequencies: 5% loss on both media, scaled as in the paper
+    a.set(symbols::frequency("t4"), Rational::new(19, 20));
+    a.set(symbols::frequency("t5"), Rational::new(1, 20));
+    a.set(symbols::frequency("t8"), Rational::new(19, 20));
+    a.set(symbols::frequency("t9"), Rational::new(1, 20));
+    a
+}
+
+#[allow(clippy::large_enum_variant)] // short-lived builder input
+enum Spec {
+    Numeric(Params),
+    Symbolic,
+}
+
+fn build(spec: Spec) -> SimpleProtocol {
+    let mut b = NetBuilder::new("simple-protocol");
+    // Places, numbered as in the paper's Figure 4b marking columns.
+    let p1 = b.place("sender_ready", 1);
+    let p2 = b.place("packet_in_medium", 0);
+    let p3 = b.place("packet_delivered", 0);
+    let p4 = b.place("awaiting_ack", 0);
+    let p5 = b.place("ack_accepted", 0);
+    let p6 = b.place("ack_delivered", 0);
+    let p7 = b.place("ack_in_medium", 0);
+    let p8 = b.place("receiver_ready", 1);
+
+    let (t1, t2, t3, t4, t5, t6, t7, t8, t9);
+    match spec {
+        Spec::Numeric(params) => {
+            t1 = b.transition("t1").input(p5).output(p1).firing(params.sender_step).add();
+            t2 = b.transition("t2").input(p1).output(p2).output(p4).firing(params.sender_step).add();
+            t3 = b
+                .transition("t3")
+                .input(p4)
+                .output(p1)
+                .enabling(params.timeout)
+                .firing(params.sender_step)
+                .weight(Rational::ZERO)
+                .add();
+            t4 = b
+                .transition("t4")
+                .input(p2)
+                .output(p3)
+                .firing(params.packet_time)
+                .weight(Rational::ONE - params.packet_loss)
+                .add();
+            t5 = b
+                .transition("t5")
+                .input(p2)
+                .firing(params.packet_time)
+                .weight(params.packet_loss)
+                .add();
+            t6 = b
+                .transition("t6")
+                .input(p3)
+                .input(p8)
+                .output(p7)
+                .output(p8)
+                .firing(params.ack_handling)
+                .add();
+            t7 = b
+                .transition("t7")
+                .input(p4)
+                .input(p6)
+                .output(p5)
+                .firing(params.ack_handling)
+                .add();
+            t8 = b
+                .transition("t8")
+                .input(p7)
+                .output(p6)
+                .firing(params.ack_time)
+                .weight(Rational::ONE - params.ack_loss)
+                .add();
+            t9 = b
+                .transition("t9")
+                .input(p7)
+                .firing(params.ack_time)
+                .weight(params.ack_loss)
+                .add();
+        }
+        Spec::Symbolic => {
+            t1 = b.transition("t1").input(p5).output(p1).firing_unknown().add();
+            t2 = b.transition("t2").input(p1).output(p2).output(p4).firing_unknown().add();
+            t3 = b
+                .transition("t3")
+                .input(p4)
+                .output(p1)
+                .enabling_unknown()
+                .firing_unknown()
+                .weight(Rational::ZERO)
+                .add();
+            t4 = b.transition("t4").input(p2).output(p3).firing_unknown().weight_unknown().add();
+            t5 = b.transition("t5").input(p2).firing_unknown().weight_unknown().add();
+            t6 = b
+                .transition("t6")
+                .input(p3)
+                .input(p8)
+                .output(p7)
+                .output(p8)
+                .firing_unknown()
+                .add();
+            t7 = b.transition("t7").input(p4).input(p6).output(p5).firing_unknown().add();
+            t8 = b.transition("t8").input(p7).output(p6).firing_unknown().weight_unknown().add();
+            t9 = b.transition("t9").input(p7).firing_unknown().weight_unknown().add();
+        }
+    }
+    let net = b.build().expect("simple protocol net is structurally valid");
+    SimpleProtocol {
+        net,
+        t: [t1, t2, t3, t4, t5, t6, t7, t8, t9],
+        p: [p1, p2, p3, p4, p5, p6, p7, p8],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_net_structure() {
+        let sp = paper();
+        assert_eq!(sp.net.num_places(), 8);
+        assert_eq!(sp.net.num_transitions(), 9);
+        // three non-trivial conflict sets, as in the paper
+        let stats = sp.net.stats();
+        assert_eq!(stats.nontrivial_conflict_sets, 3);
+        assert_eq!(stats.conflict_sets, 6);
+        // t4/t5 conflict; t3/t7 conflict; t8/t9 conflict
+        assert_eq!(sp.net.conflict_set_of(sp.t[3]), sp.net.conflict_set_of(sp.t[4]));
+        assert_eq!(sp.net.conflict_set_of(sp.t[2]), sp.net.conflict_set_of(sp.t[6]));
+        assert_eq!(sp.net.conflict_set_of(sp.t[7]), sp.net.conflict_set_of(sp.t[8]));
+        assert!(sp.net.is_fully_timed());
+    }
+
+    #[test]
+    fn paper_params_satisfy_constraint_one() {
+        let p = Params::paper();
+        assert!(p.satisfies_timeout_constraint());
+        // 1000 > 106.7 + 13.5 + 106.7 = 226.9
+        assert_eq!(
+            p.packet_time + p.ack_handling + p.ack_time,
+            Rational::new(2269, 10)
+        );
+    }
+
+    #[test]
+    fn symbolic_net_and_constraints() {
+        let (sp, cs) = symbolic();
+        assert!(!sp.net.is_fully_timed());
+        // constraint (1) present and satisfied by the paper values
+        let a = paper_assignment();
+        assert_eq!(cs.check(&a), Some(true));
+        // violating the timeout constraint is detected
+        let mut bad = paper_assignment();
+        bad.set(symbols::enabling("t3"), Rational::from_int(100));
+        assert_eq!(cs.check(&bad), Some(false));
+    }
+
+    #[test]
+    fn initial_marking() {
+        let sp = paper();
+        let m = sp.net.initial_marking();
+        assert_eq!(m.tokens(sp.p[0]), 1, "sender ready");
+        assert_eq!(m.tokens(sp.p[7]), 1, "receiver ready");
+        assert_eq!(m.total_tokens(), 2);
+    }
+}

@@ -1,0 +1,50 @@
+//! Error types for exact arithmetic.
+
+use std::fmt;
+
+/// An arithmetic operation could not be performed exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArithmeticError {
+    /// An intermediate value exceeded the `i128` range.
+    Overflow,
+    /// Division by zero (or reciprocal of zero).
+    DivisionByZero,
+}
+
+impl fmt::Display for ArithmeticError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArithmeticError::Overflow => write!(f, "arithmetic overflow in exact rational computation"),
+            ArithmeticError::DivisionByZero => write!(f, "division by zero"),
+        }
+    }
+}
+
+impl std::error::Error for ArithmeticError {}
+
+/// A string could not be parsed as a [`crate::Rational`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseRationalError {
+    pub(crate) input: String,
+    pub(crate) reason: &'static str,
+}
+
+impl ParseRationalError {
+    /// The offending input string.
+    pub fn input(&self) -> &str {
+        &self.input
+    }
+
+    /// Human-readable reason the parse failed.
+    pub fn reason(&self) -> &str {
+        self.reason
+    }
+}
+
+impl fmt::Display for ParseRationalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cannot parse {:?} as a rational: {}", self.input, self.reason)
+    }
+}
+
+impl std::error::Error for ParseRationalError {}

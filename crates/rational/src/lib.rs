@@ -1,0 +1,85 @@
+//! Exact rational arithmetic for timed Petri net analysis.
+//!
+//! The analysis in Razouk's paper (SIGCOMM 1984) manipulates *exact* time
+//! delays such as `106.7` ms and *exact* branching probabilities such as
+//! `f4 / (f4 + f5)`. Floating point cannot represent these without drift,
+//! and drift breaks the reachability-graph construction (two states whose
+//! remaining-time vectors differ by an ulp would be treated as distinct).
+//! Every quantity in this workspace is therefore an exact [`Rational`].
+//!
+//! The type is a reduced fraction over checked `i128`. All arithmetic is
+//! overflow-checked: the inherent methods return [`Result`] and the
+//! operator impls panic on overflow (which, with 128-bit intermediaries
+//! and the magnitudes that occur in protocol models, does not happen in
+//! practice — the checked API exists for the solver layers that iterate).
+
+mod error;
+mod parse;
+mod rational;
+
+pub use error::{ArithmeticError, ParseRationalError};
+pub use rational::Rational;
+
+/// Greatest common divisor of two `i128`s (always non-negative).
+///
+/// `gcd(0, 0) == 0` by convention.
+pub fn gcd(a: i128, b: i128) -> i128 {
+    // `unsigned_abs` avoids overflow on `i128::MIN`.
+    let mut ua = a.unsigned_abs();
+    let mut ub = b.unsigned_abs();
+    while ub != 0 {
+        let r = ua % ub;
+        ua = ub;
+        ub = r;
+    }
+    // The gcd of two i128s fits in i128 unless both inputs were i128::MIN
+    // (gcd 2^127). We saturate instead of panicking: callers normalise
+    // immediately after and surface an ArithmeticError there.
+    if ua > i128::MAX as u128 {
+        i128::MAX
+    } else {
+        ua as i128
+    }
+}
+
+/// Least common multiple, checked.
+pub fn lcm(a: i128, b: i128) -> Option<i128> {
+    if a == 0 || b == 0 {
+        return Some(0);
+    }
+    let g = gcd(a, b);
+    (a / g).checked_mul(b)?.checked_abs()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gcd_basics() {
+        assert_eq!(gcd(0, 0), 0);
+        assert_eq!(gcd(0, 7), 7);
+        assert_eq!(gcd(7, 0), 7);
+        assert_eq!(gcd(12, 18), 6);
+        assert_eq!(gcd(-12, 18), 6);
+        assert_eq!(gcd(12, -18), 6);
+        assert_eq!(gcd(-12, -18), 6);
+        assert_eq!(gcd(1, 1), 1);
+        assert_eq!(gcd(17, 13), 1);
+    }
+
+    #[test]
+    fn gcd_extreme() {
+        assert_eq!(gcd(i128::MIN, i128::MIN), i128::MAX); // saturated
+        assert_eq!(gcd(i128::MIN, 1), 1);
+        assert_eq!(gcd(i128::MAX, i128::MAX), i128::MAX);
+    }
+
+    #[test]
+    fn lcm_basics() {
+        assert_eq!(lcm(4, 6), Some(12));
+        assert_eq!(lcm(0, 5), Some(0));
+        assert_eq!(lcm(-4, 6), Some(12));
+        assert_eq!(lcm(i128::MAX, i128::MAX - 1), None); // overflow
+    }
+}

@@ -1,0 +1,126 @@
+//! Parsing of rational literals.
+//!
+//! Accepted forms (optionally signed, optional surrounding whitespace):
+//!
+//! * integers: `"42"`, `"-7"`
+//! * fractions: `"1067/10"`, `"-3/4"`
+//! * decimals: `"106.7"`, `"-0.05"`, `".5"`
+//!
+//! These are exactly the literal forms that appear in `.tpn` net files
+//! and in the paper's tables.
+
+use crate::error::ParseRationalError;
+use crate::Rational;
+
+fn err(input: &str, reason: &'static str) -> ParseRationalError {
+    ParseRationalError { input: input.to_string(), reason }
+}
+
+/// Parse a rational literal. See the module docs for the grammar.
+pub fn parse_rational(input: &str) -> Result<Rational, ParseRationalError> {
+    let s = input.trim();
+    if s.is_empty() {
+        return Err(err(input, "empty string"));
+    }
+    if let Some((n, d)) = s.split_once('/') {
+        let num: i128 = n
+            .trim()
+            .parse()
+            .map_err(|_| err(input, "invalid numerator"))?;
+        let den: i128 = d
+            .trim()
+            .parse()
+            .map_err(|_| err(input, "invalid denominator"))?;
+        return Rational::checked_new(num, den).map_err(|_| err(input, "zero denominator"));
+    }
+    if let Some((ip, fp)) = s.split_once('.') {
+        let (neg, ip) = match ip.strip_prefix('-') {
+            Some(rest) => (true, rest),
+            None => (false, ip.strip_prefix('+').unwrap_or(ip)),
+        };
+        if fp.is_empty() {
+            return Err(err(input, "missing fractional digits"));
+        }
+        if !fp.bytes().all(|b| b.is_ascii_digit()) {
+            return Err(err(input, "invalid fractional digits"));
+        }
+        if !ip.is_empty() && !ip.bytes().all(|b| b.is_ascii_digit()) {
+            return Err(err(input, "invalid integer digits"));
+        }
+        if fp.len() > 30 {
+            return Err(err(input, "too many fractional digits"));
+        }
+        let int_part: i128 = if ip.is_empty() {
+            0
+        } else {
+            ip.parse().map_err(|_| err(input, "integer part out of range"))?
+        };
+        let frac_part: i128 = fp.parse().map_err(|_| err(input, "fractional part out of range"))?;
+        let mut scale: i128 = 1;
+        for _ in 0..fp.len() {
+            scale = scale
+                .checked_mul(10)
+                .ok_or_else(|| err(input, "fractional part out of range"))?;
+        }
+        let num = int_part
+            .checked_mul(scale)
+            .and_then(|v| v.checked_add(frac_part))
+            .ok_or_else(|| err(input, "value out of range"))?;
+        let signed = if neg { -num } else { num };
+        return Rational::checked_new(signed, scale).map_err(|_| err(input, "value out of range"));
+    }
+    let n: i128 = s.parse().map_err(|_| err(input, "invalid integer"))?;
+    Ok(Rational::from_int(n))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Rational {
+        parse_rational(s).unwrap()
+    }
+
+    #[test]
+    fn integers() {
+        assert_eq!(p("42"), Rational::from_int(42));
+        assert_eq!(p("-7"), Rational::from_int(-7));
+        assert_eq!(p("  13 "), Rational::from_int(13));
+        assert_eq!(p("0"), Rational::ZERO);
+    }
+
+    #[test]
+    fn fractions() {
+        assert_eq!(p("1067/10"), Rational::new(1067, 10));
+        assert_eq!(p("-3/4"), Rational::new(-3, 4));
+        assert_eq!(p("3/-4"), Rational::new(-3, 4));
+        assert_eq!(p("6/4"), Rational::new(3, 2));
+        assert_eq!(p(" 1 / 2 "), Rational::new(1, 2));
+    }
+
+    #[test]
+    fn decimals() {
+        assert_eq!(p("106.7"), Rational::new(1067, 10));
+        assert_eq!(p("-0.05"), Rational::new(-1, 20));
+        assert_eq!(p("0.95"), Rational::new(19, 20));
+        assert_eq!(p(".5"), Rational::new(1, 2));
+        assert_eq!(p("-.5"), Rational::new(-1, 2));
+        assert_eq!(p("13.5"), Rational::new(27, 2));
+        assert_eq!(p("1000.0"), Rational::from_int(1000));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        for bad in ["", "  ", "abc", "1.2.3", "1/0", "1/", "/2", "1.", "1e3", "--2", "1.x"] {
+            assert!(parse_rational(bad).is_err(), "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn error_carries_context() {
+        let e = parse_rational("1/0").unwrap_err();
+        assert_eq!(e.input(), "1/0");
+        assert!(e.to_string().contains("1/0"));
+        assert!(!e.reason().is_empty());
+    }
+}

@@ -1,0 +1,102 @@
+//! Property-based tests: `Rational` satisfies the field axioms (on the
+//! subdomain where checked arithmetic succeeds) and parsing round-trips.
+
+use proptest::prelude::*;
+use tpn_rational::{gcd, Rational};
+
+/// Small-component rationals so products of several of them stay well
+/// within `i128` and the checked ops never fail.
+fn small_rational() -> impl Strategy<Value = Rational> {
+    (-1_000_000i128..=1_000_000, 1i128..=1_000_000).prop_map(|(n, d)| Rational::new(n, d))
+}
+
+proptest! {
+    #[test]
+    fn add_commutative(a in small_rational(), b in small_rational()) {
+        prop_assert_eq!(a + b, b + a);
+    }
+
+    #[test]
+    fn add_associative(a in small_rational(), b in small_rational(), c in small_rational()) {
+        prop_assert_eq!((a + b) + c, a + (b + c));
+    }
+
+    #[test]
+    fn mul_commutative(a in small_rational(), b in small_rational()) {
+        prop_assert_eq!(a * b, b * a);
+    }
+
+    #[test]
+    fn mul_associative(a in small_rational(), b in small_rational(), c in small_rational()) {
+        prop_assert_eq!((a * b) * c, a * (b * c));
+    }
+
+    #[test]
+    fn distributive(a in small_rational(), b in small_rational(), c in small_rational()) {
+        prop_assert_eq!(a * (b + c), a * b + a * c);
+    }
+
+    #[test]
+    fn additive_inverse(a in small_rational()) {
+        prop_assert_eq!(a + (-a), Rational::ZERO);
+    }
+
+    #[test]
+    fn multiplicative_inverse(a in small_rational()) {
+        prop_assume!(!a.is_zero());
+        prop_assert_eq!(a * a.recip(), Rational::ONE);
+    }
+
+    #[test]
+    fn sub_is_add_neg(a in small_rational(), b in small_rational()) {
+        prop_assert_eq!(a - b, a + (-b));
+    }
+
+    #[test]
+    fn normalised_invariants(a in small_rational()) {
+        prop_assert!(a.denom() > 0);
+        prop_assert_eq!(gcd(a.numer(), a.denom()), 1);
+    }
+
+    #[test]
+    fn ordering_consistent_with_f64(a in small_rational(), b in small_rational()) {
+        // f64 has 53 bits of mantissa; our components are ≤ 2^20, so the
+        // float comparison is exact unless the values are equal.
+        if a != b {
+            prop_assert_eq!(a < b, a.to_f64() < b.to_f64());
+        }
+    }
+
+    #[test]
+    fn display_parse_roundtrip(a in small_rational()) {
+        let s = a.to_string();
+        let back: Rational = s.parse().unwrap();
+        prop_assert_eq!(a, back);
+    }
+
+    #[test]
+    fn floor_ceil_bracket(a in small_rational()) {
+        let f = Rational::from_int(a.floor());
+        let c = Rational::from_int(a.ceil());
+        prop_assert!(f <= a && a <= c);
+        prop_assert!(c - f <= Rational::ONE);
+    }
+
+    #[test]
+    fn gcd_divides(a in -10_000i128..10_000, b in -10_000i128..10_000) {
+        let g = gcd(a, b);
+        if g != 0 {
+            prop_assert_eq!(a % g, 0);
+            prop_assert_eq!(b % g, 0);
+        } else {
+            prop_assert_eq!((a, b), (0, 0));
+        }
+    }
+
+    #[test]
+    fn decimal_string_close(a in small_rational()) {
+        let s = a.to_decimal_string(6);
+        let parsed: f64 = s.parse().unwrap();
+        prop_assert!((parsed - a.to_f64()).abs() < 1e-5);
+    }
+}

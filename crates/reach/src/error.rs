@@ -1,0 +1,88 @@
+//! Errors from reachability-graph construction.
+
+use std::fmt;
+
+use tpn_symbolic::ConstraintError;
+
+/// An error during timed-reachability-graph construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReachError {
+    /// The numeric domain was given a net with unknown times or
+    /// frequencies (Section-2 analysis needs everything a priori).
+    UnknownAttribute {
+        /// The offending transition's name.
+        transition: String,
+        /// `"enabling time"`, `"firing time"` or `"frequency"`.
+        which: &'static str,
+    },
+    /// The timing constraints cannot order two candidate delays; the
+    /// paper's "insufficient timing constraints" condition. Add a
+    /// constraint relating the two expressions and rebuild.
+    AmbiguousComparison {
+        /// Rendered form of one candidate delay expression.
+        left: String,
+        /// Rendered form of the other.
+        right: String,
+        /// Index of the state (in discovery order) where the ambiguity
+        /// arose.
+        state: usize,
+    },
+    /// A firable transition was already firing, or firing a selector
+    /// left another member of the same conflict set firable at the same
+    /// instant — the net violates the paper's restriction that firing a
+    /// transition disables its whole conflict set.
+    MultipleFiring {
+        /// The offending transition's name.
+        transition: String,
+        /// Index of the state where the violation was detected.
+        state: usize,
+    },
+    /// Exploration exceeded the configured state bound (unbounded or
+    /// enormous net).
+    StateLimitExceeded {
+        /// The configured bound.
+        limit: usize,
+    },
+    /// The constraint solver failed (complexity cap or internal error).
+    Constraint(ConstraintError),
+    /// All firable members of a conflict set have frequency zero *and*
+    /// the domain cannot assign them probabilities... this variant is
+    /// reserved; the implemented semantics assigns uniform probabilities
+    /// instead. Kept for API stability of exhaustive matches.
+    #[doc(hidden)]
+    Unreachable,
+}
+
+impl fmt::Display for ReachError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReachError::UnknownAttribute { transition, which } => write!(
+                f,
+                "numeric analysis requires a known {which} for transition {transition:?}"
+            ),
+            ReachError::AmbiguousComparison { left, right, state } => write!(
+                f,
+                "timing constraints cannot order ({left}) against ({right}) in state {state}; \
+                 add a constraint relating them"
+            ),
+            ReachError::MultipleFiring { transition, state } => write!(
+                f,
+                "transition {transition:?} would fire more than once at the same instant \
+                 in state {state} (conflict-set restriction violated)"
+            ),
+            ReachError::StateLimitExceeded { limit } => {
+                write!(f, "reachability exploration exceeded {limit} states")
+            }
+            ReachError::Constraint(e) => write!(f, "constraint solver: {e}"),
+            ReachError::Unreachable => write!(f, "internal: unreachable error variant"),
+        }
+    }
+}
+
+impl std::error::Error for ReachError {}
+
+impl From<ConstraintError> for ReachError {
+    fn from(e: ConstraintError) -> ReachError {
+        ReachError::Constraint(e)
+    }
+}

@@ -1,0 +1,716 @@
+//! Construction and queries of timed reachability graphs — the paper's
+//! Figure-3 procedure, domain-generic.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::fmt::Write as _;
+
+use tpn_net::{ConflictSetId, TimedPetriNet, TransId};
+
+use crate::{AnalysisDomain, ReachError, TimedState};
+
+/// Index of a state within its graph (discovery order; the initial state
+/// is always `StateId(0)`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct StateId(pub(crate) u32);
+
+impl StateId {
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for StateId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// What kind of step an edge represents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EdgeKind {
+    /// A zero-delay step in which a selector of firable transitions
+    /// begins firing (the paper's "the act of beginning to fire is
+    /// instantaneous").
+    Fire,
+    /// A time-elapse step: the minimum non-zero RET/RFT passes.
+    Elapse,
+}
+
+/// An edge of the timed reachability graph.
+#[derive(Debug, Clone)]
+pub struct Edge<D: AnalysisDomain> {
+    /// Source state.
+    pub from: StateId,
+    /// Target state.
+    pub to: StateId,
+    /// Step kind.
+    pub kind: EdgeKind,
+    /// Time elapsing along the edge (zero for [`EdgeKind::Fire`]).
+    pub delay: D::Time,
+    /// Branching probability (one for [`EdgeKind::Elapse`]).
+    pub prob: D::Prob,
+    /// Transitions that *begin* firing on this edge (the selector).
+    pub fired: Vec<TransId>,
+    /// Transitions that *finish* firing on this edge (elapse completions
+    /// plus instantaneous zero-firing-time transitions).
+    pub completed: Vec<TransId>,
+}
+
+/// Audit record of one minimum-delay decision taken during construction,
+/// the information the paper tabulates in Figure 7 ("timing constraints
+/// used in reachability graph").
+#[derive(Debug, Clone)]
+pub struct MinResolution<T> {
+    /// The state (by index) where the decision was taken.
+    pub state: StateId,
+    /// The competing candidate delays: `(transition, is_rft, remaining)`.
+    /// `is_rft == false` means the entry was a remaining *enabling* time.
+    pub candidates: Vec<(TransId, bool, T)>,
+    /// Index into `candidates` of the chosen minimum.
+    pub chosen: usize,
+}
+
+/// Options for graph construction.
+#[derive(Debug, Clone)]
+pub struct TrgOptions {
+    /// Maximum number of states to explore before failing with
+    /// [`ReachError::StateLimitExceeded`].
+    pub max_states: usize,
+}
+
+impl Default for TrgOptions {
+    fn default() -> Self {
+        TrgOptions { max_states: 100_000 }
+    }
+}
+
+/// A fully constructed timed reachability graph.
+#[derive(Debug, Clone)]
+pub struct TimedReachabilityGraph<D: AnalysisDomain> {
+    states: Vec<TimedState<D::Time>>,
+    edges: Vec<Vec<Edge<D>>>,
+    min_resolutions: Vec<MinResolution<D::Time>>,
+}
+
+impl<D: AnalysisDomain> TimedReachabilityGraph<D> {
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Total number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.iter().map(Vec::len).sum()
+    }
+
+    /// The initial state's id.
+    pub fn initial(&self) -> StateId {
+        StateId(0)
+    }
+
+    /// Iterate over all state ids in discovery order.
+    pub fn state_ids(&self) -> impl Iterator<Item = StateId> {
+        (0..self.states.len() as u32).map(StateId)
+    }
+
+    /// A state by id.
+    pub fn state(&self, id: StateId) -> &TimedState<D::Time> {
+        &self.states[id.index()]
+    }
+
+    /// Outgoing edges of a state.
+    pub fn edges_from(&self, id: StateId) -> &[Edge<D>] {
+        &self.edges[id.index()]
+    }
+
+    /// Iterate over every edge.
+    pub fn all_edges(&self) -> impl Iterator<Item = &Edge<D>> {
+        self.edges.iter().flatten()
+    }
+
+    /// States with more than one successor — the paper's *decision
+    /// nodes*.
+    pub fn decision_states(&self) -> Vec<StateId> {
+        self.state_ids()
+            .filter(|s| self.edges_from(*s).len() > 1)
+            .collect()
+    }
+
+    /// States with no successors (dead states).
+    pub fn terminal_states(&self) -> Vec<StateId> {
+        self.state_ids()
+            .filter(|s| self.edges_from(*s).is_empty())
+            .collect()
+    }
+
+    /// The minimum-delay decisions taken during construction (Figure-7
+    /// material). Only states with *competing* candidates are recorded.
+    pub fn min_resolutions(&self) -> &[MinResolution<D::Time>] {
+        &self.min_resolutions
+    }
+
+    /// Render the state table in the style of the paper's Figure 4b/6b.
+    pub fn describe_states(&self, net: &TimedPetriNet) -> String {
+        let mut out = String::new();
+        for id in self.state_ids() {
+            let _ = writeln!(
+                out,
+                "{:>4}  {}",
+                id.to_string(),
+                self.state(id)
+                    .describe(|t| net.transition(t).name().to_string())
+            );
+        }
+        out
+    }
+
+    /// Graphviz DOT rendering of the graph (states as nodes, edges
+    /// labelled with probability and delay).
+    pub fn to_dot(&self, net: &TimedPetriNet) -> String {
+        let mut out = String::from("digraph trg {\n  rankdir=LR;\n");
+        let decisions: std::collections::HashSet<usize> =
+            self.decision_states().iter().map(|s| s.index()).collect();
+        for id in self.state_ids() {
+            let shape = if decisions.contains(&id.index()) {
+                "doublecircle"
+            } else {
+                "circle"
+            };
+            let _ = writeln!(out, "  {id} [shape={shape}, label=\"{id}\"];");
+        }
+        for e in self.all_edges() {
+            let mut label = String::new();
+            match e.kind {
+                EdgeKind::Fire => {
+                    let names: Vec<&str> = e
+                        .fired
+                        .iter()
+                        .map(|t| net.transition(*t).name())
+                        .collect();
+                    let _ = write!(label, "fire {} p={}", names.join("+"), e.prob);
+                }
+                EdgeKind::Elapse => {
+                    let _ = write!(label, "τ={}", e.delay);
+                }
+            }
+            let _ = writeln!(out, "  {} -> {} [label=\"{}\"];", e.from, e.to, label);
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// Build the timed reachability graph of `net` under `domain`, starting
+/// from the net's initial marking — the recursive successor calculation
+/// of the paper's Figure 3, breadth-first with state deduplication.
+pub fn build_trg<D: AnalysisDomain>(
+    net: &TimedPetriNet,
+    domain: &D,
+    opts: &TrgOptions,
+) -> Result<TimedReachabilityGraph<D>, ReachError> {
+    let nt = net.num_transitions();
+    let mut initial = TimedState {
+        marking: net.initial_marking().clone(),
+        ret: vec![None; nt],
+        rft: vec![None; nt],
+    };
+    refresh_enablement(net, domain, &mut initial)?;
+
+    let mut states: Vec<TimedState<D::Time>> = vec![initial.clone()];
+    let mut edges: Vec<Vec<Edge<D>>> = vec![Vec::new()];
+    let mut index: HashMap<TimedState<D::Time>, StateId> = HashMap::new();
+    index.insert(initial, StateId(0));
+    let mut min_resolutions = Vec::new();
+    let mut queue: VecDeque<StateId> = VecDeque::from([StateId(0)]);
+
+    while let Some(sid) = queue.pop_front() {
+        let state = states[sid.index()].clone();
+        let successors = successors_of(net, domain, &state, sid, &mut min_resolutions)?;
+        for (mut edge, succ) in successors {
+            let to = match index.get(&succ) {
+                Some(&id) => id,
+                None => {
+                    if states.len() >= opts.max_states {
+                        return Err(ReachError::StateLimitExceeded { limit: opts.max_states });
+                    }
+                    let id = StateId(states.len() as u32);
+                    states.push(succ.clone());
+                    edges.push(Vec::new());
+                    index.insert(succ, id);
+                    queue.push_back(id);
+                    id
+                }
+            };
+            edge.from = sid;
+            edge.to = to;
+            edges[sid.index()].push(edge);
+        }
+    }
+
+    Ok(TimedReachabilityGraph { states, edges, min_resolutions })
+}
+
+/// One successor candidate: the edge label (with placeholder endpoints)
+/// and the raw successor state.
+type Succ<D> = (Edge<D>, TimedState<<D as AnalysisDomain>::Time>);
+
+fn successors_of<D: AnalysisDomain>(
+    net: &TimedPetriNet,
+    domain: &D,
+    state: &TimedState<D::Time>,
+    sid: StateId,
+    min_resolutions: &mut Vec<MinResolution<D::Time>>,
+) -> Result<Vec<Succ<D>>, ReachError> {
+    // Firable = enabled with elapsed RET.
+    let firable: Vec<TransId> = state
+        .ret
+        .iter()
+        .enumerate()
+        .filter_map(|(i, v)| match v {
+            Some(x) if domain.is_zero(x) => Some(TransId::from_index(i)),
+            _ => None,
+        })
+        .collect();
+
+    if !firable.is_empty() {
+        fire_successors(net, domain, state, sid, &firable)
+    } else {
+        Ok(elapse_successor(net, domain, state, sid, min_resolutions)?
+            .into_iter()
+            .collect())
+    }
+}
+
+/// The if-branch of Figure 3: one zero-delay successor per selector.
+fn fire_successors<D: AnalysisDomain>(
+    net: &TimedPetriNet,
+    domain: &D,
+    state: &TimedState<D::Time>,
+    sid: StateId,
+    firable: &[TransId],
+) -> Result<Vec<Succ<D>>, ReachError> {
+    // A firable transition that is already firing would constitute a
+    // second simultaneous firing: the paper's self-conflict restriction.
+    for &t in firable {
+        if state.rft[t.index()].is_some() {
+            return Err(ReachError::MultipleFiring {
+                transition: net.transition(t).name().to_string(),
+                state: sid.index(),
+            });
+        }
+    }
+    // Partition the firable set into firable conflict sets.
+    let mut by_set: BTreeMap<ConflictSetId, Vec<TransId>> = BTreeMap::new();
+    for &t in firable {
+        by_set.entry(net.conflict_set_of(t)).or_default().push(t);
+    }
+    // Per-set branching probabilities.
+    let mut sets: Vec<(Vec<TransId>, Vec<D::Prob>)> = Vec::with_capacity(by_set.len());
+    for members in by_set.into_values() {
+        let probs = domain.probabilities(net, &members)?;
+        sets.push((members, probs));
+    }
+    // "Let the set of selectors Sel = cross product of firable conflict
+    // sets" — enumerate with an odometer.
+    let mut out = Vec::new();
+    let mut choice = vec![0usize; sets.len()];
+    loop {
+        // Selector probability and member list.
+        let mut prob = domain.prob_one();
+        let mut selector = Vec::with_capacity(sets.len());
+        for (si, &ci) in choice.iter().enumerate() {
+            prob = domain.prob_mul(&prob, &sets[si].1[ci]);
+            selector.push(sets[si].0[ci]);
+        }
+        if !domain.prob_is_zero(&prob) {
+            out.push(apply_selector(net, domain, state, sid, &selector, prob)?);
+        }
+        // Advance the odometer.
+        let mut pos = 0usize;
+        loop {
+            if pos == choice.len() {
+                return Ok(out);
+            }
+            choice[pos] += 1;
+            if choice[pos] < sets[pos].0.len() {
+                break;
+            }
+            choice[pos] = 0;
+            pos += 1;
+        }
+    }
+}
+
+fn apply_selector<D: AnalysisDomain>(
+    net: &TimedPetriNet,
+    domain: &D,
+    state: &TimedState<D::Time>,
+    sid: StateId,
+    selector: &[TransId],
+    prob: D::Prob,
+) -> Result<Succ<D>, ReachError> {
+    let mut succ = state.clone();
+    // "Remove tokens from input places of transitions in s."
+    for &t in selector {
+        succ.marking.subtract(net.transition(t).input());
+    }
+    // The paper's conflict-set restriction: firing must disable every
+    // other firable member of each chosen set. If any firable member of
+    // a chosen set (including the fired one) is *still* enabled, a
+    // second same-instant firing would be possible.
+    for &t in selector {
+        let cs = net.conflict_set(net.conflict_set_of(t));
+        for &u in cs.members() {
+            let was_firable = matches!(&state.ret[u.index()], Some(x) if domain.is_zero(x));
+            if was_firable && succ.marking.covers(net.transition(u).input()) {
+                return Err(ReachError::MultipleFiring {
+                    transition: net.transition(u).name().to_string(),
+                    state: sid.index(),
+                });
+            }
+        }
+    }
+    // "Set the RFT of each transition in s to F(t)." Transitions with a
+    // provably zero firing time complete instantaneously (documented
+    // extension; the paper's nets have strictly positive firing times).
+    let mut completed = Vec::new();
+    for &t in selector {
+        let ft = domain.firing_time(net, t)?;
+        if domain.is_zero(&ft) {
+            succ.marking.add(net.transition(t).output());
+            completed.push(t);
+        } else {
+            succ.rft[t.index()] = Some(ft);
+        }
+    }
+    refresh_enablement(net, domain, &mut succ)?;
+    let edge = Edge {
+        from: sid,
+        to: sid, // patched by the caller
+        kind: EdgeKind::Fire,
+        delay: domain.zero(),
+        prob,
+        fired: selector.to_vec(),
+        completed,
+    };
+    Ok((edge, succ))
+}
+
+/// The else-branch of Figure 3: let the minimum non-zero RET/RFT elapse.
+/// Returns `None` for terminal states.
+fn elapse_successor<D: AnalysisDomain>(
+    net: &TimedPetriNet,
+    domain: &D,
+    state: &TimedState<D::Time>,
+    sid: StateId,
+    min_resolutions: &mut Vec<MinResolution<D::Time>>,
+) -> Result<Option<Succ<D>>, ReachError> {
+    // Candidates: every tracked RET/RFT (all strictly positive here — a
+    // zero RET would have made the state a decision state, and zero RFTs
+    // are completed eagerly).
+    let mut candidates: Vec<(TransId, bool, D::Time)> = Vec::new();
+    for (i, v) in state.ret.iter().enumerate() {
+        if let Some(x) = v {
+            candidates.push((TransId::from_index(i), false, x.clone()));
+        }
+    }
+    for (i, v) in state.rft.iter().enumerate() {
+        if let Some(x) = v {
+            candidates.push((TransId::from_index(i), true, x.clone()));
+        }
+    }
+    if candidates.is_empty() {
+        return Ok(None); // terminal state
+    }
+    let exprs: Vec<D::Time> = candidates.iter().map(|(_, _, x)| x.clone()).collect();
+    let chosen = domain.min_index(&exprs, sid.index())?;
+    let tmin = exprs[chosen].clone();
+    if candidates.len() > 1 {
+        min_resolutions.push(MinResolution {
+            state: sid,
+            candidates: candidates.clone(),
+            chosen,
+        });
+    }
+    // "Generate S' by subtracting Tmin from all non-zero RET and RFT."
+    let mut succ = state.clone();
+    let mut completed = Vec::new();
+    for (t, is_rft, x) in &candidates {
+        let slot = if *is_rft {
+            &mut succ.rft[t.index()]
+        } else {
+            &mut succ.ret[t.index()]
+        };
+        if domain.time_eq(x, &tmin, sid.index())? {
+            if *is_rft {
+                // "For all transitions whose RFT reaches 0, add tokens to
+                // output places" — applied below so newly enabled
+                // transitions see the complete marking.
+                *slot = None;
+                completed.push(*t);
+            } else {
+                *slot = Some(domain.zero()); // became firable
+            }
+        } else {
+            *slot = Some(domain.sub(x, &tmin));
+        }
+    }
+    for &t in &completed {
+        succ.marking.add(net.transition(t).output());
+    }
+    refresh_enablement(net, domain, &mut succ)?;
+    let edge = Edge {
+        from: sid,
+        to: sid, // patched by the caller
+        kind: EdgeKind::Elapse,
+        delay: tmin,
+        prob: domain.prob_one(),
+        fired: Vec::new(),
+        completed,
+    };
+    Ok(Some((edge, succ)))
+}
+
+/// Restore the RET invariant after a marking change: newly enabled
+/// transitions start their enabling clock at `E(t)`; disabled ones are
+/// cleared ("reset its RET to 0"); continuously enabled ones keep their
+/// remaining time.
+fn refresh_enablement<D: AnalysisDomain>(
+    net: &TimedPetriNet,
+    domain: &D,
+    state: &mut TimedState<D::Time>,
+) -> Result<(), ReachError> {
+    for t in net.transitions() {
+        let covered = state.marking.covers(net.transition(t).input());
+        let slot = &mut state.ret[t.index()];
+        match (covered, slot.is_some()) {
+            (true, false) => *slot = Some(domain.enabling_time(net, t)?),
+            (false, true) => *slot = None,
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NumericDomain;
+    use tpn_net::NetBuilder;
+    use tpn_rational::Rational;
+
+    fn r(n: i128) -> Rational {
+        Rational::from_int(n)
+    }
+
+    /// A 2-transition cycle: a → b → a, firing times 2 and 3.
+    fn cycle_net() -> TimedPetriNet {
+        let mut b = NetBuilder::new("cycle");
+        let pa = b.place("pa", 1);
+        let pb = b.place("pb", 0);
+        b.transition("go").input(pa).output(pb).firing_const(2).add();
+        b.transition("back").input(pb).output(pa).firing_const(3).add();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn cycle_graph_shape() {
+        let net = cycle_net();
+        let trg = build_trg(&net, &NumericDomain::new(), &TrgOptions::default()).unwrap();
+        // states: {pa ready} → {go firing} → {pb ready} → {back firing} → …
+        assert_eq!(trg.num_states(), 4);
+        assert_eq!(trg.num_edges(), 4);
+        assert!(trg.decision_states().is_empty());
+        assert!(trg.terminal_states().is_empty());
+        // alternating fire/elapse edges with the right delays
+        let kinds: Vec<(EdgeKind, Rational)> = {
+            let mut out = Vec::new();
+            let mut s = trg.initial();
+            for _ in 0..4 {
+                let e = &trg.edges_from(s)[0];
+                out.push((e.kind, e.delay));
+                s = e.to;
+            }
+            out
+        };
+        assert_eq!(
+            kinds,
+            vec![
+                (EdgeKind::Fire, r(0)),
+                (EdgeKind::Elapse, r(2)),
+                (EdgeKind::Fire, r(0)),
+                (EdgeKind::Elapse, r(3)),
+            ]
+        );
+    }
+
+    #[test]
+    fn conflict_probabilities_on_edges() {
+        let mut b = NetBuilder::new("coin");
+        let p = b.place("p", 1);
+        let heads = b.place("h", 0);
+        let tails = b.place("t", 0);
+        b.transition("heads").input(p).output(heads).firing_const(1).weight(Rational::new(19, 20)).add();
+        b.transition("tails").input(p).output(tails).firing_const(1).weight(Rational::new(1, 20)).add();
+        let net = b.build().unwrap();
+        let trg = build_trg(&net, &NumericDomain::new(), &TrgOptions::default()).unwrap();
+        assert_eq!(trg.decision_states(), vec![trg.initial()]);
+        let es = trg.edges_from(trg.initial());
+        assert_eq!(es.len(), 2);
+        let psum: Rational = es.iter().map(|e| e.prob).sum();
+        assert_eq!(psum, Rational::ONE);
+        // both outcomes end in distinct terminal states
+        assert_eq!(trg.terminal_states().len(), 2);
+    }
+
+    #[test]
+    fn priority_suppresses_zero_frequency_edge() {
+        let mut b = NetBuilder::new("prio");
+        let p = b.place("p", 1);
+        let win = b.place("win", 0);
+        let lose = b.place("lose", 0);
+        b.transition("preferred").input(p).output(win).firing_const(1).weight_const(1).add();
+        b.transition("fallback").input(p).output(lose).firing_const(1).weight_const(0).add();
+        let net = b.build().unwrap();
+        let trg = build_trg(&net, &NumericDomain::new(), &TrgOptions::default()).unwrap();
+        // only the preferred transition appears
+        let es = trg.edges_from(trg.initial());
+        assert_eq!(es.len(), 1);
+        assert_eq!(net.transition(es[0].fired[0]).name(), "preferred");
+        assert_eq!(es[0].prob, Rational::ONE);
+    }
+
+    #[test]
+    fn parallel_firings_cross_product() {
+        // Two independent tokens → two independent conflict sets firable
+        // at once → a single selector containing both (no interleaving
+        // states, matching the cross-product construction).
+        let mut b = NetBuilder::new("par");
+        let p1 = b.place("p1", 1);
+        let p2 = b.place("p2", 0);
+        let q1 = b.place("q1", 1);
+        let q2 = b.place("q2", 0);
+        b.transition("a").input(p1).output(p2).firing_const(2).add();
+        b.transition("z").input(q1).output(q2).firing_const(5).add();
+        let net = b.build().unwrap();
+        let trg = build_trg(&net, &NumericDomain::new(), &TrgOptions::default()).unwrap();
+        let es = trg.edges_from(trg.initial());
+        assert_eq!(es.len(), 1, "both start in one selector");
+        assert_eq!(es[0].fired.len(), 2);
+        // the elapse chain: 2 elapses (min 2, then 3)
+        let s1 = es[0].to;
+        let e1 = &trg.edges_from(s1)[0];
+        assert_eq!(e1.kind, EdgeKind::Elapse);
+        assert_eq!(e1.delay, r(2));
+        assert_eq!(e1.completed.len(), 1);
+        let e2 = &trg.edges_from(e1.to)[0];
+        assert_eq!(e2.delay, r(3));
+        // a multi-candidate minimum was recorded (Figure-7 material)
+        assert!(!trg.min_resolutions().is_empty());
+    }
+
+    #[test]
+    fn enabling_time_delays_firability() {
+        // timeout-style: enabling time 10, firing 1.
+        let mut b = NetBuilder::new("en");
+        let p = b.place("p", 1);
+        let q = b.place("q", 0);
+        b.transition("timeout").input(p).output(q).enabling_const(10).firing_const(1).add();
+        let net = b.build().unwrap();
+        let trg = build_trg(&net, &NumericDomain::new(), &TrgOptions::default()).unwrap();
+        // s0 --elapse 10--> s1 --fire--> s2 --elapse 1--> s3 (terminal)
+        let e0 = &trg.edges_from(trg.initial())[0];
+        assert_eq!(e0.kind, EdgeKind::Elapse);
+        assert_eq!(e0.delay, r(10));
+        let e1 = &trg.edges_from(e0.to)[0];
+        assert_eq!(e1.kind, EdgeKind::Fire);
+        let e2 = &trg.edges_from(e1.to)[0];
+        assert_eq!(e2.delay, r(1));
+        assert_eq!(trg.terminal_states().len(), 1);
+    }
+
+    #[test]
+    fn disabled_transition_resets_enabling_clock() {
+        // Two transitions conflict on p; "fast" fires at once and removes
+        // the token, so "slow" (enabling 10) must never fire even though
+        // it was enabled momentarily — and if the token returns, slow
+        // restarts from 10 (continuous-enabling rule).
+        let mut b = NetBuilder::new("reset");
+        let p = b.place("p", 1);
+        let q = b.place("q", 0);
+        b.transition("fast").input(p).output(q).firing_const(3).weight_const(1).add();
+        b.transition("slow").input(p).output(q).enabling_const(10).firing_const(1).weight_const(1).add();
+        b.transition("back").input(q).output(p).firing_const(4).add();
+        let net = b.build().unwrap();
+        let trg = build_trg(&net, &NumericDomain::new(), &TrgOptions::default()).unwrap();
+        // "slow" never fires: no edge fires it
+        for e in trg.all_edges() {
+            for &t in &e.fired {
+                assert_ne!(net.transition(t).name(), "slow");
+            }
+        }
+        // the graph is a finite cycle (states repeat)
+        assert!(trg.num_states() <= 6);
+    }
+
+    #[test]
+    fn multiple_firing_violation_detected() {
+        // Two tokens in a shared place: firing one member leaves the
+        // other firable at the same instant.
+        let mut b = NetBuilder::new("viol");
+        let p = b.place("p", 2);
+        b.transition("a").input(p).firing_const(1).add();
+        let net = b.build().unwrap();
+        let err = build_trg(&net, &NumericDomain::new(), &TrgOptions::default()).unwrap_err();
+        assert!(matches!(err, ReachError::MultipleFiring { .. }), "{err}");
+    }
+
+    #[test]
+    fn state_limit_enforced() {
+        // An unbounded net: each cycle deposits a token in the sink
+        // place `q`, so every lap reaches a fresh state.
+        let mut b = NetBuilder::new("unbounded");
+        let p = b.place("p", 1);
+        let q = b.place("q", 0);
+        b.transition("grow").input(p).output(p).output(q).firing_const(1).add();
+        let net = b.build().unwrap();
+        let err = build_trg(
+            &net,
+            &NumericDomain::new(),
+            &TrgOptions { max_states: 50 },
+        );
+        assert!(matches!(err, Err(ReachError::StateLimitExceeded { limit: 50 })));
+    }
+
+    #[test]
+    fn zero_firing_time_is_instantaneous() {
+        let mut b = NetBuilder::new("instant");
+        let p = b.place("p", 1);
+        let q = b.place("q", 0);
+        let z = b.place("z", 0);
+        b.transition("now").input(p).output(q).firing_const(0).add();
+        b.transition("later").input(q).output(z).firing_const(5).add();
+        let net = b.build().unwrap();
+        let trg = build_trg(&net, &NumericDomain::new(), &TrgOptions::default()).unwrap();
+        let e0 = &trg.edges_from(trg.initial())[0];
+        assert_eq!(e0.kind, EdgeKind::Fire);
+        assert_eq!(e0.completed, e0.fired, "zero-time firing completes on the same edge");
+        // and "later" is immediately enabled in the successor
+        let s1 = trg.state(e0.to);
+        let later = net.transition_by_name("later").unwrap();
+        assert!(s1.ret(later).is_some());
+    }
+
+    #[test]
+    fn dot_and_describe_render() {
+        let net = cycle_net();
+        let trg = build_trg(&net, &NumericDomain::new(), &TrgOptions::default()).unwrap();
+        let dot = trg.to_dot(&net);
+        assert!(dot.contains("digraph trg"));
+        assert!(dot.contains("fire go"));
+        let table = trg.describe_states(&net);
+        assert!(table.contains("s0"));
+        assert!(table.contains("RET"));
+    }
+}

@@ -1,0 +1,48 @@
+//! Timed reachability graphs (paper §2–§3).
+//!
+//! A state of a Timed Petri Net is characterised by (paper §2):
+//!
+//! 1. a **marking** — the token distribution;
+//! 2. a vector of **remaining enabling times** (RET) — how much longer
+//!    each enabled transition must stay enabled before it *must* fire;
+//! 3. a vector of **remaining firing times** (RFT) — how much longer
+//!    each firing transition keeps absorbing time before it deposits its
+//!    output tokens.
+//!
+//! The timed reachability graph (TRG) enumerates all reachable states by
+//! the successor procedure of the paper's **Figure 3**:
+//!
+//! * if any transition is *firable* (enabled with elapsed RET), the state
+//!   is a **decision state**: one zero-delay successor per *selector*
+//!   (one firable member per firable conflict set, cross product), each
+//!   labelled with a branching probability;
+//! * otherwise the unique successor is obtained by letting the minimum
+//!   non-zero RET/RFT elapse, completing any firings that reach zero.
+//!
+//! The construction is generic over an [`AnalysisDomain`]:
+//! [`NumericDomain`] implements Section 2 (all times known a priori —
+//! Zuberek's method), and [`SymbolicDomain`] implements Section 3, where
+//! times are *symbols* and the minimum-delay decisions are discharged by
+//! a [`tpn_symbolic::ConstraintSet`]. When the constraints are too weak
+//! to order two candidate delays, construction stops with
+//! [`ReachError::AmbiguousComparison`] naming the offending pair — the
+//! structured version of the paper's "prompt the designer for timing
+//! constraints at the necessary points".
+
+#![allow(clippy::result_large_err)] // diagnostic errors carry rendered expressions by design
+
+pub mod correctness;
+mod domain;
+mod error;
+mod graph;
+mod interval;
+mod state;
+
+pub use correctness::{analyze, CorrectnessReport};
+pub use domain::{AnalysisDomain, NumericDomain, SymbolicDomain};
+pub use interval::{Interval, IntervalDomain};
+pub use error::ReachError;
+pub use graph::{
+    build_trg, Edge, EdgeKind, MinResolution, StateId, TimedReachabilityGraph, TrgOptions,
+};
+pub use state::TimedState;

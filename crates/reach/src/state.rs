@@ -1,0 +1,141 @@
+//! Timed states: marking + RET + RFT.
+
+use std::fmt;
+use std::hash::Hash;
+
+use tpn_net::{Marking, TransId};
+
+/// A state of a timed reachability graph, parameterised by the time
+/// representation `T` ([`tpn_rational::Rational`] for the numeric
+/// domain, [`tpn_symbolic::LinExpr`] for the symbolic one).
+///
+/// Invariants maintained by the construction:
+///
+/// * `ret[t]` is `Some` **iff** the marking covers `I(t)` (the paper's
+///   "reset RET to 0 when disabled" with `None` playing the role of the
+///   paper's 0-for-disabled); a value of zero means *firable now*;
+/// * `rft[t]` is `Some` **iff** `t` is currently firing; the value is
+///   always strictly positive (completions are processed eagerly).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct TimedState<T> {
+    pub(crate) marking: Marking,
+    pub(crate) ret: Vec<Option<T>>,
+    pub(crate) rft: Vec<Option<T>>,
+}
+
+impl<T: Clone + Eq + Hash> TimedState<T> {
+    /// The marking component.
+    pub fn marking(&self) -> &Marking {
+        &self.marking
+    }
+
+    /// The remaining enabling time of a transition (`None` when the
+    /// transition is not enabled).
+    pub fn ret(&self, t: TransId) -> Option<&T> {
+        self.ret[t.index()].as_ref()
+    }
+
+    /// The remaining firing time of a transition (`None` when the
+    /// transition is not firing).
+    pub fn rft(&self, t: TransId) -> Option<&T> {
+        self.rft[t.index()].as_ref()
+    }
+
+    /// Transitions currently enabled (RET tracked).
+    pub fn enabled(&self) -> impl Iterator<Item = TransId> + '_ {
+        self.ret
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| v.is_some())
+            .map(|(i, _)| TransId::from_index(i))
+    }
+
+    /// Transitions currently firing.
+    pub fn firing(&self) -> impl Iterator<Item = TransId> + '_ {
+        self.rft
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| v.is_some())
+            .map(|(i, _)| TransId::from_index(i))
+    }
+
+    /// `true` iff no transition is enabled or firing (a dead state).
+    pub fn is_terminal(&self) -> bool {
+        self.ret.iter().all(Option::is_none) && self.rft.iter().all(Option::is_none)
+    }
+}
+
+impl<T: fmt::Display> TimedState<T> {
+    /// Render in the style of the paper's Figure 4b/6b rows:
+    /// `marking | RET: t2=…, … | RFT: t4=…, …`.
+    pub fn describe(&self, trans_name: impl Fn(TransId) -> String) -> String {
+        let mut out = format!("{}", self.marking);
+        let fmt_vec = |v: &[Option<T>]| {
+            let parts: Vec<String> = v
+                .iter()
+                .enumerate()
+                .filter_map(|(i, x)| {
+                    x.as_ref()
+                        .map(|x| format!("{}={}", trans_name(TransId::from_index(i)), x))
+                })
+                .collect();
+            if parts.is_empty() {
+                "-".to_string()
+            } else {
+                parts.join(", ")
+            }
+        };
+        out.push_str(" | RET: ");
+        out.push_str(&fmt_vec(&self.ret));
+        out.push_str(" | RFT: ");
+        out.push_str(&fmt_vec(&self.rft));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpn_rational::Rational;
+
+    fn t(i: usize) -> TransId {
+        TransId::from_index(i)
+    }
+
+    #[test]
+    fn accessors() {
+        let s = TimedState {
+            marking: Marking::from_vec(vec![1, 0]),
+            ret: vec![Some(Rational::from_int(5)), None],
+            rft: vec![None, Some(Rational::from_int(3))],
+        };
+        assert_eq!(s.ret(t(0)), Some(&Rational::from_int(5)));
+        assert_eq!(s.ret(t(1)), None);
+        assert_eq!(s.rft(t(1)), Some(&Rational::from_int(3)));
+        assert_eq!(s.enabled().collect::<Vec<_>>(), vec![t(0)]);
+        assert_eq!(s.firing().collect::<Vec<_>>(), vec![t(1)]);
+        assert!(!s.is_terminal());
+    }
+
+    #[test]
+    fn terminal_detection() {
+        let s: TimedState<Rational> = TimedState {
+            marking: Marking::from_vec(vec![0]),
+            ret: vec![None, None],
+            rft: vec![None, None],
+        };
+        assert!(s.is_terminal());
+    }
+
+    #[test]
+    fn describe_format() {
+        let s = TimedState {
+            marking: Marking::from_vec(vec![1]),
+            ret: vec![Some(Rational::from_int(1000)), None],
+            rft: vec![None, Some(Rational::new(1067, 10))],
+        };
+        let d = s.describe(|t| format!("t{}", t.index() + 1));
+        assert!(d.contains("RET: t1=1000"), "{d}");
+        assert!(d.contains("RFT: t2=1067/10"), "{d}");
+    }
+}

@@ -1,0 +1,19 @@
+//! Discrete-event Monte-Carlo simulation of Timed Petri Nets.
+//!
+//! The paper derives performance expressions *analytically*; this crate
+//! provides the independent oracle: it executes the same Timed-Petri-Net
+//! semantics (enabling times, absorb-at-start firing, conflict-set
+//! resolution by relative frequencies) event by event, resolving
+//! conflicts with a seeded pseudo-random number generator, and reports
+//! empirical transition rates. Every analytic result in the workspace is
+//! cross-checked against long simulation runs.
+//!
+//! Time is kept as exact [`tpn_rational::Rational`]s — the event *clock*
+//! never drifts;
+//! randomness enters only through conflict resolution.
+
+mod engine;
+mod stats;
+
+pub use engine::{simulate, SimError, SimOptions};
+pub use stats::SimStats;

@@ -1,0 +1,99 @@
+//! Simulation statistics.
+
+use tpn_net::{TimedPetriNet, TransId};
+use tpn_rational::Rational;
+
+/// Counters collected by a simulation run (after the warm-up cut).
+#[derive(Debug, Clone)]
+pub struct SimStats {
+    pub(crate) measured_time: Rational,
+    pub(crate) started: Vec<u64>,
+    pub(crate) completed: Vec<u64>,
+    pub(crate) place_busy: Vec<Rational>,
+    pub(crate) trans_busy: Vec<Rational>,
+    pub(crate) events: u64,
+    pub(crate) deadlocked: bool,
+}
+
+impl SimStats {
+    /// Simulated time covered by the measurement window.
+    pub fn measured_time(&self) -> &Rational {
+        &self.measured_time
+    }
+
+    /// Number of discrete events processed (firings begun plus elapse
+    /// steps), including warm-up.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// `true` iff the run ended in a dead state rather than at the
+    /// event/time budget.
+    pub fn deadlocked(&self) -> bool {
+        self.deadlocked
+    }
+
+    /// How many times transition `t` began firing in the window.
+    pub fn firings(&self, t: TransId) -> u64 {
+        self.started[t.index()]
+    }
+
+    /// How many times transition `t` finished firing in the window.
+    pub fn completions(&self, t: TransId) -> u64 {
+        self.completed[t.index()]
+    }
+
+    /// Empirical throughput of `t`: completions per unit time, as `f64`.
+    pub fn throughput(&self, t: TransId) -> f64 {
+        if self.measured_time.is_zero() {
+            return 0.0;
+        }
+        self.completed[t.index()] as f64 / self.measured_time.to_f64()
+    }
+
+    /// Empirical utilisation of a place: fraction of measured time the
+    /// place held at least one token. Exact rational bookkeeping — the
+    /// analytic [`place_utilization`] of `tpn-core` must match this in
+    /// the limit.
+    ///
+    /// [`place_utilization`]: https://docs.rs/tpn-core
+    pub fn place_utilization(&self, p: tpn_net::PlaceId) -> f64 {
+        if self.measured_time.is_zero() {
+            return 0.0;
+        }
+        self.place_busy[p.index()].to_f64() / self.measured_time.to_f64()
+    }
+
+    /// Empirical utilisation of a transition: fraction of measured time
+    /// it was actively firing.
+    pub fn transition_utilization(&self, t: TransId) -> f64 {
+        if self.measured_time.is_zero() {
+            return 0.0;
+        }
+        self.trans_busy[t.index()].to_f64() / self.measured_time.to_f64()
+    }
+
+    /// Render per-transition counts.
+    pub fn describe(&self, net: &TimedPetriNet) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "simulated {} time units, {} events{}",
+            self.measured_time.to_decimal_string(3),
+            self.events,
+            if self.deadlocked { " (deadlocked)" } else { "" }
+        );
+        for t in net.transitions() {
+            let _ = writeln!(
+                out,
+                "  {:<16} started {:>8}  completed {:>8}  rate {:.6}",
+                net.transition(t).name(),
+                self.started[t.index()],
+                self.completed[t.index()],
+                self.throughput(t)
+            );
+        }
+        out
+    }
+}

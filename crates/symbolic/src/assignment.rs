@@ -1,0 +1,102 @@
+//! Numeric assignments for symbols.
+
+use std::collections::BTreeMap;
+
+use tpn_rational::Rational;
+
+use crate::Symbol;
+
+/// A partial map from symbols to exact numeric values.
+///
+/// Used to *instantiate* symbolic results: evaluating the symbolic
+/// throughput expression at the paper's Figure-1b times must reproduce
+/// the numeric analysis exactly, and the property tests rely on this.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Assignment {
+    values: BTreeMap<Symbol, Rational>,
+}
+
+impl Assignment {
+    /// An empty assignment.
+    pub fn new() -> Assignment {
+        Assignment::default()
+    }
+
+    /// Bind `sym` to `value`, replacing any previous binding.
+    pub fn set(&mut self, sym: Symbol, value: Rational) -> &mut Self {
+        self.values.insert(sym, value);
+        self
+    }
+
+    /// Builder-style binding.
+    pub fn with(mut self, sym: Symbol, value: Rational) -> Self {
+        self.values.insert(sym, value);
+        self
+    }
+
+    /// Look up a binding.
+    pub fn get(&self, sym: Symbol) -> Option<&Rational> {
+        self.values.get(&sym)
+    }
+
+    /// `true` iff `sym` is bound.
+    pub fn contains(&self, sym: Symbol) -> bool {
+        self.values.contains_key(&sym)
+    }
+
+    /// Number of bindings.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `true` iff no bindings.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Iterate over bindings in symbol order.
+    pub fn iter(&self) -> impl Iterator<Item = (Symbol, &Rational)> {
+        self.values.iter().map(|(s, v)| (*s, v))
+    }
+}
+
+impl FromIterator<(Symbol, Rational)> for Assignment {
+    fn from_iter<I: IntoIterator<Item = (Symbol, Rational)>>(iter: I) -> Self {
+        Assignment {
+            values: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get() {
+        let x = Symbol::intern("assign_x");
+        let y = Symbol::intern("assign_y");
+        let mut a = Assignment::new();
+        assert!(a.is_empty());
+        a.set(x, Rational::from_int(3));
+        assert_eq!(a.get(x), Some(&Rational::from_int(3)));
+        assert_eq!(a.get(y), None);
+        assert!(a.contains(x));
+        assert!(!a.contains(y));
+        assert_eq!(a.len(), 1);
+        a.set(x, Rational::from_int(4));
+        assert_eq!(a.get(x), Some(&Rational::from_int(4)));
+        assert_eq!(a.len(), 1);
+    }
+
+    #[test]
+    fn from_iter_and_iter() {
+        let x = Symbol::intern("assign_i1");
+        let y = Symbol::intern("assign_i2");
+        let a: Assignment = [(x, Rational::ONE), (y, Rational::from_int(2))]
+            .into_iter()
+            .collect();
+        let pairs: Vec<_> = a.iter().collect();
+        assert_eq!(pairs.len(), 2);
+    }
+}

@@ -1,0 +1,43 @@
+//! Symbolic algebra substrate for deriving performance *expressions*.
+//!
+//! Section 3 of Razouk's paper replaces the concrete enabling/firing times
+//! of a Timed Petri Net with *symbols* constrained by a set of linear
+//! timing constraints, and replaces concrete firing frequencies with
+//! frequency symbols. Constructing the symbolic timed reachability graph
+//! then requires three capabilities, each provided by this crate:
+//!
+//! 1. **Affine time expressions** ([`LinExpr`]) — every remaining
+//!    enabling/firing time in the graph is an affine combination
+//!    `c₀ + Σ cᵢ·xᵢ` of the time symbols, because the construction only
+//!    ever *subtracts* delays from delays.
+//! 2. **A decision procedure for timing constraints**
+//!    ([`ConstraintSet`]) — "evaluating the smallest non-zero values is
+//!    replaced by a procedure for evaluating the smallest value in a set
+//!    of expressions, given a set of timing constraints" (paper, §3).
+//!    We implement entailment checking by Fourier–Motzkin elimination
+//!    over exact rationals.
+//! 3. **Rational functions** ([`RatFn`]) — branching probabilities such
+//!    as `f₄/(f₄+f₅)` and the traversal rates derived from them are
+//!    ratios of multivariate polynomials ([`Poly`]) in the frequency
+//!    symbols; solving the decision-graph rate equations happens in this
+//!    field.
+//!
+//! All arithmetic is exact (see [`tpn_rational`]).
+
+#![allow(clippy::result_large_err)] // ConstraintError carries the offending expressions by design
+
+mod assignment;
+mod constraint;
+mod linexpr;
+mod monomial;
+mod poly;
+mod ratfn;
+mod symbol;
+
+pub use assignment::Assignment;
+pub use constraint::{Cmp, Constraint, ConstraintError, ConstraintSet, Relation};
+pub use linexpr::LinExpr;
+pub use monomial::Monomial;
+pub use poly::Poly;
+pub use ratfn::RatFn;
+pub use symbol::{Symbol, SymbolTable};

@@ -1,0 +1,383 @@
+//! Affine (linear-plus-constant) expressions over time symbols.
+//!
+//! Every time value appearing in a symbolic timed reachability graph is
+//! an affine combination of the net's enabling/firing-time symbols: the
+//! construction starts from `E(t)`/`F(t)` symbols and only ever adds and
+//! subtracts them (paper §3, "subtractions must also be done symbolically
+//! and expressions must be simplified algebraically"). `LinExpr` is that
+//! canonical simplified form: a constant plus a map of symbol
+//! coefficients, with zero coefficients never stored.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::ops::{Add, AddAssign, Mul, Neg, Sub, SubAssign};
+
+use tpn_rational::Rational;
+
+use crate::{Assignment, Symbol};
+
+/// An affine expression `constant + Σ coeff·symbol` with exact rational
+/// coefficients, kept in canonical form (no zero coefficients).
+///
+/// # Examples
+///
+/// ```
+/// use tpn_symbolic::{LinExpr, Symbol};
+/// use tpn_rational::Rational;
+///
+/// let e3 = LinExpr::symbol(Symbol::intern("E(t3)"));
+/// let f4 = LinExpr::symbol(Symbol::intern("F(t4)"));
+/// let remaining = e3.clone() - f4; // RET after a delay of F(t4) elapses
+/// assert_eq!(remaining.to_string(), "E(t3) - F(t4)");
+/// assert!(!remaining.is_constant());
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LinExpr {
+    constant: Rational,
+    terms: BTreeMap<Symbol, Rational>, // invariant: no zero coefficients
+}
+
+impl LinExpr {
+    /// The zero expression.
+    pub fn zero() -> LinExpr {
+        LinExpr {
+            constant: Rational::ZERO,
+            terms: BTreeMap::new(),
+        }
+    }
+
+    /// A constant expression.
+    pub fn constant(c: Rational) -> LinExpr {
+        LinExpr {
+            constant: c,
+            terms: BTreeMap::new(),
+        }
+    }
+
+    /// The expression consisting of a single symbol with coefficient 1.
+    pub fn symbol(s: Symbol) -> LinExpr {
+        let mut terms = BTreeMap::new();
+        terms.insert(s, Rational::ONE);
+        LinExpr {
+            constant: Rational::ZERO,
+            terms,
+        }
+    }
+
+    /// A single scaled symbol `c·s`.
+    pub fn term(c: Rational, s: Symbol) -> LinExpr {
+        let mut e = LinExpr::zero();
+        e.add_term(c, s);
+        e
+    }
+
+    /// The constant component.
+    pub fn constant_part(&self) -> &Rational {
+        &self.constant
+    }
+
+    /// The coefficient of `s` (zero if absent).
+    pub fn coeff(&self, s: Symbol) -> Rational {
+        self.terms.get(&s).copied().unwrap_or(Rational::ZERO)
+    }
+
+    /// Iterate over the (symbol, coefficient) terms in symbol order.
+    pub fn terms(&self) -> impl Iterator<Item = (Symbol, &Rational)> {
+        self.terms.iter().map(|(s, c)| (*s, c))
+    }
+
+    /// The symbols with non-zero coefficient.
+    pub fn symbols(&self) -> impl Iterator<Item = Symbol> + '_ {
+        self.terms.keys().copied()
+    }
+
+    /// Number of non-zero symbol terms.
+    pub fn num_terms(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// `true` iff the expression is a constant (possibly zero).
+    pub fn is_constant(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// `true` iff the expression is identically zero.
+    pub fn is_zero(&self) -> bool {
+        self.constant.is_zero() && self.terms.is_empty()
+    }
+
+    /// Add `c·s` in place, removing the term if it cancels.
+    pub fn add_term(&mut self, c: Rational, s: Symbol) {
+        if c.is_zero() {
+            return;
+        }
+        let entry = self.terms.entry(s).or_insert(Rational::ZERO);
+        *entry += c;
+        if entry.is_zero() {
+            self.terms.remove(&s);
+        }
+    }
+
+    /// Multiply every coefficient and the constant by `c`.
+    pub fn scale(&self, c: &Rational) -> LinExpr {
+        if c.is_zero() {
+            return LinExpr::zero();
+        }
+        LinExpr {
+            constant: self.constant * c,
+            terms: self.terms.iter().map(|(s, k)| (*s, k * c)).collect(),
+        }
+    }
+
+    /// Evaluate under a (total, for this expression) assignment.
+    ///
+    /// Returns `None` if some symbol is unbound.
+    pub fn eval(&self, assignment: &Assignment) -> Option<Rational> {
+        let mut acc = self.constant;
+        for (s, c) in &self.terms {
+            acc += c * assignment.get(*s)?;
+        }
+        Some(acc)
+    }
+
+    /// Substitute an expression for a symbol.
+    pub fn substitute(&self, s: Symbol, replacement: &LinExpr) -> LinExpr {
+        let c = self.coeff(s);
+        if c.is_zero() {
+            return self.clone();
+        }
+        let mut out = self.clone();
+        out.terms.remove(&s);
+        out + replacement.scale(&c)
+    }
+}
+
+impl Default for LinExpr {
+    fn default() -> Self {
+        LinExpr::zero()
+    }
+}
+
+impl From<Rational> for LinExpr {
+    fn from(c: Rational) -> LinExpr {
+        LinExpr::constant(c)
+    }
+}
+
+impl From<Symbol> for LinExpr {
+    fn from(s: Symbol) -> LinExpr {
+        LinExpr::symbol(s)
+    }
+}
+
+impl Add for LinExpr {
+    type Output = LinExpr;
+    fn add(mut self, rhs: LinExpr) -> LinExpr {
+        self += rhs;
+        self
+    }
+}
+
+impl Add<&LinExpr> for LinExpr {
+    type Output = LinExpr;
+    fn add(mut self, rhs: &LinExpr) -> LinExpr {
+        self.constant += rhs.constant;
+        for (s, c) in &rhs.terms {
+            self.add_term(*c, *s);
+        }
+        self
+    }
+}
+
+impl AddAssign for LinExpr {
+    fn add_assign(&mut self, rhs: LinExpr) {
+        self.constant += rhs.constant;
+        for (s, c) in rhs.terms {
+            self.add_term(c, s);
+        }
+    }
+}
+
+impl Sub for LinExpr {
+    type Output = LinExpr;
+    fn sub(mut self, rhs: LinExpr) -> LinExpr {
+        self -= rhs;
+        self
+    }
+}
+
+impl Sub<&LinExpr> for LinExpr {
+    type Output = LinExpr;
+    fn sub(mut self, rhs: &LinExpr) -> LinExpr {
+        self.constant -= rhs.constant;
+        for (s, c) in &rhs.terms {
+            self.add_term(-c, *s);
+        }
+        self
+    }
+}
+
+impl SubAssign for LinExpr {
+    fn sub_assign(&mut self, rhs: LinExpr) {
+        self.constant -= rhs.constant;
+        for (s, c) in rhs.terms {
+            self.add_term(-c, s);
+        }
+    }
+}
+
+impl Neg for LinExpr {
+    type Output = LinExpr;
+    fn neg(self) -> LinExpr {
+        self.scale(&-Rational::ONE)
+    }
+}
+
+impl Mul<Rational> for LinExpr {
+    type Output = LinExpr;
+    fn mul(self, rhs: Rational) -> LinExpr {
+        self.scale(&rhs)
+    }
+}
+
+impl fmt::Display for LinExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return write!(f, "0");
+        }
+        let mut first = true;
+        if !self.constant.is_zero() {
+            write!(f, "{}", self.constant)?;
+            first = false;
+        }
+        for (s, c) in &self.terms {
+            if first {
+                if *c == -Rational::ONE {
+                    write!(f, "-{s}")?;
+                } else if c.is_one() {
+                    write!(f, "{s}")?;
+                } else {
+                    write!(f, "{c}·{s}")?;
+                }
+                first = false;
+            } else if c.is_negative() {
+                let mag = c.abs();
+                if mag.is_one() {
+                    write!(f, " - {s}")?;
+                } else {
+                    write!(f, " - {mag}·{s}")?;
+                }
+            } else if c.is_one() {
+                write!(f, " + {s}")?;
+            } else {
+                write!(f, " + {c}·{s}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for LinExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sym(n: &str) -> Symbol {
+        Symbol::intern(n)
+    }
+
+    fn r(n: i128, d: i128) -> Rational {
+        Rational::new(n, d)
+    }
+
+    #[test]
+    fn construction_and_accessors() {
+        let x = sym("lx_x");
+        let e = LinExpr::term(r(3, 2), x) + LinExpr::constant(r(1, 1));
+        assert_eq!(e.coeff(x), r(3, 2));
+        assert_eq!(*e.constant_part(), Rational::ONE);
+        assert_eq!(e.num_terms(), 1);
+        assert!(!e.is_constant());
+        assert!(!e.is_zero());
+    }
+
+    #[test]
+    fn cancellation_removes_terms() {
+        let x = sym("lx_c");
+        let e = LinExpr::symbol(x) - LinExpr::symbol(x);
+        assert!(e.is_zero());
+        assert_eq!(e.num_terms(), 0);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let x = sym("lx_a");
+        let y = sym("lx_b");
+        let e1 = LinExpr::symbol(x) + LinExpr::symbol(y);
+        let e2 = LinExpr::symbol(x) - LinExpr::symbol(y);
+        let sum = e1.clone() + e2.clone();
+        assert_eq!(sum.coeff(x), r(2, 1));
+        assert_eq!(sum.coeff(y), Rational::ZERO);
+        let diff = e1 - e2;
+        assert_eq!(diff.coeff(x), Rational::ZERO);
+        assert_eq!(diff.coeff(y), r(2, 1));
+    }
+
+    #[test]
+    fn scale_and_neg() {
+        let x = sym("lx_s");
+        let e = (LinExpr::symbol(x) + LinExpr::constant(r(2, 1))).scale(&r(3, 1));
+        assert_eq!(e.coeff(x), r(3, 1));
+        assert_eq!(*e.constant_part(), r(6, 1));
+        let n = -e;
+        assert_eq!(n.coeff(x), r(-3, 1));
+        assert!(LinExpr::symbol(x).scale(&Rational::ZERO).is_zero());
+    }
+
+    #[test]
+    fn eval_total_and_partial() {
+        let x = sym("lx_e1");
+        let y = sym("lx_e2");
+        let e = LinExpr::term(r(2, 1), x) + LinExpr::symbol(y) + LinExpr::constant(r(5, 1));
+        let mut a = Assignment::new();
+        a.set(x, r(3, 1));
+        assert_eq!(e.eval(&a), None); // y unbound
+        a.set(y, r(1, 2));
+        assert_eq!(e.eval(&a), Some(r(23, 2)));
+    }
+
+    #[test]
+    fn substitution() {
+        let x = sym("lx_sub1");
+        let y = sym("lx_sub2");
+        // 2x + 1, with x := y + 3  =>  2y + 7
+        let e = LinExpr::term(r(2, 1), x) + LinExpr::constant(Rational::ONE);
+        let replacement = LinExpr::symbol(y) + LinExpr::constant(r(3, 1));
+        let out = e.substitute(x, &replacement);
+        assert_eq!(out.coeff(x), Rational::ZERO);
+        assert_eq!(out.coeff(y), r(2, 1));
+        assert_eq!(*out.constant_part(), r(7, 1));
+        // substituting an absent symbol is a no-op
+        let same = out.substitute(x, &LinExpr::constant(r(100, 1)));
+        assert_eq!(same, out);
+    }
+
+    #[test]
+    fn display_forms() {
+        let x = sym("lx_d1");
+        let y = sym("lx_d2");
+        assert_eq!(LinExpr::zero().to_string(), "0");
+        assert_eq!(LinExpr::constant(r(5, 2)).to_string(), "5/2");
+        assert_eq!(LinExpr::symbol(x).to_string(), "lx_d1");
+        assert_eq!((-LinExpr::symbol(x)).to_string(), "-lx_d1");
+        let e = LinExpr::symbol(x) - LinExpr::symbol(y);
+        assert_eq!(e.to_string(), "lx_d1 - lx_d2");
+        let e2 = LinExpr::constant(Rational::ONE) + LinExpr::term(r(-2, 1), x);
+        assert_eq!(e2.to_string(), "1 - 2·lx_d1");
+    }
+}

@@ -1,0 +1,266 @@
+//! Monomials: products of symbol powers.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::Symbol;
+
+/// A monomial `Π symbolᵉ` with positive integer exponents, kept in
+/// canonical form (no zero exponents). The empty monomial is `1`.
+///
+/// Monomials are ordered by *graded lexicographic* order (total degree
+/// first, then lexicographic on the symbol/exponent sequence), which
+/// gives polynomials a deterministic leading term.
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct Monomial {
+    exps: BTreeMap<Symbol, u32>, // invariant: no zero exponents
+}
+
+impl Monomial {
+    /// The unit monomial `1`.
+    pub fn one() -> Monomial {
+        Monomial::default()
+    }
+
+    /// The monomial consisting of a single symbol.
+    pub fn symbol(s: Symbol) -> Monomial {
+        let mut exps = BTreeMap::new();
+        exps.insert(s, 1);
+        Monomial { exps }
+    }
+
+    /// A symbol raised to a power.
+    pub fn power(s: Symbol, e: u32) -> Monomial {
+        let mut m = Monomial::one();
+        if e > 0 {
+            m.exps.insert(s, e);
+        }
+        m
+    }
+
+    /// `true` iff this is the unit monomial.
+    pub fn is_one(&self) -> bool {
+        self.exps.is_empty()
+    }
+
+    /// The exponent of `s` (zero if absent).
+    pub fn exponent(&self, s: Symbol) -> u32 {
+        self.exps.get(&s).copied().unwrap_or(0)
+    }
+
+    /// Total degree.
+    pub fn degree(&self) -> u32 {
+        self.exps.values().sum()
+    }
+
+    /// Degree in a single symbol.
+    pub fn degree_in(&self, s: Symbol) -> u32 {
+        self.exponent(s)
+    }
+
+    /// Iterate over (symbol, exponent) pairs in symbol order.
+    pub fn factors(&self) -> impl Iterator<Item = (Symbol, u32)> + '_ {
+        self.exps.iter().map(|(s, e)| (*s, *e))
+    }
+
+    /// The symbols occurring in this monomial.
+    pub fn symbols(&self) -> impl Iterator<Item = Symbol> + '_ {
+        self.exps.keys().copied()
+    }
+
+    /// Product of two monomials.
+    pub fn mul(&self, other: &Monomial) -> Monomial {
+        let mut out = self.clone();
+        for (s, e) in &other.exps {
+            *out.exps.entry(*s).or_insert(0) += e;
+        }
+        out
+    }
+
+    /// Exact quotient `self / other`, or `None` if `other` does not
+    /// divide `self`.
+    pub fn div(&self, other: &Monomial) -> Option<Monomial> {
+        let mut out = self.clone();
+        for (s, e) in &other.exps {
+            let have = out.exps.get_mut(s)?;
+            if *have < *e {
+                return None;
+            }
+            *have -= e;
+            if *have == 0 {
+                out.exps.remove(s);
+            }
+        }
+        Some(out)
+    }
+
+    /// Componentwise minimum (the gcd of two monomials).
+    pub fn gcd(&self, other: &Monomial) -> Monomial {
+        let mut out = Monomial::one();
+        for (s, e) in &self.exps {
+            let oe = other.exponent(*s);
+            let m = (*e).min(oe);
+            if m > 0 {
+                out.exps.insert(*s, m);
+            }
+        }
+        out
+    }
+
+    /// Remove a symbol entirely, returning the remaining monomial and the
+    /// removed exponent.
+    pub fn split(&self, s: Symbol) -> (Monomial, u32) {
+        let mut out = self.clone();
+        let e = out.exps.remove(&s).unwrap_or(0);
+        (out, e)
+    }
+}
+
+impl PartialOrd for Monomial {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Monomial {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Graded lexicographic order: total degree first, then lex on the
+        // *dense* exponent vectors (first differing symbol in ascending
+        // symbol order decides; larger exponent is greater). Grlex is a
+        // proper monomial order — multiplication-compatible — which the
+        // exact-division algorithm in `Poly::try_div` requires.
+        use std::cmp::Ordering;
+        match self.degree().cmp(&other.degree()) {
+            Ordering::Equal => {}
+            ord => return ord,
+        }
+        let mut a = self.exps.iter().peekable();
+        let mut b = other.exps.iter().peekable();
+        loop {
+            match (a.peek(), b.peek()) {
+                (None, None) => return Ordering::Equal,
+                (Some(_), None) => return Ordering::Greater,
+                (None, Some(_)) => return Ordering::Less,
+                (Some((sa, ea)), Some((sb, eb))) => match sa.cmp(sb) {
+                    // The side with an exponent on the smaller symbol has
+                    // the larger entry at that position of the dense vector.
+                    Ordering::Less => return Ordering::Greater,
+                    Ordering::Greater => return Ordering::Less,
+                    Ordering::Equal => match ea.cmp(eb) {
+                        Ordering::Equal => {
+                            a.next();
+                            b.next();
+                        }
+                        ord => return ord,
+                    },
+                },
+            }
+        }
+    }
+}
+
+impl fmt::Display for Monomial {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_one() {
+            return write!(f, "1");
+        }
+        let mut first = true;
+        for (s, e) in &self.exps {
+            if !first {
+                write!(f, "·")?;
+            }
+            first = false;
+            if *e == 1 {
+                write!(f, "{s}")?;
+            } else {
+                write!(f, "{s}^{e}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for Monomial {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(n: &str) -> Symbol {
+        Symbol::intern(n)
+    }
+
+    #[test]
+    fn unit_monomial() {
+        let m = Monomial::one();
+        assert!(m.is_one());
+        assert_eq!(m.degree(), 0);
+        assert_eq!(m.to_string(), "1");
+        assert_eq!(Monomial::power(s("mono_u"), 0), Monomial::one());
+    }
+
+    #[test]
+    fn mul_div() {
+        let x = s("mono_x");
+        let y = s("mono_y");
+        let xy = Monomial::symbol(x).mul(&Monomial::symbol(y));
+        assert_eq!(xy.degree(), 2);
+        let x2y = xy.mul(&Monomial::symbol(x));
+        assert_eq!(x2y.exponent(x), 2);
+        assert_eq!(x2y.div(&Monomial::symbol(x)), Some(xy.clone()));
+        assert_eq!(x2y.div(&Monomial::power(x, 3)), None);
+        assert_eq!(xy.div(&Monomial::symbol(s("mono_z"))), None);
+        assert_eq!(xy.div(&xy), Some(Monomial::one()));
+    }
+
+    #[test]
+    fn gcd_is_componentwise_min() {
+        let x = s("mono_g1");
+        let y = s("mono_g2");
+        let a = Monomial::power(x, 3).mul(&Monomial::symbol(y));
+        let b = Monomial::power(x, 1).mul(&Monomial::power(y, 2));
+        let g = a.gcd(&b);
+        assert_eq!(g.exponent(x), 1);
+        assert_eq!(g.exponent(y), 1);
+    }
+
+    #[test]
+    fn split_removes_symbol() {
+        let x = s("mono_s1");
+        let y = s("mono_s2");
+        let m = Monomial::power(x, 2).mul(&Monomial::symbol(y));
+        let (rest, e) = m.split(x);
+        assert_eq!(e, 2);
+        assert_eq!(rest, Monomial::symbol(y));
+        let (same, zero) = m.split(s("mono_absent"));
+        assert_eq!(zero, 0);
+        assert_eq!(same, m);
+    }
+
+    #[test]
+    fn graded_lex_ordering() {
+        let x = s("mono_o1");
+        let y = s("mono_o2");
+        // degree dominates
+        assert!(Monomial::symbol(x) < Monomial::power(y, 2));
+        assert!(Monomial::one() < Monomial::symbol(x));
+        // same degree: lexicographic tie-break is deterministic
+        let a = Monomial::power(x, 2);
+        let b = Monomial::symbol(x).mul(&Monomial::symbol(y));
+        assert_ne!(a.cmp(&b), std::cmp::Ordering::Equal);
+    }
+
+    #[test]
+    fn display() {
+        let x = s("mx");
+        let y = s("my");
+        let m = Monomial::power(x, 2).mul(&Monomial::symbol(y));
+        let shown = m.to_string();
+        assert!(shown.contains("mx^2"));
+        assert!(shown.contains("my"));
+    }
+}

@@ -1,0 +1,793 @@
+//! Multivariate polynomials with exact rational coefficients.
+//!
+//! Branching probabilities in a symbolic timed reachability graph are
+//! rational functions of the firing-frequency symbols (e.g.
+//! `f₄ / (f₄ + f₅)`), and the decision-graph traversal rates derived from
+//! them are solutions of linear systems over that rational-function
+//! field. Keeping those functions *canonical* — so that equal
+//! expressions compare equal and final performance expressions are
+//! simplified — requires polynomial GCD. This module provides the
+//! polynomial ring: arithmetic, exact division, content/primitive-part
+//! decomposition, and a multivariate GCD via primitive pseudo-remainder
+//! sequences.
+//!
+//! Monomials are ordered by graded lexicographic order (a proper
+//! monomial order, so leading terms are multiplicative and the exact
+//! division algorithm below is correct).
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::ops::{Add, AddAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+use tpn_rational::{gcd as int_gcd, lcm as int_lcm, Rational};
+
+use crate::{Assignment, LinExpr, Monomial, Symbol};
+
+/// A multivariate polynomial `Σ coeff·monomial`, kept canonical: no zero
+/// coefficients are stored.
+///
+/// # Examples
+///
+/// ```
+/// use tpn_symbolic::{Poly, Symbol};
+///
+/// let f4 = Poly::symbol(Symbol::intern("f4"));
+/// let f5 = Poly::symbol(Symbol::intern("f5"));
+/// let sum = f4.clone() + f5;
+/// let prod = sum.clone() * f4;
+/// assert_eq!(prod.try_div(&sum).unwrap(), Poly::symbol(Symbol::intern("f4")));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct Poly {
+    terms: BTreeMap<Monomial, Rational>, // invariant: no zero coefficients
+}
+
+impl Poly {
+    /// The zero polynomial.
+    pub fn zero() -> Poly {
+        Poly::default()
+    }
+
+    /// The unit polynomial `1`.
+    pub fn one() -> Poly {
+        Poly::constant(Rational::ONE)
+    }
+
+    /// A constant polynomial.
+    pub fn constant(c: Rational) -> Poly {
+        let mut terms = BTreeMap::new();
+        if !c.is_zero() {
+            terms.insert(Monomial::one(), c);
+        }
+        Poly { terms }
+    }
+
+    /// The polynomial consisting of a single symbol.
+    pub fn symbol(s: Symbol) -> Poly {
+        Poly::term(Rational::ONE, Monomial::symbol(s))
+    }
+
+    /// A single term `c·m`.
+    pub fn term(c: Rational, m: Monomial) -> Poly {
+        let mut terms = BTreeMap::new();
+        if !c.is_zero() {
+            terms.insert(m, c);
+        }
+        Poly { terms }
+    }
+
+    /// Convert an affine expression into a (degree ≤ 1) polynomial.
+    pub fn from_linexpr(e: &LinExpr) -> Poly {
+        let mut p = Poly::constant(*e.constant_part());
+        for (s, c) in e.terms() {
+            p.add_term(*c, Monomial::symbol(s));
+        }
+        p
+    }
+
+    /// `true` iff the polynomial is zero.
+    pub fn is_zero(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// `true` iff the polynomial is the constant one.
+    pub fn is_one(&self) -> bool {
+        self.as_constant().map(|c| c.is_one()).unwrap_or(false)
+    }
+
+    /// `true` iff the polynomial has no symbols.
+    pub fn is_constant(&self) -> bool {
+        self.terms.is_empty() || (self.terms.len() == 1 && self.terms.keys().next().unwrap().is_one())
+    }
+
+    /// The constant value, if the polynomial is constant.
+    pub fn as_constant(&self) -> Option<Rational> {
+        if self.terms.is_empty() {
+            return Some(Rational::ZERO);
+        }
+        if self.terms.len() == 1 {
+            let (m, c) = self.terms.iter().next().unwrap();
+            if m.is_one() {
+                return Some(*c);
+            }
+        }
+        None
+    }
+
+    /// Number of terms.
+    pub fn num_terms(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Iterate over (monomial, coefficient) pairs in ascending monomial
+    /// order.
+    pub fn terms(&self) -> impl Iterator<Item = (&Monomial, &Rational)> {
+        self.terms.iter()
+    }
+
+    /// Total degree (zero for the zero polynomial).
+    pub fn degree(&self) -> u32 {
+        self.terms.keys().map(Monomial::degree).max().unwrap_or(0)
+    }
+
+    /// Degree in a single symbol.
+    pub fn degree_in(&self, s: Symbol) -> u32 {
+        self.terms.keys().map(|m| m.degree_in(s)).max().unwrap_or(0)
+    }
+
+    /// All symbols occurring in the polynomial, in symbol order.
+    pub fn symbols(&self) -> Vec<Symbol> {
+        let mut out: Vec<Symbol> = Vec::new();
+        for m in self.terms.keys() {
+            for s in m.symbols() {
+                if let Err(pos) = out.binary_search(&s) {
+                    out.insert(pos, s);
+                }
+            }
+        }
+        out
+    }
+
+    /// The leading (greatest in graded-lex order) term, if non-zero.
+    pub fn leading(&self) -> Option<(&Monomial, &Rational)> {
+        self.terms.iter().next_back()
+    }
+
+    /// The coefficient of a monomial (zero if absent).
+    pub fn coeff(&self, m: &Monomial) -> Rational {
+        self.terms.get(m).copied().unwrap_or(Rational::ZERO)
+    }
+
+    /// Add `c·m` in place, removing the term if it cancels.
+    pub fn add_term(&mut self, c: Rational, m: Monomial) {
+        if c.is_zero() {
+            return;
+        }
+        let entry = self.terms.entry(m.clone()).or_insert(Rational::ZERO);
+        *entry += c;
+        if entry.is_zero() {
+            self.terms.remove(&m);
+        }
+    }
+
+    /// Multiply by a scalar.
+    pub fn scale(&self, c: &Rational) -> Poly {
+        if c.is_zero() {
+            return Poly::zero();
+        }
+        Poly {
+            terms: self.terms.iter().map(|(m, k)| (m.clone(), k * c)).collect(),
+        }
+    }
+
+    /// `self^e` by repeated squaring.
+    pub fn pow(&self, e: u32) -> Poly {
+        let mut result = Poly::one();
+        let mut base = self.clone();
+        let mut e = e;
+        while e > 0 {
+            if e & 1 == 1 {
+                result = &result * &base;
+            }
+            base = &base * &base;
+            e >>= 1;
+        }
+        result
+    }
+
+    /// Evaluate under a total assignment; `None` if a symbol is unbound.
+    pub fn eval(&self, a: &Assignment) -> Option<Rational> {
+        let mut acc = Rational::ZERO;
+        for (m, c) in &self.terms {
+            let mut v = *c;
+            for (s, e) in m.factors() {
+                let x = a.get(s)?;
+                v *= x.pow(e as i32);
+            }
+            acc += v;
+        }
+        Some(acc)
+    }
+
+    /// Substitute values for any *subset* of the symbols, returning the
+    /// resulting polynomial in the remaining symbols.
+    pub fn eval_partial(&self, a: &Assignment) -> Poly {
+        let mut out = Poly::zero();
+        for (m, c) in &self.terms {
+            let mut v = *c;
+            let mut rest = Monomial::one();
+            for (s, e) in m.factors() {
+                match a.get(s) {
+                    Some(x) => v *= x.pow(e as i32),
+                    None => rest = rest.mul(&Monomial::power(s, e)),
+                }
+            }
+            out.add_term(v, rest);
+        }
+        out
+    }
+
+    /// Partial derivative with respect to a symbol.
+    ///
+    /// Used for sensitivity analysis of derived performance expressions:
+    /// `∂T/∂F(t4)` tells how much the protocol throughput reacts to the
+    /// packet transmission time.
+    pub fn derivative(&self, s: Symbol) -> Poly {
+        let mut out = Poly::zero();
+        for (m, c) in &self.terms {
+            let e = m.exponent(s);
+            if e == 0 {
+                continue;
+            }
+            let (rest, _) = m.split(s);
+            let lowered = rest.mul(&Monomial::power(s, e - 1));
+            out.add_term(c * Rational::from_int(e as i128), lowered);
+        }
+        out
+    }
+
+    /// Exact division: returns `Some(q)` with `self == q·d`, or `None` if
+    /// `d` does not divide `self` (or `d` is zero).
+    pub fn try_div(&self, d: &Poly) -> Option<Poly> {
+        let (dm, dc) = d.leading()?; // None if d is zero
+        let dm = dm.clone();
+        let dc = *dc;
+        let mut rem = self.clone();
+        let mut quo = Poly::zero();
+        while let Some((rm, rc)) = rem.leading() {
+            let m = rm.div(&dm)?;
+            let c = *rc / dc;
+            let t = Poly::term(c, m);
+            rem -= &t * d;
+            quo += t;
+        }
+        Some(quo)
+    }
+
+    /// Decompose as `c · P` with `P` having integer coefficients, content
+    /// one, and positive leading coefficient. Returns `(P, c)`. The zero
+    /// polynomial decomposes as `(0, 1)`.
+    pub fn to_primitive_integer(&self) -> (Poly, Rational) {
+        if self.is_zero() {
+            return (Poly::zero(), Rational::ONE);
+        }
+        // Scale by the lcm of coefficient denominators to clear fractions.
+        let mut l: i128 = 1;
+        for c in self.terms.values() {
+            l = int_lcm(l, c.denom()).expect("coefficient denominator lcm overflow");
+        }
+        let scale = Rational::from_int(l);
+        // Integer content (gcd of numerators after scaling).
+        let mut g: i128 = 0;
+        for c in self.terms.values() {
+            let scaled = c * scale;
+            debug_assert!(scaled.is_integer());
+            g = int_gcd(g, scaled.numer());
+        }
+        debug_assert!(g > 0);
+        let lead_sign = self
+            .leading()
+            .map(|(_, c)| if c.is_negative() { -1i128 } else { 1 })
+            .unwrap_or(1);
+        let content = Rational::new(g * lead_sign, l);
+        let prim = self.scale(&content.recip());
+        (prim, content)
+    }
+
+    /// Multivariate GCD, always returned as an integer-primitive
+    /// polynomial with positive leading coefficient (constants collapse
+    /// to `1`). `gcd(0, p)` is the primitive part of `p`.
+    pub fn gcd(&self, other: &Poly) -> Poly {
+        let (a, _) = self.to_primitive_integer();
+        let (b, _) = other.to_primitive_integer();
+        let g = gcd_primitive(&a, &b);
+        debug_assert!(self.is_zero() || self.try_div(&g).is_some(), "gcd must divide lhs");
+        debug_assert!(other.is_zero() || other.try_div(&g).is_some(), "gcd must divide rhs");
+        g
+    }
+
+    /// View the polynomial as univariate in `x` with polynomial
+    /// coefficients: a map from `x`-exponent to coefficient polynomial
+    /// (in the other symbols).
+    fn univariate_in(&self, x: Symbol) -> BTreeMap<u32, Poly> {
+        let mut out: BTreeMap<u32, Poly> = BTreeMap::new();
+        for (m, c) in &self.terms {
+            let (rest, e) = m.split(x);
+            out.entry(e).or_insert_with(Poly::zero).add_term(*c, rest);
+        }
+        out.retain(|_, p| !p.is_zero());
+        out
+    }
+
+    fn from_univariate(x: Symbol, coeffs: &BTreeMap<u32, Poly>) -> Poly {
+        let mut out = Poly::zero();
+        for (e, p) in coeffs {
+            let xe = Poly::term(Rational::ONE, Monomial::power(x, *e));
+            out += &xe * p;
+        }
+        out
+    }
+}
+
+/// GCD of two integer-coefficient polynomials by the primitive
+/// pseudo-remainder-sequence algorithm, recursing on the variable set.
+/// The result is integer-primitive with positive leading coefficient.
+fn gcd_primitive(a: &Poly, b: &Poly) -> Poly {
+    if a.is_zero() {
+        return normalize_sign(b.to_primitive_integer().0);
+    }
+    if b.is_zero() {
+        return normalize_sign(a.to_primitive_integer().0);
+    }
+    if a.is_constant() || b.is_constant() {
+        // Over the rationals every non-zero constant is a unit.
+        return Poly::one();
+    }
+    // Main variable: the lowest symbol occurring in either polynomial.
+    let x = {
+        let sa = a.symbols();
+        let sb = b.symbols();
+        *sa.iter().chain(sb.iter()).min().expect("non-constant polys have symbols")
+    };
+    // If one side is x-free, it must divide the other's content w.r.t. x.
+    if a.degree_in(x) == 0 {
+        return gcd_primitive(a, &content_wrt(b, x));
+    }
+    if b.degree_in(x) == 0 {
+        return gcd_primitive(&content_wrt(a, x), b);
+    }
+    let ca = content_wrt(a, x);
+    let cb = content_wrt(b, x);
+    let content_gcd = gcd_primitive(&ca, &cb);
+    let mut p = a.try_div(&ca).expect("content divides");
+    let mut q = b.try_div(&cb).expect("content divides");
+    if p.degree_in(x) < q.degree_in(x) {
+        std::mem::swap(&mut p, &mut q);
+    }
+    // Primitive pseudo-remainder sequence: x-degree strictly decreases.
+    loop {
+        let r = pseudo_rem(&p, &q, x);
+        if r.is_zero() {
+            let result = &content_gcd * &primitive_wrt(&q, x);
+            return normalize_sign(result);
+        }
+        if r.degree_in(x) == 0 {
+            // Non-zero x-free remainder: p and q are coprime w.r.t. x.
+            return normalize_sign(content_gcd);
+        }
+        p = q;
+        q = primitive_wrt(&r, x);
+    }
+}
+
+/// Content of `p` with respect to `x`: the gcd of its univariate
+/// coefficient polynomials.
+fn content_wrt(p: &Poly, x: Symbol) -> Poly {
+    let mut g = Poly::zero();
+    for c in p.univariate_in(x).values() {
+        g = gcd_primitive(&g, c);
+        if g.is_one() {
+            break;
+        }
+    }
+    g
+}
+
+/// Pseudo-remainder of `a` by `b`, both viewed as univariate in `x`.
+fn pseudo_rem(a: &Poly, b: &Poly, x: Symbol) -> Poly {
+    let bu = b.univariate_in(x);
+    let db = *bu.keys().next_back().expect("b non-zero");
+    let lb = bu[&db].clone();
+    let mut r = a.clone();
+    loop {
+        if r.is_zero() {
+            return r;
+        }
+        let ru = r.univariate_in(x);
+        let dr = *ru.keys().next_back().expect("r non-zero");
+        if dr < db {
+            return r;
+        }
+        let lr = ru[&dr].clone();
+        // r := lb·r − lr·x^(dr−db)·b  — cancels the leading x-term.
+        let shift = Poly::term(Rational::ONE, Monomial::power(x, dr - db));
+        r = &(&lb * &r) - &(&(&lr * &shift) * b);
+    }
+}
+
+/// Divide out the content with respect to `x` (the gcd of the univariate
+/// coefficient polynomials), then normalise to integer-primitive form.
+fn primitive_wrt(p: &Poly, x: Symbol) -> Poly {
+    if p.is_zero() {
+        return Poly::zero();
+    }
+    let g = content_wrt(p, x);
+    let reduced = if g.is_one() {
+        p.clone()
+    } else {
+        let u = p.univariate_in(x);
+        let mut out: BTreeMap<u32, Poly> = BTreeMap::new();
+        for (e, c) in &u {
+            out.insert(*e, c.try_div(&g).expect("content divides"));
+        }
+        Poly::from_univariate(x, &out)
+    };
+    reduced.to_primitive_integer().0
+}
+
+fn normalize_sign(p: Poly) -> Poly {
+    match p.leading() {
+        Some((_, c)) if c.is_negative() => p.scale(&-Rational::ONE),
+        _ => {
+            if p.is_constant() && !p.is_zero() {
+                Poly::one()
+            } else {
+                p
+            }
+        }
+    }
+}
+
+impl From<Rational> for Poly {
+    fn from(c: Rational) -> Poly {
+        Poly::constant(c)
+    }
+}
+
+impl From<Symbol> for Poly {
+    fn from(s: Symbol) -> Poly {
+        Poly::symbol(s)
+    }
+}
+
+impl Add for Poly {
+    type Output = Poly;
+    fn add(mut self, rhs: Poly) -> Poly {
+        self += rhs;
+        self
+    }
+}
+
+impl Add<&Poly> for &Poly {
+    type Output = Poly;
+    fn add(self, rhs: &Poly) -> Poly {
+        let mut out = self.clone();
+        for (m, c) in &rhs.terms {
+            out.add_term(*c, m.clone());
+        }
+        out
+    }
+}
+
+impl AddAssign for Poly {
+    fn add_assign(&mut self, rhs: Poly) {
+        for (m, c) in rhs.terms {
+            self.add_term(c, m);
+        }
+    }
+}
+
+impl Sub for Poly {
+    type Output = Poly;
+    fn sub(mut self, rhs: Poly) -> Poly {
+        self -= &rhs;
+        self
+    }
+}
+
+impl Sub<&Poly> for &Poly {
+    type Output = Poly;
+    fn sub(self, rhs: &Poly) -> Poly {
+        let mut out = self.clone();
+        out -= rhs;
+        out
+    }
+}
+
+impl SubAssign<&Poly> for Poly {
+    fn sub_assign(&mut self, rhs: &Poly) {
+        for (m, c) in &rhs.terms {
+            self.add_term(-c, m.clone());
+        }
+    }
+}
+
+impl SubAssign for Poly {
+    fn sub_assign(&mut self, rhs: Poly) {
+        *self -= &rhs;
+    }
+}
+
+impl Mul for Poly {
+    type Output = Poly;
+    fn mul(self, rhs: Poly) -> Poly {
+        &self * &rhs
+    }
+}
+
+impl Mul<&Poly> for &Poly {
+    type Output = Poly;
+    fn mul(self, rhs: &Poly) -> Poly {
+        let mut out = Poly::zero();
+        for (m1, c1) in &self.terms {
+            for (m2, c2) in &rhs.terms {
+                out.add_term(c1 * c2, m1.mul(m2));
+            }
+        }
+        out
+    }
+}
+
+impl MulAssign for Poly {
+    fn mul_assign(&mut self, rhs: Poly) {
+        *self = &*self * &rhs;
+    }
+}
+
+impl Neg for Poly {
+    type Output = Poly;
+    fn neg(self) -> Poly {
+        self.scale(&-Rational::ONE)
+    }
+}
+
+impl fmt::Display for Poly {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return write!(f, "0");
+        }
+        // Display highest-order terms first.
+        let mut first = true;
+        for (m, c) in self.terms.iter().rev() {
+            if first {
+                first = false;
+                if m.is_one() {
+                    write!(f, "{c}")?;
+                } else if c.is_one() {
+                    write!(f, "{m}")?;
+                } else if *c == -Rational::ONE {
+                    write!(f, "-{m}")?;
+                } else {
+                    write!(f, "{c}·{m}")?;
+                }
+            } else {
+                let (sign, mag) = if c.is_negative() { (" - ", c.abs()) } else { (" + ", *c) };
+                write!(f, "{sign}")?;
+                if m.is_one() {
+                    write!(f, "{mag}")?;
+                } else if mag.is_one() {
+                    write!(f, "{m}")?;
+                } else {
+                    write!(f, "{mag}·{m}")?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for Poly {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(n: &str) -> Poly {
+        Poly::symbol(Symbol::intern(n))
+    }
+
+    fn r(n: i128, d: i128) -> Rational {
+        Rational::new(n, d)
+    }
+
+    #[test]
+    fn constants_and_predicates() {
+        assert!(Poly::zero().is_zero());
+        assert!(Poly::one().is_one());
+        assert!(Poly::constant(r(3, 2)).is_constant());
+        assert_eq!(Poly::constant(r(3, 2)).as_constant(), Some(r(3, 2)));
+        assert_eq!(Poly::zero().as_constant(), Some(Rational::ZERO));
+        assert_eq!(s("px").as_constant(), None);
+    }
+
+    #[test]
+    fn arithmetic_identities() {
+        let x = s("poly_x");
+        let y = s("poly_y");
+        let p = &x + &y;
+        let q = &x - &y;
+        // (x+y)(x-y) = x² - y²
+        let prod = &p * &q;
+        let expect = &(&x * &x) - &(&y * &y);
+        assert_eq!(prod, expect);
+        // (x+y)² = x² + 2xy + y²
+        let sq = p.pow(2);
+        let expect2 = {
+            let mut e = &x * &x;
+            e += (&x * &y).scale(&r(2, 1));
+            e += &y * &y;
+            e
+        };
+        assert_eq!(sq, expect2);
+        assert_eq!(p.pow(0), Poly::one());
+    }
+
+    #[test]
+    fn degrees() {
+        let x = Symbol::intern("poly_dx");
+        let y = Symbol::intern("poly_dy");
+        let p = &Poly::symbol(x).pow(3) * &Poly::symbol(y);
+        assert_eq!(p.degree(), 4);
+        assert_eq!(p.degree_in(x), 3);
+        assert_eq!(p.degree_in(y), 1);
+        assert_eq!(Poly::zero().degree(), 0);
+    }
+
+    #[test]
+    fn eval_and_partial() {
+        let x = Symbol::intern("poly_e1");
+        let y = Symbol::intern("poly_e2");
+        // p = x²y + 3
+        let p = {
+            let mut p = &Poly::symbol(x).pow(2) * &Poly::symbol(y);
+            p += Poly::constant(r(3, 1));
+            p
+        };
+        let a = Assignment::new().with(x, r(2, 1)).with(y, r(5, 1));
+        assert_eq!(p.eval(&a), Some(r(23, 1)));
+        let partial = Assignment::new().with(x, r(2, 1));
+        assert_eq!(p.eval(&partial), None);
+        let reduced = p.eval_partial(&partial);
+        // 4y + 3
+        let mut expect = Poly::symbol(y).scale(&r(4, 1));
+        expect += Poly::constant(r(3, 1));
+        assert_eq!(reduced, expect);
+    }
+
+    #[test]
+    fn exact_division() {
+        let x = s("poly_v1");
+        let y = s("poly_v2");
+        let a = &x + &y;
+        let b = &x - &y;
+        let prod = &a * &b;
+        assert_eq!(prod.try_div(&a), Some(b.clone()));
+        assert_eq!(prod.try_div(&b), Some(a.clone()));
+        assert_eq!(a.try_div(&b), None);
+        assert_eq!(a.try_div(&Poly::zero()), None);
+        assert_eq!(Poly::zero().try_div(&a), Some(Poly::zero()));
+        // Division by a constant always succeeds.
+        assert_eq!(a.try_div(&Poly::constant(r(2, 1))), Some(a.scale(&r(1, 2))));
+    }
+
+    #[test]
+    fn primitive_integer_decomposition() {
+        let x = Symbol::intern("poly_p1");
+        // p = (3/2)x + 3/4  =  (3/4)·(2x + 1)
+        let p = Poly::symbol(x).scale(&r(3, 2)) + Poly::constant(r(3, 4));
+        let (prim, c) = p.to_primitive_integer();
+        assert_eq!(c, r(3, 4));
+        let mut expect = Poly::symbol(x).scale(&r(2, 1));
+        expect += Poly::one();
+        assert_eq!(prim, expect);
+        assert_eq!(prim.scale(&c), p);
+        // Negative leading coefficient moves into the content.
+        let n = -p;
+        let (prim2, c2) = n.to_primitive_integer();
+        assert_eq!(prim2, expect);
+        assert_eq!(c2, r(-3, 4));
+    }
+
+    #[test]
+    fn gcd_univariate() {
+        let x = s("poly_g1");
+        // gcd((x+1)², (x+1)(x-1)) = x+1
+        let xp1 = &x + &Poly::one();
+        let xm1 = &x - &Poly::one();
+        let a = xp1.pow(2);
+        let b = &xp1 * &xm1;
+        assert_eq!(a.gcd(&b), xp1);
+    }
+
+    #[test]
+    fn gcd_multivariate() {
+        let x = s("poly_m1");
+        let y = s("poly_m2");
+        let common = &x + &y;
+        let a = &common * &(&x - &y);
+        let b = &common * &(&x + &Poly::one());
+        assert_eq!(a.gcd(&b), common);
+    }
+
+    #[test]
+    fn gcd_coprime_and_degenerate() {
+        let x = s("poly_c1");
+        let y = s("poly_c2");
+        assert_eq!(x.gcd(&y), Poly::one());
+        assert_eq!(x.gcd(&Poly::zero()), x);
+        assert_eq!(Poly::zero().gcd(&y), y);
+        assert_eq!(Poly::zero().gcd(&Poly::zero()), Poly::zero());
+        assert_eq!(Poly::constant(r(6, 1)).gcd(&Poly::constant(r(4, 1))), Poly::one());
+        // gcd result has positive leading coefficient and content 1
+        let g = (-x.clone()).gcd(&x.scale(&r(7, 3)));
+        assert_eq!(g, x);
+    }
+
+    #[test]
+    fn gcd_with_rational_coefficients() {
+        let x = s("poly_r1");
+        // (x/2 + 1/2) and (x+1)(x+2) share the factor x+1 up to a unit.
+        let half = (&x + &Poly::one()).scale(&r(1, 2));
+        let b = &(&x + &Poly::one()) * &(&x + &Poly::constant(r(2, 1)));
+        assert_eq!(half.gcd(&b), &x + &Poly::one());
+    }
+
+    #[test]
+    fn from_linexpr_roundtrip() {
+        let x = Symbol::intern("poly_l1");
+        let e = LinExpr::term(r(2, 1), x) + LinExpr::constant(r(1, 2));
+        let p = Poly::from_linexpr(&e);
+        assert_eq!(p.degree(), 1);
+        let a = Assignment::new().with(x, r(3, 1));
+        assert_eq!(p.eval(&a), e.eval(&a));
+    }
+
+    #[test]
+    fn derivative() {
+        let x = Symbol::intern("poly_der_x");
+        let y = Symbol::intern("poly_der_y");
+        // p = x³y + 2x + 5
+        let p = {
+            let mut p = &Poly::symbol(x).pow(3) * &Poly::symbol(y);
+            p += Poly::symbol(x).scale(&r(2, 1));
+            p += Poly::constant(r(5, 1));
+            p
+        };
+        // ∂p/∂x = 3x²y + 2
+        let dx = p.derivative(x);
+        let mut expect = (&Poly::symbol(x).pow(2) * &Poly::symbol(y)).scale(&r(3, 1));
+        expect += Poly::constant(r(2, 1));
+        assert_eq!(dx, expect);
+        // ∂p/∂y = x³
+        assert_eq!(p.derivative(y), Poly::symbol(x).pow(3));
+        // constants vanish
+        assert_eq!(Poly::constant(r(7, 1)).derivative(x), Poly::zero());
+        // product rule sanity: d(p²) = 2·p·p'
+        let sq = &p * &p;
+        assert_eq!(sq.derivative(x), (&p * &dx).scale(&r(2, 1)));
+    }
+
+    #[test]
+    fn display() {
+        let x = s("pdx");
+        let p = &(&x * &x) - &Poly::one();
+        let shown = p.to_string();
+        assert!(shown.contains("pdx^2"), "{shown}");
+        assert!(shown.contains("- 1"), "{shown}");
+        assert_eq!(Poly::zero().to_string(), "0");
+    }
+}

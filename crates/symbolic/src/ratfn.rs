@@ -1,0 +1,468 @@
+//! Rational functions: the field in which branching probabilities and
+//! traversal rates live.
+//!
+//! A [`RatFn`] is a quotient of two [`Poly`]s kept in canonical form:
+//! the gcd is cancelled and the denominator is integer-primitive with a
+//! positive leading coefficient. Canonical form makes `Eq`/`Hash`
+//! structural equality coincide with mathematical equality, which the
+//! decision-graph solver relies on (pivot selection, zero tests).
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+use tpn_rational::Rational;
+
+use crate::{Assignment, Poly, Symbol};
+
+/// A canonical quotient of polynomials.
+///
+/// # Examples
+///
+/// ```
+/// use tpn_symbolic::{Poly, RatFn, Symbol};
+///
+/// let f4 = Poly::symbol(Symbol::intern("f4"));
+/// let f5 = Poly::symbol(Symbol::intern("f5"));
+/// // p = f4 / (f4 + f5), the firing probability of t4 in its conflict set
+/// let p = RatFn::new(f4.clone(), &f4 + &f5);
+/// let q = RatFn::new(f5.clone(), &f4 + &f5);
+/// assert!((p + q).is_one()); // probabilities sum to one
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct RatFn {
+    num: Poly,
+    den: Poly, // invariant: non-zero, integer-primitive, positive leading coeff, coprime with num
+}
+
+/// Errors from rational-function arithmetic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RatFnError {
+    /// Division by the zero function.
+    DivisionByZero,
+}
+
+impl fmt::Display for RatFnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RatFnError::DivisionByZero => write!(f, "division by the zero rational function"),
+        }
+    }
+}
+
+impl std::error::Error for RatFnError {}
+
+impl RatFn {
+    /// Construct `num / den` in canonical form.
+    ///
+    /// # Panics
+    /// Panics if `den` is the zero polynomial.
+    pub fn new(num: Poly, den: Poly) -> RatFn {
+        RatFn::checked_new(num, den).expect("RatFn::new: zero denominator")
+    }
+
+    /// Fallible constructor.
+    pub fn checked_new(num: Poly, den: Poly) -> Result<RatFn, RatFnError> {
+        if den.is_zero() {
+            return Err(RatFnError::DivisionByZero);
+        }
+        if num.is_zero() {
+            return Ok(RatFn { num: Poly::zero(), den: Poly::one() });
+        }
+        let g = num.gcd(&den);
+        let mut num = num.try_div(&g).expect("gcd divides numerator");
+        let mut den = den.try_div(&g).expect("gcd divides denominator");
+        // Scale so the denominator is integer-primitive with a positive
+        // leading coefficient; the numerator absorbs the unit.
+        let (dp, dc) = den.to_primitive_integer();
+        den = dp;
+        num = num.scale(&dc.recip());
+        Ok(RatFn { num, den })
+    }
+
+    /// The zero function.
+    pub fn zero() -> RatFn {
+        RatFn { num: Poly::zero(), den: Poly::one() }
+    }
+
+    /// The constant one.
+    pub fn one() -> RatFn {
+        RatFn { num: Poly::one(), den: Poly::one() }
+    }
+
+    /// A constant function.
+    pub fn constant(c: Rational) -> RatFn {
+        RatFn { num: Poly::constant(c), den: Poly::one() }
+    }
+
+    /// A polynomial viewed as a rational function.
+    pub fn from_poly(p: Poly) -> RatFn {
+        RatFn { num: p, den: Poly::one() }
+    }
+
+    /// The function consisting of a single symbol.
+    pub fn symbol(s: Symbol) -> RatFn {
+        RatFn::from_poly(Poly::symbol(s))
+    }
+
+    /// The (canonical) numerator.
+    pub fn numer(&self) -> &Poly {
+        &self.num
+    }
+
+    /// The (canonical) denominator.
+    pub fn denom(&self) -> &Poly {
+        &self.den
+    }
+
+    /// `true` iff this is the zero function.
+    pub fn is_zero(&self) -> bool {
+        self.num.is_zero()
+    }
+
+    /// `true` iff this is the constant one.
+    pub fn is_one(&self) -> bool {
+        self.num == self.den
+    }
+
+    /// The constant value, if the function is constant.
+    pub fn as_constant(&self) -> Option<Rational> {
+        let n = self.num.as_constant()?;
+        let d = self.den.as_constant()?;
+        Some(n / d)
+    }
+
+    /// Reciprocal.
+    pub fn recip(&self) -> Result<RatFn, RatFnError> {
+        RatFn::checked_new(self.den.clone(), self.num.clone())
+    }
+
+    /// Evaluate under a total assignment. Returns `None` if a symbol is
+    /// unbound or the denominator vanishes at the point.
+    pub fn eval(&self, a: &Assignment) -> Option<Rational> {
+        let n = self.num.eval(a)?;
+        let d = self.den.eval(a)?;
+        if d.is_zero() {
+            return None;
+        }
+        Some(n / d)
+    }
+
+    /// Substitute values for a subset of symbols, re-canonicalising.
+    pub fn eval_partial(&self, a: &Assignment) -> Result<RatFn, RatFnError> {
+        RatFn::checked_new(self.num.eval_partial(a), self.den.eval_partial(a))
+    }
+
+    /// Partial derivative with respect to a symbol (quotient rule),
+    /// re-canonicalised.
+    pub fn derivative(&self, s: Symbol) -> RatFn {
+        let n = &self.num;
+        let d = &self.den;
+        let num = &(&n.derivative(s) * d) - &(n * &d.derivative(s));
+        let den = d * d;
+        RatFn::new(num, den)
+    }
+
+    /// The elasticity `(s / f)·∂f/∂s` evaluated at a point: the relative
+    /// change of `f` per relative change of `s`. `None` if the point is
+    /// outside the domain or `f` vanishes there.
+    pub fn elasticity_at(&self, s: Symbol, at: &Assignment) -> Option<Rational> {
+        let f = self.eval(at)?;
+        if f.is_zero() {
+            return None;
+        }
+        let df = self.derivative(s).eval(at)?;
+        let x = *at.get(s)?;
+        Some(x * df / f)
+    }
+
+    /// All symbols occurring in the function.
+    pub fn symbols(&self) -> Vec<Symbol> {
+        let mut out = self.num.symbols();
+        for s in self.den.symbols() {
+            if let Err(pos) = out.binary_search(&s) {
+                out.insert(pos, s);
+            }
+        }
+        out
+    }
+}
+
+impl Default for RatFn {
+    fn default() -> Self {
+        RatFn::zero()
+    }
+}
+
+impl From<Rational> for RatFn {
+    fn from(c: Rational) -> RatFn {
+        RatFn::constant(c)
+    }
+}
+
+impl From<Poly> for RatFn {
+    fn from(p: Poly) -> RatFn {
+        RatFn::from_poly(p)
+    }
+}
+
+impl Add for RatFn {
+    type Output = RatFn;
+    fn add(self, rhs: RatFn) -> RatFn {
+        &self + &rhs
+    }
+}
+
+impl Add<&RatFn> for &RatFn {
+    type Output = RatFn;
+    fn add(self, rhs: &RatFn) -> RatFn {
+        let num = &(&self.num * &rhs.den) + &(&rhs.num * &self.den);
+        let den = &self.den * &rhs.den;
+        RatFn::new(num, den)
+    }
+}
+
+impl AddAssign for RatFn {
+    fn add_assign(&mut self, rhs: RatFn) {
+        *self = &*self + &rhs;
+    }
+}
+
+impl Sub for RatFn {
+    type Output = RatFn;
+    fn sub(self, rhs: RatFn) -> RatFn {
+        &self - &rhs
+    }
+}
+
+impl Sub<&RatFn> for &RatFn {
+    type Output = RatFn;
+    fn sub(self, rhs: &RatFn) -> RatFn {
+        let num = &(&self.num * &rhs.den) - &(&rhs.num * &self.den);
+        let den = &self.den * &rhs.den;
+        RatFn::new(num, den)
+    }
+}
+
+impl SubAssign for RatFn {
+    fn sub_assign(&mut self, rhs: RatFn) {
+        *self = &*self - &rhs;
+    }
+}
+
+impl Mul for RatFn {
+    type Output = RatFn;
+    fn mul(self, rhs: RatFn) -> RatFn {
+        &self * &rhs
+    }
+}
+
+impl Mul<&RatFn> for &RatFn {
+    type Output = RatFn;
+    fn mul(self, rhs: &RatFn) -> RatFn {
+        // Cross-cancel before multiplying to keep degrees low.
+        let g1 = self.num.gcd(&rhs.den);
+        let g2 = rhs.num.gcd(&self.den);
+        let n1 = self.num.try_div(&g1).unwrap_or_else(|| self.num.clone());
+        let d2 = rhs.den.try_div(&g1).unwrap_or_else(|| rhs.den.clone());
+        let n2 = rhs.num.try_div(&g2).unwrap_or_else(|| rhs.num.clone());
+        let d1 = self.den.try_div(&g2).unwrap_or_else(|| self.den.clone());
+        RatFn::new(&n1 * &n2, &d1 * &d2)
+    }
+}
+
+impl MulAssign for RatFn {
+    fn mul_assign(&mut self, rhs: RatFn) {
+        *self = &*self * &rhs;
+    }
+}
+
+impl Div for RatFn {
+    type Output = RatFn;
+    fn div(self, rhs: RatFn) -> RatFn {
+        &self / &rhs
+    }
+}
+
+impl Div<&RatFn> for &RatFn {
+    type Output = RatFn;
+    #[allow(clippy::suspicious_arithmetic_impl)] // division = multiply by the reciprocal
+    fn div(self, rhs: &RatFn) -> RatFn {
+        let r = rhs.recip().expect("RatFn division by zero");
+        self * &r
+    }
+}
+
+impl Neg for RatFn {
+    type Output = RatFn;
+    fn neg(self) -> RatFn {
+        RatFn { num: -self.num, den: self.den }
+    }
+}
+
+impl fmt::Display for RatFn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den.is_one() {
+            write!(f, "{}", self.num)
+        } else {
+            let n = self.num.to_string();
+            let needs_parens = self.num.num_terms() > 1;
+            if needs_parens {
+                write!(f, "({n})")?;
+            } else {
+                write!(f, "{n}")?;
+            }
+            let d = self.den.to_string();
+            if self.den.num_terms() > 1 {
+                write!(f, "/({d})")
+            } else {
+                write!(f, "/{d}")
+            }
+        }
+    }
+}
+
+impl fmt::Debug for RatFn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sp(n: &str) -> Poly {
+        Poly::symbol(Symbol::intern(n))
+    }
+
+    fn r(n: i128, d: i128) -> Rational {
+        Rational::new(n, d)
+    }
+
+    #[test]
+    fn canonical_form() {
+        let x = sp("rf_x");
+        let y = sp("rf_y");
+        // (x² - y²) / (x + y)  canonicalises to  x - y
+        let f = RatFn::new(&(&x * &x) - &(&y * &y), &x + &y);
+        assert_eq!(f, RatFn::from_poly(&x - &y));
+        assert!(f.denom().is_one());
+        // zero numerator forces the canonical zero
+        let z = RatFn::new(Poly::zero(), x.clone());
+        assert_eq!(z, RatFn::zero());
+        assert!(z.denom().is_one());
+    }
+
+    #[test]
+    fn denominator_sign_normalised() {
+        let x = sp("rf_s");
+        let f = RatFn::new(Poly::one(), -x.clone());
+        let g = RatFn::new(-Poly::one(), x.clone());
+        assert_eq!(f, g);
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let f4 = sp("rf_f4");
+        let f5 = sp("rf_f5");
+        let p = RatFn::new(f4.clone(), &f4 + &f5);
+        let q = RatFn::new(f5.clone(), &f4 + &f5);
+        assert!((p.clone() + q.clone()).is_one());
+        assert_eq!(p.clone() * q.clone(), RatFn::new(&f4 * &f5, (&f4 + &f5).pow(2)));
+        assert_eq!(&p - &p, RatFn::zero());
+    }
+
+    #[test]
+    fn field_ops() {
+        let x = RatFn::symbol(Symbol::intern("rf_a"));
+        let y = RatFn::symbol(Symbol::intern("rf_b"));
+        let f = &x / &y;
+        let g = &y / &x;
+        assert!((f.clone() * g.clone()).is_one());
+        assert_eq!(f.recip().unwrap(), g);
+        assert!(RatFn::zero().recip().is_err());
+        let h = &f + &g; // (x² + y²)/(xy)
+        let expect = RatFn::new(
+            &(&Poly::symbol(Symbol::intern("rf_a")) * &Poly::symbol(Symbol::intern("rf_a")))
+                + &(&Poly::symbol(Symbol::intern("rf_b")) * &Poly::symbol(Symbol::intern("rf_b"))),
+            &Poly::symbol(Symbol::intern("rf_a")) * &Poly::symbol(Symbol::intern("rf_b")),
+        );
+        assert_eq!(h, expect);
+    }
+
+    #[test]
+    fn eval() {
+        let a = Symbol::intern("rf_e1");
+        let b = Symbol::intern("rf_e2");
+        let f = RatFn::new(Poly::symbol(a), &Poly::symbol(a) + &Poly::symbol(b));
+        let asn = Assignment::new().with(a, r(19, 1)).with(b, r(1, 1));
+        assert_eq!(f.eval(&asn), Some(r(19, 20)));
+        // unbound symbol
+        assert_eq!(f.eval(&Assignment::new()), None);
+        // denominator vanishing
+        let bad = Assignment::new().with(a, r(1, 1)).with(b, r(-1, 1));
+        assert_eq!(f.eval(&bad), None);
+    }
+
+    #[test]
+    fn eval_partial() {
+        let a = Symbol::intern("rf_p1");
+        let b = Symbol::intern("rf_p2");
+        let f = RatFn::new(Poly::symbol(a), &Poly::symbol(a) + &Poly::symbol(b));
+        let partial = Assignment::new().with(a, r(19, 1));
+        let g = f.eval_partial(&partial).unwrap();
+        let full = Assignment::new().with(b, r(1, 1));
+        assert_eq!(g.eval(&full), Some(r(19, 20)));
+    }
+
+    #[test]
+    fn constants() {
+        let c = RatFn::constant(r(3, 4));
+        assert_eq!(c.as_constant(), Some(r(3, 4)));
+        assert!(RatFn::one().is_one());
+        assert!(RatFn::zero().is_zero());
+        assert_eq!((RatFn::constant(r(1, 2)) + RatFn::constant(r(1, 2))).as_constant(), Some(Rational::ONE));
+        assert_eq!(RatFn::symbol(Symbol::intern("rf_c")).as_constant(), None);
+    }
+
+    #[test]
+    fn derivative_quotient_rule() {
+        let x = Symbol::intern("rf_d1");
+        // f = 1/x  =>  f' = −1/x²
+        let f = RatFn::new(Poly::one(), Poly::symbol(x));
+        let expect = RatFn::new(-Poly::one(), Poly::symbol(x).pow(2));
+        assert_eq!(f.derivative(x), expect);
+        // f = x/(x+1) => f' = 1/(x+1)²
+        let g = RatFn::new(Poly::symbol(x), &Poly::symbol(x) + &Poly::one());
+        let expect2 = RatFn::new(Poly::one(), (&Poly::symbol(x) + &Poly::one()).pow(2));
+        assert_eq!(g.derivative(x), expect2);
+        // derivative in an absent symbol is zero
+        let y = Symbol::intern("rf_d2");
+        assert!(g.derivative(y).is_zero());
+    }
+
+    #[test]
+    fn elasticity() {
+        let x = Symbol::intern("rf_el");
+        // f = x²: elasticity is exactly 2 everywhere
+        let f = RatFn::from_poly(Poly::symbol(x).pow(2));
+        let at = Assignment::new().with(x, r(7, 2));
+        assert_eq!(f.elasticity_at(x, &at), Some(r(2, 1)));
+        // elasticity of a constant is 0
+        let c = RatFn::constant(r(3, 1));
+        assert_eq!(c.elasticity_at(x, &at), Some(Rational::ZERO));
+        // undefined where f vanishes
+        let zero_at = Assignment::new().with(x, Rational::ZERO);
+        assert_eq!(f.elasticity_at(x, &zero_at), None);
+    }
+
+    #[test]
+    fn display() {
+        let f4 = Symbol::intern("f4_disp");
+        let f5 = Symbol::intern("f5_disp");
+        let p = RatFn::new(Poly::symbol(f4), &Poly::symbol(f4) + &Poly::symbol(f5));
+        let shown = p.to_string();
+        assert!(shown.contains("f4_disp"), "{shown}");
+        assert!(shown.contains('/'), "{shown}");
+    }
+}

@@ -1,0 +1,123 @@
+//! Interned symbols.
+//!
+//! A [`Symbol`] is a cheap, copyable handle to an interned name such as
+//! `E(t3)`, `F(t4)` or `f4`. Interning makes symbol comparison and
+//! hashing O(1), which matters because symbols are the keys of every
+//! polynomial monomial and linear-expression term in the workspace.
+//!
+//! The interner is a process-global table: two calls to
+//! [`Symbol::intern`] with the same string always return the same
+//! handle, from any thread. Symbol ordering (used for canonical display
+//! and for the deterministic variable-elimination order of the
+//! constraint solver) is *interning order*, not lexicographic order —
+//! deterministic as long as symbol creation order is deterministic,
+//! which it is everywhere in this workspace.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{Mutex, OnceLock};
+
+/// A handle to an interned symbol name.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Symbol(u32);
+
+/// The global interner state.
+#[derive(Default)]
+pub struct SymbolTable {
+    names: Vec<String>,
+    by_name: HashMap<String, u32>,
+}
+
+impl SymbolTable {
+    fn intern(&mut self, name: &str) -> Symbol {
+        if let Some(&id) = self.by_name.get(name) {
+            return Symbol(id);
+        }
+        let id = u32::try_from(self.names.len()).expect("symbol table overflow");
+        self.names.push(name.to_string());
+        self.by_name.insert(name.to_string(), id);
+        Symbol(id)
+    }
+
+    fn name(&self, sym: Symbol) -> &str {
+        &self.names[sym.0 as usize]
+    }
+}
+
+fn table() -> &'static Mutex<SymbolTable> {
+    static TABLE: OnceLock<Mutex<SymbolTable>> = OnceLock::new();
+    TABLE.get_or_init(|| Mutex::new(SymbolTable::default()))
+}
+
+impl Symbol {
+    /// Intern a name, returning its handle. Idempotent.
+    pub fn intern(name: &str) -> Symbol {
+        table().lock().expect("symbol table poisoned").intern(name)
+    }
+
+    /// The interned name.
+    pub fn name(&self) -> String {
+        table()
+            .lock()
+            .expect("symbol table poisoned")
+            .name(*self)
+            .to_string()
+    }
+
+    /// The raw interner index (stable for the process lifetime).
+    pub fn index(&self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Symbol({:?})", self.name())
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let a = Symbol::intern("E(t3)");
+        let b = Symbol::intern("E(t3)");
+        assert_eq!(a, b);
+        assert_eq!(a.name(), "E(t3)");
+    }
+
+    #[test]
+    fn distinct_names_distinct_symbols() {
+        let a = Symbol::intern("F(t4)");
+        let b = Symbol::intern("F(t5)");
+        assert_ne!(a, b);
+        assert_eq!(a.name(), "F(t4)");
+        assert_eq!(b.name(), "F(t5)");
+    }
+
+    #[test]
+    fn display_shows_name() {
+        let a = Symbol::intern("f4");
+        assert_eq!(a.to_string(), "f4");
+        assert!(format!("{a:?}").contains("f4"));
+    }
+
+    #[test]
+    fn interning_from_threads_is_consistent() {
+        let handles: Vec<_> = (0..8)
+            .map(|_| std::thread::spawn(|| Symbol::intern("threaded")))
+            .collect();
+        let first = Symbol::intern("threaded");
+        for h in handles {
+            assert_eq!(h.join().unwrap(), first);
+        }
+    }
+}

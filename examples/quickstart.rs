@@ -1,0 +1,61 @@
+//! Quickstart: analyse the paper's protocol end to end, numerically.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+//!
+//! Builds the Figure-1 net with the Figure-1b times, constructs the
+//! timed reachability graph (Figure 4), collapses it to the decision
+//! graph (Figure 5), solves the traversal rates and prints throughput
+//! and cycle-time figures.
+
+use timed_petri::prelude::*;
+use timed_petri::protocols::simple;
+
+fn main() {
+    let proto = simple::paper();
+    println!("=== net (Figure 1) ===\n{}", proto.net);
+
+    let domain = NumericDomain::new();
+    let trg = build_trg(&proto.net, &domain, &TrgOptions::default())
+        .expect("the paper net explores without errors");
+    println!(
+        "=== timed reachability graph (Figure 4): {} states, {} edges ===",
+        trg.num_states(),
+        trg.num_edges()
+    );
+    println!("{}", trg.describe_states(&proto.net));
+
+    let dg = DecisionGraph::from_trg(&trg, &domain).expect("protocol cycle exists");
+    println!("=== decision graph (Figure 5) ===");
+    println!("{}", dg.describe(&proto.net));
+
+    let rates = solve_rates(&dg, 0).expect("ergodic cycle");
+    let perf = Performance::new(&dg, rates, &domain).expect("non-zero cycle time");
+    println!("=== rates and weights ===");
+    println!("{}", perf.describe(&proto.net, &dg));
+
+    let t7 = proto.t[6];
+    let throughput = perf.throughput(&dg, t7);
+    println!(
+        "throughput  = {} msg/ms = {:.4} msg/s",
+        throughput,
+        throughput.to_f64() * 1000.0
+    );
+    println!(
+        "mean time per acknowledged message = {} ms",
+        throughput.recip().to_decimal_string(2)
+    );
+
+    // How the sender spends its time:
+    let t3 = proto.t[2];
+    println!(
+        "timeout recoveries per second      = {:.4}",
+        perf.throughput(&dg, t3).to_f64() * 1000.0
+    );
+    let awaiting = proto.p[3];
+    println!(
+        "P(awaiting ack)                    = {:.4}",
+        perf.place_utilization(&dg, &trg, &domain, awaiting).to_f64()
+    );
+}

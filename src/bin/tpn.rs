@@ -1,0 +1,177 @@
+//! `tpn` — command-line driver for Timed Petri Net analysis.
+//!
+//! ```text
+//! tpn show <net.tpn>                    print the parsed net and statistics
+//! tpn dot <net.tpn>                     Graphviz rendering of the net
+//! tpn graph <net.tpn>                   timed reachability graph (state table + dot)
+//! tpn analyze <net.tpn> [TRANSITION..]  decision graph, rates, throughputs
+//! tpn correctness <net.tpn>             deadlock/safeness/liveness report
+//! tpn invariants <net.tpn>              P- and T-semiflows
+//! tpn simulate <net.tpn> [EVENTS [SEED]]  Monte-Carlo run
+//! ```
+//!
+//! Nets use the `.tpn` text format documented in `tpn-net` (see the
+//! README for an example). All analysis commands require fully timed
+//! nets; symbolic analysis is a library-level feature (constraint sets
+//! have no text syntax yet).
+
+use std::process::ExitCode;
+
+use timed_petri::prelude::*;
+use tpn_net::invariant;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("tpn: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn load(path: &str) -> Result<TimedPetriNet, String> {
+    let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    tpn_net::parse_tpn(&src).map_err(|e| e.to_string())
+}
+
+type NumericPipeline = (
+    tpn_reach::TimedReachabilityGraph<NumericDomain>,
+    DecisionGraph<NumericDomain>,
+    Performance<NumericDomain>,
+);
+
+fn pipeline(net: &TimedPetriNet) -> Result<NumericPipeline, String> {
+    let domain = NumericDomain::new();
+    let trg = build_trg(net, &domain, &TrgOptions::default()).map_err(|e| e.to_string())?;
+    let dg = DecisionGraph::from_trg(&trg, &domain).map_err(|e| e.to_string())?;
+    let rates = solve_rates(&dg, 0).map_err(|e| e.to_string())?;
+    let perf = Performance::new(&dg, rates, &domain).map_err(|e| e.to_string())?;
+    Ok((trg, dg, perf))
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let usage = "usage: tpn <show|dot|graph|analyze|correctness|invariants|simulate> <net.tpn> [args]";
+    let cmd = args.first().ok_or(usage)?;
+    let path = args.get(1).ok_or(usage)?;
+    let net = load(path)?;
+    match cmd.as_str() {
+        "show" => {
+            print!("{net}");
+            let s = net.stats();
+            println!(
+                "\n{} places, {} transitions, {} arcs, {} conflict sets ({} non-trivial), {} initial tokens",
+                s.places, s.transitions, s.arcs, s.conflict_sets, s.nontrivial_conflict_sets, s.initial_tokens
+            );
+            Ok(())
+        }
+        "dot" => {
+            print!("{}", tpn_net::to_dot(&net));
+            Ok(())
+        }
+        "graph" => {
+            let domain = NumericDomain::new();
+            let trg =
+                build_trg(&net, &domain, &TrgOptions::default()).map_err(|e| e.to_string())?;
+            println!(
+                "{} states, {} edges, {} decision states, {} terminal states\n",
+                trg.num_states(),
+                trg.num_edges(),
+                trg.decision_states().len(),
+                trg.terminal_states().len()
+            );
+            print!("{}", trg.describe_states(&net));
+            println!("\n{}", trg.to_dot(&net));
+            Ok(())
+        }
+        "analyze" => {
+            let (_, dg, perf) = pipeline(&net)?;
+            println!("decision graph:");
+            print!("{}", dg.describe(&net));
+            println!("\nrates and weights (reference edge 0):");
+            print!("{}", perf.describe(&net, &dg));
+            println!("\nthroughput (firings per time unit):");
+            let selected: Vec<String> = args[2..].to_vec();
+            for t in net.transitions() {
+                let name = net.transition(t).name();
+                if !selected.is_empty() && !selected.iter().any(|s| s == name) {
+                    continue;
+                }
+                let th = perf.throughput(&dg, t);
+                println!("  {name:<16} {th}  ≈ {:.6}", th.to_f64());
+            }
+            Ok(())
+        }
+        "correctness" => {
+            let domain = NumericDomain::new();
+            let trg =
+                build_trg(&net, &domain, &TrgOptions::default()).map_err(|e| e.to_string())?;
+            let report = tpn_reach::analyze(&trg, &net);
+            print!("{}", report.describe(&net));
+            if report.is_correct() {
+                println!("verdict: correct (deadlock-free, 1-safe, live, reversible)");
+            } else {
+                println!("verdict: NOT correct");
+            }
+            Ok(())
+        }
+        "invariants" => {
+            println!("P-semiflows (conserved token sums):");
+            for f in invariant::p_semiflows(&net) {
+                let parts: Vec<String> = f
+                    .support()
+                    .into_iter()
+                    .map(|p| {
+                        let name = net.place_name(tpn_net::PlaceId::from_index(p));
+                        let w = f.weights[p];
+                        if w == 1 { name.to_string() } else { format!("{w}·{name}") }
+                    })
+                    .collect();
+                println!(
+                    "  {} = {}",
+                    parts.join(" + "),
+                    invariant::conserved_quantity(&net, &f)
+                );
+            }
+            println!("T-semiflows (marking-reproducing firing counts):");
+            for f in invariant::t_semiflows(&net) {
+                let parts: Vec<String> = f
+                    .support()
+                    .into_iter()
+                    .map(|t| {
+                        let name = net.transition(tpn_net::TransId::from_index(t)).name();
+                        let w = f.weights[t];
+                        if w == 1 { name.to_string() } else { format!("{w}·{name}") }
+                    })
+                    .collect();
+                println!("  {{{}}}", parts.join(", "));
+            }
+            println!(
+                "covered by P-semiflows (structurally bounded): {}",
+                invariant::covered_by_p_semiflows(&net)
+            );
+            Ok(())
+        }
+        "simulate" => {
+            let events: u64 = args
+                .get(2)
+                .map(|s| s.parse().map_err(|_| format!("bad event count {s:?}")))
+                .transpose()?
+                .unwrap_or(1_000_000);
+            let seed: u64 = args
+                .get(3)
+                .map(|s| s.parse().map_err(|_| format!("bad seed {s:?}")))
+                .transpose()?
+                .unwrap_or(0x5EED);
+            let stats = simulate(
+                &net,
+                &SimOptions { seed, max_events: events, ..SimOptions::default() },
+            )
+            .map_err(|e| e.to_string())?;
+            print!("{}", stats.describe(&net));
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}\n{usage}")),
+    }
+}

@@ -1,0 +1,66 @@
+//! `timed-petri` — derivation of performance expressions for
+//! communication protocols from Timed Petri Net models.
+//!
+//! A faithful, production-quality Rust implementation of
+//!
+//! > Rami R. Razouk, *"The Derivation of Performance Expressions for
+//! > Communication Protocols from Timed Petri Net Models"*,
+//! > ACM SIGCOMM 1984 (UC Irvine ICS TR #211, 1983).
+//!
+//! This facade crate re-exports the entire workspace. The layering,
+//! bottom-up:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`rational`] | `tpn-rational` | exact rational arithmetic |
+//! | [`symbolic`] | `tpn-symbolic` | symbols, affine expressions, polynomials, rational functions, Fourier–Motzkin timing constraints |
+//! | [`linalg`] | `tpn-linalg` | exact dense/sparse linear algebra over generic fields |
+//! | [`net`] | `tpn-net` | the Timed Petri Net model, builder, validation, `.tpn` format |
+//! | [`reach`] | `tpn-reach` | timed reachability graphs (numeric §2 and symbolic §3) |
+//! | [`core`] | `tpn-core` | decision graphs, traversal rates, performance expressions |
+//! | [`sim`] | `tpn-sim` | discrete-event Monte-Carlo validation |
+//! | [`protocols`] | `tpn-protocols` | the paper's nets and parametric families |
+//!
+//! # Quickstart
+//!
+//! Reproduce the paper's protocol throughput (§4) end to end:
+//!
+//! ```
+//! use timed_petri::prelude::*;
+//!
+//! // the paper's Figure-1 protocol with Figure-1b times
+//! let proto = timed_petri::protocols::simple::paper();
+//! let domain = NumericDomain::new();
+//! let trg = build_trg(&proto.net, &domain, &TrgOptions::default()).unwrap();
+//! assert_eq!(trg.num_states(), 18); // the paper's Figure 4
+//!
+//! let dg = DecisionGraph::from_trg(&trg, &domain).unwrap();
+//! let rates = solve_rates(&dg, 0).unwrap();
+//! let perf = Performance::new(&dg, rates, &domain).unwrap();
+//! let t7 = proto.t[6]; // sender receives the ACK: a successfully
+//!                      // acknowledged message (the paper's edge 2)
+//! let throughput = perf.throughput(&dg, t7);
+//! // ≈ 2.85 messages per second (times are in milliseconds)
+//! assert!((throughput.to_f64() * 1000.0 - 2.8518).abs() < 1e-3);
+//! ```
+
+pub use tpn_core as core;
+pub use tpn_linalg as linalg;
+pub use tpn_net as net;
+pub use tpn_protocols as protocols;
+pub use tpn_rational as rational;
+pub use tpn_reach as reach;
+pub use tpn_sim as sim;
+pub use tpn_symbolic as symbolic;
+
+/// The commonly used names, for glob import.
+pub mod prelude {
+    pub use tpn_core::{solve_rates, solve_rates_with, DecisionGraph, Performance, RateMethod, Rates};
+    pub use tpn_net::{Bag, Marking, NetBuilder, TimedPetriNet};
+    pub use tpn_rational::Rational;
+    pub use tpn_reach::{
+        analyze, build_trg, Interval, IntervalDomain, NumericDomain, SymbolicDomain, TrgOptions,
+    };
+    pub use tpn_sim::{simulate, SimOptions};
+    pub use tpn_symbolic::{Assignment, ConstraintSet, LinExpr, Poly, RatFn, Symbol};
+}

@@ -1,0 +1,130 @@
+//! Correctness-side results (the paper's conclusion: timed reachability
+//! graphs carry correctness proofs too): invariants, deadlock freedom,
+//! safeness, liveness and reversibility of both protocol models — and
+//! the *failure* modes when the protocol is mis-configured.
+
+use timed_petri::prelude::*;
+use timed_petri::protocols::{abp::abp, simple};
+use tpn_net::invariant;
+
+#[test]
+fn simple_protocol_is_correct() {
+    let proto = simple::paper();
+    let trg = build_trg(&proto.net, &NumericDomain::new(), &TrgOptions::default()).unwrap();
+    let report = tpn_reach::analyze(&trg, &proto.net);
+    assert!(report.is_correct(), "{}", report.describe(&proto.net));
+    assert_eq!(report.bound, 1);
+}
+
+#[test]
+fn abp_is_correct() {
+    let a = abp(&simple::Params::paper());
+    let trg = build_trg(&a.net, &NumericDomain::new(), &TrgOptions::default()).unwrap();
+    let report = tpn_reach::analyze(&trg, &a.net);
+    assert!(report.is_correct(), "{}", report.describe(&a.net));
+}
+
+#[test]
+fn protocol_t_semiflows_are_the_three_cycles() {
+    // {t2,t3,t5} (packet lost), {t1,t2,t4,t6,t7,t8} (success),
+    // {t2,t3,t4,t6,t9} (ack lost) — exactly the three cycles the
+    // decision graph's edges compose.
+    let proto = simple::paper();
+    let flows = invariant::t_semiflows(&proto.net);
+    let mut supports: Vec<Vec<String>> = flows
+        .iter()
+        .map(|f| {
+            invariant::t_semiflow_transitions(f)
+                .into_iter()
+                .map(|t| proto.net.transition(t).name().to_string())
+                .collect()
+        })
+        .collect();
+    supports.sort();
+    let mut expect = vec![
+        vec!["t2", "t3", "t5"],
+        vec!["t1", "t2", "t4", "t6", "t7", "t8"],
+        vec!["t2", "t3", "t4", "t6", "t9"],
+    ];
+    for e in &mut expect {
+        e.sort();
+    }
+    let mut expect: Vec<Vec<String>> = expect
+        .into_iter()
+        .map(|v| v.into_iter().map(String::from).collect())
+        .collect();
+    expect.sort();
+    assert_eq!(supports, expect);
+    for f in &flows {
+        assert!(invariant::is_t_semiflow(&proto.net, &f.weights));
+    }
+}
+
+#[test]
+fn sender_state_machine_is_conserved() {
+    // P-semiflow: sender_ready + awaiting_ack + ack_accepted = 1 — the
+    // sender is always in exactly one of its three states.
+    let proto = simple::paper();
+    let flows = invariant::p_semiflows(&proto.net);
+    let sender_flow = flows
+        .iter()
+        .find(|f| f.weights[proto.p[0].index()] != 0)
+        .expect("sender invariant exists");
+    assert_eq!(invariant::conserved_quantity(&proto.net, sender_flow), 1);
+    let support = sender_flow.support();
+    assert_eq!(support.len(), 3);
+    // verify the invariant holds in every reachable state
+    let trg = build_trg(&proto.net, &NumericDomain::new(), &TrgOptions::default()).unwrap();
+    for s in trg.state_ids() {
+        let m = trg.state(s).marking();
+        let total = sender_flow.weighted_sum((0..m.num_places()).map(|p| {
+            m.tokens(tpn_net::PlaceId::from_index(p))
+        }));
+        // Tokens can be "in flight" inside a firing transition, so the
+        // weighted sum is ≤ 1 pointwise and returns to 1 whenever the
+        // sender-side transitions are idle.
+        assert!(total <= 1, "invariant violated at {s}");
+    }
+}
+
+#[test]
+fn too_short_timeout_breaks_the_protocol() {
+    // Violating constraint (1): timeout < round-trip. The sender times
+    // out while the packet/ACK is still in flight, retransmits, and a
+    // second token enters the medium: the conflict-set restriction
+    // breaks (or the net becomes unsafe). The engine must refuse rather
+    // than silently produce wrong numbers.
+    let mut params = simple::Params::paper();
+    params.timeout = Rational::from_int(100); // < 226.9 round trip
+    let proto = simple::numeric(&params);
+    let result = build_trg(&proto.net, &NumericDomain::new(), &TrgOptions::default());
+    match result {
+        Err(tpn_reach::ReachError::MultipleFiring { .. }) => {}
+        Ok(trg) => {
+            // If exploration succeeds the graph must reveal the damage:
+            // some reachable marking is no longer 1-safe.
+            let report = tpn_reach::analyze(&trg, &proto.net);
+            assert!(
+                !report.unsafe_states.is_empty() || !report.is_correct(),
+                "short timeout must be detectably wrong"
+            );
+        }
+        Err(e) => panic!("unexpected error {e}"),
+    }
+}
+
+#[test]
+fn symbolic_and_numeric_correctness_agree() {
+    let (sproto, cs) = simple::symbolic();
+    let sdomain = SymbolicDomain::new(&sproto.net, cs);
+    let strg = build_trg(&sproto.net, &sdomain, &TrgOptions::default()).unwrap();
+    let sreport = tpn_reach::analyze(&strg, &sproto.net);
+    assert!(sreport.is_correct(), "{}", sreport.describe(&sproto.net));
+
+    let nproto = simple::paper();
+    let ntrg = build_trg(&nproto.net, &NumericDomain::new(), &TrgOptions::default()).unwrap();
+    let nreport = tpn_reach::analyze(&ntrg, &nproto.net);
+    assert_eq!(sreport.bound, nreport.bound);
+    assert_eq!(sreport.deadlocks.len(), nreport.deadlocks.len());
+    assert_eq!(sreport.dead_transitions.len(), nreport.dead_transitions.len());
+}

@@ -1,0 +1,93 @@
+//! E1 — Figure 1: structural reproduction of the protocol net and its
+//! enabling/firing-time table (Figure 1b).
+
+use timed_petri::prelude::*;
+use timed_petri::protocols::simple;
+
+fn r(s: &str) -> Rational {
+    s.parse().unwrap()
+}
+
+#[test]
+fn figure_1b_time_table() {
+    let proto = simple::paper();
+    let expect: [(&str, &str, &str); 9] = [
+        ("t1", "0", "1"),
+        ("t2", "0", "1"),
+        ("t3", "1000", "1"),
+        ("t4", "0", "106.7"),
+        ("t5", "0", "106.7"),
+        ("t6", "0", "13.5"),
+        ("t7", "0", "13.5"),
+        ("t8", "0", "106.7"),
+        ("t9", "0", "106.7"),
+    ];
+    for (name, e, f) in expect {
+        let t = proto.net.transition_by_name(name).unwrap();
+        let tr = proto.net.transition(t);
+        assert_eq!(tr.enabling().known(), Some(&r(e)), "E({name})");
+        assert_eq!(tr.firing().known(), Some(&r(f)), "F({name})");
+    }
+}
+
+#[test]
+fn three_conflict_sets_with_paper_frequencies() {
+    let proto = simple::paper();
+    let w = |name: &str| {
+        let t = proto.net.transition_by_name(name).unwrap();
+        *proto.net.transition(t).frequency().weight().unwrap()
+    };
+    // 1. {t4: 0.95, t5: 0.05} — 5% packet loss
+    assert_eq!(w("t4"), r("0.95"));
+    assert_eq!(w("t5"), r("0.05"));
+    // 2. {t3: 0, t7: 1} — ACK receipt has priority over the timeout
+    assert_eq!(w("t3"), r("0"));
+    assert_eq!(w("t7"), r("1"));
+    // 3. {t8: 0.95, t9: 0.05} — 5% ACK loss
+    assert_eq!(w("t8"), r("0.95"));
+    assert_eq!(w("t9"), r("0.05"));
+}
+
+#[test]
+fn dot_export_is_complete() {
+    let proto = simple::paper();
+    let dot = tpn_net::to_dot(&proto.net);
+    for t in 1..=9 {
+        assert!(dot.contains(&format!("\"t{t}\"")), "missing t{t} in DOT");
+    }
+    for p in [
+        "sender_ready",
+        "packet_in_medium",
+        "packet_delivered",
+        "awaiting_ack",
+        "ack_accepted",
+        "ack_delivered",
+        "ack_in_medium",
+        "receiver_ready",
+    ] {
+        assert!(dot.contains(&format!("\"{p}\"")), "missing {p} in DOT");
+    }
+}
+
+#[test]
+fn tpn_roundtrip_preserves_analysis() {
+    // Export the paper net through the .tpn text format, re-parse it and
+    // verify the full analysis is unchanged — the formats are part of
+    // the public interface.
+    let proto = simple::paper();
+    let text = proto.net.to_string();
+    let reparsed = tpn_net::parse_tpn(&text).unwrap();
+    let domain = NumericDomain::new();
+    let trg1 = build_trg(&proto.net, &domain, &TrgOptions::default()).unwrap();
+    let trg2 = build_trg(&reparsed, &domain, &TrgOptions::default()).unwrap();
+    assert_eq!(trg1.num_states(), trg2.num_states());
+    assert_eq!(trg1.num_edges(), trg2.num_edges());
+    let dg1 = DecisionGraph::from_trg(&trg1, &domain).unwrap();
+    let dg2 = DecisionGraph::from_trg(&trg2, &domain).unwrap();
+    assert_eq!(dg1.num_edges(), dg2.num_edges());
+    let t7a = proto.net.transition_by_name("t7").unwrap();
+    let t7b = reparsed.transition_by_name("t7").unwrap();
+    let p1 = Performance::new(&dg1, solve_rates(&dg1, 0).unwrap(), &domain).unwrap();
+    let p2 = Performance::new(&dg2, solve_rates(&dg2, 0).unwrap(), &domain).unwrap();
+    assert_eq!(p1.throughput(&dg1, t7a), p2.throughput(&dg2, t7b));
+}

@@ -1,0 +1,124 @@
+//! E4 — Figure 6: the *symbolic* timed reachability graph built under
+//! the paper's constraints (1)–(4), with `E(t3)` and all firing times as
+//! symbols. Same 18-state shape as the numeric graph, with symbolic
+//! RET/RFT entries such as `E(t3) − F(t4) − F(t6)`.
+
+use timed_petri::prelude::*;
+use timed_petri::protocols::simple;
+use tpn_net::symbols;
+
+#[test]
+fn symbolic_graph_has_figure_4_shape() {
+    let (proto, cs) = simple::symbolic();
+    let domain = SymbolicDomain::new(&proto.net, cs);
+    let trg = build_trg(&proto.net, &domain, &TrgOptions::default()).unwrap();
+    assert_eq!(trg.num_states(), 18, "Figure 6 mirrors Figure 4's 18 states");
+    assert_eq!(trg.decision_states().len(), 2);
+    assert_eq!(trg.num_edges(), 20);
+    assert!(trg.terminal_states().is_empty());
+}
+
+#[test]
+fn symbolic_timeout_residues() {
+    // Figure 6b: RET(t3) takes the symbolic values E(t3),
+    // E(t3) − F(t4), E(t3) − F(t5), E(t3) − F(t4) − F(t6),
+    // E(t3) − F(t4) − F(t6) − F(t8), E(t3) − F(t4) − F(t6) − F(t9).
+    let (proto, cs) = simple::symbolic();
+    let domain = SymbolicDomain::new(&proto.net, cs);
+    let trg = build_trg(&proto.net, &domain, &TrgOptions::default()).unwrap();
+    let t3 = proto.t[2];
+    let e3 = LinExpr::symbol(symbols::enabling("t3"));
+    let f = |n: &str| LinExpr::symbol(symbols::firing(n));
+    let mut residues: Vec<LinExpr> = trg
+        .state_ids()
+        .filter_map(|s| trg.state(s).ret(t3).cloned())
+        .collect();
+    residues.sort();
+    residues.dedup();
+    for want in [
+        e3.clone(),
+        e3.clone() - f("t4"),
+        e3.clone() - f("t5"),
+        e3.clone() - f("t4") - f("t6"),
+        e3.clone() - f("t4") - f("t6") - f("t8"),
+        e3.clone() - f("t4") - f("t6") - f("t9"),
+    ] {
+        assert!(residues.contains(&want), "missing RET(t3) residue {want}");
+    }
+}
+
+#[test]
+fn missing_constraint_reports_the_undecidable_pair() {
+    // Drop constraint (1) (timeout > round trip): state 4 of the paper
+    // can no longer order E(t3) against F(t4), and construction must
+    // fail with exactly that pair — the paper's "an automated tool could
+    // prompt designers for timing constraints at the necessary points".
+    let (proto, _) = simple::symbolic();
+    let mut weak = ConstraintSet::new();
+    // keep only (3) and (4)
+    let f = |n: &str| LinExpr::symbol(symbols::firing(n));
+    weak.assume_eq(f("t5"), f("t4"));
+    weak.assume_eq(f("t9"), f("t8"));
+    let domain = SymbolicDomain::new(&proto.net, weak);
+    let err = build_trg(&proto.net, &domain, &TrgOptions::default()).unwrap_err();
+    match err {
+        tpn_reach::ReachError::AmbiguousComparison { left, right, .. } => {
+            let pair = format!("{left} / {right}");
+            assert!(
+                pair.contains("E(t3)"),
+                "ambiguity should involve the timeout: {pair}"
+            );
+            assert!(
+                pair.contains("F(t4)") || pair.contains("F(t5)"),
+                "ambiguity should involve a medium delay: {pair}"
+            );
+        }
+        other => panic!("expected AmbiguousComparison, got {other:?}"),
+    }
+}
+
+#[test]
+fn symbolic_probabilities_match_figure_6a() {
+    // "Probability for 3→4 = f4/(f4+f5)" etc.
+    let (proto, cs) = simple::symbolic();
+    let domain = SymbolicDomain::new(&proto.net, cs);
+    let trg = build_trg(&proto.net, &domain, &TrgOptions::default()).unwrap();
+    let f4 = Poly::symbol(symbols::frequency("t4"));
+    let f5 = Poly::symbol(symbols::frequency("t5"));
+    let f8 = Poly::symbol(symbols::frequency("t8"));
+    let f9 = Poly::symbol(symbols::frequency("t9"));
+    let mut seen = Vec::new();
+    for d in trg.decision_states() {
+        for e in trg.edges_from(d) {
+            seen.push(e.prob.clone());
+        }
+    }
+    for want in [
+        RatFn::new(f4.clone(), &f4 + &f5),
+        RatFn::new(f5.clone(), &f4 + &f5),
+        RatFn::new(f8.clone(), &f8 + &f9),
+        RatFn::new(f9.clone(), &f8 + &f9),
+    ] {
+        assert!(seen.contains(&want), "missing branching probability {want}");
+    }
+}
+
+#[test]
+fn numeric_instantiation_agrees_with_numeric_graph() {
+    // Substituting the Figure-1b values into every symbolic edge delay
+    // must reproduce the numeric graph's delay multiset exactly.
+    let (proto, cs) = simple::symbolic();
+    let domain = SymbolicDomain::new(&proto.net, cs);
+    let strg = build_trg(&proto.net, &domain, &TrgOptions::default()).unwrap();
+    let nproto = simple::paper();
+    let ntrg = build_trg(&nproto.net, &NumericDomain::new(), &TrgOptions::default()).unwrap();
+    let a = simple::paper_assignment();
+    let mut sym_delays: Vec<Rational> = strg
+        .all_edges()
+        .map(|e| e.delay.eval(&a).expect("total assignment"))
+        .collect();
+    let mut num_delays: Vec<Rational> = ntrg.all_edges().map(|e| e.delay).collect();
+    sym_delays.sort();
+    num_delays.sort();
+    assert_eq!(sym_delays, num_delays);
+}

@@ -1,0 +1,89 @@
+//! E5 — Figure 7: which timing constraint resolves each multi-candidate
+//! minimum. The paper lists exactly five states with more than one
+//! non-zero RET/RFT (its states 4, 5, 10, 12, 13); in each, RET(t3)
+//! competes with one firing time and loses:
+//!
+//! | paper state | competitors            | derived from |
+//! |---|---|---|
+//! | 4  | E(t3) vs F(t4)                  | (1)          |
+//! | 5  | E(t3) vs F(t5)                  | (1), (3)     |
+//! | 10 | E(t3)−F(t4) vs F(t6)            | (1)          |
+//! | 12 | E(t3)−F(t4)−F(t6) vs F(t9)      | (1), (4)     |
+//! | 13 | E(t3)−F(t4)−F(t6) vs F(t8)      | (1)          |
+
+use timed_petri::prelude::*;
+use timed_petri::protocols::simple;
+use tpn_net::symbols;
+
+#[test]
+fn five_minimum_resolutions_all_against_the_timeout() {
+    let (proto, cs) = simple::symbolic();
+    let domain = SymbolicDomain::new(&proto.net, cs);
+    let trg = build_trg(&proto.net, &domain, &TrgOptions::default()).unwrap();
+    let res = trg.min_resolutions();
+    assert_eq!(res.len(), 5, "paper Figure 7 lists five constrained states");
+    let t3 = proto.t[2];
+    for r in res {
+        assert_eq!(r.candidates.len(), 2, "each is a two-way comparison");
+        // one competitor is always the timeout's RET
+        let timeout = r
+            .candidates
+            .iter()
+            .position(|(t, is_rft, _)| *t == t3 && !is_rft)
+            .expect("RET(t3) competes in every constrained state");
+        // ... and it never wins (constraint (1) guarantees the firing
+        // time elapses first)
+        assert_ne!(r.chosen, timeout, "the timeout must not expire early");
+    }
+}
+
+#[test]
+fn competitor_firing_times_match_the_table() {
+    let (proto, cs) = simple::symbolic();
+    let domain = SymbolicDomain::new(&proto.net, cs);
+    let trg = build_trg(&proto.net, &domain, &TrgOptions::default()).unwrap();
+    let f = |n: &str| LinExpr::symbol(symbols::firing(n));
+    // The five winning competitors are the RFTs of t4, t5, t6, t8, t9.
+    let mut winners: Vec<LinExpr> = trg
+        .min_resolutions()
+        .iter()
+        .map(|r| r.candidates[r.chosen].2.clone())
+        .collect();
+    winners.sort();
+    let mut expect = vec![f("t4"), f("t5"), f("t6"), f("t8"), f("t9")];
+    expect.sort();
+    assert_eq!(winners, expect);
+}
+
+#[test]
+fn timeout_remainders_match_the_table() {
+    // The losing RET(t3) expressions are E3, E3, E3−F4, E3−F4−F6 (×2).
+    let (proto, cs) = simple::symbolic();
+    let domain = SymbolicDomain::new(&proto.net, cs);
+    let trg = build_trg(&proto.net, &domain, &TrgOptions::default()).unwrap();
+    let t3 = proto.t[2];
+    let e3 = LinExpr::symbol(symbols::enabling("t3"));
+    let f = |n: &str| LinExpr::symbol(symbols::firing(n));
+    let mut losers: Vec<LinExpr> = trg
+        .min_resolutions()
+        .iter()
+        .map(|r| {
+            r.candidates
+                .iter()
+                .find(|(t, is_rft, _)| *t == t3 && !is_rft)
+                .unwrap()
+                .2
+                .clone()
+        })
+        .collect();
+    losers.sort();
+    let mut expect = vec![
+        e3.clone(),
+        e3.clone(),
+        e3.clone() - f("t4"),
+        e3.clone() - f("t4") - f("t6"),
+        e3.clone() - f("t4") - f("t6"),
+    ];
+    expect.sort();
+    assert_eq!(losers, expect);
+}

@@ -1,0 +1,124 @@
+//! E6 — Figure 8: the symbolic decision graph, its traversal rates and
+//! edge weights. With the traversal rate of edge 3 (the packet-delivery
+//! edge 3→11) normalised to 1, the paper derives
+//!
+//! ```text
+//! r1 = f5/f4,   r2 = f8/(f8+f9),   r3 = 1,   r4 = f9/(f8+f9)
+//! ```
+//!
+//! and the symbolic delays
+//!
+//! ```text
+//! d1 = E3+F3+F2,  d2 = F8+F7+F1+F2,  d3 = F4+F6,  d4 = E3−F4−F6+F3+F2.
+//! ```
+
+use timed_petri::prelude::*;
+use timed_petri::protocols::simple;
+use tpn_net::symbols;
+use tpn_reach::StateId;
+
+struct Fig8 {
+    dg: DecisionGraph<SymbolicDomain>,
+    domain: SymbolicDomain,
+    /// paper edge order [e1, e2, e3, e4]
+    e: [usize; 4],
+}
+
+fn build() -> Fig8 {
+    let (proto, cs) = simple::symbolic();
+    let domain = SymbolicDomain::new(&proto.net, cs);
+    let trg = build_trg(&proto.net, &domain, &TrgOptions::default()).unwrap();
+    let dg = DecisionGraph::from_trg(&trg, &domain).unwrap();
+    let [_, _, _, t4, t5, _, _, t8, t9] = proto.t;
+    let find = |t| -> (StateId, usize) {
+        for n in 0..dg.num_nodes() {
+            if let Some(i) = dg.edge_firing_first(dg.nodes()[n], t) {
+                return (dg.nodes()[n], i);
+            }
+        }
+        panic!("edge not found");
+    };
+    let (node3, e3) = find(t4);
+    let (node11, e2) = find(t8);
+    let e1 = dg.edge_firing_first(node3, t5).unwrap();
+    let e4 = dg.edge_firing_first(node11, t9).unwrap();
+    Fig8 { dg, domain, e: [e1, e2, e3, e4] }
+}
+
+fn f(n: &str) -> LinExpr {
+    LinExpr::symbol(symbols::firing(n))
+}
+
+fn freq(n: &str) -> Poly {
+    Poly::symbol(symbols::frequency(n))
+}
+
+#[test]
+fn symbolic_delays_match_figure_8() {
+    let fig = build();
+    let [e1, e2, e3, e4] = fig.e;
+    let e3sym = LinExpr::symbol(symbols::enabling("t3"));
+    let edges = fig.dg.edges();
+    // d1 = F5 + (E3−F5) + F3 + F2 — the F5 terms cancel symbolically
+    assert_eq!(edges[e1].delay, e3sym.clone() + &f("t3") + &f("t2"));
+    assert_eq!(edges[e2].delay, f("t8") + &f("t7") + &f("t1") + &f("t2"));
+    assert_eq!(edges[e3].delay, f("t4") + &f("t6"));
+    assert_eq!(
+        edges[e4].delay,
+        e3sym - f("t4") - f("t6") + f("t3") + f("t2")
+    );
+}
+
+#[test]
+fn traversal_rates_match_figure_8() {
+    let fig = build();
+    let [e1, e2, e3, e4] = fig.e;
+    let rates = solve_rates(&fig.dg, e3).unwrap();
+    assert!(rates.rate(e3).is_one());
+    assert_eq!(*rates.rate(e1), RatFn::new(freq("t5"), freq("t4")));
+    assert_eq!(
+        *rates.rate(e2),
+        RatFn::new(freq("t8"), &freq("t8") + &freq("t9"))
+    );
+    assert_eq!(
+        *rates.rate(e4),
+        RatFn::new(freq("t9"), &freq("t8") + &freq("t9"))
+    );
+}
+
+#[test]
+fn rates_satisfy_the_flow_equations_symbolically() {
+    let fig = build();
+    let rates = solve_rates(&fig.dg, fig.e[2]).unwrap();
+    for (ei, e) in fig.dg.edges().iter().enumerate() {
+        let inflow = fig
+            .dg
+            .edges_into(e.from)
+            .into_iter()
+            .fold(RatFn::zero(), |acc, i| acc + rates.rate(i).clone());
+        assert_eq!(*rates.rate(ei), e.prob.clone() * inflow, "edge {ei}");
+    }
+}
+
+#[test]
+fn weights_evaluate_to_figure_5_at_paper_values() {
+    let fig = build();
+    let [e1, e2, e3, e4] = fig.e;
+    let rates = solve_rates(&fig.dg, e3).unwrap();
+    let perf = Performance::new(&fig.dg, rates, &fig.domain).unwrap();
+    let a = simple::paper_assignment();
+    // w1 = (f5/f4)(E3+F3+F2) → (1/19)·1002
+    let w1 = perf.weights()[e1].eval(&a).unwrap();
+    assert_eq!(w1, Rational::new(1002, 19));
+    // w3 = 1·120.2
+    assert_eq!(perf.weights()[e3].eval(&a).unwrap(), "120.2".parse().unwrap());
+    // w2 = 0.95·122.2, w4 = 0.05·881.8
+    assert_eq!(
+        perf.weights()[e2].eval(&a).unwrap(),
+        "122.2".parse::<Rational>().unwrap() * Rational::new(19, 20)
+    );
+    assert_eq!(
+        perf.weights()[e4].eval(&a).unwrap(),
+        "881.8".parse::<Rational>().unwrap() * Rational::new(1, 20)
+    );
+}

@@ -1,0 +1,132 @@
+//! E7 — the paper's closing result: the symbolic protocol throughput
+//!
+//! ```text
+//! T = r2 / Σᵢ wᵢ
+//! ```
+//!
+//! which, substituting a 5% loss probability for both packets and
+//! acknowledgements, simplifies to (paper, end of §4)
+//!
+//! ```text
+//!                         18.05
+//! T = ─────────────────────────────────────────────────────────────
+//!     1.95·(E(t3)+F(t3)) + 20·F(t2) + 18.05·(F(t1)+F(t4)+F(t6)+F(t7)+F(t8))
+//! ```
+//!
+//! and with the Figure-1b times evaluates to 18.05/6329.22 ≈ 0.002852
+//! messages per millisecond (≈ 2.85 msg/s, mean cycle ≈ 350.65 ms).
+
+use timed_petri::prelude::*;
+use timed_petri::protocols::simple;
+use tpn_net::symbols;
+
+/// The exact expected numeric throughput: 18.05/6329.22 = 1805/632922.
+fn expected_numeric() -> Rational {
+    Rational::new(1805, 632922)
+}
+
+#[test]
+fn numeric_throughput_matches_the_paper() {
+    let proto = simple::paper();
+    let domain = NumericDomain::new();
+    let trg = build_trg(&proto.net, &domain, &TrgOptions::default()).unwrap();
+    let dg = DecisionGraph::from_trg(&trg, &domain).unwrap();
+    let rates = solve_rates(&dg, 0).unwrap();
+    let perf = Performance::new(&dg, rates, &domain).unwrap();
+    let t7 = proto.t[6]; // successfully acknowledged message (paper: edge 2)
+    assert_eq!(perf.throughput(&dg, t7), expected_numeric());
+    // ≈ 2.852 messages/second
+    let per_second = perf.throughput(&dg, t7).to_f64() * 1000.0;
+    assert!((per_second - 2.85185).abs() < 1e-4, "{per_second}");
+}
+
+#[test]
+fn symbolic_throughput_instantiates_to_the_numeric_value() {
+    let (proto, cs) = simple::symbolic();
+    let domain = SymbolicDomain::new(&proto.net, cs);
+    let trg = build_trg(&proto.net, &domain, &TrgOptions::default()).unwrap();
+    let dg = DecisionGraph::from_trg(&trg, &domain).unwrap();
+    let rates = solve_rates(&dg, 0).unwrap();
+    let perf = Performance::new(&dg, rates, &domain).unwrap();
+    let t7 = proto.t[6];
+    let expr = perf.throughput(&dg, t7);
+    assert_eq!(expr.eval(&simple::paper_assignment()), Some(expected_numeric()));
+}
+
+#[test]
+fn symbolic_throughput_simplifies_to_the_papers_closed_form() {
+    // Substitute only the 5% loss frequencies, keeping every time
+    // symbolic: the result must equal the paper's simplified expression
+    //   18.05 / (1.95(E3+F3) + 20 F2 + 18.05(F1+F4+F6+F7+F8)).
+    let (proto, cs) = simple::symbolic();
+    let domain = SymbolicDomain::new(&proto.net, cs);
+    let trg = build_trg(&proto.net, &domain, &TrgOptions::default()).unwrap();
+    let dg = DecisionGraph::from_trg(&trg, &domain).unwrap();
+    let rates = solve_rates(&dg, 0).unwrap();
+    let perf = Performance::new(&dg, rates, &domain).unwrap();
+    let t7 = proto.t[6];
+    let expr = perf.throughput(&dg, t7);
+
+    let mut freqs = Assignment::new();
+    freqs.set(symbols::frequency("t4"), Rational::new(19, 20));
+    freqs.set(symbols::frequency("t5"), Rational::new(1, 20));
+    freqs.set(symbols::frequency("t8"), Rational::new(19, 20));
+    freqs.set(symbols::frequency("t9"), Rational::new(1, 20));
+    let simplified = expr.eval_partial(&freqs).unwrap();
+
+    // Build the paper's formula exactly.
+    let e3 = Poly::symbol(symbols::enabling("t3"));
+    let f = |n: &str| Poly::symbol(symbols::firing(n));
+    let c = |x: Rational| Poly::constant(x);
+    let num = c(Rational::new(361, 20)); // 18.05
+    let den = &(&c(Rational::new(39, 20)) * &(&e3 + &f("t3"))) // 1.95(E3+F3)
+        + &(&(&c(Rational::from_int(20)) * &f("t2")) // 20 F2
+            + &(&c(Rational::new(361, 20)) // 18.05(F1+F4+F6+F7+F8)
+                * &(&(&(&f("t1") + &f("t4")) + &(&f("t6") + &f("t7"))) + &f("t8"))));
+    let paper = RatFn::new(num, den);
+    assert_eq!(simplified, paper, "closed-form throughput mismatch");
+}
+
+#[test]
+fn mean_cycle_time_and_time_shares() {
+    // Mean time per successfully acknowledged message: 1/T ≈ 350.65 ms.
+    let proto = simple::paper();
+    let domain = NumericDomain::new();
+    let trg = build_trg(&proto.net, &domain, &TrgOptions::default()).unwrap();
+    let dg = DecisionGraph::from_trg(&trg, &domain).unwrap();
+    let rates = solve_rates(&dg, 0).unwrap();
+    let perf = Performance::new(&dg, rates, &domain).unwrap();
+    let t7 = proto.t[6];
+    let t = perf.throughput(&dg, t7);
+    let mean_ms = t.recip();
+    assert_eq!(mean_ms, Rational::new(632922, 1805));
+    assert_eq!(mean_ms.to_decimal_string(2), "350.65");
+    // time shares over the four edges sum to 1
+    let total: Rational = (0..dg.num_edges())
+        .map(|e| perf.time_share(e).unwrap())
+        .sum();
+    assert_eq!(total, Rational::ONE);
+}
+
+#[test]
+fn throughput_is_monotone_in_loss_rate() {
+    // A systematic sweep the paper's expression implies: higher loss ⇒
+    // strictly lower throughput.
+    let mut last: Option<Rational> = None;
+    for loss_pct in [0i64, 1, 5, 10, 20, 40] {
+        let mut params = simple::Params::paper();
+        params.packet_loss = Rational::new(loss_pct as i128, 100);
+        params.ack_loss = params.packet_loss;
+        let proto = simple::numeric(&params);
+        let domain = NumericDomain::new();
+        let trg = build_trg(&proto.net, &domain, &TrgOptions::default()).unwrap();
+        let dg = DecisionGraph::from_trg(&trg, &domain).unwrap();
+        let rates = solve_rates(&dg, 0).unwrap();
+        let perf = Performance::new(&dg, rates, &domain).unwrap();
+        let t = perf.throughput(&dg, proto.t[6]);
+        if let Some(prev) = last {
+            assert!(t < prev, "throughput must fall as loss rises");
+        }
+        last = Some(t);
+    }
+}

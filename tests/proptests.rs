@@ -1,0 +1,195 @@
+//! Cross-crate property tests: the three engines (numeric reachability,
+//! symbolic reachability, discrete-event simulation) must agree with
+//! each other on randomly generated models.
+
+use proptest::prelude::*;
+use timed_petri::prelude::*;
+use timed_petri::protocols::{families, simple};
+use tpn_reach::EdgeKind;
+
+/// Random stage times for a ring of 1..6 stages.
+fn cycle_times() -> impl Strategy<Value = Vec<Rational>> {
+    proptest::collection::vec((1i128..=50, 1i128..=4), 1..6)
+        .prop_map(|v| v.into_iter().map(|(n, d)| Rational::new(n, d)).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn cycle_total_time_is_the_sum_of_stages(times in cycle_times()) {
+        let net = families::cycle(&times);
+        let domain = NumericDomain::new();
+        let trg = build_trg(&net, &domain, &TrgOptions::default()).unwrap();
+        let dg = DecisionGraph::from_trg(&trg, &domain).unwrap();
+        prop_assert_eq!(dg.num_edges(), 1);
+        let total: Rational = times.iter().copied().sum();
+        prop_assert_eq!(&dg.edges()[0].delay, &total);
+        // throughput of stage 0 is 1/total
+        let rates = solve_rates(&dg, 0).unwrap();
+        let perf = Performance::new(&dg, rates, &domain).unwrap();
+        let t0 = net.transition_by_name("advance0").unwrap();
+        prop_assert_eq!(perf.throughput(&dg, t0), total.recip());
+    }
+
+    #[test]
+    fn simulator_matches_analysis_exactly_on_deterministic_rings(times in cycle_times()) {
+        let net = families::cycle(&times);
+        let total: Rational = times.iter().copied().sum();
+        let horizon = total * Rational::from_int(25);
+        let stats = simulate(
+            &net,
+            &SimOptions { max_time: Some(horizon), max_events: 0, ..SimOptions::default() },
+        ).unwrap();
+        let t0 = net.transition_by_name("advance0").unwrap();
+        prop_assert_eq!(stats.completions(t0), 25);
+    }
+
+    #[test]
+    fn symbolic_instantiation_reproduces_numeric_trg(times in cycle_times()) {
+        // Build the same ring with unknown times + equality constraints
+        // pinning them to the sampled values; the symbolic TRG must have
+        // the same shape and instantiate to the same delays.
+        let numeric_net = families::cycle(&times);
+        let mut b = NetBuilder::new("symring");
+        let places: Vec<_> = (0..times.len())
+            .map(|i| b.place(&format!("s{i}"), u32::from(i == 0)))
+            .collect();
+        for i in 0..times.len() {
+            let next = (i + 1) % times.len();
+            b.transition(&format!("advance{i}"))
+                .input(places[i])
+                .output(places[next])
+                .firing_unknown()
+                .add();
+        }
+        let sym_net = b.build().unwrap();
+        let mut cs = ConstraintSet::new();
+        let mut at = Assignment::new();
+        for (i, t) in times.iter().enumerate() {
+            let s = tpn_net::symbols::firing(&format!("advance{i}"));
+            cs.assume_eq(LinExpr::symbol(s), LinExpr::constant(*t));
+            at.set(s, *t);
+        }
+        let sdomain = SymbolicDomain::new(&sym_net, cs);
+        let strg = build_trg(&sym_net, &sdomain, &TrgOptions::default()).unwrap();
+        let ntrg = build_trg(&numeric_net, &NumericDomain::new(), &TrgOptions::default()).unwrap();
+        prop_assert_eq!(strg.num_states(), ntrg.num_states());
+        prop_assert_eq!(strg.num_edges(), ntrg.num_edges());
+        let mut sdelays: Vec<Rational> = strg
+            .all_edges()
+            .map(|e| e.delay.eval(&at).unwrap())
+            .collect();
+        let mut ndelays: Vec<Rational> = ntrg.all_edges().map(|e| e.delay).collect();
+        sdelays.sort();
+        ndelays.sort();
+        prop_assert_eq!(sdelays, ndelays);
+    }
+
+    #[test]
+    fn lossy_chain_rates_are_a_probability_flow(
+        hops in 1usize..5,
+        loss_num in 1i128..=9,
+    ) {
+        let loss = Rational::new(loss_num, 10);
+        let (net, arrive) = families::lossy_chain(hops, loss, Rational::from_int(2));
+        let domain = NumericDomain::new();
+        let trg = build_trg(&net, &domain, &TrgOptions::default()).unwrap();
+        let dg = DecisionGraph::from_trg(&trg, &domain).unwrap();
+        let rates = solve_rates(&dg, 0).unwrap();
+        // the defining fixed point holds everywhere
+        for (ei, e) in dg.edges().iter().enumerate() {
+            let inflow: Rational = dg.edges_into(e.from).iter().map(|&i| *rates.rate(i)).sum();
+            prop_assert_eq!(*rates.rate(ei), e.prob * inflow);
+        }
+        // analytic success probability per attempt: (1-loss)^hops; the
+        // arrive edge's rate relative to the hop-0 inflow must match.
+        let perf = Performance::new(&dg, rates, &domain).unwrap();
+        let hop0 = net.transition_by_name("hop0").unwrap();
+        let drop0 = net.transition_by_name("drop0").unwrap();
+        let arrive_rate = perf.throughput(&dg, arrive);
+        let attempt_rate = perf.throughput(&dg, hop0) + perf.throughput(&dg, drop0);
+        let success = (Rational::ONE - loss).pow(hops as i32);
+        prop_assert_eq!(arrive_rate / attempt_rate, success);
+    }
+
+    #[test]
+    fn fork_join_cycle_time_is_max_branch(n in 1usize..6) {
+        // fork (1) + max branch (n) + join (1)
+        let net = families::fork_join(n);
+        let domain = NumericDomain::new();
+        let trg = build_trg(&net, &domain, &TrgOptions::default()).unwrap();
+        let dg = DecisionGraph::from_trg(&trg, &domain).unwrap();
+        prop_assert_eq!(dg.num_edges(), 1);
+        let expect = Rational::from_int(1 + n as i128 + 1);
+        prop_assert_eq!(&dg.edges()[0].delay, &expect);
+        // all elapse steps in the TRG are positive
+        for e in trg.all_edges() {
+            if e.kind == EdgeKind::Elapse {
+                prop_assert!(e.delay.is_positive());
+            }
+        }
+    }
+
+    #[test]
+    fn protocol_throughput_expression_is_valid_across_parameters(
+        timeout in 230i128..3000,
+        packet in 1i128..=100,
+        ack in 1i128..=100,
+        handling in 1i128..=20,
+        loss_pct in 0i128..=60,
+    ) {
+        // Instantiate the *symbolically derived* throughput at random
+        // parameters satisfying constraint (1) and compare with a fresh
+        // numeric analysis at the same parameters: the expression is
+        // valid for every admissible assignment, not just Figure 1b.
+        let params = simple::Params {
+            timeout: Rational::from_int(timeout.max(packet + ack + handling + 1)),
+            sender_step: Rational::ONE,
+            packet_time: Rational::from_int(packet),
+            ack_handling: Rational::from_int(handling),
+            ack_time: Rational::from_int(ack),
+            packet_loss: Rational::new(loss_pct, 100),
+            ack_loss: Rational::new(loss_pct, 100),
+        };
+        prop_assume!(params.satisfies_timeout_constraint());
+
+        // numeric analysis
+        let proto = simple::numeric(&params);
+        let domain = NumericDomain::new();
+        let trg = build_trg(&proto.net, &domain, &TrgOptions::default()).unwrap();
+        let dg = DecisionGraph::from_trg(&trg, &domain).unwrap();
+        let rates = solve_rates(&dg, 0).unwrap();
+        let perf = Performance::new(&dg, rates, &domain).unwrap();
+        let numeric_t = perf.throughput(&dg, proto.t[6]);
+
+        // symbolic expression, derived once, instantiated here
+        let (sproto, cs) = simple::symbolic();
+        let sdomain = SymbolicDomain::new(&sproto.net, cs);
+        let strg = build_trg(&sproto.net, &sdomain, &TrgOptions::default()).unwrap();
+        let sdg = DecisionGraph::from_trg(&strg, &sdomain).unwrap();
+        let srates = solve_rates(&sdg, 0).unwrap();
+        let sperf = Performance::new(&sdg, srates, &sdomain).unwrap();
+        let expr = sperf.throughput(&sdg, sproto.t[6]);
+
+        let sym = tpn_net::symbols::enabling;
+        let symf = tpn_net::symbols::firing;
+        let symq = tpn_net::symbols::frequency;
+        let mut at = Assignment::new();
+        at.set(sym("t3"), params.timeout);
+        at.set(symf("t1"), params.sender_step);
+        at.set(symf("t2"), params.sender_step);
+        at.set(symf("t3"), params.sender_step);
+        at.set(symf("t4"), params.packet_time);
+        at.set(symf("t5"), params.packet_time);
+        at.set(symf("t6"), params.ack_handling);
+        at.set(symf("t7"), params.ack_handling);
+        at.set(symf("t8"), params.ack_time);
+        at.set(symf("t9"), params.ack_time);
+        at.set(symq("t4"), Rational::ONE - params.packet_loss);
+        at.set(symq("t5"), params.packet_loss);
+        at.set(symq("t8"), Rational::ONE - params.ack_loss);
+        at.set(symq("t9"), params.ack_loss);
+        prop_assert_eq!(expr.eval(&at), Some(numeric_t));
+    }
+}

@@ -1,0 +1,143 @@
+//! E8 — validation: long Monte-Carlo runs of the Figure-1 protocol must
+//! converge to the analytically derived throughput (our independent
+//! oracle for the whole derivation chain).
+
+use timed_petri::prelude::*;
+use timed_petri::protocols::simple;
+
+fn analytic_throughput(params: &simple::Params) -> (simple::SimpleProtocol, f64) {
+    let proto = simple::numeric(params);
+    let domain = NumericDomain::new();
+    let trg = build_trg(&proto.net, &domain, &TrgOptions::default()).unwrap();
+    let dg = DecisionGraph::from_trg(&trg, &domain).unwrap();
+    let rates = solve_rates(&dg, 0).unwrap();
+    let perf = Performance::new(&dg, rates, &domain).unwrap();
+    let t = perf.throughput(&dg, proto.t[6]).to_f64();
+    (proto, t)
+}
+
+#[test]
+fn paper_parameters_converge() {
+    let (proto, analytic) = analytic_throughput(&simple::Params::paper());
+    let stats = simulate(
+        &proto.net,
+        &SimOptions {
+            seed: 7,
+            max_events: 2_000_000,
+            warmup: Rational::from_int(10_000),
+            ..SimOptions::default()
+        },
+    )
+    .unwrap();
+    let t7 = proto.t[6];
+    let empirical = stats.throughput(t7);
+    let rel = (empirical - analytic).abs() / analytic;
+    assert!(
+        rel < 0.02,
+        "simulated {empirical:.6} vs analytic {analytic:.6} (rel err {rel:.4})"
+    );
+}
+
+#[test]
+fn heavy_loss_converges() {
+    let mut params = simple::Params::paper();
+    params.packet_loss = Rational::new(3, 10);
+    params.ack_loss = Rational::new(1, 4);
+    let (proto, analytic) = analytic_throughput(&params);
+    let stats = simulate(
+        &proto.net,
+        &SimOptions {
+            seed: 99,
+            max_events: 2_000_000,
+            warmup: Rational::from_int(10_000),
+            ..SimOptions::default()
+        },
+    )
+    .unwrap();
+    let empirical = stats.throughput(proto.t[6]);
+    let rel = (empirical - analytic).abs() / analytic;
+    assert!(
+        rel < 0.03,
+        "simulated {empirical:.6} vs analytic {analytic:.6} (rel err {rel:.4})"
+    );
+}
+
+#[test]
+fn duplicate_rate_matches_analysis() {
+    // t6 fires once per *delivery* (r3), t7 once per *acknowledged*
+    // message (r2 = 0.95·r3): the ratio of simulated counts must be the
+    // ACK success probability.
+    let proto = simple::paper();
+    let stats = simulate(
+        &proto.net,
+        &SimOptions {
+            seed: 3,
+            max_events: 2_000_000,
+            warmup: Rational::from_int(10_000),
+            ..SimOptions::default()
+        },
+    )
+    .unwrap();
+    let t6 = proto.t[5];
+    let t7 = proto.t[6];
+    let ratio = stats.completions(t7) as f64 / stats.completions(t6) as f64;
+    assert!((ratio - 0.95).abs() < 0.01, "ratio {ratio}");
+}
+
+#[test]
+fn utilizations_converge_to_the_analytic_values() {
+    // The fraction of time the sender spends awaiting an ACK and the
+    // fraction of time the packet medium is busy, analytic vs simulated.
+    let proto = simple::paper();
+    let domain = NumericDomain::new();
+    let trg = build_trg(&proto.net, &domain, &TrgOptions::default()).unwrap();
+    let dg = DecisionGraph::from_trg(&trg, &domain).unwrap();
+    let rates = solve_rates(&dg, 0).unwrap();
+    let perf = Performance::new(&dg, rates, &domain).unwrap();
+
+    let awaiting = proto.p[3];
+    let t4 = proto.t[3];
+    let analytic_awaiting = perf.place_utilization(&dg, &trg, &domain, awaiting).to_f64();
+    let analytic_t4 = perf.transition_utilization(&dg, &trg, &domain, t4).to_f64();
+
+    let stats = simulate(
+        &proto.net,
+        &SimOptions {
+            seed: 5,
+            max_events: 2_000_000,
+            warmup: Rational::from_int(10_000),
+            ..SimOptions::default()
+        },
+    )
+    .unwrap();
+    let sim_awaiting = stats.place_utilization(awaiting);
+    let sim_t4 = stats.transition_utilization(t4);
+    assert!(
+        (sim_awaiting - analytic_awaiting).abs() < 0.01,
+        "awaiting_ack: sim {sim_awaiting:.4} vs analytic {analytic_awaiting:.4}"
+    );
+    assert!(
+        (sim_t4 - analytic_t4).abs() < 0.01,
+        "t4 busy: sim {sim_t4:.4} vs analytic {analytic_t4:.4}"
+    );
+}
+
+#[test]
+fn loss_free_protocol_is_fully_deterministic() {
+    let mut params = simple::Params::paper();
+    params.packet_loss = Rational::ZERO;
+    params.ack_loss = Rational::ZERO;
+    let (proto, analytic) = analytic_throughput(&params);
+    // cycle = F2+F4+F6+F8+F7+F1 = 1+106.7+13.5+106.7+13.5+1 = 242.4
+    assert!((analytic - 1.0 / 242.4).abs() < 1e-12);
+    let stats = simulate(
+        &proto.net,
+        &SimOptions {
+            max_time: Some(Rational::from_int(242_400)),
+            max_events: 0,
+            ..SimOptions::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(stats.completions(proto.t[6]), 1000);
+}
