@@ -16,7 +16,10 @@ fn print_regenerated() {
     let domain = NumericDomain::new();
     let trg = build_trg(&proto.net, &domain, &TrgOptions::default()).unwrap();
     eprintln!("[fig4] states = {} (paper: 18)", trg.num_states());
-    eprintln!("[fig4] decision nodes = {:?} (paper: states 3, 11)", trg.decision_states());
+    eprintln!(
+        "[fig4] decision nodes = {:?} (paper: states 3, 11)",
+        trg.decision_states()
+    );
     let dg = DecisionGraph::from_trg(&trg, &domain).unwrap();
     eprintln!("[fig5] decision graph:");
     eprint!("{}", dg.describe(&proto.net));

@@ -19,14 +19,20 @@ fn bench(c: &mut Criterion) {
             &events,
             |b, &events| {
                 b.iter(|| {
-                    let opts = SimOptions { max_events: events, ..SimOptions::default() };
+                    let opts = SimOptions {
+                        max_events: events,
+                        ..SimOptions::default()
+                    };
                     black_box(simulate(&proto.net, &opts).unwrap())
                 })
             },
         );
         g.bench_with_input(BenchmarkId::new("abp", events), &events, |b, &events| {
             b.iter(|| {
-                let opts = SimOptions { max_events: events, ..SimOptions::default() };
+                let opts = SimOptions {
+                    max_events: events,
+                    ..SimOptions::default()
+                };
                 black_box(simulate(&a.net, &opts).unwrap())
             })
         });

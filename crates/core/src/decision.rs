@@ -102,7 +102,9 @@ impl<D: AnalysisDomain> DecisionGraph<D> {
                     debug_assert_eq!(nexts.len(), 1, "non-decision nodes have one successor");
                     let e = &nexts[0];
                     if path.contains(&e.to) && !node_of.contains_key(&e.to) {
-                        return Err(CoreError::AbsorbingCycle { state: e.to.index() });
+                        return Err(CoreError::AbsorbingCycle {
+                            state: e.to.index(),
+                        });
                     }
                     if !domain.is_zero(&e.delay) {
                         dwell.push((cur, e.delay.clone()));
@@ -155,9 +157,9 @@ impl<D: AnalysisDomain> DecisionGraph<D> {
     /// by firing transition `t` first, if any. Convenient for naming the
     /// paper's edges ("edge 2 corresponds to path 11-13-15-…").
     pub fn edge_firing_first(&self, from: StateId, t: TransId) -> Option<usize> {
-        self.edges.iter().position(|e| {
-            self.nodes[e.from] == from && e.fired.first() == Some(&t)
-        })
+        self.edges
+            .iter()
+            .position(|e| self.nodes[e.from] == from && e.fired.first() == Some(&t))
     }
 
     /// Human-readable rendering in the style of the paper's Figure 5/8:
@@ -231,8 +233,16 @@ mod tests {
         let mut b = NetBuilder::new("c");
         let pa = b.place("pa", 1);
         let pb = b.place("pb", 0);
-        b.transition("go").input(pa).output(pb).firing_const(2).add();
-        b.transition("back").input(pb).output(pa).firing_const(3).add();
+        b.transition("go")
+            .input(pa)
+            .output(pb)
+            .firing_const(2)
+            .add();
+        b.transition("back")
+            .input(pb)
+            .output(pa)
+            .firing_const(3)
+            .add();
         b.build().unwrap()
     }
 
@@ -242,8 +252,18 @@ mod tests {
         // (p=1/4, delay 2) and restart.
         let mut b = NetBuilder::new("branch");
         let p = b.place("p", 1);
-        b.transition("succeed").input(p).output(p).firing_const(1).weight_const(3).add();
-        b.transition("retry").input(p).output(p).firing_const(2).weight_const(1).add();
+        b.transition("succeed")
+            .input(p)
+            .output(p)
+            .firing_const(1)
+            .weight_const(3)
+            .add();
+        b.transition("retry")
+            .input(p)
+            .output(p)
+            .firing_const(2)
+            .weight_const(1)
+            .add();
         let net = b.build().unwrap();
         let trg = build_trg(&net, &NumericDomain::new(), &TrgOptions::default()).unwrap();
         let dg = DecisionGraph::from_trg(&trg, &NumericDomain::new()).unwrap();
@@ -264,7 +284,11 @@ mod tests {
         let mut b = NetBuilder::new("acyclic");
         let p = b.place("p", 1);
         let q = b.place("q", 0);
-        b.transition("once").input(p).output(q).firing_const(1).add();
+        b.transition("once")
+            .input(p)
+            .output(q)
+            .firing_const(1)
+            .add();
         let net = b.build().unwrap();
         let trg = build_trg(&net, &NumericDomain::new(), &TrgOptions::default()).unwrap();
         assert_eq!(
@@ -279,8 +303,18 @@ mod tests {
         let mut b = NetBuilder::new("leak");
         let p = b.place("p", 1);
         let dead = b.place("dead", 0);
-        b.transition("loop").input(p).output(p).firing_const(1).weight_const(1).add();
-        b.transition("die").input(p).output(dead).firing_const(1).weight_const(1).add();
+        b.transition("loop")
+            .input(p)
+            .output(p)
+            .firing_const(1)
+            .weight_const(1)
+            .add();
+        b.transition("die")
+            .input(p)
+            .output(dead)
+            .firing_const(1)
+            .weight_const(1)
+            .add();
         let net = b.build().unwrap();
         let trg = build_trg(&net, &NumericDomain::new(), &TrgOptions::default()).unwrap();
         assert_eq!(
@@ -293,8 +327,18 @@ mod tests {
     fn edge_lookup_and_describe() {
         let mut b = NetBuilder::new("branch2");
         let p = b.place("p", 1);
-        b.transition("a").input(p).output(p).firing_const(1).weight_const(1).add();
-        b.transition("z").input(p).output(p).firing_const(2).weight_const(1).add();
+        b.transition("a")
+            .input(p)
+            .output(p)
+            .firing_const(1)
+            .weight_const(1)
+            .add();
+        b.transition("z")
+            .input(p)
+            .output(p)
+            .firing_const(2)
+            .weight_const(1)
+            .add();
         let net = b.build().unwrap();
         let trg = build_trg(&net, &NumericDomain::new(), &TrgOptions::default()).unwrap();
         let dg = DecisionGraph::from_trg(&trg, &NumericDomain::new()).unwrap();

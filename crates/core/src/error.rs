@@ -51,7 +51,10 @@ impl fmt::Display for CoreError {
                  steady-state rates are undefined"
             ),
             CoreError::NoCycle => {
-                write!(f, "the reachability graph is acyclic: no steady state exists")
+                write!(
+                    f,
+                    "the reachability graph is acyclic: no steady state exists"
+                )
             }
             CoreError::NotErgodic { kernel_dim } => write!(
                 f,

@@ -39,13 +39,15 @@ where
             .enumerate()
             .map(|(i, e)| rates.rate(i).mul(&domain.time_as_prob(&e.delay)))
             .collect();
-        let total_weight = weights
-            .iter()
-            .fold(D::Prob::zero(), |acc, w| acc.add(w));
+        let total_weight = weights.iter().fold(D::Prob::zero(), |acc, w| acc.add(w));
         if total_weight.is_zero() {
             return Err(CoreError::ZeroCycleTime);
         }
-        Ok(Performance { weights, total_weight, rates })
+        Ok(Performance {
+            weights,
+            total_weight,
+            rates,
+        })
     }
 
     /// The edge weights `wᵢ = rᵢ·dᵢ`.
@@ -66,7 +68,10 @@ where
 
     /// The fraction of time spent on edge `e`: `wₑ / Σ wᵢ`.
     pub fn time_share(&self, e: usize) -> Result<D::Prob, CoreError> {
-        let w = self.weights.get(e).ok_or(CoreError::NoSuchEdge { edge: e })?;
+        let w = self
+            .weights
+            .get(e)
+            .ok_or(CoreError::NoSuchEdge { edge: e })?;
         Ok(w.div(&self.total_weight))
     }
 
@@ -188,8 +193,18 @@ mod tests {
     ) {
         let mut b = NetBuilder::new("m");
         let p = b.place("p", 1);
-        b.transition("succeed").input(p).output(p).firing_const(1).weight_const(3).add();
-        b.transition("retry").input(p).output(p).firing_const(2).weight_const(1).add();
+        b.transition("succeed")
+            .input(p)
+            .output(p)
+            .firing_const(1)
+            .weight_const(3)
+            .add();
+        b.transition("retry")
+            .input(p)
+            .output(p)
+            .firing_const(2)
+            .weight_const(1)
+            .add();
         let net = b.build().unwrap();
         let d = NumericDomain::new();
         let trg = build_trg(&net, &d, &TrgOptions::default()).unwrap();

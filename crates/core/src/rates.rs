@@ -92,7 +92,9 @@ where
 {
     let m = dg.num_edges();
     if reference_edge >= m {
-        return Err(CoreError::NoSuchEdge { edge: reference_edge });
+        return Err(CoreError::NoSuchEdge {
+            edge: reference_edge,
+        });
     }
     // The homogeneous system A·r = 0 with rows
     //   r_e − p_e·Σ_{e′→src(e)} r_{e′} = 0.
@@ -119,15 +121,22 @@ where
             }
             let kernel = a.null_space();
             if kernel.len() != 1 {
-                return Err(CoreError::NotErgodic { kernel_dim: kernel.len() });
+                return Err(CoreError::NotErgodic {
+                    kernel_dim: kernel.len(),
+                });
             }
             let base = &kernel[0];
             let scale = base[reference_edge].clone();
             if scale.is_zero() {
-                return Err(CoreError::ZeroReferenceRate { edge: reference_edge });
+                return Err(CoreError::ZeroReferenceRate {
+                    edge: reference_edge,
+                });
             }
             let rates = base.iter().map(|r| r.div(&scale)).collect();
-            Ok(Rates { rates, reference: reference_edge })
+            Ok(Rates {
+                rates,
+                reference: reference_edge,
+            })
         }
         RateMethod::DenseFixed => {
             let mut a = Matrix::<D::Prob>::zeros(m, m);
@@ -142,8 +151,13 @@ where
             }
             let mut b = vec![D::Prob::zero(); m];
             b[reference_edge] = D::Prob::one();
-            let rates = a.solve(&b).map_err(|_| CoreError::NotErgodic { kernel_dim: 0 })?;
-            Ok(Rates { rates, reference: reference_edge })
+            let rates = a
+                .solve(&b)
+                .map_err(|_| CoreError::NotErgodic { kernel_dim: 0 })?;
+            Ok(Rates {
+                rates,
+                reference: reference_edge,
+            })
         }
         RateMethod::SparseFixed => {
             let mut a = SparseMatrix::<D::Prob>::zeros(m, m);
@@ -158,8 +172,13 @@ where
             }
             let mut b = vec![D::Prob::zero(); m];
             b[reference_edge] = D::Prob::one();
-            let rates = a.solve(&b).map_err(|_| CoreError::NotErgodic { kernel_dim: 0 })?;
-            Ok(Rates { rates, reference: reference_edge })
+            let rates = a
+                .solve(&b)
+                .map_err(|_| CoreError::NotErgodic { kernel_dim: 0 })?;
+            Ok(Rates {
+                rates,
+                reference: reference_edge,
+            })
         }
     }
 }
@@ -182,8 +201,18 @@ mod tests {
     fn retry_dg() -> (tpn_net::TimedPetriNet, DecisionGraph<NumericDomain>) {
         let mut b = NetBuilder::new("retry");
         let p = b.place("p", 1);
-        b.transition("succeed").input(p).output(p).firing_const(1).weight_const(3).add();
-        b.transition("retry").input(p).output(p).firing_const(2).weight_const(1).add();
+        b.transition("succeed")
+            .input(p)
+            .output(p)
+            .firing_const(1)
+            .weight_const(3)
+            .add();
+        b.transition("retry")
+            .input(p)
+            .output(p)
+            .firing_const(2)
+            .weight_const(1)
+            .add();
         let net = b.build().unwrap();
         let trg = build_trg(&net, &NumericDomain::new(), &TrgOptions::default()).unwrap();
         let dg = DecisionGraph::from_trg(&trg, &NumericDomain::new()).unwrap();

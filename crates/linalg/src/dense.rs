@@ -15,7 +15,11 @@ pub struct Matrix<F: Field> {
 impl<F: Field> Matrix<F> {
     /// The zero matrix of the given shape.
     pub fn zeros(rows: usize, cols: usize) -> Matrix<F> {
-        Matrix { rows, cols, data: vec![F::zero(); rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![F::zero(); rows * cols],
+        }
     }
 
     /// The identity matrix of order `n`.
@@ -39,7 +43,11 @@ impl<F: Field> Matrix<F> {
             assert_eq!(row.len(), c, "ragged rows");
             data.extend(row);
         }
-        Matrix { rows: r, cols: c, data }
+        Matrix {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     /// Number of rows.
@@ -85,7 +93,10 @@ impl<F: Field> Matrix<F> {
     pub fn mul_mat(&self, other: &Matrix<F>) -> Result<Matrix<F>, LinalgError> {
         if self.cols != other.rows {
             return Err(LinalgError::DimensionMismatch {
-                detail: format!("{}×{} · {}×{}", self.rows, self.cols, other.rows, other.cols),
+                detail: format!(
+                    "{}×{} · {}×{}",
+                    self.rows, self.cols, other.rows, other.cols
+                ),
             });
         }
         let mut out = Matrix::zeros(self.rows, other.cols);
@@ -349,8 +360,14 @@ mod tests {
         let s = m(vec![vec![1, 2], vec![2, 4]]);
         assert_eq!(s.determinant().unwrap(), Rational::ZERO);
         assert_eq!(s.rank(), 1);
-        assert_eq!(m(vec![vec![1, 2, 3]]).determinant(), Err(LinalgError::NotSquare));
-        assert_eq!(Matrix::<Rational>::identity(3).determinant().unwrap(), Rational::ONE);
+        assert_eq!(
+            m(vec![vec![1, 2, 3]]).determinant(),
+            Err(LinalgError::NotSquare)
+        );
+        assert_eq!(
+            Matrix::<Rational>::identity(3).determinant().unwrap(),
+            Rational::ONE
+        );
     }
 
     #[test]
@@ -414,10 +431,7 @@ mod tests {
         // direction. A = [[-q, q], [p, -p]]ᵀ acting on rates.
         let p = RatFn::constant(r(19, 20));
         let q = RatFn::constant(r(1, 20));
-        let a = Matrix::from_rows(vec![
-            vec![p.clone().neg(), q.clone()],
-            vec![p, q.neg()],
-        ]);
+        let a = Matrix::from_rows(vec![vec![p.clone().neg(), q.clone()], vec![p, q.neg()]]);
         let basis = a.null_space();
         assert_eq!(basis.len(), 1);
         assert_eq!(a.mul_vec(&basis[0]).unwrap(), vec![RatFn::zero(); 2]);

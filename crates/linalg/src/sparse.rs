@@ -23,7 +23,10 @@ pub struct SparseMatrix<F: Field> {
 impl<F: Field> SparseMatrix<F> {
     /// The zero matrix of the given shape.
     pub fn zeros(rows: usize, cols: usize) -> SparseMatrix<F> {
-        SparseMatrix { rows: vec![BTreeMap::new(); rows], cols }
+        SparseMatrix {
+            rows: vec![BTreeMap::new(); rows],
+            cols,
+        }
     }
 
     /// Number of rows.
@@ -140,7 +143,9 @@ impl<F: Field> SparseMatrix<F> {
                 if r == pr {
                     continue;
                 }
-                let Some(v) = row.get(&col).cloned() else { continue };
+                let Some(v) = row.get(&col).cloned() else {
+                    continue;
+                };
                 let factor = v.div(&pivot);
                 for (c, pv) in &pivot_row {
                     let cur = row.get(c).cloned().unwrap_or_else(F::zero);

@@ -11,8 +11,7 @@ fn small() -> impl Strategy<Value = Rational> {
 }
 
 fn square(n: usize) -> impl Strategy<Value = Matrix<Rational>> {
-    proptest::collection::vec(proptest::collection::vec(small(), n), n)
-        .prop_map(Matrix::from_rows)
+    proptest::collection::vec(proptest::collection::vec(small(), n), n).prop_map(Matrix::from_rows)
 }
 
 fn vector(n: usize) -> impl Strategy<Value = Vec<Rational>> {

@@ -35,7 +35,10 @@ pub struct NetBuilder {
 impl NetBuilder {
     /// Start building a net with the given name.
     pub fn new(name: &str) -> NetBuilder {
-        NetBuilder { name: name.to_string(), ..NetBuilder::default() }
+        NetBuilder {
+            name: name.to_string(),
+            ..NetBuilder::default()
+        }
     }
 
     /// Add a place with an initial token count, returning its id.
@@ -66,31 +69,49 @@ impl NetBuilder {
     pub fn build(self) -> Result<TimedPetriNet, NetError> {
         let mut place_index = HashMap::new();
         for (i, name) in self.place_names.iter().enumerate() {
-            if place_index.insert(name.clone(), PlaceId::from_index(i)).is_some() {
+            if place_index
+                .insert(name.clone(), PlaceId::from_index(i))
+                .is_some()
+            {
                 return Err(NetError::DuplicatePlace { name: name.clone() });
             }
         }
         let mut trans_index = HashMap::new();
         for (i, t) in self.transitions.iter().enumerate() {
-            if trans_index.insert(t.name.clone(), TransId::from_index(i)).is_some() {
-                return Err(NetError::DuplicateTransition { name: t.name.clone() });
+            if trans_index
+                .insert(t.name.clone(), TransId::from_index(i))
+                .is_some()
+            {
+                return Err(NetError::DuplicateTransition {
+                    name: t.name.clone(),
+                });
             }
             if t.input.is_empty() {
-                return Err(NetError::EmptyInputBag { transition: t.name.clone() });
+                return Err(NetError::EmptyInputBag {
+                    transition: t.name.clone(),
+                });
             }
             if let Some(e) = t.enabling.known() {
                 if e.is_negative() {
-                    return Err(NetError::NegativeTime { transition: t.name.clone(), which: "enabling" });
+                    return Err(NetError::NegativeTime {
+                        transition: t.name.clone(),
+                        which: "enabling",
+                    });
                 }
             }
             if let Some(fi) = t.firing.known() {
                 if fi.is_negative() {
-                    return Err(NetError::NegativeTime { transition: t.name.clone(), which: "firing" });
+                    return Err(NetError::NegativeTime {
+                        transition: t.name.clone(),
+                        which: "firing",
+                    });
                 }
             }
             if let Some(w) = t.frequency.weight() {
                 if w.is_negative() {
-                    return Err(NetError::NegativeFrequency { transition: t.name.clone() });
+                    return Err(NetError::NegativeFrequency {
+                        transition: t.name.clone(),
+                    });
                 }
             }
         }
@@ -234,7 +255,10 @@ mod tests {
         b.place("a", 0);
         let p = b.place("c", 1);
         b.transition("t").input(p).add();
-        assert_eq!(b.build().unwrap_err(), NetError::DuplicatePlace { name: "a".into() });
+        assert_eq!(
+            b.build().unwrap_err(),
+            NetError::DuplicatePlace { name: "a".into() }
+        );
     }
 
     #[test]
@@ -256,7 +280,9 @@ mod tests {
         b.transition("src").output(p).add();
         assert_eq!(
             b.build().unwrap_err(),
-            NetError::EmptyInputBag { transition: "src".into() }
+            NetError::EmptyInputBag {
+                transition: "src".into()
+            }
         );
     }
 
@@ -264,18 +290,42 @@ mod tests {
     fn negative_values_rejected() {
         let mut b = NetBuilder::new("n");
         let p = b.place("a", 1);
-        b.transition("t").input(p).firing(Rational::from_int(-1)).add();
-        assert!(matches!(b.build(), Err(NetError::NegativeTime { which: "firing", .. })));
+        b.transition("t")
+            .input(p)
+            .firing(Rational::from_int(-1))
+            .add();
+        assert!(matches!(
+            b.build(),
+            Err(NetError::NegativeTime {
+                which: "firing",
+                ..
+            })
+        ));
 
         let mut b2 = NetBuilder::new("n");
         let p2 = b2.place("a", 1);
-        b2.transition("t").input(p2).enabling(Rational::from_int(-2)).add();
-        assert!(matches!(b2.build(), Err(NetError::NegativeTime { which: "enabling", .. })));
+        b2.transition("t")
+            .input(p2)
+            .enabling(Rational::from_int(-2))
+            .add();
+        assert!(matches!(
+            b2.build(),
+            Err(NetError::NegativeTime {
+                which: "enabling",
+                ..
+            })
+        ));
 
         let mut b3 = NetBuilder::new("n");
         let p3 = b3.place("a", 1);
-        b3.transition("t").input(p3).weight(Rational::from_int(-1)).add();
-        assert!(matches!(b3.build(), Err(NetError::NegativeFrequency { .. })));
+        b3.transition("t")
+            .input(p3)
+            .weight(Rational::from_int(-1))
+            .add();
+        assert!(matches!(
+            b3.build(),
+            Err(NetError::NegativeFrequency { .. })
+        ));
     }
 
     #[test]

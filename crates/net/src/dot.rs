@@ -18,7 +18,12 @@ pub fn to_dot(net: &TimedPetriNet) -> String {
         } else {
             net.place_name(p).to_string()
         };
-        let _ = writeln!(out, "  \"{}\" [shape=circle, label=\"{}\"];", net.place_name(p), label);
+        let _ = writeln!(
+            out,
+            "  \"{}\" [shape=circle, label=\"{}\"];",
+            net.place_name(p),
+            label
+        );
     }
     for t in net.transitions() {
         let tr = net.transition(t);
@@ -31,12 +36,32 @@ pub fn to_dot(net: &TimedPetriNet) -> String {
             tr.frequency()
         );
         for (p, n) in tr.input().iter() {
-            let label = if n > 1 { format!(" [label=\"{n}\"]") } else { String::new() };
-            let _ = writeln!(out, "  \"{}\" -> \"{}\"{};", net.place_name(p), tr.name(), label);
+            let label = if n > 1 {
+                format!(" [label=\"{n}\"]")
+            } else {
+                String::new()
+            };
+            let _ = writeln!(
+                out,
+                "  \"{}\" -> \"{}\"{};",
+                net.place_name(p),
+                tr.name(),
+                label
+            );
         }
         for (p, n) in tr.output().iter() {
-            let label = if n > 1 { format!(" [label=\"{n}\"]") } else { String::new() };
-            let _ = writeln!(out, "  \"{}\" -> \"{}\"{};", tr.name(), net.place_name(p), label);
+            let label = if n > 1 {
+                format!(" [label=\"{n}\"]")
+            } else {
+                String::new()
+            };
+            let _ = writeln!(
+                out,
+                "  \"{}\" -> \"{}\"{};",
+                tr.name(),
+                net.place_name(p),
+                label
+            );
         }
     }
     let _ = writeln!(out, "}}");
@@ -53,7 +78,11 @@ mod tests {
         let mut b = NetBuilder::new("dot-test");
         let a = b.place("src", 1);
         let c = b.place("dst", 0);
-        b.transition("move").input_n(a, 2).output(c).firing_const(7).add();
+        b.transition("move")
+            .input_n(a, 2)
+            .output(c)
+            .firing_const(7)
+            .add();
         let net = b.build().unwrap();
         let dot = to_dot(&net);
         assert!(dot.starts_with("digraph \"dot-test\""));

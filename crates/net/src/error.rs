@@ -64,7 +64,10 @@ impl fmt::Display for NetError {
                 write!(f, "transition {transition:?} has a negative {which} time")
             }
             NetError::NegativeFrequency { transition } => {
-                write!(f, "transition {transition:?} has a negative firing frequency")
+                write!(
+                    f,
+                    "transition {transition:?} has a negative firing frequency"
+                )
             }
             NetError::MarkingSizeMismatch { places, got } => write!(
                 f,

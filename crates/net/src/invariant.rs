@@ -61,11 +61,7 @@ impl Semiflow {
 
     /// The weighted sum `Σ wᵢ·vᵢ` of an integer vector (e.g. a marking).
     pub fn weighted_sum(&self, v: impl Iterator<Item = u32>) -> i128 {
-        self.weights
-            .iter()
-            .zip(v)
-            .map(|(w, x)| w * x as i128)
-            .sum()
+        self.weights.iter().zip(v).map(|(w, x)| w * x as i128).sum()
     }
 }
 
@@ -118,17 +114,9 @@ fn martinez_silva(mut rows: Vec<(Vec<i128>, Vec<i128>)>, cols: usize) -> Vec<Sem
                 let b = -nb[col];
                 let g = gcd(a, b);
                 let (ma, mb) = (b / g, a / g); // multiply pos row by ma, neg row by mb
-                let body: Vec<i128> = pb
-                    .iter()
-                    .zip(nb)
-                    .map(|(x, y)| ma * x + mb * y)
-                    .collect();
+                let body: Vec<i128> = pb.iter().zip(nb).map(|(x, y)| ma * x + mb * y).collect();
                 debug_assert_eq!(body[col], 0);
-                let weight: Vec<i128> = pw
-                    .iter()
-                    .zip(nw)
-                    .map(|(x, y)| ma * x + mb * y)
-                    .collect();
+                let weight: Vec<i128> = pw.iter().zip(nw).map(|(x, y)| ma * x + mb * y).collect();
                 next.push(normalise(body, weight));
             }
         }
@@ -173,10 +161,7 @@ fn minimal_support(rows: Vec<(Vec<i128>, Vec<i128>)>) -> Vec<(Vec<i128>, Vec<i12
                 continue;
             }
             // drop j if support(i) ⊊ support(j)
-            let i_subset_j = supports[i]
-                .iter()
-                .zip(&supports[j])
-                .all(|(a, b)| !a || *b);
+            let i_subset_j = supports[i].iter().zip(&supports[j]).all(|(a, b)| !a || *b);
             let equal = supports[i] == supports[j];
             if i_subset_j && !equal {
                 keep[j] = false;
@@ -221,7 +206,10 @@ pub fn is_t_semiflow(net: &TimedPetriNet, weights: &[i128]) -> bool {
 
 /// Convenience: the transitions in a T-semiflow's support.
 pub fn t_semiflow_transitions(flow: &Semiflow) -> Vec<TransId> {
-    flow.support().into_iter().map(TransId::from_index).collect()
+    flow.support()
+        .into_iter()
+        .map(TransId::from_index)
+        .collect()
 }
 
 #[cfg(test)]

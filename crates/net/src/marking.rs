@@ -16,7 +16,9 @@ pub struct Marking {
 impl Marking {
     /// The empty marking over `num_places` places.
     pub fn empty(num_places: usize) -> Marking {
-        Marking { tokens: vec![0; num_places] }
+        Marking {
+            tokens: vec![0; num_places],
+        }
     }
 
     /// Construct from a dense token vector.

@@ -85,7 +85,9 @@ impl TimedPetriNet {
         self.place_index
             .get(name)
             .copied()
-            .ok_or_else(|| NetError::UnknownName { name: name.to_string() })
+            .ok_or_else(|| NetError::UnknownName {
+                name: name.to_string(),
+            })
     }
 
     /// Look a transition up by name.
@@ -93,7 +95,9 @@ impl TimedPetriNet {
         self.trans_index
             .get(name)
             .copied()
-            .ok_or_else(|| NetError::UnknownName { name: name.to_string() })
+            .ok_or_else(|| NetError::UnknownName {
+                name: name.to_string(),
+            })
     }
 
     /// The initial marking `μ₀`.
@@ -178,7 +182,9 @@ impl TimedPetriNet {
         for i in 0..n {
             let root = find(&mut parent, i);
             let class = *class_of_root.entry(root).or_insert_with(|| {
-                sets.push(ConflictSet { members: Vec::new() });
+                sets.push(ConflictSet {
+                    members: Vec::new(),
+                });
                 sets.len() - 1
             });
             sets[class].members.push(TransId::from_index(i));
@@ -193,11 +199,7 @@ impl TimedPetriNet {
             places: self.num_places(),
             transitions: self.num_transitions(),
             conflict_sets: self.conflict_sets.len(),
-            nontrivial_conflict_sets: self
-                .conflict_sets
-                .iter()
-                .filter(|c| c.len() > 1)
-                .count(),
+            nontrivial_conflict_sets: self.conflict_sets.iter().filter(|c| c.len() > 1).count(),
             arcs: self
                 .transitions
                 .iter()
@@ -241,7 +243,11 @@ impl fmt::Display for TimedPetriNet {
             write!(f, "  trans {}", tr.name())?;
             write!(f, " in {}", fmt_bag(self, &tr.input))?;
             write!(f, " out {}", fmt_bag(self, &tr.output))?;
-            write!(f, " enabling {} firing {} weight {}", tr.enabling, tr.firing, tr.frequency)?;
+            write!(
+                f,
+                " enabling {} firing {} weight {}",
+                tr.enabling, tr.firing, tr.frequency
+            )?;
             writeln!(f)?;
         }
         Ok(())
@@ -273,9 +279,23 @@ mod tests {
         let mut b = NetBuilder::new("test");
         let p0 = b.place("a", 1);
         let p1 = b.place("b", 0);
-        b.transition("x").input(p0).output(p1).firing_const(1).weight_const(1).add();
-        b.transition("y").input(p0).firing_const(1).weight_const(1).add();
-        b.transition("z").input(p1).output(p0).firing_const(1).weight_const(1).add();
+        b.transition("x")
+            .input(p0)
+            .output(p1)
+            .firing_const(1)
+            .weight_const(1)
+            .add();
+        b.transition("y")
+            .input(p0)
+            .firing_const(1)
+            .weight_const(1)
+            .add();
+        b.transition("z")
+            .input(p1)
+            .output(p0)
+            .firing_const(1)
+            .weight_const(1)
+            .add();
         b.build().unwrap()
     }
 
@@ -374,9 +394,6 @@ mod tests {
         b.transition("x").input(p0).add();
         let net = b.build().unwrap();
         let x = net.transition_by_name("x").unwrap();
-        assert_eq!(
-            net.transition(x).frequency().weight(),
-            Some(&Rational::ONE)
-        );
+        assert_eq!(net.transition(x).frequency().weight(), Some(&Rational::ONE));
     }
 }

@@ -61,7 +61,10 @@ impl fmt::Display for ParseError {
 impl std::error::Error for ParseError {}
 
 fn err(line: usize, message: impl Into<String>) -> ParseError {
-    ParseError { line, message: message.into() }
+    ParseError {
+        line,
+        message: message.into(),
+    }
 }
 
 /// Parse a `.tpn` document into a validated net.
@@ -85,7 +88,9 @@ pub fn parse_tpn(src: &str) -> Result<TimedPetriNet, ParseError> {
         let directive = tokens.next().expect("non-empty line");
         match directive {
             "net" => {
-                let name = tokens.next().ok_or_else(|| err(lineno, "net: missing name"))?;
+                let name = tokens
+                    .next()
+                    .ok_or_else(|| err(lineno, "net: missing name"))?;
                 if tokens.next().is_some() {
                     return Err(err(lineno, "net: trailing tokens"));
                 }
@@ -95,13 +100,19 @@ pub fn parse_tpn(src: &str) -> Result<TimedPetriNet, ParseError> {
                 builder = Some(NetBuilder::new(name));
             }
             "place" => {
-                let b = builder.as_mut().ok_or_else(|| err(lineno, "`place` before `net`"))?;
-                let name = tokens.next().ok_or_else(|| err(lineno, "place: missing name"))?;
+                let b = builder
+                    .as_mut()
+                    .ok_or_else(|| err(lineno, "`place` before `net`"))?;
+                let name = tokens
+                    .next()
+                    .ok_or_else(|| err(lineno, "place: missing name"))?;
                 let mut init = 0u32;
                 match tokens.next() {
                     None => {}
                     Some("init") => {
-                        let v = tokens.next().ok_or_else(|| err(lineno, "place: missing init count"))?;
+                        let v = tokens
+                            .next()
+                            .ok_or_else(|| err(lineno, "place: missing init count"))?;
                         init = v
                             .parse()
                             .map_err(|_| err(lineno, format!("place: invalid init count {v:?}")))?;
@@ -117,23 +128,28 @@ pub fn parse_tpn(src: &str) -> Result<TimedPetriNet, ParseError> {
                 places.push((name.to_string(), id));
             }
             "trans" => {
-                let b = builder.as_mut().ok_or_else(|| err(lineno, "`trans` before `net`"))?;
-                let name = tokens.next().ok_or_else(|| err(lineno, "trans: missing name"))?;
+                let b = builder
+                    .as_mut()
+                    .ok_or_else(|| err(lineno, "`trans` before `net`"))?;
+                let name = tokens
+                    .next()
+                    .ok_or_else(|| err(lineno, "trans: missing name"))?;
                 let rest: Vec<&str> = tokens.collect();
                 let mut t = b.transition(name);
                 let mut i = 0usize;
                 let mut saw_in = false;
                 while i < rest.len() {
                     let key = rest[i];
-                    let val = rest
-                        .get(i + 1)
-                        .ok_or_else(|| err(lineno, format!("trans: missing value after {key:?}")))?;
+                    let val = rest.get(i + 1).ok_or_else(|| {
+                        err(lineno, format!("trans: missing value after {key:?}"))
+                    })?;
                     match key {
                         "in" | "out" => {
                             for part in parse_bag(val, lineno)? {
                                 let (mult, pname) = part;
-                                let pid = lookup(&places, &pname)
-                                    .ok_or_else(|| err(lineno, format!("unknown place {pname:?}")))?;
+                                let pid = lookup(&places, &pname).ok_or_else(|| {
+                                    err(lineno, format!("unknown place {pname:?}"))
+                                })?;
                                 t = if key == "in" {
                                     saw_in = true;
                                     t.input_n(pid, mult)
@@ -178,9 +194,7 @@ pub fn parse_tpn(src: &str) -> Result<TimedPetriNet, ParseError> {
         }
     }
     let builder = builder.ok_or_else(|| err(0, "missing `net` directive"))?;
-    builder
-        .build()
-        .map_err(|e: NetError| err(0, e.to_string()))
+    builder.build().map_err(|e: NetError| err(0, e.to_string()))
 }
 
 fn lookup(places: &[(String, PlaceId)], name: &str) -> Option<PlaceId> {
@@ -278,12 +292,18 @@ mod tests {
             ("net n\nplace a init x\ntrans t in a", "invalid init count"),
             ("net n\nplace a init 1\ntrans t out a", "missing `in` bag"),
             ("net n\nplace a init 1\ntrans t in b", "unknown place"),
-            ("net n\nplace a init 1\ntrans t in a firing abc", "cannot parse"),
+            (
+                "net n\nplace a init 1\ntrans t in a firing abc",
+                "cannot parse",
+            ),
             ("net n\nnet m", "duplicate `net`"),
             ("bogus x", "unknown directive"),
             ("", "missing `net` directive"),
             ("net n\nplace a init 1\ntrans t in 0*a", "zero multiplicity"),
-            ("net n\nplace a init 1\ntrans t in a bad 1", "unknown attribute"),
+            (
+                "net n\nplace a init 1\ntrans t in a bad 1",
+                "unknown attribute",
+            ),
         ] {
             let e = parse_tpn(src).unwrap_err();
             assert!(
@@ -308,7 +328,10 @@ mod tests {
 
     #[test]
     fn comments_and_blanks_ignored() {
-        let net = parse_tpn("\n# leading comment\nnet n # trailing\nplace a init 1\ntrans t in a # hi\n\n").unwrap();
+        let net = parse_tpn(
+            "\n# leading comment\nnet n # trailing\nplace a init 1\ntrans t in a # hi\n\n",
+        )
+        .unwrap();
         assert_eq!(net.name(), "n");
     }
 

@@ -145,10 +145,16 @@ mod tests {
     fn time_value() {
         assert!(TimeValue::zero().is_known_zero());
         assert!(!TimeValue::Unknown.is_known_zero());
-        assert_eq!(TimeValue::Known(Rational::ONE).known(), Some(&Rational::ONE));
+        assert_eq!(
+            TimeValue::Known(Rational::ONE).known(),
+            Some(&Rational::ONE)
+        );
         assert_eq!(TimeValue::Unknown.known(), None);
         assert_eq!(TimeValue::Unknown.to_string(), "?");
-        assert_eq!(TimeValue::Known(Rational::new(1067, 10)).to_string(), "1067/10");
+        assert_eq!(
+            TimeValue::Known(Rational::new(1067, 10)).to_string(),
+            "1067/10"
+        );
     }
 
     #[test]

@@ -82,7 +82,8 @@ pub fn producer_consumer(
         .output(slots)
         .firing(consume_time)
         .add();
-    b.build().expect("producer-consumer net is structurally valid")
+    b.build()
+        .expect("producer-consumer net is structurally valid")
 }
 
 /// A lossy multi-hop forwarding chain: a token must traverse `hops`

@@ -56,7 +56,13 @@ pub fn fig2() -> Fig2 {
         .firing_const(2)
         .add();
     let net = b.build().expect("fig2 net is structurally valid");
-    Fig2 { net, t1, t2, feeder, shared }
+    Fig2 {
+        net,
+        t1,
+        t2,
+        feeder,
+        shared,
+    }
 }
 
 #[cfg(test)]

@@ -161,8 +161,19 @@ fn build(spec: Spec) -> SimpleProtocol {
     let (t1, t2, t3, t4, t5, t6, t7, t8, t9);
     match spec {
         Spec::Numeric(params) => {
-            t1 = b.transition("t1").input(p5).output(p1).firing(params.sender_step).add();
-            t2 = b.transition("t2").input(p1).output(p2).output(p4).firing(params.sender_step).add();
+            t1 = b
+                .transition("t1")
+                .input(p5)
+                .output(p1)
+                .firing(params.sender_step)
+                .add();
+            t2 = b
+                .transition("t2")
+                .input(p1)
+                .output(p2)
+                .output(p4)
+                .firing(params.sender_step)
+                .add();
             t3 = b
                 .transition("t3")
                 .input(p4)
@@ -214,8 +225,19 @@ fn build(spec: Spec) -> SimpleProtocol {
                 .add();
         }
         Spec::Symbolic => {
-            t1 = b.transition("t1").input(p5).output(p1).firing_unknown().add();
-            t2 = b.transition("t2").input(p1).output(p2).output(p4).firing_unknown().add();
+            t1 = b
+                .transition("t1")
+                .input(p5)
+                .output(p1)
+                .firing_unknown()
+                .add();
+            t2 = b
+                .transition("t2")
+                .input(p1)
+                .output(p2)
+                .output(p4)
+                .firing_unknown()
+                .add();
             t3 = b
                 .transition("t3")
                 .input(p4)
@@ -224,8 +246,19 @@ fn build(spec: Spec) -> SimpleProtocol {
                 .firing_unknown()
                 .weight(Rational::ZERO)
                 .add();
-            t4 = b.transition("t4").input(p2).output(p3).firing_unknown().weight_unknown().add();
-            t5 = b.transition("t5").input(p2).firing_unknown().weight_unknown().add();
+            t4 = b
+                .transition("t4")
+                .input(p2)
+                .output(p3)
+                .firing_unknown()
+                .weight_unknown()
+                .add();
+            t5 = b
+                .transition("t5")
+                .input(p2)
+                .firing_unknown()
+                .weight_unknown()
+                .add();
             t6 = b
                 .transition("t6")
                 .input(p3)
@@ -234,12 +267,31 @@ fn build(spec: Spec) -> SimpleProtocol {
                 .output(p8)
                 .firing_unknown()
                 .add();
-            t7 = b.transition("t7").input(p4).input(p6).output(p5).firing_unknown().add();
-            t8 = b.transition("t8").input(p7).output(p6).firing_unknown().weight_unknown().add();
-            t9 = b.transition("t9").input(p7).firing_unknown().weight_unknown().add();
+            t7 = b
+                .transition("t7")
+                .input(p4)
+                .input(p6)
+                .output(p5)
+                .firing_unknown()
+                .add();
+            t8 = b
+                .transition("t8")
+                .input(p7)
+                .output(p6)
+                .firing_unknown()
+                .weight_unknown()
+                .add();
+            t9 = b
+                .transition("t9")
+                .input(p7)
+                .firing_unknown()
+                .weight_unknown()
+                .add();
         }
     }
-    let net = b.build().expect("simple protocol net is structurally valid");
+    let net = b
+        .build()
+        .expect("simple protocol net is structurally valid");
     SimpleProtocol {
         net,
         t: [t1, t2, t3, t4, t5, t6, t7, t8, t9],
@@ -261,9 +313,18 @@ mod tests {
         assert_eq!(stats.nontrivial_conflict_sets, 3);
         assert_eq!(stats.conflict_sets, 6);
         // t4/t5 conflict; t3/t7 conflict; t8/t9 conflict
-        assert_eq!(sp.net.conflict_set_of(sp.t[3]), sp.net.conflict_set_of(sp.t[4]));
-        assert_eq!(sp.net.conflict_set_of(sp.t[2]), sp.net.conflict_set_of(sp.t[6]));
-        assert_eq!(sp.net.conflict_set_of(sp.t[7]), sp.net.conflict_set_of(sp.t[8]));
+        assert_eq!(
+            sp.net.conflict_set_of(sp.t[3]),
+            sp.net.conflict_set_of(sp.t[4])
+        );
+        assert_eq!(
+            sp.net.conflict_set_of(sp.t[2]),
+            sp.net.conflict_set_of(sp.t[6])
+        );
+        assert_eq!(
+            sp.net.conflict_set_of(sp.t[7]),
+            sp.net.conflict_set_of(sp.t[8])
+        );
         assert!(sp.net.is_fully_timed());
     }
 

@@ -14,7 +14,9 @@ pub enum ArithmeticError {
 impl fmt::Display for ArithmeticError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ArithmeticError::Overflow => write!(f, "arithmetic overflow in exact rational computation"),
+            ArithmeticError::Overflow => {
+                write!(f, "arithmetic overflow in exact rational computation")
+            }
             ArithmeticError::DivisionByZero => write!(f, "division by zero"),
         }
     }
@@ -43,7 +45,11 @@ impl ParseRationalError {
 
 impl fmt::Display for ParseRationalError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "cannot parse {:?} as a rational: {}", self.input, self.reason)
+        write!(
+            f,
+            "cannot parse {:?} as a rational: {}",
+            self.input, self.reason
+        )
     }
 }
 

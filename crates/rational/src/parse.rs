@@ -13,7 +13,10 @@ use crate::error::ParseRationalError;
 use crate::Rational;
 
 fn err(input: &str, reason: &'static str) -> ParseRationalError {
-    ParseRationalError { input: input.to_string(), reason }
+    ParseRationalError {
+        input: input.to_string(),
+        reason,
+    }
 }
 
 /// Parse a rational literal. See the module docs for the grammar.
@@ -53,9 +56,12 @@ pub fn parse_rational(input: &str) -> Result<Rational, ParseRationalError> {
         let int_part: i128 = if ip.is_empty() {
             0
         } else {
-            ip.parse().map_err(|_| err(input, "integer part out of range"))?
+            ip.parse()
+                .map_err(|_| err(input, "integer part out of range"))?
         };
-        let frac_part: i128 = fp.parse().map_err(|_| err(input, "fractional part out of range"))?;
+        let frac_part: i128 = fp
+            .parse()
+            .map_err(|_| err(input, "fractional part out of range"))?;
         let mut scale: i128 = 1;
         for _ in 0..fp.len() {
             scale = scale
@@ -111,7 +117,9 @@ mod tests {
 
     #[test]
     fn rejects_garbage() {
-        for bad in ["", "  ", "abc", "1.2.3", "1/0", "1/", "/2", "1.", "1e3", "--2", "1.x"] {
+        for bad in [
+            "", "  ", "abc", "1.2.3", "1/0", "1/", "/2", "1.", "1e3", "--2", "1.x",
+        ] {
             assert!(parse_rational(bad).is_err(), "should reject {bad:?}");
         }
     }

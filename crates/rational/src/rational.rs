@@ -116,7 +116,10 @@ impl Rational {
 
     /// Absolute value.
     pub fn abs(&self) -> Rational {
-        Rational { num: self.num.abs(), den: self.den }
+        Rational {
+            num: self.num.abs(),
+            den: self.den,
+        }
     }
 
     /// Checked addition.
@@ -140,7 +143,10 @@ impl Rational {
 
     /// Checked negation.
     pub fn checked_neg(&self) -> Result<Rational, ArithmeticError> {
-        Ok(Rational { num: self.num.checked_neg().ok_or(ArithmeticError::Overflow)?, den: self.den })
+        Ok(Rational {
+            num: self.num.checked_neg().ok_or(ArithmeticError::Overflow)?,
+            den: self.den,
+        })
     }
 
     /// Checked multiplication.
@@ -183,7 +189,11 @@ impl Rational {
         if exp == 0 {
             return Ok(Rational::ONE);
         }
-        let base = if exp < 0 { self.checked_recip()? } else { *self };
+        let base = if exp < 0 {
+            self.checked_recip()?
+        } else {
+            *self
+        };
         let mut acc = Rational::ONE;
         for _ in 0..exp.unsigned_abs() {
             acc = acc.checked_mul(&base)?;
@@ -347,7 +357,10 @@ impl Ord for Rational {
         // i128 products of protocol-scale values do not overflow; fall back
         // to f64 comparison only in the (astronomically unlikely) overflow
         // case — and then refine by subtracting.
-        match (self.num.checked_mul(other.den), other.num.checked_mul(self.den)) {
+        match (
+            self.num.checked_mul(other.den),
+            other.num.checked_mul(self.den),
+        ) {
             (Some(l), Some(r)) => l.cmp(&r),
             _ => {
                 // Exact fallback: compare via checked_sub's sign if possible,
@@ -368,11 +381,8 @@ macro_rules! binop {
         impl $trait for Rational {
             type Output = Rational;
             fn $method(self, rhs: Rational) -> Rational {
-                self.$checked(&rhs).expect(concat!(
-                    "Rational::",
-                    stringify!($method),
-                    " overflow"
-                ))
+                self.$checked(&rhs)
+                    .expect(concat!("Rational::", stringify!($method), " overflow"))
             }
         }
         impl<'a> $trait<&'a Rational> for Rational {
@@ -540,7 +550,10 @@ mod tests {
         assert_eq!(Rational::from_f64_approx(f64::NAN, 10), None);
         assert_eq!(Rational::from_f64_approx(f64::INFINITY, 10), None);
         // pi with small denominator: 22/7
-        assert_eq!(Rational::from_f64_approx(std::f64::consts::PI, 10), Some(r(22, 7)));
+        assert_eq!(
+            Rational::from_f64_approx(std::f64::consts::PI, 10),
+            Some(r(22, 7))
+        );
     }
 
     #[test]
@@ -553,7 +566,10 @@ mod tests {
     #[test]
     fn checked_overflow_detected() {
         let big = Rational::from_int(i128::MAX);
-        assert_eq!(big.checked_add(&Rational::ONE), Err(ArithmeticError::Overflow));
+        assert_eq!(
+            big.checked_add(&Rational::ONE),
+            Err(ArithmeticError::Overflow)
+        );
         assert_eq!(big.checked_mul(&big), Err(ArithmeticError::Overflow));
     }
 

@@ -55,12 +55,20 @@ impl CorrectnessReport {
         let _ = writeln!(
             out,
             "deadlock-free: {}",
-            if self.deadlocks.is_empty() { "yes".into() } else { format!("no {:?}", self.deadlocks) }
+            if self.deadlocks.is_empty() {
+                "yes".into()
+            } else {
+                format!("no {:?}", self.deadlocks)
+            }
         );
         let _ = writeln!(
             out,
             "1-safe: {} (bound = {})",
-            if self.unsafe_states.is_empty() { "yes" } else { "no" },
+            if self.unsafe_states.is_empty() {
+                "yes"
+            } else {
+                "no"
+            },
             self.bound
         );
         let dead: Vec<&str> = self
@@ -71,9 +79,17 @@ impl CorrectnessReport {
         let _ = writeln!(
             out,
             "all transitions fire: {}",
-            if dead.is_empty() { "yes".into() } else { format!("no, dead: {}", dead.join(", ")) }
+            if dead.is_empty() {
+                "yes".into()
+            } else {
+                format!("no, dead: {}", dead.join(", "))
+            }
         );
-        let _ = writeln!(out, "reversible: {}", if self.reversible { "yes" } else { "no" });
+        let _ = writeln!(
+            out,
+            "reversible: {}",
+            if self.reversible { "yes" } else { "no" }
+        );
         out
     }
 }
@@ -101,8 +117,7 @@ pub fn analyze<D: AnalysisDomain>(
     for e in trg.all_edges() {
         fired.extend(e.fired.iter().copied());
     }
-    let dead_transitions: Vec<TransId> =
-        net.transitions().filter(|t| !fired.contains(t)).collect();
+    let dead_transitions: Vec<TransId> = net.transitions().filter(|t| !fired.contains(t)).collect();
     // Reversibility: every state reachable from the initial state can
     // reach it back. Compute backward reachability from the initial
     // state and compare with the full state set... the initial state may
@@ -126,7 +141,13 @@ pub fn analyze<D: AnalysisDomain>(
         stack.extend(preds[s].iter().copied());
     }
     let reversible = reaches_initial.iter().all(|x| *x);
-    CorrectnessReport { deadlocks, unsafe_states, bound, dead_transitions, reversible }
+    CorrectnessReport {
+        deadlocks,
+        unsafe_states,
+        bound,
+        dead_transitions,
+        reversible,
+    }
 }
 
 #[cfg(test)]
@@ -140,8 +161,16 @@ mod tests {
         let mut b = NetBuilder::new("ok");
         let pa = b.place("pa", 1);
         let pb = b.place("pb", 0);
-        b.transition("go").input(pa).output(pb).firing_const(1).add();
-        b.transition("back").input(pb).output(pa).firing_const(2).add();
+        b.transition("go")
+            .input(pa)
+            .output(pb)
+            .firing_const(1)
+            .add();
+        b.transition("back")
+            .input(pb)
+            .output(pa)
+            .firing_const(2)
+            .add();
         let net = b.build().unwrap();
         let trg = build_trg(&net, &NumericDomain::new(), &TrgOptions::default()).unwrap();
         let rep = analyze(&trg, &net);
@@ -154,7 +183,11 @@ mod tests {
         let mut b = NetBuilder::new("dead");
         let p = b.place("p", 1);
         let q = b.place("q", 0);
-        b.transition("once").input(p).output(q).firing_const(1).add();
+        b.transition("once")
+            .input(p)
+            .output(q)
+            .firing_const(1)
+            .add();
         let net = b.build().unwrap();
         let trg = build_trg(&net, &NumericDomain::new(), &TrgOptions::default()).unwrap();
         let rep = analyze(&trg, &net);
@@ -170,8 +203,18 @@ mod tests {
         // "never" loses every conflict to "main" (weight 0 priority).
         let mut b = NetBuilder::new("deadt");
         let p = b.place("p", 1);
-        b.transition("main").input(p).output(p).firing_const(1).weight_const(1).add();
-        b.transition("never").input(p).output(p).firing_const(1).weight_const(0).add();
+        b.transition("main")
+            .input(p)
+            .output(p)
+            .firing_const(1)
+            .weight_const(1)
+            .add();
+        b.transition("never")
+            .input(p)
+            .output(p)
+            .firing_const(1)
+            .weight_const(0)
+            .add();
         let net = b.build().unwrap();
         let trg = build_trg(&net, &NumericDomain::new(), &TrgOptions::default()).unwrap();
         let rep = analyze(&trg, &net);
@@ -187,8 +230,16 @@ mod tests {
         let q = b.place("q", 0);
         // one firing deposits two tokens in q, a second transition
         // consumes them both — bounded at 2, not 1-safe.
-        b.transition("fill").input(p).output_n(q, 2).firing_const(1).add();
-        b.transition("drain").input_n(q, 2).output(p).firing_const(1).add();
+        b.transition("fill")
+            .input(p)
+            .output_n(q, 2)
+            .firing_const(1)
+            .add();
+        b.transition("drain")
+            .input_n(q, 2)
+            .output(p)
+            .firing_const(1)
+            .add();
         let net = b.build().unwrap();
         let trg = build_trg(&net, &NumericDomain::new(), &TrgOptions::default()).unwrap();
         let rep = analyze(&trg, &net);

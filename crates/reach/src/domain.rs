@@ -19,11 +19,16 @@ use tpn_symbolic::{ConstraintSet, LinExpr, Poly, RatFn, Relation};
 use crate::ReachError;
 
 /// The time/probability interpretation used by a reachability analysis.
-pub trait AnalysisDomain {
+///
+/// Domains and their times/probabilities are `Send + Sync` so the
+/// graph construction can expand frontier states on worker threads
+/// (the `parallel` feature of this crate); all existing domains are
+/// plain data and satisfy the bounds for free.
+pub trait AnalysisDomain: Sync {
     /// Representation of delays (RET/RFT entries, edge delays).
-    type Time: Clone + Eq + Hash + fmt::Debug + fmt::Display;
+    type Time: Clone + Eq + Hash + fmt::Debug + fmt::Display + Send + Sync;
     /// Representation of branching probabilities.
-    type Prob: Clone + Eq + fmt::Debug + fmt::Display;
+    type Prob: Clone + Eq + fmt::Debug + fmt::Display + Send + Sync;
 
     /// The enabling time `E(t)`.
     fn enabling_time(&self, net: &TimedPetriNet, t: TransId) -> Result<Self::Time, ReachError>;
@@ -97,10 +102,12 @@ impl NumericDomain {
         t: TransId,
         which: &'static str,
     ) -> Result<Rational, ReachError> {
-        v.known().copied().ok_or_else(|| ReachError::UnknownAttribute {
-            transition: net.transition(t).name().to_string(),
-            which,
-        })
+        v.known()
+            .copied()
+            .ok_or_else(|| ReachError::UnknownAttribute {
+                transition: net.transition(t).name().to_string(),
+                which,
+            })
     }
 }
 
@@ -374,9 +381,21 @@ mod tests {
     fn conflict_net() -> TimedPetriNet {
         let mut b = NetBuilder::new("dom-test");
         let p = b.place("shared", 1);
-        b.transition("hi").input(p).weight(Rational::new(19, 20)).firing_const(1).add();
-        b.transition("lo").input(p).weight(Rational::new(1, 20)).firing_const(1).add();
-        b.transition("pri").input(p).weight_const(0).firing_const(1).add();
+        b.transition("hi")
+            .input(p)
+            .weight(Rational::new(19, 20))
+            .firing_const(1)
+            .add();
+        b.transition("lo")
+            .input(p)
+            .weight(Rational::new(1, 20))
+            .firing_const(1)
+            .add();
+        b.transition("pri")
+            .input(p)
+            .weight_const(0)
+            .firing_const(1)
+            .add();
         b.build().unwrap()
     }
 
@@ -415,7 +434,10 @@ mod tests {
         let d = NumericDomain::new();
         assert!(matches!(
             d.firing_time(&net, t),
-            Err(ReachError::UnknownAttribute { which: "firing time", .. })
+            Err(ReachError::UnknownAttribute {
+                which: "firing time",
+                ..
+            })
         ));
         assert!(d.enabling_time(&net, t).is_ok()); // enabling defaulted to 0
     }
@@ -423,7 +445,11 @@ mod tests {
     #[test]
     fn numeric_min_and_eq() {
         let d = NumericDomain::new();
-        let xs = [Rational::from_int(5), Rational::from_int(3), Rational::from_int(9)];
+        let xs = [
+            Rational::from_int(5),
+            Rational::from_int(3),
+            Rational::from_int(9),
+        ];
         assert_eq!(d.min_index(&xs, 0), Ok(1));
         assert_eq!(d.time_eq(&xs[0], &xs[0], 0), Ok(true));
         assert_eq!(d.time_eq(&xs[0], &xs[1], 0), Ok(false));
@@ -484,7 +510,11 @@ mod tests {
     fn symbolic_min_uses_constraints() {
         let mut b = NetBuilder::new("symmin");
         let p = b.place("s", 1);
-        b.transition("slow").input(p).enabling_unknown().firing_unknown().add();
+        b.transition("slow")
+            .input(p)
+            .enabling_unknown()
+            .firing_unknown()
+            .add();
         b.transition("fast").input(p).firing_unknown().add();
         let net = b.build().unwrap();
         let slow_e = LinExpr::symbol(symbols::enabling("slow"));

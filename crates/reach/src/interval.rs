@@ -122,7 +122,9 @@ impl IntervalDomain {
                 which,
             };
             enabling.push(Interval::point(
-                *tr.enabling().known().ok_or_else(|| unknown("enabling time"))?,
+                *tr.enabling()
+                    .known()
+                    .ok_or_else(|| unknown("enabling time"))?,
             ));
             firing.push(Interval::point(
                 *tr.firing().known().ok_or_else(|| unknown("firing time"))?,
@@ -288,8 +290,16 @@ mod tests {
         let mut b = NetBuilder::new("iv-cycle");
         let pa = b.place("pa", 1);
         let pb = b.place("pb", 0);
-        b.transition("go").input(pa).output(pb).firing_const(2).add();
-        b.transition("back").input(pb).output(pa).firing_const(3).add();
+        b.transition("go")
+            .input(pa)
+            .output(pb)
+            .firing_const(2)
+            .add();
+        b.transition("back")
+            .input(pb)
+            .output(pa)
+            .firing_const(3)
+            .add();
         let net = b.build().unwrap();
         let idom = IntervalDomain::from_net(&net).unwrap();
         let itrg = build_trg(&net, &idom, &TrgOptions::default()).unwrap();
@@ -314,8 +324,18 @@ mod tests {
         let q1 = b.place("q1", 0);
         let p2 = b.place("p2", 1);
         let q2 = b.place("q2", 0);
-        let fast = b.transition("fast").input(p1).output(q1).firing_const(1).add();
-        let slow = b.transition("slow").input(p2).output(q2).firing_const(5).add();
+        let fast = b
+            .transition("fast")
+            .input(p1)
+            .output(q1)
+            .firing_const(1)
+            .add();
+        let slow = b
+            .transition("slow")
+            .input(p2)
+            .output(q2)
+            .firing_const(5)
+            .add();
         let net = b.build().unwrap();
         let mut dom = IntervalDomain::from_net(&net).unwrap();
         dom.set_firing(fast, iv(1, 2));
@@ -383,16 +403,62 @@ mod tests {
         let p7 = b.place("ack_in_medium", 0);
         let p8 = b.place("receiver_ready", 1);
         let ms = |n: i128, d: i128| Rational::new(n, d);
-        b.transition("t1").input(p5).output(p1).firing_const(1).add();
-        b.transition("t2").input(p1).output(p2).output(p4).firing_const(1).add();
-        b.transition("t3").input(p4).output(p1).enabling_const(1000).firing_const(1).weight_const(0).add();
-        b.transition("t4").input(p2).output(p3).firing(ms(1067, 10)).weight(ms(19, 20)).add();
-        b.transition("t5").input(p2).firing(ms(1067, 10)).weight(ms(1, 20)).add();
-        b.transition("t6").input(p3).input(p8).output(p7).output(p8).firing(ms(27, 2)).add();
-        b.transition("t7").input(p4).input(p6).output(p5).firing(ms(27, 2)).add();
-        b.transition("t8").input(p7).output(p6).firing(ms(1067, 10)).weight(ms(19, 20)).add();
-        b.transition("t9").input(p7).firing(ms(1067, 10)).weight(ms(1, 20)).add();
-        SimpleLike { net: b.build().unwrap() }
+        b.transition("t1")
+            .input(p5)
+            .output(p1)
+            .firing_const(1)
+            .add();
+        b.transition("t2")
+            .input(p1)
+            .output(p2)
+            .output(p4)
+            .firing_const(1)
+            .add();
+        b.transition("t3")
+            .input(p4)
+            .output(p1)
+            .enabling_const(1000)
+            .firing_const(1)
+            .weight_const(0)
+            .add();
+        b.transition("t4")
+            .input(p2)
+            .output(p3)
+            .firing(ms(1067, 10))
+            .weight(ms(19, 20))
+            .add();
+        b.transition("t5")
+            .input(p2)
+            .firing(ms(1067, 10))
+            .weight(ms(1, 20))
+            .add();
+        b.transition("t6")
+            .input(p3)
+            .input(p8)
+            .output(p7)
+            .output(p8)
+            .firing(ms(27, 2))
+            .add();
+        b.transition("t7")
+            .input(p4)
+            .input(p6)
+            .output(p5)
+            .firing(ms(27, 2))
+            .add();
+        b.transition("t8")
+            .input(p7)
+            .output(p6)
+            .firing(ms(1067, 10))
+            .weight(ms(19, 20))
+            .add();
+        b.transition("t9")
+            .input(p7)
+            .firing(ms(1067, 10))
+            .weight(ms(1, 20))
+            .add();
+        SimpleLike {
+            net: b.build().unwrap(),
+        }
     }
 
     struct SimpleLike {

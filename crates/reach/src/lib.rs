@@ -40,9 +40,9 @@ mod state;
 
 pub use correctness::{analyze, CorrectnessReport};
 pub use domain::{AnalysisDomain, NumericDomain, SymbolicDomain};
-pub use interval::{Interval, IntervalDomain};
 pub use error::ReachError;
 pub use graph::{
     build_trg, Edge, EdgeKind, MinResolution, StateId, TimedReachabilityGraph, TrgOptions,
 };
+pub use interval::{Interval, IntervalDomain};
 pub use state::TimedState;

@@ -59,10 +59,16 @@ impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SimError::UnknownAttribute { transition } => {
-                write!(f, "simulation requires concrete attributes for {transition:?}")
+                write!(
+                    f,
+                    "simulation requires concrete attributes for {transition:?}"
+                )
             }
             SimError::MultipleFiring { transition } => {
-                write!(f, "transition {transition:?} would fire twice at one instant")
+                write!(
+                    f,
+                    "transition {transition:?} would fire twice at one instant"
+                )
             }
             SimError::UnboundedRun => write!(f, "set max_events or max_time"),
         }
@@ -89,7 +95,9 @@ pub fn simulate(net: &TimedPetriNet, opts: &SimOptions) -> Result<SimStats, SimE
     let mut weight = Vec::with_capacity(nt);
     for t in net.transitions() {
         let tr = net.transition(t);
-        let unknown = || SimError::UnknownAttribute { transition: tr.name().to_string() };
+        let unknown = || SimError::UnknownAttribute {
+            transition: tr.name().to_string(),
+        };
         enabling.push(*tr.enabling().known().ok_or_else(unknown)?);
         firing.push(*tr.firing().known().ok_or_else(unknown)?);
         weight.push(match tr.frequency() {
@@ -168,8 +176,7 @@ pub fn simulate(net: &TimedPetriNet, opts: &SimOptions) -> Result<SimStats, SimE
             for &t in &chosen {
                 let cs = net.conflict_set(net.conflict_set_of(t));
                 for &u in cs.members() {
-                    let was_firable =
-                        matches!(&state.ret[u.index()], Some(x) if x.is_zero());
+                    let was_firable = matches!(&state.ret[u.index()], Some(x) if x.is_zero());
                     if was_firable && state.marking.covers(net.transition(u).input()) {
                         return Err(SimError::MultipleFiring {
                             transition: net.transition(u).name().to_string(),
@@ -308,8 +315,16 @@ mod tests {
         let mut b = NetBuilder::new("simcycle");
         let pa = b.place("pa", 1);
         let pb = b.place("pb", 0);
-        b.transition("go").input(pa).output(pb).firing_const(2).add();
-        b.transition("back").input(pb).output(pa).firing_const(3).add();
+        b.transition("go")
+            .input(pa)
+            .output(pb)
+            .firing_const(2)
+            .add();
+        b.transition("back")
+            .input(pb)
+            .output(pa)
+            .firing_const(3)
+            .add();
         b.build().unwrap()
     }
 
@@ -318,7 +333,11 @@ mod tests {
         let net = cycle_net();
         let stats = simulate(
             &net,
-            &SimOptions { max_time: Some(r(5000)), max_events: 0, ..SimOptions::default() },
+            &SimOptions {
+                max_time: Some(r(5000)),
+                max_events: 0,
+                ..SimOptions::default()
+            },
         )
         .unwrap();
         let go = net.transition_by_name("go").unwrap();
@@ -332,12 +351,25 @@ mod tests {
     fn weighted_conflict_converges() {
         let mut b = NetBuilder::new("coinflip");
         let p = b.place("p", 1);
-        b.transition("heads").input(p).output(p).firing_const(1).weight_const(3).add();
-        b.transition("tails").input(p).output(p).firing_const(1).weight_const(1).add();
+        b.transition("heads")
+            .input(p)
+            .output(p)
+            .firing_const(1)
+            .weight_const(3)
+            .add();
+        b.transition("tails")
+            .input(p)
+            .output(p)
+            .firing_const(1)
+            .weight_const(1)
+            .add();
         let net = b.build().unwrap();
         let stats = simulate(
             &net,
-            &SimOptions { max_events: 200_000, ..SimOptions::default() },
+            &SimOptions {
+                max_events: 200_000,
+                ..SimOptions::default()
+            },
         )
         .unwrap();
         let heads = net.transition_by_name("heads").unwrap();
@@ -352,10 +384,27 @@ mod tests {
     fn zero_weight_priority() {
         let mut b = NetBuilder::new("prio");
         let p = b.place("p", 1);
-        b.transition("main").input(p).output(p).firing_const(1).weight_const(1).add();
-        b.transition("never").input(p).output(p).firing_const(1).weight_const(0).add();
+        b.transition("main")
+            .input(p)
+            .output(p)
+            .firing_const(1)
+            .weight_const(1)
+            .add();
+        b.transition("never")
+            .input(p)
+            .output(p)
+            .firing_const(1)
+            .weight_const(0)
+            .add();
         let net = b.build().unwrap();
-        let stats = simulate(&net, &SimOptions { max_events: 10_000, ..SimOptions::default() }).unwrap();
+        let stats = simulate(
+            &net,
+            &SimOptions {
+                max_events: 10_000,
+                ..SimOptions::default()
+            },
+        )
+        .unwrap();
         let never = net.transition_by_name("never").unwrap();
         assert_eq!(stats.firings(never), 0);
     }
@@ -365,7 +414,11 @@ mod tests {
         let mut b = NetBuilder::new("dead");
         let p = b.place("p", 1);
         let q = b.place("q", 0);
-        b.transition("once").input(p).output(q).firing_const(1).add();
+        b.transition("once")
+            .input(p)
+            .output(q)
+            .firing_const(1)
+            .add();
         let net = b.build().unwrap();
         let stats = simulate(&net, &SimOptions::default()).unwrap();
         assert!(stats.deadlocked());
@@ -397,10 +450,24 @@ mod tests {
     fn reproducible_with_seed() {
         let mut b = NetBuilder::new("rng");
         let p = b.place("p", 1);
-        b.transition("a").input(p).output(p).firing_const(1).weight_const(1).add();
-        b.transition("z").input(p).output(p).firing_const(1).weight_const(1).add();
+        b.transition("a")
+            .input(p)
+            .output(p)
+            .firing_const(1)
+            .weight_const(1)
+            .add();
+        b.transition("z")
+            .input(p)
+            .output(p)
+            .firing_const(1)
+            .weight_const(1)
+            .add();
         let net = b.build().unwrap();
-        let opts = SimOptions { max_events: 10_000, seed: 42, ..SimOptions::default() };
+        let opts = SimOptions {
+            max_events: 10_000,
+            seed: 42,
+            ..SimOptions::default()
+        };
         let s1 = simulate(&net, &opts).unwrap();
         let s2 = simulate(&net, &opts).unwrap();
         let a = net.transition_by_name("a").unwrap();
@@ -422,7 +489,11 @@ mod tests {
     #[test]
     fn unbounded_run_rejected() {
         let net = cycle_net();
-        let opts = SimOptions { max_events: 0, max_time: None, ..SimOptions::default() };
+        let opts = SimOptions {
+            max_events: 0,
+            max_time: None,
+            ..SimOptions::default()
+        };
         assert!(matches!(simulate(&net, &opts), Err(SimError::UnboundedRun)));
     }
 
@@ -433,7 +504,11 @@ mod tests {
         let net = cycle_net();
         let stats = simulate(
             &net,
-            &SimOptions { max_time: Some(r(5000)), max_events: 0, ..SimOptions::default() },
+            &SimOptions {
+                max_time: Some(r(5000)),
+                max_events: 0,
+                ..SimOptions::default()
+            },
         )
         .unwrap();
         let go = net.transition_by_name("go").unwrap();
@@ -441,18 +516,31 @@ mod tests {
         let pa = net.place_by_name("pa").unwrap();
         assert!((stats.transition_utilization(go) - 0.4).abs() < 1e-9);
         assert!((stats.transition_utilization(back) - 0.6).abs() < 1e-9);
-        assert_eq!(stats.place_utilization(pa), 0.0, "tokens are absorbed instantly");
+        assert_eq!(
+            stats.place_utilization(pa),
+            0.0,
+            "tokens are absorbed instantly"
+        );
     }
 
     #[test]
     fn enabling_time_respected() {
         let mut b = NetBuilder::new("timeouty");
         let p = b.place("p", 1);
-        b.transition("slowstart").input(p).output(p).enabling_const(9).firing_const(1).add();
+        b.transition("slowstart")
+            .input(p)
+            .output(p)
+            .enabling_const(9)
+            .firing_const(1)
+            .add();
         let net = b.build().unwrap();
         let stats = simulate(
             &net,
-            &SimOptions { max_time: Some(r(100)), max_events: 0, ..SimOptions::default() },
+            &SimOptions {
+                max_time: Some(r(100)),
+                max_events: 0,
+                ..SimOptions::default()
+            },
         )
         .unwrap();
         let t = net.transition_by_name("slowstart").unwrap();

@@ -51,7 +51,8 @@ impl Constraint {
         for (_, c) in self.expr.terms() {
             denom_lcm = tpn_rational::lcm(denom_lcm, c.denom()).unwrap_or(denom_lcm);
         }
-        denom_lcm = tpn_rational::lcm(denom_lcm, self.expr.constant_part().denom()).unwrap_or(denom_lcm);
+        denom_lcm =
+            tpn_rational::lcm(denom_lcm, self.expr.constant_part().denom()).unwrap_or(denom_lcm);
         for (_, c) in self.expr.terms() {
             numer_gcd = tpn_rational::gcd(numer_gcd, (c * Rational::from_int(denom_lcm)).numer());
         }
@@ -63,7 +64,10 @@ impl Constraint {
             return self.clone();
         }
         let scale = Rational::new(denom_lcm, numer_gcd);
-        Constraint { expr: self.expr.scale(&scale), rel: self.rel }
+        Constraint {
+            expr: self.expr.scale(&scale),
+            rel: self.rel,
+        }
     }
 
     /// Evaluate the constraint under a numeric assignment.
@@ -135,7 +139,10 @@ impl fmt::Display for ConstraintError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ConstraintError::TooComplex { limit } => {
-                write!(f, "Fourier–Motzkin elimination exceeded {limit} working constraints")
+                write!(
+                    f,
+                    "Fourier–Motzkin elimination exceeded {limit} working constraints"
+                )
             }
             ConstraintError::AmbiguousMinimum { left, right } => write!(
                 f,
@@ -237,19 +244,24 @@ impl ConstraintSet {
     /// *infeasible* constraint set entails everything.
     pub fn entails(&self, expr: &LinExpr, rel: Relation) -> Result<bool, ConstraintError> {
         match rel {
-            Relation::Eq => {
-                Ok(self.entails(expr, Relation::Ge)? && self.entails(&(-expr.clone()), Relation::Ge)?)
-            }
+            Relation::Eq => Ok(self.entails(expr, Relation::Ge)?
+                && self.entails(&(-expr.clone()), Relation::Ge)?),
             Relation::Ge => {
                 // ¬(expr ≥ 0) ≡ −expr > 0
                 let mut work = self.constraints.clone();
-                work.push(Constraint { expr: -expr.clone(), rel: Relation::Gt });
+                work.push(Constraint {
+                    expr: -expr.clone(),
+                    rel: Relation::Gt,
+                });
                 Ok(!feasible(work)?)
             }
             Relation::Gt => {
                 // ¬(expr > 0) ≡ −expr ≥ 0
                 let mut work = self.constraints.clone();
-                work.push(Constraint { expr: -expr.clone(), rel: Relation::Ge });
+                work.push(Constraint {
+                    expr: -expr.clone(),
+                    rel: Relation::Ge,
+                });
                 Ok(!feasible(work)?)
             }
         }
@@ -488,8 +500,8 @@ fn feasible(mut work: Vec<Constraint>) -> Result<bool, ConstraintError> {
             let cl = lo.expr.coeff(x); // > 0
             for up in &uppers {
                 let cu = up.expr.coeff(x); // < 0
-                // cl·up.expr − cu·lo.expr eliminates x with positive
-                // multipliers (cl and −cu).
+                                           // cl·up.expr − cu·lo.expr eliminates x with positive
+                                           // multipliers (cl and −cu).
                 let combined = up.expr.scale(&cl) - lo.expr.scale(&cu);
                 debug_assert!(combined.coeff(x).is_zero());
                 let rel = if lo.rel == Relation::Gt || up.rel == Relation::Gt {
@@ -497,7 +509,10 @@ fn feasible(mut work: Vec<Constraint>) -> Result<bool, ConstraintError> {
                 } else {
                     Relation::Ge
                 };
-                rest.push(Constraint { expr: combined, rel });
+                rest.push(Constraint {
+                    expr: combined,
+                    rel,
+                });
             }
         }
         work = rest;
@@ -521,7 +536,9 @@ fn dedupe(work: Vec<Constraint>) -> Vec<Constraint> {
             })
             .or_insert(n.rel);
     }
-    map.into_iter().map(|(expr, rel)| Constraint { expr, rel }).collect()
+    map.into_iter()
+        .map(|(expr, rel)| Constraint { expr, rel })
+        .collect()
 }
 
 #[cfg(test)]

@@ -97,7 +97,8 @@ impl Poly {
 
     /// `true` iff the polynomial has no symbols.
     pub fn is_constant(&self) -> bool {
-        self.terms.is_empty() || (self.terms.len() == 1 && self.terms.keys().next().unwrap().is_one())
+        self.terms.is_empty()
+            || (self.terms.len() == 1 && self.terms.keys().next().unwrap().is_one())
     }
 
     /// The constant value, if the polynomial is constant.
@@ -301,8 +302,14 @@ impl Poly {
         let (a, _) = self.to_primitive_integer();
         let (b, _) = other.to_primitive_integer();
         let g = gcd_primitive(&a, &b);
-        debug_assert!(self.is_zero() || self.try_div(&g).is_some(), "gcd must divide lhs");
-        debug_assert!(other.is_zero() || other.try_div(&g).is_some(), "gcd must divide rhs");
+        debug_assert!(
+            self.is_zero() || self.try_div(&g).is_some(),
+            "gcd must divide lhs"
+        );
+        debug_assert!(
+            other.is_zero() || other.try_div(&g).is_some(),
+            "gcd must divide rhs"
+        );
         g
     }
 
@@ -347,7 +354,10 @@ fn gcd_primitive(a: &Poly, b: &Poly) -> Poly {
     let x = {
         let sa = a.symbols();
         let sb = b.symbols();
-        *sa.iter().chain(sb.iter()).min().expect("non-constant polys have symbols")
+        *sa.iter()
+            .chain(sb.iter())
+            .min()
+            .expect("non-constant polys have symbols")
     };
     // If one side is x-free, it must divide the other's content w.r.t. x.
     if a.degree_in(x) == 0 {
@@ -571,7 +581,11 @@ impl fmt::Display for Poly {
                     write!(f, "{c}·{m}")?;
                 }
             } else {
-                let (sign, mag) = if c.is_negative() { (" - ", c.abs()) } else { (" + ", *c) };
+                let (sign, mag) = if c.is_negative() {
+                    (" - ", c.abs())
+                } else {
+                    (" + ", *c)
+                };
                 write!(f, "{sign}")?;
                 if m.is_one() {
                     write!(f, "{mag}")?;
@@ -731,7 +745,10 @@ mod tests {
         assert_eq!(x.gcd(&Poly::zero()), x);
         assert_eq!(Poly::zero().gcd(&y), y);
         assert_eq!(Poly::zero().gcd(&Poly::zero()), Poly::zero());
-        assert_eq!(Poly::constant(r(6, 1)).gcd(&Poly::constant(r(4, 1))), Poly::one());
+        assert_eq!(
+            Poly::constant(r(6, 1)).gcd(&Poly::constant(r(4, 1))),
+            Poly::one()
+        );
         // gcd result has positive leading coefficient and content 1
         let g = (-x.clone()).gcd(&x.scale(&r(7, 3)));
         assert_eq!(g, x);

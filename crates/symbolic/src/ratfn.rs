@@ -66,7 +66,10 @@ impl RatFn {
             return Err(RatFnError::DivisionByZero);
         }
         if num.is_zero() {
-            return Ok(RatFn { num: Poly::zero(), den: Poly::one() });
+            return Ok(RatFn {
+                num: Poly::zero(),
+                den: Poly::one(),
+            });
         }
         let g = num.gcd(&den);
         let mut num = num.try_div(&g).expect("gcd divides numerator");
@@ -81,22 +84,34 @@ impl RatFn {
 
     /// The zero function.
     pub fn zero() -> RatFn {
-        RatFn { num: Poly::zero(), den: Poly::one() }
+        RatFn {
+            num: Poly::zero(),
+            den: Poly::one(),
+        }
     }
 
     /// The constant one.
     pub fn one() -> RatFn {
-        RatFn { num: Poly::one(), den: Poly::one() }
+        RatFn {
+            num: Poly::one(),
+            den: Poly::one(),
+        }
     }
 
     /// A constant function.
     pub fn constant(c: Rational) -> RatFn {
-        RatFn { num: Poly::constant(c), den: Poly::one() }
+        RatFn {
+            num: Poly::constant(c),
+            den: Poly::one(),
+        }
     }
 
     /// A polynomial viewed as a rational function.
     pub fn from_poly(p: Poly) -> RatFn {
-        RatFn { num: p, den: Poly::one() }
+        RatFn {
+            num: p,
+            den: Poly::one(),
+        }
     }
 
     /// The function consisting of a single symbol.
@@ -295,7 +310,10 @@ impl Div<&RatFn> for &RatFn {
 impl Neg for RatFn {
     type Output = RatFn;
     fn neg(self) -> RatFn {
-        RatFn { num: -self.num, den: self.den }
+        RatFn {
+            num: -self.num,
+            den: self.den,
+        }
     }
 }
 
@@ -368,7 +386,10 @@ mod tests {
         let p = RatFn::new(f4.clone(), &f4 + &f5);
         let q = RatFn::new(f5.clone(), &f4 + &f5);
         assert!((p.clone() + q.clone()).is_one());
-        assert_eq!(p.clone() * q.clone(), RatFn::new(&f4 * &f5, (&f4 + &f5).pow(2)));
+        assert_eq!(
+            p.clone() * q.clone(),
+            RatFn::new(&f4 * &f5, (&f4 + &f5).pow(2))
+        );
         assert_eq!(&p - &p, RatFn::zero());
     }
 
@@ -421,7 +442,10 @@ mod tests {
         assert_eq!(c.as_constant(), Some(r(3, 4)));
         assert!(RatFn::one().is_one());
         assert!(RatFn::zero().is_zero());
-        assert_eq!((RatFn::constant(r(1, 2)) + RatFn::constant(r(1, 2))).as_constant(), Some(Rational::ONE));
+        assert_eq!(
+            (RatFn::constant(r(1, 2)) + RatFn::constant(r(1, 2))).as_constant(),
+            Some(Rational::ONE)
+        );
         assert_eq!(RatFn::symbol(Symbol::intern("rf_c")).as_constant(), None);
     }
 

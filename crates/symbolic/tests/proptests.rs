@@ -7,7 +7,9 @@ use tpn_rational::Rational;
 use tpn_symbolic::{Assignment, ConstraintSet, LinExpr, Monomial, Poly, RatFn, Relation, Symbol};
 
 fn vars() -> Vec<Symbol> {
-    (0..4).map(|i| Symbol::intern(&format!("pp_v{i}"))).collect()
+    (0..4)
+        .map(|i| Symbol::intern(&format!("pp_v{i}")))
+        .collect()
 }
 
 fn small_coeff() -> impl Strategy<Value = Rational> {

@@ -27,7 +27,11 @@ fn main() {
             .map(|p| {
                 let name = proto.net.place_name(tpn_net::PlaceId::from_index(p));
                 let w = flow.weights[p];
-                if w == 1 { name.to_string() } else { format!("{w}·{name}") }
+                if w == 1 {
+                    name.to_string()
+                } else {
+                    format!("{w}·{name}")
+                }
             })
             .collect();
         println!(

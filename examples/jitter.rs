@@ -30,15 +30,23 @@ fn main() {
 
     println!("timeout = 250 ms; packet time = 106.7 ± j ms");
     println!("jitter j    outcome");
-    for (jn, jd) in [(0i128, 1i128), (5, 1), (10, 1), (20, 1), (23, 1), (231, 10), (24, 1), (40, 1)] {
+    for (jn, jd) in [
+        (0i128, 1i128),
+        (5, 1),
+        (10, 1),
+        (20, 1),
+        (23, 1),
+        (231, 10),
+        (24, 1),
+        (40, 1),
+    ] {
         let j = Rational::new(jn, jd);
         let mut dom = IntervalDomain::from_net(&proto.net).expect("fully timed net");
         dom.set_firing(t4, Interval::new(nominal - j, nominal + j));
         match build_trg(&proto.net, &dom, &TrgOptions::default()) {
             Ok(trg) => {
                 let dg = DecisionGraph::from_trg(&trg, &dom).expect("cycle");
-                let delays: Vec<String> =
-                    dg.edges().iter().map(|e| e.delay.to_string()).collect();
+                let delays: Vec<String> = dg.edges().iter().map(|e| e.delay.to_string()).collect();
                 println!(
                     "{:>7}     {} states; decision-edge delays: {}",
                     j.to_decimal_string(1),

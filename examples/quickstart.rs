@@ -56,6 +56,7 @@ fn main() {
     let awaiting = proto.p[3];
     println!(
         "P(awaiting ack)                    = {:.4}",
-        perf.place_utilization(&dg, &trg, &domain, awaiting).to_f64()
+        perf.place_utilization(&dg, &trg, &domain, awaiting)
+            .to_f64()
     );
 }

@@ -59,7 +59,9 @@ fn main() {
 
     let t7 = proto.t[6];
     let expr = perf.throughput(&dg, t7);
-    println!("=== closed-form throughput (valid for ALL parameters satisfying the constraints) ===");
+    println!(
+        "=== closed-form throughput (valid for ALL parameters satisfying the constraints) ==="
+    );
     println!("T = {expr}\n");
 
     // Substitute the 5% loss frequencies only: the paper's simplified form.

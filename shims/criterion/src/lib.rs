@@ -1,0 +1,296 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no crates-registry access, so this crate
+//! vendors the API subset the workspace's benches use:
+//! [`criterion_group!`] / [`criterion_main!`], [`Criterion`] with
+//! `bench_function` and benchmark groups, [`BenchmarkId`] and
+//! [`Throughput`]. Measurement is a single calibrated wall-clock loop
+//! (no statistical analysis): each benchmark runs until a time budget
+//! (`TPN_BENCH_MS` milliseconds, default 300) or an iteration cap is
+//! reached, and the mean ns/iter is reported.
+//!
+//! Set `TPN_BENCH_JSON=<path>` to append one JSON object per benchmark
+//! (id, mean ns, iteration count, optional throughput) to a JSON-lines
+//! file — the workspace's checked-in bench baselines are produced this
+//! way.
+
+use std::fmt;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+/// The measurement context handed to `criterion_group!` functions.
+pub struct Criterion {
+    filter: Option<String>,
+    budget: Duration,
+    json_path: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        // Cargo invokes bench binaries as `<bin> --bench [FILTER]`;
+        // treat the first non-flag argument as a substring filter.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        let ms = std::env::var("TPN_BENCH_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(300);
+        Criterion {
+            filter,
+            budget: Duration::from_millis(ms),
+            json_path: std::env::var("TPN_BENCH_JSON").ok(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Run `f` as the benchmark named `id`.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run_one(id.to_string(), None, |b| f(b));
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            c: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    fn run_one<F>(&mut self, id: String, throughput: Option<Throughput>, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut b = Bencher {
+            budget: self.budget,
+            iters: 0,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let mean_ns = if b.iters > 0 {
+            b.elapsed.as_nanos() as f64 / b.iters as f64
+        } else {
+            0.0
+        };
+        let mut line = format!(
+            "{id:<50} time: [{} per iter, {} iters]",
+            fmt_ns(mean_ns),
+            b.iters
+        );
+        if let Some(Throughput::Elements(n)) = throughput {
+            if mean_ns > 0.0 {
+                let eps = n as f64 / (mean_ns * 1e-9);
+                line.push_str(&format!("  thrpt: {eps:.0} elem/s"));
+            }
+        }
+        println!("{line}");
+        if let Some(path) = &self.json_path {
+            let thrpt = match throughput {
+                Some(Throughput::Elements(n)) => format!(",\"elements\":{n}"),
+                Some(Throughput::Bytes(n)) => format!(",\"bytes\":{n}"),
+                None => String::new(),
+            };
+            let record = format!(
+                "{{\"id\":\"{id}\",\"mean_ns\":{mean_ns:.1},\"iters\":{}{thrpt}}}\n",
+                b.iters
+            );
+            let written = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)
+                .and_then(|mut file| file.write_all(record.as_bytes()));
+            if let Err(e) = written {
+                eprintln!("criterion shim: cannot append to {path}: {e}");
+            }
+        }
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.4} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.4} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.4} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declare the per-iteration workload for throughput reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Run `f` as `<group>/<id>`.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into_benchmark_id());
+        let throughput = self.throughput;
+        self.c.run_one(id, throughput, |b| f(b));
+        self
+    }
+
+    /// Run `f` as `<group>/<id>` with a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = format!("{}/{}", self.name, id.into_benchmark_id());
+        let throughput = self.throughput;
+        self.c.run_one(id, throughput, |b| f(b, input));
+        self
+    }
+
+    /// Close the group (upstream finalizes reports here; a no-op).
+    pub fn finish(self) {}
+}
+
+/// Conversion into the display form of a benchmark id.
+pub trait IntoBenchmarkId {
+    /// The rendered id.
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.0
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+/// A benchmark identifier within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `<name>/<parameter>`.
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId(format!("{}/{parameter}", name.into()))
+    }
+
+    /// Just the parameter (for single-function groups).
+    pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+/// Per-iteration workload, for throughput lines.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Runs the measured closure.
+pub struct Bencher {
+    budget: Duration,
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Measure `f`, repeating it until the time budget is exhausted
+    /// (always at least once).
+    pub fn iter<O, F>(&mut self, mut f: F)
+    where
+        F: FnMut() -> O,
+    {
+        let start = Instant::now();
+        let mut iters = 0u64;
+        loop {
+            std::hint::black_box(f());
+            iters += 1;
+            let elapsed = start.elapsed();
+            if elapsed >= self.budget || iters >= 1_000_000_000 {
+                self.iters = iters;
+                self.elapsed = elapsed;
+                return;
+            }
+        }
+    }
+}
+
+/// Bundle benchmark functions into a group runner, mirroring upstream.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generate `fn main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_runs_at_least_once() {
+        let mut b = Bencher {
+            budget: Duration::ZERO,
+            iters: 0,
+            elapsed: Duration::ZERO,
+        };
+        let mut runs = 0u64;
+        b.iter(|| runs += 1);
+        assert_eq!(runs, 1);
+        assert_eq!(b.iters, 1);
+    }
+
+    #[test]
+    fn benchmark_ids_render() {
+        assert_eq!(BenchmarkId::new("trg", 64).into_benchmark_id(), "trg/64");
+        assert_eq!(BenchmarkId::from_parameter(7).into_benchmark_id(), "7");
+    }
+}

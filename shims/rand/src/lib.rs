@@ -1,0 +1,155 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no crates-registry access, so this crate
+//! vendors the small API subset the workspace uses: a seedable
+//! [`StdRng`] and [`RngExt::random_range`] over integer and float
+//! ranges. The generator is xoshiro256\*\* seeded via splitmix64 —
+//! fully deterministic for a given seed, which is all the simulator
+//! requires (reproducible Monte-Carlo runs).
+
+use std::ops::Range;
+
+/// A source of random 64-bit words.
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    /// Build a generator whose stream is fully determined by `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Range sampling, mirroring `rand`'s `Rng::random_range`.
+pub trait RngExt: RngCore {
+    /// A uniform sample from `range` (which must be non-empty).
+    fn random_range<R: SampleRange>(&mut self, range: R) -> R::Output
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+}
+
+impl<T: RngCore> RngExt for T {}
+
+/// A range that can produce uniform samples.
+pub trait SampleRange {
+    /// The sampled value type.
+    type Output;
+    /// Draw one uniform sample.
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> Self::Output;
+}
+
+impl SampleRange for Range<usize> {
+    type Output = usize;
+
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> usize {
+        assert!(self.start < self.end, "empty range");
+        let span = (self.end - self.start) as u64;
+        // Lemire's multiply-shift; the tiny modulo bias of the plain
+        // widening multiply is irrelevant for simulation workloads.
+        let hi = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+        self.start + hi as usize
+    }
+}
+
+impl SampleRange for Range<u64> {
+    type Output = u64;
+
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> u64 {
+        assert!(self.start < self.end, "empty range");
+        let span = self.end - self.start;
+        let hi = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+        self.start + hi
+    }
+}
+
+impl SampleRange for Range<f64> {
+    type Output = f64;
+
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "empty range");
+        // 53 uniform mantissa bits in [0, 1).
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+/// Common named generators.
+pub mod rngs {
+    pub use crate::StdRng;
+}
+
+/// The workspace's standard generator: xoshiro256\*\*.
+#[derive(Debug, Clone)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> StdRng {
+        // splitmix64 expansion, the canonical xoshiro seeding procedure.
+        let mut x = seed;
+        let mut next = || {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        StdRng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+}
+
+impl RngCore for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        let out = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let i = rng.random_range(3..17usize);
+            assert!((3..17).contains(&i));
+            let f = rng.random_range(0.0..2.5);
+            assert!((0.0..2.5).contains(&f));
+        }
+    }
+
+    #[test]
+    fn usize_range_covers_all_values() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[rng.random_range(0..4usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

@@ -52,7 +52,8 @@ fn pipeline(net: &TimedPetriNet) -> Result<NumericPipeline, String> {
 }
 
 fn run(args: &[String]) -> Result<(), String> {
-    let usage = "usage: tpn <show|dot|graph|analyze|correctness|invariants|simulate> <net.tpn> [args]";
+    let usage =
+        "usage: tpn <show|dot|graph|analyze|correctness|invariants|simulate> <net.tpn> [args]";
     let cmd = args.first().ok_or(usage)?;
     let path = args.get(1).ok_or(usage)?;
     let net = load(path)?;
@@ -125,7 +126,11 @@ fn run(args: &[String]) -> Result<(), String> {
                     .map(|p| {
                         let name = net.place_name(tpn_net::PlaceId::from_index(p));
                         let w = f.weights[p];
-                        if w == 1 { name.to_string() } else { format!("{w}·{name}") }
+                        if w == 1 {
+                            name.to_string()
+                        } else {
+                            format!("{w}·{name}")
+                        }
                     })
                     .collect();
                 println!(
@@ -142,7 +147,11 @@ fn run(args: &[String]) -> Result<(), String> {
                     .map(|t| {
                         let name = net.transition(tpn_net::TransId::from_index(t)).name();
                         let w = f.weights[t];
-                        if w == 1 { name.to_string() } else { format!("{w}·{name}") }
+                        if w == 1 {
+                            name.to_string()
+                        } else {
+                            format!("{w}·{name}")
+                        }
                     })
                     .collect();
                 println!("  {{{}}}", parts.join(", "));
@@ -166,7 +175,11 @@ fn run(args: &[String]) -> Result<(), String> {
                 .unwrap_or(0x5EED);
             let stats = simulate(
                 &net,
-                &SimOptions { seed, max_events: events, ..SimOptions::default() },
+                &SimOptions {
+                    seed,
+                    max_events: events,
+                    ..SimOptions::default()
+                },
             )
             .map_err(|e| e.to_string())?;
             print!("{}", stats.describe(&net));

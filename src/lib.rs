@@ -55,7 +55,9 @@ pub use tpn_symbolic as symbolic;
 
 /// The commonly used names, for glob import.
 pub mod prelude {
-    pub use tpn_core::{solve_rates, solve_rates_with, DecisionGraph, Performance, RateMethod, Rates};
+    pub use tpn_core::{
+        solve_rates, solve_rates_with, DecisionGraph, Performance, RateMethod, Rates,
+    };
     pub use tpn_net::{Bag, Marking, NetBuilder, TimedPetriNet};
     pub use tpn_rational::Rational;
     pub use tpn_reach::{

@@ -26,10 +26,20 @@ fn perf_of(
 fn reachability_graph_is_finite_and_live() {
     let a = abp(&simple::Params::paper());
     let (trg, _, _) = perf_of(&a.net);
-    assert!(trg.terminal_states().is_empty(), "ABP must be deadlock-free");
+    assert!(
+        trg.terminal_states().is_empty(),
+        "ABP must be deadlock-free"
+    );
     // two mirrored protocol halves plus duplicate paths
-    assert!(trg.num_states() > 18, "strictly richer than the simple protocol");
-    assert!(trg.num_states() < 200, "but still small: {}", trg.num_states());
+    assert!(
+        trg.num_states() > 18,
+        "strictly richer than the simple protocol"
+    );
+    assert!(
+        trg.num_states() < 200,
+        "but still small: {}",
+        trg.num_states()
+    );
     // every reachable marking is 1-safe
     for s in trg.state_ids() {
         assert!(trg.state(s).marking().is_safe());
@@ -119,5 +129,8 @@ fn abp_simulation_converges_to_analytic_goodput() {
     .unwrap();
     let empirical = stats.throughput(a.deliveries[0]) + stats.throughput(a.deliveries[1]);
     let rel = (empirical - analytic).abs() / analytic;
-    assert!(rel < 0.02, "simulated {empirical:.6} vs analytic {analytic:.6}");
+    assert!(
+        rel < 0.02,
+        "simulated {empirical:.6} vs analytic {analytic:.6}"
+    );
 }

@@ -1,0 +1,114 @@
+//! Integration tests for the `tpn` command-line driver: every analysis
+//! subcommand is exercised against a `.tpn` fixture of the paper's
+//! Figure-1 protocol and its stdout is checked against the paper's
+//! numbers (18 reachable states, ≈2.85 messages/second throughput).
+
+use std::process::{Command, Output};
+
+fn fixture() -> String {
+    format!("{}/tests/fixtures/fig1.tpn", env!("CARGO_MANIFEST_DIR"))
+}
+
+fn tpn(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_tpn"))
+        .args(args)
+        .output()
+        .expect("tpn binary runs")
+}
+
+fn stdout_of(args: &[&str]) -> String {
+    let out = tpn(args);
+    assert!(
+        out.status.success(),
+        "tpn {args:?} failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("tpn prints UTF-8")
+}
+
+#[test]
+fn show_prints_net_statistics() {
+    let out = stdout_of(&["show", &fixture()]);
+    assert!(
+        out.contains("simple-protocol"),
+        "net name in output:\n{out}"
+    );
+    assert!(
+        out.contains(
+            "8 places, 9 transitions, 20 arcs, 6 conflict sets (3 non-trivial), 2 initial tokens"
+        ),
+        "stats line in output:\n{out}"
+    );
+}
+
+#[test]
+fn graph_reports_the_papers_18_states() {
+    let out = stdout_of(&["graph", &fixture()]);
+    let first = out.lines().next().unwrap_or_default();
+    assert!(
+        first.starts_with("18 states"),
+        "the paper's Figure 4 has 18 states, got: {first}"
+    );
+    // the state table and the DOT rendering both follow
+    assert!(out.contains("s17"), "all 18 states tabulated:\n{out}");
+    assert!(out.contains("digraph trg"));
+}
+
+#[test]
+fn analyze_reproduces_the_papers_throughput() {
+    let out = stdout_of(&["analyze", &fixture(), "t7"]);
+    assert!(out.contains("decision graph:"));
+    assert!(out.contains("rates and weights"));
+    // §4: ≈ 2.8518 successfully acknowledged messages per second, i.e.
+    // 0.0028518 per millisecond, printed to six decimals.
+    let t7 = out
+        .lines()
+        .find(|l| l.trim_start().starts_with("t7"))
+        .expect("throughput line for t7");
+    assert!(t7.contains("0.002852"), "paper throughput, got: {t7}");
+}
+
+#[test]
+fn simulate_runs_reproducibly() {
+    let out = stdout_of(&["simulate", &fixture(), "20000", "7"]);
+    assert!(
+        out.contains("20000 events"),
+        "event budget respected:\n{out}"
+    );
+    // identical seed → identical run
+    assert_eq!(out, stdout_of(&["simulate", &fixture(), "20000", "7"]));
+    // the sender's send and ACK-receipt transitions both progressed
+    for t in ["t2", "t7"] {
+        let line = out
+            .lines()
+            .find(|l| l.trim_start().starts_with(t))
+            .expect("per-transition stats line");
+        assert!(
+            !line.contains("completed        0"),
+            "{t} progressed: {line}"
+        );
+    }
+}
+
+#[test]
+fn correctness_and_invariants_report() {
+    let out = stdout_of(&["correctness", &fixture()]);
+    assert!(out.contains("verdict:"), "correctness verdict:\n{out}");
+    let out = stdout_of(&["invariants", &fixture()]);
+    assert!(out.contains("P-semiflows"));
+    assert!(out.contains("T-semiflows"));
+}
+
+#[test]
+fn dot_renders_the_net() {
+    let out = stdout_of(&["dot", &fixture()]);
+    assert!(out.contains("digraph"));
+    assert!(out.contains("t4"));
+}
+
+#[test]
+fn bad_usage_fails_cleanly() {
+    assert!(!tpn(&[]).status.success());
+    assert!(!tpn(&["frobnicate", &fixture()]).status.success());
+    assert!(!tpn(&["show", "/nonexistent/net.tpn"]).status.success());
+}

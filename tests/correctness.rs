@@ -77,9 +77,8 @@ fn sender_state_machine_is_conserved() {
     let trg = build_trg(&proto.net, &NumericDomain::new(), &TrgOptions::default()).unwrap();
     for s in trg.state_ids() {
         let m = trg.state(s).marking();
-        let total = sender_flow.weighted_sum((0..m.num_places()).map(|p| {
-            m.tokens(tpn_net::PlaceId::from_index(p))
-        }));
+        let total = sender_flow
+            .weighted_sum((0..m.num_places()).map(|p| m.tokens(tpn_net::PlaceId::from_index(p))));
         // Tokens can be "in flight" inside a firing transition, so the
         // weighted sum is ≤ 1 pointwise and returns to 1 whenever the
         // sender-side transitions are idle.
@@ -126,5 +125,8 @@ fn symbolic_and_numeric_correctness_agree() {
     let nreport = tpn_reach::analyze(&ntrg, &nproto.net);
     assert_eq!(sreport.bound, nreport.bound);
     assert_eq!(sreport.deadlocks.len(), nreport.deadlocks.len());
-    assert_eq!(sreport.dead_transitions.len(), nreport.dead_transitions.len());
+    assert_eq!(
+        sreport.dead_transitions.len(),
+        nreport.dead_transitions.len()
+    );
 }

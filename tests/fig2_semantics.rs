@@ -23,7 +23,10 @@ fn t2_preempts_t1_deterministically() {
         fired_t1 += e.fired.iter().filter(|&&t| t == f.t1).count();
         fired_t2 += e.fired.iter().filter(|&&t| t == f.t2).count();
     }
-    assert_eq!(fired_t1, 0, "t1 must be disabled before its enabling time elapses");
+    assert_eq!(
+        fired_t1, 0,
+        "t1 must be disabled before its enabling time elapses"
+    );
     assert_eq!(fired_t2, 1);
 }
 
@@ -73,7 +76,12 @@ fn without_the_race_t1_fires_after_its_enabling_time() {
     let mut b = NetBuilder::new("fig2-solo");
     let shared = b.place("P1", 1);
     let out1 = b.place("out", 0);
-    b.transition("t1").input(shared).output(out1).enabling_const(3).firing_const(7).add();
+    b.transition("t1")
+        .input(shared)
+        .output(out1)
+        .enabling_const(3)
+        .firing_const(7)
+        .add();
     let net = b.build().unwrap();
     let stats = tpn_sim::simulate(&net, &SimOptions::default()).unwrap();
     assert_eq!(stats.measured_time(), &Rational::from_int(10));

@@ -17,8 +17,15 @@ fn eighteen_states_two_decisions() {
     let proto = simple::paper();
     let trg = build_trg(&proto.net, &NumericDomain::new(), &TrgOptions::default()).unwrap();
     assert_eq!(trg.num_states(), 18, "paper Figure 4 has 18 states");
-    assert_eq!(trg.decision_states().len(), 2, "states 3 and 11 of the paper");
-    assert!(trg.terminal_states().is_empty(), "the protocol never deadlocks");
+    assert_eq!(
+        trg.decision_states().len(),
+        2,
+        "states 3 and 11 of the paper"
+    );
+    assert!(
+        trg.terminal_states().is_empty(),
+        "the protocol never deadlocks"
+    );
     // 18 states, each non-decision state has 1 successor, the two
     // decision states have 2: 16 + 4 = 20 edges.
     assert_eq!(trg.num_edges(), 20);
@@ -39,8 +46,8 @@ fn edge_delays_match_figure_4a() {
         "1", "1", "1", // t2, t3, t1 completions (both loss paths share the t3 state)
         "13.5", "13.5", // t6, t7
         "106.7", "106.7", "106.7", "106.7", // t4, t5, t8, t9
-        "773.1",  // residual timeout after ACK loss
-        "893.3",  // residual timeout after packet loss
+        "773.1", // residual timeout after ACK loss
+        "893.3", // residual timeout after packet loss
     ]
     .iter()
     .map(|s| r(s))
@@ -96,7 +103,11 @@ fn timeout_never_fires_when_ack_is_present() {
         if e.fired.contains(&t3) {
             // t3 fires only from states where p6 (ack delivered) is empty
             let src = trg.state(e.from);
-            assert_eq!(src.marking().tokens(proto.p[5]), 0, "t3 fired despite delivered ACK");
+            assert_eq!(
+                src.marking().tokens(proto.p[5]),
+                0,
+                "t3 fired despite delivered ACK"
+            );
             assert!(!e.fired.contains(&t7));
         }
     }

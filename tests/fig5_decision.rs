@@ -28,17 +28,25 @@ fn build() -> Fig5 {
     // Identify nodes: the "packet" decision node fires t4/t5, the "ACK"
     // node fires t8/t9.
     let [_, _, _, t4, t5, _, _, t8, t9] = proto.t;
-    let node3 = dg.nodes()[dg.edges()[dg.edge_firing_first(dg.nodes()[0], t4)
+    let node3 = dg.nodes()[dg.edges()[dg
+        .edge_firing_first(dg.nodes()[0], t4)
         .or_else(|| dg.edge_firing_first(dg.nodes()[1], t4))
-        .unwrap()].from];
-    let node11 = dg.nodes()[dg.edges()[dg.edge_firing_first(dg.nodes()[0], t8)
+        .unwrap()]
+    .from];
+    let node11 = dg.nodes()[dg.edges()[dg
+        .edge_firing_first(dg.nodes()[0], t8)
         .or_else(|| dg.edge_firing_first(dg.nodes()[1], t8))
-        .unwrap()].from];
+        .unwrap()]
+    .from];
     let e1 = dg.edge_firing_first(node3, t5).expect("loss edge");
     let e3 = dg.edge_firing_first(node3, t4).expect("delivery edge");
     let e2 = dg.edge_firing_first(node11, t8).expect("ack edge");
     let e4 = dg.edge_firing_first(node11, t9).expect("ack-loss edge");
-    Fig5 { proto, dg, e: [e1, e2, e3, e4] }
+    Fig5 {
+        proto,
+        dg,
+        e: [e1, e2, e3, e4],
+    }
 }
 
 #[test]
@@ -79,7 +87,10 @@ fn edge_topology_matches_figure_5() {
     let f = build();
     let [e1, e2, e3, e4] = f.e;
     let edges = f.dg.edges();
-    assert_eq!(edges[e1].from, edges[e1].to, "loss edge loops at the send decision");
+    assert_eq!(
+        edges[e1].from, edges[e1].to,
+        "loss edge loops at the send decision"
+    );
     assert_eq!(edges[e3].from, edges[e1].from);
     assert_eq!(edges[e3].to, edges[e2].from);
     assert_eq!(edges[e2].to, edges[e1].from);
@@ -97,7 +108,7 @@ fn collapsed_paths_follow_the_paper() {
     assert_eq!(f.dg.edges()[e2].path.len(), 9);
     assert_eq!(f.dg.edges()[e1].path.len(), 8); // 3-5-6-7-8-1-2-3
     assert_eq!(f.dg.edges()[e4].path.len(), 8); // 11-12-14-7-8-1-2-3
-    // edge 2 fires t8 (ack transmit), t7 (ack receipt), t1, t2
+                                                // edge 2 fires t8 (ack transmit), t7 (ack receipt), t1, t2
     let names: Vec<&str> = f.dg.edges()[e2]
         .fired
         .iter()

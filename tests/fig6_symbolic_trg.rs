@@ -12,7 +12,11 @@ fn symbolic_graph_has_figure_4_shape() {
     let (proto, cs) = simple::symbolic();
     let domain = SymbolicDomain::new(&proto.net, cs);
     let trg = build_trg(&proto.net, &domain, &TrgOptions::default()).unwrap();
-    assert_eq!(trg.num_states(), 18, "Figure 6 mirrors Figure 4's 18 states");
+    assert_eq!(
+        trg.num_states(),
+        18,
+        "Figure 6 mirrors Figure 4's 18 states"
+    );
     assert_eq!(trg.decision_states().len(), 2);
     assert_eq!(trg.num_edges(), 20);
     assert!(trg.terminal_states().is_empty());

@@ -42,7 +42,11 @@ fn build() -> Fig8 {
     let (node11, e2) = find(t8);
     let e1 = dg.edge_firing_first(node3, t5).unwrap();
     let e4 = dg.edge_firing_first(node11, t9).unwrap();
-    Fig8 { dg, domain, e: [e1, e2, e3, e4] }
+    Fig8 {
+        dg,
+        domain,
+        e: [e1, e2, e3, e4],
+    }
 }
 
 fn f(n: &str) -> LinExpr {
@@ -111,7 +115,10 @@ fn weights_evaluate_to_figure_5_at_paper_values() {
     let w1 = perf.weights()[e1].eval(&a).unwrap();
     assert_eq!(w1, Rational::new(1002, 19));
     // w3 = 1·120.2
-    assert_eq!(perf.weights()[e3].eval(&a).unwrap(), "120.2".parse().unwrap());
+    assert_eq!(
+        perf.weights()[e3].eval(&a).unwrap(),
+        "120.2".parse().unwrap()
+    );
     // w2 = 0.95·122.2, w4 = 0.05·881.8
     assert_eq!(
         perf.weights()[e2].eval(&a).unwrap(),

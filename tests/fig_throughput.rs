@@ -50,7 +50,10 @@ fn symbolic_throughput_instantiates_to_the_numeric_value() {
     let perf = Performance::new(&dg, rates, &domain).unwrap();
     let t7 = proto.t[6];
     let expr = perf.throughput(&dg, t7);
-    assert_eq!(expr.eval(&simple::paper_assignment()), Some(expected_numeric()));
+    assert_eq!(
+        expr.eval(&simple::paper_assignment()),
+        Some(expected_numeric())
+    );
 }
 
 #[test]

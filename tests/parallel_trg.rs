@@ -1,0 +1,78 @@
+//! Acceptance tests for parallel TRG construction: with the `parallel`
+//! feature, `build_trg` must produce byte-identical state tables to the
+//! serial construction on the paper's nets, for any thread count.
+
+#![cfg(feature = "parallel")]
+
+use timed_petri::prelude::*;
+
+fn assert_identical(net: &TimedPetriNet) {
+    let domain = NumericDomain::new();
+    let serial = build_trg(net, &domain, &TrgOptions::default()).unwrap();
+    for threads in [0, 2, 4] {
+        let parallel = build_trg(
+            net,
+            &domain,
+            &TrgOptions {
+                threads,
+                ..TrgOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            parallel.describe_states(net),
+            serial.describe_states(net),
+            "state tables diverge at threads={threads}"
+        );
+        assert_eq!(
+            parallel.to_dot(net),
+            serial.to_dot(net),
+            "edges diverge at threads={threads}"
+        );
+    }
+}
+
+#[test]
+fn figure1_net_identical_and_18_states() {
+    let proto = timed_petri::protocols::simple::paper();
+    let trg = build_trg(
+        &proto.net,
+        &NumericDomain::new(),
+        &TrgOptions {
+            threads: 0,
+            ..TrgOptions::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(trg.num_states(), 18, "the paper's Figure 4");
+    assert_identical(&proto.net);
+}
+
+#[test]
+fn abp_net_identical() {
+    let proto = timed_petri::protocols::abp::abp(&timed_petri::protocols::simple::Params::paper());
+    assert_identical(&proto.net);
+}
+
+#[test]
+fn parallel_pipeline_reproduces_paper_throughput() {
+    // End-to-end over the parallel-built graph: same throughput as the
+    // paper's §4 derivation.
+    let proto = timed_petri::protocols::simple::paper();
+    let domain = NumericDomain::new();
+    let trg = build_trg(
+        &proto.net,
+        &domain,
+        &TrgOptions {
+            threads: 0,
+            ..TrgOptions::default()
+        },
+    )
+    .unwrap();
+    let dg = DecisionGraph::from_trg(&trg, &domain).unwrap();
+    let rates = solve_rates(&dg, 0).unwrap();
+    let perf = Performance::new(&dg, rates, &domain).unwrap();
+    let t7 = proto.t[6];
+    let throughput = perf.throughput(&dg, t7);
+    assert!((throughput.to_f64() * 1000.0 - 2.8518).abs() < 1e-3);
+}

@@ -97,7 +97,9 @@ fn utilizations_converge_to_the_analytic_values() {
 
     let awaiting = proto.p[3];
     let t4 = proto.t[3];
-    let analytic_awaiting = perf.place_utilization(&dg, &trg, &domain, awaiting).to_f64();
+    let analytic_awaiting = perf
+        .place_utilization(&dg, &trg, &domain, awaiting)
+        .to_f64();
     let analytic_t4 = perf.transition_utilization(&dg, &trg, &domain, t4).to_f64();
 
     let stats = simulate(
