@@ -1,0 +1,243 @@
+//! Canonical content digests for nets.
+//!
+//! A [`NetDigest`] is a 128-bit fingerprint of everything that affects
+//! a net's *behaviour*: its name, places (name and initial tokens),
+//! arcs (with multiplicities), enabling/firing times and frequencies.
+//! It is **independent of declaration order** — permuting the `place`
+//! or `trans` directives of a `.tpn` file yields the same digest —
+//! because every place is identified by name and the per-record hashes
+//! are combined through a sorted fold rather than in sequence.
+//!
+//! The digest is the cache key of `tpn-service`'s content-addressed
+//! analysis cache: two requests carrying textually different but
+//! semantically identical nets hit the same cache line.
+//!
+//! The hash is two independently seeded FNV-1a lanes (no external
+//! dependency, stable across platforms and releases of the standard
+//! library, unlike [`std::hash::DefaultHasher`]).
+//!
+//! **Threat model:** FNV is not collision-resistant — an adversary who
+//! controls the `.tpn` text can in principle craft two distinct nets
+//! with the same digest, which against a shared `tpn-service` cache
+//! would let one request's result be served for the other. The digest
+//! protects against *accidental* collision (128 bits over two
+//! independent lanes) and is intended for deployments whose clients
+//! are trusted; a shared cache for mutually untrusting clients needs a
+//! cryptographic hash instead.
+
+use std::fmt;
+
+use crate::{Bag, Frequency, TimeValue, TimedPetriNet};
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+/// Seed of the second lane (the 64-bit golden ratio, any odd constant
+/// different from the FNV offset works).
+const LANE2_SEED: u64 = FNV_OFFSET ^ 0x9e37_79b9_7f4a_7c15;
+
+/// A 128-bit canonical content digest of a [`TimedPetriNet`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NetDigest(pub [u64; 2]);
+
+impl NetDigest {
+    /// The digest as 32 lowercase hex digits.
+    pub fn to_hex(self) -> String {
+        format!("{:016x}{:016x}", self.0[0], self.0[1])
+    }
+}
+
+impl fmt::Display for NetDigest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}{:016x}", self.0[0], self.0[1])
+    }
+}
+
+/// One FNV-1a lane.
+struct Fnv(u64);
+
+impl Fnv {
+    fn byte(&mut self, b: u8) {
+        self.0 = (self.0 ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+    }
+
+    fn bytes(&mut self, bs: &[u8]) {
+        for &b in bs {
+            self.byte(b);
+        }
+    }
+
+    fn u64(&mut self, x: u64) {
+        self.bytes(&x.to_le_bytes());
+    }
+
+    fn i128(&mut self, x: i128) {
+        self.bytes(&x.to_le_bytes());
+    }
+
+    /// Length-prefixed, so `("ab", "c")` and `("a", "bc")` differ.
+    fn str(&mut self, s: &str) {
+        self.u64(s.len() as u64);
+        self.bytes(s.as_bytes());
+    }
+
+    fn time(&mut self, t: &TimeValue) {
+        match t {
+            TimeValue::Known(r) => {
+                self.byte(1);
+                self.i128(r.numer());
+                self.i128(r.denom());
+            }
+            TimeValue::Unknown => self.byte(2),
+        }
+    }
+
+    fn frequency(&mut self, f: &Frequency) {
+        match f {
+            Frequency::Weight(w) => {
+                self.byte(1);
+                self.i128(w.numer());
+                self.i128(w.denom());
+            }
+            Frequency::Unknown => self.byte(2),
+        }
+    }
+}
+
+/// Hash one record through both lanes.
+fn record(write: impl Fn(&mut Fnv)) -> [u64; 2] {
+    let mut a = Fnv(FNV_OFFSET);
+    let mut b = Fnv(LANE2_SEED);
+    write(&mut a);
+    write(&mut b);
+    [a.0, b.0]
+}
+
+/// Write a bag as (name, multiplicity) pairs sorted by place name, so
+/// the hash does not depend on place declaration order.
+fn bag_entries(net: &TimedPetriNet, bag: &Bag, h: &mut Fnv) {
+    let mut entries: Vec<(&str, u32)> = bag.iter().map(|(p, n)| (net.place_name(p), n)).collect();
+    entries.sort_unstable();
+    h.u64(entries.len() as u64);
+    for (name, mult) in entries {
+        h.str(name);
+        h.u64(u64::from(mult));
+    }
+}
+
+impl TimedPetriNet {
+    /// The canonical content digest of this net. See the module docs
+    /// for what it covers and its order-independence guarantee.
+    pub fn digest(&self) -> NetDigest {
+        // Per-place and per-transition record hashes, combined through
+        // a sorted fold: declaration order cannot influence the result.
+        let mut records: Vec<[u64; 2]> =
+            Vec::with_capacity(self.num_places() + self.num_transitions());
+        for p in self.places() {
+            records.push(record(|h| {
+                h.byte(b'P');
+                h.str(self.place_name(p));
+                h.u64(u64::from(self.initial_marking().tokens(p)));
+            }));
+        }
+        for t in self.transitions() {
+            let tr = self.transition(t);
+            records.push(record(|h| {
+                h.byte(b'T');
+                h.str(tr.name());
+                bag_entries(self, tr.input(), h);
+                bag_entries(self, tr.output(), h);
+                h.time(tr.enabling());
+                h.time(tr.firing());
+                h.frequency(tr.frequency());
+            }));
+        }
+        records.sort_unstable();
+        let fold = record(|h| {
+            h.str(self.name());
+            h.u64(records.len() as u64);
+            for r in &records {
+                h.u64(r[0]);
+                h.u64(r[1]);
+            }
+        });
+        NetDigest(fold)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::parse_tpn;
+
+    const NET: &str = "
+        net demo
+        place a init 1
+        place b
+        trans go   in a out b firing 106.7 weight 0.95
+        trans drop in a out - firing 106.7 weight 0.05
+    ";
+
+    /// The same net with places and transitions declared in the
+    /// opposite order.
+    const NET_PERMUTED: &str = "
+        net demo
+        place b
+        place a init 1
+        trans drop in a out - firing 106.7 weight 0.05
+        trans go   in a out b firing 106.7 weight 0.95
+    ";
+
+    #[test]
+    fn digest_is_deterministic() {
+        let a = parse_tpn(NET).unwrap().digest();
+        let b = parse_tpn(NET).unwrap().digest();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn digest_ignores_declaration_order() {
+        let a = parse_tpn(NET).unwrap().digest();
+        let b = parse_tpn(NET_PERMUTED).unwrap().digest();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn digest_distinguishes_content() {
+        let base = parse_tpn(NET).unwrap().digest();
+        for (what, src) in [
+            ("net name", NET.replace("net demo", "net demo2")),
+            ("initial marking", NET.replace("init 1", "init 2")),
+            (
+                "timing",
+                NET.replace("firing 106.7 weight 0.95", "firing 13.5 weight 0.95"),
+            ),
+            ("weight", NET.replace("weight 0.05", "weight 0.06")),
+            (
+                "arcs",
+                NET.replace("trans go   in a out b", "trans go   in a out a"),
+            ),
+            (
+                "place name",
+                NET.replace("place b", "place c").replace("out b", "out c"),
+            ),
+        ] {
+            let changed = parse_tpn(&src).unwrap().digest();
+            assert_ne!(base, changed, "{what} must change the digest");
+        }
+    }
+
+    #[test]
+    fn digest_covers_unknown_times() {
+        let known = parse_tpn("net u\nplace a init 1\ntrans t in a firing 1").unwrap();
+        let unknown = parse_tpn("net u\nplace a init 1\ntrans t in a firing ?").unwrap();
+        assert_ne!(known.digest(), unknown.digest());
+    }
+
+    #[test]
+    fn hex_rendering() {
+        let d = parse_tpn(NET).unwrap().digest();
+        let hex = d.to_hex();
+        assert_eq!(hex.len(), 32);
+        assert!(hex.chars().all(|c| c.is_ascii_hexdigit()));
+        assert_eq!(hex, d.to_string());
+    }
+}

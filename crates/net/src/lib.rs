@@ -22,7 +22,9 @@
 
 mod bag;
 mod builder;
+mod digest;
 mod dot;
+mod emit;
 mod error;
 mod ids;
 pub mod invariant;
@@ -33,6 +35,7 @@ mod transition;
 
 pub use bag::Bag;
 pub use builder::{NetBuilder, TransitionBuilder};
+pub use digest::NetDigest;
 pub use dot::to_dot;
 pub use error::NetError;
 pub use ids::{ConflictSetId, PlaceId, TransId};

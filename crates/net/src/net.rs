@@ -32,7 +32,12 @@ impl ConflictSet {
 
 /// A validated Timed Petri Net. Construct via [`crate::NetBuilder`] or
 /// [`crate::parse_tpn`].
-#[derive(Debug, Clone)]
+///
+/// Equality is structural: same name, places (names and initial
+/// tokens), and transitions (names, bags, timings, frequencies), in
+/// the same declaration order. For order-*independent* identity use
+/// [`TimedPetriNet::digest`].
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TimedPetriNet {
     pub(crate) name: String,
     pub(crate) place_names: Vec<String>,

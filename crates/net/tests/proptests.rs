@@ -100,6 +100,95 @@ proptest! {
     }
 
     #[test]
+    fn to_tpn_parse_roundtrip_is_identity(
+        inits in proptest::collection::vec(0u32..4, 4),
+        trans in proptest::collection::vec(
+            (
+                proptest::collection::vec(0u32..3, 4), // input multiplicities
+                proptest::collection::vec(0u32..3, 4), // output multiplicities
+                (0u8..3, 1i128..2000, 1i128..10),      // enabling: kind, num, den
+                (0u8..3, 1i128..2000, 1i128..10),      // firing
+                (0u8..4, 0i128..20, 1i128..10),        // weight (0 allowed)
+            ),
+            1..6,
+        ),
+    ) {
+        // Arbitrary nets (multi-arc bags, unknown times, zero weights,
+        // non-default attributes) must survive emit → parse unchanged.
+        let mut b = NetBuilder::new("generated");
+        let places: Vec<_> = inits
+            .iter()
+            .enumerate()
+            .map(|(i, init)| b.place(&format!("p{i}"), *init))
+            .collect();
+        for (i, (ins, outs, enabling, firing, weight)) in trans.iter().enumerate() {
+            let mut t = b.transition(&format!("t{i}"));
+            for (p, n) in places.iter().zip(ins) {
+                t = t.input_n(*p, *n);
+            }
+            // validation rejects empty input bags; force one arc
+            if ins.iter().all(|n| *n == 0) {
+                t = t.input(places[i % places.len()]);
+            }
+            for (p, n) in places.iter().zip(outs) {
+                t = t.output_n(*p, *n);
+            }
+            t = match enabling.0 {
+                0 => t, // default: enabling 0
+                1 => t.enabling(Rational::new(enabling.1, enabling.2)),
+                _ => t.enabling_unknown(),
+            };
+            t = match firing.0 {
+                0 => t,
+                1 => t.firing(Rational::new(firing.1, firing.2)),
+                _ => t.firing_unknown(),
+            };
+            t = match weight.0 {
+                0 => t, // default: weight 1
+                1 | 2 => t.weight(Rational::new(weight.1, weight.2)),
+                _ => t.weight_unknown(),
+            };
+            t.add();
+        }
+        let net = b.build().unwrap();
+        let text = net.to_tpn();
+        let back = tpn_net::parse_tpn(&text).unwrap();
+        prop_assert_eq!(&back, &net, "emitted text:\n{}", text);
+        // and the canonical digest is preserved too
+        prop_assert_eq!(back.digest(), net.digest());
+    }
+
+    #[test]
+    fn digest_is_declaration_order_independent(
+        inits in proptest::collection::vec(0u32..3, 4),
+        perm_seed in any::<u64>(),
+    ) {
+        // Build a ring over the places, then rebuild it with places and
+        // transitions declared in a rotated order: same digest.
+        let n = inits.len();
+        let rot = (perm_seed % n as u64) as usize;
+        let build = |order: Vec<usize>| {
+            let mut b = NetBuilder::new("perm");
+            let mut ids = vec![None; n];
+            for &i in &order {
+                ids[i] = Some(b.place(&format!("p{i}"), inits[i]));
+            }
+            let ids: Vec<_> = ids.into_iter().map(Option::unwrap).collect();
+            for &i in &order {
+                b.transition(&format!("t{i}"))
+                    .input(ids[i])
+                    .output(ids[(i + 1) % n])
+                    .firing(Rational::new(i as i128 + 1, 2))
+                    .add();
+            }
+            b.build().unwrap()
+        };
+        let identity: Vec<usize> = (0..n).collect();
+        let rotated: Vec<usize> = (0..n).map(|i| (i + rot) % n).collect();
+        prop_assert_eq!(build(identity).digest(), build(rotated).digest());
+    }
+
+    #[test]
     fn p_semiflows_are_conserved_under_firing(
         times in proptest::collection::vec((1i128..9, 1i128..3), 2..6),
         steps in proptest::collection::vec(any::<u8>(), 12),

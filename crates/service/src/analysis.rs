@@ -1,0 +1,416 @@
+//! Request kinds and their JSON renderings.
+//!
+//! [`run`] executes one analysis request against an already-parsed net
+//! and renders the result as compact JSON. It is the *only* producer of
+//! analysis JSON in the workspace: the HTTP endpoints, `tpn batch` and
+//! the cache all go through it, so a cached response is byte-identical
+//! to a freshly computed one, and the CLI's JSON matches the server's.
+
+use std::fmt;
+
+use tpn_net::{invariant, PlaceId, TimedPetriNet, TransId};
+use tpn_reach::{build_trg, NumericDomain, TimedReachabilityGraph, TrgOptions};
+use tpn_sim::{simulate, SimOptions};
+
+use crate::json::JsonWriter;
+
+/// Default event budget for `simulate` when the request does not name
+/// one — shared by the HTTP query parser, `tpn simulate` and
+/// `tpn batch` so the surfaces can never drift apart.
+pub const DEFAULT_SIM_EVENTS: u64 = 1_000_000;
+
+/// Default PRNG seed for `simulate` (see [`DEFAULT_SIM_EVENTS`]).
+pub const DEFAULT_SIM_SEED: u64 = 0x5EED;
+
+/// The analysis a request asks for. Together with the net's content
+/// digest this is the cache key: every variant (and every option value)
+/// addresses a distinct result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RequestKind {
+    /// Full pipeline: TRG → decision graph → rates → throughputs.
+    Analyze,
+    /// Timed reachability graph summary and state table.
+    Graph,
+    /// Deadlock/safeness/liveness/reversibility report.
+    Correctness,
+    /// P- and T-semiflows.
+    Invariants,
+    /// Monte-Carlo simulation with an explicit budget and seed (both are
+    /// part of the cache key — runs are deterministic given the seed).
+    Simulate {
+        /// Maximum number of discrete events to process.
+        events: u64,
+        /// PRNG seed.
+        seed: u64,
+    },
+}
+
+impl RequestKind {
+    /// The endpoint/subcommand name of this request kind.
+    pub fn name(&self) -> &'static str {
+        match self {
+            RequestKind::Analyze => "analyze",
+            RequestKind::Graph => "graph",
+            RequestKind::Correctness => "correctness",
+            RequestKind::Invariants => "invariants",
+            RequestKind::Simulate { .. } => "simulate",
+        }
+    }
+}
+
+/// Why a request could not be served.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServiceError {
+    /// The request body is not a valid `.tpn` document (HTTP 400).
+    Parse(String),
+    /// The net parsed but the analysis failed, e.g. no steady-state
+    /// cycle for `analyze` (HTTP 422).
+    Analysis(String),
+    /// The request itself is malformed: bad query parameter, bad route,
+    /// oversized or non-UTF-8 body (HTTP 400).
+    BadRequest(String),
+}
+
+impl ServiceError {
+    /// The HTTP status code this error maps to.
+    pub fn status(&self) -> u16 {
+        match self {
+            ServiceError::Parse(_) | ServiceError::BadRequest(_) => 400,
+            ServiceError::Analysis(_) => 422,
+        }
+    }
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::Parse(m) => write!(f, "parse error: {m}"),
+            ServiceError::Analysis(m) => write!(f, "analysis error: {m}"),
+            ServiceError::BadRequest(m) => write!(f, "bad request: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+/// Execute `kind` against `net` and render the result as one line of
+/// compact JSON. Deterministic: identical nets (by content digest) and
+/// identical request kinds produce byte-identical documents, which is
+/// what makes the result cache safe.
+pub fn run(net: &TimedPetriNet, kind: RequestKind) -> Result<String, ServiceError> {
+    match kind {
+        RequestKind::Analyze => analyze_json(net),
+        RequestKind::Graph => graph_json(net),
+        RequestKind::Correctness => correctness_json(net),
+        RequestKind::Invariants => Ok(invariants_json(net)),
+        RequestKind::Simulate { events, seed } => simulate_json(net, events, seed),
+    }
+}
+
+fn err(e: impl fmt::Display) -> ServiceError {
+    ServiceError::Analysis(e.to_string())
+}
+
+fn build(net: &TimedPetriNet) -> Result<TimedReachabilityGraph<NumericDomain>, ServiceError> {
+    build_trg(net, &NumericDomain::new(), &TrgOptions::default()).map_err(err)
+}
+
+/// Common document header: kind, net name, content digest.
+fn header(w: &mut JsonWriter, net: &TimedPetriNet, kind: RequestKind) {
+    w.begin_object();
+    w.key("kind");
+    w.string(kind.name());
+    w.key("net");
+    w.string(net.name());
+    w.key("digest");
+    w.string(&net.digest().to_hex());
+}
+
+fn analyze_json(net: &TimedPetriNet) -> Result<String, ServiceError> {
+    use tpn_core::{solve_rates, DecisionGraph, Performance};
+    let domain = NumericDomain::new();
+    let trg = build(net)?;
+    let dg = DecisionGraph::from_trg(&trg, &domain).map_err(err)?;
+    let rates = solve_rates(&dg, 0).map_err(err)?;
+    let perf = Performance::new(&dg, rates, &domain).map_err(err)?;
+
+    let mut w = JsonWriter::new();
+    header(&mut w, net, RequestKind::Analyze);
+    w.key("states");
+    w.uint(trg.num_states() as u64);
+    w.key("decision_nodes");
+    w.uint(dg.num_nodes() as u64);
+    w.key("reference_edge");
+    w.uint(0);
+    w.key("edges");
+    w.begin_array();
+    for (i, e) in dg.edges().iter().enumerate() {
+        w.begin_object();
+        w.key("from");
+        w.string(&dg.nodes()[e.from].to_string());
+        w.key("to");
+        w.string(&dg.nodes()[e.to].to_string());
+        w.key("prob");
+        w.rational(&e.prob);
+        w.key("delay");
+        w.rational(&e.delay);
+        w.key("rate");
+        w.rational(perf.rates().rate(i));
+        w.key("weight");
+        w.rational(&perf.weights()[i]);
+        w.key("fires");
+        w.begin_array();
+        for t in &e.fired {
+            w.string(net.transition(*t).name());
+        }
+        w.end_array();
+        w.end_object();
+    }
+    w.end_array();
+    w.key("total_weight");
+    w.rational(perf.total_weight());
+    w.key("throughput");
+    w.begin_array();
+    for t in net.transitions() {
+        let th = perf.throughput(&dg, t);
+        w.begin_object();
+        w.key("transition");
+        w.string(net.transition(t).name());
+        w.key("exact");
+        w.rational(&th);
+        w.key("approx");
+        w.fixed(th.to_f64(), 6);
+        w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    Ok(w.finish())
+}
+
+fn graph_json(net: &TimedPetriNet) -> Result<String, ServiceError> {
+    let trg = build(net)?;
+    let mut w = JsonWriter::new();
+    header(&mut w, net, RequestKind::Graph);
+    w.key("states");
+    w.uint(trg.num_states() as u64);
+    w.key("edges");
+    w.uint(trg.num_edges() as u64);
+    w.key("decision_states");
+    w.begin_array();
+    for s in trg.decision_states() {
+        w.string(&s.to_string());
+    }
+    w.end_array();
+    w.key("terminal_states");
+    w.begin_array();
+    for s in trg.terminal_states() {
+        w.string(&s.to_string());
+    }
+    w.end_array();
+    w.key("state_table");
+    w.begin_array();
+    for s in trg.state_ids() {
+        w.string(
+            &trg.state(s)
+                .describe(|t| net.transition(t).name().to_string()),
+        );
+    }
+    w.end_array();
+    w.end_object();
+    Ok(w.finish())
+}
+
+fn correctness_json(net: &TimedPetriNet) -> Result<String, ServiceError> {
+    let trg = build(net)?;
+    let report = tpn_reach::analyze(&trg, net);
+    let mut w = JsonWriter::new();
+    header(&mut w, net, RequestKind::Correctness);
+    w.key("deadlock_free");
+    w.bool(report.deadlocks.is_empty());
+    w.key("deadlocks");
+    w.begin_array();
+    for s in &report.deadlocks {
+        w.string(&s.to_string());
+    }
+    w.end_array();
+    w.key("safe");
+    w.bool(report.unsafe_states.is_empty());
+    w.key("bound");
+    w.uint(u64::from(report.bound));
+    w.key("dead_transitions");
+    w.begin_array();
+    for t in &report.dead_transitions {
+        w.string(net.transition(*t).name());
+    }
+    w.end_array();
+    w.key("reversible");
+    w.bool(report.reversible);
+    w.key("correct");
+    w.bool(report.is_correct());
+    w.end_object();
+    Ok(w.finish())
+}
+
+fn invariants_json(net: &TimedPetriNet) -> String {
+    let mut w = JsonWriter::new();
+    header(&mut w, net, RequestKind::Invariants);
+    w.key("p_semiflows");
+    w.begin_array();
+    for f in invariant::p_semiflows(net) {
+        w.begin_object();
+        w.key("weights");
+        w.begin_object();
+        for p in f.support() {
+            w.key(net.place_name(PlaceId::from_index(p)));
+            w.int(f.weights[p]);
+        }
+        w.end_object();
+        w.key("conserved");
+        w.int(invariant::conserved_quantity(net, &f));
+        w.end_object();
+    }
+    w.end_array();
+    w.key("t_semiflows");
+    w.begin_array();
+    for f in invariant::t_semiflows(net) {
+        w.begin_object();
+        w.key("weights");
+        w.begin_object();
+        for t in f.support() {
+            w.key(net.transition(TransId::from_index(t)).name());
+            w.int(f.weights[t]);
+        }
+        w.end_object();
+        w.end_object();
+    }
+    w.end_array();
+    w.key("structurally_bounded");
+    w.bool(invariant::covered_by_p_semiflows(net));
+    w.end_object();
+    w.finish()
+}
+
+fn simulate_json(net: &TimedPetriNet, events: u64, seed: u64) -> Result<String, ServiceError> {
+    let stats = simulate(
+        net,
+        &SimOptions {
+            seed,
+            max_events: events,
+            ..SimOptions::default()
+        },
+    )
+    .map_err(err)?;
+    let mut w = JsonWriter::new();
+    header(&mut w, net, RequestKind::Simulate { events, seed });
+    w.key("events");
+    w.uint(stats.events());
+    w.key("seed");
+    w.uint(seed);
+    w.key("measured_time");
+    w.rational(stats.measured_time());
+    w.key("deadlocked");
+    w.bool(stats.deadlocked());
+    w.key("transitions");
+    w.begin_array();
+    for t in net.transitions() {
+        w.begin_object();
+        w.key("name");
+        w.string(net.transition(t).name());
+        w.key("started");
+        w.uint(stats.firings(t));
+        w.key("completed");
+        w.uint(stats.completions(t));
+        w.key("rate");
+        w.fixed(stats.throughput(t), 6);
+        w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    Ok(w.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpn_net::parse_tpn;
+
+    const CYCLE: &str = "net c\nplace a init 1\nplace b\n\
+        trans go in a out b firing 2\ntrans back in b out a firing 3";
+
+    #[test]
+    fn analyze_renders_rates_and_throughput() {
+        let net = parse_tpn(CYCLE).unwrap();
+        let body = run(&net, RequestKind::Analyze).unwrap();
+        assert!(
+            body.starts_with(r#"{"kind":"analyze","net":"c","digest":""#),
+            "{body}"
+        );
+        // one deterministic cycle: total weight 5, throughput 1/5
+        assert!(body.contains(r#""total_weight":"5""#), "{body}");
+        assert!(
+            body.contains(r#""transition":"go","exact":"1/5","approx":0.200000"#),
+            "{body}"
+        );
+    }
+
+    #[test]
+    fn graph_counts_states() {
+        let net = parse_tpn(CYCLE).unwrap();
+        let body = run(&net, RequestKind::Graph).unwrap();
+        assert!(body.contains(r#""states":4"#), "{body}");
+        assert!(body.contains(r#""decision_states":[]"#), "{body}");
+    }
+
+    #[test]
+    fn correctness_verdict() {
+        let net = parse_tpn(CYCLE).unwrap();
+        let body = run(&net, RequestKind::Correctness).unwrap();
+        assert!(body.contains(r#""correct":true"#), "{body}");
+        let dead =
+            parse_tpn("net d\nplace a init 1\nplace b\ntrans t in a out b firing 1").unwrap();
+        let body = run(&dead, RequestKind::Correctness).unwrap();
+        assert!(body.contains(r#""deadlock_free":false"#), "{body}");
+    }
+
+    #[test]
+    fn invariants_lists_semiflows() {
+        let net = parse_tpn(CYCLE).unwrap();
+        let body = run(&net, RequestKind::Invariants).unwrap();
+        assert!(
+            body.contains(r#""p_semiflows":[{"weights":{"a":1,"b":1},"conserved":1}]"#),
+            "{body}"
+        );
+        assert!(body.contains(r#""structurally_bounded":true"#), "{body}");
+    }
+
+    #[test]
+    fn simulate_is_deterministic_per_seed() {
+        let net = parse_tpn(CYCLE).unwrap();
+        let kind = RequestKind::Simulate {
+            events: 500,
+            seed: 7,
+        };
+        let a = run(&net, kind).unwrap();
+        let b = run(&net, kind).unwrap();
+        assert_eq!(a, b);
+        assert!(a.contains(r#""seed":7"#), "{a}");
+        let c = run(
+            &net,
+            RequestKind::Simulate {
+                events: 500,
+                seed: 8,
+            },
+        )
+        .unwrap();
+        assert_ne!(a, c, "different seed, different trajectory counters");
+    }
+
+    #[test]
+    fn analysis_errors_are_reported() {
+        // a net that deadlocks has no steady-state cycle to analyze
+        let net = parse_tpn("net d\nplace a init 1\nplace b\ntrans t in a out b firing 1").unwrap();
+        let e = run(&net, RequestKind::Analyze).unwrap_err();
+        assert_eq!(e.status(), 422);
+        assert!(e.to_string().contains("analysis error"), "{e}");
+    }
+}

@@ -1,0 +1,489 @@
+//! The content-addressed analysis cache.
+//!
+//! Results are keyed by `(net digest, request kind)` — see
+//! [`tpn_net::NetDigest`]; the digest is order-independent, so
+//! textually different `.tpn` documents describing the same net share
+//! cache lines. The map is sharded across `RwLock`s (readers never
+//! contend with readers), eviction is least-recently-used within a
+//! byte budget, and concurrent requests for the same key are
+//! **coalesced**: one leader computes, followers block on the leader's
+//! flight and receive the same `Arc`'d body, so a thundering herd of
+//! identical requests costs exactly one pipeline run.
+//!
+//! Counters (hits, misses, evictions, computations, coalesced waits)
+//! are plain atomics and feed the server's `/stats` endpoint.
+
+use std::collections::hash_map::{DefaultHasher, Entry as MapEntry};
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
+
+use tpn_net::NetDigest;
+
+use crate::{RequestKind, ServiceError};
+
+/// A cache key: which net (by content digest) and which analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// The net's canonical content digest.
+    pub digest: NetDigest,
+    /// The requested analysis, options included.
+    pub kind: RequestKind,
+}
+
+/// Cache sizing knobs.
+#[derive(Debug, Clone)]
+pub struct CacheConfig {
+    /// Number of independent shards (clamped to at least 1). More
+    /// shards means less write contention; eviction budgets are
+    /// per-shard (`byte_budget / shards`).
+    pub shards: usize,
+    /// Total byte budget across all shards. An entry's cost is its
+    /// body length plus a fixed per-entry overhead.
+    pub byte_budget: usize,
+}
+
+impl Default for CacheConfig {
+    fn default() -> CacheConfig {
+        CacheConfig {
+            shards: 16,
+            byte_budget: 64 * 1024 * 1024,
+        }
+    }
+}
+
+/// Fixed accounting overhead per entry (key, map slot, Arc header).
+const ENTRY_OVERHEAD: usize = 64;
+
+/// Counter snapshot for `/stats`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups answered from the map.
+    pub hits: u64,
+    /// Lookups that had to compute.
+    pub misses: u64,
+    /// Entries evicted to stay within the byte budget.
+    pub evictions: u64,
+    /// Actual pipeline executions (monotonic; `misses` minus failures
+    /// re-counted — one per leader computation).
+    pub computations: u64,
+    /// Requests that piggybacked on a concurrent identical computation.
+    pub coalesced: u64,
+    /// Entries currently cached.
+    pub entries: usize,
+    /// Bytes currently cached (bodies plus per-entry overhead).
+    pub bytes: usize,
+}
+
+struct CacheEntry {
+    value: Arc<String>,
+    cost: usize,
+    /// Global LRU clock value of the last touch; atomic so `get` only
+    /// needs the shard's read lock.
+    last_used: AtomicU64,
+}
+
+struct Shard {
+    map: HashMap<CacheKey, CacheEntry>,
+    bytes: usize,
+    budget: usize,
+}
+
+impl Shard {
+    /// Evict least-recently-used entries (never `keep`) until the
+    /// shard is back under budget, returning how many were dropped.
+    /// One scan + one sort, not a scan per victim: the write lock is
+    /// held for O(n log n) in the worst case, independent of how many
+    /// entries must go.
+    fn evict_over_budget(&mut self, keep: &CacheKey) -> u64 {
+        if self.bytes <= self.budget {
+            return 0;
+        }
+        let mut candidates: Vec<(u64, CacheKey)> = self
+            .map
+            .iter()
+            .filter(|(k, _)| *k != keep)
+            .map(|(k, e)| (e.last_used.load(Ordering::Relaxed), *k))
+            .collect();
+        candidates.sort_unstable_by_key(|(used, _)| *used);
+        let mut evicted = 0;
+        for (_, k) in candidates {
+            if self.bytes <= self.budget {
+                break;
+            }
+            if let Some(e) = self.map.remove(&k) {
+                self.bytes -= e.cost;
+                evicted += 1;
+            }
+        }
+        evicted
+    }
+}
+
+/// An in-flight computation that followers wait on.
+struct Flight {
+    result: Mutex<Option<Result<Arc<String>, ServiceError>>>,
+    done: Condvar,
+}
+
+impl Flight {
+    fn new() -> Flight {
+        Flight {
+            result: Mutex::new(None),
+            done: Condvar::new(),
+        }
+    }
+
+    fn resolve(&self, r: Result<Arc<String>, ServiceError>) {
+        let mut slot = self.result.lock().expect("flight lock");
+        if slot.is_none() {
+            *slot = Some(r);
+        }
+        self.done.notify_all();
+    }
+
+    fn wait(&self) -> Result<Arc<String>, ServiceError> {
+        let mut slot = self.result.lock().expect("flight lock");
+        while slot.is_none() {
+            slot = self.done.wait(slot).expect("flight lock");
+        }
+        slot.clone().expect("resolved flight")
+    }
+}
+
+/// Resolves the flight with an error if the leader unwinds before
+/// publishing a result, so followers never hang on a panicked leader.
+struct LeaderGuard<'a> {
+    cache: &'a AnalysisCache,
+    key: CacheKey,
+    flight: Arc<Flight>,
+}
+
+impl Drop for LeaderGuard<'_> {
+    fn drop(&mut self) {
+        self.flight.resolve(Err(ServiceError::Analysis(
+            "computation panicked".to_string(),
+        )));
+        self.cache
+            .inflight
+            .lock()
+            .expect("inflight lock")
+            .remove(&self.key);
+    }
+}
+
+/// The sharded, LRU-bounded, coalescing result cache.
+pub struct AnalysisCache {
+    shards: Vec<RwLock<Shard>>,
+    inflight: Mutex<HashMap<CacheKey, Arc<Flight>>>,
+    clock: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    computations: AtomicU64,
+    coalesced: AtomicU64,
+}
+
+impl AnalysisCache {
+    /// An empty cache with the given sharding and budget.
+    pub fn new(config: &CacheConfig) -> AnalysisCache {
+        let shards = config.shards.max(1);
+        let budget = config.byte_budget / shards;
+        AnalysisCache {
+            shards: (0..shards)
+                .map(|_| {
+                    RwLock::new(Shard {
+                        map: HashMap::new(),
+                        bytes: 0,
+                        budget,
+                    })
+                })
+                .collect(),
+            inflight: Mutex::new(HashMap::new()),
+            clock: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            computations: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+        }
+    }
+
+    fn shard_of(&self, key: &CacheKey) -> &RwLock<Shard> {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) % self.shards.len()]
+    }
+
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Look a key up without counting a hit or miss (used internally;
+    /// prefer [`AnalysisCache::get_or_compute`]).
+    fn lookup(&self, key: &CacheKey) -> Option<Arc<String>> {
+        let shard = self.shard_of(key).read().expect("shard lock");
+        let entry = shard.map.get(key)?;
+        entry.last_used.store(self.tick(), Ordering::Relaxed);
+        Some(Arc::clone(&entry.value))
+    }
+
+    /// Insert (or replace) a value, evicting LRU entries as needed.
+    fn insert(&self, key: CacheKey, value: Arc<String>) {
+        let cost = value.len() + ENTRY_OVERHEAD;
+        let mut shard = self.shard_of(&key).write().expect("shard lock");
+        // A body that alone exceeds the shard budget is not cached at
+        // all: admitting it would evict the whole shard *and* leave the
+        // cache over its configured byte limit indefinitely.
+        if cost > shard.budget {
+            return;
+        }
+        let entry = CacheEntry {
+            value,
+            cost,
+            last_used: AtomicU64::new(self.tick()),
+        };
+        if let Some(old) = shard.map.insert(key, entry) {
+            shard.bytes -= old.cost;
+        }
+        shard.bytes += cost;
+        let evicted = shard.evict_over_budget(&key);
+        if evicted > 0 {
+            self.evictions.fetch_add(evicted, Ordering::Relaxed);
+        }
+    }
+
+    /// The core serving primitive: return the cached body for `key`, or
+    /// compute it with `f` — at most once across all concurrent callers
+    /// of the same key (request coalescing). Successful bodies are
+    /// cached; errors are returned to every coalesced caller but not
+    /// cached (they are cheap to rediscover and keep the cache
+    /// all-success).
+    pub fn get_or_compute(
+        &self,
+        key: CacheKey,
+        f: impl FnOnce() -> Result<String, ServiceError>,
+    ) -> Result<Arc<String>, ServiceError> {
+        if let Some(v) = self.lookup(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(v);
+        }
+        // Leader if the flight slot was vacant, follower otherwise.
+        let (flight, is_leader) = {
+            let mut inflight = self.inflight.lock().expect("inflight lock");
+            match inflight.entry(key) {
+                MapEntry::Occupied(e) => (Arc::clone(e.get()), false),
+                MapEntry::Vacant(slot) => (Arc::clone(slot.insert(Arc::new(Flight::new()))), true),
+            }
+        };
+        if !is_leader {
+            // Follower: a leader is computing this very key.
+            self.coalesced.fetch_add(1, Ordering::Relaxed);
+            return flight.wait();
+        }
+        // The guard unregisters the flight (and unblocks followers with
+        // an error) even if `f` panics.
+        let guard = LeaderGuard {
+            cache: self,
+            key,
+            flight,
+        };
+        // A racing leader may have inserted between our lookup and the
+        // flight registration; serve that instead of recomputing.
+        if let Some(v) = self.lookup(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            guard.flight.resolve(Ok(Arc::clone(&v)));
+            return Ok(v);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.computations.fetch_add(1, Ordering::Relaxed);
+        let result = f().map(Arc::new);
+        if let Ok(v) = &result {
+            self.insert(key, Arc::clone(v));
+        }
+        guard.flight.resolve(result.clone());
+        result
+    }
+
+    /// A counter and occupancy snapshot.
+    pub fn stats(&self) -> CacheStats {
+        let mut entries = 0;
+        let mut bytes = 0;
+        for shard in &self.shards {
+            let s = shard.read().expect("shard lock");
+            entries += s.map.len();
+            bytes += s.bytes;
+        }
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            computations: self.computations.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
+            entries,
+            bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::time::Duration;
+
+    fn key(tag: u64) -> CacheKey {
+        CacheKey {
+            digest: NetDigest([tag, !tag]),
+            kind: RequestKind::Analyze,
+        }
+    }
+
+    fn single_shard(byte_budget: usize) -> AnalysisCache {
+        AnalysisCache::new(&CacheConfig {
+            shards: 1,
+            byte_budget,
+        })
+    }
+
+    #[test]
+    fn hit_after_miss_returns_same_body() {
+        let cache = single_shard(1 << 20);
+        let a = cache
+            .get_or_compute(key(1), || Ok("body".to_string()))
+            .unwrap();
+        let b = cache
+            .get_or_compute(key(1), || panic!("must not recompute"))
+            .unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.computations), (1, 1, 1));
+        assert_eq!(s.entries, 1);
+        assert!(s.bytes >= "body".len());
+    }
+
+    #[test]
+    fn distinct_kinds_are_distinct_entries() {
+        let cache = single_shard(1 << 20);
+        let k2 = CacheKey {
+            digest: NetDigest([1, !1]),
+            kind: RequestKind::Simulate {
+                events: 10,
+                seed: 1,
+            },
+        };
+        cache.get_or_compute(key(1), || Ok("a".into())).unwrap();
+        cache.get_or_compute(k2, || Ok("b".into())).unwrap();
+        assert_eq!(cache.stats().entries, 2);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        // Budget fits two entries; A is touched, so inserting C evicts B.
+        let body = "x".repeat(200);
+        let cache = single_shard(2 * (200 + ENTRY_OVERHEAD) + 10);
+        cache.get_or_compute(key(1), || Ok(body.clone())).unwrap();
+        cache.get_or_compute(key(2), || Ok(body.clone())).unwrap();
+        // touch A so B becomes the LRU entry
+        cache
+            .get_or_compute(key(1), || panic!("hit expected"))
+            .unwrap();
+        cache.get_or_compute(key(3), || Ok(body.clone())).unwrap();
+        let s = cache.stats();
+        assert_eq!(s.evictions, 1);
+        assert_eq!(s.entries, 2);
+        // A survived, B was evicted, C is fresh
+        cache
+            .get_or_compute(key(1), || panic!("A must have survived"))
+            .unwrap();
+        cache
+            .get_or_compute(key(3), || panic!("C must have survived"))
+            .unwrap();
+        let recomputed = AtomicUsize::new(0);
+        cache
+            .get_or_compute(key(2), || {
+                recomputed.fetch_add(1, Ordering::Relaxed);
+                Ok(body.clone())
+            })
+            .unwrap();
+        assert_eq!(recomputed.load(Ordering::Relaxed), 1, "B was evicted");
+    }
+
+    #[test]
+    fn oversized_bodies_are_served_but_not_admitted() {
+        let cache = single_shard(100);
+        let big = "x".repeat(500);
+        let v = cache.get_or_compute(key(1), || Ok(big.clone())).unwrap();
+        assert_eq!(*v, big, "caller still gets the body");
+        let s = cache.stats();
+        assert_eq!((s.entries, s.bytes), (0, 0), "not admitted: {s:?}");
+        // the next identical request recomputes rather than hitting
+        cache.get_or_compute(key(1), || Ok(big.clone())).unwrap();
+        assert_eq!(cache.stats().computations, 2);
+    }
+
+    #[test]
+    fn errors_are_not_cached() {
+        let cache = single_shard(1 << 20);
+        let e = cache
+            .get_or_compute(key(1), || Err(ServiceError::Analysis("boom".into())))
+            .unwrap_err();
+        assert_eq!(e, ServiceError::Analysis("boom".into()));
+        assert_eq!(cache.stats().entries, 0);
+        // next call recomputes and can succeed
+        cache.get_or_compute(key(1), || Ok("ok".into())).unwrap();
+        assert_eq!(cache.stats().computations, 2);
+    }
+
+    #[test]
+    fn concurrent_identical_requests_compute_once() {
+        let cache = Arc::new(single_shard(1 << 20));
+        let computed = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let cache = Arc::clone(&cache);
+            let computed = Arc::clone(&computed);
+            handles.push(std::thread::spawn(move || {
+                cache
+                    .get_or_compute(key(42), || {
+                        computed.fetch_add(1, Ordering::Relaxed);
+                        // hold the flight open long enough for the other
+                        // threads to pile up behind it
+                        std::thread::sleep(Duration::from_millis(60));
+                        Ok("slow".to_string())
+                    })
+                    .unwrap()
+            }));
+        }
+        let bodies: Vec<Arc<String>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert_eq!(computed.load(Ordering::Relaxed), 1, "exactly one leader");
+        assert!(bodies.iter().all(|b| b.as_str() == "slow"));
+        let s = cache.stats();
+        assert_eq!(s.computations, 1);
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.hits + s.coalesced, 7, "{s:?}");
+    }
+
+    #[test]
+    fn leader_panic_unblocks_followers() {
+        let cache = Arc::new(single_shard(1 << 20));
+        let c2 = Arc::clone(&cache);
+        let leader = std::thread::spawn(move || {
+            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                c2.get_or_compute(key(9), || -> Result<String, ServiceError> {
+                    std::thread::sleep(Duration::from_millis(60));
+                    panic!("leader dies")
+                })
+            }));
+        });
+        std::thread::sleep(Duration::from_millis(10));
+        let follower = cache.get_or_compute(key(9), || Ok("fallback".into()));
+        leader.join().unwrap();
+        // Either the follower coalesced onto the dying leader (error) or
+        // arrived after cleanup and computed its own (success).
+        if let Err(e) = follower {
+            assert!(e.to_string().contains("panicked"), "{e}");
+        }
+    }
+}

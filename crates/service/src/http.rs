@@ -1,0 +1,614 @@
+//! The hand-rolled HTTP/1.1 front end over [`std::net::TcpListener`].
+//!
+//! No external dependency and no async runtime: an accept thread hands
+//! each connection to the fixed [`ThreadPool`], whose bounded queue is
+//! the server's backpressure. One request per connection
+//! (`Connection: close`), which keeps the parser a strict subset of
+//! HTTP/1.1: request line, headers, `Content-Length` body.
+//!
+//! Routes:
+//!
+//! | method | path | body | reply |
+//! |---|---|---|---|
+//! | POST | `/analyze` | `.tpn` text | rates, weights, throughputs |
+//! | POST | `/graph` | `.tpn` text | TRG summary + state table |
+//! | POST | `/correctness` | `.tpn` text | deadlock/safeness/liveness |
+//! | POST | `/invariants` | `.tpn` text | P-/T-semiflows |
+//! | POST | `/simulate?events=N&seed=S` | `.tpn` text | Monte-Carlo counters |
+//! | GET | `/healthz` | — | liveness probe |
+//! | GET | `/stats` | — | cache/pool counters |
+//!
+//! Status codes: 200 on success, 400 for malformed requests or `.tpn`
+//! parse errors, 404/405 for bad routes, 413 for oversized bodies, 422
+//! when the net parses but the analysis fails.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use tpn_net::parse_tpn;
+
+use crate::analysis::{run, RequestKind, ServiceError};
+use crate::cache::{AnalysisCache, CacheConfig, CacheKey};
+use crate::executor::ThreadPool;
+use crate::json::{error_body, JsonWriter};
+
+/// Server and cache sizing.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Worker threads handling connections.
+    pub threads: usize,
+    /// Bounded queue of accepted-but-unhandled connections.
+    pub queue_cap: usize,
+    /// Result-cache sizing.
+    pub cache: CacheConfig,
+    /// Maximum accepted request-body size in bytes.
+    pub max_body_bytes: usize,
+    /// Maximum `events` accepted by `/simulate` — one request may not
+    /// pin a worker on an unbounded computation.
+    pub max_sim_events: u64,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> ServiceConfig {
+        ServiceConfig {
+            threads: 4,
+            queue_cap: 64,
+            cache: CacheConfig::default(),
+            max_body_bytes: 1 << 20,
+            max_sim_events: 10_000_000,
+        }
+    }
+}
+
+/// The analysis service: parse → digest → cached analysis. Usable
+/// in-process (the CLI's `batch` mode) or behind [`spawn`]'s HTTP
+/// front end.
+pub struct Service {
+    cache: AnalysisCache,
+    config: ServiceConfig,
+    requests: AtomicU64,
+}
+
+impl Service {
+    /// A fresh service with an empty cache.
+    pub fn new(config: ServiceConfig) -> Service {
+        Service {
+            cache: AnalysisCache::new(&config.cache),
+            config,
+            requests: AtomicU64::new(0),
+        }
+    }
+
+    /// The result cache (for inspection in tests and benches).
+    pub fn cache(&self) -> &AnalysisCache {
+        &self.cache
+    }
+
+    /// The configuration the service was built with.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// Serve one analysis request: parse the `.tpn` body, digest it,
+    /// and answer from the content-addressed cache (computing at most
+    /// once per digest across concurrent callers). Returns the HTTP
+    /// status and the JSON body — shared, not copied: cache hits hand
+    /// out the cached `Arc` so the hot path never clones the body.
+    pub fn respond(&self, kind: RequestKind, body: &str) -> (u16, Arc<String>) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        let net = match parse_tpn(body) {
+            Ok(net) => net,
+            Err(e) => {
+                return (
+                    400,
+                    Arc::new(error_body(&ServiceError::Parse(e.to_string()).to_string())),
+                )
+            }
+        };
+        let key = CacheKey {
+            digest: net.digest(),
+            kind,
+        };
+        match self.cache.get_or_compute(key, || run(&net, kind)) {
+            Ok(body) => (200, body),
+            Err(e) => (e.status(), Arc::new(error_body(&e.to_string()))),
+        }
+    }
+
+    /// The `/stats` document: request/cache counters plus pool sizing.
+    pub fn stats_json(&self) -> String {
+        let s = self.cache.stats();
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("requests");
+        w.uint(self.requests.load(Ordering::Relaxed));
+        w.key("computations");
+        w.uint(s.computations);
+        w.key("hits");
+        w.uint(s.hits);
+        w.key("misses");
+        w.uint(s.misses);
+        w.key("coalesced");
+        w.uint(s.coalesced);
+        w.key("evictions");
+        w.uint(s.evictions);
+        w.key("entries");
+        w.uint(s.entries as u64);
+        w.key("bytes");
+        w.uint(s.bytes as u64);
+        w.key("threads");
+        w.uint(self.config.threads as u64);
+        w.key("queue_cap");
+        w.uint(self.config.queue_cap as u64);
+        w.end_object();
+        w.finish()
+    }
+
+    /// The `/healthz` document.
+    pub fn health_json() -> String {
+        r#"{"status":"ok"}"#.to_string()
+    }
+}
+
+/// A running HTTP server. Dropping the handle shuts the server down;
+/// [`ServerHandle::wait`] blocks forever (the `tpn serve` foreground
+/// mode).
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting, drain in-flight connections, join the threads.
+    pub fn shutdown(mut self) {
+        self.stop_now();
+    }
+
+    /// Block until the server exits (it only exits via shutdown, so
+    /// this parks the caller for the server's lifetime).
+    pub fn wait(mut self) {
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+
+    fn stop_now(&mut self) {
+        if let Some(t) = self.accept_thread.take() {
+            self.stop.store(true, Ordering::SeqCst);
+            // Unblock the blocking accept() with a no-op connection.
+            // A wildcard bind (0.0.0.0/[::]) is not connectable on
+            // every platform — dial loopback on the bound port instead.
+            let mut wake = self.addr;
+            if wake.ip().is_unspecified() {
+                wake.set_ip(match wake {
+                    SocketAddr::V4(_) => std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST),
+                    SocketAddr::V6(_) => std::net::IpAddr::V6(std::net::Ipv6Addr::LOCALHOST),
+                });
+            }
+            // Retry briefly: under fd exhaustion the first connects can
+            // fail while the accept loop is backing off on errors.
+            for _ in 0..50 {
+                if TcpStream::connect(wake).is_ok() || t.is_finished() {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop_now();
+    }
+}
+
+/// Bind `addr` and serve `service` until the handle is shut down.
+pub fn spawn(service: Arc<Service>, addr: &str) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop2 = Arc::clone(&stop);
+    let accept_thread = std::thread::Builder::new()
+        .name("tpn-accept".to_string())
+        .spawn(move || {
+            // The pool lives (and dies, draining its queue) with the
+            // accept loop.
+            let pool = ThreadPool::new(service.config.threads, service.config.queue_cap);
+            loop {
+                let stream = match listener.accept() {
+                    Ok((stream, _)) => stream,
+                    Err(_) => {
+                        // Transient failures (e.g. EMFILE under fd
+                        // exhaustion) return immediately: back off so
+                        // the loop cannot pin a core, and honour the
+                        // stop flag here too — under exhaustion the
+                        // shutdown wake-up connection itself may fail.
+                        if stop2.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        std::thread::sleep(Duration::from_millis(10));
+                        continue;
+                    }
+                };
+                if stop2.load(Ordering::SeqCst) {
+                    break;
+                }
+                let service = Arc::clone(&service);
+                if pool
+                    .execute(move || handle_connection(&service, stream))
+                    .is_err()
+                {
+                    break;
+                }
+            }
+        })?;
+    Ok(ServerHandle {
+        addr: local,
+        stop,
+        accept_thread: Some(accept_thread),
+    })
+}
+
+/// One parsed request.
+struct Request {
+    method: String,
+    path: String,
+    query: Vec<(String, String)>,
+    body: Vec<u8>,
+}
+
+enum ReadError {
+    /// Protocol violation worth a 400.
+    Malformed(String),
+    /// Body larger than the configured cap: 413.
+    TooLarge,
+    /// A protocol feature this server does not implement: 501.
+    Unsupported(String),
+    /// Transport failure; nothing sensible to reply.
+    Io,
+}
+
+const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// Overall per-request read deadline. The socket read timeout only
+/// bounds *each* read; this bounds the total, so a slow-drip client
+/// (one byte per read-timeout window) cannot hold a worker past it.
+const READ_DEADLINE: Duration = Duration::from_secs(30);
+
+/// One bounded read appended to `buf`: enforces the overall deadline
+/// and maps EOF to `eof_error`.
+fn read_some(
+    stream: &mut TcpStream,
+    buf: &mut Vec<u8>,
+    deadline: std::time::Instant,
+    eof_error: ReadError,
+) -> Result<(), ReadError> {
+    if std::time::Instant::now() > deadline {
+        return Err(ReadError::Malformed(
+            "request read deadline exceeded".into(),
+        ));
+    }
+    let mut chunk = [0u8; 4096];
+    match stream.read(&mut chunk) {
+        Ok(0) => Err(eof_error),
+        Ok(n) => {
+            buf.extend_from_slice(&chunk[..n]);
+            Ok(())
+        }
+        Err(_) => Err(ReadError::Io),
+    }
+}
+
+fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, ReadError> {
+    let deadline = std::time::Instant::now() + READ_DEADLINE;
+    // Accumulate until the blank line ending the header section.
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let head_end = loop {
+        if let Some(pos) = find_double_crlf(&buf) {
+            break pos;
+        }
+        if buf.len() > MAX_HEAD_BYTES {
+            return Err(ReadError::Malformed("header section too large".into()));
+        }
+        read_some(stream, &mut buf, deadline, ReadError::Io)?;
+    };
+    let head = String::from_utf8_lossy(&buf[..head_end]).into_owned();
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or_default();
+    let mut parts = request_line.split(' ');
+    let method = parts
+        .next()
+        .filter(|m| !m.is_empty())
+        .ok_or_else(|| ReadError::Malformed("empty request line".into()))?
+        .to_string();
+    let target = parts
+        .next()
+        .ok_or_else(|| ReadError::Malformed("missing request target".into()))?;
+    let version = parts
+        .next()
+        .ok_or_else(|| ReadError::Malformed("missing HTTP version".into()))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(ReadError::Malformed(format!("unsupported {version}")));
+    }
+    let (path, query_str) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    let query: Vec<(String, String)> = query_str
+        .split('&')
+        .filter(|kv| !kv.is_empty())
+        .map(|kv| match kv.split_once('=') {
+            Some((k, v)) => (k.to_string(), v.to_string()),
+            None => (kv.to_string(), String::new()),
+        })
+        .collect();
+    let mut content_length = 0usize;
+    let mut expects_continue = false;
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            let name = name.trim();
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| ReadError::Malformed("bad Content-Length".into()))?;
+            } else if name.eq_ignore_ascii_case("transfer-encoding")
+                && !value.trim().eq_ignore_ascii_case("identity")
+            {
+                // Bodies are framed by Content-Length only; silently
+                // reading a chunked body as empty would mis-serve a
+                // well-formed request (RFC 7230 §3.3.1: respond 501).
+                return Err(ReadError::Unsupported(format!(
+                    "Transfer-Encoding {:?} not supported; use Content-Length",
+                    value.trim()
+                )));
+            } else if name.eq_ignore_ascii_case("expect")
+                && value.trim().eq_ignore_ascii_case("100-continue")
+            {
+                expects_continue = true;
+            }
+        }
+    }
+    if content_length > max_body {
+        return Err(ReadError::TooLarge);
+    }
+    let mut body = buf[head_end + 4..].to_vec();
+    // curl sends `Expect: 100-continue` for bodies over ~1 KiB and
+    // waits for the interim response before transmitting the body.
+    if expects_continue && body.len() < content_length {
+        if stream.write_all(b"HTTP/1.1 100 Continue\r\n\r\n").is_err() {
+            return Err(ReadError::Io);
+        }
+        let _ = stream.flush();
+    }
+    while body.len() < content_length {
+        read_some(
+            stream,
+            &mut body,
+            deadline,
+            ReadError::Malformed("truncated body".into()),
+        )?;
+    }
+    body.truncate(content_length);
+    Ok(Request {
+        method,
+        path: path.to_string(),
+        query,
+        body,
+    })
+}
+
+fn find_double_crlf(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        501 => "Not Implemented",
+        _ => "Internal Server Error",
+    }
+}
+
+fn write_response(stream: &mut TcpStream, status: u16, body: &str) {
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        status,
+        reason(status),
+        body.len()
+    );
+    let _ = stream.write_all(head.as_bytes());
+    let _ = stream.write_all(body.as_bytes());
+    let _ = stream.flush();
+}
+
+/// Parse a `u64` query parameter, defaulting when absent.
+fn query_u64(req: &Request, name: &str, default: u64) -> Result<u64, ServiceError> {
+    match req.query.iter().find(|(k, _)| k == name) {
+        None => Ok(default),
+        Some((_, v)) => v
+            .parse()
+            .map_err(|_| ServiceError::BadRequest(format!("bad {name} value {v:?}"))),
+    }
+}
+
+fn handle_connection(service: &Service, mut stream: TcpStream) {
+    // Per-read/-write socket timeouts plus the overall READ_DEADLINE
+    // in read_request bound how long any client — silent, slow-drip,
+    // or never reading — can hold a worker thread.
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+    let req = match read_request(&mut stream, service.config.max_body_bytes) {
+        Ok(req) => req,
+        Err(ReadError::Malformed(m)) => {
+            write_response(&mut stream, 400, &error_body(&m));
+            return;
+        }
+        Err(ReadError::TooLarge) => {
+            write_response(&mut stream, 413, &error_body("request body too large"));
+            return;
+        }
+        Err(ReadError::Unsupported(m)) => {
+            write_response(&mut stream, 501, &error_body(&m));
+            return;
+        }
+        Err(ReadError::Io) => return,
+    };
+    let (status, body) = route(service, &req);
+    write_response(&mut stream, status, &body);
+}
+
+/// Dispatch one request to its endpoint.
+fn route(service: &Service, req: &Request) -> (u16, Arc<String>) {
+    const ANALYSES: [&str; 5] = [
+        "/analyze",
+        "/graph",
+        "/correctness",
+        "/invariants",
+        "/simulate",
+    ];
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => (200, Arc::new(Service::health_json())),
+        ("GET", "/stats") => (200, Arc::new(service.stats_json())),
+        ("POST", path) if ANALYSES.contains(&path) => {
+            let kind = match analysis_kind(req) {
+                Ok(kind) => kind,
+                Err(e) => return (e.status(), Arc::new(error_body(&e.to_string()))),
+            };
+            if let RequestKind::Simulate { events, .. } = kind {
+                if events > service.config.max_sim_events {
+                    let e = ServiceError::BadRequest(format!(
+                        "events {events} exceeds the limit {}",
+                        service.config.max_sim_events
+                    ));
+                    return (e.status(), Arc::new(error_body(&e.to_string())));
+                }
+            }
+            match std::str::from_utf8(&req.body) {
+                Ok(text) => service.respond(kind, text),
+                Err(_) => (400, Arc::new(error_body("request body is not UTF-8"))),
+            }
+        }
+        (_, path) if ANALYSES.contains(&path) || path == "/healthz" || path == "/stats" => (
+            405,
+            Arc::new(error_body(&format!("method {} not allowed", req.method))),
+        ),
+        (_, path) => (
+            404,
+            Arc::new(error_body(&format!("no such endpoint {path}"))),
+        ),
+    }
+}
+
+fn analysis_kind(req: &Request) -> Result<RequestKind, ServiceError> {
+    Ok(match req.path.as_str() {
+        "/analyze" => RequestKind::Analyze,
+        "/graph" => RequestKind::Graph,
+        "/correctness" => RequestKind::Correctness,
+        "/invariants" => RequestKind::Invariants,
+        "/simulate" => RequestKind::Simulate {
+            events: query_u64(req, "events", crate::analysis::DEFAULT_SIM_EVENTS)?,
+            seed: query_u64(req, "seed", crate::analysis::DEFAULT_SIM_SEED)?,
+        },
+        other => {
+            return Err(ServiceError::BadRequest(format!(
+                "no such endpoint {other}"
+            )))
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CYCLE: &str = "net c\nplace a init 1\nplace b\n\
+        trans go in a out b firing 2\ntrans back in b out a firing 3";
+
+    #[test]
+    fn respond_caches_by_content() {
+        let svc = Service::new(ServiceConfig::default());
+        let (s1, b1) = svc.respond(RequestKind::Analyze, CYCLE);
+        assert_eq!(s1, 200);
+        // same net, different declaration order → same digest → hit
+        let permuted = "net c\nplace b\nplace a init 1\n\
+            trans back in b out a firing 3\ntrans go in a out b firing 2";
+        let (s2, b2) = svc.respond(RequestKind::Analyze, permuted);
+        assert_eq!(s2, 200);
+        assert_eq!(b1, b2, "cache hit must be byte-identical");
+        let stats = svc.cache().stats();
+        assert_eq!(stats.computations, 1);
+        assert_eq!(stats.hits, 1);
+    }
+
+    #[test]
+    fn respond_maps_errors_to_statuses() {
+        let svc = Service::new(ServiceConfig::default());
+        let (status, body) = svc.respond(RequestKind::Analyze, "not a net");
+        assert_eq!(status, 400);
+        assert!(body.contains("parse error"), "{body}");
+        let (status, body) = svc.respond(
+            RequestKind::Analyze,
+            "net d\nplace a init 1\nplace b\ntrans t in a out b firing 1",
+        );
+        assert_eq!(status, 422);
+        assert!(body.contains("analysis error"), "{body}");
+    }
+
+    #[test]
+    fn stats_json_shape() {
+        let svc = Service::new(ServiceConfig::default());
+        let (_, _) = svc.respond(RequestKind::Graph, CYCLE);
+        let stats = svc.stats_json();
+        assert!(stats.contains(r#""requests":1"#), "{stats}");
+        assert!(stats.contains(r#""computations":1"#), "{stats}");
+        assert!(stats.contains(r#""threads":4"#), "{stats}");
+    }
+
+    #[test]
+    fn query_parsing() {
+        let req = Request {
+            method: "POST".into(),
+            path: "/simulate".into(),
+            query: vec![("events".into(), "100".into()), ("seed".into(), "7".into())],
+            body: Vec::new(),
+        };
+        assert_eq!(
+            analysis_kind(&req).unwrap(),
+            RequestKind::Simulate {
+                events: 100,
+                seed: 7
+            }
+        );
+        let bad = Request {
+            method: "POST".into(),
+            path: "/simulate".into(),
+            query: vec![("events".into(), "many".into())],
+            body: Vec::new(),
+        };
+        assert!(analysis_kind(&bad).is_err());
+    }
+
+    #[test]
+    fn double_crlf_scanner() {
+        assert_eq!(find_double_crlf(b"a\r\n\r\nbody"), Some(1));
+        assert_eq!(find_double_crlf(b"no end"), None);
+    }
+}

@@ -1,0 +1,260 @@
+//! A minimal hand-rolled JSON writer (no serde; the workspace has no
+//! registry access).
+//!
+//! [`JsonWriter`] produces *compact* JSON — no whitespace, one line —
+//! so response bodies are cheap to compare byte-for-byte and embed as
+//! sub-objects of other documents (`tpn batch` relies on this). Comma
+//! placement is tracked by a container stack; string escaping covers
+//! the mandatory set (`"`+`\` plus control characters as `\u00XX`).
+//!
+//! Numbers: integers are written exactly; [`tpn_rational::Rational`]
+//! values are written as their exact `"n/d"` string rendering (an
+//! `i128` numerator does not fit a JSON double), with a separate
+//! [`JsonWriter::fixed`] helper for 6-decimal approximations where a
+//! human-scale number is wanted.
+
+use std::fmt::Write as _;
+
+use tpn_rational::Rational;
+
+/// Escape `s` as a JSON string literal, quotes included.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// What container the writer is currently inside.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Frame {
+    Object,
+    Array,
+}
+
+/// An append-only compact-JSON builder.
+///
+/// ```
+/// use tpn_service::json::JsonWriter;
+///
+/// let mut w = JsonWriter::new();
+/// w.begin_object();
+/// w.key("name");
+/// w.string("fig1");
+/// w.key("states");
+/// w.uint(18);
+/// w.end_object();
+/// assert_eq!(w.finish(), r#"{"name":"fig1","states":18}"#);
+/// ```
+#[derive(Default)]
+pub struct JsonWriter {
+    out: String,
+    // (container, has at least one element/member)
+    stack: Vec<(Frame, bool)>,
+    // `key()` was just written; the next value completes the member
+    pending_key: bool,
+}
+
+impl JsonWriter {
+    /// A fresh writer.
+    pub fn new() -> JsonWriter {
+        JsonWriter::default()
+    }
+
+    /// The finished document.
+    ///
+    /// # Panics
+    /// Panics if containers are still open — that is a serialization
+    /// bug, not an input error.
+    pub fn finish(self) -> String {
+        assert!(
+            self.stack.is_empty() && !self.pending_key,
+            "unbalanced JSON writer"
+        );
+        self.out
+    }
+
+    /// Separator bookkeeping before a value (or container opening).
+    fn before_value(&mut self) {
+        if self.pending_key {
+            self.pending_key = false;
+            return;
+        }
+        if let Some((frame, has)) = self.stack.last_mut() {
+            debug_assert!(
+                *frame == Frame::Array,
+                "object members need key() before the value"
+            );
+            if *has {
+                self.out.push(',');
+            }
+            *has = true;
+        }
+    }
+
+    /// Start a member of the current object: writes `"k":`.
+    pub fn key(&mut self, k: &str) {
+        let (frame, has) = self.stack.last_mut().expect("key() outside an object");
+        debug_assert!(*frame == Frame::Object, "key() inside an array");
+        if *has {
+            self.out.push(',');
+        }
+        *has = true;
+        self.out.push_str(&escape(k));
+        self.out.push(':');
+        self.pending_key = true;
+    }
+
+    /// Open `{`.
+    pub fn begin_object(&mut self) {
+        self.before_value();
+        self.out.push('{');
+        self.stack.push((Frame::Object, false));
+    }
+
+    /// Close `}`.
+    pub fn end_object(&mut self) {
+        let popped = self.stack.pop();
+        debug_assert!(matches!(popped, Some((Frame::Object, _))));
+        self.out.push('}');
+    }
+
+    /// Open `[`.
+    pub fn begin_array(&mut self) {
+        self.before_value();
+        self.out.push('[');
+        self.stack.push((Frame::Array, false));
+    }
+
+    /// Close `]`.
+    pub fn end_array(&mut self) {
+        let popped = self.stack.pop();
+        debug_assert!(matches!(popped, Some((Frame::Array, _))));
+        self.out.push(']');
+    }
+
+    /// A string value.
+    pub fn string(&mut self, s: &str) {
+        self.before_value();
+        let escaped = escape(s);
+        self.out.push_str(&escaped);
+    }
+
+    /// An unsigned integer value.
+    pub fn uint(&mut self, n: u64) {
+        self.before_value();
+        let _ = write!(self.out, "{n}");
+    }
+
+    /// A signed (possibly 128-bit) integer value.
+    pub fn int(&mut self, n: i128) {
+        self.before_value();
+        let _ = write!(self.out, "{n}");
+    }
+
+    /// A boolean value.
+    pub fn bool(&mut self, b: bool) {
+        self.before_value();
+        self.out.push_str(if b { "true" } else { "false" });
+    }
+
+    /// A fixed-point decimal with `digits` fractional digits — the JSON
+    /// counterpart of the CLI's `{:.6}` throughput rendering.
+    pub fn fixed(&mut self, x: f64, digits: usize) {
+        self.before_value();
+        let _ = write!(self.out, "{x:.digits$}");
+    }
+
+    /// An exact rational as its `"n/d"` (or `"n"` when integral)
+    /// string rendering.
+    pub fn rational(&mut self, r: &Rational) {
+        self.before_value();
+        let rendered = r.to_string();
+        self.out.push_str(&escape(&rendered));
+    }
+}
+
+/// The canonical error body `{"error":"…"}` used by every endpoint.
+pub fn error_body(message: &str) -> String {
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.key("error");
+    w.string(message);
+    w.end_object();
+    w.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nested_containers_and_commas() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("a");
+        w.begin_array();
+        w.uint(1);
+        w.int(-2);
+        w.bool(true);
+        w.begin_object();
+        w.key("x");
+        w.string("y");
+        w.end_object();
+        w.end_array();
+        w.key("b");
+        w.rational(&Rational::new(1067, 10));
+        w.key("c");
+        w.fixed(0.0028518, 6);
+        w.end_object();
+        assert_eq!(
+            w.finish(),
+            r#"{"a":[1,-2,true,{"x":"y"}],"b":"1067/10","c":0.002852}"#
+        );
+    }
+
+    #[test]
+    fn escaping() {
+        assert_eq!(escape("a\"b\\c\n"), r#""a\"b\\c\n""#);
+        assert_eq!(escape("\u{1}"), "\"\\u0001\"");
+        assert_eq!(escape("héllo"), "\"héllo\"");
+    }
+
+    #[test]
+    fn error_body_shape() {
+        assert_eq!(
+            error_body("no \"such\" net"),
+            r#"{"error":"no \"such\" net"}"#
+        );
+    }
+
+    #[test]
+    fn integral_rational_renders_without_denominator() {
+        let mut w = JsonWriter::new();
+        w.begin_array();
+        w.rational(&Rational::from_int(5));
+        w.end_array();
+        assert_eq!(w.finish(), r#"["5"]"#);
+    }
+
+    #[test]
+    #[should_panic(expected = "unbalanced")]
+    fn unbalanced_writer_is_a_bug() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        let _ = w.finish();
+    }
+}

@@ -1,0 +1,60 @@
+//! `tpn-service` — the analysis daemon.
+//!
+//! Every `tpn` CLI invocation re-parses its net and re-runs the full
+//! exact pipeline from scratch. This crate turns the workspace into a
+//! *serving* system: a request/response front end where repeated and
+//! concurrent analyses of the same net are answered from a
+//! content-addressed result cache. Layers, bottom-up:
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`json`] | compact hand-rolled JSON writer (std-only, no serde) |
+//! | [`analysis`] | request kinds and their JSON renderings |
+//! | [`cache`] | sharded LRU result cache keyed by [`tpn_net::NetDigest`], with request coalescing |
+//! | [`executor`] | fixed thread pool over a bounded work queue |
+//! | [`http`] | hand-rolled HTTP/1.1 server over [`std::net::TcpListener`] |
+//!
+//! The cache key is `(net content digest, request kind)`: the digest is
+//! declaration-order-independent, so any `.tpn` text describing the
+//! same net shares a cache line, and concurrent identical requests are
+//! coalesced into a single pipeline execution.
+//!
+//! # In-process use
+//!
+//! ```
+//! use tpn_service::{RequestKind, Service, ServiceConfig};
+//!
+//! let service = Service::new(ServiceConfig::default());
+//! let net = "net c\nplace a init 1\nplace b\n\
+//!            trans go in a out b firing 2\ntrans back in b out a firing 3";
+//! let (status, body) = service.respond(RequestKind::Analyze, net);
+//! assert_eq!(status, 200);
+//! assert!(body.contains("\"total_weight\":\"5\""));
+//! // the second request is a cache hit: byte-identical, no recompute
+//! let (_, again) = service.respond(RequestKind::Analyze, net);
+//! assert_eq!(body, again);
+//! assert_eq!(service.cache().stats().computations, 1);
+//! ```
+//!
+//! # As a daemon
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use tpn_service::{spawn, Service, ServiceConfig};
+//!
+//! let service = Arc::new(Service::new(ServiceConfig::default()));
+//! let handle = spawn(service, "127.0.0.1:7070").unwrap();
+//! println!("serving on {}", handle.addr());
+//! handle.wait(); // forever (shutdown comes from dropping the handle)
+//! ```
+
+pub mod analysis;
+pub mod cache;
+pub mod executor;
+pub mod http;
+pub mod json;
+
+pub use analysis::{run, RequestKind, ServiceError, DEFAULT_SIM_EVENTS, DEFAULT_SIM_SEED};
+pub use cache::{AnalysisCache, CacheConfig, CacheKey, CacheStats};
+pub use executor::{PoolClosed, ThreadPool};
+pub use http::{spawn, ServerHandle, Service, ServiceConfig};

@@ -8,17 +8,100 @@
 //! tpn correctness <net.tpn>             deadlock/safeness/liveness report
 //! tpn invariants <net.tpn>              P- and T-semiflows
 //! tpn simulate <net.tpn> [EVENTS [SEED]]  Monte-Carlo run
+//! tpn serve <addr> [OPTIONS]            HTTP analysis daemon (JSON API)
+//! tpn batch <dir> [KIND]                analyze every .tpn in a directory (JSON lines)
 //! ```
 //!
-//! Nets use the `.tpn` text format documented in `tpn-net` (see the
-//! README for an example). All analysis commands require fully timed
-//! nets; symbolic analysis is a library-level feature (constraint sets
-//! have no text syntax yet).
+//! `tpn --help` prints the command table, `tpn help <command>` (or
+//! `tpn <command> --help`) the per-command usage. Nets use the `.tpn`
+//! text format documented in `tpn-net` (see the README for an
+//! example). All analysis commands require fully timed nets; symbolic
+//! analysis is a library-level feature (constraint sets have no text
+//! syntax yet).
 
 use std::process::ExitCode;
+use std::sync::Arc;
 
 use timed_petri::prelude::*;
 use tpn_net::invariant;
+use tpn_service::{
+    json, RequestKind, Service, ServiceConfig, DEFAULT_SIM_EVENTS, DEFAULT_SIM_SEED,
+};
+
+/// One subcommand's name, usage line and summary.
+struct CommandHelp {
+    name: &'static str,
+    usage: &'static str,
+    summary: &'static str,
+}
+
+const COMMANDS: &[CommandHelp] = &[
+    CommandHelp {
+        name: "show",
+        usage: "tpn show <net.tpn>",
+        summary: "print the parsed net and its structural statistics",
+    },
+    CommandHelp {
+        name: "dot",
+        usage: "tpn dot <net.tpn>",
+        summary: "Graphviz rendering of the net",
+    },
+    CommandHelp {
+        name: "graph",
+        usage: "tpn graph <net.tpn>",
+        summary: "timed reachability graph (state table + dot)",
+    },
+    CommandHelp {
+        name: "analyze",
+        usage: "tpn analyze <net.tpn> [TRANSITION..]",
+        summary: "decision graph, traversal rates and throughputs (optionally only the named transitions)",
+    },
+    CommandHelp {
+        name: "correctness",
+        usage: "tpn correctness <net.tpn>",
+        summary: "deadlock/safeness/liveness/reversibility report",
+    },
+    CommandHelp {
+        name: "invariants",
+        usage: "tpn invariants <net.tpn>",
+        summary: "P- and T-semiflows of the net",
+    },
+    CommandHelp {
+        name: "simulate",
+        usage: "tpn simulate <net.tpn> [EVENTS [SEED]]",
+        summary: "Monte-Carlo run (defaults: 1000000 events, seed 0x5EED)",
+    },
+    CommandHelp {
+        name: "serve",
+        usage: "tpn serve <addr> [--threads N] [--queue N] [--cache-bytes N]",
+        summary: "HTTP analysis daemon with a content-addressed result cache",
+    },
+    CommandHelp {
+        name: "batch",
+        usage: "tpn batch <dir> [analyze|graph|correctness|invariants|simulate]",
+        summary: "run one analysis over every .tpn file in a directory, one JSON line per file",
+    },
+];
+
+fn command_help(name: &str) -> Option<&'static CommandHelp> {
+    COMMANDS.iter().find(|c| c.name == name)
+}
+
+fn usage_of(name: &str) -> String {
+    let c = command_help(name).expect("known command");
+    format!("usage: {}\n  {}", c.usage, c.summary)
+}
+
+fn global_usage() -> String {
+    let mut out = String::from(
+        "usage: tpn <COMMAND> [ARGS]\n       tpn help [COMMAND] | tpn --version\n\ncommands:\n",
+    );
+    for c in COMMANDS {
+        out.push_str(&format!("  {:<12} {}\n", c.name, c.summary));
+    }
+    out.push_str("\nNets use the line-oriented .tpn format (see the README).");
+    out
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -52,12 +135,43 @@ fn pipeline(net: &TimedPetriNet) -> Result<NumericPipeline, String> {
 }
 
 fn run(args: &[String]) -> Result<(), String> {
-    let usage =
-        "usage: tpn <show|dot|graph|analyze|correctness|invariants|simulate> <net.tpn> [args]";
-    let cmd = args.first().ok_or(usage)?;
-    let path = args.get(1).ok_or(usage)?;
+    let cmd = match args.first() {
+        Some(c) => c.as_str(),
+        None => return Err(global_usage()),
+    };
+    match cmd {
+        "--version" | "-V" | "version" => {
+            println!("tpn {}", env!("CARGO_PKG_VERSION"));
+            return Ok(());
+        }
+        "--help" | "-h" | "help" => {
+            match args.get(1) {
+                Some(name) => match command_help(name) {
+                    Some(_) => println!("{}", usage_of(name)),
+                    None => return Err(format!("unknown command {name:?}\n{}", global_usage())),
+                },
+                None => println!("{}", global_usage()),
+            }
+            return Ok(());
+        }
+        _ => {}
+    }
+    if command_help(cmd).is_none() {
+        return Err(format!("unknown command {cmd:?}\n{}", global_usage()));
+    }
+    // `tpn <command> --help` prints that command's usage.
+    if args[1..].iter().any(|a| a == "--help" || a == "-h") {
+        println!("{}", usage_of(cmd));
+        return Ok(());
+    }
+    match cmd {
+        "serve" => return cmd_serve(&args[1..]),
+        "batch" => return cmd_batch(&args[1..]),
+        _ => {}
+    }
+    let path = args.get(1).ok_or_else(|| usage_of(cmd))?;
     let net = load(path)?;
-    match cmd.as_str() {
+    match cmd {
         "show" => {
             print!("{net}");
             let s = net.stats();
@@ -65,6 +179,7 @@ fn run(args: &[String]) -> Result<(), String> {
                 "\n{} places, {} transitions, {} arcs, {} conflict sets ({} non-trivial), {} initial tokens",
                 s.places, s.transitions, s.arcs, s.conflict_sets, s.nontrivial_conflict_sets, s.initial_tokens
             );
+            println!("digest {}", net.digest());
             Ok(())
         }
         "dot" => {
@@ -167,12 +282,12 @@ fn run(args: &[String]) -> Result<(), String> {
                 .get(2)
                 .map(|s| s.parse().map_err(|_| format!("bad event count {s:?}")))
                 .transpose()?
-                .unwrap_or(1_000_000);
+                .unwrap_or(DEFAULT_SIM_EVENTS);
             let seed: u64 = args
                 .get(3)
                 .map(|s| s.parse().map_err(|_| format!("bad seed {s:?}")))
                 .transpose()?
-                .unwrap_or(0x5EED);
+                .unwrap_or(DEFAULT_SIM_SEED);
             let stats = simulate(
                 &net,
                 &SimOptions {
@@ -185,6 +300,112 @@ fn run(args: &[String]) -> Result<(), String> {
             print!("{}", stats.describe(&net));
             Ok(())
         }
-        other => Err(format!("unknown command {other:?}\n{usage}")),
+        // Reached only if COMMANDS gains an entry without a match arm:
+        // degrade to the error path rather than panicking.
+        other => Err(format!("unknown command {other:?}\n{}", global_usage())),
     }
+}
+
+/// `tpn serve <addr> [--threads N] [--queue N] [--cache-bytes N]`
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let mut addr: Option<&str> = None;
+    let mut config = ServiceConfig::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut flag_value = |name: &str| -> Result<usize, String> {
+            let v = it
+                .next()
+                .ok_or_else(|| format!("{name} needs a value\n{}", usage_of("serve")))?;
+            v.parse()
+                .map_err(|_| format!("bad {name} value {v:?}\n{}", usage_of("serve")))
+        };
+        match arg.as_str() {
+            "--threads" => config.threads = flag_value("--threads")?,
+            "--queue" => config.queue_cap = flag_value("--queue")?,
+            "--cache-bytes" => config.cache.byte_budget = flag_value("--cache-bytes")?,
+            flag if flag.starts_with('-') => {
+                return Err(format!("unknown flag {flag:?}\n{}", usage_of("serve")))
+            }
+            a if addr.is_none() => addr = Some(a),
+            extra => {
+                return Err(format!(
+                    "unexpected argument {extra:?}\n{}",
+                    usage_of("serve")
+                ))
+            }
+        }
+    }
+    let addr = addr.ok_or_else(|| usage_of("serve"))?;
+    let service = Arc::new(Service::new(config));
+    let handle = tpn_service::spawn(service, addr).map_err(|e| format!("{addr}: {e}"))?;
+    println!("tpn-service listening on http://{}", handle.addr());
+    println!(
+        "endpoints: POST /analyze /graph /correctness /invariants /simulate · GET /healthz /stats"
+    );
+    handle.wait();
+    Ok(())
+}
+
+/// `tpn batch <dir> [KIND]` — one JSON line per `.tpn` file. Identical
+/// nets (by content digest) are computed once thanks to the shared
+/// result cache.
+fn cmd_batch(args: &[String]) -> Result<(), String> {
+    let dir = args.first().ok_or_else(|| usage_of("batch"))?;
+    let kind = match args.get(1).map(String::as_str) {
+        None | Some("analyze") => RequestKind::Analyze,
+        Some("graph") => RequestKind::Graph,
+        Some("correctness") => RequestKind::Correctness,
+        Some("invariants") => RequestKind::Invariants,
+        Some("simulate") => RequestKind::Simulate {
+            events: DEFAULT_SIM_EVENTS,
+            seed: DEFAULT_SIM_SEED,
+        },
+        Some(other) => return Err(format!("unknown analysis {other:?}\n{}", usage_of("batch"))),
+    };
+    let mut files: Vec<std::path::PathBuf> = std::fs::read_dir(dir)
+        .map_err(|e| format!("{dir}: {e}"))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|ext| ext == "tpn"))
+        .collect();
+    files.sort();
+    if files.is_empty() {
+        return Err(format!("{dir}: no .tpn files"));
+    }
+    let service = Service::new(ServiceConfig::default());
+    let mut failures = 0usize;
+    for path in &files {
+        let name = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        let line = match std::fs::read_to_string(path) {
+            Err(e) => {
+                failures += 1;
+                format!(
+                    "{{\"file\":{},\"error\":{}}}",
+                    json::escape(&name),
+                    json::escape(&e.to_string())
+                )
+            }
+            Ok(src) => {
+                let (status, body) = service.respond(kind, &src);
+                if status == 200 {
+                    // `body` already carries the digest; wrap it verbatim.
+                    format!("{{\"file\":{},\"result\":{body}}}", json::escape(&name))
+                } else {
+                    failures += 1;
+                    // body is the {"error":…} document
+                    format!(
+                        "{{\"file\":{},\"status\":{status},\"result\":{body}}}",
+                        json::escape(&name)
+                    )
+                }
+            }
+        };
+        println!("{line}");
+    }
+    if failures > 0 {
+        return Err(format!("{failures} of {} file(s) failed", files.len()));
+    }
+    Ok(())
 }

@@ -20,6 +20,7 @@
 //! | [`core`] | `tpn-core` | decision graphs, traversal rates, performance expressions |
 //! | [`sim`] | `tpn-sim` | discrete-event Monte-Carlo validation |
 //! | [`protocols`] | `tpn-protocols` | the paper's nets and parametric families |
+//! | [`service`] | `tpn-service` | analysis daemon: result cache, thread pool, HTTP + JSON |
 //!
 //! # Quickstart
 //!
@@ -50,6 +51,7 @@ pub use tpn_net as net;
 pub use tpn_protocols as protocols;
 pub use tpn_rational as rational;
 pub use tpn_reach as reach;
+pub use tpn_service as service;
 pub use tpn_sim as sim;
 pub use tpn_symbolic as symbolic;
 
@@ -63,6 +65,7 @@ pub mod prelude {
     pub use tpn_reach::{
         analyze, build_trg, Interval, IntervalDomain, NumericDomain, SymbolicDomain, TrgOptions,
     };
+    pub use tpn_service::{RequestKind, Service, ServiceConfig};
     pub use tpn_sim::{simulate, SimOptions};
     pub use tpn_symbolic::{Assignment, ConstraintSet, LinExpr, Poly, RatFn, Symbol};
 }

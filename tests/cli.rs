@@ -112,3 +112,91 @@ fn bad_usage_fails_cleanly() {
     assert!(!tpn(&["frobnicate", &fixture()]).status.success());
     assert!(!tpn(&["show", "/nonexistent/net.tpn"]).status.success());
 }
+
+#[test]
+fn version_flag() {
+    let out = stdout_of(&["--version"]);
+    assert!(out.starts_with("tpn "), "{out}");
+    assert_eq!(out, stdout_of(&["-V"]));
+}
+
+#[test]
+fn global_help_lists_every_command() {
+    let out = stdout_of(&["--help"]);
+    for cmd in [
+        "show",
+        "dot",
+        "graph",
+        "analyze",
+        "correctness",
+        "invariants",
+        "simulate",
+        "serve",
+        "batch",
+    ] {
+        assert!(out.contains(cmd), "{cmd} listed in:\n{out}");
+    }
+    assert_eq!(out, stdout_of(&["help"]));
+}
+
+#[test]
+fn help_text_matches_the_shared_simulate_defaults() {
+    // The defaults live in tpn-service (DEFAULT_SIM_EVENTS/SEED) and
+    // the help summary hardcodes the rendered values; this pins them
+    // together so changing the constants cannot silently leave stale
+    // documentation behind.
+    use timed_petri::service::{DEFAULT_SIM_EVENTS, DEFAULT_SIM_SEED};
+    let out = stdout_of(&["help", "simulate"]);
+    let expected = format!("defaults: {DEFAULT_SIM_EVENTS} events, seed 0x{DEFAULT_SIM_SEED:X}");
+    assert!(out.contains(&expected), "{expected:?} in:\n{out}");
+}
+
+#[test]
+fn per_command_usage_messages() {
+    // `tpn help <cmd>` and `tpn <cmd> --help` print that command's usage
+    let out = stdout_of(&["help", "simulate"]);
+    assert!(
+        out.contains("tpn simulate <net.tpn> [EVENTS [SEED]]"),
+        "{out}"
+    );
+    assert_eq!(out, stdout_of(&["simulate", "--help"]));
+    // a bad invocation fails with the *per-command* usage, not the
+    // global one
+    let out = tpn(&["analyze"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("tpn analyze <net.tpn> [TRANSITION..]"),
+        "{err}"
+    );
+    assert!(
+        !err.contains("tpn show <net.tpn>"),
+        "global table not dumped: {err}"
+    );
+    // unknown help topics fail
+    assert!(!tpn(&["help", "frobnicate"]).status.success());
+}
+
+#[test]
+fn batch_emits_one_json_line_per_file() {
+    let dir = format!("{}/tests/fixtures", env!("CARGO_MANIFEST_DIR"));
+    let out = stdout_of(&["batch", &dir, "correctness"]);
+    let lines: Vec<&str> = out.lines().collect();
+    assert_eq!(lines.len(), 1, "one fixture, one line:\n{out}");
+    assert!(lines[0].contains(r#""file":"fig1.tpn""#), "{out}");
+    assert!(lines[0].contains(r#""kind":"correctness""#), "{out}");
+    assert!(lines[0].contains(r#""digest":""#), "{out}");
+    // bad directory and bad kind fail cleanly
+    assert!(!tpn(&["batch", "/nonexistent-dir"]).status.success());
+    assert!(!tpn(&["batch", &dir, "frobnicate"]).status.success());
+}
+
+#[test]
+fn show_prints_the_content_digest() {
+    let out = stdout_of(&["show", &fixture()]);
+    let line = out
+        .lines()
+        .find(|l| l.starts_with("digest "))
+        .expect("digest line");
+    assert_eq!(line.len(), "digest ".len() + 32, "{line}");
+}
