@@ -1,0 +1,177 @@
+//! E12 — compiled expression evaluation vs exact `RatFn::eval`, and
+//! parallel sweep throughput (points/second).
+//!
+//! Three tiers, measured on the paper's Figure-1 symbolic throughput
+//! expression (all 14 timing/frequency symbols free) and on the
+//! alternating-bit protocol's delivery throughput (12 attributes
+//! lifted):
+//!
+//! * `ratfn_eval` — the baseline: exact [`tpn_symbolic::RatFn::eval`]
+//!   at one point (BTreeMap walk + gcd-reducing rational arithmetic);
+//! * `compiled_f64` / `compiled_exact` — the same value through the
+//!   `tpn-eval` bytecode backends (scratch reused, no allocation);
+//! * `sweep` — the full parallel grid engine, points per second at 1
+//!   and 4 threads on a 10 000-point grid of the lifted Figure-1
+//!   expression (the `/sweep` serving shape).
+//!
+//! `BENCH_2.json` records the per-point speedup of `compiled_f64` over
+//! `ratfn_eval` — the acceptance bar is ≥ 50×.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use tpn_core::{solve_rates, DecisionGraph, ExprTarget, Performance};
+use tpn_eval::{sweep_f64, Axis, Compiled, Grid, SweepOptions};
+use tpn_net::{symbols, TimedPetriNet, TransId};
+use tpn_protocols::{abp, simple};
+use tpn_rational::Rational;
+use tpn_reach::{build_trg, AnalysisDomain, LiftedDomain, SymbolicDomain, TrgOptions};
+use tpn_symbolic::{Assignment, RatFn};
+
+/// Derive one throughput expression through a symbolic-probability
+/// domain.
+fn throughput_expr<D>(net: &TimedPetriNet, domain: &D, t: TransId) -> RatFn
+where
+    D: AnalysisDomain<Prob = RatFn>,
+{
+    let trg = build_trg(net, domain, &TrgOptions::default()).expect("trg");
+    let dg = DecisionGraph::from_trg(&trg, domain).expect("decision graph");
+    let rates = solve_rates(&dg, 0).expect("rates");
+    let perf = Performance::new(&dg, rates, domain).expect("performance");
+    perf.export_expr(&dg, &trg, domain, ExprTarget::Throughput(t))
+}
+
+struct Case {
+    label: &'static str,
+    expr: RatFn,
+    at: Assignment,
+}
+
+fn cases() -> Vec<Case> {
+    // Figure 1, fully symbolic (§4): every E/F/f a free symbol.
+    let (proto, cs) = simple::symbolic();
+    let sdomain = SymbolicDomain::new(&proto.net, cs);
+    let fig1 = Case {
+        label: "fig1_symbolic",
+        expr: throughput_expr(&proto.net, &sdomain, proto.t[6]),
+        at: simple::paper_assignment(),
+    };
+    // Alternating-bit protocol with both timeouts, the four medium
+    // loss weights, the four medium transmission times and the two
+    // receive/ack handling times lifted — a
+    // twelve-symbol expression, the kind a design sweep over the robust
+    // protocol asks for.
+    let a = abp::abp(&simple::Params::paper());
+    let params = simple::Params::paper();
+    let lifted = [
+        (symbols::enabling("timeout_0"), params.timeout),
+        (symbols::enabling("timeout_1"), params.timeout),
+        (symbols::frequency("lose_msg_0"), params.packet_loss),
+        (symbols::frequency("lose_msg_1"), params.packet_loss),
+        (symbols::frequency("lose_ack_0"), params.ack_loss),
+        (symbols::frequency("lose_ack_1"), params.ack_loss),
+        (symbols::firing("xmit_msg_0"), params.packet_time),
+        (symbols::firing("xmit_msg_1"), params.packet_time),
+        (symbols::firing("xmit_ack_0"), params.ack_time),
+        (symbols::firing("xmit_ack_1"), params.ack_time),
+        (symbols::firing("recv_0"), params.ack_handling),
+        (symbols::firing("recv_1"), params.ack_handling),
+    ];
+    let swept: Vec<_> = lifted.iter().map(|(s, _)| *s).collect();
+    let ldomain = LiftedDomain::new(&a.net, &swept).expect("liftable");
+    let abp_case = Case {
+        label: "abp_lifted",
+        expr: throughput_expr(&a.net, &ldomain, a.deliveries[0]),
+        at: lifted.into_iter().collect(),
+    };
+    vec![fig1, abp_case]
+}
+
+fn bench_per_point(c: &mut Criterion) {
+    let mut g = c.benchmark_group("eval/per_point");
+    g.throughput(Throughput::Elements(1));
+    for case in cases() {
+        g.bench_with_input(
+            BenchmarkId::new("ratfn_eval", case.label),
+            &case,
+            |b, case| b.iter(|| black_box(&case.expr).eval(black_box(&case.at)).unwrap()),
+        );
+        let compiled = Compiled::compile(std::slice::from_ref(&case.expr));
+        let point_f64: Vec<f64> = compiled
+            .vars()
+            .iter()
+            .map(|s| case.at.get(*s).unwrap().to_f64())
+            .collect();
+        let point_exact: Vec<Rational> = compiled
+            .vars()
+            .iter()
+            .map(|s| *case.at.get(*s).unwrap())
+            .collect();
+        g.bench_with_input(
+            BenchmarkId::new("compiled_f64", case.label),
+            &case,
+            |b, _| {
+                let mut scratch = Vec::new();
+                let mut out = vec![None; 1];
+                b.iter(|| {
+                    compiled.eval_f64(black_box(&point_f64), &mut scratch, &mut out);
+                    black_box(out[0]).unwrap()
+                })
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("compiled_exact", case.label),
+            &case,
+            |b, _| {
+                let mut scratch = Vec::new();
+                let mut out = vec![None; 1];
+                b.iter(|| {
+                    compiled.eval_exact(black_box(&point_exact), &mut scratch, &mut out);
+                    black_box(out[0]).unwrap()
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_sweep(c: &mut Criterion) {
+    // The serving shape: the Figure-1 net with E(t3) and f(t5) lifted
+    // (everything else constant-folded), swept over a 100×100 grid.
+    let proto = simple::paper();
+    let e3 = symbols::enabling("t3");
+    let f5 = symbols::frequency("t5");
+    let domain = LiftedDomain::new(&proto.net, &[e3, f5]).expect("liftable");
+    let expr = throughput_expr(&proto.net, &domain, proto.t[6]);
+    let compiled = Compiled::compile_with_derivatives(std::slice::from_ref(&expr), &[e3, f5]);
+    let grid = Grid::new(vec![
+        Axis::linear(e3, Rational::from_int(300), Rational::from_int(2000), 100),
+        Axis::linear(f5, Rational::new(1, 100), Rational::new(1, 2), 100),
+    ])
+    .expect("grid");
+    let points = grid.num_points();
+    let fixed = Assignment::new();
+    let mut g = c.benchmark_group("eval/sweep_10000pts");
+    g.throughput(Throughput::Elements(points));
+    for threads in [1usize, 4] {
+        g.bench_with_input(
+            BenchmarkId::new("f64_with_derivs", format!("{threads}threads")),
+            &threads,
+            |b, &threads| {
+                let opts = SweepOptions {
+                    threads,
+                    max_points: points,
+                };
+                b.iter(|| {
+                    let rows = sweep_f64(&compiled, &grid, &fixed, &opts).unwrap();
+                    assert_eq!(rows.len(), points as usize);
+                    black_box(rows)
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_per_point, bench_sweep);
+criterion_main!(benches);

@@ -1,0 +1,110 @@
+//! Export of performance measures as closed-form rational functions.
+//!
+//! In a symbolic analysis domain (the fully symbolic
+//! [`SymbolicDomain`](tpn_reach::SymbolicDomain) of §3 or the
+//! numerically guided [`LiftedDomain`](tpn_reach::LiftedDomain)) every
+//! measure a [`Performance`] exposes *is* a [`RatFn`] in the timing and
+//! frequency symbols. This module gives those measures a uniform,
+//! addressable form — an [`ExprTarget`] names one measure, and
+//! [`Performance::export_expr`] returns its closed form — which is what
+//! the compiled-evaluation and parameter-sweep layers (`tpn-eval`, the
+//! daemon's `/sweep` endpoint) consume.
+
+use tpn_net::{PlaceId, TransId};
+use tpn_reach::{AnalysisDomain, TimedReachabilityGraph};
+use tpn_symbolic::RatFn;
+
+use crate::{DecisionGraph, Performance};
+
+/// One exportable performance measure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExprTarget {
+    /// Firings of a transition per unit time
+    /// ([`Performance::throughput`]).
+    Throughput(TransId),
+    /// Steady-state fraction of time a place is marked
+    /// ([`Performance::place_utilization`]).
+    PlaceUtilization(PlaceId),
+    /// Steady-state fraction of time a transition is actively firing
+    /// ([`Performance::transition_utilization`]).
+    TransitionUtilization(TransId),
+    /// The mean recurrence time of the reference edge `Σ wᵢ` — the
+    /// paper's mean cycle time ([`Performance::total_weight`]).
+    CycleTime,
+}
+
+impl<D: AnalysisDomain<Prob = RatFn>> Performance<D> {
+    /// The closed form of one performance measure as a rational
+    /// function of the domain's symbols.
+    pub fn export_expr(
+        &self,
+        dg: &DecisionGraph<D>,
+        trg: &TimedReachabilityGraph<D>,
+        domain: &D,
+        target: ExprTarget,
+    ) -> RatFn {
+        match target {
+            ExprTarget::Throughput(t) => self.throughput(dg, t),
+            ExprTarget::PlaceUtilization(p) => self.place_utilization(dg, trg, domain, p),
+            ExprTarget::TransitionUtilization(t) => self.transition_utilization(dg, trg, domain, t),
+            ExprTarget::CycleTime => self.total_weight().clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solve_rates;
+    use tpn_net::{symbols, NetBuilder};
+    use tpn_rational::Rational;
+    use tpn_reach::{build_trg, LiftedDomain, TrgOptions};
+    use tpn_symbolic::Assignment;
+
+    #[test]
+    fn exported_exprs_instantiate_to_the_numeric_measures() {
+        // succeed (w=3, d=1) vs retry (w=1, d=2), with F(retry) lifted.
+        let mut b = NetBuilder::new("exprs");
+        let p = b.place("p", 1);
+        b.transition("succeed")
+            .input(p)
+            .output(p)
+            .firing_const(1)
+            .weight_const(3)
+            .add();
+        b.transition("retry")
+            .input(p)
+            .output(p)
+            .firing_const(2)
+            .weight_const(1)
+            .add();
+        let net = b.build().unwrap();
+        let fr = symbols::firing("retry");
+        let domain = LiftedDomain::new(&net, &[fr]).unwrap();
+        let trg = build_trg(&net, &domain, &TrgOptions::default()).unwrap();
+        let dg = DecisionGraph::from_trg(&trg, &domain).unwrap();
+        let rates = solve_rates(&dg, 0).unwrap();
+        let perf = Performance::new(&dg, rates, &domain).unwrap();
+        let succeed = net.transition_by_name("succeed").unwrap();
+
+        let th = perf.export_expr(&dg, &trg, &domain, ExprTarget::Throughput(succeed));
+        let cycle = perf.export_expr(&dg, &trg, &domain, ExprTarget::CycleTime);
+        let util = perf.export_expr(
+            &dg,
+            &trg,
+            &domain,
+            ExprTarget::TransitionUtilization(succeed),
+        );
+        // At the base point F(retry)=2 the numeric analysis gives
+        // throughput 3/5, Σw = 5/3 (per reference traversal) and
+        // utilisation 3/5 (see tpn-core's measures tests).
+        let at = Assignment::new().with(fr, Rational::from_int(2));
+        assert_eq!(th.eval(&at), Some(Rational::new(3, 5)));
+        assert_eq!(cycle.eval(&at), Some(Rational::new(5, 3)));
+        assert_eq!(util.eval(&at), Some(Rational::new(3, 5)));
+        // And the closed form moves with the parameter: a slower retry
+        // lowers the success throughput.
+        let slower = Assignment::new().with(fr, Rational::from_int(10));
+        assert!(th.eval(&slower).unwrap() < th.eval(&at).unwrap());
+    }
+}

@@ -1,0 +1,530 @@
+//! Compilation of rational functions into flat arena bytecode.
+//!
+//! [`RatFn::eval`] walks a `BTreeMap` of monomials and performs an
+//! exact `i128` gcd-normalising division per arithmetic step — perfect
+//! for one-off instantiation, far too slow for the thousands of
+//! evaluations a parameter sweep needs. [`Compiled::compile`] lowers a
+//! *set* of rational functions into one flat program of three-address
+//! ops with
+//!
+//! * **Horner-style monomial factoring** — every polynomial is emitted
+//!   as a nested Horner scheme in its most-shared variable, so the op
+//!   count is linear in the number of terms instead of quadratic in the
+//!   degree;
+//! * **common-subexpression elimination** — ops are hash-consed, so
+//!   repeated subexpressions (shared denominators, powers, the numerator
+//!   of an expression and of its derivative) are computed once per
+//!   point across *all* outputs of the set;
+//! * **constant folding** — sub-expressions without symbols collapse to
+//!   constants at compile time.
+//!
+//! The program evaluates in two backends: a fast [`f64`] backend for
+//! sweeps and an exact [`Rational`] backend (overflow-checked, so a
+//! hostile point cannot panic a server worker) for verification.
+//! Evaluation order is deterministic and depends only on symbol *names*
+//! (never on interning order), so two processes compiling the same
+//! expressions produce bit-identical `f64` results.
+
+use std::collections::{BTreeMap, HashMap};
+
+use tpn_rational::Rational;
+use tpn_symbolic::{Poly, RatFn, Symbol};
+
+/// One three-address operation. Operands are indices of earlier ops
+/// (the program is in SSA form: op `i` defines register `i`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Op {
+    /// Load a compile-time constant.
+    Const(u32),
+    /// Load an input variable.
+    Var(u32),
+    /// `regs[a] + regs[b]`.
+    Add(u32, u32),
+    /// `regs[a] * regs[b]`.
+    Mul(u32, u32),
+    /// `regs[a] / regs[b]`.
+    Div(u32, u32),
+}
+
+/// A set of rational functions compiled into one shared flat program.
+///
+/// # Examples
+///
+/// ```
+/// use tpn_eval::Compiled;
+/// use tpn_rational::Rational;
+/// use tpn_symbolic::{Poly, RatFn, Symbol};
+///
+/// let x = Symbol::intern("cmp_doc_x");
+/// // f = x / (x + 1)
+/// let f = RatFn::new(Poly::symbol(x), &Poly::symbol(x) + &Poly::one());
+/// let c = Compiled::compile(&[f.clone()]);
+/// assert_eq!(c.vars(), &[x]);
+/// let out = c.eval_f64_once(&[3.0]);
+/// assert_eq!(out, vec![Some(0.75)]);
+/// let exact = c.eval_exact_once(&[Rational::from_int(3)]);
+/// assert_eq!(exact, vec![Some(Rational::new(3, 4))]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Compiled {
+    ops: Vec<Op>,
+    consts: Vec<Rational>,
+    consts_f64: Vec<f64>,
+    vars: Vec<Symbol>,
+    outputs: Vec<u32>,
+}
+
+/// Hash-consing program builder.
+struct Builder {
+    ops: Vec<Op>,
+    consts: Vec<Rational>,
+    const_ids: HashMap<Rational, u32>,
+    cse: HashMap<Op, u32>,
+    vars: Vec<Symbol>,
+    var_ids: HashMap<Symbol, u32>,
+    /// Symbol names, resolved once (the interner takes a lock per call).
+    names: HashMap<Symbol, String>,
+}
+
+impl Builder {
+    fn new(vars: Vec<Symbol>) -> Builder {
+        let var_ids = vars
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (*s, i as u32))
+            .collect();
+        let names = vars.iter().map(|s| (*s, s.name())).collect();
+        Builder {
+            ops: Vec::new(),
+            consts: Vec::new(),
+            const_ids: HashMap::new(),
+            cse: HashMap::new(),
+            vars,
+            var_ids,
+            names,
+        }
+    }
+
+    /// Append `op` (or return the register of an identical earlier op).
+    fn push(&mut self, op: Op) -> u32 {
+        if let Some(&reg) = self.cse.get(&op) {
+            return reg;
+        }
+        let reg = u32::try_from(self.ops.len()).expect("program too large");
+        self.ops.push(op);
+        self.cse.insert(op, reg);
+        reg
+    }
+
+    fn constant(&mut self, c: Rational) -> u32 {
+        let id = match self.const_ids.get(&c) {
+            Some(&id) => id,
+            None => {
+                let id = u32::try_from(self.consts.len()).expect("too many constants");
+                self.consts.push(c);
+                self.const_ids.insert(c, id);
+                id
+            }
+        };
+        self.push(Op::Const(id))
+    }
+
+    fn var(&mut self, s: Symbol) -> u32 {
+        let id = *self.var_ids.get(&s).expect("symbol registered as a var");
+        self.push(Op::Var(id))
+    }
+
+    /// The constant value a register holds, if it is a `Const` op.
+    fn as_const(&self, reg: u32) -> Option<Rational> {
+        match self.ops[reg as usize] {
+            Op::Const(id) => Some(self.consts[id as usize]),
+            _ => None,
+        }
+    }
+
+    fn add(&mut self, a: u32, b: u32) -> u32 {
+        match (self.as_const(a), self.as_const(b)) {
+            (Some(x), Some(y)) => self.constant(x + y),
+            (Some(x), None) if x.is_zero() => b,
+            (None, Some(y)) if y.is_zero() => a,
+            // Addition commutes (exactly, in IEEE 754 too): canonicalise
+            // the operand order so `a+b` and `b+a` hash-cons together.
+            _ => self.push(Op::Add(a.min(b), a.max(b))),
+        }
+    }
+
+    fn mul(&mut self, a: u32, b: u32) -> u32 {
+        match (self.as_const(a), self.as_const(b)) {
+            (Some(x), Some(y)) => self.constant(x * y),
+            (Some(x), None) if x.is_one() => b,
+            (None, Some(y)) if y.is_one() => a,
+            _ => self.push(Op::Mul(a.min(b), a.max(b))),
+        }
+    }
+
+    fn div(&mut self, a: u32, b: u32) -> u32 {
+        match (self.as_const(a), self.as_const(b)) {
+            (Some(x), Some(y)) if !y.is_zero() => self.constant(x / y),
+            (None, Some(y)) if y.is_one() => a,
+            _ => self.push(Op::Div(a, b)),
+        }
+    }
+
+    /// `base^e` by binary exponentiation; the squarings hash-cons, so
+    /// every power of the same base shares work.
+    fn pow(&mut self, base: u32, e: u32) -> u32 {
+        debug_assert!(e > 0, "pow with zero exponent");
+        let mut result: Option<u32> = None;
+        let mut sq = base;
+        let mut e = e;
+        loop {
+            if e & 1 == 1 {
+                result = Some(match result {
+                    None => sq,
+                    Some(r) => self.mul(r, sq),
+                });
+            }
+            e >>= 1;
+            if e == 0 {
+                break;
+            }
+            sq = self.mul(sq, sq);
+        }
+        result.expect("e > 0")
+    }
+
+    /// The Horner main variable of `p`: the symbol shared by the most
+    /// terms (factoring it out saves the most multiplications), ties
+    /// broken by higher degree, then by *name* — never by interning
+    /// order, so the emitted program is identical across processes.
+    fn main_var(&mut self, p: &Poly) -> Symbol {
+        let mut occurrences: HashMap<Symbol, (usize, u32)> = HashMap::new();
+        for (m, _) in p.terms() {
+            for (s, e) in m.factors() {
+                let entry = occurrences.entry(s).or_insert((0, 0));
+                entry.0 += 1;
+                entry.1 = entry.1.max(e);
+            }
+        }
+        let mut best: Option<(usize, u32, String, Symbol)> = None;
+        for (s, (count, deg)) in occurrences {
+            let name = self.names.entry(s).or_insert_with(|| s.name()).clone();
+            let better = match &best {
+                None => true,
+                Some((bc, bd, bn, _)) => {
+                    (count, deg) > (*bc, *bd) || ((count, deg) == (*bc, *bd) && name < *bn)
+                }
+            };
+            if better {
+                best = Some((count, deg, name, s));
+            }
+        }
+        best.expect("non-constant polynomial has symbols").3
+    }
+
+    /// Emit `p` as a nested Horner scheme.
+    fn poly(&mut self, p: &Poly) -> u32 {
+        if let Some(c) = p.as_constant() {
+            return self.constant(c);
+        }
+        let x = self.main_var(p);
+        // View p as univariate in x with polynomial coefficients.
+        let mut coeffs: BTreeMap<u32, Poly> = BTreeMap::new();
+        for (m, c) in p.terms() {
+            let (rest, e) = m.split(x);
+            coeffs
+                .entry(e)
+                .or_insert_with(Poly::zero)
+                .add_term(*c, rest);
+        }
+        let xr = self.var(x);
+        // Horner: fold exponents downward, multiplying by x^gap.
+        let mut iter = coeffs.iter().rev();
+        let (&e_top, c_top) = iter.next().expect("non-constant poly has terms");
+        let c_top = c_top.clone();
+        let mut acc = self.poly(&c_top);
+        let mut prev = e_top;
+        let rest: Vec<(u32, Poly)> = iter.map(|(e, c)| (*e, c.clone())).collect();
+        for (e, c) in rest {
+            let gap = self.pow(xr, prev - e);
+            let shifted = self.mul(acc, gap);
+            let cr = self.poly(&c);
+            acc = self.add(shifted, cr);
+            prev = e;
+        }
+        if prev > 0 {
+            let tail = self.pow(xr, prev);
+            acc = self.mul(acc, tail);
+        }
+        acc
+    }
+
+    fn ratfn(&mut self, r: &RatFn) -> u32 {
+        let n = self.poly(r.numer());
+        if r.denom().is_one() {
+            return n;
+        }
+        let d = self.poly(r.denom());
+        self.div(n, d)
+    }
+}
+
+impl Compiled {
+    /// Compile a set of rational functions into one shared program.
+    /// Output `i` of the program is `exprs[i]`.
+    pub fn compile(exprs: &[RatFn]) -> Compiled {
+        Compiled::build(exprs.to_vec())
+    }
+
+    /// Compile `exprs` *and* their partial derivatives with respect to
+    /// each symbol of `wrt`. Outputs are laid out as
+    /// `exprs[0..n]`, then `∂exprs[i]/∂wrt[j]` at `n + i·wrt.len() + j`.
+    /// The derivative of an expression shares most of its subexpressions
+    /// with the expression itself, so the marginal cost per point is far
+    /// below a second full evaluation.
+    pub fn compile_with_derivatives(exprs: &[RatFn], wrt: &[Symbol]) -> Compiled {
+        let mut all: Vec<RatFn> = exprs.to_vec();
+        for e in exprs {
+            for &s in wrt {
+                all.push(e.derivative(s));
+            }
+        }
+        Compiled::build(all)
+    }
+
+    fn build(exprs: Vec<RatFn>) -> Compiled {
+        // Input variables: the union of all symbols, ordered by *name*
+        // so the layout is reproducible across processes.
+        let mut vars: Vec<Symbol> = Vec::new();
+        for e in &exprs {
+            for s in e.symbols() {
+                if !vars.contains(&s) {
+                    vars.push(s);
+                }
+            }
+        }
+        let mut named: Vec<(String, Symbol)> = vars.into_iter().map(|s| (s.name(), s)).collect();
+        named.sort();
+        let vars: Vec<Symbol> = named.into_iter().map(|(_, s)| s).collect();
+        let mut b = Builder::new(vars);
+        let outputs: Vec<u32> = exprs.iter().map(|e| b.ratfn(e)).collect();
+        let consts_f64 = b.consts.iter().map(Rational::to_f64).collect();
+        Compiled {
+            ops: b.ops,
+            consts: b.consts,
+            consts_f64,
+            vars: b.vars,
+            outputs,
+        }
+    }
+
+    /// The input variables, in program order. `eval_*` points bind
+    /// values positionally to this slice.
+    pub fn vars(&self) -> &[Symbol] {
+        &self.vars
+    }
+
+    /// Position of `s` in [`Compiled::vars`].
+    pub fn var_index(&self, s: Symbol) -> Option<usize> {
+        self.vars.iter().position(|&v| v == s)
+    }
+
+    /// Number of outputs (compiled expressions).
+    pub fn num_outputs(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// Number of ops in the flat program (after CSE and folding).
+    pub fn num_ops(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Evaluate every output at `point` (one `f64` per var, in
+    /// [`Compiled::vars`] order) using the fast float backend. `scratch`
+    /// is reused across calls to keep the hot path allocation-free.
+    /// An output is `None` where the value is undefined (a denominator
+    /// vanished, or an intermediate overflowed to non-finite).
+    pub fn eval_f64(&self, point: &[f64], scratch: &mut Vec<f64>, out: &mut [Option<f64>]) {
+        assert_eq!(point.len(), self.vars.len(), "point arity");
+        assert_eq!(out.len(), self.outputs.len(), "output arity");
+        scratch.clear();
+        scratch.reserve(self.ops.len());
+        for op in &self.ops {
+            let v = match *op {
+                Op::Const(i) => self.consts_f64[i as usize],
+                Op::Var(i) => point[i as usize],
+                Op::Add(a, b) => scratch[a as usize] + scratch[b as usize],
+                Op::Mul(a, b) => scratch[a as usize] * scratch[b as usize],
+                Op::Div(a, b) => scratch[a as usize] / scratch[b as usize],
+            };
+            scratch.push(v);
+        }
+        for (slot, &reg) in out.iter_mut().zip(&self.outputs) {
+            let v = scratch[reg as usize];
+            *slot = v.is_finite().then_some(v);
+        }
+    }
+
+    /// One-shot convenience wrapper around [`Compiled::eval_f64`].
+    pub fn eval_f64_once(&self, point: &[f64]) -> Vec<Option<f64>> {
+        let mut scratch = Vec::new();
+        let mut out = vec![None; self.outputs.len()];
+        self.eval_f64(point, &mut scratch, &mut out);
+        out
+    }
+
+    /// Evaluate every output at `point` in the exact backend. All
+    /// arithmetic is overflow-checked: an output is `None` where a
+    /// denominator vanishes or an exact intermediate leaves `i128`
+    /// range, never a panic (the sweep endpoint runs this on worker
+    /// threads).
+    pub fn eval_exact(
+        &self,
+        point: &[Rational],
+        scratch: &mut Vec<Option<Rational>>,
+        out: &mut [Option<Rational>],
+    ) {
+        assert_eq!(point.len(), self.vars.len(), "point arity");
+        assert_eq!(out.len(), self.outputs.len(), "output arity");
+        scratch.clear();
+        scratch.reserve(self.ops.len());
+        for op in &self.ops {
+            let v: Option<Rational> = match *op {
+                Op::Const(i) => Some(self.consts[i as usize]),
+                Op::Var(i) => Some(point[i as usize]),
+                Op::Add(a, b) => match (&scratch[a as usize], &scratch[b as usize]) {
+                    (Some(x), Some(y)) => x.checked_add(y).ok(),
+                    _ => None,
+                },
+                Op::Mul(a, b) => match (&scratch[a as usize], &scratch[b as usize]) {
+                    (Some(x), Some(y)) => x.checked_mul(y).ok(),
+                    _ => None,
+                },
+                Op::Div(a, b) => match (&scratch[a as usize], &scratch[b as usize]) {
+                    (Some(x), Some(y)) => x.checked_div(y).ok(),
+                    _ => None,
+                },
+            };
+            scratch.push(v);
+        }
+        for (slot, &reg) in out.iter_mut().zip(&self.outputs) {
+            *slot = scratch[reg as usize];
+        }
+    }
+
+    /// One-shot convenience wrapper around [`Compiled::eval_exact`].
+    pub fn eval_exact_once(&self, point: &[Rational]) -> Vec<Option<Rational>> {
+        let mut scratch = Vec::new();
+        let mut out = vec![None; self.outputs.len()];
+        self.eval_exact(point, &mut scratch, &mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpn_symbolic::Assignment;
+
+    fn sp(n: &str) -> Poly {
+        Poly::symbol(Symbol::intern(n))
+    }
+
+    fn r(n: i128, d: i128) -> Rational {
+        Rational::new(n, d)
+    }
+
+    #[test]
+    fn constant_expression_folds_to_one_op() {
+        let c = Compiled::compile(&[RatFn::constant(r(3, 4))]);
+        assert_eq!(c.num_ops(), 1);
+        assert_eq!(c.vars(), &[]);
+        assert_eq!(c.eval_f64_once(&[]), vec![Some(0.75)]);
+        assert_eq!(c.eval_exact_once(&[]), vec![Some(r(3, 4))]);
+    }
+
+    #[test]
+    fn horner_factoring_matches_direct_eval() {
+        // p = x³y + 2x²y + 5x + 7, a shape with a useful Horner nesting
+        let x = Symbol::intern("cmp_hx");
+        let y = Symbol::intern("cmp_hy");
+        let p = {
+            let mut p = &Poly::symbol(x).pow(3) * &Poly::symbol(y);
+            p += (&Poly::symbol(x).pow(2) * &Poly::symbol(y)).scale(&r(2, 1));
+            p += Poly::symbol(x).scale(&r(5, 1));
+            p += Poly::constant(r(7, 1));
+            p
+        };
+        let f = RatFn::from_poly(p.clone());
+        let c = Compiled::compile(&[f]);
+        let a = Assignment::new().with(x, r(3, 2)).with(y, r(-2, 7));
+        let point: Vec<Rational> = c.vars().iter().map(|s| *a.get(*s).unwrap()).collect();
+        assert_eq!(c.eval_exact_once(&point)[0], p.eval(&a));
+    }
+
+    #[test]
+    fn cse_shares_common_denominator_across_outputs() {
+        // p = f4/(f4+f5), q = f5/(f4+f5): the denominator is built once.
+        let f4 = sp("cmp_f4");
+        let f5 = sp("cmp_f5");
+        let p = RatFn::new(f4.clone(), &f4 + &f5);
+        let q = RatFn::new(f5.clone(), &f4 + &f5);
+        let both = Compiled::compile(&[p.clone(), q.clone()]);
+        let alone = Compiled::compile(&[p]);
+        // sharing: two quotients cost 2 extra ops (second numerator is a
+        // var already loaded), not a second denominator chain
+        assert!(
+            both.num_ops() < 2 * alone.num_ops(),
+            "{} vs {}",
+            both.num_ops(),
+            alone.num_ops()
+        );
+        let out = both.eval_f64_once(&[19.0, 1.0]);
+        assert_eq!(out, vec![Some(0.95), Some(0.05)]);
+    }
+
+    #[test]
+    fn division_by_zero_is_undefined_not_panic() {
+        let x = Symbol::intern("cmp_dz");
+        let f = RatFn::new(Poly::one(), Poly::symbol(x));
+        let c = Compiled::compile(&[f]);
+        assert_eq!(c.eval_f64_once(&[0.0]), vec![None]);
+        assert_eq!(c.eval_exact_once(&[Rational::ZERO]), vec![None]);
+        assert_eq!(c.eval_f64_once(&[2.0]), vec![Some(0.5)]);
+    }
+
+    #[test]
+    fn exact_overflow_is_undefined_not_panic() {
+        let x = Symbol::intern("cmp_ovf");
+        // x^8 at a huge value overflows i128 long before f64 range ends
+        let f = RatFn::from_poly(Poly::symbol(x).pow(8));
+        let c = Compiled::compile(&[f]);
+        let huge = Rational::from_int(i128::MAX / 2);
+        assert_eq!(c.eval_exact_once(&[huge]), vec![None]);
+        // the float backend still yields a finite answer
+        assert!(c.eval_f64_once(&[2.0])[0] == Some(256.0));
+    }
+
+    #[test]
+    fn derivatives_are_compiled_and_correct() {
+        let x = Symbol::intern("cmp_dx");
+        // f = x/(x+1): f' = 1/(x+1)²
+        let f = RatFn::new(Poly::symbol(x), &Poly::symbol(x) + &Poly::one());
+        let c = Compiled::compile_with_derivatives(&[f], &[x]);
+        assert_eq!(c.num_outputs(), 2);
+        let out = c.eval_exact_once(&[Rational::from_int(1)]);
+        assert_eq!(out[0], Some(r(1, 2)));
+        assert_eq!(out[1], Some(r(1, 4)));
+    }
+
+    #[test]
+    fn var_order_is_name_sorted() {
+        // Interning order b-then-a, var order must still be by name.
+        let b = Symbol::intern("cmp_zz_late");
+        let a = Symbol::intern("cmp_aa_early");
+        let f = RatFn::from_poly(&Poly::symbol(b) + &Poly::symbol(a));
+        let c = Compiled::compile(&[f]);
+        assert_eq!(c.vars(), &[a, b]);
+        assert_eq!(c.var_index(b), Some(1));
+    }
+}

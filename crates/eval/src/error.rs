@@ -1,0 +1,70 @@
+//! Errors of the compiler and the sweep engine.
+
+use std::fmt;
+
+use tpn_symbolic::Symbol;
+
+/// Why a compilation or a sweep could not be carried out.
+///
+/// Per-*point* evaluation failures (a denominator vanishing at one grid
+/// point, an exact intermediate overflowing `i128`) are **not** errors:
+/// they surface as an undefined value for that point so the rest of the
+/// sweep is unaffected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvalError {
+    /// A symbol used by the compiled expressions is neither a sweep axis
+    /// nor fixed by the base assignment.
+    UnboundSymbol {
+        /// The unbound symbol's interned name.
+        symbol: Symbol,
+    },
+    /// The same symbol appears on two sweep axes (or on an axis and in
+    /// the fixed bindings).
+    DuplicateSymbol {
+        /// The doubly-bound symbol.
+        symbol: Symbol,
+    },
+    /// A sweep axis has no values, so the grid is empty.
+    EmptyAxis {
+        /// The empty axis' symbol.
+        symbol: Symbol,
+    },
+    /// The grid has more points than the caller-supplied cap.
+    TooManyPoints {
+        /// Number of points the grid would have.
+        points: u64,
+        /// The configured maximum.
+        max: u64,
+    },
+    /// Exact axis arithmetic left `i128` range while spacing the
+    /// values (e.g. an endpoint near `i128::MAX` with a fractional
+    /// other endpoint).
+    AxisOverflow {
+        /// The overflowing axis' symbol.
+        symbol: Symbol,
+    },
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::UnboundSymbol { symbol } => {
+                write!(f, "symbol {symbol} is neither swept nor fixed")
+            }
+            EvalError::DuplicateSymbol { symbol } => {
+                write!(f, "symbol {symbol} is bound more than once")
+            }
+            EvalError::EmptyAxis { symbol } => {
+                write!(f, "sweep axis {symbol} has no values")
+            }
+            EvalError::TooManyPoints { points, max } => {
+                write!(f, "grid has {points} points, more than the maximum {max}")
+            }
+            EvalError::AxisOverflow { symbol } => {
+                write!(f, "axis {symbol}: exact value spacing overflows i128")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}

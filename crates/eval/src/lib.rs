@@ -1,0 +1,47 @@
+//! `tpn-eval` — compiled evaluation of symbolic performance
+//! expressions and parallel parameter sweeps.
+//!
+//! The paper's payoff (§3–§4) is a *symbolic* performance expression:
+//! throughput and utilisation as rational functions of the timing and
+//! frequency symbols. Answering the design questions those expressions
+//! exist for — "how does throughput move as the timeout grows?", "which
+//! parameter dominates?" — means evaluating them at *thousands* of
+//! points, and exact [`RatFn::eval`](tpn_symbolic::RatFn::eval) is
+//! built for one-off instantiation, not for that. This crate closes
+//! the gap in two layers:
+//!
+//! | layer | contents |
+//! |---|---|
+//! | compilation | [`Compiled`]: flat arena bytecode (Horner factoring, CSE, constant folding) with `f64` and exact [`Rational`](tpn_rational::Rational) backends, plus compiled partial derivatives |
+//! | sweeping | [`Grid`]/[`Axis`] parameter grids and the chunked multi-threaded executors [`sweep_f64`]/[`sweep_exact`] |
+//!
+//! ```
+//! use tpn_eval::{sweep_f64, Axis, Compiled, Grid, SweepOptions};
+//! use tpn_rational::Rational;
+//! use tpn_symbolic::{Assignment, Poly, RatFn, Symbol};
+//!
+//! // T = x / (x + c), swept over x with c fixed
+//! let x = Symbol::intern("lib_doc_x");
+//! let c = Symbol::intern("lib_doc_c");
+//! let t = RatFn::new(Poly::symbol(x), &Poly::symbol(x) + &Poly::symbol(c));
+//! let compiled = Compiled::compile(&[t]);
+//! let grid = Grid::new(vec![Axis::linear(
+//!     x,
+//!     Rational::from_int(1),
+//!     Rational::from_int(100),
+//!     1000,
+//! )])
+//! .unwrap();
+//! let fixed = Assignment::new().with(c, Rational::from_int(5));
+//! let rows = sweep_f64(&compiled, &grid, &fixed, &SweepOptions::default()).unwrap();
+//! assert_eq!(rows.len(), 1000);
+//! assert_eq!(rows[0][0], Some(1.0 / 6.0));
+//! ```
+
+mod compile;
+mod error;
+mod sweep;
+
+pub use compile::Compiled;
+pub use error::EvalError;
+pub use sweep::{sweep_exact, sweep_f64, Axis, Grid, SweepOptions};

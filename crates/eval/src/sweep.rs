@@ -1,0 +1,460 @@
+//! The parameter-sweep engine: evaluate a compiled expression set over
+//! a cartesian grid of symbol assignments, chunked across threads.
+//!
+//! A sweep is specified as a list of [`Axis`]es (each binding one
+//! symbol to a list of exact rational values — evenly spaced via
+//! [`Axis::linear`] or explicit via [`Axis::list`]) plus a fixed
+//! [`Assignment`] for the remaining symbols. The grid is the cartesian
+//! product of the axes in *row-major order with the last axis fastest*,
+//! so row `i` of the output corresponds to [`Grid::point`]`(i)` — the
+//! ordering is part of the output contract and identical no matter how
+//! many threads evaluate it.
+//!
+//! Parallelism follows the workspace's standard-library threading
+//! pattern (no runtime, no work stealing): the index range is split
+//! into one contiguous chunk per thread, each thread evaluates its
+//! chunk with a thread-local scratch buffer, and the chunks are
+//! reassembled in order. Rows are independent, so the result is
+//! deterministic — and for the `f64` backend *bit*-identical — at every
+//! thread count.
+
+use tpn_rational::Rational;
+use tpn_symbolic::{Assignment, Symbol};
+
+use crate::{Compiled, EvalError};
+
+/// One sweep dimension: a symbol and the exact values it takes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Axis {
+    symbol: Symbol,
+    values: Vec<Rational>,
+}
+
+impl Axis {
+    /// An axis over an explicit list of values.
+    pub fn list(symbol: Symbol, values: Vec<Rational>) -> Axis {
+        Axis { symbol, values }
+    }
+
+    /// An axis of `steps` evenly spaced values from `from` to `to`
+    /// inclusive (`steps == 1` yields just `from`). All spacing is
+    /// exact rational arithmetic — no float drift across the range.
+    ///
+    /// # Panics
+    /// Panics if the spacing arithmetic overflows `i128`; use
+    /// [`Axis::try_linear`] where the endpoints are untrusted.
+    pub fn linear(symbol: Symbol, from: Rational, to: Rational, steps: usize) -> Axis {
+        Axis::try_linear(symbol, from, to, steps).expect("axis spacing overflows i128")
+    }
+
+    /// [`Axis::linear`] with overflow-checked spacing arithmetic — the
+    /// constructor for endpoints that arrive over the wire (a hostile
+    /// `from`/`to` pair near `i128::MAX` must surface as an error, not
+    /// panic a server worker).
+    pub fn try_linear(
+        symbol: Symbol,
+        from: Rational,
+        to: Rational,
+        steps: usize,
+    ) -> Result<Axis, EvalError> {
+        let overflow = |_| EvalError::AxisOverflow { symbol };
+        let values = match steps {
+            0 => Vec::new(),
+            1 => vec![from],
+            _ => {
+                let span = to.checked_sub(&from).map_err(overflow)?;
+                let denom = Rational::from_int((steps - 1) as i128);
+                let mut values = Vec::with_capacity(steps);
+                for i in 0..steps {
+                    let offset = span
+                        .checked_mul(&Rational::from_int(i as i128))
+                        .and_then(|x| x.checked_div(&denom))
+                        .and_then(|x| from.checked_add(&x))
+                        .map_err(overflow)?;
+                    values.push(offset);
+                }
+                values
+            }
+        };
+        Ok(Axis { symbol, values })
+    }
+
+    /// The swept symbol.
+    pub fn symbol(&self) -> Symbol {
+        self.symbol
+    }
+
+    /// The values this axis takes, in sweep order.
+    pub fn values(&self) -> &[Rational] {
+        &self.values
+    }
+}
+
+/// A validated cartesian grid of sweep axes.
+#[derive(Debug, Clone)]
+pub struct Grid {
+    axes: Vec<Axis>,
+    points: u64,
+}
+
+impl Grid {
+    /// Validate and build a grid. Axes must be non-empty and bind
+    /// pairwise distinct symbols. A grid with no axes has exactly one
+    /// point (the fixed assignment alone).
+    pub fn new(axes: Vec<Axis>) -> Result<Grid, EvalError> {
+        let mut points: u64 = 1;
+        for (i, a) in axes.iter().enumerate() {
+            if a.values.is_empty() {
+                return Err(EvalError::EmptyAxis { symbol: a.symbol });
+            }
+            if axes[..i].iter().any(|b| b.symbol == a.symbol) {
+                return Err(EvalError::DuplicateSymbol { symbol: a.symbol });
+            }
+            points = points.saturating_mul(a.values.len() as u64);
+        }
+        Ok(Grid { axes, points })
+    }
+
+    /// The axes, in specification order.
+    pub fn axes(&self) -> &[Axis] {
+        &self.axes
+    }
+
+    /// Total number of grid points (product of the axis lengths,
+    /// saturating at `u64::MAX`).
+    pub fn num_points(&self) -> u64 {
+        self.points
+    }
+
+    /// Decode point `idx` into per-axis coordinate values, appended to
+    /// `out` (cleared first) in axis order.
+    pub fn point(&self, idx: u64, out: &mut Vec<Rational>) {
+        out.clear();
+        out.resize(self.axes.len(), Rational::ZERO);
+        let mut rest = idx;
+        for (k, a) in self.axes.iter().enumerate().rev() {
+            let len = a.values.len() as u64;
+            out[k] = a.values[(rest % len) as usize];
+            rest /= len;
+        }
+    }
+}
+
+/// Sweep execution knobs.
+#[derive(Debug, Clone)]
+pub struct SweepOptions {
+    /// Worker threads (clamped to at least 1). The output is identical
+    /// at every thread count.
+    pub threads: usize,
+    /// Upper bound on the number of grid points; larger grids are
+    /// rejected with [`EvalError::TooManyPoints`] before any work runs.
+    pub max_points: u64,
+}
+
+impl Default for SweepOptions {
+    fn default() -> SweepOptions {
+        SweepOptions {
+            threads: 4,
+            max_points: 1_000_000,
+        }
+    }
+}
+
+/// Where each compiled input variable gets its value from.
+enum VarSource {
+    Fixed(Rational),
+    AxisIndex(usize),
+}
+
+/// Resolve every compiled variable to an axis or a fixed binding.
+fn bind(c: &Compiled, grid: &Grid, fixed: &Assignment) -> Result<Vec<VarSource>, EvalError> {
+    for a in grid.axes() {
+        if fixed.contains(a.symbol()) {
+            return Err(EvalError::DuplicateSymbol { symbol: a.symbol() });
+        }
+    }
+    c.vars()
+        .iter()
+        .map(|&v| {
+            if let Some(k) = grid.axes().iter().position(|a| a.symbol() == v) {
+                Ok(VarSource::AxisIndex(k))
+            } else if let Some(x) = fixed.get(v) {
+                Ok(VarSource::Fixed(*x))
+            } else {
+                Err(EvalError::UnboundSymbol { symbol: v })
+            }
+        })
+        .collect()
+}
+
+/// Split `0..total` into at most `threads` contiguous chunks.
+fn chunks(total: u64, threads: usize) -> Vec<(u64, u64)> {
+    let threads = (threads.max(1) as u64).min(total.max(1));
+    let base = total / threads;
+    let extra = total % threads;
+    let mut out = Vec::with_capacity(threads as usize);
+    let mut start = 0;
+    for i in 0..threads {
+        let len = base + u64::from(i < extra);
+        out.push((start, start + len));
+        start += len;
+    }
+    out
+}
+
+/// Evaluate `c` over the grid in the `f64` backend. Row `i` holds one
+/// `Option<f64>` per compiled output (`None` where undefined) for
+/// [`Grid::point`]`(i)`.
+pub fn sweep_f64(
+    c: &Compiled,
+    grid: &Grid,
+    fixed: &Assignment,
+    opts: &SweepOptions,
+) -> Result<Vec<Vec<Option<f64>>>, EvalError> {
+    let sources = bind(c, grid, fixed)?;
+    let total = checked_total(grid, opts)?;
+    // Per-axis value tables in f64, decoded once.
+    let tables: Vec<Vec<f64>> = grid
+        .axes()
+        .iter()
+        .map(|a| a.values().iter().map(Rational::to_f64).collect())
+        .collect();
+    let eval_chunk = |start: u64, end: u64| -> Vec<Vec<Option<f64>>> {
+        let mut rows = Vec::with_capacity((end - start) as usize);
+        let mut scratch: Vec<f64> = Vec::new();
+        let mut point = vec![0.0f64; c.vars().len()];
+        let mut coords: Vec<usize> = vec![0; grid.axes().len()];
+        for idx in start..end {
+            decode(grid, idx, &mut coords);
+            for (slot, src) in point.iter_mut().zip(&sources) {
+                *slot = match src {
+                    VarSource::Fixed(x) => x.to_f64(),
+                    VarSource::AxisIndex(k) => tables[*k][coords[*k]],
+                };
+            }
+            let mut out = vec![None; c.num_outputs()];
+            c.eval_f64(&point, &mut scratch, &mut out);
+            rows.push(out);
+        }
+        rows
+    };
+    Ok(run_chunked(total, opts.threads, eval_chunk))
+}
+
+/// Evaluate `c` over the grid in the exact backend. Row `i` holds one
+/// `Option<Rational>` per output (`None` where the value is undefined
+/// or an intermediate overflowed).
+pub fn sweep_exact(
+    c: &Compiled,
+    grid: &Grid,
+    fixed: &Assignment,
+    opts: &SweepOptions,
+) -> Result<Vec<Vec<Option<Rational>>>, EvalError> {
+    let sources = bind(c, grid, fixed)?;
+    let total = checked_total(grid, opts)?;
+    let eval_chunk = |start: u64, end: u64| -> Vec<Vec<Option<Rational>>> {
+        let mut rows = Vec::with_capacity((end - start) as usize);
+        let mut scratch: Vec<Option<Rational>> = Vec::new();
+        let mut point = vec![Rational::ZERO; c.vars().len()];
+        let mut coords: Vec<usize> = vec![0; grid.axes().len()];
+        for idx in start..end {
+            decode(grid, idx, &mut coords);
+            for (slot, src) in point.iter_mut().zip(&sources) {
+                *slot = match src {
+                    VarSource::Fixed(x) => *x,
+                    VarSource::AxisIndex(k) => grid.axes()[*k].values()[coords[*k]],
+                };
+            }
+            let mut out = vec![None; c.num_outputs()];
+            c.eval_exact(&point, &mut scratch, &mut out);
+            rows.push(out);
+        }
+        rows
+    };
+    Ok(run_chunked(total, opts.threads, eval_chunk))
+}
+
+fn checked_total(grid: &Grid, opts: &SweepOptions) -> Result<u64, EvalError> {
+    let total = grid.num_points();
+    if total > opts.max_points {
+        return Err(EvalError::TooManyPoints {
+            points: total,
+            max: opts.max_points,
+        });
+    }
+    Ok(total)
+}
+
+/// Decode point `idx` into per-axis value *indices* (cheaper than
+/// materialising the rational coordinates per point).
+fn decode(grid: &Grid, idx: u64, coords: &mut [usize]) {
+    let mut rest = idx;
+    for (k, a) in grid.axes().iter().enumerate().rev() {
+        let len = a.values().len() as u64;
+        coords[k] = (rest % len) as usize;
+        rest /= len;
+    }
+}
+
+/// Run `eval_chunk` over `0..total` split across `threads`, preserving
+/// row order.
+fn run_chunked<T: Send>(
+    total: u64,
+    threads: usize,
+    eval_chunk: impl Fn(u64, u64) -> Vec<T> + Sync,
+) -> Vec<T> {
+    let ranges = chunks(total, threads);
+    if ranges.len() <= 1 {
+        return eval_chunk(0, total);
+    }
+    let mut parts: Vec<Vec<T>> = Vec::new();
+    let eval_chunk = &eval_chunk;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = ranges
+            .iter()
+            .map(|&(s, e)| scope.spawn(move || eval_chunk(s, e)))
+            .collect();
+        parts = handles
+            .into_iter()
+            .map(|h| h.join().expect("sweep worker"))
+            .collect();
+    });
+    let mut rows = Vec::with_capacity(total as usize);
+    for p in parts {
+        rows.extend(p);
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpn_symbolic::{Poly, RatFn};
+
+    fn r(n: i128, d: i128) -> Rational {
+        Rational::new(n, d)
+    }
+
+    #[test]
+    fn linear_axis_is_exact_and_inclusive() {
+        let s = Symbol::intern("sw_lin");
+        let a = Axis::linear(s, r(1, 1), r(2, 1), 5);
+        let vals: Vec<Rational> = a.values().to_vec();
+        assert_eq!(vals, vec![r(1, 1), r(5, 4), r(3, 2), r(7, 4), r(2, 1)]);
+        assert_eq!(Axis::linear(s, r(9, 1), r(99, 1), 1).values(), &[r(9, 1)]);
+    }
+
+    #[test]
+    fn grid_order_is_row_major_last_axis_fastest() {
+        let a = Symbol::intern("sw_ga");
+        let b = Symbol::intern("sw_gb");
+        let grid = Grid::new(vec![
+            Axis::list(a, vec![r(1, 1), r(2, 1)]),
+            Axis::list(b, vec![r(10, 1), r(20, 1), r(30, 1)]),
+        ])
+        .unwrap();
+        assert_eq!(grid.num_points(), 6);
+        let mut p = Vec::new();
+        grid.point(0, &mut p);
+        assert_eq!(p, vec![r(1, 1), r(10, 1)]);
+        grid.point(1, &mut p);
+        assert_eq!(p, vec![r(1, 1), r(20, 1)]);
+        grid.point(3, &mut p);
+        assert_eq!(p, vec![r(2, 1), r(10, 1)]);
+        grid.point(5, &mut p);
+        assert_eq!(p, vec![r(2, 1), r(30, 1)]);
+    }
+
+    #[test]
+    fn grid_rejects_duplicates_and_empty_axes() {
+        let s = Symbol::intern("sw_dup");
+        let err = Grid::new(vec![
+            Axis::list(s, vec![r(1, 1)]),
+            Axis::list(s, vec![r(2, 1)]),
+        ])
+        .unwrap_err();
+        assert!(matches!(err, EvalError::DuplicateSymbol { .. }));
+        let err = Grid::new(vec![Axis::list(s, Vec::new())]).unwrap_err();
+        assert!(matches!(err, EvalError::EmptyAxis { .. }));
+    }
+
+    #[test]
+    fn sweep_matches_single_point_eval_and_is_thread_invariant() {
+        let x = Symbol::intern("sw_x");
+        let y = Symbol::intern("sw_y");
+        // f = x / (x + y)
+        let f = RatFn::new(Poly::symbol(x), &Poly::symbol(x) + &Poly::symbol(y));
+        let c = Compiled::compile(std::slice::from_ref(&f));
+        let grid = Grid::new(vec![Axis::linear(x, r(1, 1), r(10, 1), 19)]).unwrap();
+        let fixed = Assignment::new().with(y, r(3, 1));
+        let opts1 = SweepOptions {
+            threads: 1,
+            ..SweepOptions::default()
+        };
+        let opts4 = SweepOptions {
+            threads: 4,
+            ..SweepOptions::default()
+        };
+        let rows1 = sweep_f64(&c, &grid, &fixed, &opts1).unwrap();
+        let rows4 = sweep_f64(&c, &grid, &fixed, &opts4).unwrap();
+        assert_eq!(rows1, rows4, "bit-identical at any thread count");
+        let exact = sweep_exact(&c, &grid, &fixed, &opts4).unwrap();
+        assert_eq!(rows1.len(), 19);
+        let mut p = Vec::new();
+        for (i, row) in exact.iter().enumerate() {
+            grid.point(i as u64, &mut p);
+            let a = Assignment::new().with(x, p[0]).with(y, r(3, 1));
+            assert_eq!(row[0], f.eval(&a));
+            let approx = rows1[i][0].unwrap();
+            let want = row[0].unwrap().to_f64();
+            assert!((approx - want).abs() <= 1e-12 * want.abs());
+        }
+    }
+
+    #[test]
+    fn unbound_and_duplicate_bindings_are_rejected() {
+        let x = Symbol::intern("sw_ub_x");
+        let y = Symbol::intern("sw_ub_y");
+        let f = RatFn::from_poly(&Poly::symbol(x) + &Poly::symbol(y));
+        let c = Compiled::compile(&[f]);
+        let grid = Grid::new(vec![Axis::list(x, vec![r(1, 1)])]).unwrap();
+        let opts = SweepOptions::default();
+        let err = sweep_f64(&c, &grid, &Assignment::new(), &opts).unwrap_err();
+        assert_eq!(err, EvalError::UnboundSymbol { symbol: y });
+        let dup = Assignment::new().with(x, r(1, 1)).with(y, r(1, 1));
+        let err = sweep_f64(&c, &grid, &dup, &opts).unwrap_err();
+        assert_eq!(err, EvalError::DuplicateSymbol { symbol: x });
+    }
+
+    #[test]
+    fn point_cap_is_enforced() {
+        let x = Symbol::intern("sw_cap");
+        let f = RatFn::symbol(x);
+        let c = Compiled::compile(&[f]);
+        let grid = Grid::new(vec![Axis::linear(x, r(0, 1), r(1, 1), 100)]).unwrap();
+        let opts = SweepOptions {
+            threads: 1,
+            max_points: 99,
+        };
+        let err = sweep_f64(&c, &grid, &Assignment::new(), &opts).unwrap_err();
+        assert_eq!(
+            err,
+            EvalError::TooManyPoints {
+                points: 100,
+                max: 99
+            }
+        );
+    }
+
+    #[test]
+    fn empty_grid_is_one_fixed_point() {
+        let x = Symbol::intern("sw_empty");
+        let f = RatFn::symbol(x);
+        let c = Compiled::compile(&[f]);
+        let grid = Grid::new(Vec::new()).unwrap();
+        assert_eq!(grid.num_points(), 1);
+        let fixed = Assignment::new().with(x, r(7, 2));
+        let rows = sweep_exact(&c, &grid, &fixed, &SweepOptions::default()).unwrap();
+        assert_eq!(rows, vec![vec![Some(r(7, 2))]]);
+    }
+}

@@ -1,0 +1,167 @@
+//! Property tests for the expression compiler: on random rational
+//! functions and random evaluation points,
+//!
+//! * the compiled **exact** backend agrees with `RatFn::eval` —
+//!   including on undefinedness (a vanishing denominator);
+//! * the compiled **f64** backend agrees with exact evaluation within
+//!   a small relative epsilon;
+//! * compiled **derivatives** agree with `RatFn::derivative`.
+//!
+//! Term/value bounds are chosen so that exact intermediates stay far
+//! inside `i128` (overflow would surface as a spurious `None`).
+
+use proptest::prelude::*;
+use tpn_eval::Compiled;
+use tpn_rational::Rational;
+use tpn_symbolic::{Assignment, Monomial, Poly, RatFn, Symbol};
+
+fn syms() -> [Symbol; 3] {
+    [
+        Symbol::intern("evp_x"),
+        Symbol::intern("evp_y"),
+        Symbol::intern("evp_z"),
+    ]
+}
+
+type Term = (i128, (u32, u32, u32));
+
+fn poly_from(terms: &[Term]) -> Poly {
+    let s = syms();
+    let mut p = Poly::zero();
+    for (c, (e0, e1, e2)) in terms {
+        let m = Monomial::power(s[0], *e0)
+            .mul(&Monomial::power(s[1], *e1))
+            .mul(&Monomial::power(s[2], *e2));
+        p.add_term(Rational::from_int(*c), m);
+    }
+    p
+}
+
+fn assignment_from(vals: &[(i128, i128)]) -> Assignment {
+    syms()
+        .into_iter()
+        .zip(vals)
+        .map(|(s, (n, d))| (s, Rational::new(*n, *d)))
+        .collect()
+}
+
+fn point_for(c: &Compiled, a: &Assignment) -> Vec<Rational> {
+    c.vars()
+        .iter()
+        .map(|s| a.get(*s).copied().unwrap_or(Rational::ZERO))
+        .collect()
+}
+
+/// A strategy for up-to-4-term polynomials of degree ≤ 2 per symbol.
+/// Kept small: `RatFn::new` canonicalises through a multivariate GCD
+/// whose pseudo-remainder coefficients grow exponentially with degree,
+/// and the *inputs* must stay in `i128` for the oracle to be exact.
+fn terms() -> impl Strategy<Value = Vec<Term>> {
+    proptest::collection::vec((-5i128..6, (0u32..3, 0u32..3, 0u32..3)), 0..4)
+}
+
+/// A strategy for one rational value per symbol.
+fn values() -> impl Strategy<Value = Vec<(i128, i128)>> {
+    proptest::collection::vec((-20i128..21, 1i128..8), 3)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn compiled_exact_agrees_with_ratfn_eval(
+        num in terms(),
+        den in terms(),
+        vals in values(),
+    ) {
+        let p = poly_from(&num);
+        let q = poly_from(&den);
+        prop_assume!(!q.is_zero());
+        let f = RatFn::new(p, q);
+        let c = Compiled::compile(std::slice::from_ref(&f));
+        let a = assignment_from(&vals);
+        let point = point_for(&c, &a);
+        let out = c.eval_exact_once(&point);
+        // Agreement includes undefinedness: None exactly where the
+        // denominator vanishes at the point.
+        prop_assert_eq!(out[0], f.eval(&a));
+    }
+
+    #[test]
+    fn compiled_f64_agrees_with_exact_within_epsilon(
+        num in terms(),
+        den in terms(),
+        vals in values(),
+    ) {
+        let p = poly_from(&num);
+        let q = poly_from(&den);
+        prop_assume!(!q.is_zero());
+        let f = RatFn::new(p, q);
+        let a = assignment_from(&vals);
+        let exact = match f.eval(&a) {
+            Some(v) => v,
+            None => return Ok(()), // pole: the f64 side has no contract
+        };
+        let c = Compiled::compile(&[f]);
+        let point: Vec<f64> = c
+            .vars()
+            .iter()
+            .map(|s| a.get(*s).copied().unwrap_or(Rational::ZERO).to_f64())
+            .collect();
+        let out = c.eval_f64_once(&point);
+        let got = out[0].expect("finite at a non-pole of small magnitude");
+        let want = exact.to_f64();
+        // Relative epsilon with an absolute floor: cancellation can make
+        // the exact value tiny while intermediates stay O(coeff·val^deg).
+        prop_assert!(
+            (got - want).abs() <= 1e-9 * (1.0 + want.abs()),
+            "{} vs {}", got, want
+        );
+    }
+
+    #[test]
+    fn compiled_derivatives_agree_with_ratfn_derivative(
+        num in terms(),
+        // Affine denominator in the first symbol: the quotient rule
+        // squares the denominator and re-canonicalises through the
+        // multivariate GCD, whose pseudo-remainder coefficients leave
+        // i128 for higher-degree random denominators. (Derived
+        // performance expressions have exactly this affine-denominator
+        // shape.)
+        den in proptest::collection::vec((-3i128..4, (0u32..2, 0u32..1, 0u32..1)), 0..3),
+        vals in values(),
+    ) {
+        let p = poly_from(&num);
+        let q = poly_from(&den);
+        prop_assume!(!q.is_zero());
+        let f = RatFn::new(p, q);
+        let wrt = syms()[0];
+        let c = Compiled::compile_with_derivatives(std::slice::from_ref(&f), &[wrt]);
+        let a = assignment_from(&vals);
+        let point = point_for(&c, &a);
+        let out = c.eval_exact_once(&point);
+        prop_assert_eq!(out[0], f.eval(&a));
+        prop_assert_eq!(out[1], f.derivative(wrt).eval(&a));
+    }
+
+    #[test]
+    fn compiling_more_outputs_never_loses_agreement(
+        num in terms(),
+        vals in values(),
+    ) {
+        // Sharing across outputs (CSE) must not change any output: the
+        // polynomial, its square and its product with a sibling all
+        // evaluate exactly as their standalone compilations.
+        let p = poly_from(&num);
+        let f = RatFn::from_poly(p.clone());
+        let f2 = &f * &f;
+        let batch = Compiled::compile(&[f.clone(), f2.clone()]);
+        let solo2 = Compiled::compile(std::slice::from_ref(&f2));
+        let a = assignment_from(&vals);
+        let got = batch.eval_exact_once(&point_for(&batch, &a));
+        prop_assert_eq!(got[0], f.eval(&a));
+        prop_assert_eq!(&got[1], &f2.eval(&a));
+        let solo = solo2.eval_exact_once(&point_for(&solo2, &a));
+        prop_assert_eq!(&solo[0], &got[1]);
+    }
+}

@@ -45,6 +45,15 @@ pub enum ReachError {
     },
     /// The constraint solver failed (complexity cap or internal error).
     Constraint(ConstraintError),
+    /// A symbol handed to [`LiftedDomain`](crate::LiftedDomain) cannot
+    /// be lifted: it names no attribute of the net, or its base value
+    /// does not admit lifting (see the variant message).
+    BadLift {
+        /// The offending symbol's interned name.
+        symbol: String,
+        /// Why the symbol cannot be lifted.
+        reason: String,
+    },
     /// All firable members of a conflict set have frequency zero *and*
     /// the domain cannot assign them probabilities... this variant is
     /// reserved; the implemented semantics assigns uniform probabilities
@@ -74,6 +83,9 @@ impl fmt::Display for ReachError {
                 write!(f, "reachability exploration exceeded {limit} states")
             }
             ReachError::Constraint(e) => write!(f, "constraint solver: {e}"),
+            ReachError::BadLift { symbol, reason } => {
+                write!(f, "cannot lift symbol {symbol}: {reason}")
+            }
             ReachError::Unreachable => write!(f, "internal: unreachable error variant"),
         }
     }

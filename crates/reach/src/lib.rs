@@ -36,6 +36,7 @@ mod domain;
 mod error;
 mod graph;
 mod interval;
+mod lifted;
 mod state;
 
 pub use correctness::{analyze, CorrectnessReport};
@@ -45,4 +46,5 @@ pub use graph::{
     build_trg, Edge, EdgeKind, MinResolution, StateId, TimedReachabilityGraph, TrgOptions,
 };
 pub use interval::{Interval, IntervalDomain};
+pub use lifted::LiftedDomain;
 pub use state::TimedState;

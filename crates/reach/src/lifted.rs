@@ -1,0 +1,402 @@
+//! Numerically guided symbolic lifting of a fully timed net.
+//!
+//! The fully symbolic [`SymbolicDomain`](crate::SymbolicDomain) needs a
+//! designer-supplied constraint set to discharge every timing
+//! comparison — which exists for the paper's protocol, but not for an
+//! arbitrary `.tpn` document posted to the analysis daemon (the text
+//! format has no constraint syntax). [`LiftedDomain`] closes that gap
+//! for the parameter-sweep workload: starting from a **fully timed**
+//! net, a chosen subset of its attributes (`E(t)`, `F(t)`, `f(t)`
+//! symbols) is *lifted* back into symbols while every timing comparison
+//! is resolved **at the base point** — the numeric values the net was
+//! written with.
+//!
+//! The derived performance expressions are therefore exact closed
+//! forms in the lifted symbols, valid on the *region* of parameter
+//! space where every frozen comparison keeps the outcome it has at the
+//! base point (ties included: two delays equal at the base are treated
+//! as identically equal, exactly as the paper's constraints (3)/(4)
+//! equate packet-loss and packet-delivery times). The domain records
+//! every comparison whose outcome depends on a lifted symbol;
+//! [`LiftedDomain::region`] renders the resulting validity conditions
+//! so callers can report how far a sweep may be trusted.
+
+use std::collections::BTreeSet;
+use std::sync::Mutex;
+
+use tpn_net::{symbols, Frequency, TimedPetriNet, TransId};
+use tpn_rational::Rational;
+use tpn_symbolic::{Assignment, LinExpr, Poly, RatFn, Symbol};
+
+use crate::{AnalysisDomain, ReachError};
+
+/// A fully timed net with a subset of its attributes lifted to symbols
+/// and all comparisons frozen at the base point.
+#[derive(Debug)]
+pub struct LiftedDomain {
+    /// Base value of every lifted symbol.
+    base: Assignment,
+    /// Comparisons involving lifted symbols, rendered as validity
+    /// conditions on the lifted parameters.
+    region: Mutex<BTreeSet<String>>,
+}
+
+impl LiftedDomain {
+    /// Lift `swept` out of `net`'s attributes. Every symbol must name
+    /// an attribute of the net in the canonical
+    /// [`tpn_net::symbols`] grammar (`E(t)`, `F(t)`, `f(t)`), the
+    /// attribute must be known (the net fully timed), and its base
+    /// value must be strictly positive — a zero enabling time or a
+    /// zero frequency is a structural statement (immediacy, priority)
+    /// whose lifting would change the shape of the reachability graph,
+    /// not just its labels.
+    pub fn new(net: &TimedPetriNet, swept: &[Symbol]) -> Result<LiftedDomain, ReachError> {
+        let mut base = Assignment::new();
+        for &sym in swept {
+            if base.contains(sym) {
+                return Err(ReachError::BadLift {
+                    symbol: sym.name(),
+                    reason: "listed more than once".to_string(),
+                });
+            }
+            let value = lookup_attribute(net, sym)?;
+            if !value.is_positive() {
+                return Err(ReachError::BadLift {
+                    symbol: sym.name(),
+                    reason: format!(
+                        "base value {value} is not strictly positive; zero times and \
+                         frequencies are structural and cannot be swept"
+                    ),
+                });
+            }
+            base.set(sym, value);
+        }
+        Ok(LiftedDomain {
+            base,
+            region: Mutex::new(BTreeSet::new()),
+        })
+    }
+
+    /// The base value of every lifted symbol.
+    pub fn base(&self) -> &Assignment {
+        &self.base
+    }
+
+    /// The recorded validity region: every comparison made during graph
+    /// construction whose outcome involved a lifted symbol, rendered as
+    /// a condition (`"expr > 0"` or `"expr = 0"`) on the lifted
+    /// parameters. Expressions derived through this domain are exact on
+    /// the set of parameter values satisfying all conditions; outside
+    /// it the graph itself may change shape.
+    pub fn region(&self) -> Vec<String> {
+        self.region
+            .lock()
+            .expect("region lock")
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Value of `e` at the base point (every symbol in any expression
+    /// this domain produces is a lifted symbol, hence bound).
+    fn at_base(&self, e: &LinExpr) -> Rational {
+        e.eval(&self.base)
+            .expect("lifted expressions only use lifted symbols")
+    }
+
+    /// Record the outcome of comparing `a` against `b` if it involves a
+    /// lifted symbol: `diff = a - b` with its base sign.
+    fn record(&self, a: &LinExpr, b: &LinExpr) {
+        let diff = a.clone() - b;
+        if diff.is_constant() {
+            return; // outcome independent of the lifted parameters
+        }
+        let sign = self.at_base(&diff).signum();
+        let condition = match sign {
+            0 => format!("{diff} = 0"),
+            1 => format!("{diff} > 0"),
+            _ => {
+                let neg = diff.scale(&-Rational::ONE);
+                format!("{neg} > 0")
+            }
+        };
+        self.region.lock().expect("region lock").insert(condition);
+    }
+
+    fn attribute_expr(&self, value: &Rational, sym: Symbol) -> LinExpr {
+        if self.base.contains(sym) {
+            LinExpr::symbol(sym)
+        } else {
+            LinExpr::constant(*value)
+        }
+    }
+}
+
+/// Resolve a canonical attribute symbol against the net.
+fn lookup_attribute(net: &TimedPetriNet, sym: Symbol) -> Result<Rational, ReachError> {
+    for t in net.transitions() {
+        let tr = net.transition(t);
+        let name = tr.name();
+        if sym == symbols::enabling(name) {
+            return known(net, t, tr.enabling().known(), "enabling time");
+        }
+        if sym == symbols::firing(name) {
+            return known(net, t, tr.firing().known(), "firing time");
+        }
+        if sym == symbols::frequency(name) {
+            return match tr.frequency() {
+                Frequency::Weight(w) => Ok(*w),
+                Frequency::Unknown => Err(ReachError::UnknownAttribute {
+                    transition: name.to_string(),
+                    which: "frequency",
+                }),
+            };
+        }
+    }
+    Err(ReachError::BadLift {
+        symbol: sym.name(),
+        reason: "no transition attribute of the net has this canonical name \
+                 (expected E(t), F(t) or f(t) for a transition t)"
+            .to_string(),
+    })
+}
+
+fn known(
+    net: &TimedPetriNet,
+    t: TransId,
+    v: Option<&Rational>,
+    which: &'static str,
+) -> Result<Rational, ReachError> {
+    v.copied().ok_or_else(|| ReachError::UnknownAttribute {
+        transition: net.transition(t).name().to_string(),
+        which,
+    })
+}
+
+impl AnalysisDomain for LiftedDomain {
+    type Time = LinExpr;
+    type Prob = RatFn;
+
+    fn enabling_time(&self, net: &TimedPetriNet, t: TransId) -> Result<LinExpr, ReachError> {
+        let tr = net.transition(t);
+        let v = known(net, t, tr.enabling().known(), "enabling time")?;
+        Ok(self.attribute_expr(&v, symbols::enabling(tr.name())))
+    }
+
+    fn firing_time(&self, net: &TimedPetriNet, t: TransId) -> Result<LinExpr, ReachError> {
+        let tr = net.transition(t);
+        let v = known(net, t, tr.firing().known(), "firing time")?;
+        Ok(self.attribute_expr(&v, symbols::firing(tr.name())))
+    }
+
+    fn zero(&self) -> LinExpr {
+        LinExpr::zero()
+    }
+
+    fn is_zero(&self, t: &LinExpr) -> bool {
+        if t.is_zero() {
+            return true;
+        }
+        if self.at_base(t).is_zero() {
+            // Symbolically non-trivial but zero at the base point: a tie
+            // frozen into an equality of the validity region.
+            self.record(t, &LinExpr::zero());
+            return true;
+        }
+        false
+    }
+
+    fn sub(&self, a: &LinExpr, b: &LinExpr) -> LinExpr {
+        a.clone() - b
+    }
+
+    fn add(&self, a: &LinExpr, b: &LinExpr) -> LinExpr {
+        a.clone() + b
+    }
+
+    fn time_as_prob(&self, t: &LinExpr) -> RatFn {
+        RatFn::from_poly(Poly::from_linexpr(t))
+    }
+
+    fn min_index(&self, candidates: &[LinExpr], _state: usize) -> Result<usize, ReachError> {
+        let mut best = 0usize;
+        for (i, c) in candidates.iter().enumerate().skip(1) {
+            if self.at_base(c) < self.at_base(&candidates[best]) {
+                best = i;
+            }
+        }
+        for (i, c) in candidates.iter().enumerate() {
+            if i != best {
+                self.record(c, &candidates[best]);
+            }
+        }
+        Ok(best)
+    }
+
+    fn time_eq(&self, a: &LinExpr, b: &LinExpr, _state: usize) -> Result<bool, ReachError> {
+        if a == b {
+            return Ok(true);
+        }
+        self.record(a, b);
+        Ok(self.at_base(a) == self.at_base(b))
+    }
+
+    fn prob_one(&self) -> RatFn {
+        RatFn::one()
+    }
+
+    fn probabilities(
+        &self,
+        net: &TimedPetriNet,
+        firable: &[TransId],
+    ) -> Result<Vec<RatFn>, ReachError> {
+        if firable.len() == 1 {
+            return Ok(vec![RatFn::one()]);
+        }
+        let mut weights: Vec<Poly> = Vec::with_capacity(firable.len());
+        let mut any_nonzero = false;
+        for &t in firable {
+            let tr = net.transition(t);
+            let sym = symbols::frequency(tr.name());
+            let w = if self.base.contains(sym) {
+                Poly::symbol(sym)
+            } else {
+                match tr.frequency() {
+                    Frequency::Weight(w) => Poly::constant(*w),
+                    Frequency::Unknown => {
+                        return Err(ReachError::UnknownAttribute {
+                            transition: tr.name().to_string(),
+                            which: "frequency",
+                        })
+                    }
+                }
+            };
+            if !w.is_zero() {
+                any_nonzero = true;
+            }
+            weights.push(w);
+        }
+        if !any_nonzero {
+            let n = Rational::from_int(firable.len() as i128);
+            return Ok(vec![RatFn::constant(Rational::ONE / n); firable.len()]);
+        }
+        let total: Poly = weights.iter().fold(Poly::zero(), |acc, w| &acc + w);
+        Ok(weights
+            .into_iter()
+            .map(|w| RatFn::new(w, total.clone()))
+            .collect())
+    }
+
+    fn prob_mul(&self, a: &RatFn, b: &RatFn) -> RatFn {
+        a * b
+    }
+
+    fn prob_is_zero(&self, p: &RatFn) -> bool {
+        p.is_zero()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{build_trg, NumericDomain, TrgOptions};
+    use tpn_net::NetBuilder;
+
+    fn r(n: i128, d: i128) -> Rational {
+        Rational::new(n, d)
+    }
+
+    /// succeed (w=3, d=1) vs retry (w=1, d=2) on a shared place.
+    fn two_way() -> TimedPetriNet {
+        let mut b = NetBuilder::new("lift");
+        let p = b.place("p", 1);
+        b.transition("succeed")
+            .input(p)
+            .output(p)
+            .firing_const(1)
+            .weight_const(3)
+            .add();
+        b.transition("retry")
+            .input(p)
+            .output(p)
+            .firing_const(2)
+            .weight_const(1)
+            .add();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn lifted_graph_matches_numeric_shape() {
+        let net = two_way();
+        let d = LiftedDomain::new(&net, &[symbols::firing("retry")]).unwrap();
+        let trg = build_trg(&net, &d, &TrgOptions::default()).unwrap();
+        let numeric = build_trg(&net, &NumericDomain::new(), &TrgOptions::default()).unwrap();
+        assert_eq!(trg.num_states(), numeric.num_states());
+        assert_eq!(trg.num_edges(), numeric.num_edges());
+    }
+
+    #[test]
+    fn lifting_a_frequency_yields_symbolic_probabilities() {
+        let net = two_way();
+        let fr = symbols::frequency("retry");
+        let d = LiftedDomain::new(&net, &[fr]).unwrap();
+        let s = net.transition_by_name("succeed").unwrap();
+        let t = net.transition_by_name("retry").unwrap();
+        let ps = d.probabilities(&net, &[s, t]).unwrap();
+        // p(succeed) = 3 / (3 + f(retry))
+        let expect = RatFn::new(
+            Poly::constant(r(3, 1)),
+            &Poly::constant(r(3, 1)) + &Poly::symbol(fr),
+        );
+        assert_eq!(ps[0], expect);
+        let at = Assignment::new().with(fr, r(1, 1));
+        assert_eq!(ps[0].eval(&at), Some(r(3, 4)));
+    }
+
+    #[test]
+    fn rejects_unknown_and_nonpositive_symbols() {
+        let net = two_way();
+        let bogus = Symbol::intern("F(nonexistent)");
+        assert!(matches!(
+            LiftedDomain::new(&net, &[bogus]),
+            Err(ReachError::BadLift { .. })
+        ));
+        // enabling times default to zero: not sweepable
+        let e = symbols::enabling("succeed");
+        let err = LiftedDomain::new(&net, &[e]).unwrap_err();
+        assert!(matches!(err, ReachError::BadLift { .. }), "{err}");
+        // duplicate listing
+        let f = symbols::firing("succeed");
+        assert!(matches!(
+            LiftedDomain::new(&net, &[f, f]),
+            Err(ReachError::BadLift { .. })
+        ));
+    }
+
+    #[test]
+    fn comparisons_are_frozen_and_recorded() {
+        let net = two_way();
+        let f_retry = symbols::firing("retry");
+        let d = LiftedDomain::new(&net, &[f_retry]).unwrap();
+        let a = LinExpr::symbol(f_retry); // base 2
+        let b = LinExpr::constant(r(1, 1));
+        // min picks the constant 1 and records F(retry) - 1 > 0
+        assert_eq!(d.min_index(&[a.clone(), b.clone()], 0), Ok(1));
+        assert_eq!(d.time_eq(&a, &b, 0), Ok(false));
+        let region = d.region();
+        assert!(
+            region
+                .iter()
+                .any(|c| c.contains("F(retry)") && c.contains("> 0")),
+            "{region:?}"
+        );
+        // a tie freezes into an equality
+        let c2 = LinExpr::constant(r(2, 1));
+        assert_eq!(d.time_eq(&a, &c2, 0), Ok(true));
+        assert!(
+            d.region().iter().any(|c| c.ends_with("= 0")),
+            "{:?}",
+            d.region()
+        );
+    }
+}

@@ -43,6 +43,16 @@ pub enum RequestKind {
         /// PRNG seed.
         seed: u64,
     },
+    /// A compiled parameter sweep. The variant carries only the 128-bit
+    /// [`spec_hash`](crate::sweep::spec_hash) of the canonical grid
+    /// spec — enough to address the cache; the spec itself travels with
+    /// the request and is handled by
+    /// [`Service::respond_sweep`](crate::Service::respond_sweep), not
+    /// by [`run`].
+    Sweep {
+        /// Fingerprint of the canonical spec rendering.
+        spec: u128,
+    },
 }
 
 impl RequestKind {
@@ -54,6 +64,7 @@ impl RequestKind {
             RequestKind::Correctness => "correctness",
             RequestKind::Invariants => "invariants",
             RequestKind::Simulate { .. } => "simulate",
+            RequestKind::Sweep { .. } => "sweep",
         }
     }
 }
@@ -104,6 +115,11 @@ pub fn run(net: &TimedPetriNet, kind: RequestKind) -> Result<String, ServiceErro
         RequestKind::Correctness => correctness_json(net),
         RequestKind::Invariants => Ok(invariants_json(net)),
         RequestKind::Simulate { events, seed } => simulate_json(net, events, seed),
+        // A sweep needs its full spec, which only the hash of travels in
+        // the kind; Service::respond_sweep is the entry point.
+        RequestKind::Sweep { .. } => Err(ServiceError::BadRequest(
+            "sweep requests carry a grid spec; POST /sweep with a JSON body".to_string(),
+        )),
     }
 }
 

@@ -8,7 +8,9 @@
 //! clients experience it as connection latency, not memory growth.
 //!
 //! Shutdown is cooperative: dropping the pool wakes every worker,
-//! lets the queue drain, and joins the threads.
+//! lets the queue drain, and joins the threads. Panicking jobs are
+//! isolated with `catch_unwind` — the pool is fixed-size, so a dead
+//! worker would never be replaced.
 
 use std::collections::VecDeque;
 use std::sync::{Arc, Condvar, Mutex};
@@ -136,7 +138,14 @@ fn worker_loop(shared: &Shared) {
             }
         };
         match job {
-            Some(job) => job(),
+            // A panicking job must not kill the worker: the pool is
+            // fixed-size and never respawns threads, so without this a
+            // request that trips a panic (e.g. exact-arithmetic
+            // overflow deep in an analysis pipeline) would permanently
+            // shrink the pool until the daemon stops serving.
+            Some(job) => {
+                let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+            }
             None => return,
         }
     }
@@ -180,6 +189,23 @@ mod tests {
         }
         drop(pool);
         assert_eq!(done.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn panicking_jobs_do_not_kill_workers() {
+        // One worker; the panicking job must not shrink the pool.
+        let pool = ThreadPool::new(1, 4);
+        pool.execute(|| panic!("hostile request")).unwrap();
+        let done = Arc::new(AtomicUsize::new(0));
+        for _ in 0..3 {
+            let done = Arc::clone(&done);
+            pool.execute(move || {
+                done.fetch_add(1, Ordering::Relaxed);
+            })
+            .unwrap();
+        }
+        drop(pool);
+        assert_eq!(done.load(Ordering::Relaxed), 3, "worker survived the panic");
     }
 
     #[test]

@@ -15,8 +15,9 @@
 //! | POST | `/correctness` | `.tpn` text | deadlock/safeness/liveness |
 //! | POST | `/invariants` | `.tpn` text | P-/T-semiflows |
 //! | POST | `/simulate?events=N&seed=S` | `.tpn` text | Monte-Carlo counters |
+//! | POST | `/sweep` | JSON: grid spec + `.tpn` text | per-point throughput/utilisation rows |
 //! | GET | `/healthz` | — | liveness probe |
-//! | GET | `/stats` | — | cache/pool counters |
+//! | GET | `/stats` | — | cache/pool/sweep counters |
 //!
 //! Status codes: 200 on success, 400 for malformed requests or `.tpn`
 //! parse errors, 404/405 for bad routes, 413 for oversized bodies, 422
@@ -50,6 +51,12 @@ pub struct ServiceConfig {
     /// Maximum `events` accepted by `/simulate` — one request may not
     /// pin a worker on an unbounded computation.
     pub max_sim_events: u64,
+    /// Worker threads one `/sweep` evaluation fans out over (the grid
+    /// is chunked across them; the output is identical at any count).
+    pub sweep_threads: usize,
+    /// Maximum grid points accepted by `/sweep` — the sweep analogue
+    /// of `max_sim_events`.
+    pub max_sweep_points: u64,
 }
 
 impl Default for ServiceConfig {
@@ -60,6 +67,8 @@ impl Default for ServiceConfig {
             cache: CacheConfig::default(),
             max_body_bytes: 1 << 20,
             max_sim_events: 10_000_000,
+            sweep_threads: 4,
+            max_sweep_points: 1_000_000,
         }
     }
 }
@@ -71,6 +80,10 @@ pub struct Service {
     cache: AnalysisCache,
     config: ServiceConfig,
     requests: AtomicU64,
+    sweeps: AtomicU64,
+    sweep_hits: AtomicU64,
+    sweep_compiles: AtomicU64,
+    sweep_points: AtomicU64,
 }
 
 impl Service {
@@ -80,6 +93,10 @@ impl Service {
             cache: AnalysisCache::new(&config.cache),
             config,
             requests: AtomicU64::new(0),
+            sweeps: AtomicU64::new(0),
+            sweep_hits: AtomicU64::new(0),
+            sweep_compiles: AtomicU64::new(0),
+            sweep_points: AtomicU64::new(0),
         }
     }
 
@@ -119,6 +136,73 @@ impl Service {
         }
     }
 
+    /// Serve one parameter-sweep request. `body` is the spec object of
+    /// [`crate::sweep`] plus a `"net"` member with the `.tpn` text.
+    /// Results are cached under `(net digest, spec hash)` — a repeated
+    /// sweep of the same net and grid is answered from the cache, and
+    /// concurrent identical sweeps coalesce into one evaluation.
+    pub fn respond_sweep(&self, body: &str) -> (u16, Arc<String>) {
+        use crate::sweep::{spec_hash, sweep_json, SweepSpec};
+        use std::sync::atomic::AtomicBool;
+
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        self.sweeps.fetch_add(1, Ordering::Relaxed);
+        let fail = |e: ServiceError| (e.status(), Arc::new(error_body(&e.to_string())));
+        let doc = match crate::jsonval::Json::parse(body) {
+            Ok(doc) => doc,
+            Err(e) => return fail(ServiceError::BadRequest(format!("request body: {e}"))),
+        };
+        let net_text = match doc.get("net").and_then(crate::jsonval::Json::as_str) {
+            Some(t) => t,
+            None => {
+                return fail(ServiceError::BadRequest(
+                    "request body needs a \"net\" member with the .tpn text".to_string(),
+                ))
+            }
+        };
+        let net = match parse_tpn(net_text) {
+            Ok(net) => net,
+            Err(e) => return fail(ServiceError::Parse(e.to_string())),
+        };
+        let spec = match SweepSpec::from_json(&doc) {
+            Ok(spec) => spec,
+            Err(e) => return fail(e),
+        };
+        let key = CacheKey {
+            digest: net.digest(),
+            kind: RequestKind::Sweep {
+                spec: spec_hash(&spec.canonical()),
+            },
+        };
+        let computed = AtomicBool::new(false);
+        let result = self.cache.get_or_compute(key, || {
+            computed.store(true, Ordering::Relaxed);
+            let (body, points) = sweep_json(
+                &net,
+                &spec,
+                self.config.sweep_threads,
+                self.config.max_sweep_points,
+            )?;
+            self.sweep_compiles.fetch_add(1, Ordering::Relaxed);
+            self.sweep_points.fetch_add(points, Ordering::Relaxed);
+            Ok(body)
+        });
+        match result {
+            Ok(body) => {
+                if !computed.load(Ordering::Relaxed) {
+                    // Served from the cache or coalesced onto a
+                    // concurrent identical evaluation — either way, no
+                    // evaluation ran for this request. Errors are
+                    // deliberately not counted: a follower coalesced
+                    // onto a failing leader got a 4xx, not a hit.
+                    self.sweep_hits.fetch_add(1, Ordering::Relaxed);
+                }
+                (200, body)
+            }
+            Err(e) => fail(e),
+        }
+    }
+
     /// The `/stats` document: request/cache counters plus pool sizing.
     pub fn stats_json(&self) -> String {
         let s = self.cache.stats();
@@ -140,6 +224,14 @@ impl Service {
         w.uint(s.entries as u64);
         w.key("bytes");
         w.uint(s.bytes as u64);
+        w.key("sweeps");
+        w.uint(self.sweeps.load(Ordering::Relaxed));
+        w.key("sweep_hits");
+        w.uint(self.sweep_hits.load(Ordering::Relaxed));
+        w.key("sweep_compiles");
+        w.uint(self.sweep_compiles.load(Ordering::Relaxed));
+        w.key("sweep_points");
+        w.uint(self.sweep_points.load(Ordering::Relaxed));
         w.key("threads");
         w.uint(self.config.threads as u64);
         w.key("queue_cap");
@@ -487,6 +579,10 @@ fn route(service: &Service, req: &Request) -> (u16, Arc<String>) {
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => (200, Arc::new(Service::health_json())),
         ("GET", "/stats") => (200, Arc::new(service.stats_json())),
+        ("POST", "/sweep") => match std::str::from_utf8(&req.body) {
+            Ok(text) => service.respond_sweep(text),
+            Err(_) => (400, Arc::new(error_body("request body is not UTF-8"))),
+        },
         ("POST", path) if ANALYSES.contains(&path) => {
             let kind = match analysis_kind(req) {
                 Ok(kind) => kind,
@@ -506,10 +602,17 @@ fn route(service: &Service, req: &Request) -> (u16, Arc<String>) {
                 Err(_) => (400, Arc::new(error_body("request body is not UTF-8"))),
             }
         }
-        (_, path) if ANALYSES.contains(&path) || path == "/healthz" || path == "/stats" => (
-            405,
-            Arc::new(error_body(&format!("method {} not allowed", req.method))),
-        ),
+        (_, path)
+            if ANALYSES.contains(&path)
+                || path == "/sweep"
+                || path == "/healthz"
+                || path == "/stats" =>
+        {
+            (
+                405,
+                Arc::new(error_body(&format!("method {} not allowed", req.method))),
+            )
+        }
         (_, path) => (
             404,
             Arc::new(error_body(&format!("no such endpoint {path}"))),

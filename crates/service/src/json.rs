@@ -178,6 +178,25 @@ impl JsonWriter {
         let _ = write!(self.out, "{x:.digits$}");
     }
 
+    /// A full-precision float: Rust's shortest round-trip rendering,
+    /// which is deterministic across platforms (the sweep endpoint's
+    /// byte-for-byte cacheability relies on this). Non-finite values
+    /// have no JSON number form and are written as `null`.
+    pub fn float(&mut self, x: f64) {
+        if !x.is_finite() {
+            self.null();
+            return;
+        }
+        self.before_value();
+        let _ = write!(self.out, "{x}");
+    }
+
+    /// A `null` value.
+    pub fn null(&mut self) {
+        self.before_value();
+        self.out.push_str("null");
+    }
+
     /// An exact rational as its `"n/d"` (or `"n"` when integral)
     /// string rendering.
     pub fn rational(&mut self, r: &Rational) {

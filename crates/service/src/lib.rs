@@ -9,7 +9,9 @@
 //! | module | contents |
 //! |---|---|
 //! | [`json`] | compact hand-rolled JSON writer (std-only, no serde) |
+//! | [`jsonval`] | minimal JSON parser (the `/sweep` request body) |
 //! | [`analysis`] | request kinds and their JSON renderings |
+//! | [`sweep`] | parameter-sweep specs and the compiled sweep executor |
 //! | [`cache`] | sharded LRU result cache keyed by [`tpn_net::NetDigest`], with request coalescing |
 //! | [`executor`] | fixed thread pool over a bounded work queue |
 //! | [`http`] | hand-rolled HTTP/1.1 server over [`std::net::TcpListener`] |
@@ -53,8 +55,12 @@ pub mod cache;
 pub mod executor;
 pub mod http;
 pub mod json;
+pub mod jsonval;
+pub mod sweep;
 
 pub use analysis::{run, RequestKind, ServiceError, DEFAULT_SIM_EVENTS, DEFAULT_SIM_SEED};
 pub use cache::{AnalysisCache, CacheConfig, CacheKey, CacheStats};
 pub use executor::{PoolClosed, ThreadPool};
 pub use http::{spawn, ServerHandle, Service, ServiceConfig};
+pub use jsonval::Json;
+pub use sweep::{spec_hash, sweep_json, SweepBackend, SweepSpec};

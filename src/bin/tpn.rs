@@ -8,6 +8,7 @@
 //! tpn correctness <net.tpn>             deadlock/safeness/liveness report
 //! tpn invariants <net.tpn>              P- and T-semiflows
 //! tpn simulate <net.tpn> [EVENTS [SEED]]  Monte-Carlo run
+//! tpn sweep <net.tpn> <spec.json>       compiled parameter sweep (JSON rows)
 //! tpn serve <addr> [OPTIONS]            HTTP analysis daemon (JSON API)
 //! tpn batch <dir> [KIND]                analyze every .tpn in a directory (JSON lines)
 //! ```
@@ -70,6 +71,11 @@ const COMMANDS: &[CommandHelp] = &[
         name: "simulate",
         usage: "tpn simulate <net.tpn> [EVENTS [SEED]]",
         summary: "Monte-Carlo run (defaults: 1000000 events, seed 0x5EED)",
+    },
+    CommandHelp {
+        name: "sweep",
+        usage: "tpn sweep <net.tpn> <spec.json> [--threads N] [--max-points N]",
+        summary: "compiled parameter sweep over a grid of timing/frequency values (JSON rows)",
     },
     CommandHelp {
         name: "serve",
@@ -167,6 +173,7 @@ fn run(args: &[String]) -> Result<(), String> {
     match cmd {
         "serve" => return cmd_serve(&args[1..]),
         "batch" => return cmd_batch(&args[1..]),
+        "sweep" => return cmd_sweep(&args[1..]),
         _ => {}
     }
     let path = args.get(1).ok_or_else(|| usage_of(cmd))?;
@@ -306,6 +313,52 @@ fn run(args: &[String]) -> Result<(), String> {
     }
 }
 
+/// `tpn sweep <net.tpn> <spec.json> [--threads N] [--max-points N]` —
+/// evaluate the compiled performance expressions of a net over a
+/// parameter grid. Prints exactly the JSON document the daemon's
+/// `POST /sweep` endpoint returns for the same net and spec
+/// (byte-identical: both go through `tpn_service::sweep_json`).
+fn cmd_sweep(args: &[String]) -> Result<(), String> {
+    let defaults = ServiceConfig::default();
+    let mut threads = defaults.sweep_threads;
+    let mut max_points = defaults.max_sweep_points;
+    let mut positional: Vec<&str> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut flag_value = |name: &str| -> Result<u64, String> {
+            let v = it
+                .next()
+                .ok_or_else(|| format!("{name} needs a value\n{}", usage_of("sweep")))?;
+            v.parse()
+                .map_err(|_| format!("bad {name} value {v:?}\n{}", usage_of("sweep")))
+        };
+        match arg.as_str() {
+            "--threads" => threads = flag_value("--threads")? as usize,
+            "--max-points" => max_points = flag_value("--max-points")?,
+            flag if flag.starts_with('-') => {
+                return Err(format!("unknown flag {flag:?}\n{}", usage_of("sweep")))
+            }
+            a => positional.push(a),
+        }
+    }
+    let [net_path, spec_path] = positional.as_slice() else {
+        return Err(usage_of("sweep"));
+    };
+    let net = load(net_path)?;
+    let spec_text = std::fs::read_to_string(spec_path).map_err(|e| format!("{spec_path}: {e}"))?;
+    let doc = tpn_service::Json::parse(&spec_text).map_err(|e| format!("{spec_path}: {e}"))?;
+    if doc.get("net").is_some() {
+        return Err(format!(
+            "{spec_path}: the net comes from the <net.tpn> argument; drop the \"net\" member"
+        ));
+    }
+    let spec = tpn_service::SweepSpec::from_json(&doc).map_err(|e| e.to_string())?;
+    let (body, _) =
+        tpn_service::sweep_json(&net, &spec, threads, max_points).map_err(|e| e.to_string())?;
+    println!("{body}");
+    Ok(())
+}
+
 /// `tpn serve <addr> [--threads N] [--queue N] [--cache-bytes N]`
 fn cmd_serve(args: &[String]) -> Result<(), String> {
     let mut addr: Option<&str> = None;
@@ -340,7 +393,8 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     let handle = tpn_service::spawn(service, addr).map_err(|e| format!("{addr}: {e}"))?;
     println!("tpn-service listening on http://{}", handle.addr());
     println!(
-        "endpoints: POST /analyze /graph /correctness /invariants /simulate · GET /healthz /stats"
+        "endpoints: POST /analyze /graph /correctness /invariants /simulate /sweep · \
+         GET /healthz /stats"
     );
     handle.wait();
     Ok(())

@@ -18,6 +18,7 @@
 //! | [`net`] | `tpn-net` | the Timed Petri Net model, builder, validation, `.tpn` format |
 //! | [`reach`] | `tpn-reach` | timed reachability graphs (numeric §2 and symbolic §3) |
 //! | [`core`] | `tpn-core` | decision graphs, traversal rates, performance expressions |
+//! | [`eval`] | `tpn-eval` | compiled expression evaluation and parallel parameter sweeps |
 //! | [`sim`] | `tpn-sim` | discrete-event Monte-Carlo validation |
 //! | [`protocols`] | `tpn-protocols` | the paper's nets and parametric families |
 //! | [`service`] | `tpn-service` | analysis daemon: result cache, thread pool, HTTP + JSON |
@@ -46,6 +47,7 @@
 //! ```
 
 pub use tpn_core as core;
+pub use tpn_eval as eval;
 pub use tpn_linalg as linalg;
 pub use tpn_net as net;
 pub use tpn_protocols as protocols;
@@ -58,12 +60,14 @@ pub use tpn_symbolic as symbolic;
 /// The commonly used names, for glob import.
 pub mod prelude {
     pub use tpn_core::{
-        solve_rates, solve_rates_with, DecisionGraph, Performance, RateMethod, Rates,
+        solve_rates, solve_rates_with, DecisionGraph, ExprTarget, Performance, RateMethod, Rates,
     };
+    pub use tpn_eval::{sweep_exact, sweep_f64, Axis, Compiled, Grid, SweepOptions};
     pub use tpn_net::{Bag, Marking, NetBuilder, TimedPetriNet};
     pub use tpn_rational::Rational;
     pub use tpn_reach::{
-        analyze, build_trg, Interval, IntervalDomain, NumericDomain, SymbolicDomain, TrgOptions,
+        analyze, build_trg, Interval, IntervalDomain, LiftedDomain, NumericDomain, SymbolicDomain,
+        TrgOptions,
     };
     pub use tpn_service::{RequestKind, Service, ServiceConfig};
     pub use tpn_sim::{simulate, SimOptions};
