@@ -1,0 +1,111 @@
+//! E13 — parameter synthesis vs exhaustive sweep: how much cheaper is
+//! *solving* for the optimal timeout than tabulating and scanning?
+//!
+//! Three tiers on the paper's Figure-1 protocol with the timeout
+//! `E(t3)` lifted (plus a two-parameter variant with the packet time
+//! `F(t4)` lifted as well):
+//!
+//! * `exact_univariate` — the certified Sturm-sequence engine: isolate
+//!   the derivative's roots, classify them, compare candidates exactly;
+//! * `sweep_argmax_10k` — the exhaustive baseline the certificate
+//!   replaces: evaluate the compiled expression at 10 000 grid points
+//!   and keep the best (via `tpn_eval::argbest_f64`, so the baseline
+//!   already avoids materialising rows);
+//! * `grid_gradient_2d` — the multivariate refiner (coarse seed grid +
+//!   projected gradient ascent + exact re-verification) on the
+//!   two-parameter problem.
+//!
+//! `BENCH_3.json` records the wall-clock ratio of the exact solve to
+//! the 10k sweep scan: synthesis answers the design question both
+//! faster *and* with a proof.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use tpn_core::{solve_rates, DecisionGraph, ExprTarget, OptGoal, Performance};
+use tpn_eval::{argbest_f64, Axis, Compiled, Grid, SweepOptions};
+use tpn_net::symbols;
+use tpn_opt::{optimize_multivariate, optimize_univariate, OptOptions};
+use tpn_protocols::simple;
+use tpn_rational::Rational;
+use tpn_reach::{build_trg, LiftedDomain, TrgOptions};
+use tpn_symbolic::{Assignment, Constraint, RatFn, Symbol};
+
+/// Lift `swept` out of the Figure-1 net and export the t7 throughput.
+fn lifted_throughput(swept: &[Symbol]) -> (RatFn, Vec<Constraint>) {
+    let proto = simple::paper();
+    let domain = LiftedDomain::new(&proto.net, swept).expect("liftable");
+    let trg = build_trg(&proto.net, &domain, &TrgOptions::default()).expect("trg");
+    let dg = DecisionGraph::from_trg(&trg, &domain).expect("decision graph");
+    let rates = solve_rates(&dg, 0).expect("rates");
+    let perf = Performance::new(&dg, rates, &domain).expect("performance");
+    let expr = perf.export_expr(&dg, &trg, &domain, ExprTarget::Throughput(proto.t[6]));
+    (expr, domain.region_constraints())
+}
+
+fn bench_synthesis(c: &mut Criterion) {
+    let e3 = symbols::enabling("t3");
+    let f4 = symbols::firing("t4");
+    let (lo, hi) = (Rational::from_int(300), Rational::from_int(2050));
+    let (expr1, region1) = lifted_throughput(&[e3]);
+
+    let mut g = c.benchmark_group("opt/fig1_timeout");
+    g.bench_function("exact_univariate", |b| {
+        b.iter(|| {
+            let best = optimize_univariate(
+                black_box(&expr1),
+                e3,
+                lo,
+                hi,
+                &region1,
+                OptGoal::Maximize,
+                Rational::new(1, 1 << 20),
+            )
+            .unwrap();
+            assert!(best.certified());
+            black_box(best)
+        })
+    });
+    // The exhaustive baseline: compile once outside the loop (the
+    // sweep endpoint amortises compilation through its cache too),
+    // then scan 10 000 points per answer.
+    let compiled = Compiled::compile(std::slice::from_ref(&expr1));
+    let grid = Grid::new(vec![Axis::linear(e3, lo, hi, 10_000)]).expect("grid");
+    let fixed = Assignment::new();
+    for threads in [1usize, 4] {
+        g.bench_with_input(
+            BenchmarkId::new("sweep_argmax_10k", format!("{threads}threads")),
+            &threads,
+            |b, &threads| {
+                let opts = SweepOptions {
+                    threads,
+                    max_points: 10_000,
+                };
+                b.iter(|| {
+                    argbest_f64(&compiled, &grid, &fixed, &opts, 0, true, |_| true)
+                        .unwrap()
+                        .expect("defined rows")
+                })
+            },
+        );
+    }
+    g.finish();
+
+    let (expr2, region2) = lifted_throughput(&[e3, f4]);
+    let axes = [
+        (e3, lo, hi),
+        (f4, Rational::from_int(50), Rational::from_int(200)),
+    ];
+    let mut g = c.benchmark_group("opt/fig1_timeout_x_packet_time");
+    g.bench_function("grid_gradient_2d", |b| {
+        let opts = OptOptions::default();
+        b.iter(|| {
+            optimize_multivariate(black_box(&expr2), &axes, &region2, OptGoal::Maximize, &opts)
+                .unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_synthesis);
+criterion_main!(benches);

@@ -28,10 +28,12 @@ mod decision;
 mod error;
 mod exprs;
 mod measures;
+mod opt;
 mod rates;
 
 pub use decision::{DecisionEdge, DecisionGraph};
 pub use error::CoreError;
 pub use exprs::ExprTarget;
 pub use measures::Performance;
+pub use opt::{OptCertificate, OptGoal, Optimum};
 pub use rates::{solve_rates, solve_rates_with, RateMethod, Rates};

@@ -1,0 +1,207 @@
+//! Shared types of the parameter-synthesis surface.
+//!
+//! The optimizer (`tpn-opt`) answers the question the exported closed
+//! forms exist for: *which parameter values make the protocol fastest?*
+//! Its result vocabulary lives here, next to [`ExprTarget`](crate::ExprTarget),
+//! so every layer — the solver, the daemon's `/optimize` endpoint and
+//! the CLI — speaks the same language without depending on the solver
+//! crate itself.
+
+use tpn_rational::Rational;
+use tpn_symbolic::Symbol;
+
+/// Direction of a parameter search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OptGoal {
+    /// Find the point with the greatest objective value.
+    Maximize,
+    /// Find the point with the least objective value.
+    Minimize,
+}
+
+impl OptGoal {
+    /// The canonical spec-grammar name (`"max"` / `"min"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            OptGoal::Maximize => "max",
+            OptGoal::Minimize => "min",
+        }
+    }
+
+    /// Parse the spec grammar (`"max"` / `"min"`).
+    pub fn parse(s: &str) -> Option<OptGoal> {
+        match s {
+            "max" => Some(OptGoal::Maximize),
+            "min" => Some(OptGoal::Minimize),
+            _ => None,
+        }
+    }
+
+    /// `true` iff `a` is strictly better than `b` under this goal.
+    pub fn better(self, a: &Rational, b: &Rational) -> bool {
+        match self {
+            OptGoal::Maximize => a > b,
+            OptGoal::Minimize => a < b,
+        }
+    }
+
+    /// [`OptGoal::better`] in the `f64` backend.
+    pub fn better_f64(self, a: f64, b: f64) -> bool {
+        match self {
+            OptGoal::Maximize => a > b,
+            OptGoal::Minimize => a < b,
+        }
+    }
+}
+
+/// How a reported optimum is justified. The univariate engine produces
+/// *exact* certificates (Sturm-sequence root isolation over rational
+/// arithmetic); the multivariate refiner reports the numeric evidence
+/// it has.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OptCertificate {
+    /// The optimum is an interior critical point: the objective's
+    /// derivative changes sign across it (`+ → −` for a maximum,
+    /// `− → +` for a minimum), certified by exact sign evaluation at
+    /// the rational bracket endpoints.
+    Interior {
+        /// `true` when the critical point is exactly rational (the
+        /// bracket has collapsed to the point itself).
+        exact: bool,
+        /// Rational bracket `[lo, hi]` isolating the critical point
+        /// (`lo == hi` when `exact`).
+        bracket: (Rational, Rational),
+        /// Sign of the derivative just below the critical point.
+        sign_below: i32,
+        /// Sign of the derivative just above the critical point.
+        sign_above: i32,
+    },
+    /// The optimum sits on the boundary of the feasible interval: the
+    /// derivative keeps a single sign (certified by Sturm root
+    /// counting — no interior sign change exists) between the boundary
+    /// and the nearest critical point.
+    Boundary {
+        /// `true` when the optimum is the upper end of the interval.
+        upper: bool,
+        /// `true` when the binding bound is an *open* validity-region
+        /// constraint: the reported point approaches the boundary
+        /// within the solver tolerance rather than sitting on it.
+        open: bool,
+        /// Sign of the derivative on the boundary-adjacent segment.
+        derivative_sign: i32,
+    },
+    /// The feasible set collapsed to a single point (an equality
+    /// constraint of the validity region pinned the parameter).
+    Pinned,
+    /// Numeric evidence only: coarse grid seeding plus projected
+    /// gradient ascent, with the final point re-verified by exact
+    /// evaluation but not certified globally optimal.
+    Refined {
+        /// Gradient-ascent iterations performed after seeding.
+        iterations: u32,
+        /// Euclidean norm of the objective gradient at the final point.
+        grad_norm: f64,
+    },
+}
+
+impl OptCertificate {
+    /// `true` for the exact-arithmetic certificates (`Interior`,
+    /// `Boundary`, `Pinned`); `false` for `Refined`.
+    pub fn is_exact(&self) -> bool {
+        !matches!(self, OptCertificate::Refined { .. })
+    }
+
+    /// The certificate kind's canonical name (the JSON `kind` member).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            OptCertificate::Interior { .. } => "interior",
+            OptCertificate::Boundary { .. } => "boundary",
+            OptCertificate::Pinned => "pinned",
+            OptCertificate::Refined { .. } => "refined",
+        }
+    }
+}
+
+/// A solved parameter-synthesis problem: the best feasible point found,
+/// its objective value, and the justification.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Optimum {
+    /// The optimal parameter values, in the problem's box-axis order.
+    pub point: Vec<(Symbol, Rational)>,
+    /// Exact objective value at `point` (`None` only when exact
+    /// re-evaluation overflowed `i128`; `value_f64` still stands).
+    pub value: Option<Rational>,
+    /// The objective value at `point` in the `f64` backend.
+    pub value_f64: f64,
+    /// The search direction the optimum answers.
+    pub goal: OptGoal,
+    /// Why this point is believed optimal.
+    pub certificate: OptCertificate,
+}
+
+impl Optimum {
+    /// `true` iff the optimum carries an exact-arithmetic certificate.
+    pub fn certified(&self) -> bool {
+        self.certificate.is_exact()
+    }
+
+    /// The value of symbol `s` at the optimum, if it is part of the point.
+    pub fn coordinate(&self, s: Symbol) -> Option<Rational> {
+        self.point
+            .iter()
+            .find(|(sym, _)| *sym == s)
+            .map(|(_, v)| *v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn goal_grammar_roundtrips() {
+        for g in [OptGoal::Maximize, OptGoal::Minimize] {
+            assert_eq!(OptGoal::parse(g.name()), Some(g));
+        }
+        assert_eq!(OptGoal::parse("maximise"), None);
+    }
+
+    #[test]
+    fn better_follows_the_goal() {
+        let two = Rational::from_int(2);
+        let three = Rational::from_int(3);
+        assert!(OptGoal::Maximize.better(&three, &two));
+        assert!(!OptGoal::Maximize.better(&two, &two));
+        assert!(OptGoal::Minimize.better(&two, &three));
+        assert!(OptGoal::Maximize.better_f64(3.0, 2.0));
+        assert!(OptGoal::Minimize.better_f64(2.0, 3.0));
+    }
+
+    #[test]
+    fn certificates_classify_exactness() {
+        let interior = OptCertificate::Interior {
+            exact: true,
+            bracket: (Rational::ONE, Rational::ONE),
+            sign_below: 1,
+            sign_above: -1,
+        };
+        assert!(interior.is_exact());
+        assert_eq!(interior.kind(), "interior");
+        let refined = OptCertificate::Refined {
+            iterations: 10,
+            grad_norm: 1e-9,
+        };
+        assert!(!refined.is_exact());
+        assert_eq!(refined.kind(), "refined");
+        let s = Symbol::intern("opt_types_x");
+        let o = Optimum {
+            point: vec![(s, Rational::from_int(7))],
+            value: Some(Rational::ONE),
+            value_f64: 1.0,
+            goal: OptGoal::Maximize,
+            certificate: refined,
+        };
+        assert!(!o.certified());
+        assert_eq!(o.coordinate(s), Some(Rational::from_int(7)));
+    }
+}

@@ -44,4 +44,4 @@ mod sweep;
 
 pub use compile::Compiled;
 pub use error::EvalError;
-pub use sweep::{sweep_exact, sweep_f64, Axis, Grid, SweepOptions};
+pub use sweep::{argbest_f64, sweep_exact, sweep_f64, Axis, Grid, SweepOptions};

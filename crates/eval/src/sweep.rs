@@ -274,6 +274,93 @@ pub fn sweep_exact(
     Ok(run_chunked(total, opts.threads, eval_chunk))
 }
 
+/// The seed-grid hook of the optimizer: evaluate `c` over the grid in
+/// the `f64` backend and return only the **best** feasible row — its
+/// index and its value of output `score` — instead of materialising
+/// every row. A row is a candidate when output `score` is defined and
+/// `feasible` accepts the full output row (the optimizer passes the
+/// validity-region membership test here). `maximize` picks the
+/// direction; ties resolve to the lowest grid index, and chunks are
+/// reduced in index order, so the result is identical at every thread
+/// count. Returns `Ok(None)` when no row is feasible.
+///
+/// # Panics
+/// Panics if `score` is not an output index of `c`.
+pub fn argbest_f64(
+    c: &Compiled,
+    grid: &Grid,
+    fixed: &Assignment,
+    opts: &SweepOptions,
+    score: usize,
+    maximize: bool,
+    feasible: impl Fn(&[Option<f64>]) -> bool + Sync,
+) -> Result<Option<(u64, f64)>, EvalError> {
+    assert!(score < c.num_outputs(), "score output out of range");
+    let sources = bind(c, grid, fixed)?;
+    let total = checked_total(grid, opts)?;
+    let tables: Vec<Vec<f64>> = grid
+        .axes()
+        .iter()
+        .map(|a| a.values().iter().map(Rational::to_f64).collect())
+        .collect();
+    let eval_chunk = |start: u64, end: u64| -> Vec<Option<(u64, f64)>> {
+        let mut best: Option<(u64, f64)> = None;
+        let mut scratch: Vec<f64> = Vec::new();
+        let mut point = vec![0.0f64; c.vars().len()];
+        let mut coords: Vec<usize> = vec![0; grid.axes().len()];
+        let mut out = vec![None; c.num_outputs()];
+        for idx in start..end {
+            decode(grid, idx, &mut coords);
+            for (slot, src) in point.iter_mut().zip(&sources) {
+                *slot = match src {
+                    VarSource::Fixed(x) => x.to_f64(),
+                    VarSource::AxisIndex(k) => tables[*k][coords[*k]],
+                };
+            }
+            c.eval_f64(&point, &mut scratch, &mut out);
+            let Some(v) = out[score] else { continue };
+            if !feasible(&out) {
+                continue;
+            }
+            // Strict comparison: an equal later value never displaces
+            // an earlier index, which is what makes the fold
+            // associative across chunk boundaries.
+            let better = match best {
+                None => true,
+                Some((_, b)) => {
+                    if maximize {
+                        v > b
+                    } else {
+                        v < b
+                    }
+                }
+            };
+            if better {
+                best = Some((idx, v));
+            }
+        }
+        vec![best]
+    };
+    let per_chunk = run_chunked(total, opts.threads, eval_chunk);
+    let mut best: Option<(u64, f64)> = None;
+    for candidate in per_chunk.into_iter().flatten() {
+        let better = match best {
+            None => true,
+            Some((_, b)) => {
+                if maximize {
+                    candidate.1 > b
+                } else {
+                    candidate.1 < b
+                }
+            }
+        };
+        if better {
+            best = Some(candidate);
+        }
+    }
+    Ok(best)
+}
+
 fn checked_total(grid: &Grid, opts: &SweepOptions) -> Result<u64, EvalError> {
     let total = grid.num_points();
     if total > opts.max_points {
@@ -444,6 +531,50 @@ mod tests {
                 max: 99
             }
         );
+    }
+
+    #[test]
+    fn argbest_finds_the_peak_and_is_thread_invariant() {
+        let x = Symbol::intern("sw_ab_x");
+        // f = x·(4−x) has its maximum at x = 2 (value 4); also expose x
+        // itself so the feasibility predicate can be exercised.
+        let p = &Poly::symbol(x) * &(Poly::constant(r(4, 1)) - Poly::symbol(x));
+        let f = RatFn::from_poly(p);
+        let id = RatFn::symbol(x);
+        let c = Compiled::compile(&[f, id]);
+        let grid = Grid::new(vec![Axis::linear(x, r(0, 1), r(4, 1), 41)]).unwrap();
+        let fixed = Assignment::new();
+        let one = SweepOptions {
+            threads: 1,
+            ..SweepOptions::default()
+        };
+        let four = SweepOptions {
+            threads: 4,
+            ..SweepOptions::default()
+        };
+        let best1 = argbest_f64(&c, &grid, &fixed, &one, 0, true, |_| true).unwrap();
+        let best4 = argbest_f64(&c, &grid, &fixed, &four, 0, true, |_| true).unwrap();
+        assert_eq!(best1, best4, "identical at any thread count");
+        let (idx, v) = best1.unwrap();
+        assert_eq!(idx, 20, "x = 2 is grid point 20");
+        assert_eq!(v, 4.0);
+        // minimisation picks an endpoint; ties (f(0) = f(4) = 0) go to
+        // the lowest index
+        let (idx, v) = argbest_f64(&c, &grid, &fixed, &four, 0, false, |_| true)
+            .unwrap()
+            .unwrap();
+        assert_eq!((idx, v), (0, 0.0));
+        // the feasibility predicate excludes the peak: best moves to
+        // the closest feasible point
+        let best = argbest_f64(&c, &grid, &fixed, &four, 0, true, |row| {
+            row[1].is_some_and(|xv| xv > 2.05)
+        })
+        .unwrap()
+        .unwrap();
+        assert_eq!(best.0, 21, "first point right of the excluded peak");
+        // nothing feasible → None
+        let none = argbest_f64(&c, &grid, &fixed, &four, 0, true, |_| false).unwrap();
+        assert_eq!(none, None);
     }
 
     #[test]

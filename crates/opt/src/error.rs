@@ -1,0 +1,88 @@
+//! Errors of the parameter-synthesis engines.
+
+use std::fmt;
+
+use tpn_eval::EvalError;
+use tpn_symbolic::Symbol;
+
+/// Why an optimisation problem could not be solved.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OptError {
+    /// The problem has no box axes.
+    EmptyBox,
+    /// The same symbol appears on two box axes.
+    DuplicateSymbol {
+        /// The doubly-boxed symbol.
+        symbol: Symbol,
+    },
+    /// A box axis has `from > to`.
+    InvalidBounds {
+        /// The offending axis' symbol.
+        symbol: Symbol,
+    },
+    /// The objective or the validity region uses a symbol that no box
+    /// axis bounds — the search space would be unbounded in it.
+    UnboxedSymbol {
+        /// The unbounded symbol.
+        symbol: Symbol,
+    },
+    /// No point of the box satisfies the validity region (or, for the
+    /// univariate engine, the feasible interval is narrower than the
+    /// tolerance).
+    Infeasible(String),
+    /// The objective's denominator vanishes inside the feasible
+    /// interval: the closed form has a pole there and no optimum can be
+    /// certified across it.
+    Pole(String),
+    /// Exact arithmetic left `i128` range. Usually a too-fine tolerance
+    /// (bisection denominators grow with every refinement step) or a
+    /// pathologically scaled box.
+    Overflow(&'static str),
+    /// An internal iteration budget was exhausted (e.g. root isolation
+    /// on a polynomial with pathologically clustered roots).
+    Budget(&'static str),
+    /// The validity region contains an equality constraint over several
+    /// box symbols — the multivariate refiner searches full-dimensional
+    /// boxes only. Sweep fewer symbols so the tie stays frozen.
+    EqualityRegion(String),
+    /// The seeding sweep failed.
+    Eval(EvalError),
+}
+
+impl fmt::Display for OptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OptError::EmptyBox => write!(f, "the search box has no axes"),
+            OptError::DuplicateSymbol { symbol } => {
+                write!(f, "symbol {symbol} appears on more than one box axis")
+            }
+            OptError::InvalidBounds { symbol } => {
+                write!(f, "box axis {symbol} has from > to")
+            }
+            OptError::UnboxedSymbol { symbol } => {
+                write!(f, "symbol {symbol} is not bounded by any box axis")
+            }
+            OptError::Infeasible(m) => write!(f, "infeasible: {m}"),
+            OptError::Pole(m) => write!(f, "objective has a pole in the box: {m}"),
+            OptError::Overflow(what) => {
+                write!(
+                    f,
+                    "exact arithmetic overflow during {what} (try a coarser tolerance)"
+                )
+            }
+            OptError::Budget(what) => write!(f, "iteration budget exhausted during {what}"),
+            OptError::EqualityRegion(m) => {
+                write!(f, "validity region pins a multivariate tie: {m}")
+            }
+            OptError::Eval(e) => write!(f, "seed sweep failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for OptError {}
+
+impl From<EvalError> for OptError {
+    fn from(e: EvalError) -> OptError {
+        OptError::Eval(e)
+    }
+}

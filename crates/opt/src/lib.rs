@@ -1,0 +1,214 @@
+//! `tpn-opt` — parameter synthesis: find the timing and frequency
+//! parameters that optimise a performance expression.
+//!
+//! The paper's closed forms exist to answer design questions — *what
+//! timeout maximises throughput?* — and the sweep subsystem (`tpn-eval`,
+//! PR 3) can only tabulate them. This crate answers the question
+//! itself. Given an objective [`RatFn`] (typically an exported
+//! [`ExprTarget`](tpn_core::ExprTarget) closed form derived through a
+//! [`LiftedDomain`](https://docs.rs/tpn-reach) lift), a box of per-symbol
+//! bounds and the lift's validity-region constraints, [`optimize`]
+//! returns the best feasible point with a justification:
+//!
+//! | engine | when | certificate |
+//! |---|---|---|
+//! | [`optimize_univariate`] | one box axis | **exact** — Sturm-sequence root isolation of the derivative numerator over exact rationals, critical points classified by certified derivative sign changes |
+//! | [`optimize_multivariate`] | several axes | numeric — compiled-`f64` grid seeding (parallel, thread-count invariant) + projected gradient ascent, with the final point snapped to rationals, exactly re-verified against the region and exactly re-evaluated |
+//!
+//! ```
+//! use tpn_core::OptGoal;
+//! use tpn_opt::{optimize, OptOptions};
+//! use tpn_rational::Rational;
+//! use tpn_symbolic::{Poly, RatFn, Symbol};
+//!
+//! // f = x·(4−x) peaks at x = 2 — and the optimiser can prove it.
+//! let x = Symbol::intern("opt_doc_x");
+//! let f = RatFn::from_poly(
+//!     &Poly::symbol(x) * &(Poly::constant(Rational::from_int(4)) - Poly::symbol(x)),
+//! );
+//! let axes = [(x, Rational::ZERO, Rational::from_int(4))];
+//! let best = optimize(&f, &axes, &[], OptGoal::Maximize, &OptOptions::default()).unwrap();
+//! assert_eq!(best.point[0].1, Rational::from_int(2));
+//! assert_eq!(best.value, Some(Rational::from_int(4)));
+//! assert!(best.certified());
+//! ```
+
+mod error;
+mod multivariate;
+mod sturm;
+mod univariate;
+
+use tpn_core::{OptGoal, Optimum};
+use tpn_rational::Rational;
+use tpn_symbolic::{Constraint, RatFn, Symbol};
+
+pub use error::OptError;
+pub use multivariate::optimize_multivariate;
+pub use sturm::RootLoc;
+pub use univariate::optimize_univariate;
+
+/// Isolate every distinct real root of `p` (viewed as univariate in
+/// `x`) within the closed interval `[lo, hi]`: each root comes out
+/// either exactly rational or bracketed to width `≤ tol`, in ascending
+/// order, certified by Sturm-sequence root counting. Errors if `p`
+/// mentions a symbol other than `x` or is identically zero.
+pub fn isolate_real_roots(
+    p: &tpn_symbolic::Poly,
+    x: Symbol,
+    lo: &Rational,
+    hi: &Rational,
+    tol: &Rational,
+) -> Result<Vec<RootLoc>, OptError> {
+    let u = sturm::UniPoly::from_poly(p, x).ok_or_else(|| {
+        let other = p
+            .symbols()
+            .into_iter()
+            .find(|&s| s != x)
+            .expect("from_poly fails only on foreign symbols");
+        OptError::UnboxedSymbol { symbol: other }
+    })?;
+    sturm::isolate_roots(&u, lo, hi, tol)
+}
+
+/// Knobs of the search engines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OptOptions {
+    /// Worker threads for the seeding sweep (the result is identical at
+    /// every thread count).
+    pub threads: usize,
+    /// Total seed-grid point budget of the multivariate engine.
+    pub seed_points: u64,
+    /// Gradient-ascent iteration cap of the multivariate engine.
+    pub max_iters: u32,
+    /// Width bound for the univariate engine's critical-point brackets
+    /// (and how closely an open region boundary is approached). `None`
+    /// picks `interval width / 2^20`.
+    pub tolerance: Option<Rational>,
+}
+
+impl Default for OptOptions {
+    fn default() -> OptOptions {
+        OptOptions {
+            threads: 4,
+            seed_points: 4096,
+            max_iters: 200,
+            tolerance: None,
+        }
+    }
+}
+
+/// Find the feasible point of the box `axes` ∩ `region` that optimises
+/// `objective` under `goal`. Dispatches to the exact univariate engine
+/// for a one-axis box and to the grid-seeded gradient refiner
+/// otherwise; see the crate docs for the certificate each produces.
+pub fn optimize(
+    objective: &RatFn,
+    axes: &[(Symbol, Rational, Rational)],
+    region: &[Constraint],
+    goal: OptGoal,
+    opts: &OptOptions,
+) -> Result<Optimum, OptError> {
+    if axes.is_empty() {
+        return Err(OptError::EmptyBox);
+    }
+    for (i, &(s, lo, hi)) in axes.iter().enumerate() {
+        if axes[..i].iter().any(|&(t, _, _)| t == s) {
+            return Err(OptError::DuplicateSymbol { symbol: s });
+        }
+        if lo > hi {
+            return Err(OptError::InvalidBounds { symbol: s });
+        }
+    }
+    let boxed = |s: Symbol| axes.iter().any(|&(t, _, _)| t == s);
+    for s in objective.symbols() {
+        if !boxed(s) {
+            return Err(OptError::UnboxedSymbol { symbol: s });
+        }
+    }
+    for c in region {
+        for s in c.expr.symbols() {
+            if !boxed(s) {
+                return Err(OptError::UnboxedSymbol { symbol: s });
+            }
+        }
+    }
+    if let [(x, lo, hi)] = axes {
+        let tol = match &opts.tolerance {
+            Some(t) if t.is_positive() => *t,
+            _ => default_tolerance(lo, hi)?,
+        };
+        optimize_univariate(objective, *x, *lo, *hi, region, goal, tol)
+    } else {
+        optimize_multivariate(objective, axes, region, goal, opts)
+    }
+}
+
+/// `width / 2^20`, or a fixed `2^-20` for a degenerate zero-width box.
+fn default_tolerance(lo: &Rational, hi: &Rational) -> Result<Rational, OptError> {
+    let width = hi
+        .checked_sub(lo)
+        .map_err(|_| OptError::Overflow("tolerance derivation"))?;
+    if width.is_zero() {
+        return Ok(Rational::new(1, 1 << 20));
+    }
+    width
+        .checked_div(&Rational::from_int(1 << 20))
+        .map_err(|_| OptError::Overflow("tolerance derivation"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpn_symbolic::Poly;
+
+    fn r(n: i128, d: i128) -> Rational {
+        Rational::new(n, d)
+    }
+
+    #[test]
+    fn dispatch_validates_the_box() {
+        let x = Symbol::intern("opt_lib_x");
+        let y = Symbol::intern("opt_lib_y");
+        let f = RatFn::from_poly(&Poly::symbol(x) + &Poly::symbol(y));
+        let opts = OptOptions::default();
+        let e = optimize(&f, &[], &[], OptGoal::Maximize, &opts).unwrap_err();
+        assert_eq!(e, OptError::EmptyBox);
+        let e = optimize(&f, &[(x, r(0, 1), r(1, 1))], &[], OptGoal::Maximize, &opts).unwrap_err();
+        assert_eq!(e, OptError::UnboxedSymbol { symbol: y });
+        let e = optimize(
+            &f,
+            &[(x, r(0, 1), r(1, 1)), (x, r(0, 1), r(1, 1))],
+            &[],
+            OptGoal::Maximize,
+            &opts,
+        )
+        .unwrap_err();
+        assert_eq!(e, OptError::DuplicateSymbol { symbol: x });
+        let e = optimize(
+            &f,
+            &[(x, r(2, 1), r(1, 1)), (y, r(0, 1), r(1, 1))],
+            &[],
+            OptGoal::Maximize,
+            &opts,
+        )
+        .unwrap_err();
+        assert_eq!(e, OptError::InvalidBounds { symbol: x });
+    }
+
+    #[test]
+    fn one_axis_routes_to_the_exact_engine() {
+        let x = Symbol::intern("opt_lib_uni");
+        let f = RatFn::from_poly(&Poly::symbol(x) * &(Poly::constant(r(6, 1)) - Poly::symbol(x)));
+        let o = optimize(
+            &f,
+            &[(x, r(0, 1), r(6, 1))],
+            &[],
+            OptGoal::Maximize,
+            &OptOptions::default(),
+        )
+        .unwrap();
+        assert!(o.certified());
+        assert_eq!(o.point, vec![(x, r(3, 1))]);
+        assert_eq!(o.value, Some(r(9, 1)));
+    }
+}

@@ -1,0 +1,411 @@
+//! The multivariate refiner: coarse compiled-`f64` grid seeding plus
+//! projected gradient ascent, with exact re-verification of the final
+//! point.
+//!
+//! For more than one free parameter there is no Sturm-style exact
+//! procedure in this codebase, so the engine is numeric with an exact
+//! epilogue: the objective, its partial derivatives and the validity-
+//! region constraints are compiled into **one** shared `tpn-eval`
+//! program (CSE makes the marginal cost of the extra outputs small),
+//! a coarse grid seeds the search via [`tpn_eval::argbest_f64`]
+//! (parallel across std threads, deterministic at any thread count),
+//! gradient ascent with backtracking line search polishes the seed
+//! inside box ∩ region, and the final point is snapped to exact
+//! rationals, re-checked against every region constraint with exact
+//! arithmetic, and re-evaluated in the exact compiled backend. The
+//! returned [`Optimum`] therefore stands on exact feasibility and an
+//! exact objective value even though the *search* ran in `f64`.
+
+use tpn_core::{OptCertificate, OptGoal, Optimum};
+use tpn_rational::Rational;
+use tpn_symbolic::{Assignment, Constraint, Poly, RatFn, Relation, Symbol};
+
+use tpn_eval::{argbest_f64, Axis, Compiled, Grid, SweepOptions};
+
+use crate::{OptError, OptOptions};
+
+/// Denominator bound for snapping `f64` coordinates back to exact
+/// rationals (dyadic-ish approximants; `Rational::from_f64_approx`
+/// picks the best continued-fraction convergent under this bound).
+const SNAP_MAX_DEN: i128 = 1 << 32;
+
+/// Gradient-ascent improvement must beat this relative threshold for a
+/// step to be accepted (pure noise steps would never converge).
+const REL_IMPROVEMENT: f64 = 1e-15;
+
+/// Solve `goal` for `objective` over the box `axes` intersected with
+/// the affine validity-region `region`.
+pub fn optimize_multivariate(
+    objective: &RatFn,
+    axes: &[(Symbol, Rational, Rational)],
+    region: &[Constraint],
+    goal: OptGoal,
+    opts: &OptOptions,
+) -> Result<Optimum, OptError> {
+    for c in region {
+        if c.rel == Relation::Eq {
+            return Err(OptError::EqualityRegion(format!(
+                "{c} (two lifted attributes are tied at the base point)"
+            )));
+        }
+    }
+
+    // One shared program: objective, then one partial derivative per
+    // axis, then one output per region constraint.
+    let symbols: Vec<Symbol> = axes.iter().map(|(s, _, _)| *s).collect();
+    let mut exprs: Vec<RatFn> = Vec::with_capacity(1 + symbols.len() + region.len());
+    exprs.push(objective.clone());
+    for &s in &symbols {
+        exprs.push(objective.derivative(s));
+    }
+    for c in region {
+        exprs.push(RatFn::from_poly(Poly::from_linexpr(&c.expr)));
+    }
+    let compiled = Compiled::compile(&exprs);
+    let k = symbols.len();
+    let n_constraints = region.len();
+    let feasible = |out: &[Option<f64>]| -> bool {
+        out[1 + k..1 + k + n_constraints]
+            .iter()
+            .zip(region)
+            .all(|(v, c)| match (v, c.rel) {
+                (Some(v), Relation::Gt) => *v > 0.0,
+                (Some(v), Relation::Ge) => *v >= 0.0,
+                (Some(v), Relation::Eq) => *v == 0.0,
+                (None, _) => false,
+            })
+    };
+
+    // Coarse seeding over a uniform grid: the largest per-axis count
+    // whose cartesian product stays within the seed budget.
+    let per_axis = per_axis_steps(opts.seed_points, k);
+    let grid_axes: Vec<Axis> = axes
+        .iter()
+        .map(|&(s, lo, hi)| {
+            if lo > hi {
+                return Err(OptError::InvalidBounds { symbol: s });
+            }
+            Axis::try_linear(s, lo, hi, per_axis).map_err(OptError::from)
+        })
+        .collect::<Result<_, _>>()?;
+    let grid = Grid::new(grid_axes)?;
+    let sweep_opts = SweepOptions {
+        threads: opts.threads,
+        // The grid was sized from the seed budget above (with a floor
+        // of two points per axis); no second cap is needed here.
+        max_points: u64::MAX,
+    };
+    let fixed = Assignment::new();
+    let maximize = goal == OptGoal::Maximize;
+    let seed = argbest_f64(&compiled, &grid, &fixed, &sweep_opts, 0, maximize, feasible)?
+        .ok_or_else(|| {
+            OptError::Infeasible(
+                "no grid point of the box satisfies the validity region".to_string(),
+            )
+        })?;
+    let mut seed_coords: Vec<Rational> = Vec::new();
+    grid.point(seed.0, &mut seed_coords);
+
+    // Gradient ascent from the seed, in f64, entirely sequential (the
+    // result must not depend on the thread count). A box axis whose
+    // symbol cancelled out of the objective (and appears in no region
+    // constraint) has no program variable at all — its coordinate is
+    // simply inert: zero derivative, nothing to write into the point.
+    let var_of: Vec<Option<usize>> = symbols.iter().map(|&s| compiled.var_index(s)).collect();
+    let lo_f: Vec<f64> = axes.iter().map(|(_, lo, _)| lo.to_f64()).collect();
+    let hi_f: Vec<f64> = axes.iter().map(|(_, _, hi)| hi.to_f64()).collect();
+    let mut point_f = vec![0.0f64; compiled.vars().len()];
+    let mut scratch: Vec<f64> = Vec::new();
+    let mut out = vec![None; compiled.num_outputs()];
+    let mut eval_at = |x: &[f64], out: &mut Vec<Option<f64>>, point_f: &mut Vec<f64>| {
+        for (slot, &var) in x.iter().zip(&var_of) {
+            if let Some(var) = var {
+                point_f[var] = *slot;
+            }
+        }
+        compiled.eval_f64(point_f, &mut scratch, out);
+    };
+
+    let mut x: Vec<f64> = seed_coords.iter().map(Rational::to_f64).collect();
+    eval_at(&x, &mut out, &mut point_f);
+    let mut fx = out[0].expect("seed row was feasible and defined");
+    let span: f64 = lo_f
+        .iter()
+        .zip(&hi_f)
+        .map(|(l, h)| h - l)
+        .fold(0.0f64, f64::max);
+    let mut step = span / 4.0;
+    let min_step = span * 1e-12;
+    let mut iterations = 0u32;
+    let mut grad_norm = 0.0f64;
+    let sign = if goal == OptGoal::Maximize { 1.0 } else { -1.0 };
+    let mut cand = vec![0.0f64; k];
+    let mut cand_out = vec![None; compiled.num_outputs()];
+    while iterations < opts.max_iters && step > min_step {
+        // Ascent direction from the compiled partial derivatives.
+        eval_at(&x, &mut out, &mut point_f);
+        let mut g = vec![0.0f64; k];
+        let mut norm2 = 0.0f64;
+        for (i, slot) in g.iter_mut().enumerate() {
+            *slot = sign * out[1 + i].unwrap_or(0.0);
+            norm2 += *slot * *slot;
+        }
+        grad_norm = norm2.sqrt();
+        if grad_norm == 0.0 || !grad_norm.is_finite() {
+            break;
+        }
+        // Backtracking line search along the unit ascent direction,
+        // projected onto the box, rejected outside the region.
+        let mut accepted = false;
+        let mut eta = step;
+        for _ in 0..30 {
+            for i in 0..k {
+                cand[i] = (x[i] + eta * g[i] / grad_norm).clamp(lo_f[i], hi_f[i]);
+            }
+            eval_at(&cand, &mut cand_out, &mut point_f);
+            let improves = cand_out[0]
+                .is_some_and(|v| sign * v > sign * fx + fx.abs() * REL_IMPROVEMENT)
+                && feasible(&cand_out);
+            if improves {
+                x.copy_from_slice(&cand);
+                fx = cand_out[0].expect("improving step is defined");
+                accepted = true;
+                break;
+            }
+            eta /= 2.0;
+        }
+        iterations += 1;
+        if accepted {
+            step = (eta * 2.0).min(span / 4.0);
+        } else {
+            break;
+        }
+    }
+
+    // Exact epilogue: snap the final point, re-verify feasibility with
+    // exact arithmetic, and prefer the snapped point over the raw seed
+    // only if it is exactly feasible and exactly at least as good.
+    let snapped: Option<Vec<Rational>> = x
+        .iter()
+        .zip(axes)
+        .map(|(&v, &(_, lo, hi))| {
+            Rational::from_f64_approx(v, SNAP_MAX_DEN).map(|r| r.max(lo).min(hi))
+        })
+        .collect();
+    let mut chosen: Option<(Vec<Rational>, Option<Rational>, f64)> = None;
+    let mut consider = |coords: &[Rational]| {
+        let a = symbols
+            .iter()
+            .zip(coords)
+            .fold(Assignment::new(), |acc, (&s, &v)| acc.with(s, v));
+        // Overflow-checked membership: a check that leaves i128 range
+        // conservatively counts as infeasible rather than panicking
+        // (the crate's no-panic contract covers hostile box bounds).
+        if !region.iter().all(|c| holds_checked(c, &a) == Some(true)) {
+            return;
+        }
+        let exact_point: Vec<Rational> = compiled
+            .vars()
+            .iter()
+            .map(|s| *a.get(*s).expect("all program vars are axes"))
+            .collect();
+        let exact_row = compiled.eval_exact_once(&exact_point);
+        let f64_point: Vec<f64> = exact_point.iter().map(Rational::to_f64).collect();
+        let f64_row = compiled.eval_f64_once(&f64_point);
+        let (value, value_f64) = (exact_row[0], f64_row[0]);
+        let Some(vf) = value_f64 else { return };
+        let better = match &chosen {
+            None => true,
+            Some((_, Some(cur), _)) => match value {
+                Some(v) => goal.better(&v, cur),
+                None => false,
+            },
+            Some((_, None, cur_f)) => goal.better_f64(vf, *cur_f),
+        };
+        if better {
+            chosen = Some((coords.to_vec(), value, vf));
+        }
+    };
+    consider(&seed_coords);
+    if let Some(s) = &snapped {
+        consider(s);
+    }
+    let (coords, value, value_f64) = chosen.ok_or_else(|| {
+        OptError::Infeasible(
+            "the refined point and the seed both fail exact region re-verification".to_string(),
+        )
+    })?;
+    Ok(Optimum {
+        point: symbols.into_iter().zip(coords).collect(),
+        value,
+        value_f64,
+        goal,
+        certificate: OptCertificate::Refined {
+            iterations,
+            grad_norm,
+        },
+    })
+}
+
+/// Exact constraint membership with overflow-checked arithmetic —
+/// [`Constraint::check`] evaluates through `Rational`'s panicking
+/// operators, which a hostile box bound must not reach. `None` when
+/// the check itself overflows `i128`.
+fn holds_checked(c: &Constraint, a: &Assignment) -> Option<bool> {
+    let mut acc = *c.expr.constant_part();
+    for (s, coeff) in c.expr.terms() {
+        let term = coeff.checked_mul(a.get(s)?).ok()?;
+        acc = acc.checked_add(&term).ok()?;
+    }
+    Some(match c.rel {
+        Relation::Eq => acc.is_zero(),
+        Relation::Ge => !acc.is_negative(),
+        Relation::Gt => acc.is_positive(),
+    })
+}
+
+/// The largest per-axis point count whose `k`-fold product stays within
+/// `budget` (at least 2 so every axis sees both of its endpoints).
+fn per_axis_steps(budget: u64, k: usize) -> usize {
+    let mut n: u64 = 2;
+    loop {
+        let next = n + 1;
+        let mut product: u64 = 1;
+        let mut fits = true;
+        for _ in 0..k {
+            product = match product.checked_mul(next) {
+                Some(p) if p <= budget => p,
+                _ => {
+                    fits = false;
+                    break;
+                }
+            };
+        }
+        if !fits {
+            return n as usize;
+        }
+        n = next;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpn_symbolic::LinExpr;
+
+    fn r(n: i128, d: i128) -> Rational {
+        Rational::new(n, d)
+    }
+
+    #[test]
+    fn per_axis_budgeting() {
+        assert_eq!(per_axis_steps(4096, 1), 4096);
+        assert_eq!(per_axis_steps(4096, 2), 64);
+        assert_eq!(per_axis_steps(4096, 3), 16);
+        assert_eq!(per_axis_steps(1, 2), 2, "floor of two points per axis");
+    }
+
+    #[test]
+    fn refines_a_two_dimensional_peak() {
+        let x = Symbol::intern("mv_x");
+        let y = Symbol::intern("mv_y");
+        // f = x(4−x) + y(2−y): separable, peak at (2, 1), value 5.
+        let fx = &Poly::symbol(x) * &(Poly::constant(r(4, 1)) - Poly::symbol(x));
+        let fy = &Poly::symbol(y) * &(Poly::constant(r(2, 1)) - Poly::symbol(y));
+        let f = RatFn::from_poly(&fx + &fy);
+        let axes = [(x, r(0, 1), r(4, 1)), (y, r(0, 1), r(2, 1))];
+        let opts = OptOptions::default();
+        let o = optimize_multivariate(&f, &axes, &[], OptGoal::Maximize, &opts).unwrap();
+        assert!(!o.certified());
+        let px = o.point[0].1.to_f64();
+        let py = o.point[1].1.to_f64();
+        assert!((px - 2.0).abs() < 1e-3, "{px}");
+        assert!((py - 1.0).abs() < 1e-3, "{py}");
+        assert!((o.value_f64 - 5.0).abs() < 1e-6, "{}", o.value_f64);
+        // exact re-verification produced an exact value too
+        let v = o.value.expect("exact value at a rational point");
+        assert!((v.to_f64() - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn an_axis_absent_from_the_objective_is_inert_not_a_panic() {
+        // The objective ignores y entirely (and no region constraint
+        // mentions it): y has no program variable, its derivative is
+        // zero, and the refiner must still answer instead of panicking
+        // on a missing var index.
+        let x = Symbol::intern("mv_inert_x");
+        let y = Symbol::intern("mv_inert_y");
+        let f = RatFn::from_poly(&Poly::symbol(x) * &(Poly::constant(r(4, 1)) - Poly::symbol(x)));
+        let axes = [(x, r(0, 1), r(4, 1)), (y, r(1, 1), r(2, 1))];
+        let o = optimize_multivariate(&f, &axes, &[], OptGoal::Maximize, &OptOptions::default())
+            .unwrap();
+        assert!((o.point[0].1.to_f64() - 2.0).abs() < 1e-3);
+        // The inert coordinate stays at its seed value, inside its box.
+        let yv = o.point[1].1;
+        assert!(yv >= r(1, 1) && yv <= r(2, 1), "{yv}");
+        assert!((o.value_f64 - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn result_is_invariant_under_thread_count() {
+        let x = Symbol::intern("mv_t_x");
+        let y = Symbol::intern("mv_t_y");
+        let f = RatFn::new(
+            &Poly::symbol(x) * &Poly::symbol(y),
+            &(&Poly::symbol(x) + &Poly::symbol(y)) * &(&Poly::symbol(x) + &Poly::symbol(y)),
+        );
+        let axes = [(x, r(1, 1), r(9, 1)), (y, r(1, 1), r(9, 1))];
+        let one = OptOptions {
+            threads: 1,
+            ..OptOptions::default()
+        };
+        let eight = OptOptions {
+            threads: 8,
+            ..OptOptions::default()
+        };
+        let a = optimize_multivariate(&f, &axes, &[], OptGoal::Maximize, &one).unwrap();
+        let b = optimize_multivariate(&f, &axes, &[], OptGoal::Maximize, &eight).unwrap();
+        assert_eq!(a, b, "threads only parallelise the seeding sweep");
+    }
+
+    #[test]
+    fn region_constraints_bind_and_equalities_are_rejected() {
+        let x = Symbol::intern("mv_r_x");
+        let y = Symbol::intern("mv_r_y");
+        let fx = &Poly::symbol(x) * &(Poly::constant(r(4, 1)) - Poly::symbol(x));
+        let fy = &Poly::symbol(y) * &(Poly::constant(r(2, 1)) - Poly::symbol(y));
+        let f = RatFn::from_poly(&fx + &fy);
+        let axes = [(x, r(0, 1), r(4, 1)), (y, r(0, 1), r(2, 1))];
+        // x − 3 > 0 excludes the unconstrained peak at x = 2.
+        let gt = Constraint {
+            expr: LinExpr::symbol(x) - LinExpr::constant(r(3, 1)),
+            rel: Relation::Gt,
+        };
+        let opts = OptOptions::default();
+        let o = optimize_multivariate(
+            &f,
+            &axes,
+            std::slice::from_ref(&gt),
+            OptGoal::Maximize,
+            &opts,
+        )
+        .unwrap();
+        let px = o.point[0].1;
+        assert!(px > r(3, 1), "feasible: {px}");
+        assert!(px.to_f64() < 3.2, "pushed to the boundary: {px}");
+        // Equality ties are out of scope for the refiner.
+        let eq = Constraint {
+            expr: LinExpr::symbol(x) - LinExpr::symbol(y),
+            rel: Relation::Eq,
+        };
+        let e = optimize_multivariate(&f, &axes, &[eq], OptGoal::Maximize, &opts).unwrap_err();
+        assert!(matches!(e, OptError::EqualityRegion(_)), "{e}");
+        // A region no box point satisfies is infeasible.
+        let far = Constraint {
+            expr: LinExpr::symbol(x) - LinExpr::constant(r(100, 1)),
+            rel: Relation::Gt,
+        };
+        let e = optimize_multivariate(&f, &axes, &[far], OptGoal::Maximize, &opts).unwrap_err();
+        assert!(matches!(e, OptError::Infeasible(_)), "{e}");
+    }
+}

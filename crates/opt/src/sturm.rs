@@ -1,0 +1,553 @@
+//! Exact real-root isolation for univariate polynomials over the
+//! rationals, via Sturm sequences.
+//!
+//! The exact univariate optimiser needs to know — with a proof, not a
+//! float heuristic — where the derivative of a performance expression
+//! vanishes. Sturm's theorem delivers that: for a square-free
+//! polynomial `p`, the number of distinct real roots in `(a, b)` equals
+//! `V(a) − V(b)`, the drop in sign variations along the Sturm chain
+//! `p, p′, −rem(p, p′), …`. Combined with bisection this isolates every
+//! root into a rational bracket of arbitrary width, and brackets whose
+//! midpoint turns out to be a root collapse to **exact** rational roots
+//! (the polynomial is deflated and isolation continues on the
+//! quotient).
+//!
+//! All arithmetic is overflow-checked `i128` rational arithmetic: a
+//! hostile or pathologically scaled input surfaces as
+//! [`OptError::Overflow`], never a panic. Every chain element is
+//! normalised to integer-primitive form (scaled by a *positive*
+//! rational, which preserves signs and therefore the Sturm property) to
+//! keep coefficient growth in check.
+
+use tpn_rational::Rational;
+use tpn_symbolic::{Poly, Symbol};
+
+use crate::OptError;
+
+/// Map an arithmetic overflow to the crate error.
+fn ovf<T>(r: Result<T, tpn_rational::ArithmeticError>, what: &'static str) -> Result<T, OptError> {
+    r.map_err(|_| OptError::Overflow(what))
+}
+
+/// A dense univariate polynomial `Σ coeffs[i]·x^i` with exact rational
+/// coefficients. Invariant: no trailing zero coefficients (the zero
+/// polynomial is the empty vector).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct UniPoly {
+    coeffs: Vec<Rational>,
+}
+
+impl UniPoly {
+    pub(crate) fn zero() -> UniPoly {
+        UniPoly { coeffs: Vec::new() }
+    }
+
+    fn from_coeffs(mut coeffs: Vec<Rational>) -> UniPoly {
+        while coeffs.last().is_some_and(Rational::is_zero) {
+            coeffs.pop();
+        }
+        UniPoly { coeffs }
+    }
+
+    /// View a multivariate [`Poly`] as univariate in `x`. Returns
+    /// `None` if the polynomial mentions any other symbol.
+    pub(crate) fn from_poly(p: &Poly, x: Symbol) -> Option<UniPoly> {
+        let mut coeffs = vec![Rational::ZERO; p.degree() as usize + 1];
+        for (m, c) in p.terms() {
+            let e = m.exponent(x);
+            if m.degree() != e {
+                return None; // a factor other than x
+            }
+            coeffs[e as usize] = *c;
+        }
+        Some(UniPoly::from_coeffs(coeffs))
+    }
+
+    pub(crate) fn is_zero(&self) -> bool {
+        self.coeffs.is_empty()
+    }
+
+    /// Degree (zero polynomial reports 0).
+    pub(crate) fn degree(&self) -> usize {
+        self.coeffs.len().saturating_sub(1)
+    }
+
+    pub(crate) fn is_constant(&self) -> bool {
+        self.coeffs.len() <= 1
+    }
+
+    /// Horner evaluation with overflow-checked arithmetic.
+    pub(crate) fn eval(&self, x: &Rational) -> Result<Rational, OptError> {
+        let mut acc = Rational::ZERO;
+        for c in self.coeffs.iter().rev() {
+            acc = ovf(acc.checked_mul(x), "polynomial evaluation")?;
+            acc = ovf(acc.checked_add(c), "polynomial evaluation")?;
+        }
+        Ok(acc)
+    }
+
+    /// The sign of the polynomial at `x`.
+    pub(crate) fn sign_at(&self, x: &Rational) -> Result<i32, OptError> {
+        Ok(self.eval(x)?.signum())
+    }
+
+    /// Formal derivative.
+    pub(crate) fn derivative(&self) -> Result<UniPoly, OptError> {
+        if self.coeffs.len() <= 1 {
+            return Ok(UniPoly::zero());
+        }
+        let mut out = Vec::with_capacity(self.coeffs.len() - 1);
+        for (i, c) in self.coeffs.iter().enumerate().skip(1) {
+            out.push(ovf(
+                c.checked_mul(&Rational::from_int(i as i128)),
+                "derivative",
+            )?);
+        }
+        Ok(UniPoly::from_coeffs(out))
+    }
+
+    fn neg(&self) -> Result<UniPoly, OptError> {
+        let mut out = Vec::with_capacity(self.coeffs.len());
+        for c in &self.coeffs {
+            out.push(ovf(c.checked_neg(), "negation")?);
+        }
+        Ok(UniPoly { coeffs: out })
+    }
+
+    /// Scale to integer coefficients with content 1, **preserving the
+    /// sign** (the scale factor is positive). Controls coefficient
+    /// growth along remainder sequences without disturbing Sturm signs.
+    pub(crate) fn primitive(&self) -> Result<UniPoly, OptError> {
+        if self.is_zero() {
+            return Ok(UniPoly::zero());
+        }
+        let mut denom_lcm: i128 = 1;
+        for c in &self.coeffs {
+            denom_lcm = ovf(
+                tpn_rational::lcm(denom_lcm, c.denom())
+                    .ok_or(tpn_rational::ArithmeticError::Overflow),
+                "content computation",
+            )?;
+        }
+        let l = Rational::from_int(denom_lcm);
+        let mut numer_gcd: i128 = 0;
+        for c in &self.coeffs {
+            let scaled = ovf(c.checked_mul(&l), "content computation")?;
+            numer_gcd = tpn_rational::gcd(numer_gcd, scaled.numer());
+        }
+        debug_assert!(numer_gcd > 0);
+        let scale = ovf(
+            Rational::checked_new(denom_lcm, numer_gcd),
+            "content computation",
+        )?;
+        let mut out = Vec::with_capacity(self.coeffs.len());
+        for c in &self.coeffs {
+            out.push(ovf(c.checked_mul(&scale), "content computation")?);
+        }
+        Ok(UniPoly { coeffs: out })
+    }
+
+    /// Polynomial division: `self = q·d + r` with `deg r < deg d`.
+    fn divrem(&self, d: &UniPoly) -> Result<(UniPoly, UniPoly), OptError> {
+        assert!(!d.is_zero(), "division by the zero polynomial");
+        let dd = d.degree();
+        let dl = *d.coeffs.last().expect("non-zero divisor");
+        let mut rem = self.coeffs.clone();
+        let mut quo = vec![Rational::ZERO; self.coeffs.len().saturating_sub(dd)];
+        while rem.len() > dd {
+            let shift = rem.len() - d.coeffs.len();
+            let k = ovf(
+                rem.last().expect("non-empty").checked_div(&dl),
+                "polynomial division",
+            )?;
+            for (i, dc) in d.coeffs.iter().enumerate() {
+                let sub = ovf(k.checked_mul(dc), "polynomial division")?;
+                rem[shift + i] = ovf(rem[shift + i].checked_sub(&sub), "polynomial division")?;
+            }
+            quo[shift] = k;
+            // The leading term cancelled by construction.
+            debug_assert!(rem.last().unwrap().is_zero());
+            while rem.last().is_some_and(Rational::is_zero) {
+                rem.pop();
+            }
+        }
+        Ok((UniPoly::from_coeffs(quo), UniPoly::from_coeffs(rem)))
+    }
+
+    /// Greatest common divisor, integer-primitive with a positive
+    /// leading coefficient (constants collapse to 1).
+    pub(crate) fn gcd(&self, other: &UniPoly) -> Result<UniPoly, OptError> {
+        let mut a = self.primitive()?;
+        let mut b = other.primitive()?;
+        if a.degree() < b.degree() {
+            std::mem::swap(&mut a, &mut b);
+        }
+        while !b.is_zero() {
+            let (_, r) = a.divrem(&b)?;
+            a = b;
+            b = r.primitive()?;
+        }
+        if a.is_zero() {
+            return Ok(UniPoly::zero());
+        }
+        if a.is_constant() {
+            return Ok(UniPoly {
+                coeffs: vec![Rational::ONE],
+            });
+        }
+        if a.coeffs.last().expect("non-zero").is_negative() {
+            a = a.neg()?;
+        }
+        a.primitive()
+    }
+
+    /// The square-free part `self / gcd(self, self′)` — same distinct
+    /// roots, every one simple.
+    pub(crate) fn square_free(&self) -> Result<UniPoly, OptError> {
+        if self.is_constant() {
+            return Ok(self.clone());
+        }
+        let g = self.gcd(&self.derivative()?)?;
+        if g.is_constant() {
+            return self.primitive();
+        }
+        let (q, r) = self.divrem(&g)?;
+        debug_assert!(r.is_zero(), "gcd divides");
+        q.primitive()
+    }
+
+    /// Exact synthetic division by `(x − r)`; `r` must be a root.
+    fn deflate(&self, r: &Rational) -> Result<UniPoly, OptError> {
+        debug_assert!(!self.is_constant());
+        let n = self.coeffs.len();
+        let mut quo = vec![Rational::ZERO; n - 1];
+        let mut carry = Rational::ZERO;
+        for i in (0..n).rev() {
+            let b = ovf(
+                carry
+                    .checked_mul(r)
+                    .and_then(|t| t.checked_add(&self.coeffs[i])),
+                "deflation",
+            )?;
+            if i == 0 {
+                debug_assert!(b.is_zero(), "deflation at a non-root");
+            } else {
+                quo[i - 1] = b;
+            }
+            carry = b;
+        }
+        Ok(UniPoly::from_coeffs(quo))
+    }
+}
+
+/// The Sturm chain of a square-free polynomial.
+pub(crate) struct Sturm {
+    chain: Vec<UniPoly>,
+}
+
+impl Sturm {
+    /// Build the chain `p, p′, −rem(p, p′), …` (each element primitive;
+    /// positive scaling keeps all signs intact). `p` must be
+    /// square-free and non-constant.
+    pub(crate) fn new(p: &UniPoly) -> Result<Sturm, OptError> {
+        debug_assert!(!p.is_constant());
+        let mut chain = vec![p.primitive()?, p.derivative()?.primitive()?];
+        loop {
+            let k = chain.len();
+            if chain[k - 1].is_zero() {
+                chain.pop();
+                break;
+            }
+            let (_, r) = chain[k - 2].divrem(&chain[k - 1])?;
+            if r.is_zero() {
+                break;
+            }
+            chain.push(r.neg()?.primitive()?);
+        }
+        Ok(Sturm { chain })
+    }
+
+    /// Sign variations of the chain at `x` (zero signs skipped).
+    fn variations_at(&self, x: &Rational) -> Result<usize, OptError> {
+        let mut count = 0usize;
+        let mut prev = 0i32;
+        for p in &self.chain {
+            let s = p.sign_at(x)?;
+            if s == 0 {
+                continue;
+            }
+            if prev != 0 && s != prev {
+                count += 1;
+            }
+            prev = s;
+        }
+        Ok(count)
+    }
+
+    /// Number of distinct real roots in the open interval `(a, b)`.
+    /// Requires `p(a) ≠ 0` and `p(b) ≠ 0`.
+    pub(crate) fn count_roots(&self, a: &Rational, b: &Rational) -> Result<usize, OptError> {
+        debug_assert!(a < b);
+        debug_assert_ne!(self.chain[0].sign_at(a)?, 0, "left endpoint is a root");
+        debug_assert_ne!(self.chain[0].sign_at(b)?, 0, "right endpoint is a root");
+        let va = self.variations_at(a)?;
+        let vb = self.variations_at(b)?;
+        Ok(va.saturating_sub(vb))
+    }
+}
+
+/// One isolated real root.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RootLoc {
+    /// The root is exactly this rational.
+    Exact(Rational),
+    /// Exactly one root lies in the open bracket `(a, b)`;
+    /// `p(a) ≠ 0 ≠ p(b)` and `b − a ≤ tol`.
+    Bracket(Rational, Rational),
+}
+
+impl RootLoc {
+    /// A sort/representative key: the root itself or the bracket's
+    /// lower end.
+    pub fn key(&self) -> Rational {
+        match self {
+            RootLoc::Exact(r) => *r,
+            RootLoc::Bracket(a, _) => *a,
+        }
+    }
+
+    /// `true` iff the (possibly irrational) root this location stands
+    /// for could be `x`: an exact match, or containment in the bracket.
+    pub fn could_be(&self, x: &Rational) -> bool {
+        match self {
+            RootLoc::Exact(r) => r == x,
+            RootLoc::Bracket(a, b) => a < x && x < b,
+        }
+    }
+}
+
+/// Bisection-split budget: generous for any sane input, a hard stop
+/// for pathologically clustered roots.
+const MAX_SPLITS: u32 = 20_000;
+
+/// Isolate every distinct real root of `p` in the **closed** interval
+/// `[lo, hi]`, each as an exact rational or a bracket of width `≤ tol`,
+/// sorted in ascending order.
+pub(crate) fn isolate_roots(
+    p: &UniPoly,
+    lo: &Rational,
+    hi: &Rational,
+    tol: &Rational,
+) -> Result<Vec<RootLoc>, OptError> {
+    debug_assert!(lo <= hi);
+    debug_assert!(tol.is_positive());
+    if p.is_zero() {
+        return Err(OptError::Budget("root isolation of the zero polynomial"));
+    }
+    let mut out: Vec<RootLoc> = Vec::new();
+    let mut q = p.square_free()?;
+    if q.is_constant() {
+        return Ok(out);
+    }
+    // Endpoint roots come out exact, then get deflated away so the
+    // Sturm counts below see non-root endpoints.
+    for end in [lo, hi] {
+        if q.sign_at(end)? == 0 {
+            out.push(RootLoc::Exact(*end));
+            q = q.deflate(end)?;
+            if q.is_constant() {
+                out.sort_by_key(RootLoc::key);
+                return Ok(out);
+            }
+        }
+    }
+    if lo == hi {
+        out.sort_by_key(RootLoc::key);
+        return Ok(out);
+    }
+    let sturm = Sturm::new(&q)?;
+    let n = sturm.count_roots(lo, hi)?;
+    let mut splits = 0u32;
+    /// One worklist entry: a polynomial with its Sturm chain (shared
+    /// across subintervals), the interval, and the root count inside.
+    type WorkItem = (
+        std::rc::Rc<UniPoly>,
+        std::rc::Rc<Sturm>,
+        Rational,
+        Rational,
+        usize,
+    );
+    let mut work: Vec<WorkItem> = vec![(std::rc::Rc::new(q), std::rc::Rc::new(sturm), *lo, *hi, n)];
+    while let Some((q, sturm, a, b, n)) = work.pop() {
+        if n == 0 {
+            continue;
+        }
+        let width = ovf(b.checked_sub(&a), "interval width")?;
+        if n == 1 && width <= *tol {
+            out.push(RootLoc::Bracket(a, b));
+            continue;
+        }
+        splits += 1;
+        if splits > MAX_SPLITS {
+            return Err(OptError::Budget("root isolation"));
+        }
+        let m = ovf(
+            a.checked_add(&b)
+                .and_then(|s| s.checked_div(&Rational::from_int(2))),
+            "bisection midpoint",
+        )?;
+        if q.sign_at(&m)? == 0 {
+            // The midpoint is a root: record it exactly, deflate it
+            // away, and continue isolating the siblings on a fresh
+            // chain (the deflated polynomial is still square-free).
+            out.push(RootLoc::Exact(m));
+            let q2 = q.deflate(&m)?;
+            if q2.is_constant() {
+                continue;
+            }
+            let sturm2 = std::rc::Rc::new(Sturm::new(&q2)?);
+            let q2 = std::rc::Rc::new(q2);
+            let nl = sturm2.count_roots(&a, &m)?;
+            let nr = sturm2.count_roots(&m, &b)?;
+            work.push((q2.clone(), sturm2.clone(), a, m, nl));
+            work.push((q2, sturm2, m, b, nr));
+        } else {
+            let nl = sturm.count_roots(&a, &m)?;
+            let nr = n - nl;
+            work.push((q.clone(), sturm.clone(), a, m, nl));
+            work.push((q, sturm, m, b, nr));
+        }
+    }
+    out.sort_by_key(RootLoc::key);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: i128, d: i128) -> Rational {
+        Rational::new(n, d)
+    }
+
+    /// `∏ (x − root)` as a UniPoly.
+    fn with_roots(roots: &[Rational]) -> UniPoly {
+        let mut p = UniPoly {
+            coeffs: vec![Rational::ONE],
+        };
+        for root in roots {
+            // multiply by (x − root)
+            let mut next = vec![Rational::ZERO; p.coeffs.len() + 1];
+            for (i, c) in p.coeffs.iter().enumerate() {
+                next[i + 1] += *c;
+                next[i] -= c * root;
+            }
+            p = UniPoly::from_coeffs(next);
+        }
+        p
+    }
+
+    #[test]
+    fn eval_derivative_and_division() {
+        // p = x² − 3x + 2 = (x−1)(x−2)
+        let p = with_roots(&[r(1, 1), r(2, 1)]);
+        assert_eq!(p.eval(&r(0, 1)).unwrap(), r(2, 1));
+        assert_eq!(p.eval(&r(3, 1)).unwrap(), r(2, 1));
+        assert_eq!(p.sign_at(&r(3, 2)).unwrap(), -1);
+        let d = p.derivative().unwrap(); // 2x − 3
+        assert_eq!(d.eval(&r(0, 1)).unwrap(), r(-3, 1));
+        let (q, rem) = p.divrem(&with_roots(&[r(1, 1)])).unwrap();
+        assert_eq!(q, with_roots(&[r(2, 1)]));
+        assert!(rem.is_zero());
+        assert_eq!(p.deflate(&r(2, 1)).unwrap(), with_roots(&[r(1, 1)]));
+    }
+
+    #[test]
+    fn gcd_and_square_free() {
+        // p = (x−1)²(x−2): square-free part (x−1)(x−2)
+        let p = with_roots(&[r(1, 1), r(1, 1), r(2, 1)]);
+        let sf = p.square_free().unwrap();
+        assert_eq!(sf.degree(), 2);
+        assert_eq!(sf.sign_at(&r(1, 1)).unwrap(), 0);
+        assert_eq!(sf.sign_at(&r(2, 1)).unwrap(), 0);
+        let g = p.gcd(&with_roots(&[r(1, 1), r(3, 1)])).unwrap();
+        assert_eq!(g, with_roots(&[r(1, 1)]));
+    }
+
+    #[test]
+    fn sturm_counts_distinct_roots() {
+        let p = with_roots(&[r(-1, 1), r(1, 2), r(3, 1)]);
+        let s = Sturm::new(&p).unwrap();
+        assert_eq!(s.count_roots(&r(-2, 1), &r(4, 1)).unwrap(), 3);
+        assert_eq!(s.count_roots(&r(0, 1), &r(4, 1)).unwrap(), 2);
+        assert_eq!(s.count_roots(&r(2, 1), &r(5, 2)).unwrap(), 0);
+        // multiple roots are counted once (via the square-free part)
+        let m = with_roots(&[r(1, 1), r(1, 1), r(2, 1)]);
+        let s = Sturm::new(&m.square_free().unwrap()).unwrap();
+        assert_eq!(s.count_roots(&r(0, 1), &r(3, 1)).unwrap(), 2);
+    }
+
+    #[test]
+    fn isolation_finds_exact_and_bracketed_roots() {
+        // Rational roots on dyadic midpoints collapse to Exact.
+        let p = with_roots(&[r(1, 1), r(3, 1)]);
+        let roots = isolate_roots(&p, &r(-1, 1), &r(7, 1), &r(1, 100)).unwrap();
+        assert_eq!(
+            roots,
+            vec![RootLoc::Exact(r(1, 1)), RootLoc::Exact(r(3, 1))]
+        );
+        // x² − 2: irrational roots ±√2 come out as brackets.
+        let p = UniPoly::from_coeffs(vec![r(-2, 1), r(0, 1), r(1, 1)]);
+        let roots = isolate_roots(&p, &r(-2, 1), &r(2, 1), &r(1, 1000)).unwrap();
+        assert_eq!(roots.len(), 2);
+        for (loc, want) in roots
+            .iter()
+            .zip([-std::f64::consts::SQRT_2, std::f64::consts::SQRT_2])
+        {
+            match loc {
+                RootLoc::Bracket(a, b) => {
+                    assert!((b - a) <= r(1, 1000));
+                    assert!(a.to_f64() <= want && want <= b.to_f64());
+                }
+                RootLoc::Exact(_) => panic!("√2 is not rational"),
+            }
+        }
+        // Endpoint roots are reported exactly.
+        let p = with_roots(&[r(0, 1), r(5, 1)]);
+        let roots = isolate_roots(&p, &r(0, 1), &r(5, 1), &r(1, 10)).unwrap();
+        assert_eq!(
+            roots,
+            vec![RootLoc::Exact(r(0, 1)), RootLoc::Exact(r(5, 1))]
+        );
+        // No roots inside → empty.
+        let p = with_roots(&[r(10, 1)]);
+        assert!(isolate_roots(&p, &r(0, 1), &r(5, 1), &r(1, 10))
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn clustered_roots_are_separated() {
+        let close = [r(999, 1000), r(1, 1), r(1001, 1000)];
+        let p = with_roots(&close);
+        let roots = isolate_roots(&p, &r(0, 1), &r(2, 1), &r(1, 10_000)).unwrap();
+        assert_eq!(roots.len(), 3);
+        for (loc, want) in roots.iter().zip(close) {
+            match loc {
+                RootLoc::Exact(x) => assert_eq!(*x, want),
+                RootLoc::Bracket(a, b) => assert!(*a < want && want < *b),
+            }
+        }
+    }
+
+    #[test]
+    fn from_poly_rejects_other_symbols() {
+        let x = Symbol::intern("sturm_x");
+        let y = Symbol::intern("sturm_y");
+        let p = &Poly::symbol(x) * &Poly::symbol(y);
+        assert!(UniPoly::from_poly(&p, x).is_none());
+        let q = &Poly::symbol(x).pow(2) + &Poly::constant(r(1, 2));
+        let u = UniPoly::from_poly(&q, x).unwrap();
+        assert_eq!(u.eval(&r(2, 1)).unwrap(), r(9, 2));
+    }
+}

@@ -1,0 +1,561 @@
+//! The exact univariate engine: a certified optimum of a rational
+//! function of **one** parameter over a box ∩ validity-region interval.
+//!
+//! The derivative of the objective is again a rational function whose
+//! denominator is positive wherever the objective is defined, so
+//! critical points are exactly the real roots of the derivative's
+//! numerator polynomial. [`crate::sturm`] isolates those roots with
+//! exact arithmetic; each one is classified by the derivative's sign on
+//! either side (evaluated at rational probe points, where the sign is
+//! provably non-zero), and the optimum is the exactly-best candidate
+//! among the sign-change critical points and the interval endpoints.
+//! The certificate this produces is *checkable*: it names the
+//! derivative-sign pattern that proves local optimality, and Sturm root
+//! counting proves no critical point was missed.
+
+use tpn_core::{OptCertificate, OptGoal, Optimum};
+use tpn_rational::Rational;
+use tpn_symbolic::{Constraint, RatFn, Relation, Symbol};
+
+use crate::sturm::{isolate_roots, RootLoc, UniPoly};
+use crate::OptError;
+
+/// Map an arithmetic overflow to the crate error.
+fn ovf<T>(r: Result<T, tpn_rational::ArithmeticError>, what: &'static str) -> Result<T, OptError> {
+    r.map_err(|_| OptError::Overflow(what))
+}
+
+/// The feasible interval after intersecting the box with the affine
+/// validity-region constraints.
+struct Interval {
+    lo: Rational,
+    hi: Rational,
+    /// `true` when the bound comes from a *strict* region constraint:
+    /// the boundary itself is outside the region.
+    open_lo: bool,
+    open_hi: bool,
+    /// An equality constraint pinned the parameter to this value.
+    pin: Option<Rational>,
+}
+
+/// Intersect `[lo, hi]` with the affine constraints (each `a·x + b ⋈ 0`).
+fn feasible_interval(
+    x: Symbol,
+    lo: Rational,
+    hi: Rational,
+    region: &[Constraint],
+) -> Result<Interval, OptError> {
+    let mut iv = Interval {
+        lo,
+        hi,
+        open_lo: false,
+        open_hi: false,
+        pin: None,
+    };
+    for c in region {
+        for s in c.expr.symbols() {
+            if s != x {
+                return Err(OptError::UnboxedSymbol { symbol: s });
+            }
+        }
+        let a = c.expr.coeff(x);
+        let b = *c.expr.constant_part();
+        if a.is_zero() {
+            // Constant constraint: holds or the region is empty.
+            let holds = match c.rel {
+                Relation::Eq => b.is_zero(),
+                Relation::Ge => !b.is_negative(),
+                Relation::Gt => b.is_positive(),
+            };
+            if !holds {
+                return Err(OptError::Infeasible(format!(
+                    "region constraint {c} is identically false"
+                )));
+            }
+            continue;
+        }
+        let bound = ovf(b.checked_neg().and_then(|n| n.checked_div(&a)), "bound")?;
+        match c.rel {
+            Relation::Eq => match iv.pin {
+                None => iv.pin = Some(bound),
+                Some(p) if p == bound => {}
+                Some(p) => {
+                    return Err(OptError::Infeasible(format!(
+                        "equality constraints pin {x:?} to both {p} and {bound}"
+                    )))
+                }
+            },
+            Relation::Gt | Relation::Ge => {
+                let strict = c.rel == Relation::Gt;
+                if a.is_positive() {
+                    // x > bound (or ≥)
+                    if bound > iv.lo {
+                        iv.lo = bound;
+                        iv.open_lo = strict;
+                    } else if bound == iv.lo && strict {
+                        iv.open_lo = true;
+                    }
+                } else {
+                    // x < bound (or ≤)
+                    if bound < iv.hi {
+                        iv.hi = bound;
+                        iv.open_hi = strict;
+                    } else if bound == iv.hi && strict {
+                        iv.open_hi = true;
+                    }
+                }
+            }
+        }
+    }
+    Ok(iv)
+}
+
+/// Exact objective evaluation `n(x)/q(x)` with overflow-checked
+/// arithmetic; the denominator is known non-zero on the interval.
+fn eval_exact(n: &UniPoly, q: &UniPoly, x: &Rational) -> Result<Rational, OptError> {
+    let nv = n.eval(x)?;
+    let qv = q.eval(x)?;
+    if qv.is_zero() {
+        return Err(OptError::Pole(format!("denominator vanishes at {x}")));
+    }
+    ovf(nv.checked_div(&qv), "objective evaluation")
+}
+
+/// One candidate optimum.
+struct Candidate {
+    point: Rational,
+    value: Rational,
+    certificate: OptCertificate,
+}
+
+/// Solve `goal` for `objective` (a rational function of the single
+/// symbol `x`) over `[lo, hi]` intersected with the affine `region`
+/// constraints. `tol` bounds the width of critical-point brackets (and
+/// how closely an open region boundary is approached).
+pub fn optimize_univariate(
+    objective: &RatFn,
+    x: Symbol,
+    lo: Rational,
+    hi: Rational,
+    region: &[Constraint],
+    goal: OptGoal,
+    tol: Rational,
+) -> Result<Optimum, OptError> {
+    debug_assert!(tol.is_positive());
+    let numer =
+        UniPoly::from_poly(objective.numer(), x).ok_or(OptError::UnboxedSymbol { symbol: x })?;
+    let denom =
+        UniPoly::from_poly(objective.denom(), x).ok_or(OptError::UnboxedSymbol { symbol: x })?;
+
+    let iv = feasible_interval(x, lo, hi, region)?;
+
+    // An equality constraint leaves a single feasible point.
+    if let Some(p) = iv.pin {
+        let inside = (p > iv.lo || (p == iv.lo && !iv.open_lo))
+            && (p < iv.hi || (p == iv.hi && !iv.open_hi));
+        if !inside {
+            return Err(OptError::Infeasible(format!(
+                "the pinned point {p} lies outside the feasible interval"
+            )));
+        }
+        let value = eval_exact(&numer, &denom, &p)?;
+        return Ok(finish(x, p, value, goal, OptCertificate::Pinned));
+    }
+
+    // Shrink open region boundaries inward by the tolerance: the
+    // supremum at an open bound is not attained, so the solver reports
+    // a point within `tol` of it (and says so in the certificate).
+    let a = if iv.open_lo {
+        ovf(iv.lo.checked_add(&tol), "interval shrink")?
+    } else {
+        iv.lo
+    };
+    let b = if iv.open_hi {
+        ovf(iv.hi.checked_sub(&tol), "interval shrink")?
+    } else {
+        iv.hi
+    };
+    if a > b {
+        return Err(OptError::Infeasible(
+            "the feasible interval is empty (or narrower than the tolerance)".to_string(),
+        ));
+    }
+
+    // The closed form must be defined across the whole search interval.
+    if !denom.is_constant() && !isolate_roots(&denom, &a, &b, &tol)?.is_empty() {
+        return Err(OptError::Pole(format!(
+            "the objective's denominator has a root inside [{a}, {b}]"
+        )));
+    }
+    if denom.sign_at(&a)? == 0 {
+        return Err(OptError::Pole(format!("denominator vanishes at {a}")));
+    }
+
+    if a == b {
+        let value = eval_exact(&numer, &denom, &a)?;
+        return Ok(finish(x, a, value, goal, OptCertificate::Pinned));
+    }
+
+    // Derivative sign on the interval: sign(f′) = denom_sign · sign(n′)
+    // where n′ is the canonical derivative's numerator and denom_sign
+    // is the (constant, root-free on the interval) sign of its
+    // denominator.
+    let df = objective.derivative(x);
+    let dnum = UniPoly::from_poly(df.numer(), x).ok_or(OptError::UnboxedSymbol { symbol: x })?;
+    let dden = UniPoly::from_poly(df.denom(), x).ok_or(OptError::UnboxedSymbol { symbol: x })?;
+    let mid = ovf(
+        a.checked_add(&b)
+            .and_then(|s| s.checked_div(&Rational::from_int(2))),
+        "interval midpoint",
+    )?;
+    let denom_sign = dden.sign_at(&mid)?;
+    debug_assert_ne!(denom_sign, 0, "f' denominator divides q², non-zero here");
+
+    // Constant objective: every feasible point ties; report the lower
+    // endpoint with a zero-derivative boundary certificate.
+    if dnum.is_zero() {
+        let value = eval_exact(&numer, &denom, &a)?;
+        return Ok(finish(
+            x,
+            a,
+            value,
+            goal,
+            OptCertificate::Boundary {
+                upper: false,
+                open: iv.open_lo,
+                derivative_sign: 0,
+            },
+        ));
+    }
+
+    // Critical points: roots of n′ strictly inside (a, b).
+    let locs: Vec<RootLoc> = isolate_roots(&dnum, &a, &b, &tol)?
+        .into_iter()
+        .filter(|loc| !matches!(loc, RootLoc::Exact(r) if *r == a || *r == b))
+        .collect();
+
+    // Probe points between consecutive critical points (and the
+    // endpoints): the derivative sign is constant and non-zero on each
+    // such segment, so one exact sign evaluation per segment certifies
+    // the classification of every critical point.
+    let mut fence: Vec<Rational> = vec![a];
+    for loc in &locs {
+        match loc {
+            RootLoc::Exact(r) => fence.push(*r),
+            RootLoc::Bracket(bl, bh) => {
+                fence.push(*bl);
+                fence.push(*bh);
+            }
+        }
+    }
+    fence.push(b);
+    // Sign of f′ on each derivative-root-free segment. For a Bracket
+    // the segment between bl and bh contains the root, so the segment
+    // list alternates: [a..r1), (r1..r2), …; for brackets the two fence
+    // entries bl/bh are themselves valid probes (sign non-zero there).
+    let seg_sign = |left: &Rational, right: &Rational| -> Result<i32, OptError> {
+        let m = ovf(
+            left.checked_add(right)
+                .and_then(|s| s.checked_div(&Rational::from_int(2))),
+            "probe midpoint",
+        )?;
+        Ok(denom_sign * dnum.sign_at(&m)?)
+    };
+
+    let mut candidates: Vec<Candidate> = Vec::new();
+    // Walk the critical points with their adjacent segment signs.
+    let mut below_probe = a;
+    for loc in &locs {
+        let (point, exact, bracket, sign_below, sign_above, above_probe) = match loc {
+            RootLoc::Exact(r) => {
+                let sb = seg_sign(&below_probe, r)?;
+                // Probe above: up to the next fence entry after r.
+                let next = fence.iter().find(|f| *f > r).copied().unwrap_or(b);
+                let sa = seg_sign(r, &next)?;
+                (*r, true, (*r, *r), sb, sa, *r)
+            }
+            RootLoc::Bracket(bl, bh) => {
+                let sb = denom_sign * dnum.sign_at(bl)?;
+                let sa = denom_sign * dnum.sign_at(bh)?;
+                let m = ovf(
+                    bl.checked_add(bh)
+                        .and_then(|s| s.checked_div(&Rational::from_int(2))),
+                    "bracket midpoint",
+                )?;
+                (m, false, (*bl, *bh), sb, sa, *bh)
+            }
+        };
+        below_probe = above_probe;
+        let is_optimal_kind = match goal {
+            OptGoal::Maximize => sign_below > 0 && sign_above < 0,
+            OptGoal::Minimize => sign_below < 0 && sign_above > 0,
+        };
+        if !is_optimal_kind {
+            continue;
+        }
+        candidates.push(Candidate {
+            point,
+            value: eval_exact(&numer, &denom, &point)?,
+            certificate: OptCertificate::Interior {
+                exact,
+                bracket,
+                sign_below,
+                sign_above,
+            },
+        });
+    }
+
+    // Endpoint candidates, certified by the derivative sign on their
+    // adjacent segment (no critical point intervenes, by isolation).
+    let first_stop = locs.first().map(RootLoc::key).unwrap_or(b);
+    let lower_sign = seg_sign(&a, &first_stop)?;
+    candidates.push(Candidate {
+        point: a,
+        value: eval_exact(&numer, &denom, &a)?,
+        certificate: OptCertificate::Boundary {
+            upper: false,
+            open: iv.open_lo,
+            derivative_sign: lower_sign,
+        },
+    });
+    let last_stop = match locs.last() {
+        Some(RootLoc::Exact(r)) => *r,
+        Some(RootLoc::Bracket(_, bh)) => *bh,
+        None => a,
+    };
+    let upper_sign = seg_sign(&last_stop, &b)?;
+    candidates.push(Candidate {
+        point: b,
+        value: eval_exact(&numer, &denom, &b)?,
+        certificate: OptCertificate::Boundary {
+            upper: true,
+            open: iv.open_hi,
+            derivative_sign: upper_sign,
+        },
+    });
+
+    // Pick the exactly-best candidate; ties resolve to the smallest x.
+    candidates.sort_by_key(|c| c.point);
+    let mut best: Option<Candidate> = None;
+    for c in candidates {
+        let better = match &best {
+            None => true,
+            Some(cur) => goal.better(&c.value, &cur.value),
+        };
+        if better {
+            best = Some(c);
+        }
+    }
+    let best = best.expect("endpoints always produce candidates");
+    Ok(finish(x, best.point, best.value, goal, best.certificate))
+}
+
+fn finish(
+    x: Symbol,
+    point: Rational,
+    value: Rational,
+    goal: OptGoal,
+    certificate: OptCertificate,
+) -> Optimum {
+    Optimum {
+        point: vec![(x, point)],
+        value_f64: value.to_f64(),
+        value: Some(value),
+        goal,
+        certificate,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpn_symbolic::{LinExpr, Poly};
+
+    fn r(n: i128, d: i128) -> Rational {
+        Rational::new(n, d)
+    }
+
+    fn sym() -> Symbol {
+        Symbol::intern("uni_x")
+    }
+
+    /// f = x·(4−x): interior maximum at x = 2.
+    fn hump() -> RatFn {
+        let x = sym();
+        RatFn::from_poly(&Poly::symbol(x) * &(Poly::constant(r(4, 1)) - Poly::symbol(x)))
+    }
+
+    #[test]
+    fn interior_maximum_is_exact_and_certified() {
+        let x = sym();
+        let o = optimize_univariate(
+            &hump(),
+            x,
+            r(0, 1),
+            r(4, 1),
+            &[],
+            OptGoal::Maximize,
+            r(1, 1 << 20),
+        )
+        .unwrap();
+        assert_eq!(o.point, vec![(x, r(2, 1))]);
+        assert_eq!(o.value, Some(r(4, 1)));
+        assert!(o.certified());
+        match o.certificate {
+            OptCertificate::Interior {
+                exact,
+                sign_below,
+                sign_above,
+                ..
+            } => {
+                assert!(exact);
+                assert_eq!((sign_below, sign_above), (1, -1));
+            }
+            other => panic!("expected interior certificate, got {other:?}"),
+        }
+        // Minimising the same function lands on an endpoint (tie at
+        // 0 and 4 resolves to the smaller x).
+        let o = optimize_univariate(
+            &hump(),
+            x,
+            r(0, 1),
+            r(4, 1),
+            &[],
+            OptGoal::Minimize,
+            r(1, 1 << 20),
+        )
+        .unwrap();
+        assert_eq!(o.point, vec![(x, r(0, 1))]);
+        assert!(matches!(
+            o.certificate,
+            OptCertificate::Boundary { upper: false, .. }
+        ));
+    }
+
+    #[test]
+    fn monotone_objective_lands_on_the_boundary_with_a_sign_certificate() {
+        let x = sym();
+        // f = 1/(x+3): strictly decreasing; max over [1, 9] is at 1.
+        let f = RatFn::new(Poly::one(), &Poly::symbol(x) + &Poly::constant(r(3, 1)));
+        let o = optimize_univariate(
+            &f,
+            x,
+            r(1, 1),
+            r(9, 1),
+            &[],
+            OptGoal::Maximize,
+            r(1, 1 << 20),
+        )
+        .unwrap();
+        assert_eq!(o.point, vec![(x, r(1, 1))]);
+        assert_eq!(o.value, Some(r(1, 4)));
+        match o.certificate {
+            OptCertificate::Boundary {
+                upper,
+                open,
+                derivative_sign,
+            } => {
+                assert!(!upper && !open);
+                assert_eq!(derivative_sign, -1);
+            }
+            other => panic!("expected boundary certificate, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn region_constraints_trim_the_interval() {
+        let x = sym();
+        // max of x(4−x) over [0,4] ∩ {x − 3 > 0}: the peak at 2 is
+        // infeasible; the supremum is the open bound 3, approached
+        // within tol.
+        let c = Constraint {
+            expr: LinExpr::symbol(x) - LinExpr::constant(r(3, 1)),
+            rel: Relation::Gt,
+        };
+        let tol = r(1, 1024);
+        let o = optimize_univariate(
+            &hump(),
+            x,
+            r(0, 1),
+            r(4, 1),
+            std::slice::from_ref(&c),
+            OptGoal::Maximize,
+            tol,
+        )
+        .unwrap();
+        assert_eq!(o.point, vec![(x, r(3, 1) + tol)]);
+        assert!(matches!(
+            o.certificate,
+            OptCertificate::Boundary {
+                upper: false,
+                open: true,
+                derivative_sign: -1,
+            }
+        ));
+        // An equality constraint pins the point outright.
+        let pin = Constraint {
+            expr: LinExpr::symbol(x) - LinExpr::constant(r(1, 1)),
+            rel: Relation::Eq,
+        };
+        let o = optimize_univariate(&hump(), x, r(0, 1), r(4, 1), &[pin], OptGoal::Maximize, tol)
+            .unwrap();
+        assert_eq!(o.point, vec![(x, r(1, 1))]);
+        assert_eq!(o.value, Some(r(3, 1)));
+        assert_eq!(o.certificate, OptCertificate::Pinned);
+    }
+
+    #[test]
+    fn irrational_critical_points_come_out_bracketed() {
+        let x = sym();
+        // f = x/(x² + 2): maximum at x = √2 (irrational).
+        let f = RatFn::new(
+            Poly::symbol(x),
+            &Poly::symbol(x).pow(2) + &Poly::constant(r(2, 1)),
+        );
+        let tol = r(1, 1 << 24);
+        let o = optimize_univariate(&f, x, r(0, 1), r(8, 1), &[], OptGoal::Maximize, tol).unwrap();
+        let got = o.point[0].1.to_f64();
+        assert!((got - std::f64::consts::SQRT_2).abs() < 1e-6, "{got}");
+        match o.certificate {
+            OptCertificate::Interior {
+                exact,
+                bracket,
+                sign_below,
+                sign_above,
+            } => {
+                assert!(!exact);
+                assert!((bracket.1 - bracket.0) <= tol);
+                assert_eq!((sign_below, sign_above), (1, -1));
+            }
+            other => panic!("expected interior certificate, got {other:?}"),
+        }
+        // The f64 value agrees with the exact one at the bracket midpoint.
+        assert!((o.value_f64 - o.value.unwrap().to_f64()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn poles_and_infeasibility_error_cleanly() {
+        let x = sym();
+        // f = 1/(x − 2) has a pole inside [0, 4].
+        let f = RatFn::new(Poly::one(), &Poly::symbol(x) - &Poly::constant(r(2, 1)));
+        let e = optimize_univariate(&f, x, r(0, 1), r(4, 1), &[], OptGoal::Maximize, r(1, 1024))
+            .unwrap_err();
+        assert!(matches!(e, OptError::Pole(_)), "{e}");
+        // Contradictory region → infeasible.
+        let above = Constraint {
+            expr: LinExpr::symbol(x) - LinExpr::constant(r(10, 1)),
+            rel: Relation::Gt,
+        };
+        let e = optimize_univariate(
+            &hump(),
+            x,
+            r(0, 1),
+            r(4, 1),
+            &[above],
+            OptGoal::Maximize,
+            r(1, 1024),
+        )
+        .unwrap_err();
+        assert!(matches!(e, OptError::Infeasible(_)), "{e}");
+    }
+}

@@ -1,0 +1,178 @@
+//! Property tests for the parameter-synthesis engines:
+//!
+//! * **Sturm root isolation vs known polynomials** — build `∏(x − rᵢ)`
+//!   from random rational roots and check isolation finds exactly the
+//!   distinct ones, each exactly or inside its bracket;
+//! * **exact univariate optimum vs dense-grid argmax** — on random
+//!   rational functions with a provably positive denominator, the
+//!   certified optimum must dominate a 2001-point grid scan and agree
+//!   with its refined argmax to within the refinement step;
+//! * **thread-count invariance** — the multivariate refiner returns the
+//!   identical `Optimum` at 1 and 8 seeding threads.
+//!
+//! Degree/coefficient bounds keep exact intermediates far inside
+//! `i128` so an overflow cannot masquerade as a property failure.
+
+use proptest::prelude::*;
+use tpn_core::OptGoal;
+use tpn_opt::{isolate_real_roots, optimize, OptOptions, RootLoc};
+use tpn_rational::Rational;
+use tpn_symbolic::{Poly, RatFn, Symbol};
+
+fn x() -> Symbol {
+    Symbol::intern("optp_x")
+}
+
+fn y() -> Symbol {
+    Symbol::intern("optp_y")
+}
+
+fn r(n: i128, d: i128) -> Rational {
+    Rational::new(n, d)
+}
+
+/// `∏ (x − root)` over possibly repeated roots.
+fn poly_with_roots(roots: &[Rational]) -> Poly {
+    let mut p = Poly::one();
+    for root in roots {
+        p = &p * &(&Poly::symbol(x()) - &Poly::constant(*root));
+    }
+    p
+}
+
+/// A polynomial in `x` from dense small-integer coefficients.
+fn poly_from_coeffs(coeffs: &[i128]) -> Poly {
+    let mut p = Poly::zero();
+    for (i, &c) in coeffs.iter().enumerate() {
+        p += Poly::symbol(x())
+            .pow(i as u32)
+            .scale(&Rational::from_int(c));
+    }
+    p
+}
+
+/// Random rational roots in (−8, 8): numerators up to ±47 over
+/// denominators 6·{1..6}, so every root stays inside the isolation
+/// interval while denominators still vary.
+fn roots() -> impl Strategy<Value = Vec<(i128, i128)>> {
+    proptest::collection::vec((-47i128..48, 1i128..7), 1..5)
+        .prop_map(|v| v.into_iter().map(|(n, d)| (n, 6 * d)).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn isolation_recovers_known_roots(raw in roots()) {
+        let mut roots: Vec<Rational> = raw.iter().map(|&(n, d)| r(n, d)).collect();
+        let p = poly_with_roots(&roots);
+        roots.sort();
+        roots.dedup();
+        let tol = r(1, 1 << 12);
+        let found = isolate_real_roots(&p, x(), &r(-9, 1), &r(9, 1), &tol).unwrap();
+        prop_assert_eq!(found.len(), roots.len(), "every distinct root, exactly once");
+        for (loc, want) in found.iter().zip(&roots) {
+            prop_assert!(loc.could_be(want), "{loc:?} vs {want}");
+            // Rational roots that bisection happens to bracket rather
+            // than hit are still within tol of the truth.
+            match loc {
+                RootLoc::Exact(got) => prop_assert_eq!(got, want),
+                RootLoc::Bracket(a, b) => prop_assert!(*b - *a <= tol),
+            }
+        }
+    }
+
+    #[test]
+    fn exact_univariate_optimum_dominates_a_dense_grid(
+        num in proptest::collection::vec(-5i128..6, 1..5),
+        pole in (-30i128..31, 1i128..5),
+        shift in 1i128..6,
+        maximize in any::<bool>(),
+    ) {
+        // f = n(x) / ((x − c)² + s): denominator provably positive.
+        let n = poly_from_coeffs(&num);
+        prop_assume!(!n.is_constant());
+        let c = r(pole.0, pole.1);
+        let den = {
+            let lin = &Poly::symbol(x()) - &Poly::constant(c);
+            &(&lin * &lin) + &Poly::constant(Rational::from_int(shift))
+        };
+        let f = RatFn::new(n, den);
+        prop_assume!(!f.symbols().is_empty());
+        let goal = if maximize { OptGoal::Maximize } else { OptGoal::Minimize };
+        let (lo, hi) = (r(0, 1), r(4, 1));
+        let opts = OptOptions {
+            tolerance: Some(r(1, 1 << 12)),
+            ..OptOptions::default()
+        };
+        let best = optimize(&f, &[(x(), lo, hi)], &[], goal, &opts).unwrap();
+        prop_assert!(best.certified(), "univariate results are always certified");
+        let value = best.value.expect("exact value").to_f64();
+
+        // Dense scan: 2001 points, then one refinement pass of 401
+        // points across the argmax's two adjacent cells.
+        let scan = |a: f64, b: f64, steps: usize| -> (f64, f64) {
+            let mut best_x = a;
+            let mut best_v = f64::NEG_INFINITY * if maximize { 1.0 } else { -1.0 };
+            for i in 0..=steps {
+                let xx = a + (b - a) * (i as f64) / (steps as f64);
+                let at: tpn_symbolic::Assignment =
+                    [(x(), Rational::from_f64_approx(xx, 1 << 20).unwrap())]
+                        .into_iter()
+                        .collect();
+                // f64 through the exact oracle: positions are snapped
+                // rationals, so both sides see the same abscissa.
+                let Some(v) = f.eval(&at).map(|v| v.to_f64()) else { continue };
+                if (maximize && v > best_v) || (!maximize && v < best_v) {
+                    best_v = v;
+                    best_x = xx;
+                }
+            }
+            (best_x, best_v)
+        };
+        let cell = 4.0 / 2000.0;
+        let (_, coarse_v) = scan(0.0, 4.0, 2000);
+        // Refine around the certified optimum: a fine grid across its
+        // cell must approach the certified value (and never beat it).
+        let x_opt = best.point[0].1.to_f64();
+        let (_, fine_v) = scan((x_opt - cell).max(0.0), (x_opt + cell).min(4.0), 400);
+        let scale = 1.0 + value.abs().max(coarse_v.abs());
+        // A bracketed critical point is reported at its bracket
+        // midpoint, so a grid point can sit closer to the true
+        // extremum by up to C·tol² in value — the dominance epsilon
+        // must absorb that approximation, not just f64 noise.
+        let eps = 1e-6 * scale;
+        if maximize {
+            // The certified optimum dominates every grid value…
+            prop_assert!(value >= coarse_v - eps, "{value} vs grid {coarse_v}");
+            prop_assert!(value >= fine_v - eps, "{value} vs refined {fine_v}");
+            // …and the refined grid around it closes the gap.
+            prop_assert!(fine_v >= value - 1e-3 * scale, "{fine_v} must approach {value}");
+        } else {
+            prop_assert!(value <= coarse_v + eps, "{value} vs grid {coarse_v}");
+            prop_assert!(value <= fine_v + eps, "{value} vs refined {fine_v}");
+            prop_assert!(fine_v <= value + 1e-3 * scale, "{fine_v} must approach {value}");
+        }
+    }
+
+    #[test]
+    fn multivariate_result_is_invariant_under_thread_count(
+        cx in 1i128..8,
+        cy in 1i128..8,
+        seed_points in 16u64..200,
+    ) {
+        // f = x(cx − x) + y(cy − y) over a box that contains the peak.
+        let fx = &Poly::symbol(x()) * &(Poly::constant(r(cx, 1)) - Poly::symbol(x()));
+        let fy = &Poly::symbol(y()) * &(Poly::constant(r(cy, 1)) - Poly::symbol(y()));
+        let f = RatFn::from_poly(&fx + &fy);
+        let axes = [(x(), r(1, 2), r(8, 1)), (y(), r(1, 2), r(8, 1))];
+        let mk = |threads: usize| OptOptions {
+            threads,
+            seed_points,
+            ..OptOptions::default()
+        };
+        let a = optimize(&f, &axes, &[], OptGoal::Maximize, &mk(1)).unwrap();
+        let b = optimize(&f, &axes, &[], OptGoal::Maximize, &mk(8)).unwrap();
+        prop_assert_eq!(a, b, "threads only parallelise the seeding sweep");
+    }
+}

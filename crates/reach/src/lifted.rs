@@ -26,7 +26,7 @@ use std::sync::Mutex;
 
 use tpn_net::{symbols, Frequency, TimedPetriNet, TransId};
 use tpn_rational::Rational;
-use tpn_symbolic::{Assignment, LinExpr, Poly, RatFn, Symbol};
+use tpn_symbolic::{Assignment, Constraint, LinExpr, Poly, RatFn, Relation, Symbol};
 
 use crate::{AnalysisDomain, ReachError};
 
@@ -36,9 +36,11 @@ use crate::{AnalysisDomain, ReachError};
 pub struct LiftedDomain {
     /// Base value of every lifted symbol.
     base: Assignment,
-    /// Comparisons involving lifted symbols, rendered as validity
-    /// conditions on the lifted parameters.
-    region: Mutex<BTreeSet<String>>,
+    /// Comparisons involving lifted symbols, stored structurally as
+    /// `(expr, relation)` pairs meaning `expr ⋈ 0` — the machine-
+    /// evaluable validity region ([`LiftedDomain::region_constraints`]),
+    /// from which the rendered form ([`LiftedDomain::region`]) derives.
+    region: Mutex<BTreeSet<(LinExpr, Relation)>>,
 }
 
 impl LiftedDomain {
@@ -89,12 +91,48 @@ impl LiftedDomain {
     /// the set of parameter values satisfying all conditions; outside
     /// it the graph itself may change shape.
     pub fn region(&self) -> Vec<String> {
-        self.region
+        self.region_entries()
+            .into_iter()
+            .map(|(text, _)| text)
+            .collect()
+    }
+
+    /// The validity region in machine-evaluable form: one
+    /// [`Constraint`] (`expr > 0` or `expr = 0`) per recorded frozen
+    /// comparison, in the same order as the rendered [`LiftedDomain::region`]
+    /// strings. [`Constraint::check`] evaluates membership of a
+    /// parameter point exactly; the optimizer and the sweep endpoint's
+    /// `in_region` flag both consume this form.
+    pub fn region_constraints(&self) -> Vec<Constraint> {
+        self.region_entries().into_iter().map(|(_, c)| c).collect()
+    }
+
+    /// The region as `(rendered text, constraint)` pairs, sorted by the
+    /// rendered text (the historical output order of
+    /// [`LiftedDomain::region`]). Callers that need both forms — the
+    /// analysis endpoints render the strings *and* evaluate the
+    /// constraints — should take this once instead of paying the
+    /// lock/clone/format/sort twice.
+    pub fn region_entries(&self) -> Vec<(String, Constraint)> {
+        let mut out: Vec<(String, Constraint)> = self
+            .region
             .lock()
             .expect("region lock")
             .iter()
-            .cloned()
-            .collect()
+            .map(|(expr, rel)| {
+                let c = Constraint {
+                    expr: expr.clone(),
+                    rel: *rel,
+                };
+                let text = match rel {
+                    Relation::Eq => format!("{expr} = 0"),
+                    _ => format!("{expr} > 0"),
+                };
+                (text, c)
+            })
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
     }
 
     /// Value of `e` at the base point (every symbol in any expression
@@ -112,15 +150,12 @@ impl LiftedDomain {
             return; // outcome independent of the lifted parameters
         }
         let sign = self.at_base(&diff).signum();
-        let condition = match sign {
-            0 => format!("{diff} = 0"),
-            1 => format!("{diff} > 0"),
-            _ => {
-                let neg = diff.scale(&-Rational::ONE);
-                format!("{neg} > 0")
-            }
+        let entry = match sign {
+            0 => (diff, Relation::Eq),
+            1 => (diff, Relation::Gt),
+            _ => (diff.scale(&-Rational::ONE), Relation::Gt),
         };
-        self.region.lock().expect("region lock").insert(condition);
+        self.region.lock().expect("region lock").insert(entry);
     }
 
     fn attribute_expr(&self, value: &Rational, sym: Symbol) -> LinExpr {
@@ -398,5 +433,34 @@ mod tests {
             "{:?}",
             d.region()
         );
+    }
+
+    #[test]
+    fn structured_region_is_machine_evaluable_and_matches_rendering() {
+        let net = two_way();
+        let f_retry = symbols::firing("retry");
+        let d = LiftedDomain::new(&net, &[f_retry]).unwrap();
+        let a = LinExpr::symbol(f_retry); // base 2
+        let one = LinExpr::constant(r(1, 1));
+        let two = LinExpr::constant(r(2, 1));
+        d.min_index(&[a.clone(), one], 0).unwrap(); // F(retry) - 1 > 0
+        d.time_eq(&a, &two, 0).unwrap(); // F(retry) - 2 = 0
+        let rendered = d.region();
+        let constraints = d.region_constraints();
+        assert_eq!(rendered.len(), constraints.len());
+        // Same order: constraint i renders as string i.
+        for (text, c) in rendered.iter().zip(&constraints) {
+            let shown = match c.rel {
+                tpn_symbolic::Relation::Eq => format!("{} = 0", c.expr),
+                _ => format!("{} > 0", c.expr),
+            };
+            assert_eq!(*text, shown);
+        }
+        // The base point satisfies every recorded constraint; a point
+        // outside (F(retry) = 1/2) violates the strict one.
+        let base = Assignment::new().with(f_retry, r(2, 1));
+        let outside = Assignment::new().with(f_retry, r(1, 2));
+        assert!(constraints.iter().all(|c| c.check(&base) == Some(true)));
+        assert!(constraints.iter().any(|c| c.check(&outside) == Some(false)));
     }
 }

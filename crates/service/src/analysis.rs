@@ -53,6 +53,14 @@ pub enum RequestKind {
         /// Fingerprint of the canonical spec rendering.
         spec: u128,
     },
+    /// A parameter-synthesis request. Like [`RequestKind::Sweep`], the
+    /// variant carries only the canonical spec's fingerprint; the spec
+    /// travels with the request and is handled by
+    /// [`Service::respond_optimize`](crate::Service::respond_optimize).
+    Optimize {
+        /// Fingerprint of the canonical spec rendering.
+        spec: u128,
+    },
 }
 
 impl RequestKind {
@@ -65,6 +73,7 @@ impl RequestKind {
             RequestKind::Invariants => "invariants",
             RequestKind::Simulate { .. } => "simulate",
             RequestKind::Sweep { .. } => "sweep",
+            RequestKind::Optimize { .. } => "optimize",
         }
     }
 }
@@ -115,10 +124,14 @@ pub fn run(net: &TimedPetriNet, kind: RequestKind) -> Result<String, ServiceErro
         RequestKind::Correctness => correctness_json(net),
         RequestKind::Invariants => Ok(invariants_json(net)),
         RequestKind::Simulate { events, seed } => simulate_json(net, events, seed),
-        // A sweep needs its full spec, which only the hash of travels in
-        // the kind; Service::respond_sweep is the entry point.
+        // Sweeps and optimizations need their full spec, which only the
+        // hash of travels in the kind; Service::respond_sweep and
+        // Service::respond_optimize are the entry points.
         RequestKind::Sweep { .. } => Err(ServiceError::BadRequest(
             "sweep requests carry a grid spec; POST /sweep with a JSON body".to_string(),
+        )),
+        RequestKind::Optimize { .. } => Err(ServiceError::BadRequest(
+            "optimize requests carry a spec; POST /optimize with a JSON body".to_string(),
         )),
     }
 }

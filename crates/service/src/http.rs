@@ -16,8 +16,9 @@
 //! | POST | `/invariants` | `.tpn` text | P-/T-semiflows |
 //! | POST | `/simulate?events=N&seed=S` | `.tpn` text | Monte-Carlo counters |
 //! | POST | `/sweep` | JSON: grid spec + `.tpn` text | per-point throughput/utilisation rows |
+//! | POST | `/optimize` | JSON: box spec + `.tpn` text | certified optimal parameter point |
 //! | GET | `/healthz` | — | liveness probe |
-//! | GET | `/stats` | — | cache/pool/sweep counters |
+//! | GET | `/stats` | — | cache/pool/sweep/optimize counters |
 //!
 //! Status codes: 200 on success, 400 for malformed requests or `.tpn`
 //! parse errors, 404/405 for bad routes, 413 for oversized bodies, 422
@@ -84,6 +85,10 @@ pub struct Service {
     sweep_hits: AtomicU64,
     sweep_compiles: AtomicU64,
     sweep_points: AtomicU64,
+    optimizes: AtomicU64,
+    optimize_hits: AtomicU64,
+    optimize_solves: AtomicU64,
+    optimize_certified: AtomicU64,
 }
 
 impl Service {
@@ -97,6 +102,10 @@ impl Service {
             sweep_hits: AtomicU64::new(0),
             sweep_compiles: AtomicU64::new(0),
             sweep_points: AtomicU64::new(0),
+            optimizes: AtomicU64::new(0),
+            optimize_hits: AtomicU64::new(0),
+            optimize_solves: AtomicU64::new(0),
+            optimize_certified: AtomicU64::new(0),
         }
     }
 
@@ -203,6 +212,72 @@ impl Service {
         }
     }
 
+    /// Serve one parameter-synthesis request. `body` is the spec object
+    /// of [`crate::optimize`] plus a `"net"` member with the `.tpn`
+    /// text. Results are cached under `(net digest, spec hash)`; a
+    /// repeated request is answered from the cache and concurrent
+    /// identical requests coalesce into one solve.
+    pub fn respond_optimize(&self, body: &str) -> (u16, Arc<String>) {
+        use crate::optimize::{optimize_json, OptimizeSpec};
+        use crate::sweep::spec_hash;
+
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        self.optimizes.fetch_add(1, Ordering::Relaxed);
+        let fail = |e: ServiceError| (e.status(), Arc::new(error_body(&e.to_string())));
+        let doc = match crate::jsonval::Json::parse(body) {
+            Ok(doc) => doc,
+            Err(e) => return fail(ServiceError::BadRequest(format!("request body: {e}"))),
+        };
+        let net_text = match doc.get("net").and_then(crate::jsonval::Json::as_str) {
+            Some(t) => t,
+            None => {
+                return fail(ServiceError::BadRequest(
+                    "request body needs a \"net\" member with the .tpn text".to_string(),
+                ))
+            }
+        };
+        let net = match parse_tpn(net_text) {
+            Ok(net) => net,
+            Err(e) => return fail(ServiceError::Parse(e.to_string())),
+        };
+        let spec = match OptimizeSpec::from_json(&doc) {
+            Ok(spec) => spec,
+            Err(e) => return fail(e),
+        };
+        let key = CacheKey {
+            digest: net.digest(),
+            kind: RequestKind::Optimize {
+                spec: spec_hash(&spec.canonical()),
+            },
+        };
+        let computed = AtomicBool::new(false);
+        let result = self.cache.get_or_compute(key, || {
+            computed.store(true, Ordering::Relaxed);
+            let (body, certified) = optimize_json(
+                &net,
+                &spec,
+                self.config.sweep_threads,
+                self.config.max_sweep_points,
+            )?;
+            self.optimize_solves.fetch_add(1, Ordering::Relaxed);
+            if certified {
+                self.optimize_certified.fetch_add(1, Ordering::Relaxed);
+            }
+            Ok(body)
+        });
+        match result {
+            Ok(body) => {
+                if !computed.load(Ordering::Relaxed) {
+                    // See respond_sweep: cache hit or successful
+                    // coalescing, never an error follower.
+                    self.optimize_hits.fetch_add(1, Ordering::Relaxed);
+                }
+                (200, body)
+            }
+            Err(e) => fail(e),
+        }
+    }
+
     /// The `/stats` document: request/cache counters plus pool sizing.
     pub fn stats_json(&self) -> String {
         let s = self.cache.stats();
@@ -232,6 +307,14 @@ impl Service {
         w.uint(self.sweep_compiles.load(Ordering::Relaxed));
         w.key("sweep_points");
         w.uint(self.sweep_points.load(Ordering::Relaxed));
+        w.key("optimizes");
+        w.uint(self.optimizes.load(Ordering::Relaxed));
+        w.key("optimize_hits");
+        w.uint(self.optimize_hits.load(Ordering::Relaxed));
+        w.key("optimize_solves");
+        w.uint(self.optimize_solves.load(Ordering::Relaxed));
+        w.key("optimize_certified");
+        w.uint(self.optimize_certified.load(Ordering::Relaxed));
         w.key("threads");
         w.uint(self.config.threads as u64);
         w.key("queue_cap");
@@ -583,6 +666,10 @@ fn route(service: &Service, req: &Request) -> (u16, Arc<String>) {
             Ok(text) => service.respond_sweep(text),
             Err(_) => (400, Arc::new(error_body("request body is not UTF-8"))),
         },
+        ("POST", "/optimize") => match std::str::from_utf8(&req.body) {
+            Ok(text) => service.respond_optimize(text),
+            Err(_) => (400, Arc::new(error_body("request body is not UTF-8"))),
+        },
         ("POST", path) if ANALYSES.contains(&path) => {
             let kind = match analysis_kind(req) {
                 Ok(kind) => kind,
@@ -605,6 +692,7 @@ fn route(service: &Service, req: &Request) -> (u16, Arc<String>) {
         (_, path)
             if ANALYSES.contains(&path)
                 || path == "/sweep"
+                || path == "/optimize"
                 || path == "/healthz"
                 || path == "/stats" =>
         {

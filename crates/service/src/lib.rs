@@ -12,6 +12,7 @@
 //! | [`jsonval`] | minimal JSON parser (the `/sweep` request body) |
 //! | [`analysis`] | request kinds and their JSON renderings |
 //! | [`sweep`] | parameter-sweep specs and the compiled sweep executor |
+//! | [`optimize`] | parameter-synthesis specs and the certified optimizer front end |
 //! | [`cache`] | sharded LRU result cache keyed by [`tpn_net::NetDigest`], with request coalescing |
 //! | [`executor`] | fixed thread pool over a bounded work queue |
 //! | [`http`] | hand-rolled HTTP/1.1 server over [`std::net::TcpListener`] |
@@ -56,6 +57,7 @@ pub mod executor;
 pub mod http;
 pub mod json;
 pub mod jsonval;
+pub mod optimize;
 pub mod sweep;
 
 pub use analysis::{run, RequestKind, ServiceError, DEFAULT_SIM_EVENTS, DEFAULT_SIM_SEED};
@@ -63,4 +65,5 @@ pub use cache::{AnalysisCache, CacheConfig, CacheKey, CacheStats};
 pub use executor::{PoolClosed, ThreadPool};
 pub use http::{spawn, ServerHandle, Service, ServiceConfig};
 pub use jsonval::Json;
+pub use optimize::{optimize_json, BoxAxisSpec, OptimizeSpec};
 pub use sweep::{spec_hash, sweep_json, SweepBackend, SweepSpec};

@@ -36,8 +36,12 @@
 //! attributes become symbols, every timing comparison is frozen at the
 //! net's own base values, and the resulting closed forms are compiled
 //! (`tpn-eval`) and evaluated over the grid. The response carries the
-//! recorded validity `region`; rows outside it are evaluations of the
-//! base-point expression, not of a re-derived graph.
+//! recorded validity `region`, and every row ends with an `in_region`
+//! flag — the row's coordinates checked **exactly** against each
+//! region constraint (`null` in the astronomically unlikely case that
+//! the exact check overflows `i128`). Rows with `in_region: false` are
+//! evaluations of the base-point expression, not of a re-derived
+//! graph, and should be read accordingly.
 //!
 //! Results are cached under `(net digest, spec hash)` — see
 //! [`spec_hash`], a 128-bit FNV pair over the canonical spec rendering.
@@ -46,7 +50,7 @@ use tpn_eval::{sweep_exact, sweep_f64, Axis, Compiled, Grid, SweepOptions};
 use tpn_net::{symbols, TimedPetriNet};
 use tpn_rational::Rational;
 use tpn_reach::{build_trg, LiftedDomain, TrgOptions};
-use tpn_symbolic::{Assignment, RatFn, Symbol};
+use tpn_symbolic::{Assignment, Constraint, RatFn, Relation, Symbol};
 
 use crate::analysis::ServiceError;
 use crate::json::JsonWriter;
@@ -164,12 +168,12 @@ pub struct SweepSpec {
     pub elasticity: bool,
 }
 
-fn bad(m: impl Into<String>) -> ServiceError {
+pub(crate) fn bad(m: impl Into<String>) -> ServiceError {
     ServiceError::BadRequest(m.into())
 }
 
 /// Convert a JSON string or number to an exact rational.
-fn rational_value(j: &Json, what: &str) -> Result<Rational, ServiceError> {
+pub(crate) fn rational_value(j: &Json, what: &str) -> Result<Rational, ServiceError> {
     let token = match j {
         Json::Str(s) => s.as_str(),
         Json::Num(n) => n.as_str(),
@@ -185,7 +189,7 @@ fn rational_value(j: &Json, what: &str) -> Result<Rational, ServiceError> {
         .map_err(|e| bad(format!("{what}: {e}")))
 }
 
-fn u64_value(j: &Json, what: &str) -> Result<u64, ServiceError> {
+pub(crate) fn u64_value(j: &Json, what: &str) -> Result<u64, ServiceError> {
     j.as_num()
         .and_then(|n| n.parse::<u64>().ok())
         .ok_or_else(|| bad(format!("{what} must be a non-negative integer")))
@@ -407,10 +411,90 @@ pub fn spec_hash(canonical: &str) -> u128 {
     (u128::from(lanes[0]) << 64) | u128::from(lanes[1])
 }
 
+/// The shared derivation pipeline of `/sweep` and `/optimize`: lift the
+/// swept attributes, build the timed reachability graph (recording the
+/// validity region as a side effect), collapse it to a decision graph
+/// and solve for the traversal rates.
+pub(crate) struct LiftedAnalysis {
+    pub domain: LiftedDomain,
+    pub trg: tpn_reach::TimedReachabilityGraph<LiftedDomain>,
+    pub dg: tpn_core::DecisionGraph<LiftedDomain>,
+    pub perf: tpn_core::Performance<LiftedDomain>,
+}
+
+pub(crate) fn lifted_analysis(
+    net: &TimedPetriNet,
+    swept: &[Symbol],
+) -> Result<LiftedAnalysis, ServiceError> {
+    let err = |e: &dyn std::fmt::Display| ServiceError::Analysis(e.to_string());
+    let domain = LiftedDomain::new(net, swept).map_err(|e| err(&e))?;
+    let trg = build_trg(net, &domain, &TrgOptions::default()).map_err(|e| err(&e))?;
+    let dg = tpn_core::DecisionGraph::from_trg(&trg, &domain).map_err(|e| err(&e))?;
+    let rates = tpn_core::solve_rates(&dg, 0).map_err(|e| err(&e))?;
+    let perf = tpn_core::Performance::new(&dg, rates, &domain).map_err(|e| err(&e))?;
+    Ok(LiftedAnalysis {
+        domain,
+        trg,
+        dg,
+        perf,
+    })
+}
+
+/// The per-row `in_region` evaluator: region constraints with their
+/// coefficients pre-aligned to the sweep's axis order, so the render
+/// loop pays one overflow-checked multiply-add per *non-zero*
+/// coefficient per row — no per-row `Assignment` allocation, no
+/// coefficient lookups.
+pub(crate) struct RegionEval {
+    /// `(constant, one coefficient per axis, relation)` per constraint.
+    rows: Vec<(Rational, Vec<Rational>, Relation)>,
+}
+
+impl RegionEval {
+    /// Align `constraints` to `swept` (the axis order rows decode in).
+    /// Constraint symbols are always lifted symbols, hence axes.
+    pub(crate) fn new(constraints: &[Constraint], swept: &[Symbol]) -> RegionEval {
+        let rows = constraints
+            .iter()
+            .map(|c| {
+                let coeffs = swept.iter().map(|&s| c.expr.coeff(s)).collect();
+                (*c.expr.constant_part(), coeffs, c.rel)
+            })
+            .collect();
+        RegionEval { rows }
+    }
+
+    /// Exact membership of one row's coordinates, with overflow-checked
+    /// arithmetic (a hostile coordinate must not panic a worker):
+    /// `None` (rendered as JSON `null`) when a check itself overflows.
+    pub(crate) fn in_region(&self, coords: &[Rational]) -> Option<bool> {
+        let mut all = true;
+        for (constant, coeffs, rel) in &self.rows {
+            let mut acc = *constant;
+            for (coeff, value) in coeffs.iter().zip(coords) {
+                if coeff.is_zero() {
+                    continue;
+                }
+                let term = coeff.checked_mul(value).ok()?;
+                acc = acc.checked_add(&term).ok()?;
+            }
+            let holds = match rel {
+                Relation::Eq => acc.is_zero(),
+                Relation::Ge => !acc.is_negative(),
+                Relation::Gt => acc.is_positive(),
+            };
+            if !holds {
+                all = false;
+            }
+        }
+        Some(all)
+    }
+}
+
 /// Resolve a canonical attribute-symbol name against the net *without*
 /// interning unmatched input (the interner is process-global; a flood
 /// of bogus axis names must not grow it).
-fn resolve_symbol(net: &TimedPetriNet, name: &str) -> Result<Symbol, ServiceError> {
+pub(crate) fn resolve_symbol(net: &TimedPetriNet, name: &str) -> Result<Symbol, ServiceError> {
     for t in net.transitions() {
         let tn = net.transition(t).name();
         if name == format!("E({tn})") {
@@ -430,7 +514,7 @@ fn resolve_symbol(net: &TimedPetriNet, name: &str) -> Result<Symbol, ServiceErro
     )))
 }
 
-fn resolve_target(
+pub(crate) fn resolve_target(
     net: &TimedPetriNet,
     t: &TargetSpec,
 ) -> Result<tpn_core::ExprTarget, ServiceError> {
@@ -453,10 +537,13 @@ fn resolve_target(
 }
 
 /// Execute a sweep and render the response document. Returns the JSON
-/// body and the number of grid points evaluated. Deterministic:
-/// identical nets (by digest) and identical canonical specs produce
-/// byte-identical documents at any thread count, which makes the
-/// result cacheable and the CLI output comparable to the server's.
+/// body and the number of grid points evaluated. Each row is
+/// `[[coords…], [values…], in_region]`; the trailing flag is the
+/// row's coordinates checked exactly against every recorded validity
+/// constraint. Deterministic: identical nets (by digest) and identical
+/// canonical specs produce byte-identical documents at any thread
+/// count, which makes the result cacheable and the CLI output
+/// comparable to the server's.
 pub fn sweep_json(
     net: &TimedPetriNet,
     spec: &SweepSpec,
@@ -505,16 +592,22 @@ pub fn sweep_json(
     let grid = Grid::new(axes).map_err(|e| bad(e.to_string()))?;
 
     // Derive the closed forms through the numerically guided lift.
-    let err = |e: &dyn std::fmt::Display| ServiceError::Analysis(e.to_string());
-    let domain = LiftedDomain::new(net, &swept).map_err(|e| err(&e))?;
-    let trg = build_trg(net, &domain, &TrgOptions::default()).map_err(|e| err(&e))?;
-    let dg = tpn_core::DecisionGraph::from_trg(&trg, &domain).map_err(|e| err(&e))?;
-    let rates = tpn_core::solve_rates(&dg, 0).map_err(|e| err(&e))?;
-    let perf = tpn_core::Performance::new(&dg, rates, &domain).map_err(|e| err(&e))?;
+    let lifted = lifted_analysis(net, &swept)?;
+    let LiftedAnalysis {
+        ref domain,
+        ref trg,
+        ref dg,
+        ref perf,
+    } = lifted;
     let exprs: Vec<RatFn> = exprs_targets
         .iter()
-        .map(|&t| perf.export_expr(&dg, &trg, &domain, t))
+        .map(|&t| perf.export_expr(dg, trg, domain, t))
         .collect();
+    // One pass over the region: the strings feed the response header,
+    // the constraints feed the per-row in_region evaluator.
+    let (region_texts, region_constraints): (Vec<String>, Vec<Constraint>) =
+        domain.region_entries().into_iter().unzip();
+    let region_eval = RegionEval::new(&region_constraints, &swept);
 
     // Compile (with derivatives if elasticities are requested) and run.
     let compiled = if spec.elasticity {
@@ -548,8 +641,8 @@ pub fn sweep_json(
     w.uint(compiled.num_ops() as u64);
     w.key("region");
     w.begin_array();
-    for c in domain.region() {
-        w.string(&c);
+    for c in &region_texts {
+        w.string(c);
     }
     w.end_array();
     w.key("axes");
@@ -610,6 +703,10 @@ pub fn sweep_json(
                     }
                 }
                 w.end_array();
+                match region_eval.in_region(&coords) {
+                    Some(flag) => w.bool(flag),
+                    None => w.null(),
+                }
                 w.end_array();
             }
         }
@@ -649,6 +746,10 @@ pub fn sweep_json(
                     }
                 }
                 w.end_array();
+                match region_eval.in_region(&coords) {
+                    Some(flag) => w.bool(flag),
+                    None => w.null(),
+                }
                 w.end_array();
             }
         }
@@ -735,17 +836,18 @@ mod tests {
             "{body}"
         );
         // throughput of the 2-transition cycle is 1/(F(go)+3): at
-        // F(go)=1 it is 0.25, at F(go)=2 (base) 0.2
-        assert!(body.contains(r#"[["1"],[0.25]]"#), "{body}");
-        assert!(body.contains(r#"[["2"],[0.2]]"#), "{body}");
+        // F(go)=1 it is 0.25, at F(go)=2 (base) 0.2; the conflict-free
+        // cycle records no comparisons, so every row is in-region
+        assert!(body.contains(r#"[["1"],[0.25],true]"#), "{body}");
+        assert!(body.contains(r#"[["2"],[0.2],true]"#), "{body}");
         // exact backend agrees exactly
         let exact = SweepSpec {
             backend: SweepBackend::Exact,
             ..spec
         };
         let (ebody, _) = sweep_json(&net, &exact, 2, 1000).unwrap();
-        assert!(ebody.contains(r#"[["1"],["1/4"]]"#), "{ebody}");
-        assert!(ebody.contains(r#"[["2"],["1/5"]]"#), "{ebody}");
+        assert!(ebody.contains(r#"[["1"],["1/4"],true]"#), "{ebody}");
+        assert!(ebody.contains(r#"[["2"],["1/5"],true]"#), "{ebody}");
     }
 
     #[test]
@@ -814,6 +916,6 @@ mod tests {
         let (body, _) = sweep_json(&net, &spec, 1, 1000).unwrap();
         assert!(body.contains(r#""columns":["throughput:go","elast:throughput:go:F(go)"]"#));
         // T = 1/(x+3): elasticity = -x/(x+3); at x=1 that is -0.25
-        assert!(body.contains(r#"[["1"],[0.25,-0.25]]"#), "{body}");
+        assert!(body.contains(r#"[["1"],[0.25,-0.25],true]"#), "{body}");
     }
 }

@@ -9,6 +9,7 @@
 //! tpn invariants <net.tpn>              P- and T-semiflows
 //! tpn simulate <net.tpn> [EVENTS [SEED]]  Monte-Carlo run
 //! tpn sweep <net.tpn> <spec.json>       compiled parameter sweep (JSON rows)
+//! tpn optimize <net.tpn> <spec.json>    certified optimal timing parameters (JSON)
 //! tpn serve <addr> [OPTIONS]            HTTP analysis daemon (JSON API)
 //! tpn batch <dir> [KIND]                analyze every .tpn in a directory (JSON lines)
 //! ```
@@ -76,6 +77,11 @@ const COMMANDS: &[CommandHelp] = &[
         name: "sweep",
         usage: "tpn sweep <net.tpn> <spec.json> [--threads N] [--max-points N]",
         summary: "compiled parameter sweep over a grid of timing/frequency values (JSON rows)",
+    },
+    CommandHelp {
+        name: "optimize",
+        usage: "tpn optimize <net.tpn> <spec.json> [--threads N] [--max-seed-points N]",
+        summary: "find the parameter point of a box that optimises a performance measure (certified where exact)",
     },
     CommandHelp {
         name: "serve",
@@ -174,6 +180,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "serve" => return cmd_serve(&args[1..]),
         "batch" => return cmd_batch(&args[1..]),
         "sweep" => return cmd_sweep(&args[1..]),
+        "optimize" => return cmd_optimize(&args[1..]),
         _ => {}
     }
     let path = args.get(1).ok_or_else(|| usage_of(cmd))?;
@@ -319,30 +326,74 @@ fn run(args: &[String]) -> Result<(), String> {
 /// `POST /sweep` endpoint returns for the same net and spec
 /// (byte-identical: both go through `tpn_service::sweep_json`).
 fn cmd_sweep(args: &[String]) -> Result<(), String> {
+    run_spec_command(
+        args,
+        "sweep",
+        "--max-points",
+        |net, doc, threads, max_points| {
+            let spec = tpn_service::SweepSpec::from_json(doc).map_err(|e| e.to_string())?;
+            let (body, _) = tpn_service::sweep_json(net, &spec, threads, max_points)
+                .map_err(|e| e.to_string())?;
+            Ok(body)
+        },
+    )
+}
+
+/// `tpn optimize <net.tpn> <spec.json> [--threads N] [--max-seed-points N]`
+/// — find the parameter point of a box ∩ validity-region that
+/// optimises a performance measure. Prints exactly the JSON document
+/// the daemon's `POST /optimize` endpoint returns for the same net and
+/// spec (byte-identical: both go through `tpn_service::optimize_json`).
+fn cmd_optimize(args: &[String]) -> Result<(), String> {
+    run_spec_command(
+        args,
+        "optimize",
+        "--max-seed-points",
+        |net, doc, threads, budget| {
+            let spec = tpn_service::OptimizeSpec::from_json(doc).map_err(|e| e.to_string())?;
+            let (body, _) = tpn_service::optimize_json(net, &spec, threads, budget)
+                .map_err(|e| e.to_string())?;
+            Ok(body)
+        },
+    )
+}
+
+/// Shared scaffolding of the spec-driven subcommands (`sweep`,
+/// `optimize`): parse `<net.tpn> <spec.json>` plus `--threads` and one
+/// command-specific budget flag (both defaulting to the server's sweep
+/// configuration), load the net and the spec document, reject an
+/// in-spec `"net"` member, and print the JSON document `produce`
+/// renders — the same bytes the matching HTTP endpoint serves.
+fn run_spec_command(
+    args: &[String],
+    cmd: &str,
+    budget_flag: &str,
+    produce: impl FnOnce(&TimedPetriNet, &tpn_service::Json, usize, u64) -> Result<String, String>,
+) -> Result<(), String> {
     let defaults = ServiceConfig::default();
     let mut threads = defaults.sweep_threads;
-    let mut max_points = defaults.max_sweep_points;
+    let mut budget = defaults.max_sweep_points;
     let mut positional: Vec<&str> = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let mut flag_value = |name: &str| -> Result<u64, String> {
             let v = it
                 .next()
-                .ok_or_else(|| format!("{name} needs a value\n{}", usage_of("sweep")))?;
+                .ok_or_else(|| format!("{name} needs a value\n{}", usage_of(cmd)))?;
             v.parse()
-                .map_err(|_| format!("bad {name} value {v:?}\n{}", usage_of("sweep")))
+                .map_err(|_| format!("bad {name} value {v:?}\n{}", usage_of(cmd)))
         };
         match arg.as_str() {
             "--threads" => threads = flag_value("--threads")? as usize,
-            "--max-points" => max_points = flag_value("--max-points")?,
+            flag if flag == budget_flag => budget = flag_value(budget_flag)?,
             flag if flag.starts_with('-') => {
-                return Err(format!("unknown flag {flag:?}\n{}", usage_of("sweep")))
+                return Err(format!("unknown flag {flag:?}\n{}", usage_of(cmd)))
             }
             a => positional.push(a),
         }
     }
     let [net_path, spec_path] = positional.as_slice() else {
-        return Err(usage_of("sweep"));
+        return Err(usage_of(cmd));
     };
     let net = load(net_path)?;
     let spec_text = std::fs::read_to_string(spec_path).map_err(|e| format!("{spec_path}: {e}"))?;
@@ -352,9 +403,7 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
             "{spec_path}: the net comes from the <net.tpn> argument; drop the \"net\" member"
         ));
     }
-    let spec = tpn_service::SweepSpec::from_json(&doc).map_err(|e| e.to_string())?;
-    let (body, _) =
-        tpn_service::sweep_json(&net, &spec, threads, max_points).map_err(|e| e.to_string())?;
+    let body = produce(&net, &doc, threads, budget)?;
     println!("{body}");
     Ok(())
 }
@@ -393,7 +442,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     let handle = tpn_service::spawn(service, addr).map_err(|e| format!("{addr}: {e}"))?;
     println!("tpn-service listening on http://{}", handle.addr());
     println!(
-        "endpoints: POST /analyze /graph /correctness /invariants /simulate /sweep · \
+        "endpoints: POST /analyze /graph /correctness /invariants /simulate /sweep /optimize · \
          GET /healthz /stats"
     );
     handle.wait();

@@ -19,6 +19,7 @@
 //! | [`reach`] | `tpn-reach` | timed reachability graphs (numeric §2 and symbolic §3) |
 //! | [`core`] | `tpn-core` | decision graphs, traversal rates, performance expressions |
 //! | [`eval`] | `tpn-eval` | compiled expression evaluation and parallel parameter sweeps |
+//! | [`opt`] | `tpn-opt` | parameter synthesis: certified optima of performance expressions |
 //! | [`sim`] | `tpn-sim` | discrete-event Monte-Carlo validation |
 //! | [`protocols`] | `tpn-protocols` | the paper's nets and parametric families |
 //! | [`service`] | `tpn-service` | analysis daemon: result cache, thread pool, HTTP + JSON |
@@ -50,6 +51,7 @@ pub use tpn_core as core;
 pub use tpn_eval as eval;
 pub use tpn_linalg as linalg;
 pub use tpn_net as net;
+pub use tpn_opt as opt;
 pub use tpn_protocols as protocols;
 pub use tpn_rational as rational;
 pub use tpn_reach as reach;
@@ -60,10 +62,12 @@ pub use tpn_symbolic as symbolic;
 /// The commonly used names, for glob import.
 pub mod prelude {
     pub use tpn_core::{
-        solve_rates, solve_rates_with, DecisionGraph, ExprTarget, Performance, RateMethod, Rates,
+        solve_rates, solve_rates_with, DecisionGraph, ExprTarget, OptCertificate, OptGoal, Optimum,
+        Performance, RateMethod, Rates,
     };
-    pub use tpn_eval::{sweep_exact, sweep_f64, Axis, Compiled, Grid, SweepOptions};
+    pub use tpn_eval::{argbest_f64, sweep_exact, sweep_f64, Axis, Compiled, Grid, SweepOptions};
     pub use tpn_net::{Bag, Marking, NetBuilder, TimedPetriNet};
+    pub use tpn_opt::{optimize, OptError, OptOptions};
     pub use tpn_rational::Rational;
     pub use tpn_reach::{
         analyze, build_trg, Interval, IntervalDomain, LiftedDomain, NumericDomain, SymbolicDomain,

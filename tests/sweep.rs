@@ -220,6 +220,54 @@ fn server_sweep_is_byte_identical_to_cli_and_counted_in_stats() {
 }
 
 #[test]
+fn rows_carry_an_exact_in_region_flag() {
+    // Sweep the timeout *across* the paper's constraint (1) boundary
+    // (E(t3) > 226.9 ms): rows at 100/150/200 are outside the frozen
+    // region (the graph would change shape there), 250/300 inside.
+    let net = tpn_net::parse_tpn(&fig1_text()).unwrap();
+    let spec = SweepSpec::from_json(
+        &Json::parse(
+            r#"{"targets":["throughput:t7"],"sweep":[{"symbol":"E(t3)","from":"100","to":"300","steps":5}]}"#,
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    let (body, points) = timed_petri::service::sweep_json(&net, &spec, 2, 1000).unwrap();
+    assert_eq!(points, 5);
+    let doc = Json::parse(&body).unwrap();
+    let rows = doc.get("rows").and_then(Json::as_arr).unwrap();
+    let mut flags = Vec::new();
+    for row in rows {
+        let row = row.as_arr().unwrap();
+        assert_eq!(row.len(), 3, "rows are [[coords],[values],in_region]");
+        let coord = row[0].as_arr().unwrap()[0].as_str().unwrap().to_string();
+        let flag = match &row[2] {
+            Json::Bool(b) => *b,
+            other => panic!("in_region must be a bool, got {other:?}"),
+        };
+        flags.push((coord, flag));
+    }
+    assert_eq!(
+        flags,
+        vec![
+            ("100".to_string(), false),
+            ("150".to_string(), false),
+            ("200".to_string(), false),
+            ("250".to_string(), true),
+            ("300".to_string(), true),
+        ],
+        "{body}"
+    );
+    // The flag is consistent with checking the rendered region by hand:
+    // every strict constraint of the region holds at 250 and 300 only.
+    let region = doc.get("region").and_then(Json::as_arr).unwrap();
+    assert!(
+        !region.is_empty(),
+        "lifting the timeout records comparisons"
+    );
+}
+
+#[test]
 fn sweep_errors_map_to_statuses() {
     let service = Arc::new(Service::new(ServiceConfig {
         max_sweep_points: 100,
