@@ -17,7 +17,7 @@ use tpn_symbolic::RatFn;
 use crate::{DecisionGraph, Performance};
 
 /// One exportable performance measure.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ExprTarget {
     /// Firings of a transition per unit time
     /// ([`Performance::throughput`]).

@@ -1,15 +1,18 @@
 //! Request kinds and their JSON renderings.
 //!
-//! [`run`] executes one analysis request against an already-parsed net
-//! and renders the result as compact JSON. It is the *only* producer of
-//! analysis JSON in the workspace: the HTTP endpoints, `tpn batch` and
-//! the cache all go through it, so a cached response is byte-identical
-//! to a freshly computed one, and the CLI's JSON matches the server's.
+//! [`run_with_session`] executes one analysis request against a
+//! [`Session`] and renders the result as compact JSON. It is the
+//! *only* producer of analysis JSON in the workspace: the HTTP
+//! endpoints (legacy and `/v1`), `tpn batch` and the cache all go
+//! through it, so a cached response is byte-identical to a freshly
+//! computed one, and the CLI's JSON matches the server's. [`run`] is
+//! the sessionless convenience wrapper (one-shot session, default
+//! options).
 
 use std::fmt;
 
 use tpn_net::{invariant, PlaceId, TimedPetriNet, TransId};
-use tpn_reach::{build_trg, NumericDomain, TimedReachabilityGraph, TrgOptions};
+use tpn_session::{Session, SessionOptions};
 use tpn_sim::{simulate, SimOptions};
 
 use crate::json::JsonWriter;
@@ -113,17 +116,26 @@ impl fmt::Display for ServiceError {
 
 impl std::error::Error for ServiceError {}
 
-/// Execute `kind` against `net` and render the result as one line of
-/// compact JSON. Deterministic: identical nets (by content digest) and
-/// identical request kinds produce byte-identical documents, which is
-/// what makes the result cache safe.
+/// Execute `kind` against a one-shot default-options [`Session`] over
+/// `net`. Prefer [`run_with_session`] when serving several requests
+/// for the same net — that is the whole point of sessions.
 pub fn run(net: &TimedPetriNet, kind: RequestKind) -> Result<String, ServiceError> {
+    run_with_session(&Session::new(net.clone(), SessionOptions::new()), kind)
+}
+
+/// Execute `kind` against `session` and render the result as one line
+/// of compact JSON. Deterministic: identical nets (by content digest)
+/// and identical request kinds produce byte-identical documents, which
+/// is what makes the result cache safe — and the pipeline artifacts
+/// (TRG, decision graph, rates) are demanded through the session, so
+/// consecutive requests against the same net share one derivation.
+pub fn run_with_session(session: &Session, kind: RequestKind) -> Result<String, ServiceError> {
     match kind {
-        RequestKind::Analyze => analyze_json(net),
-        RequestKind::Graph => graph_json(net),
-        RequestKind::Correctness => correctness_json(net),
-        RequestKind::Invariants => Ok(invariants_json(net)),
-        RequestKind::Simulate { events, seed } => simulate_json(net, events, seed),
+        RequestKind::Analyze => analyze_json(session),
+        RequestKind::Graph => graph_json(session),
+        RequestKind::Correctness => correctness_json(session),
+        RequestKind::Invariants => Ok(invariants_json(session.net())),
+        RequestKind::Simulate { events, seed } => simulate_json(session.net(), events, seed),
         // Sweeps and optimizations need their full spec, which only the
         // hash of travels in the kind; Service::respond_sweep and
         // Service::respond_optimize are the entry points.
@@ -140,10 +152,6 @@ fn err(e: impl fmt::Display) -> ServiceError {
     ServiceError::Analysis(e.to_string())
 }
 
-fn build(net: &TimedPetriNet) -> Result<TimedReachabilityGraph<NumericDomain>, ServiceError> {
-    build_trg(net, &NumericDomain::new(), &TrgOptions::default()).map_err(err)
-}
-
 /// Common document header: kind, net name, content digest.
 fn header(w: &mut JsonWriter, net: &TimedPetriNet, kind: RequestKind) {
     w.begin_object();
@@ -155,13 +163,11 @@ fn header(w: &mut JsonWriter, net: &TimedPetriNet, kind: RequestKind) {
     w.string(&net.digest().to_hex());
 }
 
-fn analyze_json(net: &TimedPetriNet) -> Result<String, ServiceError> {
-    use tpn_core::{solve_rates, DecisionGraph, Performance};
-    let domain = NumericDomain::new();
-    let trg = build(net)?;
-    let dg = DecisionGraph::from_trg(&trg, &domain).map_err(err)?;
-    let rates = solve_rates(&dg, 0).map_err(err)?;
-    let perf = Performance::new(&dg, rates, &domain).map_err(err)?;
+fn analyze_json(session: &Session) -> Result<String, ServiceError> {
+    let net = session.net();
+    let trg = session.trg().map_err(err)?;
+    let dg = session.decision_graph().map_err(err)?;
+    let perf = session.performance().map_err(err)?;
 
     let mut w = JsonWriter::new();
     header(&mut w, net, RequestKind::Analyze);
@@ -216,8 +222,9 @@ fn analyze_json(net: &TimedPetriNet) -> Result<String, ServiceError> {
     Ok(w.finish())
 }
 
-fn graph_json(net: &TimedPetriNet) -> Result<String, ServiceError> {
-    let trg = build(net)?;
+fn graph_json(session: &Session) -> Result<String, ServiceError> {
+    let net = session.net();
+    let trg = session.trg().map_err(err)?;
     let mut w = JsonWriter::new();
     header(&mut w, net, RequestKind::Graph);
     w.key("states");
@@ -249,8 +256,9 @@ fn graph_json(net: &TimedPetriNet) -> Result<String, ServiceError> {
     Ok(w.finish())
 }
 
-fn correctness_json(net: &TimedPetriNet) -> Result<String, ServiceError> {
-    let trg = build(net)?;
+fn correctness_json(session: &Session) -> Result<String, ServiceError> {
+    let net = session.net();
+    let trg = session.trg().map_err(err)?;
     let report = tpn_reach::analyze(&trg, net);
     let mut w = JsonWriter::new();
     header(&mut w, net, RequestKind::Correctness);

@@ -17,8 +17,9 @@
 //! | POST | `/simulate?events=N&seed=S` | `.tpn` text | Monte-Carlo counters |
 //! | POST | `/sweep` | JSON: grid spec + `.tpn` text | per-point throughput/utilisation rows |
 //! | POST | `/optimize` | JSON: box spec + `.tpn` text | certified optimal parameter point |
+//! | POST | `/v1` | JSON: `.tpn` text + many requests | one envelope, one shared session |
 //! | GET | `/healthz` | — | liveness probe |
-//! | GET | `/stats` | — | cache/pool/sweep/optimize counters |
+//! | GET | `/stats` | — | cache/pool/sweep/optimize/artifact counters |
 //!
 //! Status codes: 200 on success, 400 for malformed requests or `.tpn`
 //! parse errors, 404/405 for bad routes, 413 for oversized bodies, 422
@@ -31,12 +32,15 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use tpn_net::parse_tpn;
+use tpn_net::{parse_tpn, TimedPetriNet};
+use tpn_session::{Session, SessionOptions, STAGES};
 
-use crate::analysis::{run, RequestKind, ServiceError};
+use crate::analysis::{run_with_session, RequestKind, ServiceError};
 use crate::cache::{AnalysisCache, CacheConfig, CacheKey};
 use crate::executor::ThreadPool;
 use crate::json::{error_body, JsonWriter};
+use crate::sessions::SessionCache;
+use crate::v1::{parse_envelope, V1Request};
 
 /// Server and cache sizing.
 #[derive(Debug, Clone)]
@@ -58,6 +62,9 @@ pub struct ServiceConfig {
     /// Maximum grid points accepted by `/sweep` — the sweep analogue
     /// of `max_sim_events`.
     pub max_sweep_points: u64,
+    /// Maximum [`Session`]s held in the artifact tier of the cache
+    /// (one per distinct net digest, LRU-evicted).
+    pub max_sessions: usize,
 }
 
 impl Default for ServiceConfig {
@@ -70,17 +77,37 @@ impl Default for ServiceConfig {
             max_sim_events: 10_000_000,
             sweep_threads: 4,
             max_sweep_points: 1_000_000,
+            max_sessions: 32,
         }
     }
 }
 
-/// The analysis service: parse → digest → cached analysis. Usable
-/// in-process (the CLI's `batch` mode) or behind [`spawn`]'s HTTP
-/// front end.
+impl ServiceConfig {
+    /// The [`SessionOptions`] every session of this service obeys.
+    pub fn session_options(&self) -> SessionOptions {
+        SessionOptions::new()
+            .threads(self.sweep_threads)
+            .max_points(self.max_sweep_points)
+    }
+}
+
+/// The analysis service: parse → digest → session → cached analysis.
+/// Usable in-process (the CLI's `batch` mode) or behind [`spawn`]'s
+/// HTTP front end.
+///
+/// The cache is two-tier: a per-digest [`Session`] tier holding the
+/// memoized pipeline artifacts (TRG, decision graph, rates, lifted
+/// domains, compiled programs) and the final-body
+/// [`AnalysisCache`] tier keyed by `(digest, request kind)`. Requests
+/// of *different* kinds against the same net miss the body tier but
+/// share the artifact tier — that is where the redundant work used to
+/// be.
 pub struct Service {
     cache: AnalysisCache,
+    sessions: SessionCache,
     config: ServiceConfig,
     requests: AtomicU64,
+    v1_envelopes: AtomicU64,
     sweeps: AtomicU64,
     sweep_hits: AtomicU64,
     sweep_compiles: AtomicU64,
@@ -96,8 +123,10 @@ impl Service {
     pub fn new(config: ServiceConfig) -> Service {
         Service {
             cache: AnalysisCache::new(&config.cache),
+            sessions: SessionCache::new(config.max_sessions, config.session_options()),
             config,
             requests: AtomicU64::new(0),
+            v1_envelopes: AtomicU64::new(0),
             sweeps: AtomicU64::new(0),
             sweep_hits: AtomicU64::new(0),
             sweep_compiles: AtomicU64::new(0),
@@ -114,9 +143,28 @@ impl Service {
         &self.cache
     }
 
+    /// The session (artifact) tier of the cache.
+    pub fn sessions(&self) -> &SessionCache {
+        &self.sessions
+    }
+
     /// The configuration the service was built with.
     pub fn config(&self) -> &ServiceConfig {
         &self.config
+    }
+
+    /// Parse a `.tpn` body and resolve its shared [`Session`].
+    fn parse_session(&self, body: &str) -> Result<Arc<Session>, ServiceError> {
+        let net = parse_tpn(body).map_err(|e| ServiceError::Parse(e.to_string()))?;
+        Ok(self.session_for(net))
+    }
+
+    /// The shared [`Session`] for an already-parsed net — the public
+    /// entry point for in-process consumers (`tpn batch` parses each
+    /// file once and runs every requested kind against this handle).
+    pub fn session_for(&self, net: TimedPetriNet) -> Arc<Session> {
+        let digest = net.digest();
+        self.sessions.session_for(digest, net)
     }
 
     /// Serve one analysis request: parse the `.tpn` body, digest it,
@@ -126,20 +174,44 @@ impl Service {
     /// out the cached `Arc` so the hot path never clones the body.
     pub fn respond(&self, kind: RequestKind, body: &str) -> (u16, Arc<String>) {
         self.requests.fetch_add(1, Ordering::Relaxed);
-        let net = match parse_tpn(body) {
-            Ok(net) => net,
+        match self.parse_session(body) {
+            Ok(session) => self.analysis_cached(&session, kind),
+            Err(e) => (e.status(), Arc::new(error_body(&e.to_string()))),
+        }
+    }
+
+    /// Serve several analysis kinds for one `.tpn` body, parsing it
+    /// **once** and running every kind against the same shared session
+    /// — `tpn batch`'s entry point. Returns one `(status, body)` per
+    /// requested kind, in order; a parse failure yields the same 400
+    /// body for every kind (exactly what per-kind [`Service::respond`]
+    /// calls would have produced).
+    pub fn respond_many(&self, kinds: &[RequestKind], body: &str) -> Vec<(u16, Arc<String>)> {
+        self.requests
+            .fetch_add(kinds.len() as u64, Ordering::Relaxed);
+        match self.parse_session(body) {
+            Ok(session) => kinds
+                .iter()
+                .map(|&kind| self.analysis_cached(&session, kind))
+                .collect(),
             Err(e) => {
-                return (
-                    400,
-                    Arc::new(error_body(&ServiceError::Parse(e.to_string()).to_string())),
-                )
+                let reply = (e.status(), Arc::new(error_body(&e.to_string())));
+                kinds.iter().map(|_| reply.clone()).collect()
             }
-        };
+        }
+    }
+
+    /// The cached execution of one plain analysis against a session —
+    /// shared by the legacy routes, `tpn batch` and `/v1`.
+    fn analysis_cached(&self, session: &Session, kind: RequestKind) -> (u16, Arc<String>) {
         let key = CacheKey {
-            digest: net.digest(),
+            digest: session.net().digest(),
             kind,
         };
-        match self.cache.get_or_compute(key, || run(&net, kind)) {
+        match self
+            .cache
+            .get_or_compute(key, || run_with_session(session, kind))
+        {
             Ok(body) => (200, body),
             Err(e) => (e.status(), Arc::new(error_body(&e.to_string()))),
         }
@@ -151,8 +223,7 @@ impl Service {
     /// sweep of the same net and grid is answered from the cache, and
     /// concurrent identical sweeps coalesce into one evaluation.
     pub fn respond_sweep(&self, body: &str) -> (u16, Arc<String>) {
-        use crate::sweep::{spec_hash, sweep_json, SweepSpec};
-        use std::sync::atomic::AtomicBool;
+        use crate::sweep::SweepSpec;
 
         self.requests.fetch_add(1, Ordering::Relaxed);
         self.sweeps.fetch_add(1, Ordering::Relaxed);
@@ -177,8 +248,21 @@ impl Service {
             Ok(spec) => spec,
             Err(e) => return fail(e),
         };
+        self.sweep_cached(&self.session_for(net), &spec)
+    }
+
+    /// The cached execution of one sweep against a session — shared by
+    /// `POST /sweep` and `/v1`.
+    fn sweep_cached(
+        &self,
+        session: &Session,
+        spec: &crate::sweep::SweepSpec,
+    ) -> (u16, Arc<String>) {
+        use crate::sweep::{spec_hash, sweep_json};
+        use std::sync::atomic::AtomicBool;
+
         let key = CacheKey {
-            digest: net.digest(),
+            digest: session.net().digest(),
             kind: RequestKind::Sweep {
                 spec: spec_hash(&spec.canonical()),
             },
@@ -186,12 +270,7 @@ impl Service {
         let computed = AtomicBool::new(false);
         let result = self.cache.get_or_compute(key, || {
             computed.store(true, Ordering::Relaxed);
-            let (body, points) = sweep_json(
-                &net,
-                &spec,
-                self.config.sweep_threads,
-                self.config.max_sweep_points,
-            )?;
+            let (body, points) = sweep_json(session, spec)?;
             self.sweep_compiles.fetch_add(1, Ordering::Relaxed);
             self.sweep_points.fetch_add(points, Ordering::Relaxed);
             Ok(body)
@@ -208,7 +287,7 @@ impl Service {
                 }
                 (200, body)
             }
-            Err(e) => fail(e),
+            Err(e) => (e.status(), Arc::new(error_body(&e.to_string()))),
         }
     }
 
@@ -218,8 +297,7 @@ impl Service {
     /// repeated request is answered from the cache and concurrent
     /// identical requests coalesce into one solve.
     pub fn respond_optimize(&self, body: &str) -> (u16, Arc<String>) {
-        use crate::optimize::{optimize_json, OptimizeSpec};
-        use crate::sweep::spec_hash;
+        use crate::optimize::OptimizeSpec;
 
         self.requests.fetch_add(1, Ordering::Relaxed);
         self.optimizes.fetch_add(1, Ordering::Relaxed);
@@ -244,8 +322,21 @@ impl Service {
             Ok(spec) => spec,
             Err(e) => return fail(e),
         };
+        self.optimize_cached(&self.session_for(net), &spec)
+    }
+
+    /// The cached execution of one optimize against a session — shared
+    /// by `POST /optimize` and `/v1`.
+    fn optimize_cached(
+        &self,
+        session: &Session,
+        spec: &crate::optimize::OptimizeSpec,
+    ) -> (u16, Arc<String>) {
+        use crate::optimize::optimize_json;
+        use crate::sweep::spec_hash;
+
         let key = CacheKey {
-            digest: net.digest(),
+            digest: session.net().digest(),
             kind: RequestKind::Optimize {
                 spec: spec_hash(&spec.canonical()),
             },
@@ -253,12 +344,7 @@ impl Service {
         let computed = AtomicBool::new(false);
         let result = self.cache.get_or_compute(key, || {
             computed.store(true, Ordering::Relaxed);
-            let (body, certified) = optimize_json(
-                &net,
-                &spec,
-                self.config.sweep_threads,
-                self.config.max_sweep_points,
-            )?;
+            let (body, certified) = optimize_json(session, spec)?;
             self.optimize_solves.fetch_add(1, Ordering::Relaxed);
             if certified {
                 self.optimize_certified.fetch_add(1, Ordering::Relaxed);
@@ -268,14 +354,74 @@ impl Service {
         match result {
             Ok(body) => {
                 if !computed.load(Ordering::Relaxed) {
-                    // See respond_sweep: cache hit or successful
+                    // See sweep_cached: cache hit or successful
                     // coalescing, never an error follower.
                     self.optimize_hits.fetch_add(1, Ordering::Relaxed);
                 }
                 (200, body)
             }
-            Err(e) => fail(e),
+            Err(e) => (e.status(), Arc::new(error_body(&e.to_string()))),
         }
+    }
+
+    /// Serve one `/v1` envelope: one net, many analyses, one shared
+    /// session. Each sub-request goes through the same cached paths as
+    /// its legacy endpoint (same `(digest, kind)` keys, same bodies,
+    /// same sweep/optimize counters); the envelope itself is assembled
+    /// fresh — it is pure concatenation.
+    pub fn respond_v1(&self, body: &str) -> (u16, Arc<String>) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        self.v1_envelopes.fetch_add(1, Ordering::Relaxed);
+        let fail = |e: ServiceError| (e.status(), Arc::new(error_body(&e.to_string())));
+        let (net_text, requests) = match parse_envelope(body, self.config.max_sim_events) {
+            Ok(parsed) => parsed,
+            Err(e) => return fail(e),
+        };
+        // `requests` counts *analyses served*, not HTTP round trips: an
+        // envelope of N sub-requests reports like N legacy calls would
+        // (the entry tick above covered the first; a malformed envelope
+        // stays a single request).
+        self.requests
+            .fetch_add(requests.len() as u64 - 1, Ordering::Relaxed);
+        let net = match parse_tpn(&net_text) {
+            Ok(net) => net,
+            Err(e) => return fail(ServiceError::Parse(e.to_string())),
+        };
+        let session = self.session_for(net);
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("kind");
+        w.string("v1");
+        w.key("net");
+        w.string(session.net().name());
+        w.key("digest");
+        w.string(&session.net().digest().to_hex());
+        w.key("results");
+        w.begin_array();
+        for request in &requests {
+            let (status, result) = match request {
+                V1Request::Analysis(kind) => self.analysis_cached(&session, *kind),
+                V1Request::Sweep(spec) => {
+                    self.sweeps.fetch_add(1, Ordering::Relaxed);
+                    self.sweep_cached(&session, spec)
+                }
+                V1Request::Optimize(spec) => {
+                    self.optimizes.fetch_add(1, Ordering::Relaxed);
+                    self.optimize_cached(&session, spec)
+                }
+            };
+            w.begin_object();
+            w.key("kind");
+            w.string(request.kind_name());
+            w.key("status");
+            w.uint(u64::from(status));
+            w.key("body");
+            w.raw(&result);
+            w.end_object();
+        }
+        w.end_array();
+        w.end_object();
+        (200, Arc::new(w.finish()))
     }
 
     /// The `/stats` document: request/cache counters plus pool sizing.
@@ -315,6 +461,41 @@ impl Service {
         w.uint(self.optimize_solves.load(Ordering::Relaxed));
         w.key("optimize_certified");
         w.uint(self.optimize_certified.load(Ordering::Relaxed));
+        w.key("v1_envelopes");
+        w.uint(self.v1_envelopes.load(Ordering::Relaxed));
+        // The session (artifact) tier: how many sessions are live and
+        // how often requests found one.
+        let sess = self.sessions.stats();
+        w.key("sessions");
+        w.begin_object();
+        w.key("entries");
+        w.uint(sess.sessions as u64);
+        w.key("hits");
+        w.uint(sess.hits);
+        w.key("misses");
+        w.uint(sess.misses);
+        w.key("evictions");
+        w.uint(sess.evictions);
+        w.end_object();
+        // Per-stage artifact counters, aggregated over every session
+        // this service created — the observable form of "a /sweep after
+        // an /analyze reuses the TRG".
+        let counters = self.sessions.counters();
+        w.key("artifacts");
+        w.begin_object();
+        for stage in STAGES {
+            let snap = counters.snapshot(stage);
+            w.key(stage.name());
+            w.begin_object();
+            w.key("artifact_hits");
+            w.uint(snap.hits);
+            w.key("artifact_misses");
+            w.uint(snap.misses);
+            w.key("artifact_builds");
+            w.uint(snap.builds);
+            w.end_object();
+        }
+        w.end_object();
         w.key("threads");
         w.uint(self.config.threads as u64);
         w.key("queue_cap");
@@ -670,6 +851,10 @@ fn route(service: &Service, req: &Request) -> (u16, Arc<String>) {
             Ok(text) => service.respond_optimize(text),
             Err(_) => (400, Arc::new(error_body("request body is not UTF-8"))),
         },
+        ("POST", "/v1") => match std::str::from_utf8(&req.body) {
+            Ok(text) => service.respond_v1(text),
+            Err(_) => (400, Arc::new(error_body("request body is not UTF-8"))),
+        },
         ("POST", path) if ANALYSES.contains(&path) => {
             let kind = match analysis_kind(req) {
                 Ok(kind) => kind,
@@ -693,6 +878,7 @@ fn route(service: &Service, req: &Request) -> (u16, Arc<String>) {
             if ANALYSES.contains(&path)
                 || path == "/sweep"
                 || path == "/optimize"
+                || path == "/v1"
                 || path == "/healthz"
                 || path == "/stats" =>
         {

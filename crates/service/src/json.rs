@@ -197,6 +197,15 @@ impl JsonWriter {
         self.out.push_str("null");
     }
 
+    /// A pre-rendered JSON value embedded verbatim — the `/v1`
+    /// envelope uses this to nest complete endpoint documents (which
+    /// this writer itself produced) without re-parsing them. The
+    /// caller owes the writer a single well-formed JSON value.
+    pub fn raw(&mut self, json: &str) {
+        self.before_value();
+        self.out.push_str(json);
+    }
+
     /// An exact rational as its `"n/d"` (or `"n"` when integral)
     /// string rendering.
     pub fn rational(&mut self, r: &Rational) {

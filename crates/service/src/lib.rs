@@ -13,14 +13,22 @@
 //! | [`analysis`] | request kinds and their JSON renderings |
 //! | [`sweep`] | parameter-sweep specs and the compiled sweep executor |
 //! | [`optimize`] | parameter-synthesis specs and the certified optimizer front end |
+//! | [`sessions`] | per-digest [`tpn_session::Session`] tier: shared pipeline artifacts |
+//! | [`v1`] | the unified `POST /v1` envelope: many analyses, one session |
 //! | [`cache`] | sharded LRU result cache keyed by [`tpn_net::NetDigest`], with request coalescing |
 //! | [`executor`] | fixed thread pool over a bounded work queue |
 //! | [`http`] | hand-rolled HTTP/1.1 server over [`std::net::TcpListener`] |
 //!
-//! The cache key is `(net content digest, request kind)`: the digest is
+//! Caching is **two-tier**. The body tier is keyed by
+//! `(net content digest, request kind)`: the digest is
 //! declaration-order-independent, so any `.tpn` text describing the
 //! same net shares a cache line, and concurrent identical requests are
-//! coalesced into a single pipeline execution.
+//! coalesced into a single pipeline execution. Underneath it, the
+//! session tier holds one memoizing [`tpn_session::Session`] per
+//! digest, so requests of *different* kinds against the same net still
+//! share the expensive pipeline artifacts (TRG, lifted domain,
+//! compiled program) even though their bodies are distinct cache
+//! entries.
 //!
 //! # In-process use
 //!
@@ -58,12 +66,18 @@ pub mod http;
 pub mod json;
 pub mod jsonval;
 pub mod optimize;
+pub mod sessions;
 pub mod sweep;
+pub mod v1;
 
-pub use analysis::{run, RequestKind, ServiceError, DEFAULT_SIM_EVENTS, DEFAULT_SIM_SEED};
+pub use analysis::{
+    run, run_with_session, RequestKind, ServiceError, DEFAULT_SIM_EVENTS, DEFAULT_SIM_SEED,
+};
 pub use cache::{AnalysisCache, CacheConfig, CacheKey, CacheStats};
 pub use executor::{PoolClosed, ThreadPool};
 pub use http::{spawn, ServerHandle, Service, ServiceConfig};
 pub use jsonval::Json;
 pub use optimize::{optimize_json, BoxAxisSpec, OptimizeSpec};
+pub use sessions::{SessionCache, SessionCacheStats};
 pub use sweep::{spec_hash, sweep_json, SweepBackend, SweepSpec};
+pub use v1::{parse_envelope, V1Request, MAX_V1_REQUESTS};

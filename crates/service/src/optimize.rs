@@ -38,17 +38,16 @@
 //! [`tpn_core::OptCertificate`]) or numeric evidence.
 
 use tpn_core::{OptCertificate, OptGoal};
-use tpn_net::TimedPetriNet;
 use tpn_opt::{optimize, OptError, OptOptions};
 use tpn_rational::Rational;
+use tpn_session::Session;
 use tpn_symbolic::Symbol;
 
 use crate::analysis::ServiceError;
 use crate::json::JsonWriter;
 use crate::jsonval::Json;
 use crate::sweep::{
-    bad, lifted_analysis, rational_value, resolve_symbol, resolve_target, spec_hash, u64_value,
-    LiftedAnalysis, TargetSpec, MAX_AXES,
+    bad, rational_value, resolve_symbol, resolve_target, spec_hash, u64_value, TargetSpec, MAX_AXES,
 };
 
 /// Default multivariate seed-grid budget.
@@ -240,17 +239,22 @@ fn opt_error(e: OptError) -> ServiceError {
     }
 }
 
-/// Execute an optimize request and render the response document.
-/// Returns the JSON body and whether the optimum is exactly certified.
+/// Execute an optimize request through `session` and render the
+/// response document. Returns the JSON body and whether the optimum is
+/// exactly certified. Thread count and the seed budget cap come from
+/// the session's [`SessionOptions`](tpn_session::SessionOptions).
 /// Deterministic at any thread count (threads only parallelise the
 /// seeding sweep, whose reduction is order-fixed), which makes the
-/// result cacheable and the CLI output byte-comparable to the server's.
+/// result cacheable and the CLI output byte-comparable to the server's
+/// — and the lift and exported closed form are session artifacts,
+/// shared with any `/sweep` over the same axes.
 pub fn optimize_json(
-    net: &TimedPetriNet,
+    session: &Session,
     spec: &OptimizeSpec,
-    threads: usize,
-    max_seed_points: u64,
 ) -> Result<(String, bool), ServiceError> {
+    let net = session.net();
+    let threads = session.options().threads_or_default();
+    let max_seed_points = session.options().max_points_or_default();
     // The seed budget only matters when a seed grid is actually built:
     // the exact univariate engine (one box axis) never grid-seeds, so
     // a server with a small sweep cap must not reject its default spec.
@@ -268,19 +272,20 @@ pub fn optimize_json(
         .collect::<Result<_, _>>()?;
     let target = resolve_target(net, &spec.target)?;
 
-    // Derive the target's closed form through the lift.
-    let lifted = lifted_analysis(net, &swept)?;
-    let LiftedAnalysis {
-        ref domain,
-        ref trg,
-        ref dg,
-        ref perf,
-    } = lifted;
-    let objective = perf.export_expr(dg, trg, domain, target);
-    // One pass over the region: the strings feed the response, the
-    // constraints feed the solver.
+    // Derive the target's closed form through the lift — both the lift
+    // and the exported expression are memoized session artifacts (the
+    // compiled program riding along is what a sweep of the same shape
+    // evaluates).
+    let analysis_err = |e: tpn_session::SessionError| ServiceError::Analysis(e.to_string());
+    let artifact = session
+        .compiled(&swept, &[target], false)
+        .map_err(analysis_err)?;
+    let objective = artifact.exprs[0].clone();
+    // One pass over the region (retained inside the compiled artifact,
+    // so a compiled hit never re-demands the lift): the strings feed
+    // the response, the constraints the solver.
     let (region_texts, region): (Vec<String>, Vec<tpn_symbolic::Constraint>) =
-        domain.region_entries().into_iter().unzip();
+        artifact.lifted.domain.region_entries().into_iter().unzip();
 
     let axes: Vec<(Symbol, Rational, Rational)> = swept
         .iter()
@@ -406,6 +411,17 @@ pub fn optimize_json(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use tpn_session::SessionOptions;
+
+    /// A one-shot session with an explicit thread count and point cap.
+    fn sess(net: &tpn_net::TimedPetriNet, threads: usize, max_points: u64) -> Session {
+        Session::new(
+            net.clone(),
+            SessionOptions::new()
+                .threads(threads)
+                .max_points(max_points),
+        )
+    }
 
     const CONFLICT: &str = "net duel\nplace p init 1\n\
         trans succeed in p out p firing 1 weight 3\n\
@@ -486,7 +502,7 @@ mod tests {
         let s = spec(
             r#"{"target":"throughput:succeed","box":[{"symbol":"f(retry)","from":"1","to":"8"}]}"#,
         );
-        let (body, certified) = optimize_json(&net, &s, 2, 1_000_000).unwrap();
+        let (body, certified) = optimize_json(&sess(&net, 2, 1_000_000), &s).unwrap();
         assert!(certified, "{body}");
         assert!(body.contains(r#""engine":"exact-univariate""#), "{body}");
         assert!(body.contains(r#""point":{"f(retry)":"1"}"#), "{body}");
@@ -496,7 +512,7 @@ mod tests {
             "{body}"
         );
         // identical at any thread count (byte-for-byte)
-        let (again, _) = optimize_json(&net, &s, 7, 1_000_000).unwrap();
+        let (again, _) = optimize_json(&sess(&net, 7, 1_000_000), &s).unwrap();
         assert_eq!(body, again);
     }
 
@@ -507,24 +523,34 @@ mod tests {
         let s = spec(
             r#"{"target":"throughput:succeed","box":[{"symbol":"F(nope)","from":"1","to":"2"}]}"#,
         );
-        assert_eq!(optimize_json(&net, &s, 1, 1000).unwrap_err().status(), 400);
+        assert_eq!(
+            optimize_json(&sess(&net, 1, 1000), &s)
+                .unwrap_err()
+                .status(),
+            400
+        );
         // unknown target
         let s = spec(
             r#"{"target":"throughput:nope","box":[{"symbol":"f(retry)","from":"1","to":"2"}]}"#,
         );
-        assert_eq!(optimize_json(&net, &s, 1, 1000).unwrap_err().status(), 400);
+        assert_eq!(
+            optimize_json(&sess(&net, 1, 1000), &s)
+                .unwrap_err()
+                .status(),
+            400
+        );
         // seed budget over the configured cap — but only where seeding
         // happens: a univariate request never builds a seed grid, so
         // the cap must not bind it…
         let s = spec(
             r#"{"target":"throughput:succeed","box":[{"symbol":"f(retry)","from":"1","to":"2"}],"seed_points":2000}"#,
         );
-        assert!(optimize_json(&net, &s, 1, 1000).is_ok());
+        assert!(optimize_json(&sess(&net, 1, 1000), &s).is_ok());
         // …while a multivariate request over the cap is a clean 400.
         let s = spec(
             r#"{"target":"throughput:succeed","box":[{"symbol":"f(retry)","from":"1","to":"2"},{"symbol":"F(succeed)","from":"1","to":"2"}],"seed_points":2000}"#,
         );
-        let e = optimize_json(&net, &s, 1, 1000).unwrap_err();
+        let e = optimize_json(&sess(&net, 1, 1000), &s).unwrap_err();
         assert_eq!(e.status(), 400);
         assert!(e.to_string().contains("2000"), "{e}");
     }

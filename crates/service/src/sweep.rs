@@ -46,11 +46,11 @@
 //! Results are cached under `(net digest, spec hash)` — see
 //! [`spec_hash`], a 128-bit FNV pair over the canonical spec rendering.
 
-use tpn_eval::{sweep_exact, sweep_f64, Axis, Compiled, Grid, SweepOptions};
+use tpn_eval::{sweep_exact, sweep_f64, Axis, Grid, SweepOptions};
 use tpn_net::{symbols, TimedPetriNet};
 use tpn_rational::Rational;
-use tpn_reach::{build_trg, LiftedDomain, TrgOptions};
-use tpn_symbolic::{Assignment, Constraint, RatFn, Relation, Symbol};
+use tpn_session::Session;
+use tpn_symbolic::{Assignment, Constraint, Relation, Symbol};
 
 use crate::analysis::ServiceError;
 use crate::json::JsonWriter;
@@ -411,35 +411,6 @@ pub fn spec_hash(canonical: &str) -> u128 {
     (u128::from(lanes[0]) << 64) | u128::from(lanes[1])
 }
 
-/// The shared derivation pipeline of `/sweep` and `/optimize`: lift the
-/// swept attributes, build the timed reachability graph (recording the
-/// validity region as a side effect), collapse it to a decision graph
-/// and solve for the traversal rates.
-pub(crate) struct LiftedAnalysis {
-    pub domain: LiftedDomain,
-    pub trg: tpn_reach::TimedReachabilityGraph<LiftedDomain>,
-    pub dg: tpn_core::DecisionGraph<LiftedDomain>,
-    pub perf: tpn_core::Performance<LiftedDomain>,
-}
-
-pub(crate) fn lifted_analysis(
-    net: &TimedPetriNet,
-    swept: &[Symbol],
-) -> Result<LiftedAnalysis, ServiceError> {
-    let err = |e: &dyn std::fmt::Display| ServiceError::Analysis(e.to_string());
-    let domain = LiftedDomain::new(net, swept).map_err(|e| err(&e))?;
-    let trg = build_trg(net, &domain, &TrgOptions::default()).map_err(|e| err(&e))?;
-    let dg = tpn_core::DecisionGraph::from_trg(&trg, &domain).map_err(|e| err(&e))?;
-    let rates = tpn_core::solve_rates(&dg, 0).map_err(|e| err(&e))?;
-    let perf = tpn_core::Performance::new(&dg, rates, &domain).map_err(|e| err(&e))?;
-    Ok(LiftedAnalysis {
-        domain,
-        trg,
-        dg,
-        perf,
-    })
-}
-
 /// The per-row `in_region` evaluator: region constraints with their
 /// coefficients pre-aligned to the sweep's axis order, so the render
 /// loop pays one overflow-checked multiply-add per *non-zero*
@@ -536,20 +507,21 @@ pub(crate) fn resolve_target(
     }
 }
 
-/// Execute a sweep and render the response document. Returns the JSON
-/// body and the number of grid points evaluated. Each row is
-/// `[[coords…], [values…], in_region]`; the trailing flag is the
-/// row's coordinates checked exactly against every recorded validity
-/// constraint. Deterministic: identical nets (by digest) and identical
-/// canonical specs produce byte-identical documents at any thread
-/// count, which makes the result cacheable and the CLI output
-/// comparable to the server's.
-pub fn sweep_json(
-    net: &TimedPetriNet,
-    spec: &SweepSpec,
-    threads: usize,
-    max_points: u64,
-) -> Result<(String, u64), ServiceError> {
+/// Execute a sweep through `session` and render the response document.
+/// Returns the JSON body and the number of grid points evaluated. Each
+/// row is `[[coords…], [values…], in_region]`; the trailing flag is
+/// the row's coordinates checked exactly against every recorded
+/// validity constraint. Thread count and point cap come from the
+/// session's [`SessionOptions`](tpn_session::SessionOptions).
+/// Deterministic: identical nets (by digest) and identical canonical
+/// specs produce byte-identical documents at any thread count, which
+/// makes the result cacheable and the CLI output comparable to the
+/// server's — and the lift + compiled program are session artifacts,
+/// shared with every other request over the same net.
+pub fn sweep_json(session: &Session, spec: &SweepSpec) -> Result<(String, u64), ServiceError> {
+    let net = session.net();
+    let threads = session.options().threads_or_default();
+    let max_points = session.options().max_points_or_default();
     // Resolve names against the net before any expensive work.
     let swept: Vec<Symbol> = spec
         .axes
@@ -591,30 +563,20 @@ pub fn sweep_json(
         .collect::<Result<_, _>>()?;
     let grid = Grid::new(axes).map_err(|e| bad(e.to_string()))?;
 
-    // Derive the closed forms through the numerically guided lift.
-    let lifted = lifted_analysis(net, &swept)?;
-    let LiftedAnalysis {
-        ref domain,
-        ref trg,
-        ref dg,
-        ref perf,
-    } = lifted;
-    let exprs: Vec<RatFn> = exprs_targets
-        .iter()
-        .map(|&t| perf.export_expr(dg, trg, domain, t))
-        .collect();
-    // One pass over the region: the strings feed the response header,
-    // the constraints feed the per-row in_region evaluator.
+    // Derive the closed forms through the numerically guided lift and
+    // compile them (with derivatives if elasticities are requested) —
+    // both memoized session artifacts, shared across requests.
+    let artifact = session
+        .compiled(&swept, &exprs_targets, spec.elasticity)
+        .map_err(|e| ServiceError::Analysis(e.to_string()))?;
+    let compiled = &artifact.program;
+    // One pass over the region (retained inside the compiled artifact,
+    // so a compiled hit never re-demands the lift): the strings feed
+    // the response header, the constraints the per-row evaluator.
     let (region_texts, region_constraints): (Vec<String>, Vec<Constraint>) =
-        domain.region_entries().into_iter().unzip();
+        artifact.lifted.domain.region_entries().into_iter().unzip();
     let region_eval = RegionEval::new(&region_constraints, &swept);
 
-    // Compile (with derivatives if elasticities are requested) and run.
-    let compiled = if spec.elasticity {
-        Compiled::compile_with_derivatives(&exprs, &swept)
-    } else {
-        Compiled::compile(&exprs)
-    };
     let opts = SweepOptions {
         threads,
         max_points,
@@ -671,8 +633,7 @@ pub fn sweep_json(
     let mut coords: Vec<Rational> = Vec::new();
     match spec.backend {
         SweepBackend::F64 => {
-            let rows =
-                sweep_f64(&compiled, &grid, &fixed, &opts).map_err(|e| bad(e.to_string()))?;
+            let rows = sweep_f64(compiled, &grid, &fixed, &opts).map_err(|e| bad(e.to_string()))?;
             for (i, row) in rows.iter().enumerate() {
                 grid.point(i as u64, &mut coords);
                 w.begin_array();
@@ -712,7 +673,7 @@ pub fn sweep_json(
         }
         SweepBackend::Exact => {
             let rows =
-                sweep_exact(&compiled, &grid, &fixed, &opts).map_err(|e| bad(e.to_string()))?;
+                sweep_exact(compiled, &grid, &fixed, &opts).map_err(|e| bad(e.to_string()))?;
             for (i, row) in rows.iter().enumerate() {
                 grid.point(i as u64, &mut coords);
                 w.begin_array();
@@ -762,6 +723,17 @@ pub fn sweep_json(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use tpn_session::SessionOptions;
+
+    /// A one-shot session with an explicit thread count and point cap.
+    fn sess(net: TimedPetriNet, threads: usize, max_points: u64) -> Session {
+        Session::new(
+            net,
+            SessionOptions::new()
+                .threads(threads)
+                .max_points(max_points),
+        )
+    }
 
     fn spec_doc(extra: &str) -> Json {
         let text = format!(
@@ -829,7 +801,7 @@ mod tests {
         )
         .unwrap();
         let spec = SweepSpec::from_json(&spec_doc("")).unwrap();
-        let (body, points) = sweep_json(&net, &spec, 2, 1000).unwrap();
+        let (body, points) = sweep_json(&sess(net.clone(), 2, 1000), &spec).unwrap();
         assert_eq!(points, 5);
         assert!(
             body.starts_with(r#"{"kind":"sweep","net":"c","digest":""#),
@@ -845,7 +817,7 @@ mod tests {
             backend: SweepBackend::Exact,
             ..spec
         };
-        let (ebody, _) = sweep_json(&net, &exact, 2, 1000).unwrap();
+        let (ebody, _) = sweep_json(&sess(net.clone(), 2, 1000), &exact).unwrap();
         assert!(ebody.contains(r#"[["1"],["1/4"],true]"#), "{ebody}");
         assert!(ebody.contains(r#"[["2"],["1/5"],true]"#), "{ebody}");
     }
@@ -863,7 +835,7 @@ mod tests {
         )
         .unwrap();
         let spec = SweepSpec::from_json(&doc).unwrap();
-        let e = sweep_json(&net, &spec, 1, 1000).unwrap_err();
+        let e = sweep_json(&sess(net.clone(), 1, 1000), &spec).unwrap_err();
         assert_eq!(e.status(), 400);
         // unknown target transition
         let doc = Json::parse(
@@ -871,10 +843,15 @@ mod tests {
         )
         .unwrap();
         let spec = SweepSpec::from_json(&doc).unwrap();
-        assert_eq!(sweep_json(&net, &spec, 1, 1000).unwrap_err().status(), 400);
+        assert_eq!(
+            sweep_json(&sess(net.clone(), 1, 1000), &spec)
+                .unwrap_err()
+                .status(),
+            400
+        );
         // point cap
         let spec = SweepSpec::from_json(&spec_doc("")).unwrap();
-        let e = sweep_json(&net, &spec, 1, 4).unwrap_err();
+        let e = sweep_json(&sess(net.clone(), 1, 4), &spec).unwrap_err();
         assert!(e.to_string().contains("5 points"), "{e}");
     }
 
@@ -891,7 +868,7 @@ mod tests {
         )
         .unwrap();
         let spec = SweepSpec::from_json(&doc).unwrap();
-        let e = sweep_json(&net, &spec, 1, 1000).unwrap_err();
+        let e = sweep_json(&sess(net.clone(), 1, 1000), &spec).unwrap_err();
         assert_eq!(e.status(), 400);
         assert!(e.to_string().contains("1099511627776"), "{e}");
         // endpoints near i128::MAX must error, not panic a worker
@@ -900,7 +877,7 @@ mod tests {
         )
         .unwrap();
         let spec = SweepSpec::from_json(&doc).unwrap();
-        let e = sweep_json(&net, &spec, 1, 1000).unwrap_err();
+        let e = sweep_json(&sess(net.clone(), 1, 1000), &spec).unwrap_err();
         assert_eq!(e.status(), 400);
         assert!(e.to_string().contains("overflows"), "{e}");
     }
@@ -913,7 +890,7 @@ mod tests {
         )
         .unwrap();
         let spec = SweepSpec::from_json(&spec_doc(r#","elasticity":true"#)).unwrap();
-        let (body, _) = sweep_json(&net, &spec, 1, 1000).unwrap();
+        let (body, _) = sweep_json(&sess(net.clone(), 1, 1000), &spec).unwrap();
         assert!(body.contains(r#""columns":["throughput:go","elast:throughput:go:F(go)"]"#));
         // T = 1/(x+3): elasticity = -x/(x+3); at x=1 that is -0.25
         assert!(body.contains(r#"[["1"],[0.25,-0.25],true]"#), "{body}");

@@ -1,0 +1,238 @@
+//! The versioned unified request envelope: `POST /v1`.
+//!
+//! One HTTP request carries one net and *many* analyses, all executed
+//! against one shared [`tpn_session::Session`] — the paper's derivation
+//! chain is materialised once and every sub-request reads from it:
+//!
+//! ```json
+//! {
+//!   "net": "net c\nplace a init 1\n…",
+//!   "requests": [
+//!     {"kind": "analyze"},
+//!     {"kind": "simulate", "events": 20000, "seed": 7},
+//!     {"kind": "sweep", "spec": {"targets": ["throughput:t7"], "sweep": […]}},
+//!     {"kind": "optimize", "spec": {"target": "throughput:t7", "box": […]}}
+//!   ]
+//! }
+//! ```
+//!
+//! The response is one document wrapping each sub-request's *exact*
+//! legacy body (byte-identical to what the standalone endpoint would
+//! return, and cached under the same `(digest, kind)` keys — a `/v1`
+//! sub-request can hit a cache line a legacy request populated and
+//! vice versa):
+//!
+//! ```json
+//! {"kind":"v1","net":"c","digest":"…","results":[
+//!   {"kind":"analyze","status":200,"body":{…}},
+//!   {"kind":"sweep","status":200,"body":{…}}
+//! ]}
+//! ```
+//!
+//! Envelope-shaped problems (malformed JSON, unknown members, a
+//! `.tpn` text that does not parse, too many requests) are a single
+//! 400; per-analysis failures surface as that entry's `status`/`body`
+//! without failing the siblings.
+
+use crate::analysis::{RequestKind, ServiceError, DEFAULT_SIM_EVENTS, DEFAULT_SIM_SEED};
+use crate::jsonval::Json;
+use crate::optimize::OptimizeSpec;
+use crate::sweep::{bad, u64_value, SweepSpec};
+
+/// Most analyses one envelope may carry.
+pub const MAX_V1_REQUESTS: usize = 64;
+
+/// One parsed sub-request of a `/v1` envelope.
+#[derive(Debug, Clone)]
+pub enum V1Request {
+    /// A plain analysis (`analyze`, `graph`, `correctness`,
+    /// `invariants`, `simulate`).
+    Analysis(RequestKind),
+    /// A parameter sweep with its full grid spec.
+    Sweep(SweepSpec),
+    /// A parameter synthesis with its full box spec.
+    Optimize(OptimizeSpec),
+}
+
+impl V1Request {
+    /// The `kind` string echoed in the response entry.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            V1Request::Analysis(kind) => kind.name(),
+            V1Request::Sweep(_) => "sweep",
+            V1Request::Optimize(_) => "optimize",
+        }
+    }
+}
+
+/// Parse a `/v1` envelope body into the net text and the request list.
+/// `max_sim_events` bounds `simulate` budgets exactly like the legacy
+/// query-parameter route.
+pub fn parse_envelope(
+    body: &str,
+    max_sim_events: u64,
+) -> Result<(String, Vec<V1Request>), ServiceError> {
+    let doc = Json::parse(body).map_err(|e| bad(format!("request body: {e}")))?;
+    let members = doc
+        .as_obj()
+        .ok_or_else(|| bad(format!("envelope must be an object, got {}", doc.kind())))?;
+    for (k, _) in members {
+        if !matches!(k.as_str(), "net" | "requests") {
+            return Err(bad(format!("unknown envelope member {k:?}")));
+        }
+    }
+    let net_text = doc
+        .get("net")
+        .and_then(Json::as_str)
+        .ok_or_else(|| bad("envelope needs a \"net\" member with the .tpn text"))?
+        .to_string();
+    let requests_json = doc
+        .get("requests")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| bad("envelope needs a \"requests\" array"))?;
+    if requests_json.is_empty() {
+        return Err(bad("\"requests\" must not be empty"));
+    }
+    if requests_json.len() > MAX_V1_REQUESTS {
+        return Err(bad(format!("more than {MAX_V1_REQUESTS} requests")));
+    }
+    let mut requests = Vec::with_capacity(requests_json.len());
+    for r in requests_json {
+        requests.push(parse_request(r, max_sim_events)?);
+    }
+    Ok((net_text, requests))
+}
+
+fn parse_request(r: &Json, max_sim_events: u64) -> Result<V1Request, ServiceError> {
+    let members = r
+        .as_obj()
+        .ok_or_else(|| bad(format!("each request must be an object, got {}", r.kind())))?;
+    let kind = r
+        .get("kind")
+        .and_then(Json::as_str)
+        .ok_or_else(|| bad("each request needs a \"kind\" string"))?;
+    let allowed: &[&str] = match kind {
+        "analyze" | "graph" | "correctness" | "invariants" => &["kind"],
+        "simulate" => &["kind", "events", "seed"],
+        "sweep" | "optimize" => &["kind", "spec"],
+        other => {
+            return Err(bad(format!(
+                "unknown request kind {other:?} (expected analyze, graph, correctness, \
+                 invariants, simulate, sweep or optimize)"
+            )))
+        }
+    };
+    for (k, _) in members {
+        if !allowed.contains(&k.as_str()) {
+            return Err(bad(format!("unknown member {k:?} of a {kind} request")));
+        }
+    }
+    Ok(match kind {
+        "analyze" => V1Request::Analysis(RequestKind::Analyze),
+        "graph" => V1Request::Analysis(RequestKind::Graph),
+        "correctness" => V1Request::Analysis(RequestKind::Correctness),
+        "invariants" => V1Request::Analysis(RequestKind::Invariants),
+        "simulate" => {
+            let events = match r.get("events") {
+                None => DEFAULT_SIM_EVENTS,
+                Some(v) => u64_value(v, "events")?,
+            };
+            if events > max_sim_events {
+                return Err(bad(format!(
+                    "events {events} exceeds the limit {max_sim_events}"
+                )));
+            }
+            let seed = match r.get("seed") {
+                None => DEFAULT_SIM_SEED,
+                Some(v) => u64_value(v, "seed")?,
+            };
+            V1Request::Analysis(RequestKind::Simulate { events, seed })
+        }
+        "sweep" => {
+            let spec = r
+                .get("spec")
+                .ok_or_else(|| bad("a sweep request needs a \"spec\" object"))?;
+            if spec.get("net").is_some() {
+                return Err(bad("the net comes from the envelope's \"net\" member; \
+                     drop \"net\" from the sweep spec"));
+            }
+            V1Request::Sweep(SweepSpec::from_json(spec)?)
+        }
+        "optimize" => {
+            let spec = r
+                .get("spec")
+                .ok_or_else(|| bad("an optimize request needs a \"spec\" object"))?;
+            if spec.get("net").is_some() {
+                return Err(bad("the net comes from the envelope's \"net\" member; \
+                     drop \"net\" from the optimize spec"));
+            }
+            V1Request::Optimize(OptimizeSpec::from_json(spec)?)
+        }
+        _ => unreachable!("kind validated above"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn envelope_parses_every_kind() {
+        let body = r#"{"net":"net c","requests":[
+            {"kind":"analyze"},
+            {"kind":"graph"},
+            {"kind":"simulate","events":100,"seed":7},
+            {"kind":"sweep","spec":{"targets":["cycle_time"],"sweep":[{"symbol":"F(go)","values":["1"]}]}},
+            {"kind":"optimize","spec":{"target":"cycle_time","box":[{"symbol":"F(go)","from":"1","to":"2"}]}}
+        ]}"#;
+        let (net, requests) = parse_envelope(body, 1000).unwrap();
+        assert_eq!(net, "net c");
+        assert_eq!(requests.len(), 5);
+        assert!(matches!(
+            requests[2],
+            V1Request::Analysis(RequestKind::Simulate {
+                events: 100,
+                seed: 7
+            })
+        ));
+        assert_eq!(requests[3].kind_name(), "sweep");
+        assert_eq!(requests[4].kind_name(), "optimize");
+    }
+
+    #[test]
+    fn envelope_rejects_malformed_requests() {
+        for (body, why) in [
+            ("[]", "not an object"),
+            (r#"{"requests":[{"kind":"analyze"}]}"#, "missing net"),
+            (r#"{"net":"n","requests":[]}"#, "empty requests"),
+            (r#"{"net":"n"}"#, "missing requests"),
+            (
+                r#"{"net":"n","requests":[{"kind":"frobnicate"}]}"#,
+                "unknown kind",
+            ),
+            (
+                r#"{"net":"n","requests":[{"kind":"analyze","extra":1}]}"#,
+                "unknown member",
+            ),
+            (
+                r#"{"net":"n","requests":[{"kind":"sweep"}]}"#,
+                "sweep without spec",
+            ),
+            (
+                r#"{"net":"n","requests":[{"kind":"simulate","events":100000}]}"#,
+                "events over the cap",
+            ),
+            (
+                r#"{"net":"n","requests":[{"kind":"sweep","spec":{"net":"x","targets":["cycle_time"],"sweep":[{"symbol":"F(g)","values":["1"]}]}}]}"#,
+                "net inside the spec",
+            ),
+            (
+                r#"{"net":"n","surprise":1,"requests":[{"kind":"analyze"}]}"#,
+                "unknown envelope member",
+            ),
+        ] {
+            let e = parse_envelope(body, 1000).unwrap_err();
+            assert_eq!(e.status(), 400, "{why}");
+        }
+    }
+}

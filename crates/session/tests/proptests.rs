@@ -1,0 +1,158 @@
+//! Property tests for `tpn-session`: every memoized artifact must be
+//! *semantically identical* to a fresh standalone computation through
+//! the stage-by-stage API, on randomly timed ring nets — the session
+//! is a cache, never a different algorithm. Plus the concurrency law:
+//! N threads demanding the same vacant stage produce exactly one
+//! computation, and every thread receives the same `Arc`.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use tpn_core::{solve_rates, DecisionGraph, ExprTarget, Performance};
+use tpn_net::{symbols, NetBuilder, TimedPetriNet};
+use tpn_rational::Rational;
+use tpn_reach::{build_trg, LiftedDomain, NumericDomain, TrgOptions};
+use tpn_session::{Session, SessionOptions, Stage};
+
+/// A timed ring: one token cycling through `times.len()` transitions
+/// with random firing times — deterministic, live, and analyzable.
+fn random_ring(times: &[(i128, i128)]) -> TimedPetriNet {
+    let mut b = NetBuilder::new("ring");
+    let places: Vec<_> = (0..times.len())
+        .map(|i| b.place(&format!("s{i}"), u32::from(i == 0)))
+        .collect();
+    for (i, (n, d)) in times.iter().enumerate() {
+        let next = (i + 1) % times.len();
+        b.transition(&format!("t{i}"))
+            .input(places[i])
+            .output(places[next])
+            .firing(Rational::new(*n, *d))
+            .add();
+    }
+    b.build().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn memoized_artifacts_equal_standalone_computation(
+        times in proptest::collection::vec((1i128..500, 1i128..10), 2..7),
+    ) {
+        let net = random_ring(&times);
+        let session = Session::new(net.clone(), SessionOptions::new());
+
+        // Standalone chain, stage by stage.
+        let domain = NumericDomain::new();
+        let trg = build_trg(&net, &domain, &TrgOptions::default()).unwrap();
+        let dg = DecisionGraph::from_trg(&trg, &domain).unwrap();
+        let rates = solve_rates(&dg, 0).unwrap();
+        let perf = Performance::new(&dg, rates.clone(), &domain).unwrap();
+
+        // Session artifacts agree with it, stage by stage.
+        let strg = session.trg().unwrap();
+        prop_assert_eq!(strg.num_states(), trg.num_states());
+        prop_assert_eq!(strg.num_edges(), trg.num_edges());
+        let sdg = session.decision_graph().unwrap();
+        prop_assert_eq!(sdg.num_nodes(), dg.num_nodes());
+        prop_assert_eq!(sdg.edges().len(), dg.edges().len());
+        let srates = session.rates().unwrap();
+        for e in 0..dg.edges().len() {
+            prop_assert_eq!(srates.rate(e), rates.rate(e));
+        }
+        let sperf = session.performance().unwrap();
+        prop_assert_eq!(sperf.total_weight(), perf.total_weight());
+        for t in net.transitions() {
+            prop_assert_eq!(sperf.throughput(&sdg, t), perf.throughput(&dg, t));
+        }
+
+        // Each stage was built exactly once despite the many demands.
+        for stage in [Stage::Trg, Stage::DecisionGraph, Stage::Rates, Stage::Performance] {
+            prop_assert_eq!(session.stage_stats(stage).builds, 1);
+        }
+    }
+
+    #[test]
+    fn memoized_lift_equals_standalone_lift(
+        times in proptest::collection::vec((1i128..200, 1i128..8), 2..5),
+    ) {
+        let net = random_ring(&times);
+        let session = Session::new(net.clone(), SessionOptions::new());
+        let swept = [symbols::firing("t0")];
+        let t0 = net.transition_by_name("t0").unwrap();
+        let target = ExprTarget::Throughput(t0);
+
+        // Standalone lifted chain.
+        let domain = LiftedDomain::new(&net, &swept).unwrap();
+        let trg = build_trg(&net, &domain, &TrgOptions::default()).unwrap();
+        let dg = DecisionGraph::from_trg(&trg, &domain).unwrap();
+        let rates = solve_rates(&dg, 0).unwrap();
+        let perf = Performance::new(&dg, rates, &domain).unwrap();
+        let expr = perf.export_expr(&dg, &trg, &domain, target);
+
+        // The session's compiled artifact exports the same closed form
+        // and records the same validity region.
+        let compiled = session.compiled(&swept, &[target], false).unwrap();
+        prop_assert_eq!(&compiled.exprs[0], &expr);
+        let lifted = session.lifted(&swept).unwrap();
+        prop_assert_eq!(lifted.domain.region(), domain.region());
+        prop_assert_eq!(lifted.trg.num_states(), trg.num_states());
+
+        // One lift, one compile — the compile demanded the lift.
+        prop_assert_eq!(session.stage_stats(Stage::Lifted).builds, 1);
+        prop_assert_eq!(session.stage_stats(Stage::Compiled).builds, 1);
+    }
+}
+
+#[test]
+fn concurrent_demands_build_once_and_share_the_arc() {
+    let net = random_ring(&[(2, 1), (3, 1), (7, 2)]);
+    let session = Arc::new(Session::new(net, SessionOptions::new()));
+    const THREADS: usize = 8;
+    let artifacts: Vec<_> = std::thread::scope(|scope| {
+        let tasks: Vec<_> = (0..THREADS)
+            .map(|_| {
+                let session = Arc::clone(&session);
+                scope.spawn(move || session.performance().unwrap())
+            })
+            .collect();
+        tasks.into_iter().map(|t| t.join().unwrap()).collect()
+    });
+    // Exactly one computation per stage of the chain…
+    for stage in [
+        Stage::Trg,
+        Stage::DecisionGraph,
+        Stage::Rates,
+        Stage::Performance,
+    ] {
+        let snap = session.stage_stats(stage);
+        assert_eq!(snap.builds, 1, "{stage:?}: {snap:?}");
+    }
+    // …with every demand accounted as a hit or a miss…
+    let snap = session.stage_stats(Stage::Performance);
+    assert_eq!(snap.hits + snap.misses, THREADS as u64, "{snap:?}");
+    // …and every thread holding the same artifact.
+    for a in &artifacts[1..] {
+        assert!(Arc::ptr_eq(a, &artifacts[0]));
+    }
+}
+
+#[test]
+fn concurrent_lift_demands_build_once() {
+    let net = random_ring(&[(5, 1), (11, 3)]);
+    let session = Arc::new(Session::new(net, SessionOptions::new()));
+    let swept = [symbols::firing("t0")];
+    let artifacts: Vec<_> = std::thread::scope(|scope| {
+        let tasks: Vec<_> = (0..6)
+            .map(|_| {
+                let session = Arc::clone(&session);
+                scope.spawn(move || session.lifted(&swept).unwrap())
+            })
+            .collect();
+        tasks.into_iter().map(|t| t.join().unwrap()).collect()
+    });
+    assert_eq!(session.stage_stats(Stage::Lifted).builds, 1);
+    for a in &artifacts[1..] {
+        assert!(Arc::ptr_eq(a, &artifacts[0]));
+    }
+}

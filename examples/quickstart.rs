@@ -4,10 +4,10 @@
 //! cargo run --example quickstart
 //! ```
 //!
-//! Builds the Figure-1 net with the Figure-1b times, constructs the
-//! timed reachability graph (Figure 4), collapses it to the decision
-//! graph (Figure 5), solves the traversal rates and prints throughput
-//! and cycle-time figures.
+//! Builds the Figure-1 net with the Figure-1b times and opens a
+//! [`Session`] over it — the timed reachability graph (Figure 4), the
+//! decision graph (Figure 5), the traversal rates and the performance
+//! measures are each computed once, on first demand, and shared.
 
 use timed_petri::prelude::*;
 use timed_petri::protocols::simple;
@@ -16,24 +16,26 @@ fn main() {
     let proto = simple::paper();
     println!("=== net (Figure 1) ===\n{}", proto.net);
 
-    let domain = NumericDomain::new();
-    let trg = build_trg(&proto.net, &domain, &TrgOptions::default())
+    let session = Session::new(proto.net.clone(), SessionOptions::new());
+    let net = session.net();
+
+    let trg = session
+        .trg()
         .expect("the paper net explores without errors");
     println!(
         "=== timed reachability graph (Figure 4): {} states, {} edges ===",
         trg.num_states(),
         trg.num_edges()
     );
-    println!("{}", trg.describe_states(&proto.net));
+    println!("{}", trg.describe_states(net));
 
-    let dg = DecisionGraph::from_trg(&trg, &domain).expect("protocol cycle exists");
+    let dg = session.decision_graph().expect("protocol cycle exists");
     println!("=== decision graph (Figure 5) ===");
-    println!("{}", dg.describe(&proto.net));
+    println!("{}", dg.describe(net));
 
-    let rates = solve_rates(&dg, 0).expect("ergodic cycle");
-    let perf = Performance::new(&dg, rates, &domain).expect("non-zero cycle time");
+    let perf = session.performance().expect("non-zero cycle time");
     println!("=== rates and weights ===");
-    println!("{}", perf.describe(&proto.net, &dg));
+    println!("{}", perf.describe(net, &dg));
 
     let t7 = proto.t[6];
     let throughput = perf.throughput(&dg, t7);
@@ -56,7 +58,7 @@ fn main() {
     let awaiting = proto.p[3];
     println!(
         "P(awaiting ack)                    = {:.4}",
-        perf.place_utilization(&dg, &trg, &domain, awaiting)
+        perf.place_utilization(&dg, &trg, &NumericDomain::new(), awaiting)
             .to_f64()
     );
 }

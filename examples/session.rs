@@ -1,0 +1,108 @@
+//! One session, three workloads: analyze + sweep + optimize over the
+//! paper's Figure-1 protocol, sharing every pipeline artifact.
+//!
+//! ```sh
+//! cargo run --release --example session
+//! ```
+//!
+//! The derivation chain (net → TRG → decision graph → rates →
+//! performance, and for the parametrised workloads → lifted domain →
+//! compiled program) is materialised **once** per artifact inside one
+//! [`Session`]; the example asserts the reuse through the session's
+//! per-stage counters, so it doubles as an end-to-end check of the
+//! memoization (CI runs it).
+
+use timed_petri::prelude::*;
+use timed_petri::protocols::simple;
+use tpn_core::ExprTarget;
+use tpn_eval::{sweep_f64, Axis, Grid, SweepOptions};
+use tpn_net::symbols;
+use tpn_symbolic::Assignment;
+
+fn main() {
+    let proto = simple::paper();
+    let session = Session::new(proto.net.clone(), SessionOptions::new());
+    let t7 = proto.t[6];
+
+    // --- analyze: the paper's §4 numbers -------------------------------
+    let dg = session.decision_graph().expect("protocol cycle exists");
+    let perf = session.performance().expect("non-zero cycle time");
+    let throughput = perf.throughput(&dg, t7);
+    println!(
+        "analyze : {} states, throughput(t7) = {} ≈ {:.4} msg/s",
+        session.trg().unwrap().num_states(),
+        throughput,
+        throughput.to_f64() * 1000.0
+    );
+    assert_eq!(session.trg().unwrap().num_states(), 18);
+
+    // --- sweep: throughput over the timeout E(t3) ----------------------
+    let swept = [symbols::enabling("t3")];
+    let target = [ExprTarget::Throughput(t7)];
+    let compiled = session
+        .compiled(&swept, &target, false)
+        .expect("fig1 lifts over E(t3)");
+    let grid = Grid::new(vec![Axis::try_linear(
+        swept[0],
+        Rational::from_int(300),
+        Rational::from_int(2050),
+        512,
+    )
+    .unwrap()])
+    .unwrap();
+    let rows = sweep_f64(
+        &compiled.program,
+        &grid,
+        &Assignment::new(),
+        &SweepOptions::default(),
+    )
+    .expect("grid within limits");
+    let best = rows
+        .iter()
+        .filter_map(|r| r[0])
+        .fold(f64::NEG_INFINITY, f64::max);
+    println!(
+        "sweep   : {} points over E(t3) ∈ [300, 2050], max throughput ≈ {:.6}",
+        rows.len(),
+        best
+    );
+
+    // --- optimize: the certified best timeout --------------------------
+    let lifted = session.lifted(&swept).expect("same artifact as the sweep");
+    let axes = [(swept[0], Rational::from_int(300), Rational::from_int(2050))];
+    let optimum = optimize(
+        &compiled.exprs[0],
+        &axes,
+        &lifted.domain.region_constraints(),
+        OptGoal::Maximize,
+        &OptOptions::default(),
+    )
+    .expect("univariate certified solve");
+    println!(
+        "optimize: best E(t3) = {} (certified: {}), value ≈ {:.6}",
+        optimum.point[0].1,
+        optimum.certified(),
+        optimum.value_f64
+    );
+    // The sweep's numeric argmax and the certified optimum agree.
+    assert!((optimum.value_f64 - best).abs() <= 1e-6 * best.abs());
+
+    // --- the whole point: every artifact was built exactly once --------
+    for stage in [
+        Stage::Trg,
+        Stage::DecisionGraph,
+        Stage::Rates,
+        Stage::Performance,
+        Stage::Lifted,
+        Stage::Compiled,
+    ] {
+        let snap = session.stage_stats(stage);
+        assert_eq!(snap.builds, 1, "{stage:?} built more than once: {snap:?}");
+    }
+    let lifted_stats = session.stage_stats(Stage::Lifted);
+    assert!(
+        lifted_stats.hits >= 1,
+        "the optimize leg re-used the sweep's lift: {lifted_stats:?}"
+    );
+    println!("artifact reuse verified: every stage built exactly once");
+}

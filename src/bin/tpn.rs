@@ -11,8 +11,14 @@
 //! tpn sweep <net.tpn> <spec.json>       compiled parameter sweep (JSON rows)
 //! tpn optimize <net.tpn> <spec.json>    certified optimal timing parameters (JSON)
 //! tpn serve <addr> [OPTIONS]            HTTP analysis daemon (JSON API)
-//! tpn batch <dir> [KIND]                analyze every .tpn in a directory (JSON lines)
+//! tpn batch <dir> [KIND..]              run analyses over every .tpn in a directory (JSON lines)
 //! ```
+//!
+//! Every analysis subcommand derives through a
+//! [`Session`]: the net is parsed once and the
+//! pipeline artifacts (TRG, decision graph, rates, lifted domains) are
+//! computed once and shared — `tpn batch` with several KINDs walks the
+//! chain a single time per file.
 //!
 //! `tpn --help` prints the command table, `tpn help <command>` (or
 //! `tpn <command> --help`) the per-command usage. Nets use the `.tpn`
@@ -90,8 +96,9 @@ const COMMANDS: &[CommandHelp] = &[
     },
     CommandHelp {
         name: "batch",
-        usage: "tpn batch <dir> [analyze|graph|correctness|invariants|simulate]",
-        summary: "run one analysis over every .tpn file in a directory, one JSON line per file",
+        usage: "tpn batch <dir> [KIND..]  (KIND: analyze|graph|correctness|invariants|simulate)",
+        summary: "run analyses over every .tpn file in a directory (parsed once, one session per \
+                  file), one JSON line per file and kind",
     },
 ];
 
@@ -131,19 +138,10 @@ fn load(path: &str) -> Result<TimedPetriNet, String> {
     tpn_net::parse_tpn(&src).map_err(|e| e.to_string())
 }
 
-type NumericPipeline = (
-    tpn_reach::TimedReachabilityGraph<NumericDomain>,
-    DecisionGraph<NumericDomain>,
-    Performance<NumericDomain>,
-);
-
-fn pipeline(net: &TimedPetriNet) -> Result<NumericPipeline, String> {
-    let domain = NumericDomain::new();
-    let trg = build_trg(net, &domain, &TrgOptions::default()).map_err(|e| e.to_string())?;
-    let dg = DecisionGraph::from_trg(&trg, &domain).map_err(|e| e.to_string())?;
-    let rates = solve_rates(&dg, 0).map_err(|e| e.to_string())?;
-    let perf = Performance::new(&dg, rates, &domain).map_err(|e| e.to_string())?;
-    Ok((trg, dg, perf))
+/// A one-shot default-options session over a loaded net — every
+/// analysis subcommand derives its artifacts through this.
+fn session_over(net: TimedPetriNet) -> Session {
+    Session::new(net, SessionOptions::new())
 }
 
 fn run(args: &[String]) -> Result<(), String> {
@@ -201,9 +199,9 @@ fn run(args: &[String]) -> Result<(), String> {
             Ok(())
         }
         "graph" => {
-            let domain = NumericDomain::new();
-            let trg =
-                build_trg(&net, &domain, &TrgOptions::default()).map_err(|e| e.to_string())?;
+            let session = session_over(net);
+            let trg = session.trg().map_err(|e| e.to_string())?;
+            let net = session.net();
             println!(
                 "{} states, {} edges, {} decision states, {} terminal states\n",
                 trg.num_states(),
@@ -211,16 +209,19 @@ fn run(args: &[String]) -> Result<(), String> {
                 trg.decision_states().len(),
                 trg.terminal_states().len()
             );
-            print!("{}", trg.describe_states(&net));
-            println!("\n{}", trg.to_dot(&net));
+            print!("{}", trg.describe_states(net));
+            println!("\n{}", trg.to_dot(net));
             Ok(())
         }
         "analyze" => {
-            let (_, dg, perf) = pipeline(&net)?;
+            let session = session_over(net);
+            let dg = session.decision_graph().map_err(|e| e.to_string())?;
+            let perf = session.performance().map_err(|e| e.to_string())?;
+            let net = session.net();
             println!("decision graph:");
-            print!("{}", dg.describe(&net));
+            print!("{}", dg.describe(net));
             println!("\nrates and weights (reference edge 0):");
-            print!("{}", perf.describe(&net, &dg));
+            print!("{}", perf.describe(net, &dg));
             println!("\nthroughput (firings per time unit):");
             let selected: Vec<String> = args[2..].to_vec();
             for t in net.transitions() {
@@ -234,11 +235,11 @@ fn run(args: &[String]) -> Result<(), String> {
             Ok(())
         }
         "correctness" => {
-            let domain = NumericDomain::new();
-            let trg =
-                build_trg(&net, &domain, &TrgOptions::default()).map_err(|e| e.to_string())?;
-            let report = tpn_reach::analyze(&trg, &net);
-            print!("{}", report.describe(&net));
+            let session = session_over(net);
+            let trg = session.trg().map_err(|e| e.to_string())?;
+            let net = session.net();
+            let report = tpn_reach::analyze(&trg, net);
+            print!("{}", report.describe(net));
             if report.is_correct() {
                 println!("verdict: correct (deadlock-free, 1-safe, live, reversible)");
             } else {
@@ -326,17 +327,11 @@ fn run(args: &[String]) -> Result<(), String> {
 /// `POST /sweep` endpoint returns for the same net and spec
 /// (byte-identical: both go through `tpn_service::sweep_json`).
 fn cmd_sweep(args: &[String]) -> Result<(), String> {
-    run_spec_command(
-        args,
-        "sweep",
-        "--max-points",
-        |net, doc, threads, max_points| {
-            let spec = tpn_service::SweepSpec::from_json(doc).map_err(|e| e.to_string())?;
-            let (body, _) = tpn_service::sweep_json(net, &spec, threads, max_points)
-                .map_err(|e| e.to_string())?;
-            Ok(body)
-        },
-    )
+    run_spec_command(args, "sweep", "--max-points", |session, doc| {
+        let spec = tpn_service::SweepSpec::from_json(doc).map_err(|e| e.to_string())?;
+        let (body, _) = tpn_service::sweep_json(session, &spec).map_err(|e| e.to_string())?;
+        Ok(body)
+    })
 }
 
 /// `tpn optimize <net.tpn> <spec.json> [--threads N] [--max-seed-points N]`
@@ -345,30 +340,25 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
 /// the daemon's `POST /optimize` endpoint returns for the same net and
 /// spec (byte-identical: both go through `tpn_service::optimize_json`).
 fn cmd_optimize(args: &[String]) -> Result<(), String> {
-    run_spec_command(
-        args,
-        "optimize",
-        "--max-seed-points",
-        |net, doc, threads, budget| {
-            let spec = tpn_service::OptimizeSpec::from_json(doc).map_err(|e| e.to_string())?;
-            let (body, _) = tpn_service::optimize_json(net, &spec, threads, budget)
-                .map_err(|e| e.to_string())?;
-            Ok(body)
-        },
-    )
+    run_spec_command(args, "optimize", "--max-seed-points", |session, doc| {
+        let spec = tpn_service::OptimizeSpec::from_json(doc).map_err(|e| e.to_string())?;
+        let (body, _) = tpn_service::optimize_json(session, &spec).map_err(|e| e.to_string())?;
+        Ok(body)
+    })
 }
 
 /// Shared scaffolding of the spec-driven subcommands (`sweep`,
 /// `optimize`): parse `<net.tpn> <spec.json>` plus `--threads` and one
 /// command-specific budget flag (both defaulting to the server's sweep
-/// configuration), load the net and the spec document, reject an
-/// in-spec `"net"` member, and print the JSON document `produce`
-/// renders — the same bytes the matching HTTP endpoint serves.
+/// configuration), load the net into a session configured with them,
+/// reject an in-spec `"net"` member, and print the JSON document
+/// `produce` renders — the same bytes the matching HTTP endpoint
+/// serves (both derive through a session).
 fn run_spec_command(
     args: &[String],
     cmd: &str,
     budget_flag: &str,
-    produce: impl FnOnce(&TimedPetriNet, &tpn_service::Json, usize, u64) -> Result<String, String>,
+    produce: impl FnOnce(&Session, &tpn_service::Json) -> Result<String, String>,
 ) -> Result<(), String> {
     let defaults = ServiceConfig::default();
     let mut threads = defaults.sweep_threads;
@@ -403,7 +393,11 @@ fn run_spec_command(
             "{spec_path}: the net comes from the <net.tpn> argument; drop the \"net\" member"
         ));
     }
-    let body = produce(&net, &doc, threads, budget)?;
+    let session = Session::new(
+        net,
+        SessionOptions::new().threads(threads).max_points(budget),
+    );
+    let body = produce(&session, &doc)?;
     println!("{body}");
     Ok(())
 }
@@ -442,29 +436,40 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     let handle = tpn_service::spawn(service, addr).map_err(|e| format!("{addr}: {e}"))?;
     println!("tpn-service listening on http://{}", handle.addr());
     println!(
-        "endpoints: POST /analyze /graph /correctness /invariants /simulate /sweep /optimize · \
-         GET /healthz /stats"
+        "endpoints: POST /v1 /analyze /graph /correctness /invariants /simulate /sweep /optimize \
+         · GET /healthz /stats"
     );
     handle.wait();
     Ok(())
 }
 
-/// `tpn batch <dir> [KIND]` — one JSON line per `.tpn` file. Identical
-/// nets (by content digest) are computed once thanks to the shared
-/// result cache.
+/// `tpn batch <dir> [KIND..]` — one JSON line per `.tpn` file and
+/// requested kind. Each file is **parsed once** and every kind runs
+/// against the same shared session, so e.g.
+/// `tpn batch nets analyze graph correctness` builds each net's TRG a
+/// single time. Identical nets (by content digest) are computed once
+/// across files too, thanks to the shared two-tier cache.
 fn cmd_batch(args: &[String]) -> Result<(), String> {
     let dir = args.first().ok_or_else(|| usage_of("batch"))?;
-    let kind = match args.get(1).map(String::as_str) {
-        None | Some("analyze") => RequestKind::Analyze,
-        Some("graph") => RequestKind::Graph,
-        Some("correctness") => RequestKind::Correctness,
-        Some("invariants") => RequestKind::Invariants,
-        Some("simulate") => RequestKind::Simulate {
-            events: DEFAULT_SIM_EVENTS,
-            seed: DEFAULT_SIM_SEED,
-        },
-        Some(other) => return Err(format!("unknown analysis {other:?}\n{}", usage_of("batch"))),
+    let kind_names: Vec<&str> = if args.len() > 1 {
+        args[1..].iter().map(String::as_str).collect()
+    } else {
+        vec!["analyze"]
     };
+    let mut kinds = Vec::with_capacity(kind_names.len());
+    for name in &kind_names {
+        kinds.push(match *name {
+            "analyze" => RequestKind::Analyze,
+            "graph" => RequestKind::Graph,
+            "correctness" => RequestKind::Correctness,
+            "invariants" => RequestKind::Invariants,
+            "simulate" => RequestKind::Simulate {
+                events: DEFAULT_SIM_EVENTS,
+                seed: DEFAULT_SIM_SEED,
+            },
+            other => return Err(format!("unknown analysis {other:?}\n{}", usage_of("batch"))),
+        });
+    }
     let mut files: Vec<std::path::PathBuf> = std::fs::read_dir(dir)
         .map_err(|e| format!("{dir}: {e}"))?
         .filter_map(|entry| entry.ok().map(|e| e.path()))
@@ -481,34 +486,38 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
             .file_name()
             .map(|n| n.to_string_lossy().into_owned())
             .unwrap_or_default();
-        let line = match std::fs::read_to_string(path) {
+        match std::fs::read_to_string(path) {
             Err(e) => {
                 failures += 1;
-                format!(
+                println!(
                     "{{\"file\":{},\"error\":{}}}",
                     json::escape(&name),
                     json::escape(&e.to_string())
-                )
+                );
             }
             Ok(src) => {
-                let (status, body) = service.respond(kind, &src);
-                if status == 200 {
-                    // `body` already carries the digest; wrap it verbatim.
-                    format!("{{\"file\":{},\"result\":{body}}}", json::escape(&name))
-                } else {
-                    failures += 1;
-                    // body is the {"error":…} document
-                    format!(
-                        "{{\"file\":{},\"status\":{status},\"result\":{body}}}",
-                        json::escape(&name)
-                    )
+                // One parse, one session, every kind.
+                for (status, body) in service.respond_many(&kinds, &src) {
+                    if status == 200 {
+                        // `body` already carries the digest; wrap it verbatim.
+                        println!("{{\"file\":{},\"result\":{body}}}", json::escape(&name));
+                    } else {
+                        failures += 1;
+                        // body is the {"error":…} document
+                        println!(
+                            "{{\"file\":{},\"status\":{status},\"result\":{body}}}",
+                            json::escape(&name)
+                        );
+                    }
                 }
             }
-        };
-        println!("{line}");
+        }
     }
     if failures > 0 {
-        return Err(format!("{failures} of {} file(s) failed", files.len()));
+        return Err(format!(
+            "{failures} failure(s) over {} file(s)",
+            files.len()
+        ));
     }
     Ok(())
 }

@@ -22,30 +22,40 @@
 //! | [`opt`] | `tpn-opt` | parameter synthesis: certified optima of performance expressions |
 //! | [`sim`] | `tpn-sim` | discrete-event Monte-Carlo validation |
 //! | [`protocols`] | `tpn-protocols` | the paper's nets and parametric families |
-//! | [`service`] | `tpn-service` | analysis daemon: result cache, thread pool, HTTP + JSON |
+//! | [`session`] | `tpn-session` | memoized typed-artifact pipeline: one handle, the whole chain |
+//! | [`service`] | `tpn-service` | analysis daemon: two-tier cache, thread pool, HTTP + JSON |
 //!
 //! # Quickstart
 //!
-//! Reproduce the paper's protocol throughput (§4) end to end:
+//! Reproduce the paper's protocol throughput (§4) through a
+//! [`Session`](tpn_session::Session) — the derivation chain (net →
+//! TRG → decision graph → rates → performance expressions) is computed
+//! lazily, memoized, and shared with every later demand:
 //!
 //! ```
 //! use timed_petri::prelude::*;
 //!
 //! // the paper's Figure-1 protocol with Figure-1b times
 //! let proto = timed_petri::protocols::simple::paper();
-//! let domain = NumericDomain::new();
-//! let trg = build_trg(&proto.net, &domain, &TrgOptions::default()).unwrap();
-//! assert_eq!(trg.num_states(), 18); // the paper's Figure 4
+//! let session = Session::new(proto.net.clone(), SessionOptions::new());
 //!
-//! let dg = DecisionGraph::from_trg(&trg, &domain).unwrap();
-//! let rates = solve_rates(&dg, 0).unwrap();
-//! let perf = Performance::new(&dg, rates, &domain).unwrap();
+//! assert_eq!(session.trg().unwrap().num_states(), 18); // the paper's Figure 4
+//! let dg = session.decision_graph().unwrap();
+//! let perf = session.performance().unwrap();
 //! let t7 = proto.t[6]; // sender receives the ACK: a successfully
 //!                      // acknowledged message (the paper's edge 2)
 //! let throughput = perf.throughput(&dg, t7);
 //! // ≈ 2.85 messages per second (times are in milliseconds)
 //! assert!((throughput.to_f64() * 1000.0 - 2.8518).abs() < 1e-3);
+//!
+//! // Each stage was built exactly once, and a re-demand is a shared Arc.
+//! assert_eq!(session.stage_stats(Stage::Trg).builds, 1);
+//! assert!(std::sync::Arc::ptr_eq(&perf, &session.performance().unwrap()));
 //! ```
+//!
+//! The stage-by-stage API (`build_trg`, `DecisionGraph::from_trg`,
+//! `solve_rates`, `Performance::new`) remains available for callers
+//! that need a single artifact with custom plumbing.
 
 pub use tpn_core as core;
 pub use tpn_eval as eval;
@@ -56,6 +66,7 @@ pub use tpn_protocols as protocols;
 pub use tpn_rational as rational;
 pub use tpn_reach as reach;
 pub use tpn_service as service;
+pub use tpn_session as session;
 pub use tpn_sim as sim;
 pub use tpn_symbolic as symbolic;
 
@@ -74,6 +85,7 @@ pub mod prelude {
         TrgOptions,
     };
     pub use tpn_service::{RequestKind, Service, ServiceConfig};
+    pub use tpn_session::{Session, SessionError, SessionOptions, Stage, StageCounters};
     pub use tpn_sim::{simulate, SimOptions};
     pub use tpn_symbolic::{Assignment, ConstraintSet, LinExpr, Poly, RatFn, Symbol};
 }

@@ -11,8 +11,6 @@
 //!   `tpn optimize` CLI output (two different processes), a repeat is
 //!   a cache hit, and `/stats` exposes the optimize counters.
 
-use std::io::{Read, Write};
-use std::net::{SocketAddr, TcpStream};
 use std::process::Command;
 use std::sync::Arc;
 
@@ -22,10 +20,8 @@ use timed_petri::service::{
 };
 use tpn_net::symbols;
 
-fn fig1_text() -> String {
-    let path = format!("{}/tests/fixtures/fig1.tpn", env!("CARGO_MANIFEST_DIR"));
-    std::fs::read_to_string(path).expect("fixture readable")
-}
+mod common;
+use common::{fig1_text, http, json_counter};
 
 /// The spec used throughout: maximise the acknowledged-message
 /// throughput over the timeout E(t3) ∈ [300, 2050].
@@ -56,7 +52,16 @@ fn fig1_objective() -> (RatFn, Vec<tpn_symbolic::Constraint>, Symbol) {
 #[test]
 fn fig1_timeout_optimum_is_certified_and_matches_a_10k_sweep_argmax() {
     let net = tpn_net::parse_tpn(&fig1_text()).unwrap();
-    let (body, certified) = optimize_json(&net, &parse_spec(), 4, 1_000_000).unwrap();
+    let (body, certified) = optimize_json(
+        &timed_petri::session::Session::new(
+            net.clone(),
+            timed_petri::session::SessionOptions::new()
+                .threads(4)
+                .max_points(1_000_000),
+        ),
+        &parse_spec(),
+    )
+    .unwrap();
     assert!(certified, "{body}");
     let doc = Json::parse(&body).unwrap();
     assert_eq!(doc.get("certified"), Some(&Json::Bool(true)));
@@ -108,7 +113,16 @@ fn fig1_timeout_optimum_is_certified_and_matches_a_10k_sweep_argmax() {
         .unwrap(),
     )
     .unwrap();
-    let (sweep_body, points) = timed_petri::service::sweep_json(&net, &spec, 4, 1_000_000).unwrap();
+    let (sweep_body, points) = timed_petri::service::sweep_json(
+        &timed_petri::session::Session::new(
+            net.clone(),
+            timed_petri::session::SessionOptions::new()
+                .threads(4)
+                .max_points(1_000_000),
+        ),
+        &spec,
+    )
+    .unwrap();
     assert_eq!(points, 10_000);
     let sweep_doc = Json::parse(&sweep_body).unwrap();
     let rows = sweep_doc.get("rows").and_then(Json::as_arr).unwrap();
@@ -175,40 +189,6 @@ fn f64_refiner_agrees_with_the_exact_engine_within_tolerance() {
     assert!(dx <= 1e-9, "{dx}");
     let dv = (refined.value_f64 - exact.value_f64).abs();
     assert!(dv <= 1e-12 * exact.value_f64.abs().max(1.0), "{dv}");
-}
-
-/// A minimal HTTP/1.1 client: one request, one `Connection: close`
-/// response. Returns (status, body).
-fn http(addr: SocketAddr, method: &str, target: &str, body: &str) -> (u16, String) {
-    let mut stream = TcpStream::connect(addr).expect("connect");
-    let request = format!(
-        "{method} {target} HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\n\r\n{body}",
-        body.len()
-    );
-    stream.write_all(request.as_bytes()).expect("send");
-    let mut response = String::new();
-    stream.read_to_string(&mut response).expect("receive");
-    let status: u16 = response
-        .split(' ')
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or_else(|| panic!("status line in {response:?}"));
-    let payload = response
-        .split_once("\r\n\r\n")
-        .map(|(_, b)| b.to_string())
-        .unwrap_or_default();
-    (status, payload)
-}
-
-/// Pull an unsigned counter out of a flat JSON document.
-fn json_counter(doc: &str, key: &str) -> u64 {
-    let pat = format!("\"{key}\":");
-    let rest = &doc[doc.find(&pat).unwrap_or_else(|| panic!("{key} in {doc}")) + pat.len()..];
-    rest.chars()
-        .take_while(char::is_ascii_digit)
-        .collect::<String>()
-        .parse()
-        .expect("numeric counter")
 }
 
 #[test]

@@ -13,57 +13,13 @@
 //!   same serializer).
 
 use std::io::{Read, Write};
-use std::net::{SocketAddr, TcpStream};
+use std::net::TcpStream;
 use std::process::Command;
-use std::sync::Arc;
 
-use timed_petri::service::{spawn, RequestKind, ServerHandle, Service, ServiceConfig};
+use timed_petri::service::RequestKind;
 
-fn fig1_text() -> String {
-    let path = format!("{}/tests/fixtures/fig1.tpn", env!("CARGO_MANIFEST_DIR"));
-    std::fs::read_to_string(path).expect("fixture readable")
-}
-
-fn start_server() -> (ServerHandle, SocketAddr) {
-    let service = Arc::new(Service::new(ServiceConfig::default()));
-    let handle = spawn(service, "127.0.0.1:0").expect("bind ephemeral port");
-    let addr = handle.addr();
-    (handle, addr)
-}
-
-/// A minimal HTTP/1.1 client: one request, one `Connection: close`
-/// response. Returns (status, body).
-fn http(addr: SocketAddr, method: &str, target: &str, body: &str) -> (u16, String) {
-    let mut stream = TcpStream::connect(addr).expect("connect");
-    let request = format!(
-        "{method} {target} HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\n\r\n{body}",
-        body.len()
-    );
-    stream.write_all(request.as_bytes()).expect("send");
-    let mut response = String::new();
-    stream.read_to_string(&mut response).expect("receive");
-    let status: u16 = response
-        .split(' ')
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or_else(|| panic!("status line in {response:?}"));
-    let payload = response
-        .split_once("\r\n\r\n")
-        .map(|(_, b)| b.to_string())
-        .unwrap_or_default();
-    (status, payload)
-}
-
-/// Pull an unsigned counter out of a flat JSON document.
-fn json_counter(doc: &str, key: &str) -> u64 {
-    let pat = format!("\"{key}\":");
-    let rest = &doc[doc.find(&pat).unwrap_or_else(|| panic!("{key} in {doc}")) + pat.len()..];
-    rest.chars()
-        .take_while(char::is_ascii_digit)
-        .collect::<String>()
-        .parse()
-        .expect("numeric counter")
-}
+mod common;
+use common::{fig1_text, http, json_counter, start_server};
 
 #[test]
 fn concurrent_analyzes_coalesce_to_one_computation() {

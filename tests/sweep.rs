@@ -11,8 +11,6 @@
 //! * `/stats` exposes the sweep counters, and a repeated sweep is a
 //!   cache hit with no recompilation.
 
-use std::io::{Read, Write};
-use std::net::{SocketAddr, TcpStream};
 use std::process::Command;
 use std::sync::Arc;
 
@@ -20,10 +18,8 @@ use timed_petri::prelude::*;
 use timed_petri::service::{json, spawn, Json, Service, ServiceConfig, SweepSpec};
 use tpn_net::symbols;
 
-fn fig1_text() -> String {
-    let path = format!("{}/tests/fixtures/fig1.tpn", env!("CARGO_MANIFEST_DIR"));
-    std::fs::read_to_string(path).expect("fixture readable")
-}
+mod common;
+use common::{fig1_text, http, json_counter};
 
 /// The spec used throughout: 251 timeout values (300..2050 in steps
 /// of 7, so the paper's E(t3)=1000 is on the grid) × 4 packet-loss
@@ -61,10 +57,26 @@ fn rows_of(body: &str) -> Vec<(Vec<Rational>, Vec<Json>)> {
 #[test]
 fn f64_backend_matches_exact_to_1e9_on_a_1000_point_grid() {
     let net = tpn_net::parse_tpn(&fig1_text()).unwrap();
-    let (fast_body, fast_points) =
-        timed_petri::service::sweep_json(&net, &parse_spec("f64"), 4, 1_000_000).unwrap();
-    let (exact_body, _) =
-        timed_petri::service::sweep_json(&net, &parse_spec("exact"), 4, 1_000_000).unwrap();
+    let (fast_body, fast_points) = timed_petri::service::sweep_json(
+        &timed_petri::session::Session::new(
+            net.clone(),
+            timed_petri::session::SessionOptions::new()
+                .threads(4)
+                .max_points(1_000_000),
+        ),
+        &parse_spec("f64"),
+    )
+    .unwrap();
+    let (exact_body, _) = timed_petri::service::sweep_json(
+        &timed_petri::session::Session::new(
+            net.clone(),
+            timed_petri::session::SessionOptions::new()
+                .threads(4)
+                .max_points(1_000_000),
+        ),
+        &parse_spec("exact"),
+    )
+    .unwrap();
     assert_eq!(fast_points, 1004, "acceptance requires a ≥1000-point grid");
     let fast = rows_of(&fast_body);
     let exact = rows_of(&exact_body);
@@ -101,8 +113,16 @@ fn exact_rows_agree_with_the_symbolic_expression() {
     let t7 = net.transition_by_name("t7").unwrap();
     let expr = perf.export_expr(&dg, &trg, &domain, ExprTarget::Throughput(t7));
 
-    let (exact_body, _) =
-        timed_petri::service::sweep_json(&net, &parse_spec("exact"), 2, 1_000_000).unwrap();
+    let (exact_body, _) = timed_petri::service::sweep_json(
+        &timed_petri::session::Session::new(
+            net.clone(),
+            timed_petri::session::SessionOptions::new()
+                .threads(2)
+                .max_points(1_000_000),
+        ),
+        &parse_spec("exact"),
+    )
+    .unwrap();
     let rows = rows_of(&exact_body);
     for (coords, values) in rows.iter().step_by(97) {
         let at = Assignment::new().with(e3, coords[0]).with(f5, coords[1]);
@@ -121,40 +141,6 @@ fn exact_rows_agree_with_the_symbolic_expression() {
         Rational::new(1805, 632922),
         "18.05/6329.22 messages per millisecond"
     );
-}
-
-/// A minimal HTTP/1.1 client: one request, one `Connection: close`
-/// response. Returns (status, body).
-fn http(addr: SocketAddr, method: &str, target: &str, body: &str) -> (u16, String) {
-    let mut stream = TcpStream::connect(addr).expect("connect");
-    let request = format!(
-        "{method} {target} HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\n\r\n{body}",
-        body.len()
-    );
-    stream.write_all(request.as_bytes()).expect("send");
-    let mut response = String::new();
-    stream.read_to_string(&mut response).expect("receive");
-    let status: u16 = response
-        .split(' ')
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or_else(|| panic!("status line in {response:?}"));
-    let payload = response
-        .split_once("\r\n\r\n")
-        .map(|(_, b)| b.to_string())
-        .unwrap_or_default();
-    (status, payload)
-}
-
-/// Pull an unsigned counter out of a flat JSON document.
-fn json_counter(doc: &str, key: &str) -> u64 {
-    let pat = format!("\"{key}\":");
-    let rest = &doc[doc.find(&pat).unwrap_or_else(|| panic!("{key} in {doc}")) + pat.len()..];
-    rest.chars()
-        .take_while(char::is_ascii_digit)
-        .collect::<String>()
-        .parse()
-        .expect("numeric counter")
 }
 
 #[test]
@@ -232,7 +218,16 @@ fn rows_carry_an_exact_in_region_flag() {
         .unwrap(),
     )
     .unwrap();
-    let (body, points) = timed_petri::service::sweep_json(&net, &spec, 2, 1000).unwrap();
+    let (body, points) = timed_petri::service::sweep_json(
+        &timed_petri::session::Session::new(
+            net.clone(),
+            timed_petri::session::SessionOptions::new()
+                .threads(2)
+                .max_points(1000),
+        ),
+        &spec,
+    )
+    .unwrap();
     assert_eq!(points, 5);
     let doc = Json::parse(&body).unwrap();
     let rows = doc.get("rows").and_then(Json::as_arr).unwrap();
