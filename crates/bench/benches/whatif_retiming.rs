@@ -1,0 +1,121 @@
+//! E13 — incremental what-if re-timing vs. cold per-net sessions.
+//!
+//! Both sides answer the same question: `analyze` a 48-hop lossy relay
+//! chain at 64 different per-hop firing times `F(hop3)`/`F(drop3)`
+//! (moved together, so the hop/drop completion tie recorded in the
+//! lift's validity region is preserved).
+//!
+//! * `whatif_batch_64` sends ONE in-process `POST /whatif` request with
+//!   64 perturbations against a fresh `Service` — the base session's
+//!   symbolic lift is built once and every perturbation substitutes
+//!   through its re-timing template and closed-form rates (no
+//!   reachability rebuild, no rate re-solve);
+//! * `cold_sessions_64` sends 64 in-process `/analyze` requests, one
+//!   per perturbed net text, against a fresh `Service` — each pays the
+//!   full pipeline (parse → TRG → decision graph → rates →
+//!   performance → JSON). On this net the dense rate solve over 96
+//!   decision-graph edges dominates, which is exactly the work the
+//!   lift's closed forms amortise.
+//!
+//! Every service is fresh per iteration, so neither side ever hits the
+//! body cache: the measured difference is re-timing through the shared
+//! lift vs. re-deriving per net. Byte-identity of the 64 re-timed
+//! bodies with the 64 cold bodies is asserted before timing starts.
+//! `BENCH_5.json` records the request-rate ratio.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use tpn_net::{TimedPetriNet, TimingAssignment};
+use tpn_protocols::families::lossy_chain;
+use tpn_rational::Rational;
+use tpn_service::{RequestKind, Service, ServiceConfig};
+
+const HOPS: usize = 48;
+const BATCH: i128 = 64;
+
+fn base_net() -> TimedPetriNet {
+    lossy_chain(HOPS, Rational::new(1, 2), Rational::from_int(2)).0
+}
+
+/// The 64 hop times both sides analyze: distinct positive integers,
+/// hop and drop re-timed together so every point stays in-region.
+fn hop_times() -> Vec<i128> {
+    (0..BATCH).map(|i| 3 + i).collect()
+}
+
+fn perturbation(t: i128) -> TimingAssignment {
+    TimingAssignment::new()
+        .with("F(hop3)", Rational::from_int(t))
+        .with("F(drop3)", Rational::from_int(t))
+}
+
+fn whatif_body() -> String {
+    let perturbations: Vec<String> = hop_times()
+        .iter()
+        .map(|t| format!(r#"{{"F(hop3)":"{t}","F(drop3)":"{t}"}}"#))
+        .collect();
+    format!(
+        r#"{{"net":{},"perturbations":[{}]}}"#,
+        tpn_service::json::escape(&base_net().to_tpn()),
+        perturbations.join(",")
+    )
+}
+
+/// The 64 perturbed nets as `.tpn` texts (the cold side's inputs).
+fn perturbed_texts() -> Vec<String> {
+    let net = base_net();
+    hop_times()
+        .iter()
+        .map(|t| net.with_timing(&perturbation(*t)).unwrap().to_tpn())
+        .collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let body = whatif_body();
+    let texts = perturbed_texts();
+
+    // Byte-identity gate: every re-timed analysis body must appear
+    // verbatim inside the what-if envelope.
+    {
+        let service = Service::new(ServiceConfig::default());
+        let (status, envelope) = service.respond_whatif(&body);
+        assert_eq!(status, 200, "{envelope}");
+        for text in &texts {
+            let cold = Service::new(ServiceConfig::default());
+            let (status, cold_body) = cold.respond(RequestKind::Analyze, text);
+            assert_eq!(status, 200, "{cold_body}");
+            assert!(
+                envelope.contains(cold_body.as_str()),
+                "re-timed body not byte-identical to the cold body"
+            );
+        }
+    }
+
+    let mut g = c.benchmark_group("whatif_retiming");
+    g.throughput(Throughput::Elements(BATCH as u64));
+
+    g.bench_function("whatif_batch_64", |b| {
+        b.iter(|| {
+            let service = Service::new(ServiceConfig::default());
+            let (status, envelope) = service.respond_whatif(black_box(&body));
+            assert_eq!(status, 200);
+            black_box(envelope);
+        });
+    });
+
+    g.bench_function("cold_sessions_64", |b| {
+        b.iter(|| {
+            let service = Service::new(ServiceConfig::default());
+            for text in &texts {
+                let (status, body) = service.respond(RequestKind::Analyze, black_box(text));
+                assert_eq!(status, 200);
+                black_box(body);
+            }
+        });
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

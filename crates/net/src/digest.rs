@@ -53,10 +53,10 @@ impl fmt::Display for NetDigest {
 }
 
 /// One FNV-1a lane.
-struct Fnv(u64);
+pub(crate) struct Fnv(u64);
 
 impl Fnv {
-    fn byte(&mut self, b: u8) {
+    pub(crate) fn byte(&mut self, b: u8) {
         self.0 = (self.0 ^ u64::from(b)).wrapping_mul(FNV_PRIME);
     }
 
@@ -66,16 +66,16 @@ impl Fnv {
         }
     }
 
-    fn u64(&mut self, x: u64) {
+    pub(crate) fn u64(&mut self, x: u64) {
         self.bytes(&x.to_le_bytes());
     }
 
-    fn i128(&mut self, x: i128) {
+    pub(crate) fn i128(&mut self, x: i128) {
         self.bytes(&x.to_le_bytes());
     }
 
     /// Length-prefixed, so `("ab", "c")` and `("a", "bc")` differ.
-    fn str(&mut self, s: &str) {
+    pub(crate) fn str(&mut self, s: &str) {
         self.u64(s.len() as u64);
         self.bytes(s.as_bytes());
     }
@@ -104,7 +104,7 @@ impl Fnv {
 }
 
 /// Hash one record through both lanes.
-fn record(write: impl Fn(&mut Fnv)) -> [u64; 2] {
+pub(crate) fn record(write: impl Fn(&mut Fnv)) -> [u64; 2] {
     let mut a = Fnv(FNV_OFFSET);
     let mut b = Fnv(LANE2_SEED);
     write(&mut a);
@@ -114,7 +114,7 @@ fn record(write: impl Fn(&mut Fnv)) -> [u64; 2] {
 
 /// Write a bag as (name, multiplicity) pairs sorted by place name, so
 /// the hash does not depend on place declaration order.
-fn bag_entries(net: &TimedPetriNet, bag: &Bag, h: &mut Fnv) {
+pub(crate) fn bag_entries(net: &TimedPetriNet, bag: &Bag, h: &mut Fnv) {
     let mut entries: Vec<(&str, u32)> = bag.iter().map(|(p, n)| (net.place_name(p), n)).collect();
     entries.sort_unstable();
     h.u64(entries.len() as u64);

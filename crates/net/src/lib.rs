@@ -31,6 +31,7 @@ pub mod invariant;
 mod marking;
 mod net;
 mod parse;
+mod timing;
 mod transition;
 
 pub use bag::Bag;
@@ -42,6 +43,7 @@ pub use ids::{ConflictSetId, PlaceId, TransId};
 pub use marking::Marking;
 pub use net::{ConflictSet, TimedPetriNet};
 pub use parse::{parse_tpn, ParseError};
+pub use timing::TimingAssignment;
 pub use transition::{Frequency, TimeValue, Transition};
 
 /// Canonical symbol names used by the symbolic layers for a transition's

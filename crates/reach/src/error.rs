@@ -54,6 +54,15 @@ pub enum ReachError {
         /// Why the symbol cannot be lifted.
         reason: String,
     },
+    /// A timing perturbation leaves the validity region recorded by a
+    /// [`LiftedDomain`](crate::LiftedDomain): at the perturbed point
+    /// some comparison frozen during construction would flip (or can no
+    /// longer be evaluated), so the lifted skeleton cannot be reused —
+    /// the graph itself may change shape there. Rebuild cold instead.
+    OutOfRegion {
+        /// The violated condition, rendered (`"expr > 0"`/`"expr = 0"`).
+        constraint: String,
+    },
     /// All firable members of a conflict set have frequency zero *and*
     /// the domain cannot assign them probabilities... this variant is
     /// reserved; the implemented semantics assigns uniform probabilities
@@ -86,6 +95,11 @@ impl fmt::Display for ReachError {
             ReachError::BadLift { symbol, reason } => {
                 write!(f, "cannot lift symbol {symbol}: {reason}")
             }
+            ReachError::OutOfRegion { constraint } => write!(
+                f,
+                "the perturbed point leaves the recorded validity region \
+                 (violated: {constraint}); the lifted skeleton cannot be reused"
+            ),
             ReachError::Unreachable => write!(f, "internal: unreachable error variant"),
         }
     }

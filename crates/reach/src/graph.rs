@@ -162,6 +162,164 @@ impl<D: AnalysisDomain> TimedReachabilityGraph<D> {
         &self.min_resolutions
     }
 
+    /// Re-label the graph into another domain by mapping every time and
+    /// probability value, keeping the skeleton — states, edges,
+    /// transitions fired/completed, min-resolutions — untouched. This
+    /// is how a lifted graph is *instantiated* at a concrete parameter
+    /// point: evaluate each symbolic label there and the result is the
+    /// numeric graph the cold construction would have built, provided
+    /// the point stays inside the domain's validity region
+    /// ([`LiftedDomain::check_point`](crate::LiftedDomain::check_point)).
+    /// Returns `None` if any label fails to map (an unbound symbol).
+    pub fn map<D2, FT, FP>(&self, mut time: FT, mut prob: FP) -> Option<TimedReachabilityGraph<D2>>
+    where
+        D2: AnalysisDomain,
+        FT: FnMut(&D::Time) -> Option<D2::Time>,
+        FP: FnMut(&D::Prob) -> Option<D2::Prob>,
+    {
+        let map_slots = |slots: &[Option<D::Time>], time: &mut FT| {
+            slots
+                .iter()
+                .map(|s| match s {
+                    Some(x) => time(x).map(Some),
+                    None => Some(None),
+                })
+                .collect::<Option<Vec<Option<D2::Time>>>>()
+        };
+        let states = self
+            .states
+            .iter()
+            .map(|s| {
+                Some(TimedState {
+                    marking: s.marking.clone(),
+                    ret: map_slots(&s.ret, &mut time)?,
+                    rft: map_slots(&s.rft, &mut time)?,
+                })
+            })
+            .collect::<Option<Vec<_>>>()?;
+        let edges = self
+            .edges
+            .iter()
+            .map(|es| {
+                es.iter()
+                    .map(|e| {
+                        Some(Edge {
+                            from: e.from,
+                            to: e.to,
+                            kind: e.kind,
+                            delay: time(&e.delay)?,
+                            prob: prob(&e.prob)?,
+                            fired: e.fired.clone(),
+                            completed: e.completed.clone(),
+                        })
+                    })
+                    .collect::<Option<Vec<_>>>()
+            })
+            .collect::<Option<Vec<_>>>()?;
+        let min_resolutions = self
+            .min_resolutions
+            .iter()
+            .map(|m| {
+                Some(MinResolution {
+                    state: m.state,
+                    candidates: m
+                        .candidates
+                        .iter()
+                        .map(|(t, is_rft, x)| Some((*t, *is_rft, time(x)?)))
+                        .collect::<Option<Vec<_>>>()?,
+                    chosen: m.chosen,
+                })
+            })
+            .collect::<Option<Vec<_>>>()?;
+        Some(TimedReachabilityGraph {
+            states,
+            edges,
+            min_resolutions,
+        })
+    }
+
+    /// Pre-split the graph for repeated instantiation: every label the
+    /// `*_dependent` predicates reject is mapped through `base_*` once,
+    /// up front; the accepted (point-dependent) labels are kept in their
+    /// source form together with their locations. The returned
+    /// [`TrgTemplate`] instantiates at a point with one structural
+    /// clone plus one evaluation *per dependent label* — for a lift
+    /// over a few attributes that is a handful of evaluations instead
+    /// of one per slot, which is what makes batched re-timing cheap.
+    /// Returns `None` if any point-independent label fails to map.
+    pub fn template<D2, BT, BP, DT, DP>(
+        &self,
+        mut base_time: BT,
+        mut base_prob: BP,
+        mut time_dependent: DT,
+        mut prob_dependent: DP,
+    ) -> Option<TrgTemplate<D, D2>>
+    where
+        D2: AnalysisDomain,
+        BT: FnMut(&D::Time) -> Option<D2::Time>,
+        BP: FnMut(&D::Prob) -> Option<D2::Prob>,
+        DT: FnMut(&D::Time) -> bool,
+        DP: FnMut(&D::Prob) -> bool,
+    {
+        let base = self.map(&mut base_time, &mut base_prob)?;
+        let mut times = Vec::new();
+        let mut probs = Vec::new();
+        for (si, s) in self.states.iter().enumerate() {
+            let mut slot_patches = |slots: &[Option<D::Time>], ret: bool, times: &mut Vec<_>| {
+                for (ti, slot) in slots.iter().enumerate() {
+                    if let Some(x) = slot {
+                        if time_dependent(x) {
+                            let loc = if ret {
+                                TimeLoc::Ret {
+                                    state: si as u32,
+                                    trans: ti as u32,
+                                }
+                            } else {
+                                TimeLoc::Rft {
+                                    state: si as u32,
+                                    trans: ti as u32,
+                                }
+                            };
+                            times.push((loc, x.clone()));
+                        }
+                    }
+                }
+            };
+            slot_patches(&s.ret, true, &mut times);
+            slot_patches(&s.rft, false, &mut times);
+        }
+        for (si, es) in self.edges.iter().enumerate() {
+            for (ei, e) in es.iter().enumerate() {
+                if time_dependent(&e.delay) {
+                    times.push((
+                        TimeLoc::Delay {
+                            state: si as u32,
+                            edge: ei as u32,
+                        },
+                        e.delay.clone(),
+                    ));
+                }
+                if prob_dependent(&e.prob) {
+                    probs.push((si as u32, ei as u32, e.prob.clone()));
+                }
+            }
+        }
+        for (ri, m) in self.min_resolutions.iter().enumerate() {
+            for (ci, (_, _, x)) in m.candidates.iter().enumerate() {
+                if time_dependent(x) {
+                    times.push((
+                        TimeLoc::MinCandidate {
+                            resolution: ri as u32,
+                            candidate: ci as u32,
+                        },
+                        x.clone(),
+                    ));
+                }
+            }
+        }
+        Some(TrgTemplate { base, times, probs })
+    }
+
     /// Render the state table in the style of the paper's Figure 4b/6b.
     pub fn describe_states(&self, net: &TimedPetriNet) -> String {
         let mut out = String::new();
@@ -207,6 +365,77 @@ impl<D: AnalysisDomain> TimedReachabilityGraph<D> {
         }
         out.push_str("}\n");
         out
+    }
+}
+
+/// Where a point-dependent time label lives inside a graph.
+#[derive(Debug, Clone, Copy)]
+enum TimeLoc {
+    /// A remaining-enabling-time slot of a state.
+    Ret { state: u32, trans: u32 },
+    /// A remaining-firing-time slot of a state.
+    Rft { state: u32, trans: u32 },
+    /// An edge's elapse delay (edge index within its source bucket).
+    Delay { state: u32, edge: u32 },
+    /// A candidate delay of a recorded minimum resolution.
+    MinCandidate { resolution: u32, candidate: u32 },
+}
+
+/// A graph pre-split for repeated instantiation, produced by
+/// [`TimedReachabilityGraph::template`]: the point-independent labels
+/// already mapped into the target domain, the point-dependent ones kept
+/// symbolic with their locations. [`TrgTemplate::instantiate`] is then
+/// a structural clone plus one evaluation per dependent label.
+#[derive(Debug)]
+pub struct TrgTemplate<D: AnalysisDomain, D2: AnalysisDomain> {
+    base: TimedReachabilityGraph<D2>,
+    times: Vec<(TimeLoc, D::Time)>,
+    probs: Vec<(u32, u32, D::Prob)>,
+}
+
+impl<D: AnalysisDomain, D2: AnalysisDomain> TrgTemplate<D, D2> {
+    /// Instantiate at a point: clone the pre-mapped base and overwrite
+    /// each dependent label with its evaluation. Equivalent to
+    /// [`TimedReachabilityGraph::map`] over the source graph with the
+    /// same closures, but touching only the dependent labels. Returns
+    /// `None` if any evaluation fails (an unbound symbol).
+    pub fn instantiate<FT, FP>(
+        &self,
+        mut time: FT,
+        mut prob: FP,
+    ) -> Option<TimedReachabilityGraph<D2>>
+    where
+        D2: Clone,
+        FT: FnMut(&D::Time) -> Option<D2::Time>,
+        FP: FnMut(&D::Prob) -> Option<D2::Prob>,
+    {
+        let mut g = self.base.clone();
+        for (loc, x) in &self.times {
+            let v = time(x)?;
+            match *loc {
+                TimeLoc::Ret { state, trans } => {
+                    g.states[state as usize].ret[trans as usize] = Some(v)
+                }
+                TimeLoc::Rft { state, trans } => {
+                    g.states[state as usize].rft[trans as usize] = Some(v)
+                }
+                TimeLoc::Delay { state, edge } => g.edges[state as usize][edge as usize].delay = v,
+                TimeLoc::MinCandidate {
+                    resolution,
+                    candidate,
+                } => g.min_resolutions[resolution as usize].candidates[candidate as usize].2 = v,
+            }
+        }
+        for &(state, edge, ref p) in &self.probs {
+            g.edges[state as usize][edge as usize].prob = prob(p)?;
+        }
+        Some(g)
+    }
+
+    /// How many point-dependent labels the template patches per
+    /// instantiation: `(time labels, probability labels)`.
+    pub fn num_patches(&self) -> (usize, usize) {
+        (self.times.len(), self.probs.len())
     }
 }
 
@@ -1135,6 +1364,49 @@ mod tests {
         )
         .unwrap_err();
         assert_eq!(format!("{serial}"), format!("{par}"));
+    }
+
+    #[test]
+    fn mapped_lifted_graph_matches_cold_numeric_graph() {
+        use crate::LiftedDomain;
+        use tpn_net::symbols;
+        use tpn_symbolic::Assignment;
+
+        let net = cycle_net(); // go: 2, back: 3
+        let sym = symbols::firing("back");
+        let lifted = LiftedDomain::new(&net, &[sym]).unwrap();
+        let trg = build_trg(&net, &lifted, &TrgOptions::default()).unwrap();
+        // Perturb F(back) 3 → 7 and instantiate the lifted skeleton.
+        let point = Assignment::new().with(sym, Rational::from_int(7));
+        lifted.check_point(&point).unwrap();
+        let mapped: TimedReachabilityGraph<NumericDomain> =
+            trg.map(|t| t.eval(&point), |p| p.eval(&point)).unwrap();
+        // Cold build of the perturbed net.
+        let mut b = NetBuilder::new("cycle");
+        let pa = b.place("pa", 1);
+        let pb = b.place("pb", 0);
+        b.transition("go")
+            .input(pa)
+            .output(pb)
+            .firing_const(2)
+            .add();
+        b.transition("back")
+            .input(pb)
+            .output(pa)
+            .firing_const(7)
+            .add();
+        let perturbed = b.build().unwrap();
+        let cold = build_trg(&perturbed, &NumericDomain::new(), &TrgOptions::default()).unwrap();
+        assert_eq!(
+            mapped.describe_states(&perturbed),
+            cold.describe_states(&perturbed)
+        );
+        assert_eq!(mapped.to_dot(&perturbed), cold.to_dot(&perturbed));
+        // An unbound symbol makes the mapping fail, not mislabel.
+        let empty = Assignment::new();
+        assert!(trg
+            .map::<NumericDomain, _, _>(|t| t.eval(&empty), |p| p.eval(&empty))
+            .is_none());
     }
 
     #[test]

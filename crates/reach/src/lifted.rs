@@ -41,6 +41,14 @@ pub struct LiftedDomain {
     /// evaluable validity region ([`LiftedDomain::region_constraints`]),
     /// from which the rendered form ([`LiftedDomain::region`]) derives.
     region: Mutex<BTreeSet<(LinExpr, Relation)>>,
+    /// Shape conditions that [`LiftedDomain::region`] historically does
+    /// *not* report: strict positivity of every non-constant delay that
+    /// was non-zero at the base point. A perturbation driving such a
+    /// delay to zero (or negative) changes which steps are
+    /// instantaneous — i.e. the skeleton itself — without flipping any
+    /// recorded comparison, so [`LiftedDomain::check_point`] tests the
+    /// union of both sets before a skeleton is reused.
+    shape: Mutex<BTreeSet<(LinExpr, Relation)>>,
 }
 
 impl LiftedDomain {
@@ -76,6 +84,7 @@ impl LiftedDomain {
         Ok(LiftedDomain {
             base,
             region: Mutex::new(BTreeSet::new()),
+            shape: Mutex::new(BTreeSet::new()),
         })
     }
 
@@ -133,6 +142,42 @@ impl LiftedDomain {
             .collect();
         out.sort_by(|a, b| a.0.cmp(&b.0));
         out
+    }
+
+    /// Check that `point` stays inside the validity region *and*
+    /// preserves the graph shape, i.e. the skeleton built at the base
+    /// point is exact when re-evaluated there. Tests the recorded
+    /// region entries plus the shape conditions [`LiftedDomain::region`]
+    /// does not report (strict positivity of every delay the skeleton
+    /// treats as a real wait). Every lifted symbol must be bound in
+    /// `point`; a violated or unevaluable condition yields
+    /// [`ReachError::OutOfRegion`] naming it.
+    pub fn check_point(&self, point: &Assignment) -> Result<(), ReachError> {
+        for (sym, _) in self.base.iter() {
+            if !point.contains(sym) {
+                return Err(ReachError::OutOfRegion {
+                    constraint: format!("{} is bound", sym.name()),
+                });
+            }
+        }
+        let render = |expr: &LinExpr, rel: &Relation| match rel {
+            Relation::Eq => format!("{expr} = 0"),
+            _ => format!("{expr} > 0"),
+        };
+        for set in [&self.region, &self.shape] {
+            for (expr, rel) in set.lock().expect("constraint lock").iter() {
+                let c = Constraint {
+                    expr: expr.clone(),
+                    rel: *rel,
+                };
+                if c.check(point) != Some(true) {
+                    return Err(ReachError::OutOfRegion {
+                        constraint: render(expr, rel),
+                    });
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Value of `e` at the base point (every symbol in any expression
@@ -237,6 +282,18 @@ impl AnalysisDomain for LiftedDomain {
             // frozen into an equality of the validity region.
             self.record(t, &LinExpr::zero());
             return true;
+        }
+        // Non-zero at the base: the skeleton treats this delay as a real
+        // wait. Remember the sign condition so a re-timing that collapses
+        // it to zero (making the step instantaneous) is rejected.
+        if !t.is_constant() {
+            let sign = self.at_base(t).signum();
+            let entry = if sign > 0 {
+                (t.clone(), Relation::Gt)
+            } else {
+                (t.clone().scale(&-Rational::ONE), Relation::Gt)
+            };
+            self.shape.lock().expect("shape lock").insert(entry);
         }
         false
     }
@@ -433,6 +490,71 @@ mod tests {
             "{:?}",
             d.region()
         );
+    }
+
+    #[test]
+    fn check_point_accepts_in_region_and_rejects_violations() {
+        // A fork-join: the next-event choice min(1, F(slow)) freezes
+        // F(slow) - 1 > 0 into the region, and the join resynchronizes
+        // the branches so no other comparison constrains F(slow).
+        let mut b = NetBuilder::new("forkjoin");
+        let s = b.place("s", 1);
+        let pa = b.place("a", 0);
+        let pb = b.place("b", 0);
+        let pa2 = b.place("a2", 0);
+        let pb2 = b.place("b2", 0);
+        b.transition("fork").input(s).output(pa).output(pb).add();
+        b.transition("fast")
+            .input(pa)
+            .output(pa2)
+            .firing_const(1)
+            .add();
+        b.transition("slow")
+            .input(pb)
+            .output(pb2)
+            .firing_const(2)
+            .add();
+        b.transition("join")
+            .input(pa2)
+            .input(pb2)
+            .output(s)
+            .firing_const(1)
+            .add();
+        let net = b.build().unwrap();
+        let f_slow = symbols::firing("slow");
+        let d = LiftedDomain::new(&net, &[f_slow]).unwrap();
+        build_trg(&net, &d, &TrgOptions::default()).unwrap();
+        // Inside: any F(slow) > 1 keeps every frozen comparison.
+        d.check_point(&Assignment::new().with(f_slow, r(3, 2)))
+            .unwrap();
+        // Unbound lifted symbol.
+        let err = d.check_point(&Assignment::new()).unwrap_err();
+        assert!(matches!(err, ReachError::OutOfRegion { .. }), "{err}");
+        // Outside the recorded region (flips the min choice).
+        let err = d
+            .check_point(&Assignment::new().with(f_slow, r(1, 2)))
+            .unwrap_err();
+        assert!(matches!(err, ReachError::OutOfRegion { .. }), "{err}");
+    }
+
+    #[test]
+    fn check_point_uses_shape_conditions_beyond_the_reported_region() {
+        // A single lifted transition records no comparisons — the
+        // rendered region is empty — yet collapsing its delay to zero
+        // would make the step instantaneous and change the skeleton.
+        let mut b = NetBuilder::new("single");
+        let p = b.place("p", 1);
+        b.transition("t").input(p).output(p).firing_const(5).add();
+        let net = b.build().unwrap();
+        let ft = symbols::firing("t");
+        let d = LiftedDomain::new(&net, &[ft]).unwrap();
+        build_trg(&net, &d, &TrgOptions::default()).unwrap();
+        assert!(d.region().is_empty(), "{:?}", d.region());
+        d.check_point(&Assignment::new().with(ft, r(7, 1))).unwrap();
+        let err = d
+            .check_point(&Assignment::new().with(ft, Rational::ZERO))
+            .unwrap_err();
+        assert!(matches!(err, ReachError::OutOfRegion { .. }), "{err}");
     }
 
     #[test]

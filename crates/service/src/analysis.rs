@@ -64,6 +64,20 @@ pub enum RequestKind {
         /// Fingerprint of the canonical spec rendering.
         spec: u128,
     },
+    /// One perturbation entry of an incremental what-if batch. Unlike
+    /// every other variant this one is keyed by the net's **structural**
+    /// digest, not its full digest: `timing` pins the perturbed net's
+    /// complete [`tpn_net::TimingAssignment`] and `spec` the analysis
+    /// list, so any batch perturbing a structurally identical net to
+    /// the same timing point shares the cache line. Handled by
+    /// [`Service::respond_whatif`](crate::Service::respond_whatif).
+    Whatif {
+        /// [`tpn_net::TimingAssignment::hash`] of the perturbed net's
+        /// total timing assignment.
+        timing: u128,
+        /// Fingerprint of the canonical analysis-list rendering.
+        spec: u128,
+    },
 }
 
 impl RequestKind {
@@ -77,11 +91,29 @@ impl RequestKind {
             RequestKind::Simulate { .. } => "simulate",
             RequestKind::Sweep { .. } => "sweep",
             RequestKind::Optimize { .. } => "optimize",
+            RequestKind::Whatif { .. } => "whatif",
         }
     }
 }
 
 /// Why a request could not be served.
+///
+/// Every variant carries a stable machine-readable [`code`] and an HTTP
+/// [`status`](ServiceError::status); the full mapping (shared by every
+/// endpoint and documented in the README):
+///
+/// | code | status | meaning |
+/// |---|---|---|
+/// | `parse` | 400 | the `.tpn` text does not parse |
+/// | `bad_request` | 400 | malformed request: body, spec, query, route |
+/// | `analysis` | 422 | the net parses but the analysis fails |
+/// | `out_of_region` | 422 | a what-if perturbation leaves the lift's validity region |
+///
+/// Legacy routes render errors as `{"error": "<code prefix>: <message>"}`
+/// (pinned by golden captures); `/v1` and `/whatif` render the
+/// structured `{"code": …, "message": …}` object.
+///
+/// [`code`]: ServiceError::code
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ServiceError {
     /// The request body is not a valid `.tpn` document (HTTP 400).
@@ -92,6 +124,11 @@ pub enum ServiceError {
     /// The request itself is malformed: bad query parameter, bad route,
     /// oversized or non-UTF-8 body (HTTP 400).
     BadRequest(String),
+    /// A what-if perturbation leaves the validity region of the shared
+    /// lifted skeleton: the incremental machinery provably cannot
+    /// answer it, but a cold analysis of the perturbed net could
+    /// (HTTP 422).
+    OutOfRegion(String),
 }
 
 impl ServiceError {
@@ -99,7 +136,30 @@ impl ServiceError {
     pub fn status(&self) -> u16 {
         match self {
             ServiceError::Parse(_) | ServiceError::BadRequest(_) => 400,
-            ServiceError::Analysis(_) => 422,
+            ServiceError::Analysis(_) | ServiceError::OutOfRegion(_) => 422,
+        }
+    }
+
+    /// The stable machine-readable error code (the `"code"` member of
+    /// structured error bodies).
+    pub fn code(&self) -> &'static str {
+        match self {
+            ServiceError::Parse(_) => "parse",
+            ServiceError::Analysis(_) => "analysis",
+            ServiceError::BadRequest(_) => "bad_request",
+            ServiceError::OutOfRegion(_) => "out_of_region",
+        }
+    }
+
+    /// The bare human-readable message, without the legacy
+    /// `Display` prefix (the `"message"` member of structured error
+    /// bodies).
+    pub fn message(&self) -> &str {
+        match self {
+            ServiceError::Parse(m)
+            | ServiceError::Analysis(m)
+            | ServiceError::BadRequest(m)
+            | ServiceError::OutOfRegion(m) => m,
         }
     }
 }
@@ -110,6 +170,7 @@ impl fmt::Display for ServiceError {
             ServiceError::Parse(m) => write!(f, "parse error: {m}"),
             ServiceError::Analysis(m) => write!(f, "analysis error: {m}"),
             ServiceError::BadRequest(m) => write!(f, "bad request: {m}"),
+            ServiceError::OutOfRegion(m) => write!(f, "out of region: {m}"),
         }
     }
 }
@@ -144,6 +205,9 @@ pub fn run_with_session(session: &Session, kind: RequestKind) -> Result<String, 
         )),
         RequestKind::Optimize { .. } => Err(ServiceError::BadRequest(
             "optimize requests carry a spec; POST /optimize with a JSON body".to_string(),
+        )),
+        RequestKind::Whatif { .. } => Err(ServiceError::BadRequest(
+            "whatif requests carry a perturbation spec; POST /whatif with a JSON body".to_string(),
         )),
     }
 }

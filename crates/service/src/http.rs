@@ -17,13 +17,18 @@
 //! | POST | `/simulate?events=N&seed=S` | `.tpn` text | Monte-Carlo counters |
 //! | POST | `/sweep` | JSON: grid spec + `.tpn` text | per-point throughput/utilisation rows |
 //! | POST | `/optimize` | JSON: box spec + `.tpn` text | certified optimal parameter point |
+//! | POST | `/whatif` | JSON: perturbation batch + `.tpn` text | incremental re-timed analyses |
 //! | POST | `/v1` | JSON: `.tpn` text + many requests | one envelope, one shared session |
 //! | GET | `/healthz` | — | liveness probe |
-//! | GET | `/stats` | — | cache/pool/sweep/optimize/artifact counters |
+//! | GET | `/stats` | — | cache/pool/sweep/optimize/whatif/artifact counters |
 //!
 //! Status codes: 200 on success, 400 for malformed requests or `.tpn`
 //! parse errors, 404/405 for bad routes, 413 for oversized bodies, 422
-//! when the net parses but the analysis fails.
+//! when the net parses but the analysis fails (or a what-if
+//! perturbation leaves the lift's validity region). Legacy routes
+//! render errors as `{"error": …}`; `/v1` and `/whatif` use the
+//! structured `{"code": …, "message": …}` object — the full mapping
+//! lives on [`ServiceError`].
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -32,15 +37,17 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use tpn_net::{parse_tpn, TimedPetriNet};
-use tpn_session::{Session, SessionOptions, STAGES};
+use tpn_net::{parse_tpn, NetDigest, TimedPetriNet, TimingAssignment};
+use tpn_session::{RetimeError, Session, SessionOptions, STAGES};
 
 use crate::analysis::{run_with_session, RequestKind, ServiceError};
 use crate::cache::{AnalysisCache, CacheConfig, CacheKey};
 use crate::executor::ThreadPool;
-use crate::json::{error_body, JsonWriter};
+use crate::json::{error_body, error_object, JsonWriter};
 use crate::sessions::SessionCache;
+use crate::spec::Spec;
 use crate::v1::{parse_envelope, V1Request};
+use crate::whatif::WhatifSpec;
 
 /// Server and cache sizing.
 #[derive(Debug, Clone)]
@@ -116,6 +123,11 @@ pub struct Service {
     optimize_hits: AtomicU64,
     optimize_solves: AtomicU64,
     optimize_certified: AtomicU64,
+    whatifs: AtomicU64,
+    whatif_perturbations: AtomicU64,
+    whatif_hits: AtomicU64,
+    whatif_retimes: AtomicU64,
+    whatif_rejects: AtomicU64,
 }
 
 impl Service {
@@ -135,6 +147,11 @@ impl Service {
             optimize_hits: AtomicU64::new(0),
             optimize_solves: AtomicU64::new(0),
             optimize_certified: AtomicU64::new(0),
+            whatifs: AtomicU64::new(0),
+            whatif_perturbations: AtomicU64::new(0),
+            whatif_hits: AtomicU64::new(0),
+            whatif_retimes: AtomicU64::new(0),
+            whatif_rejects: AtomicU64::new(0),
         }
     }
 
@@ -174,10 +191,10 @@ impl Service {
     /// out the cached `Arc` so the hot path never clones the body.
     pub fn respond(&self, kind: RequestKind, body: &str) -> (u16, Arc<String>) {
         self.requests.fetch_add(1, Ordering::Relaxed);
-        match self.parse_session(body) {
-            Ok(session) => self.analysis_cached(&session, kind),
-            Err(e) => (e.status(), Arc::new(error_body(&e.to_string()))),
-        }
+        legacy_reply(
+            self.parse_session(body)
+                .and_then(|session| self.analysis_cached(&session, kind)),
+        )
     }
 
     /// Serve several analysis kinds for one `.tpn` body, parsing it
@@ -192,29 +209,29 @@ impl Service {
         match self.parse_session(body) {
             Ok(session) => kinds
                 .iter()
-                .map(|&kind| self.analysis_cached(&session, kind))
+                .map(|&kind| legacy_reply(self.analysis_cached(&session, kind)))
                 .collect(),
             Err(e) => {
-                let reply = (e.status(), Arc::new(error_body(&e.to_string())));
+                let reply = legacy_reply(Err(e));
                 kinds.iter().map(|_| reply.clone()).collect()
             }
         }
     }
 
     /// The cached execution of one plain analysis against a session —
-    /// shared by the legacy routes, `tpn batch` and `/v1`.
-    fn analysis_cached(&self, session: &Session, kind: RequestKind) -> (u16, Arc<String>) {
+    /// shared by the legacy routes, `tpn batch`, `/v1` and `/whatif`
+    /// (each surface renders errors in its own shape).
+    fn analysis_cached(
+        &self,
+        session: &Session,
+        kind: RequestKind,
+    ) -> Result<Arc<String>, ServiceError> {
         let key = CacheKey {
             digest: session.net().digest(),
             kind,
         };
-        match self
-            .cache
+        self.cache
             .get_or_compute(key, || run_with_session(session, kind))
-        {
-            Ok(body) => (200, body),
-            Err(e) => (e.status(), Arc::new(error_body(&e.to_string()))),
-        }
     }
 
     /// Serve one parameter-sweep request. `body` is the spec object of
@@ -227,28 +244,10 @@ impl Service {
 
         self.requests.fetch_add(1, Ordering::Relaxed);
         self.sweeps.fetch_add(1, Ordering::Relaxed);
-        let fail = |e: ServiceError| (e.status(), Arc::new(error_body(&e.to_string())));
-        let doc = match crate::jsonval::Json::parse(body) {
-            Ok(doc) => doc,
-            Err(e) => return fail(ServiceError::BadRequest(format!("request body: {e}"))),
-        };
-        let net_text = match doc.get("net").and_then(crate::jsonval::Json::as_str) {
-            Some(t) => t,
-            None => {
-                return fail(ServiceError::BadRequest(
-                    "request body needs a \"net\" member with the .tpn text".to_string(),
-                ))
-            }
-        };
-        let net = match parse_tpn(net_text) {
-            Ok(net) => net,
-            Err(e) => return fail(ServiceError::Parse(e.to_string())),
-        };
-        let spec = match SweepSpec::from_json(&doc) {
-            Ok(spec) => spec,
-            Err(e) => return fail(e),
-        };
-        self.sweep_cached(&self.session_for(net), &spec)
+        legacy_reply(
+            parse_spec_body(body, SweepSpec::from_json)
+                .and_then(|(net, spec)| self.sweep_cached(&self.session_for(net), &spec)),
+        )
     }
 
     /// The cached execution of one sweep against a session — shared by
@@ -257,15 +256,13 @@ impl Service {
         &self,
         session: &Session,
         spec: &crate::sweep::SweepSpec,
-    ) -> (u16, Arc<String>) {
-        use crate::sweep::{spec_hash, sweep_json};
+    ) -> Result<Arc<String>, ServiceError> {
+        use crate::sweep::sweep_json;
         use std::sync::atomic::AtomicBool;
 
         let key = CacheKey {
             digest: session.net().digest(),
-            kind: RequestKind::Sweep {
-                spec: spec_hash(&spec.canonical()),
-            },
+            kind: RequestKind::Sweep { spec: spec.hash() },
         };
         let computed = AtomicBool::new(false);
         let result = self.cache.get_or_compute(key, || {
@@ -275,20 +272,15 @@ impl Service {
             self.sweep_points.fetch_add(points, Ordering::Relaxed);
             Ok(body)
         });
-        match result {
-            Ok(body) => {
-                if !computed.load(Ordering::Relaxed) {
-                    // Served from the cache or coalesced onto a
-                    // concurrent identical evaluation — either way, no
-                    // evaluation ran for this request. Errors are
-                    // deliberately not counted: a follower coalesced
-                    // onto a failing leader got a 4xx, not a hit.
-                    self.sweep_hits.fetch_add(1, Ordering::Relaxed);
-                }
-                (200, body)
-            }
-            Err(e) => (e.status(), Arc::new(error_body(&e.to_string()))),
+        if result.is_ok() && !computed.load(Ordering::Relaxed) {
+            // Served from the cache or coalesced onto a concurrent
+            // identical evaluation — either way, no evaluation ran for
+            // this request. Errors are deliberately not counted: a
+            // follower coalesced onto a failing leader got a 4xx, not a
+            // hit.
+            self.sweep_hits.fetch_add(1, Ordering::Relaxed);
         }
+        result
     }
 
     /// Serve one parameter-synthesis request. `body` is the spec object
@@ -301,28 +293,10 @@ impl Service {
 
         self.requests.fetch_add(1, Ordering::Relaxed);
         self.optimizes.fetch_add(1, Ordering::Relaxed);
-        let fail = |e: ServiceError| (e.status(), Arc::new(error_body(&e.to_string())));
-        let doc = match crate::jsonval::Json::parse(body) {
-            Ok(doc) => doc,
-            Err(e) => return fail(ServiceError::BadRequest(format!("request body: {e}"))),
-        };
-        let net_text = match doc.get("net").and_then(crate::jsonval::Json::as_str) {
-            Some(t) => t,
-            None => {
-                return fail(ServiceError::BadRequest(
-                    "request body needs a \"net\" member with the .tpn text".to_string(),
-                ))
-            }
-        };
-        let net = match parse_tpn(net_text) {
-            Ok(net) => net,
-            Err(e) => return fail(ServiceError::Parse(e.to_string())),
-        };
-        let spec = match OptimizeSpec::from_json(&doc) {
-            Ok(spec) => spec,
-            Err(e) => return fail(e),
-        };
-        self.optimize_cached(&self.session_for(net), &spec)
+        legacy_reply(
+            parse_spec_body(body, OptimizeSpec::from_json)
+                .and_then(|(net, spec)| self.optimize_cached(&self.session_for(net), &spec)),
+        )
     }
 
     /// The cached execution of one optimize against a session — shared
@@ -331,15 +305,12 @@ impl Service {
         &self,
         session: &Session,
         spec: &crate::optimize::OptimizeSpec,
-    ) -> (u16, Arc<String>) {
+    ) -> Result<Arc<String>, ServiceError> {
         use crate::optimize::optimize_json;
-        use crate::sweep::spec_hash;
 
         let key = CacheKey {
             digest: session.net().digest(),
-            kind: RequestKind::Optimize {
-                spec: spec_hash(&spec.canonical()),
-            },
+            kind: RequestKind::Optimize { spec: spec.hash() },
         };
         let computed = AtomicBool::new(false);
         let result = self.cache.get_or_compute(key, || {
@@ -351,28 +322,182 @@ impl Service {
             }
             Ok(body)
         });
-        match result {
-            Ok(body) => {
-                if !computed.load(Ordering::Relaxed) {
-                    // See sweep_cached: cache hit or successful
-                    // coalescing, never an error follower.
-                    self.optimize_hits.fetch_add(1, Ordering::Relaxed);
-                }
-                (200, body)
-            }
-            Err(e) => (e.status(), Arc::new(error_body(&e.to_string()))),
+        if result.is_ok() && !computed.load(Ordering::Relaxed) {
+            // See sweep_cached: cache hit or successful coalescing,
+            // never an error follower.
+            self.optimize_hits.fetch_add(1, Ordering::Relaxed);
         }
+        result
+    }
+
+    /// Serve one what-if batch. `body` is the spec object of
+    /// [`crate::whatif`] plus a `"net"` member with the `.tpn` text.
+    /// Unlike the legacy routes, errors render as the structured
+    /// `{"code": …, "message": …}` object.
+    pub fn respond_whatif(&self, body: &str) -> (u16, Arc<String>) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        self.whatifs.fetch_add(1, Ordering::Relaxed);
+        match parse_spec_body(body, WhatifSpec::from_json) {
+            Ok((net, spec)) => (200, self.whatif_cached(&self.session_for(net), &spec)),
+            Err(e) => (e.status(), Arc::new(error_object(e.code(), e.message()))),
+        }
+    }
+
+    /// Serve one what-if batch for an already-parsed net and spec — the
+    /// in-process entry point `tpn whatif` uses, so the CLI's output is
+    /// byte-identical to the HTTP endpoint's.
+    pub fn respond_whatif_spec(&self, net: TimedPetriNet, spec: &WhatifSpec) -> Arc<String> {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        self.whatifs.fetch_add(1, Ordering::Relaxed);
+        self.whatif_cached(&self.session_for(net), spec)
+    }
+
+    /// Assemble one what-if envelope. The envelope is always a 200 once
+    /// the net and spec parse: each perturbation succeeds or fails alone
+    /// in its own entry. Successful entries are cached under
+    /// `(structural digest, timing hash, requests hash)` — shared
+    /// across batches whose perturbations merge to the same timing
+    /// point — while the perturbation echo is written outside the
+    /// cached fragment (two different deltas may land on one point).
+    fn whatif_cached(&self, session: &Session, spec: &WhatifSpec) -> Arc<String> {
+        let base = session.net();
+        let structural = base.structural_digest();
+        let requests_hash = crate::spec::spec_hash(&spec.requests_canonical());
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("kind");
+        w.string("whatif");
+        w.key("net");
+        w.string(base.name());
+        w.key("structural_digest");
+        w.string(&structural.to_hex());
+        w.key("base_digest");
+        w.string(&base.digest().to_hex());
+        w.key("requests");
+        w.begin_array();
+        for r in &spec.requests {
+            w.string(r.name());
+        }
+        w.end_array();
+        w.key("perturbations");
+        w.begin_array();
+        for delta in &spec.perturbations {
+            self.whatif_perturbations.fetch_add(1, Ordering::Relaxed);
+            w.begin_object();
+            w.key("perturbation");
+            w.begin_object();
+            for (attr, value) in delta.iter() {
+                w.key(attr);
+                w.rational(value);
+            }
+            w.end_object();
+            match self.whatif_entry(session, spec, structural, requests_hash, delta) {
+                Ok(body) => {
+                    w.key("status");
+                    w.uint(200);
+                    w.key("body");
+                    w.raw(&body);
+                }
+                Err(e) => {
+                    self.whatif_rejects.fetch_add(1, Ordering::Relaxed);
+                    w.key("status");
+                    w.uint(u64::from(e.status()));
+                    w.key("error");
+                    w.raw(&error_object(e.code(), e.message()));
+                }
+            }
+            w.end_object();
+        }
+        w.end_array();
+        w.end_object();
+        Arc::new(w.finish())
+    }
+
+    /// One perturbation's cached entry body: re-time the base session
+    /// through its memoized lift, run every requested analysis against
+    /// the re-timed session, and cache the assembled fragment. The
+    /// re-timed session itself is inserted into the session tier under
+    /// the **perturbed** net's full digest, and each inner analysis body
+    /// is cached under `(full digest, kind)` — exactly the lines a
+    /// plain request for that net would hit.
+    fn whatif_entry(
+        &self,
+        session: &Session,
+        spec: &WhatifSpec,
+        structural: NetDigest,
+        requests_hash: u128,
+        delta: &TimingAssignment,
+    ) -> Result<Arc<String>, ServiceError> {
+        let timing = session.net().timing().merged(delta).hash();
+        let key = CacheKey {
+            digest: structural,
+            kind: RequestKind::Whatif {
+                timing,
+                spec: requests_hash,
+            },
+        };
+        let computed = AtomicBool::new(false);
+        let result = self.cache.get_or_compute(key, || {
+            computed.store(true, Ordering::Relaxed);
+            // Validate the delta against the base net first: an unknown
+            // attribute or a negative value is a 400 before any
+            // substitution runs.
+            let perturbed = session
+                .net()
+                .with_timing(delta)
+                .map_err(|e| ServiceError::BadRequest(e.to_string()))?;
+            let digest = perturbed.digest();
+            let retimed = self.sessions.session_or_else(digest, || {
+                let retimed = session.retimed(delta).map_err(|e| match e {
+                    RetimeError::Invalid(m) => ServiceError::BadRequest(m),
+                    RetimeError::OutOfRegion(m) => ServiceError::OutOfRegion(m),
+                    RetimeError::Pipeline(e) => ServiceError::Analysis(e.to_string()),
+                })?;
+                self.whatif_retimes.fetch_add(1, Ordering::Relaxed);
+                Ok::<_, ServiceError>(retimed)
+            })?;
+            let mut w = JsonWriter::new();
+            w.begin_object();
+            w.key("digest");
+            w.string(&digest.to_hex());
+            w.key("timing");
+            w.string(&format!("{timing:032x}"));
+            w.key("results");
+            w.begin_array();
+            for &kind in &spec.requests {
+                let body = self.analysis_cached(&retimed, kind)?;
+                w.begin_object();
+                w.key("kind");
+                w.string(kind.name());
+                w.key("status");
+                w.uint(200);
+                w.key("body");
+                w.raw(&body);
+                w.end_object();
+            }
+            w.end_array();
+            w.end_object();
+            Ok(w.finish())
+        });
+        if result.is_ok() && !computed.load(Ordering::Relaxed) {
+            // See sweep_cached: cache hit or successful coalescing,
+            // never an error follower.
+            self.whatif_hits.fetch_add(1, Ordering::Relaxed);
+        }
+        result
     }
 
     /// Serve one `/v1` envelope: one net, many analyses, one shared
     /// session. Each sub-request goes through the same cached paths as
-    /// its legacy endpoint (same `(digest, kind)` keys, same bodies,
-    /// same sweep/optimize counters); the envelope itself is assembled
-    /// fresh — it is pure concatenation.
+    /// its legacy endpoint (same `(digest, kind)` keys, same success
+    /// bodies, same sweep/optimize/whatif counters); the envelope
+    /// itself is assembled fresh — it is pure concatenation. Errors —
+    /// the envelope's own and each entry's — render as the structured
+    /// `{"code": …, "message": …}` object.
     pub fn respond_v1(&self, body: &str) -> (u16, Arc<String>) {
         self.requests.fetch_add(1, Ordering::Relaxed);
         self.v1_envelopes.fetch_add(1, Ordering::Relaxed);
-        let fail = |e: ServiceError| (e.status(), Arc::new(error_body(&e.to_string())));
+        let fail = |e: ServiceError| (e.status(), Arc::new(error_object(e.code(), e.message())));
         let (net_text, requests) = match parse_envelope(body, self.config.max_sim_events) {
             Ok(parsed) => parsed,
             Err(e) => return fail(e),
@@ -399,7 +524,7 @@ impl Service {
         w.key("results");
         w.begin_array();
         for request in &requests {
-            let (status, result) = match request {
+            let result = match request {
                 V1Request::Analysis(kind) => self.analysis_cached(&session, *kind),
                 V1Request::Sweep(spec) => {
                     self.sweeps.fetch_add(1, Ordering::Relaxed);
@@ -409,6 +534,14 @@ impl Service {
                     self.optimizes.fetch_add(1, Ordering::Relaxed);
                     self.optimize_cached(&session, spec)
                 }
+                V1Request::Whatif(spec) => {
+                    self.whatifs.fetch_add(1, Ordering::Relaxed);
+                    Ok(self.whatif_cached(&session, spec))
+                }
+            };
+            let (status, rendered) = match result {
+                Ok(body) => (200, body),
+                Err(e) => (e.status(), Arc::new(error_object(e.code(), e.message()))),
             };
             w.begin_object();
             w.key("kind");
@@ -416,7 +549,7 @@ impl Service {
             w.key("status");
             w.uint(u64::from(status));
             w.key("body");
-            w.raw(&result);
+            w.raw(&rendered);
             w.end_object();
         }
         w.end_array();
@@ -461,6 +594,16 @@ impl Service {
         w.uint(self.optimize_solves.load(Ordering::Relaxed));
         w.key("optimize_certified");
         w.uint(self.optimize_certified.load(Ordering::Relaxed));
+        w.key("whatifs");
+        w.uint(self.whatifs.load(Ordering::Relaxed));
+        w.key("whatif_perturbations");
+        w.uint(self.whatif_perturbations.load(Ordering::Relaxed));
+        w.key("whatif_hits");
+        w.uint(self.whatif_hits.load(Ordering::Relaxed));
+        w.key("whatif_retimes");
+        w.uint(self.whatif_retimes.load(Ordering::Relaxed));
+        w.key("whatif_rejects");
+        w.uint(self.whatif_rejects.load(Ordering::Relaxed));
         w.key("v1_envelopes");
         w.uint(self.v1_envelopes.load(Ordering::Relaxed));
         // The session (artifact) tier: how many sessions are live and
@@ -508,6 +651,38 @@ impl Service {
     pub fn health_json() -> String {
         r#"{"status":"ok"}"#.to_string()
     }
+}
+
+/// Render a result in the legacy routes' reply shape: 200 with the body
+/// on success, `{"error": "<prefix>: <message>"}` with the mapped
+/// status on failure.
+fn legacy_reply(result: Result<Arc<String>, ServiceError>) -> (u16, Arc<String>) {
+    match result {
+        Ok(body) => (200, body),
+        Err(e) => (e.status(), Arc::new(error_body(&e.to_string()))),
+    }
+}
+
+/// Parse a spec-carrying request body: a JSON object whose `"net"`
+/// member holds the `.tpn` text and whose remaining members form the
+/// spec — the common shape of `/sweep`, `/optimize` and `/whatif`.
+fn parse_spec_body<S>(
+    body: &str,
+    from_json: impl FnOnce(&crate::jsonval::Json) -> Result<S, ServiceError>,
+) -> Result<(TimedPetriNet, S), ServiceError> {
+    let doc = crate::jsonval::Json::parse(body)
+        .map_err(|e| ServiceError::BadRequest(format!("request body: {e}")))?;
+    let net_text = doc
+        .get("net")
+        .and_then(crate::jsonval::Json::as_str)
+        .ok_or_else(|| {
+            ServiceError::BadRequest(
+                "request body needs a \"net\" member with the .tpn text".to_string(),
+            )
+        })?;
+    let net = parse_tpn(net_text).map_err(|e| ServiceError::Parse(e.to_string()))?;
+    let spec = from_json(&doc)?;
+    Ok((net, spec))
 }
 
 /// A running HTTP server. Dropping the handle shuts the server down;
@@ -851,6 +1026,10 @@ fn route(service: &Service, req: &Request) -> (u16, Arc<String>) {
             Ok(text) => service.respond_optimize(text),
             Err(_) => (400, Arc::new(error_body("request body is not UTF-8"))),
         },
+        ("POST", "/whatif") => match std::str::from_utf8(&req.body) {
+            Ok(text) => service.respond_whatif(text),
+            Err(_) => (400, Arc::new(error_body("request body is not UTF-8"))),
+        },
         ("POST", "/v1") => match std::str::from_utf8(&req.body) {
             Ok(text) => service.respond_v1(text),
             Err(_) => (400, Arc::new(error_body("request body is not UTF-8"))),
@@ -878,6 +1057,7 @@ fn route(service: &Service, req: &Request) -> (u16, Arc<String>) {
             if ANALYSES.contains(&path)
                 || path == "/sweep"
                 || path == "/optimize"
+                || path == "/whatif"
                 || path == "/v1"
                 || path == "/healthz"
                 || path == "/stats" =>

@@ -225,6 +225,23 @@ pub fn error_body(message: &str) -> String {
     w.finish()
 }
 
+/// The structured error object `{"code":"…","message":"…"}` used by the
+/// versioned surfaces (`/v1` envelopes and entries, `/whatif`
+/// perturbation entries). `code` is a stable machine-readable
+/// classifier ([`ServiceError::code`](crate::ServiceError::code));
+/// `message` is the bare human-readable message without the legacy
+/// `Display` prefix.
+pub fn error_object(code: &str, message: &str) -> String {
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.key("code");
+    w.string(code);
+    w.key("message");
+    w.string(message);
+    w.end_object();
+    w.finish()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

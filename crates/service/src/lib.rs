@@ -11,8 +11,10 @@
 //! | [`json`] | compact hand-rolled JSON writer (std-only, no serde) |
 //! | [`jsonval`] | minimal JSON parser (the `/sweep` request body) |
 //! | [`analysis`] | request kinds and their JSON renderings |
+//! | [`spec`] | the [`Spec`] trait: canonical spec rendering + 128-bit hash |
 //! | [`sweep`] | parameter-sweep specs and the compiled sweep executor |
 //! | [`optimize`] | parameter-synthesis specs and the certified optimizer front end |
+//! | [`whatif`] | incremental what-if batches re-timed through one shared lift |
 //! | [`sessions`] | per-digest [`tpn_session::Session`] tier: shared pipeline artifacts |
 //! | [`v1`] | the unified `POST /v1` envelope: many analyses, one session |
 //! | [`cache`] | sharded LRU result cache keyed by [`tpn_net::NetDigest`], with request coalescing |
@@ -67,8 +69,10 @@ pub mod json;
 pub mod jsonval;
 pub mod optimize;
 pub mod sessions;
+pub mod spec;
 pub mod sweep;
 pub mod v1;
+pub mod whatif;
 
 pub use analysis::{
     run, run_with_session, RequestKind, ServiceError, DEFAULT_SIM_EVENTS, DEFAULT_SIM_SEED,
@@ -79,5 +83,7 @@ pub use http::{spawn, ServerHandle, Service, ServiceConfig};
 pub use jsonval::Json;
 pub use optimize::{optimize_json, BoxAxisSpec, OptimizeSpec};
 pub use sessions::{SessionCache, SessionCacheStats};
+pub use spec::Spec;
 pub use sweep::{spec_hash, sweep_json, SweepBackend, SweepSpec};
 pub use v1::{parse_envelope, V1Request, MAX_V1_REQUESTS};
+pub use whatif::{WhatifSpec, MAX_PERTURBATIONS, MAX_WHATIF_REQUESTS};

@@ -226,6 +226,12 @@ impl OptimizeSpec {
     }
 }
 
+impl crate::spec::Spec for OptimizeSpec {
+    fn canonical(&self) -> String {
+        OptimizeSpec::canonical(self)
+    }
+}
+
 /// Map an optimiser error onto the service's status vocabulary: spec-
 /// shaped problems are 400s, analysis outcomes (infeasible region,
 /// poles, exact-arithmetic overflow) are 422s.

@@ -1,0 +1,73 @@
+//! The shared identity of request specifications.
+//!
+//! Every spec-carrying request kind (`sweep`, `optimize`, `whatif`)
+//! caches its results under a 128-bit fingerprint of a **canonical
+//! rendering** — a normalised JSON document in which member order,
+//! defaults and rational formatting are fixed, so two textually
+//! different requests asking for the same thing share a cache line.
+//! Before this module each spec type carried its own rendering/hashing
+//! pair; [`Spec`] is the one trait they all implement, and
+//! [`spec_hash`] the one fingerprint function.
+
+/// A request specification with a canonical rendering and a derived
+/// 128-bit fingerprint.
+///
+/// Implementors only provide [`Spec::canonical`]; the hash is always
+/// [`spec_hash`] of that rendering, so the cache key can never drift
+/// from the rendering it addresses.
+pub trait Spec {
+    /// The canonical JSON rendering: member order, defaults and
+    /// rational formatting normalised. Equal canonical strings ⇔ equal
+    /// requests.
+    fn canonical(&self) -> String;
+
+    /// The 128-bit fingerprint of the canonical rendering — the `spec`
+    /// half of the request's cache key.
+    fn hash(&self) -> u128 {
+        spec_hash(&self.canonical())
+    }
+}
+
+/// 128-bit fingerprint of a canonical spec rendering: two
+/// independently seeded FNV-1a lanes, the same construction as
+/// [`tpn_net::NetDigest`] and with the same threat model (accidental
+/// collisions only; the cache trusts its clients).
+pub fn spec_hash(canonical: &str) -> u128 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    const LANE2_SEED: u64 = FNV_OFFSET ^ 0x9e37_79b9_7f4a_7c15;
+    let mut lanes = [FNV_OFFSET, LANE2_SEED];
+    for lane in &mut lanes {
+        for b in canonical.bytes() {
+            *lane = (*lane ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+        }
+        // Differentiate the lanes' mixing, not just their seeds.
+        *lane = lane.wrapping_mul(FNV_PRIME) ^ canonical.len() as u64;
+    }
+    (u128::from(lanes[0]) << 64) | u128::from(lanes[1])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_is_stable_and_content_sensitive() {
+        let a = spec_hash("{\"targets\":[\"cycle_time\"]}");
+        assert_eq!(a, spec_hash("{\"targets\":[\"cycle_time\"]}"));
+        assert_ne!(a, spec_hash("{\"targets\":[\"cycle_time\"] }"));
+        // both lanes carry entropy
+        assert_ne!(a >> 64, a & u128::from(u64::MAX));
+    }
+
+    #[test]
+    fn trait_hash_is_spec_hash_of_canonical() {
+        struct Fixed;
+        impl Spec for Fixed {
+            fn canonical(&self) -> String {
+                "{\"x\":1}".to_string()
+            }
+        }
+        assert_eq!(Fixed.hash(), spec_hash("{\"x\":1}"));
+    }
+}

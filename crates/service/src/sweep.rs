@@ -392,24 +392,15 @@ impl SweepSpec {
     }
 }
 
-/// 128-bit fingerprint of a canonical spec rendering: two
-/// independently seeded FNV-1a lanes, the same construction as
-/// [`tpn_net::NetDigest`] and with the same threat model (accidental
-/// collisions only; the cache trusts its clients).
-pub fn spec_hash(canonical: &str) -> u128 {
-    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
-    const LANE2_SEED: u64 = FNV_OFFSET ^ 0x9e37_79b9_7f4a_7c15;
-    let mut lanes = [FNV_OFFSET, LANE2_SEED];
-    for lane in &mut lanes {
-        for b in canonical.bytes() {
-            *lane = (*lane ^ u64::from(b)).wrapping_mul(FNV_PRIME);
-        }
-        // Differentiate the lanes' mixing, not just their seeds.
-        *lane = lane.wrapping_mul(FNV_PRIME) ^ canonical.len() as u64;
+impl crate::spec::Spec for SweepSpec {
+    fn canonical(&self) -> String {
+        SweepSpec::canonical(self)
     }
-    (u128::from(lanes[0]) << 64) | u128::from(lanes[1])
 }
+
+// `spec_hash` started life here; it now lives in [`crate::spec`] shared
+// by every spec-carrying request kind. Re-exported for compatibility.
+pub use crate::spec::spec_hash;
 
 /// The per-row `in_region` evaluator: region constraints with their
 /// coefficients pre-aligned to the sweep's axis order, so the render

@@ -11,7 +11,8 @@
 //!     {"kind": "analyze"},
 //!     {"kind": "simulate", "events": 20000, "seed": 7},
 //!     {"kind": "sweep", "spec": {"targets": ["throughput:t7"], "sweep": […]}},
-//!     {"kind": "optimize", "spec": {"target": "throughput:t7", "box": […]}}
+//!     {"kind": "optimize", "spec": {"target": "throughput:t7", "box": […]}},
+//!     {"kind": "whatif", "spec": {"perturbations": [{"E(t3)": "500"}]}}
 //!   ]
 //! }
 //! ```
@@ -38,6 +39,7 @@ use crate::analysis::{RequestKind, ServiceError, DEFAULT_SIM_EVENTS, DEFAULT_SIM
 use crate::jsonval::Json;
 use crate::optimize::OptimizeSpec;
 use crate::sweep::{bad, u64_value, SweepSpec};
+use crate::whatif::WhatifSpec;
 
 /// Most analyses one envelope may carry.
 pub const MAX_V1_REQUESTS: usize = 64;
@@ -52,6 +54,8 @@ pub enum V1Request {
     Sweep(SweepSpec),
     /// A parameter synthesis with its full box spec.
     Optimize(OptimizeSpec),
+    /// An incremental what-if batch with its perturbation spec.
+    Whatif(WhatifSpec),
 }
 
 impl V1Request {
@@ -61,6 +65,7 @@ impl V1Request {
             V1Request::Analysis(kind) => kind.name(),
             V1Request::Sweep(_) => "sweep",
             V1Request::Optimize(_) => "optimize",
+            V1Request::Whatif(_) => "whatif",
         }
     }
 }
@@ -114,11 +119,11 @@ fn parse_request(r: &Json, max_sim_events: u64) -> Result<V1Request, ServiceErro
     let allowed: &[&str] = match kind {
         "analyze" | "graph" | "correctness" | "invariants" => &["kind"],
         "simulate" => &["kind", "events", "seed"],
-        "sweep" | "optimize" => &["kind", "spec"],
+        "sweep" | "optimize" | "whatif" => &["kind", "spec"],
         other => {
             return Err(bad(format!(
                 "unknown request kind {other:?} (expected analyze, graph, correctness, \
-                 invariants, simulate, sweep or optimize)"
+                 invariants, simulate, sweep, optimize or whatif)"
             )))
         }
     };
@@ -168,6 +173,16 @@ fn parse_request(r: &Json, max_sim_events: u64) -> Result<V1Request, ServiceErro
             }
             V1Request::Optimize(OptimizeSpec::from_json(spec)?)
         }
+        "whatif" => {
+            let spec = r
+                .get("spec")
+                .ok_or_else(|| bad("a whatif request needs a \"spec\" object"))?;
+            if spec.get("net").is_some() {
+                return Err(bad("the net comes from the envelope's \"net\" member; \
+                     drop \"net\" from the whatif spec"));
+            }
+            V1Request::Whatif(WhatifSpec::from_json(spec)?)
+        }
         _ => unreachable!("kind validated above"),
     })
 }
@@ -183,11 +198,12 @@ mod tests {
             {"kind":"graph"},
             {"kind":"simulate","events":100,"seed":7},
             {"kind":"sweep","spec":{"targets":["cycle_time"],"sweep":[{"symbol":"F(go)","values":["1"]}]}},
-            {"kind":"optimize","spec":{"target":"cycle_time","box":[{"symbol":"F(go)","from":"1","to":"2"}]}}
+            {"kind":"optimize","spec":{"target":"cycle_time","box":[{"symbol":"F(go)","from":"1","to":"2"}]}},
+            {"kind":"whatif","spec":{"perturbations":[{"F(go)":"3/2"}]}}
         ]}"#;
         let (net, requests) = parse_envelope(body, 1000).unwrap();
         assert_eq!(net, "net c");
-        assert_eq!(requests.len(), 5);
+        assert_eq!(requests.len(), 6);
         assert!(matches!(
             requests[2],
             V1Request::Analysis(RequestKind::Simulate {
@@ -197,6 +213,7 @@ mod tests {
         ));
         assert_eq!(requests[3].kind_name(), "sweep");
         assert_eq!(requests[4].kind_name(), "optimize");
+        assert_eq!(requests[5].kind_name(), "whatif");
     }
 
     #[test]
@@ -229,6 +246,14 @@ mod tests {
             (
                 r#"{"net":"n","surprise":1,"requests":[{"kind":"analyze"}]}"#,
                 "unknown envelope member",
+            ),
+            (
+                r#"{"net":"n","requests":[{"kind":"whatif"}]}"#,
+                "whatif without spec",
+            ),
+            (
+                r#"{"net":"n","requests":[{"kind":"whatif","spec":{"net":"x","perturbations":[{"F(g)":"1"}]}}]}"#,
+                "net inside the whatif spec",
             ),
         ] {
             let e = parse_envelope(body, 1000).unwrap_err();

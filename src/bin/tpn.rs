@@ -10,6 +10,7 @@
 //! tpn simulate <net.tpn> [EVENTS [SEED]]  Monte-Carlo run
 //! tpn sweep <net.tpn> <spec.json>       compiled parameter sweep (JSON rows)
 //! tpn optimize <net.tpn> <spec.json>    certified optimal timing parameters (JSON)
+//! tpn whatif <net.tpn> <spec.json>      incremental re-timed analyses over a perturbation batch (JSON)
 //! tpn serve <addr> [OPTIONS]            HTTP analysis daemon (JSON API)
 //! tpn batch <dir> [KIND..]              run analyses over every .tpn in a directory (JSON lines)
 //! ```
@@ -90,17 +91,45 @@ const COMMANDS: &[CommandHelp] = &[
         summary: "find the parameter point of a box that optimises a performance measure (certified where exact)",
     },
     CommandHelp {
+        name: "whatif",
+        usage: "tpn whatif <net.tpn> <spec.json>",
+        summary: "re-time the memoized pipeline over a batch of timing perturbations — no \
+                  reachability rebuild, bodies byte-identical to cold analyses (JSON)",
+    },
+    CommandHelp {
         name: "serve",
         usage: "tpn serve <addr> [--threads N] [--queue N] [--cache-bytes N]",
         summary: "HTTP analysis daemon with a content-addressed result cache",
     },
     CommandHelp {
         name: "batch",
-        usage: "tpn batch <dir> [KIND..]  (KIND: analyze|graph|correctness|invariants|simulate)",
+        usage: "tpn batch <dir> [KIND..]",
         summary: "run analyses over every .tpn file in a directory (parsed once, one session per \
                   file), one JSON line per file and kind",
     },
 ];
+
+/// The analysis kinds `tpn batch` accepts. One table drives both the
+/// usage line and the argument parser, so the help text cannot drift
+/// from what actually parses.
+const BATCH_KINDS: &[(&str, RequestKind)] = &[
+    ("analyze", RequestKind::Analyze),
+    ("graph", RequestKind::Graph),
+    ("correctness", RequestKind::Correctness),
+    ("invariants", RequestKind::Invariants),
+    (
+        "simulate",
+        RequestKind::Simulate {
+            events: DEFAULT_SIM_EVENTS,
+            seed: DEFAULT_SIM_SEED,
+        },
+    ),
+];
+
+fn batch_kind_list() -> String {
+    let names: Vec<&str> = BATCH_KINDS.iter().map(|(n, _)| *n).collect();
+    names.join("|")
+}
 
 fn command_help(name: &str) -> Option<&'static CommandHelp> {
     COMMANDS.iter().find(|c| c.name == name)
@@ -108,7 +137,16 @@ fn command_help(name: &str) -> Option<&'static CommandHelp> {
 
 fn usage_of(name: &str) -> String {
     let c = command_help(name).expect("known command");
-    format!("usage: {}\n  {}", c.usage, c.summary)
+    if name == "batch" {
+        format!(
+            "usage: {}  (KIND: {})\n  {}",
+            c.usage,
+            batch_kind_list(),
+            c.summary
+        )
+    } else {
+        format!("usage: {}\n  {}", c.usage, c.summary)
+    }
 }
 
 fn global_usage() -> String {
@@ -179,6 +217,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "batch" => return cmd_batch(&args[1..]),
         "sweep" => return cmd_sweep(&args[1..]),
         "optimize" => return cmd_optimize(&args[1..]),
+        "whatif" => return cmd_whatif(&args[1..]),
         _ => {}
     }
     let path = args.get(1).ok_or_else(|| usage_of(cmd))?;
@@ -402,6 +441,34 @@ fn run_spec_command(
     Ok(())
 }
 
+/// `tpn whatif <net.tpn> <spec.json>` — run a batch of timing
+/// perturbations against one net's memoized pipeline, answering every
+/// perturbation from one shared symbolic lift. Prints exactly the JSON
+/// document the daemon's `POST /whatif` endpoint returns for the same
+/// net and spec (byte-identical: both assemble through the same
+/// in-process [`Service`]).
+fn cmd_whatif(args: &[String]) -> Result<(), String> {
+    if let Some(flag) = args.iter().find(|a| a.starts_with('-')) {
+        return Err(format!("unknown flag {flag:?}\n{}", usage_of("whatif")));
+    }
+    let [net_path, spec_path] = args else {
+        return Err(usage_of("whatif"));
+    };
+    let net = load(net_path)?;
+    let spec_text = std::fs::read_to_string(spec_path).map_err(|e| format!("{spec_path}: {e}"))?;
+    let doc = tpn_service::Json::parse(&spec_text).map_err(|e| format!("{spec_path}: {e}"))?;
+    if doc.get("net").is_some() {
+        return Err(format!(
+            "{spec_path}: the net comes from the <net.tpn> argument; drop the \"net\" member"
+        ));
+    }
+    let spec = tpn_service::WhatifSpec::from_json(&doc).map_err(|e| e.to_string())?;
+    let service = Service::new(ServiceConfig::default());
+    let body = service.respond_whatif_spec(net, &spec);
+    println!("{body}");
+    Ok(())
+}
+
 /// `tpn serve <addr> [--threads N] [--queue N] [--cache-bytes N]`
 fn cmd_serve(args: &[String]) -> Result<(), String> {
     let mut addr: Option<&str> = None;
@@ -437,7 +504,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     println!("tpn-service listening on http://{}", handle.addr());
     println!(
         "endpoints: POST /v1 /analyze /graph /correctness /invariants /simulate /sweep /optimize \
-         · GET /healthz /stats"
+         /whatif · GET /healthz /stats"
     );
     handle.wait();
     Ok(())
@@ -458,17 +525,13 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
     };
     let mut kinds = Vec::with_capacity(kind_names.len());
     for name in &kind_names {
-        kinds.push(match *name {
-            "analyze" => RequestKind::Analyze,
-            "graph" => RequestKind::Graph,
-            "correctness" => RequestKind::Correctness,
-            "invariants" => RequestKind::Invariants,
-            "simulate" => RequestKind::Simulate {
-                events: DEFAULT_SIM_EVENTS,
-                seed: DEFAULT_SIM_SEED,
-            },
-            other => return Err(format!("unknown analysis {other:?}\n{}", usage_of("batch"))),
-        });
+        kinds.push(
+            BATCH_KINDS
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, kind)| *kind)
+                .ok_or_else(|| format!("unknown analysis {name:?}\n{}", usage_of("batch")))?,
+        );
     }
     let mut files: Vec<std::path::PathBuf> = std::fs::read_dir(dir)
         .map_err(|e| format!("{dir}: {e}"))?
@@ -520,4 +583,39 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
         ));
     }
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_dispatched_command_is_in_the_table() {
+        // run() special-cases these before the generic match; each must
+        // stay documented in COMMANDS or `--help` would not mention it.
+        for name in [
+            "show",
+            "dot",
+            "graph",
+            "analyze",
+            "correctness",
+            "invariants",
+            "simulate",
+            "sweep",
+            "optimize",
+            "whatif",
+            "serve",
+            "batch",
+        ] {
+            assert!(command_help(name).is_some(), "{name} missing from COMMANDS");
+        }
+    }
+
+    #[test]
+    fn batch_usage_names_every_accepted_kind() {
+        let usage = usage_of("batch");
+        for (name, _) in BATCH_KINDS {
+            assert!(usage.contains(name), "{name} missing from {usage:?}");
+        }
+    }
 }

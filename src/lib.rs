@@ -77,7 +77,7 @@ pub mod prelude {
         Performance, RateMethod, Rates,
     };
     pub use tpn_eval::{argbest_f64, sweep_exact, sweep_f64, Axis, Compiled, Grid, SweepOptions};
-    pub use tpn_net::{Bag, Marking, NetBuilder, TimedPetriNet};
+    pub use tpn_net::{Bag, Marking, NetBuilder, TimedPetriNet, TimingAssignment};
     pub use tpn_opt::{optimize, OptError, OptOptions};
     pub use tpn_rational::Rational;
     pub use tpn_reach::{
@@ -85,7 +85,9 @@ pub mod prelude {
         TrgOptions,
     };
     pub use tpn_service::{RequestKind, Service, ServiceConfig};
-    pub use tpn_session::{Session, SessionError, SessionOptions, Stage, StageCounters};
+    pub use tpn_session::{
+        RetimeError, Session, SessionError, SessionOptions, Stage, StageCounters,
+    };
     pub use tpn_sim::{simulate, SimOptions};
     pub use tpn_symbolic::{Assignment, ConstraintSet, LinExpr, Poly, RatFn, Symbol};
 }

@@ -193,3 +193,90 @@ proptest! {
         prop_assert_eq!(expr.eval(&at), Some(numeric_t));
     }
 }
+
+/// One shared base session over the paper's Figure-1 protocol. The
+/// full symbolic lift is memoized inside the session, so every
+/// re-timing case below substitutes through the same skeleton — which
+/// is exactly the code path `POST /whatif` exercises.
+fn fig1_base() -> &'static Session {
+    static BASE: std::sync::OnceLock<Session> = std::sync::OnceLock::new();
+    BASE.get_or_init(|| Session::new(simple::paper().net, SessionOptions::new()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn retimed_ring_sessions_are_byte_identical_to_cold_ones(
+        pairs in proptest::collection::vec(
+            ((1i128..=50, 1i128..=4), (1i128..=50, 1i128..=4)), 1..6)
+    ) {
+        use timed_petri::service::run_with_session;
+        let times: Vec<Rational> =
+            pairs.iter().map(|((n, d), _)| Rational::new(*n, *d)).collect();
+        let retimes: Vec<Rational> =
+            pairs.iter().map(|(_, (n, d))| Rational::new(*n, *d)).collect();
+        let base = Session::new(families::cycle(&times), SessionOptions::new());
+        let mut delta = TimingAssignment::new();
+        for (i, t) in retimes.iter().enumerate() {
+            delta.set(format!("F(advance{i})"), *t);
+        }
+        // A 1-token ring has no timing races, so every positive
+        // retiming stays inside the lift's validity region.
+        let retimed = base.retimed(&delta).unwrap();
+        let cold = Session::new(
+            base.net().with_timing(&delta).unwrap(),
+            SessionOptions::new(),
+        );
+        prop_assert_eq!(retimed.net().digest(), cold.net().digest());
+        for kind in [
+            RequestKind::Analyze,
+            RequestKind::Graph,
+            RequestKind::Correctness,
+            RequestKind::Invariants,
+        ] {
+            prop_assert_eq!(
+                run_with_session(&retimed, kind).unwrap(),
+                run_with_session(&cold, kind).unwrap(),
+                "kind {}",
+                kind.name()
+            );
+        }
+    }
+
+    #[test]
+    fn retimed_protocol_timeouts_match_cold_sessions(timeout in 250i128..=5000) {
+        use timed_petri::service::run_with_session;
+        let base = fig1_base();
+        let delta = TimingAssignment::new().with("E(t3)", Rational::from_int(timeout));
+        let retimed = base.retimed(&delta).unwrap();
+        let cold = Session::new(
+            base.net().with_timing(&delta).unwrap(),
+            SessionOptions::new(),
+        );
+        prop_assert_eq!(retimed.net().digest(), cold.net().digest());
+        prop_assert_eq!(
+            run_with_session(&retimed, RequestKind::Analyze).unwrap(),
+            run_with_session(&cold, RequestKind::Analyze).unwrap()
+        );
+    }
+
+    #[test]
+    fn out_of_region_retimings_are_rejected_with_a_structured_error(
+        timeout in 1i128..=200
+    ) {
+        // Below the ACK round trip the timeout/ACK race resolves the
+        // other way: the memoized lift's validity region excludes the
+        // point and the rejection must say so (not a parse or pipeline
+        // failure — the distinction drives the 400-vs-422 mapping).
+        let delta = TimingAssignment::new().with("E(t3)", Rational::from_int(timeout));
+        match fig1_base().retimed(&delta) {
+            Err(RetimeError::OutOfRegion(m)) => prop_assert!(!m.is_empty()),
+            other => prop_assert!(
+                false,
+                "expected OutOfRegion, got {:?}",
+                other.map(|_| "a session")
+            ),
+        }
+    }
+}

@@ -105,7 +105,7 @@ fn v1_sub_request_failures_do_not_fail_siblings() {
     let (status, body) = http(addr, "POST", "/v1", envelope);
     assert_eq!(status, 200, "{body}");
     assert!(
-        body.contains(r#"{"kind":"analyze","status":422,"body":{"error":"analysis error"#),
+        body.contains(r#"{"kind":"analyze","status":422,"body":{"code":"analysis","message":""#),
         "{body}"
     );
     assert!(
@@ -133,7 +133,8 @@ fn v1_envelope_errors_are_one_400() {
     ] {
         let (status, reply) = http(addr, "POST", "/v1", body);
         assert_eq!(status, 400, "{why}: {reply}");
-        assert!(reply.starts_with(r#"{"error":"#), "{why}: {reply}");
+        assert!(reply.starts_with(r#"{"code":""#), "{why}: {reply}");
+        assert!(reply.contains(r#""message":""#), "{why}: {reply}");
     }
     // wrong method
     let (status, _) = http(addr, "GET", "/v1", "");
