@@ -1,0 +1,122 @@
+//! E12 — observability overhead on the warm serving path.
+//!
+//! The instrumentation contract of the observability layer is that a
+//! warm cache hit — the hot path a serving deployment lives on — pays
+//! almost nothing for metrics: one trace begin/end, a handful of inert
+//! or cheap span guards, two relaxed counter bumps and one histogram
+//! record. This bench measures exactly `service_cache`'s `warm_hit`
+//! workload twice — once with metrics recording enabled (the default)
+//! and once with `ServiceConfig { metrics: false, .. }`, which turns
+//! the whole layer into a no-op — on the same two nets.
+//!
+//! `BENCH_6.json` records the instrumented/no-op mean ratio; the
+//! acceptance gate is <3% overhead. Setting `TPN_OBS_GATE=<percent>`
+//! additionally runs an interleaved A/B timing loop after the criterion
+//! groups and fails the process if the measured overhead exceeds the
+//! given percentage — the CI hook (CI uses a lenient bound; the precise
+//! number comes from the quiet-host run recorded in BENCH_6.json).
+
+use criterion::{criterion_group, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use std::time::Instant;
+use tpn_protocols::families;
+use tpn_rational::Rational;
+use tpn_service::{RequestKind, Service, ServiceConfig};
+
+const FIG1: &str = include_str!("../../../tests/fixtures/fig1.tpn");
+
+fn service(instrumented: bool) -> Service {
+    Service::new(ServiceConfig {
+        metrics: instrumented,
+        ..ServiceConfig::default()
+    })
+}
+
+fn bench_one(g: &mut criterion::BenchmarkGroup<'_>, label: &str, src: &str) {
+    for (arm, instrumented) in [("instrumented", true), ("noop", false)] {
+        g.bench_with_input(BenchmarkId::new(arm, label), &src, |b, src| {
+            let service = service(instrumented);
+            b.iter(|| {
+                let (status, body) = service.respond(RequestKind::Analyze, black_box(src));
+                assert_eq!(status, 200, "{body}");
+                black_box(body)
+            })
+        });
+    }
+}
+
+fn bench_obs_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("service/warm_hit_observability");
+    g.throughput(Throughput::Elements(1));
+    let prodcons =
+        families::producer_consumer(32, Rational::from_int(2), Rational::from_int(5)).to_tpn();
+    bench_one(&mut g, "producer_consumer_32", &prodcons);
+    bench_one(&mut g, "fig1", FIG1);
+    g.finish();
+}
+
+/// Nanoseconds for one block of `BLOCK` warm-hit requests.
+fn block_ns(service: &Service, src: &str) -> f64 {
+    const BLOCK: u32 = 8;
+    let start = Instant::now();
+    for _ in 0..BLOCK {
+        let (status, body) = service.respond(RequestKind::Analyze, black_box(src));
+        assert_eq!(status, 200, "{body}");
+        black_box(body);
+    }
+    start.elapsed().as_nanos() as f64 / f64::from(BLOCK)
+}
+
+/// `TPN_OBS_GATE=<percent>`: paired A/B overhead measurement with a
+/// hard failure past the bound, built to survive a noisy shared host.
+/// The two services are timed in short 8-request blocks in ABBA order
+/// (instrumented, no-op, no-op, no-op-warm…), one per-quad ratio each
+/// ~230 µs, so scheduler preemptions and load drift land on whole
+/// quads; the verdict is the **median** of ~2000 quad ratios, which a
+/// minority of disturbed quads cannot move.
+fn overhead_gate() {
+    let Ok(bound) = std::env::var("TPN_OBS_GATE") else {
+        return;
+    };
+    let bound: f64 = bound.parse().expect("TPN_OBS_GATE must be a percentage");
+    let prodcons =
+        families::producer_consumer(32, Rational::from_int(2), Rational::from_int(5)).to_tpn();
+    let with = service(true);
+    let without = service(false);
+    // Warm both caches (and the instrumented trace ring) first.
+    for _ in 0..300 {
+        black_box(block_ns(&with, &prodcons));
+        black_box(block_ns(&without, &prodcons));
+    }
+    const QUADS: usize = 2_001;
+    let mut ratios = Vec::with_capacity(QUADS);
+    let mut sum_with = 0.0;
+    let mut sum_without = 0.0;
+    for _ in 0..QUADS {
+        let a1 = block_ns(&with, &prodcons);
+        let b1 = block_ns(&without, &prodcons);
+        let b2 = block_ns(&without, &prodcons);
+        let a2 = block_ns(&with, &prodcons);
+        ratios.push((a1 + a2) / (b1 + b2));
+        sum_with += a1 + a2;
+        sum_without += b1 + b2;
+    }
+    ratios.sort_by(|x, y| x.total_cmp(y));
+    let overhead = (ratios[QUADS / 2] - 1.0) * 100.0;
+    println!(
+        "obs overhead gate: instrumented {:.0} ns, noop {:.0} ns, median overhead {overhead:.2}% (bound {bound}%)",
+        sum_with / (2.0 * QUADS as f64),
+        sum_without / (2.0 * QUADS as f64)
+    );
+    assert!(
+        overhead <= bound,
+        "observability overhead {overhead:.2}% exceeds the {bound}% gate"
+    );
+}
+
+criterion_group!(benches, bench_obs_overhead);
+
+fn main() {
+    benches();
+    overhead_gate();
+}

@@ -1,0 +1,175 @@
+//! A fast monotonic nanosecond clock for request instrumentation.
+//!
+//! [`std::time::Instant`] is correct but not cheap: on the hosts this
+//! service targets a `clock_gettime` through the vDSO costs ~25–40 ns,
+//! and a traced request reads the clock eight-plus times (request
+//! start/end plus every span open/close). [`now_ns`] cuts that to a
+//! `RDTSC` plus one fixed-point multiply (~6–17 ns) when the CPU
+//! advertises an invariant timestamp counter, and falls back to
+//! `Instant` everywhere else — same contract either way:
+//!
+//! - nanoseconds since an arbitrary process-local epoch;
+//! - monotonic within a thread (durations use `saturating_sub`, so a
+//!   cross-core TSC wobble of a few cycles can only round to zero,
+//!   never wrap).
+//!
+//! The TSC backend is used only on x86_64 Linux after `/proc/cpuinfo`
+//! confirms both `constant_tsc` (rate does not vary with frequency
+//! scaling) and `nonstop_tsc` (keeps counting in deep sleep states).
+//! The cycles→ns scale is calibrated once per process against
+//! `Instant` over a ~2 ms spin — a relative error below 0.1%, well
+//! under what µs-bucketed histograms resolve. Call [`calibrate`] at
+//! service startup to keep that spin out of the first request.
+
+use std::sync::OnceLock;
+use std::time::{Duration, Instant, SystemTime};
+
+/// Fixed-point fractional bits of the cycles→ns multiplier.
+const SHIFT: u32 = 24;
+
+enum Backend {
+    /// `ns = ((rdtsc - base) * mult) >> SHIFT`.
+    #[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+    Tsc {
+        base: u64,
+        mult: u64,
+    },
+    Instant {
+        epoch: Instant,
+    },
+}
+
+static BACKEND: OnceLock<Backend> = OnceLock::new();
+
+/// `(unix_ms, now_ns)` sampled together once, so [`unix_ms`] never
+/// touches `SystemTime` again.
+static UNIX_BASE: OnceLock<(u64, u64)> = OnceLock::new();
+
+#[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+#[inline]
+fn rdtsc() -> u64 {
+    // SAFETY: RDTSC reads the CPU timestamp counter; it has no memory
+    // or validity preconditions.
+    unsafe { std::arch::x86_64::_rdtsc() }
+}
+
+#[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+fn tsc_is_invariant() -> bool {
+    std::fs::read_to_string("/proc/cpuinfo")
+        .map(|info| info.contains("constant_tsc") && info.contains("nonstop_tsc"))
+        .unwrap_or(false)
+}
+
+#[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+fn calibrate_tsc() -> Option<Backend> {
+    let t0 = Instant::now();
+    let c0 = rdtsc();
+    while t0.elapsed() < Duration::from_millis(2) {
+        std::hint::spin_loop();
+    }
+    let c1 = rdtsc();
+    let ns = t0.elapsed().as_nanos() as u64;
+    let cycles = c1.wrapping_sub(c0);
+    if cycles == 0 {
+        return None;
+    }
+    let mult = ((ns as u128) << SHIFT) / cycles as u128;
+    u64::try_from(mult)
+        .ok()
+        .filter(|&m| m > 0)
+        .map(|mult| Backend::Tsc { base: c0, mult })
+}
+
+#[inline]
+fn backend() -> &'static Backend {
+    BACKEND.get_or_init(|| {
+        #[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+        if tsc_is_invariant() {
+            if let Some(tsc) = calibrate_tsc() {
+                return tsc;
+            }
+        }
+        Backend::Instant {
+            epoch: Instant::now(),
+        }
+    })
+}
+
+/// Nanoseconds since an arbitrary (per-process) epoch.
+#[inline]
+pub fn now_ns() -> u64 {
+    match backend() {
+        #[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+        Backend::Tsc { base, mult } => {
+            let cycles = rdtsc().wrapping_sub(*base);
+            ((cycles as u128 * *mult as u128) >> SHIFT) as u64
+        }
+        Backend::Instant { epoch } => epoch.elapsed().as_nanos() as u64,
+    }
+}
+
+/// Force backend selection (and the ~2 ms TSC calibration spin) now
+/// rather than inside the first timed request. Idempotent.
+pub fn calibrate() {
+    let _ = backend();
+}
+
+/// Milliseconds since the Unix epoch, derived from [`now_ns`] against
+/// a base sampled once — no `SystemTime` read per call. Saturates to
+/// the base if the monotonic clock has not advanced.
+pub fn unix_ms() -> u64 {
+    unix_ms_at(now_ns())
+}
+
+/// [`unix_ms`] for a [`now_ns`] reading the caller already took —
+/// spares the request path a clock read when it has one in hand.
+#[inline]
+pub fn unix_ms_at(now_ns_reading: u64) -> u64 {
+    let (base_ms, base_ns) = *UNIX_BASE.get_or_init(|| {
+        let ms = SystemTime::now()
+            .duration_since(SystemTime::UNIX_EPOCH)
+            .map(|d| d.as_millis() as u64)
+            .unwrap_or(0);
+        (ms, now_ns())
+    });
+    base_ms.saturating_add(now_ns_reading.saturating_sub(base_ns) / 1_000_000)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn now_ns_is_monotonic() {
+        let mut last = now_ns();
+        for _ in 0..10_000 {
+            let t = now_ns();
+            assert!(t >= last, "clock went backwards: {last} -> {t}");
+            last = t;
+        }
+    }
+
+    #[test]
+    fn now_ns_tracks_wall_time() {
+        calibrate();
+        let wall = Instant::now();
+        let t0 = now_ns();
+        std::thread::sleep(Duration::from_millis(50));
+        let fast = now_ns().saturating_sub(t0) as f64;
+        let slow = wall.elapsed().as_nanos() as f64;
+        // Generous bound: shared CI hosts jitter, but a mis-calibrated
+        // multiplier would be off by an integer-ish factor.
+        let ratio = fast / slow;
+        assert!((0.75..=1.25).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn unix_ms_agrees_with_system_time() {
+        let ours = unix_ms();
+        let system = SystemTime::now()
+            .duration_since(SystemTime::UNIX_EPOCH)
+            .unwrap()
+            .as_millis() as u64;
+        assert!(ours.abs_diff(system) < 2_000, "ours {ours} system {system}");
+    }
+}

@@ -1,0 +1,213 @@
+//! Prometheus text-exposition rendering (format 0.0.4).
+//!
+//! [`Renderer`] is a small append-only builder: one
+//! [`header`](Renderer::header) per metric family (`# HELP` + `# TYPE`)
+//! followed by its samples. Output is **deterministic**: labels render
+//! in caller order, histogram buckets in bound order, and nothing is
+//! reordered or deduplicated behind the caller's back — so a fixed
+//! counter state renders byte-identically, which is what lets tests
+//! treat `/metrics` output like a golden document. Well-formedness is
+//! the caller's job, checked in tests by [`crate::validate`].
+//!
+//! Value formatting never uses scientific notation (Rust's `{}` for
+//! `f64` is the shortest round-trip decimal form), and bucket bounds
+//! render as exact decimal **seconds** (`le="0.0000025"`), the unit
+//! Prometheus histograms conventionally carry.
+
+use std::fmt::Write;
+
+use crate::hist::{HistogramSnapshot, BUCKET_BOUNDS_NS};
+
+/// Escape a `# HELP` text: backslashes and newlines.
+fn escape_help(out: &mut String, text: &str) {
+    for ch in text.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+}
+
+/// Escape a label value: backslashes, double quotes and newlines.
+fn escape_label(out: &mut String, text: &str) {
+    for ch in text.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+}
+
+/// A nanosecond quantity as exact decimal seconds (`2_500_000` →
+/// `"0.0025"`). All of [`BUCKET_BOUNDS_NS`] round-trip exactly through
+/// `f64` (each is `1|25|5 × 10^k` with few significant bits), so the
+/// shortest display form is the exact value.
+pub fn seconds(ns: u64) -> String {
+    format!("{}", ns as f64 / 1e9)
+}
+
+/// An append-only Prometheus text-exposition builder.
+#[derive(Debug, Default)]
+pub struct Renderer {
+    out: String,
+}
+
+impl Renderer {
+    /// An empty document.
+    pub fn new() -> Renderer {
+        Renderer::default()
+    }
+
+    /// Open a metric family: `# HELP` and `# TYPE` lines. `kind` is
+    /// `"counter"`, `"gauge"` or `"histogram"`.
+    pub fn header(&mut self, name: &str, help: &str, kind: &str) {
+        self.out.push_str("# HELP ");
+        self.out.push_str(name);
+        self.out.push(' ');
+        escape_help(&mut self.out, help);
+        self.out.push('\n');
+        self.out.push_str("# TYPE ");
+        self.out.push_str(name);
+        self.out.push(' ');
+        self.out.push_str(kind);
+        self.out.push('\n');
+    }
+
+    fn name_and_labels(&mut self, name: &str, labels: &[(&str, &str)]) {
+        self.out.push_str(name);
+        if !labels.is_empty() {
+            self.out.push('{');
+            for (i, (k, v)) in labels.iter().enumerate() {
+                if i > 0 {
+                    self.out.push(',');
+                }
+                self.out.push_str(k);
+                self.out.push_str("=\"");
+                escape_label(&mut self.out, v);
+                self.out.push('"');
+            }
+            self.out.push('}');
+        }
+        self.out.push(' ');
+    }
+
+    /// One integer-valued sample line.
+    pub fn sample_u64(&mut self, name: &str, labels: &[(&str, &str)], value: u64) {
+        self.name_and_labels(name, labels);
+        let _ = writeln!(self.out, "{value}");
+    }
+
+    /// One float-valued sample line (shortest round-trip decimal, no
+    /// scientific notation).
+    pub fn sample_f64(&mut self, name: &str, labels: &[(&str, &str)], value: f64) {
+        self.name_and_labels(name, labels);
+        let _ = writeln!(self.out, "{value}");
+    }
+
+    /// A full histogram family member for one label set: cumulative
+    /// `_bucket` lines (bounds as exact decimal seconds, then `+Inf`),
+    /// `_sum` (seconds) and `_count`. `labels` are the series labels
+    /// *without* `le`; the `le` label is appended last.
+    pub fn histogram(&mut self, name: &str, labels: &[(&str, &str)], snap: &HistogramSnapshot) {
+        let cum = snap.cumulative();
+        let bucket = format!("{name}_bucket");
+        for (i, &bound) in BUCKET_BOUNDS_NS.iter().enumerate() {
+            let le = seconds(bound);
+            let mut with_le: Vec<(&str, &str)> = labels.to_vec();
+            with_le.push(("le", &le));
+            self.sample_u64(&bucket, &with_le, cum[i]);
+        }
+        let mut with_le: Vec<(&str, &str)> = labels.to_vec();
+        with_le.push(("le", "+Inf"));
+        self.sample_u64(&bucket, &with_le, cum[cum.len() - 1]);
+        self.sample_f64(&format!("{name}_sum"), labels, snap.sum_ns as f64 / 1e9);
+        self.sample_u64(&format!("{name}_count"), labels, snap.count());
+    }
+
+    /// The assembled document.
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hist::Histogram;
+
+    #[test]
+    fn bounds_render_as_exact_decimal_seconds() {
+        assert_eq!(seconds(1_000), "0.000001");
+        assert_eq!(seconds(2_500), "0.0000025");
+        assert_eq!(seconds(1_000_000), "0.001");
+        assert_eq!(seconds(2_500_000_000), "2.5");
+        assert_eq!(seconds(10_000_000_000), "10");
+    }
+
+    #[test]
+    fn renders_headers_and_samples() {
+        let mut r = Renderer::new();
+        r.header("tpn_requests_total", "Requests by endpoint.", "counter");
+        r.sample_u64(
+            "tpn_requests_total",
+            &[("endpoint", "analyze"), ("status", "200")],
+            3,
+        );
+        let text = r.finish();
+        assert_eq!(
+            text,
+            "# HELP tpn_requests_total Requests by endpoint.\n\
+             # TYPE tpn_requests_total counter\n\
+             tpn_requests_total{endpoint=\"analyze\",status=\"200\"} 3\n"
+        );
+    }
+
+    #[test]
+    fn escapes_label_values_and_help() {
+        let mut r = Renderer::new();
+        r.header("m", "line\nbreak \\ slash", "gauge");
+        r.sample_u64("m", &[("l", "quote\" back\\ nl\n")], 1);
+        let text = r.finish();
+        assert!(
+            text.contains("# HELP m line\\nbreak \\\\ slash\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("m{l=\"quote\\\" back\\\\ nl\\n\"} 1\n"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn histogram_renders_cumulative_buckets_and_inf() {
+        let h = Histogram::new();
+        h.record_ns(500); // le 0.000001
+        h.record_ns(500);
+        h.record_ns(2_000_000); // le 0.0025
+        let mut r = Renderer::new();
+        r.header("d", "durations", "histogram");
+        r.histogram("d", &[("endpoint", "analyze")], &h.snapshot());
+        let text = r.finish();
+        assert!(
+            text.contains("d_bucket{endpoint=\"analyze\",le=\"0.000001\"} 2\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("d_bucket{endpoint=\"analyze\",le=\"0.0025\"} 3\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("d_bucket{endpoint=\"analyze\",le=\"+Inf\"} 3\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("d_sum{endpoint=\"analyze\"} 0.002001\n"),
+            "{text}"
+        );
+        assert!(text.contains("d_count{endpoint=\"analyze\"} 3\n"), "{text}");
+        crate::validate::validate(&text).unwrap();
+    }
+}

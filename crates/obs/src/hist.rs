@@ -1,0 +1,269 @@
+//! Lock-free fixed-bucket latency histograms.
+//!
+//! A [`Histogram`] is a fixed array of relaxed [`AtomicU64`] bucket
+//! counters over an exponential ladder of nanosecond bounds
+//! ([`BUCKET_BOUNDS_NS`]: 1µs → 10s in a 1/2.5/5 pattern, plus a
+//! `+Inf` overflow bucket) and an atomic running sum. Recording is one
+//! bounds lookup plus two `fetch_add`s — cheap enough to sit on every
+//! request and every pipeline-stage build.
+//!
+//! [`HistogramSnapshot`] is the plain-integer copy a renderer works
+//! from: snapshots [`merge`](HistogramSnapshot::merge) exactly
+//! (bucket-wise addition — merging per-thread or per-shard recorders
+//! equals one shared recorder) and estimate quantiles by linear
+//! interpolation inside the selected bucket, the same estimate
+//! Prometheus' `histogram_quantile` computes from the exported
+//! buckets. Estimates are bounded by the true sample's bucket: p99
+//! from a snapshot always lands inside the bucket that holds the true
+//! 99th-percentile sample (property-tested in `tests/hist_props.rs`).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Inclusive upper bounds (`le`) of the finite buckets, in
+/// nanoseconds: a 1 / 2.5 / 5 ladder from 1µs to 10s. Wide enough for
+/// a parse-only cache hit (~µs) and a cold million-state TRG build
+/// (~s) on one scale.
+pub const BUCKET_BOUNDS_NS: [u64; 22] = [
+    1_000,
+    2_500,
+    5_000,
+    10_000,
+    25_000,
+    50_000,
+    100_000,
+    250_000,
+    500_000,
+    1_000_000,
+    2_500_000,
+    5_000_000,
+    10_000_000,
+    25_000_000,
+    50_000_000,
+    100_000_000,
+    250_000_000,
+    500_000_000,
+    1_000_000_000,
+    2_500_000_000,
+    5_000_000_000,
+    10_000_000_000,
+];
+
+/// Total bucket count: every finite bound plus the `+Inf` overflow.
+pub const NUM_BUCKETS: usize = BUCKET_BOUNDS_NS.len() + 1;
+
+/// A lock-free latency histogram. All methods take `&self`; recording
+/// uses relaxed atomics only (counters feed observability, not control
+/// flow).
+#[derive(Debug, Default)]
+pub struct Histogram {
+    /// Per-bucket (non-cumulative) sample counts; index
+    /// [`NUM_BUCKETS`]` - 1` is the `+Inf` overflow bucket.
+    buckets: [AtomicU64; NUM_BUCKETS],
+    /// Sum of every recorded duration, in nanoseconds.
+    sum_ns: AtomicU64,
+}
+
+impl Histogram {
+    /// A fresh all-zero histogram.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Record one duration.
+    #[inline]
+    pub fn record(&self, d: Duration) {
+        self.record_ns(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Record one duration given in nanoseconds.
+    #[inline]
+    pub fn record_ns(&self, ns: u64) {
+        // First bucket whose inclusive bound admits `ns`; past the last
+        // finite bound this lands on the +Inf bucket.
+        let i = BUCKET_BOUNDS_NS.partition_point(|&bound| bound < ns);
+        self.buckets[i].fetch_add(1, Ordering::Relaxed);
+        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// A plain-integer copy of the current counters. Taken bucket by
+    /// bucket with relaxed loads: a snapshot racing recorders may miss
+    /// in-flight increments but never tears an individual counter.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut counts = [0u64; NUM_BUCKETS];
+        for (c, b) in counts.iter_mut().zip(&self.buckets) {
+            *c = b.load(Ordering::Relaxed);
+        }
+        HistogramSnapshot {
+            counts,
+            sum_ns: self.sum_ns.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of a [`Histogram`]'s counters — the value
+/// renderers, mergers and quantile estimators work from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HistogramSnapshot {
+    /// Per-bucket (non-cumulative) counts, aligned with
+    /// [`BUCKET_BOUNDS_NS`]; the final entry is the `+Inf` bucket.
+    pub counts: [u64; NUM_BUCKETS],
+    /// Sum of every recorded duration, in nanoseconds.
+    pub sum_ns: u64,
+}
+
+impl HistogramSnapshot {
+    /// Total number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Add another snapshot's counts into this one. Because buckets
+    /// share fixed bounds, merging N recorders' snapshots equals the
+    /// snapshot of one recorder that saw all samples.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.sum_ns += other.sum_ns;
+    }
+
+    /// Cumulative counts, aligned with [`BUCKET_BOUNDS_NS`] — exactly
+    /// the `_bucket` series of the Prometheus exposition (the final
+    /// entry equals [`count`](HistogramSnapshot::count)).
+    pub fn cumulative(&self) -> [u64; NUM_BUCKETS] {
+        let mut cum = self.counts;
+        for i in 1..NUM_BUCKETS {
+            cum[i] += cum[i - 1];
+        }
+        cum
+    }
+
+    /// Estimate the `q`-quantile (`0 ≤ q ≤ 1`) in nanoseconds by
+    /// linear interpolation inside the bucket holding the quantile
+    /// rank — the estimate `histogram_quantile` would compute from the
+    /// exported buckets. `None` on an empty snapshot. Samples in the
+    /// `+Inf` bucket degrade to the last finite bound.
+    pub fn quantile_ns(&self, q: f64) -> Option<f64> {
+        let total = self.count();
+        if total == 0 {
+            return None;
+        }
+        let target = q.clamp(0.0, 1.0) * total as f64;
+        let mut cum = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            let before = cum;
+            cum += c;
+            if c > 0 && cum as f64 >= target {
+                let last = BUCKET_BOUNDS_NS.len() - 1;
+                if i > last {
+                    // +Inf bucket: no upper bound to interpolate to.
+                    return Some(BUCKET_BOUNDS_NS[last] as f64);
+                }
+                let lower = if i == 0 {
+                    0.0
+                } else {
+                    BUCKET_BOUNDS_NS[i - 1] as f64
+                };
+                let upper = BUCKET_BOUNDS_NS[i] as f64;
+                let frac = ((target - before as f64) / c as f64).clamp(0.0, 1.0);
+                return Some(lower + (upper - lower) * frac);
+            }
+        }
+        // Unreachable for total > 0, but degrade gracefully.
+        Some(BUCKET_BOUNDS_NS[BUCKET_BOUNDS_NS.len() - 1] as f64)
+    }
+
+    /// The median estimate, in nanoseconds (`None` when empty).
+    pub fn p50_ns(&self) -> Option<f64> {
+        self.quantile_ns(0.50)
+    }
+
+    /// The 90th-percentile estimate, in nanoseconds (`None` when empty).
+    pub fn p90_ns(&self) -> Option<f64> {
+        self.quantile_ns(0.90)
+    }
+
+    /// The 99th-percentile estimate, in nanoseconds (`None` when empty).
+    pub fn p99_ns(&self) -> Option<f64> {
+        self.quantile_ns(0.99)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounds_are_strictly_increasing() {
+        assert!(BUCKET_BOUNDS_NS.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn records_land_in_their_bucket() {
+        let h = Histogram::new();
+        h.record_ns(0); // below the first bound
+        h.record_ns(1_000); // exactly on a bound: le is inclusive
+        h.record_ns(1_001); // just past it
+        h.record_ns(10_000_000_001); // past the last bound: +Inf
+        let s = h.snapshot();
+        assert_eq!(s.counts[0], 2);
+        assert_eq!(s.counts[1], 1);
+        assert_eq!(s.counts[NUM_BUCKETS - 1], 1);
+        assert_eq!(s.count(), 4);
+        assert_eq!(s.sum_ns, 10_000_001_002 + 1_000);
+    }
+
+    #[test]
+    fn record_duration_saturates() {
+        let h = Histogram::new();
+        h.record(Duration::from_secs(u64::MAX)); // > u64::MAX nanoseconds
+        let s = h.snapshot();
+        assert_eq!(s.counts[NUM_BUCKETS - 1], 1);
+        assert_eq!(s.sum_ns, u64::MAX);
+    }
+
+    #[test]
+    fn cumulative_ends_at_count() {
+        let h = Histogram::new();
+        for ns in [500, 3_000, 3_000, 70_000, 20_000_000_000] {
+            h.record_ns(ns);
+        }
+        let s = h.snapshot();
+        let cum = s.cumulative();
+        assert_eq!(cum[NUM_BUCKETS - 1], s.count());
+        assert!(cum.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_the_bucket() {
+        let h = Histogram::new();
+        // 100 samples uniformly inside the (1ms, 2.5ms] bucket.
+        for i in 0..100 {
+            h.record_ns(1_000_001 + i);
+        }
+        let s = h.snapshot();
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            let est = s.quantile_ns(q).unwrap();
+            assert!(
+                (1_000_000.0..=2_500_000.0).contains(&est),
+                "q={q} estimate {est} outside the recorded bucket"
+            );
+        }
+        // All mass in one bucket: the quantile position scales linearly.
+        assert!(s.quantile_ns(0.5).unwrap() < s.quantile_ns(0.99).unwrap());
+    }
+
+    #[test]
+    fn quantile_of_empty_is_none() {
+        assert_eq!(Histogram::new().snapshot().quantile_ns(0.99), None);
+    }
+
+    #[test]
+    fn quantile_of_overflow_degrades_to_last_bound() {
+        let h = Histogram::new();
+        h.record_ns(u64::MAX);
+        let est = h.snapshot().quantile_ns(0.99).unwrap();
+        assert_eq!(est, *BUCKET_BOUNDS_NS.last().unwrap() as f64);
+    }
+}

@@ -1,0 +1,47 @@
+//! `tpn-obs` — observability primitives for the timed-petri workspace.
+//!
+//! Std-only and allocation-light: nothing here may slow down the paths
+//! it observes. Four independent pieces, composed by `tpn-session` and
+//! `tpn-service`:
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`clock`] | calibrated-TSC fast monotonic clock (`Instant` fallback), shared by every timing site |
+//! | [`hist`] | lock-free fixed-bucket latency histograms with mergeable snapshots and quantile estimation |
+//! | [`trace`] | per-request span trees collected through a thread-local, zero-cost when inactive |
+//! | [`expo`] | Prometheus text-exposition rendering (format 0.0.4) with deterministic ordering |
+//! | [`validate`] | a hand-rolled exposition-format checker, used by tests against live `/metrics` output |
+//! | [`log`] | sampled NDJSON request logging behind a `Mutex`'d writer |
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Recording must be cheap and lock-free.** [`hist::Histogram`]
+//!    is a fixed array of relaxed atomics (one `fetch_add` per
+//!    record); [`trace`] touches only a thread-local and is a no-op
+//!    when no collection is active.
+//! 2. **Rendering is cold** and may allocate freely; it reads relaxed
+//!    snapshots, so a scrape racing a record may be off by in-flight
+//!    increments but is always internally well-formed.
+//! 3. **Deterministic output.** [`expo::Renderer`] emits labels in
+//!    caller order and histogram buckets in bound order, so a given
+//!    state renders byte-identically — the property the golden-style
+//!    exposition tests rely on.
+
+pub mod clock;
+pub mod expo;
+pub mod hist;
+pub mod log;
+pub mod trace;
+pub mod validate;
+
+pub use expo::Renderer;
+pub use hist::{Histogram, HistogramSnapshot, BUCKET_BOUNDS_NS, NUM_BUCKETS};
+pub use log::RequestLog;
+pub use trace::Span;
+
+/// Milliseconds since the Unix epoch — the timestamp every trace ring
+/// entry and log line carries. Derived from the fast clock against a
+/// base sampled once; see [`clock::unix_ms`].
+pub fn unix_ms() -> u64 {
+    clock::unix_ms()
+}

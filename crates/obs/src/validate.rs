@@ -1,0 +1,512 @@
+//! A hand-rolled Prometheus text-exposition checker.
+//!
+//! The build environment has no registry access, so there is no
+//! official parser to test `/metrics` output against; this module is
+//! the test-side stand-in. [`validate`] parses a whole exposition
+//! document and enforces the rules a real scraper relies on:
+//!
+//! * every sample's family carries `# HELP` and `# TYPE` lines, both
+//!   **before** the first sample and at most once;
+//! * metric and label names match the Prometheus grammar, label
+//!   values use only the three escapes (`\\`, `\"`, `\n`);
+//! * sample values parse (decimal, `+Inf`, `-Inf`, `NaN`) and no
+//!   series (name + label set) appears twice;
+//! * histogram families consist only of `_bucket`/`_sum`/`_count`
+//!   samples; per label set the `le` bounds strictly increase, the
+//!   cumulative counts never decrease, the final bucket is `+Inf`
+//!   and equals the `_count` sample, and a `_sum` sample exists.
+//!
+//! It is a validator, not a full scraper: it checks shape, not
+//! semantics, and rejects features this workspace never emits
+//! (timestamps, `summary` quantiles).
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// One parsed sample line.
+#[derive(Debug)]
+struct Sample {
+    name: String,
+    labels: Vec<(String, String)>,
+    value: f64,
+    line: usize,
+}
+
+#[derive(Debug, Default)]
+struct Family {
+    help: Option<usize>,
+    kind: Option<(String, usize)>,
+    samples: Vec<usize>,
+}
+
+fn valid_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn valid_label_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+fn parse_value(token: &str) -> Option<f64> {
+    match token {
+        "+Inf" => Some(f64::INFINITY),
+        "-Inf" => Some(f64::NEG_INFINITY),
+        "NaN" => Some(f64::NAN),
+        t => t.parse().ok(),
+    }
+}
+
+/// Parse one sample line: `name[{labels}] value`.
+fn parse_sample(line: &str, line_no: usize) -> Result<Sample, String> {
+    let err = |m: String| format!("line {line_no}: {m}");
+    let (name_part, rest) = match line.find('{') {
+        None => {
+            let mut it = line.splitn(2, ' ');
+            let name = it.next().unwrap_or_default().to_string();
+            let rest = it
+                .next()
+                .ok_or_else(|| err("sample line has no value".into()))?;
+            return finish_sample(name, Vec::new(), rest, line_no);
+        }
+        Some(pos) => (&line[..pos], &line[pos + 1..]),
+    };
+    let name = name_part.to_string();
+    // Walk the label block respecting escapes inside quoted values.
+    let mut labels = Vec::new();
+    let mut chars = rest.char_indices();
+    loop {
+        // Label name up to '='.
+        let mut label = String::new();
+        let mut closed = false;
+        for (_, c) in chars.by_ref() {
+            match c {
+                '=' => break,
+                '}' if label.is_empty() => {
+                    closed = true;
+                    break;
+                }
+                c => label.push(c),
+            }
+        }
+        if closed {
+            break;
+        }
+        match chars.next() {
+            Some((_, '"')) => {}
+            _ => return Err(err(format!("label {label:?} value must be quoted"))),
+        }
+        let mut value = String::new();
+        let mut terminated = false;
+        while let Some((_, c)) = chars.next() {
+            match c {
+                '\\' => match chars.next() {
+                    Some((_, '\\')) => value.push('\\'),
+                    Some((_, '"')) => value.push('"'),
+                    Some((_, 'n')) => value.push('\n'),
+                    other => {
+                        return Err(err(format!(
+                            "bad escape {:?} in label {label:?}",
+                            other.map(|(_, c)| c)
+                        )))
+                    }
+                },
+                '"' => {
+                    terminated = true;
+                    break;
+                }
+                c => value.push(c),
+            }
+        }
+        if !terminated {
+            return Err(err(format!("unterminated value of label {label:?}")));
+        }
+        labels.push((label, value));
+        match chars.next() {
+            Some((_, ',')) => continue,
+            Some((_, '}')) => break,
+            _ => {
+                return Err(err(
+                    "label list must continue with ',' or close with '}'".into()
+                ))
+            }
+        }
+    }
+    let rest_idx = chars
+        .next()
+        .map(|(i, c)| {
+            if c == ' ' {
+                Ok(i + 1)
+            } else {
+                Err(err(format!("expected a space after '}}', got {c:?}")))
+            }
+        })
+        .transpose()?
+        .ok_or_else(|| err("sample line has no value".into()))?;
+    finish_sample(name, labels, &rest[rest_idx..], line_no)
+}
+
+fn finish_sample(
+    name: String,
+    labels: Vec<(String, String)>,
+    value_part: &str,
+    line_no: usize,
+) -> Result<Sample, String> {
+    let err = |m: String| format!("line {line_no}: {m}");
+    if !valid_metric_name(&name) {
+        return Err(err(format!("bad metric name {name:?}")));
+    }
+    for (label, _) in &labels {
+        if !valid_label_name(label) {
+            return Err(err(format!("bad label name {label:?}")));
+        }
+    }
+    let mut tokens = value_part.split(' ').filter(|t| !t.is_empty());
+    let value_token = tokens
+        .next()
+        .ok_or_else(|| err("sample line has no value".into()))?;
+    if tokens.next().is_some() {
+        return Err(err(
+            "trailing tokens after the value (timestamps are not emitted)".into(),
+        ));
+    }
+    let value =
+        parse_value(value_token).ok_or_else(|| err(format!("bad sample value {value_token:?}")))?;
+    Ok(Sample {
+        name,
+        labels,
+        value,
+        line: line_no,
+    })
+}
+
+/// The family a sample belongs to: its own name, or the base name when
+/// it is a `_bucket`/`_sum`/`_count` member of a declared histogram.
+fn family_of<'a>(name: &'a str, histograms: &HashSet<String>) -> &'a str {
+    for suffix in ["_bucket", "_sum", "_count"] {
+        if let Some(base) = name.strip_suffix(suffix) {
+            if histograms.contains(base) {
+                return base;
+            }
+        }
+    }
+    name
+}
+
+/// A canonical series key: name plus sorted labels.
+fn series_key(s: &Sample) -> String {
+    let mut labels: Vec<&(String, String)> = s.labels.iter().collect();
+    labels.sort();
+    let mut key = s.name.clone();
+    for (k, v) in labels {
+        key.push('\u{1}');
+        key.push_str(k);
+        key.push('\u{2}');
+        key.push_str(v);
+    }
+    key
+}
+
+/// Validate a whole text-exposition document. Returns the first
+/// violation as a message naming the offending line.
+pub fn validate(text: &str) -> Result<(), String> {
+    let mut families: BTreeMap<String, Family> = BTreeMap::new();
+    let mut histograms: HashSet<String> = HashSet::new();
+    let mut samples: Vec<Sample> = Vec::new();
+    let mut seen_series: HashSet<String> = HashSet::new();
+
+    for (i, line) in text.lines().enumerate() {
+        let line_no = i + 1;
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let (name, _help) = rest
+                .split_once(' ')
+                .ok_or_else(|| format!("line {line_no}: HELP without text"))?;
+            let fam = families.entry(name.to_string()).or_default();
+            if fam.help.is_some() {
+                return Err(format!("line {line_no}: duplicate HELP for {name}"));
+            }
+            if !fam.samples.is_empty() {
+                return Err(format!("line {line_no}: HELP for {name} after its samples"));
+            }
+            fam.help = Some(line_no);
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let (name, kind) = rest
+                .split_once(' ')
+                .ok_or_else(|| format!("line {line_no}: TYPE without a kind"))?;
+            if !matches!(
+                kind,
+                "counter" | "gauge" | "histogram" | "summary" | "untyped"
+            ) {
+                return Err(format!("line {line_no}: unknown TYPE {kind:?}"));
+            }
+            let fam = families.entry(name.to_string()).or_default();
+            if fam.kind.is_some() {
+                return Err(format!("line {line_no}: duplicate TYPE for {name}"));
+            }
+            if !fam.samples.is_empty() {
+                return Err(format!("line {line_no}: TYPE for {name} after its samples"));
+            }
+            fam.kind = Some((kind.to_string(), line_no));
+            if kind == "histogram" {
+                histograms.insert(name.to_string());
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // plain comment
+        }
+        let sample = parse_sample(line, line_no)?;
+        let key = series_key(&sample);
+        if !seen_series.insert(key) {
+            return Err(format!(
+                "line {line_no}: duplicate series {} with identical labels",
+                sample.name
+            ));
+        }
+        let family = family_of(&sample.name, &histograms).to_string();
+        let fam = families.entry(family.clone()).or_default();
+        if fam.help.is_none() || fam.kind.is_none() {
+            return Err(format!(
+                "line {line_no}: sample {} before HELP/TYPE of family {family}",
+                sample.name
+            ));
+        }
+        if let Some((kind, _)) = &fam.kind {
+            match kind.as_str() {
+                "histogram"
+                    if !["_bucket", "_sum", "_count"]
+                        .iter()
+                        .any(|s| sample.name == format!("{family}{s}")) =>
+                {
+                    return Err(format!(
+                        "line {line_no}: {} is not a histogram member of {family}",
+                        sample.name
+                    ));
+                }
+                "counter" if !(sample.value >= 0.0 && sample.value.is_finite()) => {
+                    return Err(format!(
+                        "line {line_no}: counter {} value {} is not a finite non-negative number",
+                        sample.name, sample.value
+                    ));
+                }
+                _ => {}
+            }
+        }
+        fam.samples.push(samples.len());
+        samples.push(sample);
+    }
+
+    // Per-family histogram shape checks.
+    for name in &histograms {
+        let Some(fam) = families.get(name) else {
+            continue;
+        };
+        // Group this family's samples by their labels sans `le`:
+        // `(le, cumulative count, line)` buckets, the `_count` value,
+        // and whether a `_sum` was seen.
+        type HistGroup = (Vec<(f64, u64, usize)>, Option<u64>, bool);
+        let mut groups: HashMap<String, HistGroup> = HashMap::new();
+        for &idx in &fam.samples {
+            let s = &samples[idx];
+            let mut labels: Vec<&(String, String)> =
+                s.labels.iter().filter(|(k, _)| k != "le").collect();
+            labels.sort();
+            let group_key = labels
+                .iter()
+                .map(|(k, v)| format!("{k}\u{1}{v}"))
+                .collect::<Vec<_>>()
+                .join("\u{2}");
+            let entry = groups.entry(group_key).or_default();
+            if s.name == format!("{name}_bucket") {
+                let le = s
+                    .labels
+                    .iter()
+                    .find(|(k, _)| k == "le")
+                    .map(|(_, v)| v.as_str())
+                    .ok_or_else(|| format!("line {}: _bucket sample without le", s.line))?;
+                let le = parse_value(le)
+                    .ok_or_else(|| format!("line {}: bad le value {le:?}", s.line))?;
+                if s.value < 0.0 || s.value.fract() != 0.0 || !s.value.is_finite() {
+                    return Err(format!(
+                        "line {}: bucket count {} is not a non-negative integer",
+                        s.line, s.value
+                    ));
+                }
+                entry.0.push((le, s.value as u64, s.line));
+            } else if s.name == format!("{name}_count") {
+                entry.1 = Some(s.value as u64);
+            } else {
+                entry.2 = true; // _sum
+            }
+        }
+        for (buckets, count, has_sum) in groups.values() {
+            if buckets.is_empty() {
+                return Err(format!(
+                    "histogram {name}: a label set has no _bucket samples"
+                ));
+            }
+            for pair in buckets.windows(2) {
+                let ((le_a, n_a, _), (le_b, n_b, line)) = (pair[0], pair[1]);
+                if le_b <= le_a {
+                    return Err(format!(
+                        "line {line}: histogram {name} le bounds not strictly increasing"
+                    ));
+                }
+                if n_b < n_a {
+                    return Err(format!(
+                        "line {line}: histogram {name} bucket counts decrease ({n_a} → {n_b})"
+                    ));
+                }
+            }
+            let (last_le, last_n, last_line) = *buckets.last().unwrap();
+            if last_le != f64::INFINITY {
+                return Err(format!(
+                    "line {last_line}: histogram {name} is missing the +Inf bucket"
+                ));
+            }
+            match count {
+                None => {
+                    return Err(format!(
+                        "histogram {name}: a label set has no _count sample"
+                    ))
+                }
+                Some(count) if *count != last_n => {
+                    return Err(format!(
+                        "histogram {name}: +Inf bucket {last_n} != _count {count}"
+                    ))
+                }
+                Some(_) => {}
+            }
+            if !has_sum {
+                return Err(format!("histogram {name}: a label set has no _sum sample"));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GOOD: &str = "\
+# HELP tpn_requests_total Requests served.
+# TYPE tpn_requests_total counter
+tpn_requests_total{endpoint=\"analyze\",status=\"200\"} 3
+tpn_requests_total{endpoint=\"graph\",status=\"200\"} 1
+# HELP tpn_d_seconds Request durations.
+# TYPE tpn_d_seconds histogram
+tpn_d_seconds_bucket{le=\"0.001\"} 1
+tpn_d_seconds_bucket{le=\"0.01\"} 4
+tpn_d_seconds_bucket{le=\"+Inf\"} 4
+tpn_d_seconds_sum 0.0123
+tpn_d_seconds_count 4
+# HELP tpn_up Uptime.
+# TYPE tpn_up gauge
+tpn_up 12.5
+";
+
+    #[test]
+    fn accepts_a_well_formed_document() {
+        validate(GOOD).unwrap();
+    }
+
+    #[test]
+    fn rejects_samples_before_help_or_type() {
+        let doc = "tpn_x_total 1\n";
+        assert!(validate(doc).unwrap_err().contains("before HELP/TYPE"));
+        let doc = "# HELP tpn_x_total x\ntpn_x_total 1\n";
+        assert!(validate(doc).unwrap_err().contains("before HELP/TYPE"));
+    }
+
+    #[test]
+    fn rejects_duplicate_series() {
+        let doc = "# HELP m x\n# TYPE m counter\nm{a=\"1\"} 1\nm{a=\"1\"} 2\n";
+        assert!(validate(doc).unwrap_err().contains("duplicate series"));
+    }
+
+    #[test]
+    fn rejects_missing_inf_bucket() {
+        let doc = "# HELP h x\n# TYPE h histogram\n\
+                   h_bucket{le=\"0.1\"} 1\nh_sum 0.05\nh_count 1\n";
+        assert!(validate(doc).unwrap_err().contains("+Inf"));
+    }
+
+    #[test]
+    fn rejects_decreasing_bucket_counts() {
+        let doc = "# HELP h x\n# TYPE h histogram\n\
+                   h_bucket{le=\"0.1\"} 3\nh_bucket{le=\"+Inf\"} 2\nh_sum 0.1\nh_count 2\n";
+        assert!(validate(doc).unwrap_err().contains("decrease"));
+    }
+
+    #[test]
+    fn rejects_inf_bucket_count_mismatch() {
+        let doc = "# HELP h x\n# TYPE h histogram\n\
+                   h_bucket{le=\"0.1\"} 1\nh_bucket{le=\"+Inf\"} 2\nh_sum 0.1\nh_count 3\n";
+        assert!(validate(doc).unwrap_err().contains("!= _count"));
+    }
+
+    #[test]
+    fn rejects_non_monotone_le_bounds() {
+        let doc = "# HELP h x\n# TYPE h histogram\n\
+                   h_bucket{le=\"0.2\"} 1\nh_bucket{le=\"0.1\"} 1\n\
+                   h_bucket{le=\"+Inf\"} 1\nh_sum 0.1\nh_count 1\n";
+        assert!(validate(doc).unwrap_err().contains("strictly increasing"));
+    }
+
+    #[test]
+    fn rejects_bad_names_values_and_escapes() {
+        for (doc, what) in [
+            ("# HELP 9m x\n# TYPE 9m counter\n9m 1\n", "bad metric name"),
+            (
+                "# HELP m x\n# TYPE m counter\nm{9l=\"v\"} 1\n",
+                "bad label name",
+            ),
+            ("# HELP m x\n# TYPE m counter\nm one\n", "bad sample value"),
+            (
+                "# HELP m x\n# TYPE m counter\nm{l=\"v\\q\"} 1\n",
+                "bad escape",
+            ),
+            ("# HELP m x\n# TYPE m counter\nm 1 1700000000\n", "trailing"),
+            ("# HELP m x\n# TYPE m counter\nm -1\n", "non-negative"),
+            (
+                "# HELP m x\n# TYPE m counter\n# TYPE m counter\nm 1\n",
+                "duplicate TYPE",
+            ),
+        ] {
+            let err = validate(doc).unwrap_err();
+            assert!(err.contains(what), "{doc:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn parses_escaped_label_values() {
+        let doc = "# HELP m x\n# TYPE m counter\nm{l=\"a\\\\b\\\"c\\nd\"} 1\n";
+        validate(doc).unwrap();
+    }
+
+    #[test]
+    fn histogram_members_must_belong() {
+        let doc = "# HELP h x\n# TYPE h histogram\nh_other 1\n";
+        // `h_other` is not _bucket/_sum/_count of h: it is its own
+        // family, and that family has no HELP/TYPE.
+        assert!(validate(doc).unwrap_err().contains("before HELP/TYPE"));
+        let doc = "# HELP h x\n# TYPE h histogram\nh 1\n";
+        assert!(validate(doc)
+            .unwrap_err()
+            .contains("not a histogram member"));
+    }
+}

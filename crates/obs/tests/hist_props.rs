@@ -1,0 +1,128 @@
+//! Property tests for the histogram: merge equivalence, quantile
+//! bucket containment, and concurrent recording without sample loss.
+
+use proptest::prelude::*;
+use tpn_obs::hist::{Histogram, HistogramSnapshot, BUCKET_BOUNDS_NS, NUM_BUCKETS};
+
+/// The bucket index a nanosecond value lands in (reference
+/// implementation, independent of the recorder's).
+fn bucket_of(ns: u64) -> usize {
+    BUCKET_BOUNDS_NS
+        .iter()
+        .position(|&bound| ns <= bound)
+        .unwrap_or(NUM_BUCKETS - 1)
+}
+
+fn record_all(samples: &[u64]) -> HistogramSnapshot {
+    let h = Histogram::new();
+    for &ns in samples {
+        h.record_ns(ns);
+    }
+    h.snapshot()
+}
+
+proptest! {
+    /// Merging the snapshots of two independent recorders equals one
+    /// recorder that saw both sample streams.
+    #[test]
+    fn merged_snapshots_equal_single_recorder(
+        a in proptest::collection::vec(0u64..20_000_000_000, 0..200),
+        b in proptest::collection::vec(0u64..20_000_000_000, 0..200),
+    ) {
+        let mut merged = record_all(&a);
+        merged.merge(&record_all(&b));
+        let mut combined = a.clone();
+        combined.extend_from_slice(&b);
+        prop_assert_eq!(merged, record_all(&combined));
+    }
+
+    /// A quantile estimate always lands inside the bucket that holds
+    /// the true quantile sample (the estimator can do no better than
+    /// bucket resolution, and must do no worse). Samples stay below
+    /// the last finite bound so the true sample never falls in +Inf,
+    /// whose estimate intentionally degrades.
+    #[test]
+    fn quantile_estimate_lands_in_the_true_samples_bucket(
+        samples in proptest::collection::vec(0u64..10_000_000_000, 1..300),
+        q_millis in 0u64..=1000,
+    ) {
+        let q = q_millis as f64 / 1000.0;
+        let snap = record_all(&samples);
+        let mut samples = samples;
+        let est = snap.quantile_ns(q).unwrap();
+        // The true q-quantile sample: the one at cumulative rank
+        // ceil(q * n) (clamped to [1, n]), i.e. the first sample whose
+        // cumulative count reaches the target — the same rank rule the
+        // estimator applies to buckets.
+        samples.sort_unstable();
+        let n = samples.len();
+        let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+        let truth = samples[rank - 1];
+        let b = bucket_of(truth);
+        let lower = if b == 0 { 0 } else { BUCKET_BOUNDS_NS[b - 1] };
+        let upper = BUCKET_BOUNDS_NS[b];
+        prop_assert!(
+            est >= lower as f64 && est <= upper as f64,
+            "q={} estimate {} outside bucket ({}, {}] of true sample {}",
+            q, est, lower, upper, truth
+        );
+    }
+
+    /// The running sum and total count are exact, whatever the stream.
+    #[test]
+    fn count_and_sum_are_exact(
+        samples in proptest::collection::vec(0u64..1_000_000_000, 0..300),
+    ) {
+        let snap = record_all(&samples);
+        prop_assert_eq!(snap.count(), samples.len() as u64);
+        prop_assert_eq!(snap.sum_ns, samples.iter().sum::<u64>());
+        let cum = snap.cumulative();
+        prop_assert_eq!(cum[NUM_BUCKETS - 1], snap.count());
+    }
+
+    /// The renderer's histogram output for any snapshot passes the
+    /// exposition validator — the two halves of the crate agree on the
+    /// format.
+    #[test]
+    fn rendered_histograms_validate(
+        samples in proptest::collection::vec(0u64..20_000_000_000, 0..100),
+    ) {
+        let snap = record_all(&samples);
+        let mut r = tpn_obs::Renderer::new();
+        r.header("tpn_x_seconds", "prop", "histogram");
+        r.histogram("tpn_x_seconds", &[("endpoint", "analyze")], &snap);
+        let text = r.finish();
+        prop_assert!(tpn_obs::validate::validate(&text).is_ok(), "{}", text);
+    }
+}
+
+/// Concurrent recording from N threads loses no samples: the shared
+/// histogram's totals equal the per-thread sums.
+#[test]
+fn concurrent_recording_loses_nothing() {
+    use std::sync::Arc;
+
+    const THREADS: u64 = 8;
+    const PER_THREAD: u64 = 25_000;
+    let h = Arc::new(Histogram::new());
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let h = Arc::clone(&h);
+            std::thread::spawn(move || {
+                // A spread of magnitudes crossing many bucket bounds.
+                for i in 0..PER_THREAD {
+                    h.record_ns((i * 7919 + t) % 3_000_000);
+                }
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().unwrap();
+    }
+    let snap = h.snapshot();
+    assert_eq!(snap.count(), THREADS * PER_THREAD);
+    let expected_sum: u64 = (0..THREADS)
+        .flat_map(|t| (0..PER_THREAD).map(move |i| (i * 7919 + t) % 3_000_000))
+        .sum();
+    assert_eq!(snap.sum_ns, expected_sum);
+}

@@ -191,6 +191,7 @@ pub fn run(net: &TimedPetriNet, kind: RequestKind) -> Result<String, ServiceErro
 /// (TRG, decision graph, rates) are demanded through the session, so
 /// consecutive requests against the same net share one derivation.
 pub fn run_with_session(session: &Session, kind: RequestKind) -> Result<String, ServiceError> {
+    let _span = tpn_obs::trace::span("render");
     match kind {
         RequestKind::Analyze => analyze_json(session),
         RequestKind::Graph => graph_json(session),

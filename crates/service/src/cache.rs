@@ -269,6 +269,12 @@ impl AnalysisCache {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Ok(v);
         }
+        // A trace span only past the hit fast path: a hit is a sharded
+        // read-lock lookup, below what span timing resolves, and the
+        // hot path must not pay two clock reads for it. A "cache" span
+        // in a trace therefore *means* the cache had to work (coalesced
+        // wait or compute).
+        let _span = tpn_obs::trace::span("cache");
         // Leader if the flight slot was vacant, follower otherwise.
         let (flight, is_leader) = {
             let mut inflight = self.inflight.lock().expect("inflight lock");

@@ -21,6 +21,8 @@
 //! | POST | `/v1` | JSON: `.tpn` text + many requests | one envelope, one shared session |
 //! | GET | `/healthz` | — | liveness probe |
 //! | GET | `/stats` | — | cache/pool/sweep/optimize/whatif/artifact counters |
+//! | GET | `/metrics` | — | Prometheus text exposition (counters + latency histograms) |
+//! | GET | `/debug/requests?n=K` | — | the K most recent request traces, NDJSON |
 //!
 //! Status codes: 200 on success, 400 for malformed requests or `.tpn`
 //! parse errors, 404/405 for bad routes, 413 for oversized bodies, 422
@@ -35,15 +37,17 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use tpn_net::{parse_tpn, NetDigest, TimedPetriNet, TimingAssignment};
+use tpn_obs::log::RequestLog;
 use tpn_session::{RetimeError, Session, SessionOptions, STAGES};
 
 use crate::analysis::{run_with_session, RequestKind, ServiceError};
 use crate::cache::{AnalysisCache, CacheConfig, CacheKey};
 use crate::executor::ThreadPool;
 use crate::json::{error_body, error_object, JsonWriter};
+use crate::metrics::{self, Endpoint, RequestTrace, ServiceMetrics, StatsSnapshot};
 use crate::sessions::SessionCache;
 use crate::spec::Spec;
 use crate::v1::{parse_envelope, V1Request};
@@ -72,6 +76,22 @@ pub struct ServiceConfig {
     /// Maximum [`Session`]s held in the artifact tier of the cache
     /// (one per distinct net digest, LRU-evicted).
     pub max_sessions: usize,
+    /// Whether to record request metrics and traces (`/metrics`,
+    /// `/debug/requests`). Off, the whole observability layer is a
+    /// no-op — the comparison arm of the overhead bench.
+    pub metrics: bool,
+    /// Sampled NDJSON request logging (off when `None`). Requires
+    /// `metrics` — the log is written by the same observation wrapper.
+    pub log: Option<LogConfig>,
+}
+
+/// Request-log destination and sampling.
+#[derive(Debug, Clone)]
+pub struct LogConfig {
+    /// Append to this file; `None` writes to standard error.
+    pub path: Option<String>,
+    /// Write every `sample`-th record (1 = every record, 0 acts as 1).
+    pub sample: u64,
 }
 
 impl Default for ServiceConfig {
@@ -85,6 +105,8 @@ impl Default for ServiceConfig {
             sweep_threads: 4,
             max_sweep_points: 1_000_000,
             max_sessions: 32,
+            metrics: true,
+            log: None,
         }
     }
 }
@@ -128,11 +150,34 @@ pub struct Service {
     whatif_hits: AtomicU64,
     whatif_retimes: AtomicU64,
     whatif_rejects: AtomicU64,
+    metrics: ServiceMetrics,
+    log: Option<RequestLog>,
+    started: Instant,
 }
 
 impl Service {
     /// A fresh service with an empty cache.
     pub fn new(config: ServiceConfig) -> Service {
+        if config.metrics {
+            // Pay the fast clock's one-time TSC calibration spin here,
+            // not inside the first observed request.
+            tpn_obs::clock::calibrate();
+        }
+        let metrics = ServiceMetrics::new(config.metrics);
+        let log = if config.metrics {
+            config.log.as_ref().and_then(|lc| match &lc.path {
+                Some(path) => match RequestLog::file(path, lc.sample) {
+                    Ok(log) => Some(log),
+                    Err(e) => {
+                        eprintln!("tpn: cannot open request log {path:?}: {e}");
+                        None
+                    }
+                },
+                None => Some(RequestLog::stderr(lc.sample)),
+            })
+        } else {
+            None
+        };
         Service {
             cache: AnalysisCache::new(&config.cache),
             sessions: SessionCache::new(config.max_sessions, config.session_options()),
@@ -152,6 +197,9 @@ impl Service {
             whatif_hits: AtomicU64::new(0),
             whatif_retimes: AtomicU64::new(0),
             whatif_rejects: AtomicU64::new(0),
+            metrics,
+            log,
+            started: Instant::now(),
         }
     }
 
@@ -170,9 +218,65 @@ impl Service {
         &self.config
     }
 
+    /// The request-metrics recorder (for inspection in tests/benches).
+    pub fn metrics(&self) -> &ServiceMetrics {
+        &self.metrics
+    }
+
+    /// Observe one request: time it, count it under
+    /// `(endpoint, status)`, collect its span trace into the debug
+    /// ring, and write the sampled request log. With metrics disabled —
+    /// or when a request surface is reached from inside an
+    /// already-observed request (`/v1` sub-requests, `tpn batch`
+    /// re-entry) — the wrapper is a pass-through: `trace::begin_rooted`
+    /// returns `false` on a thread that is already collecting, which
+    /// doubles as the nested-observation guard, so every request is
+    /// counted exactly once.
+    ///
+    /// No root span is stored at all: the [`RequestTrace`] header
+    /// (endpoint, status, duration) *is* the root measurement, taken
+    /// with the two clock reads this wrapper needs anyway, and the
+    /// renderers synthesize the root line from it. `begin_rooted` only
+    /// reserves depth 1 so collected spans nest under it.
+    fn observed(
+        &self,
+        endpoint: Endpoint,
+        f: impl FnOnce() -> (u16, Arc<String>),
+    ) -> (u16, Arc<String>) {
+        if !self.metrics.enabled() {
+            return f();
+        }
+        let start_ns = tpn_obs::clock::now_ns();
+        if !tpn_obs::trace::begin_rooted(start_ns) {
+            return f();
+        }
+        let (status, body) = f();
+        let end_ns = tpn_obs::clock::now_ns();
+        let duration_ns = end_ns.saturating_sub(start_ns);
+        self.metrics.record(endpoint, status, duration_ns);
+        let spans = tpn_obs::trace::end().unwrap_or_default();
+        self.metrics.push_trace(RequestTrace {
+            endpoint: endpoint.name(),
+            status,
+            unix_ms: tpn_obs::clock::unix_ms_at(end_ns),
+            duration_ns,
+            spans,
+        });
+        if let Some(log) = &self.log {
+            log.record(endpoint.name(), status, duration_ns, body.len());
+        }
+        (status, body)
+    }
+
     /// Parse a `.tpn` body and resolve its shared [`Session`].
     fn parse_session(&self, body: &str) -> Result<Arc<Session>, ServiceError> {
-        let net = parse_tpn(body).map_err(|e| ServiceError::Parse(e.to_string()))?;
+        let net = {
+            // The parse is the first work of every request that gets
+            // here, so the span opens at the collection epoch without
+            // paying a clock read.
+            let _span = tpn_obs::trace::span_epoch("parse");
+            parse_tpn(body).map_err(|e| ServiceError::Parse(e.to_string()))?
+        };
         Ok(self.session_for(net))
     }
 
@@ -190,11 +294,13 @@ impl Service {
     /// status and the JSON body — shared, not copied: cache hits hand
     /// out the cached `Arc` so the hot path never clones the body.
     pub fn respond(&self, kind: RequestKind, body: &str) -> (u16, Arc<String>) {
-        self.requests.fetch_add(1, Ordering::Relaxed);
-        legacy_reply(
-            self.parse_session(body)
-                .and_then(|session| self.analysis_cached(&session, kind)),
-        )
+        self.observed(Endpoint::of_kind(kind), || {
+            self.requests.fetch_add(1, Ordering::Relaxed);
+            legacy_reply(
+                self.parse_session(body)
+                    .and_then(|session| self.analysis_cached(&session, kind)),
+            )
+        })
     }
 
     /// Serve several analysis kinds for one `.tpn` body, parsing it
@@ -209,11 +315,18 @@ impl Service {
         match self.parse_session(body) {
             Ok(session) => kinds
                 .iter()
-                .map(|&kind| legacy_reply(self.analysis_cached(&session, kind)))
+                .map(|&kind| {
+                    self.observed(Endpoint::of_kind(kind), || {
+                        legacy_reply(self.analysis_cached(&session, kind))
+                    })
+                })
                 .collect(),
             Err(e) => {
                 let reply = legacy_reply(Err(e));
-                kinds.iter().map(|_| reply.clone()).collect()
+                kinds
+                    .iter()
+                    .map(|&kind| self.observed(Endpoint::of_kind(kind), || reply.clone()))
+                    .collect()
             }
         }
     }
@@ -242,12 +355,14 @@ impl Service {
     pub fn respond_sweep(&self, body: &str) -> (u16, Arc<String>) {
         use crate::sweep::SweepSpec;
 
-        self.requests.fetch_add(1, Ordering::Relaxed);
-        self.sweeps.fetch_add(1, Ordering::Relaxed);
-        legacy_reply(
-            parse_spec_body(body, SweepSpec::from_json)
-                .and_then(|(net, spec)| self.sweep_cached(&self.session_for(net), &spec)),
-        )
+        self.observed(Endpoint::Sweep, || {
+            self.requests.fetch_add(1, Ordering::Relaxed);
+            self.sweeps.fetch_add(1, Ordering::Relaxed);
+            legacy_reply(
+                parse_spec_body(body, SweepSpec::from_json)
+                    .and_then(|(net, spec)| self.sweep_cached(&self.session_for(net), &spec)),
+            )
+        })
     }
 
     /// The cached execution of one sweep against a session — shared by
@@ -291,12 +406,14 @@ impl Service {
     pub fn respond_optimize(&self, body: &str) -> (u16, Arc<String>) {
         use crate::optimize::OptimizeSpec;
 
-        self.requests.fetch_add(1, Ordering::Relaxed);
-        self.optimizes.fetch_add(1, Ordering::Relaxed);
-        legacy_reply(
-            parse_spec_body(body, OptimizeSpec::from_json)
-                .and_then(|(net, spec)| self.optimize_cached(&self.session_for(net), &spec)),
-        )
+        self.observed(Endpoint::Optimize, || {
+            self.requests.fetch_add(1, Ordering::Relaxed);
+            self.optimizes.fetch_add(1, Ordering::Relaxed);
+            legacy_reply(
+                parse_spec_body(body, OptimizeSpec::from_json)
+                    .and_then(|(net, spec)| self.optimize_cached(&self.session_for(net), &spec)),
+            )
+        })
     }
 
     /// The cached execution of one optimize against a session — shared
@@ -335,21 +452,26 @@ impl Service {
     /// Unlike the legacy routes, errors render as the structured
     /// `{"code": …, "message": …}` object.
     pub fn respond_whatif(&self, body: &str) -> (u16, Arc<String>) {
-        self.requests.fetch_add(1, Ordering::Relaxed);
-        self.whatifs.fetch_add(1, Ordering::Relaxed);
-        match parse_spec_body(body, WhatifSpec::from_json) {
-            Ok((net, spec)) => (200, self.whatif_cached(&self.session_for(net), &spec)),
-            Err(e) => (e.status(), Arc::new(error_object(e.code(), e.message()))),
-        }
+        self.observed(Endpoint::Whatif, || {
+            self.requests.fetch_add(1, Ordering::Relaxed);
+            self.whatifs.fetch_add(1, Ordering::Relaxed);
+            match parse_spec_body(body, WhatifSpec::from_json) {
+                Ok((net, spec)) => (200, self.whatif_cached(&self.session_for(net), &spec)),
+                Err(e) => (e.status(), Arc::new(error_object(e.code(), e.message()))),
+            }
+        })
     }
 
     /// Serve one what-if batch for an already-parsed net and spec — the
     /// in-process entry point `tpn whatif` uses, so the CLI's output is
     /// byte-identical to the HTTP endpoint's.
     pub fn respond_whatif_spec(&self, net: TimedPetriNet, spec: &WhatifSpec) -> Arc<String> {
-        self.requests.fetch_add(1, Ordering::Relaxed);
-        self.whatifs.fetch_add(1, Ordering::Relaxed);
-        self.whatif_cached(&self.session_for(net), spec)
+        let (_, body) = self.observed(Endpoint::Whatif, || {
+            self.requests.fetch_add(1, Ordering::Relaxed);
+            self.whatifs.fetch_add(1, Ordering::Relaxed);
+            (200, self.whatif_cached(&self.session_for(net), spec))
+        });
+        body
     }
 
     /// Assemble one what-if envelope. The envelope is always a 200 once
@@ -495,12 +617,24 @@ impl Service {
     /// the envelope's own and each entry's — render as the structured
     /// `{"code": …, "message": …}` object.
     pub fn respond_v1(&self, body: &str) -> (u16, Arc<String>) {
+        self.observed(Endpoint::V1, || self.v1_reply(body))
+    }
+
+    /// The `/v1` body assembly behind [`Service::respond_v1`]'s
+    /// observation wrapper. With the envelope's `"trace"` flag set, the
+    /// response carries the spans collected *so far* for this request
+    /// (every sub-request's pipeline work; the final render necessarily
+    /// falls outside its own recording).
+    fn v1_reply(&self, body: &str) -> (u16, Arc<String>) {
         self.requests.fetch_add(1, Ordering::Relaxed);
         self.v1_envelopes.fetch_add(1, Ordering::Relaxed);
         let fail = |e: ServiceError| (e.status(), Arc::new(error_object(e.code(), e.message())));
-        let (net_text, requests) = match parse_envelope(body, self.config.max_sim_events) {
-            Ok(parsed) => parsed,
-            Err(e) => return fail(e),
+        let (net_text, requests, trace) = {
+            let _span = tpn_obs::trace::span("parse");
+            match parse_envelope(body, self.config.max_sim_events) {
+                Ok(parsed) => parsed,
+                Err(e) => return fail(e),
+            }
         };
         // `requests` counts *analyses served*, not HTTP round trips: an
         // envelope of N sub-requests reports like N legacy calls would
@@ -508,9 +642,12 @@ impl Service {
         // stays a single request).
         self.requests
             .fetch_add(requests.len() as u64 - 1, Ordering::Relaxed);
-        let net = match parse_tpn(&net_text) {
-            Ok(net) => net,
-            Err(e) => return fail(ServiceError::Parse(e.to_string())),
+        let net = {
+            let _span = tpn_obs::trace::span("parse");
+            match parse_tpn(&net_text) {
+                Ok(net) => net,
+                Err(e) => return fail(ServiceError::Parse(e.to_string())),
+            }
         };
         let session = self.session_for(net);
         let mut w = JsonWriter::new();
@@ -553,6 +690,10 @@ impl Service {
             w.end_object();
         }
         w.end_array();
+        if trace {
+            w.key("trace");
+            metrics::write_spans(&mut w, &tpn_obs::trace::snapshot());
+        }
         w.end_object();
         (200, Arc::new(w.finish()))
     }
@@ -651,6 +792,53 @@ impl Service {
     pub fn health_json() -> String {
         r#"{"status":"ok"}"#.to_string()
     }
+
+    /// The `/metrics` document: Prometheus text exposition covering
+    /// every `/stats` counter plus the request/stage latency
+    /// histograms. Available even with metrics recording disabled (the
+    /// request families are simply empty).
+    pub fn metrics_text(&self) -> String {
+        let s = self.cache.stats();
+        let sess = self.sessions.stats();
+        let stats = StatsSnapshot {
+            requests: self.requests.load(Ordering::Relaxed),
+            computations: s.computations,
+            hits: s.hits,
+            misses: s.misses,
+            coalesced: s.coalesced,
+            evictions: s.evictions,
+            entries: s.entries as u64,
+            bytes: s.bytes as u64,
+            sweeps: self.sweeps.load(Ordering::Relaxed),
+            sweep_hits: self.sweep_hits.load(Ordering::Relaxed),
+            sweep_compiles: self.sweep_compiles.load(Ordering::Relaxed),
+            sweep_points: self.sweep_points.load(Ordering::Relaxed),
+            optimizes: self.optimizes.load(Ordering::Relaxed),
+            optimize_hits: self.optimize_hits.load(Ordering::Relaxed),
+            optimize_solves: self.optimize_solves.load(Ordering::Relaxed),
+            optimize_certified: self.optimize_certified.load(Ordering::Relaxed),
+            whatifs: self.whatifs.load(Ordering::Relaxed),
+            whatif_perturbations: self.whatif_perturbations.load(Ordering::Relaxed),
+            whatif_hits: self.whatif_hits.load(Ordering::Relaxed),
+            whatif_retimes: self.whatif_retimes.load(Ordering::Relaxed),
+            whatif_rejects: self.whatif_rejects.load(Ordering::Relaxed),
+            v1_envelopes: self.v1_envelopes.load(Ordering::Relaxed),
+            session_entries: sess.sessions as u64,
+            session_hits: sess.hits,
+            session_misses: sess.misses,
+            session_evictions: sess.evictions,
+            threads: self.config.threads as u64,
+            queue_cap: self.config.queue_cap as u64,
+            uptime_seconds: self.started.elapsed().as_secs_f64(),
+        };
+        metrics::render(&self.metrics, &stats, self.sessions.counters())
+    }
+
+    /// The `/debug/requests` document: the `n` most recent completed
+    /// request traces, most recent first, one JSON object per line.
+    pub fn debug_requests_text(&self, n: usize) -> String {
+        metrics::debug_requests_ndjson(&self.metrics.recent_traces(n))
+    }
 }
 
 /// Render a result in the legacy routes' reply shape: 200 with the body
@@ -670,6 +858,7 @@ fn parse_spec_body<S>(
     body: &str,
     from_json: impl FnOnce(&crate::jsonval::Json) -> Result<S, ServiceError>,
 ) -> Result<(TimedPetriNet, S), ServiceError> {
+    let _span = tpn_obs::trace::span("parse");
     let doc = crate::jsonval::Json::parse(body)
         .map_err(|e| ServiceError::BadRequest(format!("request body: {e}")))?;
     let net_text = doc
@@ -958,17 +1147,28 @@ fn reason(status: u16) -> &'static str {
     }
 }
 
-fn write_response(stream: &mut TcpStream, status: u16, body: &str) {
+fn write_response(stream: &mut TcpStream, status: u16, content_type: &str, body: &str) {
     let head = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
         status,
         reason(status),
+        content_type,
         body.len()
     );
     let _ = stream.write_all(head.as_bytes());
     let _ = stream.write_all(body.as_bytes());
     let _ = stream.flush();
 }
+
+/// The JSON content type every route used before `/metrics` and
+/// `/debug/requests` introduced non-JSON bodies.
+const JSON: &str = "application/json";
+
+/// The Prometheus text-exposition content type (format version 0.0.4).
+const PROMETHEUS: &str = "text/plain; version=0.0.4; charset=utf-8";
+
+/// Newline-delimited JSON — the `/debug/requests` body.
+const NDJSON: &str = "application/x-ndjson";
 
 /// Parse a `u64` query parameter, defaulting when absent.
 fn query_u64(req: &Request, name: &str, default: u64) -> Result<u64, ServiceError> {
@@ -989,25 +1189,43 @@ fn handle_connection(service: &Service, mut stream: TcpStream) {
     let req = match read_request(&mut stream, service.config.max_body_bytes) {
         Ok(req) => req,
         Err(ReadError::Malformed(m)) => {
-            write_response(&mut stream, 400, &error_body(&m));
+            write_response(&mut stream, 400, JSON, &error_body(&m));
             return;
         }
         Err(ReadError::TooLarge) => {
-            write_response(&mut stream, 413, &error_body("request body too large"));
+            write_response(
+                &mut stream,
+                413,
+                JSON,
+                &error_body("request body too large"),
+            );
             return;
         }
         Err(ReadError::Unsupported(m)) => {
-            write_response(&mut stream, 501, &error_body(&m));
+            write_response(&mut stream, 501, JSON, &error_body(&m));
             return;
         }
         Err(ReadError::Io) => return,
     };
-    let (status, body) = route(service, &req);
-    write_response(&mut stream, status, &body);
+    let (status, content_type, body) = route(service, &req);
+    write_response(&mut stream, status, content_type, &body);
 }
 
-/// Dispatch one request to its endpoint.
-fn route(service: &Service, req: &Request) -> (u16, Arc<String>) {
+/// The endpoint label of an analysis path (`/analyze` → `analyze` …).
+fn endpoint_of_path(path: &str) -> Endpoint {
+    match path {
+        "/analyze" => Endpoint::Analyze,
+        "/graph" => Endpoint::Graph,
+        "/correctness" => Endpoint::Correctness,
+        "/invariants" => Endpoint::Invariants,
+        "/simulate" => Endpoint::Simulate,
+        _ => Endpoint::Other,
+    }
+}
+
+/// Dispatch one request to its endpoint. Returns the status, the
+/// response content type, and the body.
+fn route(service: &Service, req: &Request) -> (u16, &'static str, Arc<String>) {
     const ANALYSES: [&str; 5] = [
         "/analyze",
         "/graph",
@@ -1015,43 +1233,72 @@ fn route(service: &Service, req: &Request) -> (u16, Arc<String>) {
         "/invariants",
         "/simulate",
     ];
+    let json = |(status, body)| (status, JSON, body);
     match (req.method.as_str(), req.path.as_str()) {
-        ("GET", "/healthz") => (200, Arc::new(Service::health_json())),
-        ("GET", "/stats") => (200, Arc::new(service.stats_json())),
-        ("POST", "/sweep") => match std::str::from_utf8(&req.body) {
+        ("GET", "/healthz") => json(service.observed(Endpoint::Healthz, || {
+            (200, Arc::new(Service::health_json()))
+        })),
+        ("GET", "/stats") => {
+            json(service.observed(Endpoint::Stats, || (200, Arc::new(service.stats_json()))))
+        }
+        ("GET", "/metrics") => {
+            let (status, body) = service.observed(Endpoint::Metrics, || {
+                (200, Arc::new(service.metrics_text()))
+            });
+            (status, PROMETHEUS, body)
+        }
+        ("GET", "/debug/requests") => {
+            let (status, body) =
+                service.observed(Endpoint::DebugRequests, || match query_u64(req, "n", 16) {
+                    Ok(n) => {
+                        let n = usize::try_from(n).unwrap_or(usize::MAX);
+                        (200, Arc::new(service.debug_requests_text(n)))
+                    }
+                    Err(e) => (e.status(), Arc::new(error_body(&e.to_string()))),
+                });
+            let content_type = if status == 200 { NDJSON } else { JSON };
+            (status, content_type, body)
+        }
+        ("POST", "/sweep") => json(match std::str::from_utf8(&req.body) {
             Ok(text) => service.respond_sweep(text),
             Err(_) => (400, Arc::new(error_body("request body is not UTF-8"))),
-        },
-        ("POST", "/optimize") => match std::str::from_utf8(&req.body) {
+        }),
+        ("POST", "/optimize") => json(match std::str::from_utf8(&req.body) {
             Ok(text) => service.respond_optimize(text),
             Err(_) => (400, Arc::new(error_body("request body is not UTF-8"))),
-        },
-        ("POST", "/whatif") => match std::str::from_utf8(&req.body) {
+        }),
+        ("POST", "/whatif") => json(match std::str::from_utf8(&req.body) {
             Ok(text) => service.respond_whatif(text),
             Err(_) => (400, Arc::new(error_body("request body is not UTF-8"))),
-        },
-        ("POST", "/v1") => match std::str::from_utf8(&req.body) {
+        }),
+        ("POST", "/v1") => json(match std::str::from_utf8(&req.body) {
             Ok(text) => service.respond_v1(text),
             Err(_) => (400, Arc::new(error_body("request body is not UTF-8"))),
-        },
+        }),
         ("POST", path) if ANALYSES.contains(&path) => {
-            let kind = match analysis_kind(req) {
-                Ok(kind) => kind,
-                Err(e) => return (e.status(), Arc::new(error_body(&e.to_string()))),
-            };
-            if let RequestKind::Simulate { events, .. } = kind {
-                if events > service.config.max_sim_events {
-                    let e = ServiceError::BadRequest(format!(
-                        "events {events} exceeds the limit {}",
-                        service.config.max_sim_events
-                    ));
-                    return (e.status(), Arc::new(error_body(&e.to_string())));
+            // The whole arm sits in one observation so kind-parse and
+            // budget-cap 400s are counted under the path's endpoint;
+            // the inner respond() call's own observation is suppressed
+            // by the nesting guard.
+            json(service.observed(endpoint_of_path(path), || {
+                let kind = match analysis_kind(req) {
+                    Ok(kind) => kind,
+                    Err(e) => return (e.status(), Arc::new(error_body(&e.to_string()))),
+                };
+                if let RequestKind::Simulate { events, .. } = kind {
+                    if events > service.config.max_sim_events {
+                        let e = ServiceError::BadRequest(format!(
+                            "events {events} exceeds the limit {}",
+                            service.config.max_sim_events
+                        ));
+                        return (e.status(), Arc::new(error_body(&e.to_string())));
+                    }
                 }
-            }
-            match std::str::from_utf8(&req.body) {
-                Ok(text) => service.respond(kind, text),
-                Err(_) => (400, Arc::new(error_body("request body is not UTF-8"))),
-            }
+                match std::str::from_utf8(&req.body) {
+                    Ok(text) => service.respond(kind, text),
+                    Err(_) => (400, Arc::new(error_body("request body is not UTF-8"))),
+                }
+            }))
         }
         (_, path)
             if ANALYSES.contains(&path)
@@ -1060,17 +1307,23 @@ fn route(service: &Service, req: &Request) -> (u16, Arc<String>) {
                 || path == "/whatif"
                 || path == "/v1"
                 || path == "/healthz"
-                || path == "/stats" =>
+                || path == "/stats"
+                || path == "/metrics"
+                || path == "/debug/requests" =>
         {
-            (
-                405,
-                Arc::new(error_body(&format!("method {} not allowed", req.method))),
-            )
+            json(service.observed(Endpoint::Other, || {
+                (
+                    405,
+                    Arc::new(error_body(&format!("method {} not allowed", req.method))),
+                )
+            }))
         }
-        (_, path) => (
-            404,
-            Arc::new(error_body(&format!("no such endpoint {path}"))),
-        ),
+        (_, path) => json(service.observed(Endpoint::Other, || {
+            (
+                404,
+                Arc::new(error_body(&format!("no such endpoint {path}"))),
+            )
+        })),
     }
 }
 

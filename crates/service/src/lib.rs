@@ -18,6 +18,7 @@
 //! | [`sessions`] | per-digest [`tpn_session::Session`] tier: shared pipeline artifacts |
 //! | [`v1`] | the unified `POST /v1` envelope: many analyses, one session |
 //! | [`cache`] | sharded LRU result cache keyed by [`tpn_net::NetDigest`], with request coalescing |
+//! | [`metrics`] | per-endpoint latency histograms, `GET /metrics` exposition, request-trace ring |
 //! | [`executor`] | fixed thread pool over a bounded work queue |
 //! | [`http`] | hand-rolled HTTP/1.1 server over [`std::net::TcpListener`] |
 //!
@@ -67,6 +68,7 @@ pub mod executor;
 pub mod http;
 pub mod json;
 pub mod jsonval;
+pub mod metrics;
 pub mod optimize;
 pub mod sessions;
 pub mod spec;
@@ -79,8 +81,9 @@ pub use analysis::{
 };
 pub use cache::{AnalysisCache, CacheConfig, CacheKey, CacheStats};
 pub use executor::{PoolClosed, ThreadPool};
-pub use http::{spawn, ServerHandle, Service, ServiceConfig};
+pub use http::{spawn, LogConfig, ServerHandle, Service, ServiceConfig};
 pub use jsonval::Json;
+pub use metrics::{Endpoint, RequestTrace, ServiceMetrics, TRACE_RING_CAP};
 pub use optimize::{optimize_json, BoxAxisSpec, OptimizeSpec};
 pub use sessions::{SessionCache, SessionCacheStats};
 pub use spec::Spec;

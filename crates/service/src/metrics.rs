@@ -1,0 +1,702 @@
+//! Service-level observability: per-endpoint request metrics, the
+//! Prometheus `GET /metrics` document, and the `/debug/requests`
+//! trace ring.
+//!
+//! [`ServiceMetrics`] is the recording half: a fixed
+//! `endpoint × status` matrix of relaxed counters, one
+//! [`Histogram`] of request durations per endpoint, and a bounded
+//! ring of the most recent requests' span traces. Everything on the
+//! record path is lock-free except the trace ring push (a short
+//! `Mutex`'d `VecDeque` rotation), and the whole layer collapses to a
+//! no-op when the service is configured with `metrics: false` — the
+//! comparison arm of the overhead bench.
+//!
+//! `render` (crate-private) is the reading half: it assembles the whole exposition
+//! document in one fixed order (build info, uptime, request counters,
+//! request-duration histograms, per-stage build histograms, then
+//! every `/stats` counter as a `tpn_*` family), so a fixed counter
+//! state renders byte-identically and the output is checkable by
+//! `tpn_obs::validate`.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use tpn_obs::hist::{Histogram, HistogramSnapshot};
+use tpn_obs::trace::Span;
+use tpn_obs::Renderer;
+use tpn_session::{StageCounters, STAGES};
+
+use crate::analysis::RequestKind;
+use crate::json::JsonWriter;
+
+/// Every request surface the service distinguishes in its metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Endpoint {
+    /// `POST /analyze` (and the `analyze` kind everywhere).
+    Analyze,
+    /// `POST /graph`.
+    Graph,
+    /// `POST /correctness`.
+    Correctness,
+    /// `POST /invariants`.
+    Invariants,
+    /// `POST /simulate`.
+    Simulate,
+    /// `POST /sweep`.
+    Sweep,
+    /// `POST /optimize`.
+    Optimize,
+    /// `POST /whatif`.
+    Whatif,
+    /// `POST /v1` (the envelope itself, not its sub-requests — those
+    /// are answered through the same cached paths but belong to the
+    /// envelope's trace).
+    V1,
+    /// `GET /healthz`.
+    Healthz,
+    /// `GET /stats`.
+    Stats,
+    /// `GET /metrics`.
+    Metrics,
+    /// `GET /debug/requests`.
+    DebugRequests,
+    /// Anything else: unknown paths (404) and disallowed methods (405).
+    Other,
+}
+
+/// Every endpoint, in the fixed order `/metrics` renders.
+pub const ENDPOINTS: [Endpoint; 14] = [
+    Endpoint::Analyze,
+    Endpoint::Graph,
+    Endpoint::Correctness,
+    Endpoint::Invariants,
+    Endpoint::Simulate,
+    Endpoint::Sweep,
+    Endpoint::Optimize,
+    Endpoint::Whatif,
+    Endpoint::V1,
+    Endpoint::Healthz,
+    Endpoint::Stats,
+    Endpoint::Metrics,
+    Endpoint::DebugRequests,
+    Endpoint::Other,
+];
+
+impl Endpoint {
+    /// The stable `endpoint` label value.
+    pub fn name(self) -> &'static str {
+        match self {
+            Endpoint::Analyze => "analyze",
+            Endpoint::Graph => "graph",
+            Endpoint::Correctness => "correctness",
+            Endpoint::Invariants => "invariants",
+            Endpoint::Simulate => "simulate",
+            Endpoint::Sweep => "sweep",
+            Endpoint::Optimize => "optimize",
+            Endpoint::Whatif => "whatif",
+            Endpoint::V1 => "v1",
+            Endpoint::Healthz => "healthz",
+            Endpoint::Stats => "stats",
+            Endpoint::Metrics => "metrics",
+            Endpoint::DebugRequests => "debug_requests",
+            Endpoint::Other => "other",
+        }
+    }
+
+    /// The endpoint serving a given analysis request kind.
+    pub fn of_kind(kind: RequestKind) -> Endpoint {
+        match kind {
+            RequestKind::Analyze => Endpoint::Analyze,
+            RequestKind::Graph => Endpoint::Graph,
+            RequestKind::Correctness => Endpoint::Correctness,
+            RequestKind::Invariants => Endpoint::Invariants,
+            RequestKind::Simulate { .. } => Endpoint::Simulate,
+            RequestKind::Sweep { .. } => Endpoint::Sweep,
+            RequestKind::Optimize { .. } => Endpoint::Optimize,
+            RequestKind::Whatif { .. } => Endpoint::Whatif,
+        }
+    }
+
+    fn index(self) -> usize {
+        ENDPOINTS
+            .iter()
+            .position(|&e| e == self)
+            .expect("every endpoint is in ENDPOINTS")
+    }
+}
+
+/// The status codes the server emits, each its own label value; any
+/// other code falls into the trailing "other" slot.
+const STATUSES: [u16; 7] = [200, 400, 404, 405, 413, 422, 501];
+
+fn status_index(status: u16) -> usize {
+    STATUSES
+        .iter()
+        .position(|&s| s == status)
+        .unwrap_or(STATUSES.len())
+}
+
+fn status_label(index: usize) -> &'static str {
+    match index {
+        0 => "200",
+        1 => "400",
+        2 => "404",
+        3 => "405",
+        4 => "413",
+        5 => "422",
+        6 => "501",
+        _ => "other",
+    }
+}
+
+/// Completed requests the `/debug/requests` ring retains.
+pub const TRACE_RING_CAP: usize = 256;
+
+/// One completed request's trace: outcome plus the span tree its
+/// worker collected (preorder; `depth` reproduces the nesting). The
+/// root span is implicit — the header fields *are* its measurement —
+/// so `spans` holds only depth ≥ 2 and renderers synthesize the root
+/// line.
+#[derive(Debug, Clone)]
+pub struct RequestTrace {
+    /// The serving endpoint's label value.
+    pub endpoint: &'static str,
+    /// The HTTP status returned.
+    pub status: u16,
+    /// Completion time, milliseconds since the Unix epoch.
+    pub unix_ms: u64,
+    /// Total request duration in nanoseconds.
+    pub duration_ns: u64,
+    /// The collected spans, preorder, excluding the implicit root.
+    pub spans: Vec<Span>,
+}
+
+/// The recording half of service observability. One instance per
+/// [`Service`](crate::Service), shared by all workers.
+#[derive(Debug)]
+pub struct ServiceMetrics {
+    enabled: bool,
+    /// `requests[endpoint][status-slot]`, relaxed.
+    requests: [[AtomicU64; STATUSES.len() + 1]; ENDPOINTS.len()],
+    /// Request-duration histogram per endpoint.
+    durations: [Histogram; ENDPOINTS.len()],
+    /// Most recent completed request traces, oldest first.
+    traces: Mutex<VecDeque<RequestTrace>>,
+}
+
+impl ServiceMetrics {
+    /// A fresh all-zero recorder. With `enabled` false every recording
+    /// entry point is skipped at the call site — the no-op
+    /// configuration the overhead bench compares against.
+    pub fn new(enabled: bool) -> ServiceMetrics {
+        ServiceMetrics {
+            enabled,
+            requests: std::array::from_fn(|_| std::array::from_fn(|_| AtomicU64::new(0))),
+            durations: std::array::from_fn(|_| Histogram::new()),
+            traces: Mutex::new(VecDeque::with_capacity(TRACE_RING_CAP)),
+        }
+    }
+
+    /// Whether recording (and tracing, and request logging) is on.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Count one served request and record its duration.
+    pub(crate) fn record(&self, endpoint: Endpoint, status: u16, duration_ns: u64) {
+        let e = endpoint.index();
+        // The 200 slot is implicit: every request lands in the
+        // endpoint's duration histogram, so successes are derived at
+        // read time ([`requests_in_slot`]) as histogram count minus
+        // the explicit non-200 slots — one less atomic RMW on the
+        // (overwhelmingly 200) hot path. The histogram is bumped
+        // before the slot so a racing reader can only momentarily
+        // over-count successes, never push the subtraction negative.
+        self.durations[e].record_ns(duration_ns);
+        let slot = status_index(status);
+        if slot != 0 {
+            self.requests[e][slot].fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Requests counted for one `(endpoint, status-slot)` pair; the
+    /// 200 slot (index 0) is derived, see [`record`](Self::record).
+    fn requests_in_slot(&self, e: usize, slot: usize) -> u64 {
+        if slot == 0 {
+            let non_200: u64 = self.requests[e][1..]
+                .iter()
+                .map(|a| a.load(Ordering::Relaxed))
+                .sum();
+            self.durations[e].snapshot().count().saturating_sub(non_200)
+        } else {
+            self.requests[e][slot].load(Ordering::Relaxed)
+        }
+    }
+
+    /// Push one completed trace, evicting the oldest past the cap.
+    pub(crate) fn push_trace(&self, trace: RequestTrace) {
+        let mut ring = self.traces.lock().expect("trace ring lock");
+        if ring.len() == TRACE_RING_CAP {
+            if let Some(evicted) = ring.pop_front() {
+                // Hand the evicted span buffer back to this thread's
+                // collector: once the ring is full, the steady-state
+                // request path allocates nothing for its trace.
+                tpn_obs::trace::recycle(evicted.spans);
+            }
+        }
+        ring.push_back(trace);
+    }
+
+    /// The `n` most recent completed traces, most recent first.
+    pub fn recent_traces(&self, n: usize) -> Vec<RequestTrace> {
+        let ring = self.traces.lock().expect("trace ring lock");
+        ring.iter().rev().take(n).cloned().collect()
+    }
+
+    /// Total requests counted for `(endpoint, status)` — test hook.
+    pub fn requests_total(&self, endpoint: Endpoint, status: u16) -> u64 {
+        self.requests_in_slot(endpoint.index(), status_index(status))
+    }
+
+    /// The request-duration snapshot of one endpoint — test hook.
+    pub fn duration_snapshot(&self, endpoint: Endpoint) -> HistogramSnapshot {
+        self.durations[endpoint.index()].snapshot()
+    }
+}
+
+/// Every `/stats` number, copied out for rendering — the bridge
+/// between the service's private counters and [`render`].
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct StatsSnapshot {
+    pub requests: u64,
+    pub computations: u64,
+    pub hits: u64,
+    pub misses: u64,
+    pub coalesced: u64,
+    pub evictions: u64,
+    pub entries: u64,
+    pub bytes: u64,
+    pub sweeps: u64,
+    pub sweep_hits: u64,
+    pub sweep_compiles: u64,
+    pub sweep_points: u64,
+    pub optimizes: u64,
+    pub optimize_hits: u64,
+    pub optimize_solves: u64,
+    pub optimize_certified: u64,
+    pub whatifs: u64,
+    pub whatif_perturbations: u64,
+    pub whatif_hits: u64,
+    pub whatif_retimes: u64,
+    pub whatif_rejects: u64,
+    pub v1_envelopes: u64,
+    pub session_entries: u64,
+    pub session_hits: u64,
+    pub session_misses: u64,
+    pub session_evictions: u64,
+    pub threads: u64,
+    pub queue_cap: u64,
+    pub uptime_seconds: f64,
+}
+
+/// Assemble the `GET /metrics` document. Families render in one fixed
+/// order, endpoints in [`ENDPOINTS`] order, stages in
+/// [`STAGES`] order, statuses in [`STATUSES`] order — rendering the
+/// same state twice yields identical bytes. Zero-valued request
+/// counter series and empty per-endpoint histograms are omitted (the
+/// families stay declared), matching Prometheus convention for
+/// labelled series that have seen no traffic; the seven stage
+/// histograms always render, so p99-per-stage is derivable from the
+/// first scrape on.
+pub(crate) fn render(
+    metrics: &ServiceMetrics,
+    stats: &StatsSnapshot,
+    stages: &StageCounters,
+) -> String {
+    let mut r = Renderer::new();
+
+    r.header(
+        "tpn_build_info",
+        "Build metadata of the serving binary; the value is always 1.",
+        "gauge",
+    );
+    r.sample_u64(
+        "tpn_build_info",
+        &[("version", env!("CARGO_PKG_VERSION"))],
+        1,
+    );
+
+    r.header(
+        "tpn_process_uptime_seconds",
+        "Seconds since the service was constructed.",
+        "gauge",
+    );
+    r.sample_f64("tpn_process_uptime_seconds", &[], stats.uptime_seconds);
+
+    r.header(
+        "tpn_requests_total",
+        "Requests served, by endpoint and HTTP status.",
+        "counter",
+    );
+    for endpoint in ENDPOINTS {
+        for slot in 0..=STATUSES.len() {
+            let n = metrics.requests_in_slot(endpoint.index(), slot);
+            if n > 0 {
+                r.sample_u64(
+                    "tpn_requests_total",
+                    &[
+                        ("endpoint", endpoint.name()),
+                        ("status", status_label(slot)),
+                    ],
+                    n,
+                );
+            }
+        }
+    }
+
+    r.header(
+        "tpn_request_duration_seconds",
+        "Request latency by endpoint, wall clock from dispatch to response body.",
+        "histogram",
+    );
+    for endpoint in ENDPOINTS {
+        let snap = metrics.durations[endpoint.index()].snapshot();
+        if snap.count() > 0 {
+            r.histogram(
+                "tpn_request_duration_seconds",
+                &[("endpoint", endpoint.name())],
+                &snap,
+            );
+        }
+    }
+
+    r.header(
+        "tpn_stage_build_seconds",
+        "Session pipeline stage build durations (one sample per artifact actually built).",
+        "histogram",
+    );
+    for stage in STAGES {
+        r.histogram(
+            "tpn_stage_build_seconds",
+            &[("stage", stage.name())],
+            &stages.build_times(stage),
+        );
+    }
+
+    let counters: [(&str, &str, u64); 18] = [
+        (
+            "tpn_service_requests_total",
+            "Analysis requests accepted across all surfaces (the /stats \"requests\" counter).",
+            stats.requests,
+        ),
+        (
+            "tpn_cache_computations_total",
+            "Body-cache misses that ran a computation.",
+            stats.computations,
+        ),
+        ("tpn_cache_hits_total", "Body-cache hits.", stats.hits),
+        ("tpn_cache_misses_total", "Body-cache misses.", stats.misses),
+        (
+            "tpn_cache_coalesced_total",
+            "Requests that coalesced onto a concurrent identical computation.",
+            stats.coalesced,
+        ),
+        (
+            "tpn_cache_evictions_total",
+            "Body-cache evictions.",
+            stats.evictions,
+        ),
+        ("tpn_sweeps_total", "Sweep requests.", stats.sweeps),
+        (
+            "tpn_sweep_hits_total",
+            "Sweep cache hits.",
+            stats.sweep_hits,
+        ),
+        (
+            "tpn_sweep_compiles_total",
+            "Sweep grid evaluations actually run.",
+            stats.sweep_compiles,
+        ),
+        (
+            "tpn_sweep_points_total",
+            "Grid points evaluated by sweeps.",
+            stats.sweep_points,
+        ),
+        ("tpn_optimizes_total", "Optimize requests.", stats.optimizes),
+        (
+            "tpn_optimize_hits_total",
+            "Optimize cache hits.",
+            stats.optimize_hits,
+        ),
+        (
+            "tpn_optimize_solves_total",
+            "Optimizer solves actually run.",
+            stats.optimize_solves,
+        ),
+        (
+            "tpn_optimize_certified_total",
+            "Optimizer solves that produced a certificate.",
+            stats.optimize_certified,
+        ),
+        (
+            "tpn_whatifs_total",
+            "What-if batch requests.",
+            stats.whatifs,
+        ),
+        (
+            "tpn_whatif_perturbations_total",
+            "Individual what-if perturbations served.",
+            stats.whatif_perturbations,
+        ),
+        (
+            "tpn_whatif_hits_total",
+            "What-if perturbations answered from the cache.",
+            stats.whatif_hits,
+        ),
+        (
+            "tpn_whatif_retimes_total",
+            "What-if perturbations that instantiated the re-timing template.",
+            stats.whatif_retimes,
+        ),
+    ];
+    for (name, help, value) in counters {
+        r.header(name, help, "counter");
+        r.sample_u64(name, &[], value);
+    }
+    let more_counters: [(&str, &str, u64); 5] = [
+        (
+            "tpn_whatif_rejects_total",
+            "What-if perturbations rejected (invalid or out of region).",
+            stats.whatif_rejects,
+        ),
+        (
+            "tpn_v1_envelopes_total",
+            "POST /v1 envelopes served.",
+            stats.v1_envelopes,
+        ),
+        (
+            "tpn_session_hits_total",
+            "Artifact-tier lookups that found a live session.",
+            stats.session_hits,
+        ),
+        (
+            "tpn_session_misses_total",
+            "Artifact-tier lookups that created a session.",
+            stats.session_misses,
+        ),
+        (
+            "tpn_session_evictions_total",
+            "Sessions evicted from the artifact tier.",
+            stats.session_evictions,
+        ),
+    ];
+    for (name, help, value) in more_counters {
+        r.header(name, help, "counter");
+        r.sample_u64(name, &[], value);
+    }
+
+    r.header(
+        "tpn_artifact_demands_total",
+        "Session pipeline stage demands, by stage and outcome (hit, miss or build).",
+        "counter",
+    );
+    for stage in STAGES {
+        let snap = stages.snapshot(stage);
+        for (event, value) in [
+            ("hit", snap.hits),
+            ("miss", snap.misses),
+            ("build", snap.builds),
+        ] {
+            r.sample_u64(
+                "tpn_artifact_demands_total",
+                &[("stage", stage.name()), ("event", event)],
+                value,
+            );
+        }
+    }
+
+    let gauges: [(&str, &str, u64); 5] = [
+        (
+            "tpn_cache_entries",
+            "Live body-cache entries.",
+            stats.entries,
+        ),
+        (
+            "tpn_cache_bytes",
+            "Bytes held by body-cache entries.",
+            stats.bytes,
+        ),
+        (
+            "tpn_sessions",
+            "Live sessions in the artifact tier.",
+            stats.session_entries,
+        ),
+        ("tpn_threads", "Configured worker threads.", stats.threads),
+        (
+            "tpn_queue_cap",
+            "Configured connection queue capacity.",
+            stats.queue_cap,
+        ),
+    ];
+    for (name, help, value) in gauges {
+        r.header(name, help, "gauge");
+        r.sample_u64(name, &[], value);
+    }
+
+    r.finish()
+}
+
+/// Render one request trace as a single NDJSON line (no trailing
+/// newline — the route joins lines).
+fn trace_line(trace: &RequestTrace) -> String {
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.key("ts_ms");
+    w.uint(trace.unix_ms);
+    w.key("endpoint");
+    w.string(trace.endpoint);
+    w.key("status");
+    w.uint(u64::from(trace.status));
+    w.key("duration_ns");
+    w.uint(trace.duration_ns);
+    w.key("spans");
+    w.begin_array();
+    // The implicit root, synthesized from the header measurement.
+    w.begin_object();
+    w.key("name");
+    w.string(trace.endpoint);
+    w.key("depth");
+    w.uint(1);
+    w.key("start_ns");
+    w.uint(0);
+    w.key("duration_ns");
+    w.uint(trace.duration_ns);
+    w.end_object();
+    for span in &trace.spans {
+        w.begin_object();
+        w.key("name");
+        w.string(span.name);
+        w.key("depth");
+        w.uint(u64::from(span.depth));
+        w.key("start_ns");
+        w.uint(span.start_ns);
+        w.key("duration_ns");
+        w.uint(span.duration_ns);
+        w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    w.finish()
+}
+
+/// The `GET /debug/requests?n=K` body: the K most recent completed
+/// request traces, most recent first, one JSON document per line.
+pub(crate) fn debug_requests_ndjson(traces: &[RequestTrace]) -> String {
+    let mut out = String::new();
+    for trace in traces {
+        out.push_str(&trace_line(trace));
+        out.push('\n');
+    }
+    out
+}
+
+/// Render a span list as a JSON array into an existing writer — the
+/// `/v1` envelope's `"trace"` member.
+pub(crate) fn write_spans(w: &mut JsonWriter, spans: &[Span]) {
+    w.begin_array();
+    for span in spans {
+        w.begin_object();
+        w.key("name");
+        w.string(span.name);
+        w.key("depth");
+        w.uint(u64::from(span.depth));
+        w.key("start_ns");
+        w.uint(span.start_ns);
+        w.key("duration_ns");
+        w.uint(span.duration_ns);
+        w.end_object();
+    }
+    w.end_array();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoint_indices_are_consistent() {
+        for (i, e) in ENDPOINTS.iter().enumerate() {
+            assert_eq!(e.index(), i);
+        }
+        let names: std::collections::HashSet<&str> = ENDPOINTS.iter().map(|e| e.name()).collect();
+        assert_eq!(names.len(), ENDPOINTS.len(), "duplicate endpoint label");
+    }
+
+    #[test]
+    fn status_slots_cover_every_emitted_code() {
+        for (i, &s) in STATUSES.iter().enumerate() {
+            assert_eq!(status_index(s), i);
+            assert_eq!(status_label(i), s.to_string());
+        }
+        assert_eq!(status_index(500), STATUSES.len());
+        assert_eq!(status_label(STATUSES.len()), "other");
+    }
+
+    #[test]
+    fn record_and_render_roundtrip_validates() {
+        let m = ServiceMetrics::new(true);
+        m.record(Endpoint::Analyze, 200, 120_000);
+        m.record(Endpoint::Analyze, 200, 80_000);
+        m.record(Endpoint::Analyze, 422, 40_000);
+        m.record(Endpoint::Sweep, 200, 3_000_000);
+        let stages = StageCounters::new();
+        let stats = StatsSnapshot {
+            requests: 4,
+            uptime_seconds: 1.25,
+            ..StatsSnapshot::default()
+        };
+        let text = render(&m, &stats, &stages);
+        tpn_obs::validate::validate(&text).unwrap();
+        assert!(
+            text.contains("tpn_requests_total{endpoint=\"analyze\",status=\"200\"} 2\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("tpn_requests_total{endpoint=\"analyze\",status=\"422\"} 1\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("tpn_request_duration_seconds_count{endpoint=\"analyze\"} 3\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("tpn_stage_build_seconds_count{stage=\"trg\"} 0\n"),
+            "{text}"
+        );
+        assert!(text.contains("tpn_build_info{version=\""), "{text}");
+        // Deterministic: identical state renders identical bytes.
+        assert_eq!(text, render(&m, &stats, &stages));
+    }
+
+    #[test]
+    fn trace_ring_keeps_the_most_recent() {
+        let m = ServiceMetrics::new(true);
+        for i in 0..(TRACE_RING_CAP + 10) {
+            m.push_trace(RequestTrace {
+                endpoint: "analyze",
+                status: 200,
+                unix_ms: i as u64,
+                duration_ns: 1,
+                spans: Vec::new(),
+            });
+        }
+        let recent = m.recent_traces(3);
+        assert_eq!(recent.len(), 3);
+        assert_eq!(recent[0].unix_ms, (TRACE_RING_CAP + 9) as u64);
+        assert!(m.recent_traces(10_000).len() == TRACE_RING_CAP);
+        let ndjson = debug_requests_ndjson(&recent);
+        assert_eq!(ndjson.lines().count(), 3);
+        assert!(ndjson.starts_with("{\"ts_ms\":"), "{ndjson}");
+    }
+}

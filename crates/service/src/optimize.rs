@@ -258,6 +258,7 @@ pub fn optimize_json(
     session: &Session,
     spec: &OptimizeSpec,
 ) -> Result<(String, bool), ServiceError> {
+    let _span = tpn_obs::trace::span("render");
     let net = session.net();
     let threads = session.options().threads_or_default();
     let max_seed_points = session.options().max_points_or_default();

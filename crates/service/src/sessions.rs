@@ -84,6 +84,10 @@ impl SessionCache {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Arc::clone(&slot.session);
         }
+        // Span the miss only: a hit is one map probe, below span
+        // resolution, and the warm path must not pay clock reads for
+        // it. A "session" span in a trace means a session was built.
+        let _span = tpn_obs::trace::span("session");
         self.misses.fetch_add(1, Ordering::Relaxed);
         let session = Arc::new(Session::with_counters(
             net,
@@ -136,6 +140,9 @@ impl SessionCache {
                 return Ok(Arc::clone(&slot.session));
             }
         }
+        // Miss only, as in [`SessionCache::session_for`] — here the
+        // span times the real work: `build` re-timing through the lift.
+        let _span = tpn_obs::trace::span("session");
         self.misses.fetch_add(1, Ordering::Relaxed);
         let session = Arc::new(build()?);
         let mut map = self.map.lock().expect("session map lock");

@@ -510,6 +510,7 @@ pub(crate) fn resolve_target(
 /// server's — and the lift + compiled program are session artifacts,
 /// shared with every other request over the same net.
 pub fn sweep_json(session: &Session, spec: &SweepSpec) -> Result<(String, u64), ServiceError> {
+    let _span = tpn_obs::trace::span("render");
     let net = session.net();
     let threads = session.options().threads_or_default();
     let max_points = session.options().max_points_or_default();

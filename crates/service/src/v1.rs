@@ -70,22 +70,29 @@ impl V1Request {
     }
 }
 
-/// Parse a `/v1` envelope body into the net text and the request list.
-/// `max_sim_events` bounds `simulate` budgets exactly like the legacy
-/// query-parameter route.
+/// Parse a `/v1` envelope body into the net text, the request list and
+/// the opt-in `"trace"` flag (when true, the response carries the
+/// request's span trace). `max_sim_events` bounds `simulate` budgets
+/// exactly like the legacy query-parameter route.
 pub fn parse_envelope(
     body: &str,
     max_sim_events: u64,
-) -> Result<(String, Vec<V1Request>), ServiceError> {
+) -> Result<(String, Vec<V1Request>, bool), ServiceError> {
     let doc = Json::parse(body).map_err(|e| bad(format!("request body: {e}")))?;
     let members = doc
         .as_obj()
         .ok_or_else(|| bad(format!("envelope must be an object, got {}", doc.kind())))?;
     for (k, _) in members {
-        if !matches!(k.as_str(), "net" | "requests") {
+        if !matches!(k.as_str(), "net" | "requests" | "trace") {
             return Err(bad(format!("unknown envelope member {k:?}")));
         }
     }
+    let trace = match doc.get("trace") {
+        None => false,
+        Some(v) => v
+            .as_bool()
+            .ok_or_else(|| bad(format!("\"trace\" must be a boolean, got {}", v.kind())))?,
+    };
     let net_text = doc
         .get("net")
         .and_then(Json::as_str)
@@ -105,7 +112,7 @@ pub fn parse_envelope(
     for r in requests_json {
         requests.push(parse_request(r, max_sim_events)?);
     }
-    Ok((net_text, requests))
+    Ok((net_text, requests, trace))
 }
 
 fn parse_request(r: &Json, max_sim_events: u64) -> Result<V1Request, ServiceError> {
@@ -201,8 +208,9 @@ mod tests {
             {"kind":"optimize","spec":{"target":"cycle_time","box":[{"symbol":"F(go)","from":"1","to":"2"}]}},
             {"kind":"whatif","spec":{"perturbations":[{"F(go)":"3/2"}]}}
         ]}"#;
-        let (net, requests) = parse_envelope(body, 1000).unwrap();
+        let (net, requests, trace) = parse_envelope(body, 1000).unwrap();
         assert_eq!(net, "net c");
+        assert!(!trace, "trace defaults to off");
         assert_eq!(requests.len(), 6);
         assert!(matches!(
             requests[2],
@@ -214,6 +222,13 @@ mod tests {
         assert_eq!(requests[3].kind_name(), "sweep");
         assert_eq!(requests[4].kind_name(), "optimize");
         assert_eq!(requests[5].kind_name(), "whatif");
+    }
+
+    #[test]
+    fn envelope_accepts_the_trace_flag() {
+        let body = r#"{"net":"net c","trace":true,"requests":[{"kind":"analyze"}]}"#;
+        let (_, _, trace) = parse_envelope(body, 1000).unwrap();
+        assert!(trace);
     }
 
     #[test]
@@ -254,6 +269,10 @@ mod tests {
             (
                 r#"{"net":"n","requests":[{"kind":"whatif","spec":{"net":"x","perturbations":[{"F(g)":"1"}]}}]}"#,
                 "net inside the whatif spec",
+            ),
+            (
+                r#"{"net":"n","trace":1,"requests":[{"kind":"analyze"}]}"#,
+                "non-boolean trace",
             ),
         ] {
             let e = parse_envelope(body, 1000).unwrap_err();

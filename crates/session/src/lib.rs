@@ -224,7 +224,10 @@ impl std::fmt::Debug for Session {
 
 /// The shared demand protocol: hit if the cell is already resolved,
 /// otherwise miss and race to build — `OnceLock` guarantees exactly
-/// one `build` run; losers block and clone the winner's result.
+/// one `build` run; losers block and clone the winner's result. The
+/// winning build is timed into the stage's duration histogram and, if
+/// the demanding thread is tracing its request, recorded as a span
+/// named after the stage.
 fn demand<T>(
     counters: &StageCounters,
     stage: Stage,
@@ -237,8 +240,11 @@ fn demand<T>(
     }
     counters.miss(stage);
     cell.get_or_init(|| {
-        counters.build(stage);
-        build().map(Arc::new)
+        let _span = tpn_obs::trace::span(stage.name());
+        let start = std::time::Instant::now();
+        let built = build().map(Arc::new);
+        counters.build_timed(stage, start.elapsed());
+        built
     })
     .clone()
 }
@@ -485,8 +491,11 @@ impl Session {
             .map_err(|e| RetimeError::OutOfRegion(e.to_string()))?;
         // Instantiate the skeleton at the point and seed a fresh session
         // over the perturbed net; downstream stages (rates, performance)
-        // rebuild lazily from the seeded decision graph as usual.
-        self.counters.build(Stage::Retimed);
+        // rebuild lazily from the seeded decision graph as usual. The
+        // substitution is the Retimed stage's "build": time it like any
+        // other stage execution.
+        let _span = tpn_obs::trace::span(Stage::Retimed.name());
+        let build_start = std::time::Instant::now();
         let internal = || {
             RetimeError::Pipeline(SessionError::new(
                 Stage::Retimed,
@@ -512,6 +521,8 @@ impl Session {
         let _ = session.dg.set(Ok(Arc::new(dg)));
         let _ = session.rates.set(Ok(Arc::new(rates)));
         let _ = session.perf.set(Ok(Arc::new(perf)));
+        self.counters
+            .build_timed(Stage::Retimed, build_start.elapsed());
         Ok(session)
     }
 

@@ -11,9 +11,16 @@
 //! re-observed a memoized error).
 //!
 //! Counters are plain relaxed atomics: they feed observability
-//! endpoints (`/stats`), not control flow.
+//! endpoints (`/stats`), not control flow. Alongside the counters,
+//! every stage records its **build durations** into a lock-free
+//! [`Histogram`] — the `tpn_stage_build_seconds{stage}` histograms of
+//! `/metrics` — so the cost of each pipeline stage (not just its
+//! frequency) is observable per service.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use tpn_obs::hist::{Histogram, HistogramSnapshot};
 
 /// One pipeline stage of a session, in derivation order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -85,6 +92,7 @@ pub struct StageCounters {
     hits: [AtomicU64; 7],
     misses: [AtomicU64; 7],
     builds: [AtomicU64; 7],
+    build_time: [Histogram; 7],
 }
 
 impl StageCounters {
@@ -101,8 +109,11 @@ impl StageCounters {
         self.misses[stage.index()].fetch_add(1, Ordering::Relaxed);
     }
 
-    pub(crate) fn build(&self, stage: Stage) {
-        self.builds[stage.index()].fetch_add(1, Ordering::Relaxed);
+    /// Count one build of `stage` and record how long it ran.
+    pub(crate) fn build_timed(&self, stage: Stage, elapsed: Duration) {
+        let i = stage.index();
+        self.builds[i].fetch_add(1, Ordering::Relaxed);
+        self.build_time[i].record(elapsed);
     }
 
     /// A consistent-enough snapshot of one stage's counters.
@@ -113,6 +124,12 @@ impl StageCounters {
             misses: self.misses[i].load(Ordering::Relaxed),
             builds: self.builds[i].load(Ordering::Relaxed),
         }
+    }
+
+    /// A snapshot of one stage's build-duration histogram (each sample
+    /// is one pipeline execution of that stage; hits record nothing).
+    pub fn build_times(&self, stage: Stage) -> HistogramSnapshot {
+        self.build_time[stage.index()].snapshot()
     }
 }
 

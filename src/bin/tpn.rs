@@ -12,6 +12,7 @@
 //! tpn optimize <net.tpn> <spec.json>    certified optimal timing parameters (JSON)
 //! tpn whatif <net.tpn> <spec.json>      incremental re-timed analyses over a perturbation batch (JSON)
 //! tpn serve <addr> [OPTIONS]            HTTP analysis daemon (JSON API)
+//! tpn stats <addr> [--metrics]          counters of a running daemon (pretty table or raw /metrics)
 //! tpn batch <dir> [KIND..]              run analyses over every .tpn in a directory (JSON lines)
 //! ```
 //!
@@ -98,8 +99,15 @@ const COMMANDS: &[CommandHelp] = &[
     },
     CommandHelp {
         name: "serve",
-        usage: "tpn serve <addr> [--threads N] [--queue N] [--cache-bytes N]",
+        usage: "tpn serve <addr> [--threads N] [--queue N] [--cache-bytes N] [--no-metrics] \
+                [--log[=FILE]] [--log-sample N]",
         summary: "HTTP analysis daemon with a content-addressed result cache",
+    },
+    CommandHelp {
+        name: "stats",
+        usage: "tpn stats <addr> [--metrics]",
+        summary: "fetch a running daemon's counters — pretty table from /stats, or the raw \
+                  Prometheus exposition with --metrics",
     },
     CommandHelp {
         name: "batch",
@@ -214,6 +222,7 @@ fn run(args: &[String]) -> Result<(), String> {
     }
     match cmd {
         "serve" => return cmd_serve(&args[1..]),
+        "stats" => return cmd_stats(&args[1..]),
         "batch" => return cmd_batch(&args[1..]),
         "sweep" => return cmd_sweep(&args[1..]),
         "optimize" => return cmd_optimize(&args[1..]),
@@ -469,10 +478,14 @@ fn cmd_whatif(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// `tpn serve <addr> [--threads N] [--queue N] [--cache-bytes N]`
+/// `tpn serve <addr> [--threads N] [--queue N] [--cache-bytes N]
+/// [--no-metrics] [--log[=FILE]] [--log-sample N]`
 fn cmd_serve(args: &[String]) -> Result<(), String> {
     let mut addr: Option<&str> = None;
     let mut config = ServiceConfig::default();
+    let mut log_requested = false;
+    let mut log_path: Option<String> = None;
+    let mut log_sample: u64 = 1;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let mut flag_value = |name: &str| -> Result<usize, String> {
@@ -486,6 +499,13 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             "--threads" => config.threads = flag_value("--threads")?,
             "--queue" => config.queue_cap = flag_value("--queue")?,
             "--cache-bytes" => config.cache.byte_budget = flag_value("--cache-bytes")?,
+            "--no-metrics" => config.metrics = false,
+            "--log" => log_requested = true,
+            "--log-sample" => log_sample = flag_value("--log-sample")? as u64,
+            flag if flag.starts_with("--log=") => {
+                log_requested = true;
+                log_path = Some(flag["--log=".len()..].to_string());
+            }
             flag if flag.starts_with('-') => {
                 return Err(format!("unknown flag {flag:?}\n{}", usage_of("serve")))
             }
@@ -498,15 +518,129 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             }
         }
     }
+    if log_requested {
+        if !config.metrics {
+            return Err(format!(
+                "--log requires metrics (drop --no-metrics)\n{}",
+                usage_of("serve")
+            ));
+        }
+        config.log = Some(tpn_service::LogConfig {
+            path: log_path,
+            sample: log_sample,
+        });
+    }
     let addr = addr.ok_or_else(|| usage_of("serve"))?;
     let service = Arc::new(Service::new(config));
     let handle = tpn_service::spawn(service, addr).map_err(|e| format!("{addr}: {e}"))?;
     println!("tpn-service listening on http://{}", handle.addr());
     println!(
         "endpoints: POST /v1 /analyze /graph /correctness /invariants /simulate /sweep /optimize \
-         /whatif · GET /healthz /stats"
+         /whatif · GET /healthz /stats /metrics /debug/requests"
     );
     handle.wait();
+    Ok(())
+}
+
+/// Fetch one path from a daemon over a single `Connection: close`
+/// HTTP/1.1 exchange. Returns the response body; non-200 statuses are
+/// an error carrying the body text.
+fn http_get(addr: &str, path: &str) -> Result<String, String> {
+    use std::io::{Read, Write};
+
+    let addr = addr.strip_prefix("http://").unwrap_or(addr);
+    let addr = addr.strip_suffix('/').unwrap_or(addr);
+    let mut stream = std::net::TcpStream::connect(addr).map_err(|e| format!("{addr}: {e}"))?;
+    stream
+        .write_all(
+            format!("GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n").as_bytes(),
+        )
+        .map_err(|e| format!("{addr}: {e}"))?;
+    let mut response = String::new();
+    stream
+        .read_to_string(&mut response)
+        .map_err(|e| format!("{addr}: {e}"))?;
+    let (head, body) = response
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| format!("{addr}: malformed HTTP response"))?;
+    let status = head
+        .split(' ')
+        .nth(1)
+        .ok_or_else(|| format!("{addr}: malformed status line"))?;
+    if status != "200" {
+        return Err(format!("{addr}{path}: HTTP {status}: {body}"));
+    }
+    Ok(body.to_string())
+}
+
+/// `tpn stats <addr> [--metrics]` — fetch and display a running
+/// daemon's counters. The default view renders `/stats` as aligned
+/// `name  value` lines (nested objects flattened with dotted names);
+/// `--metrics` prints the raw Prometheus exposition instead.
+fn cmd_stats(args: &[String]) -> Result<(), String> {
+    let mut addr: Option<&str> = None;
+    let mut raw_metrics = false;
+    for arg in args {
+        match arg.as_str() {
+            "--metrics" => raw_metrics = true,
+            flag if flag.starts_with('-') => {
+                return Err(format!("unknown flag {flag:?}\n{}", usage_of("stats")))
+            }
+            a if addr.is_none() => addr = Some(a),
+            extra => {
+                return Err(format!(
+                    "unexpected argument {extra:?}\n{}",
+                    usage_of("stats")
+                ))
+            }
+        }
+    }
+    let addr = addr.ok_or_else(|| usage_of("stats"))?;
+    if raw_metrics {
+        print!("{}", http_get(addr, "/metrics")?);
+        return Ok(());
+    }
+    let body = http_get(addr, "/stats")?;
+    let doc = tpn_service::Json::parse(&body).map_err(|e| format!("{addr}/stats: {e}"))?;
+    let mut rows: Vec<(String, String)> = Vec::new();
+    flatten_stats("", &doc, &mut rows)?;
+    let width = rows.iter().map(|(k, _)| k.len()).max().unwrap_or(0);
+    for (key, value) in rows {
+        println!("{key:<width$}  {value}");
+    }
+    Ok(())
+}
+
+/// Flatten a `/stats` document into dotted `name → value` rows,
+/// preserving the server's member order.
+fn flatten_stats(
+    prefix: &str,
+    doc: &tpn_service::Json,
+    rows: &mut Vec<(String, String)>,
+) -> Result<(), String> {
+    let members = doc
+        .as_obj()
+        .ok_or_else(|| format!("unexpected /stats shape at {prefix:?}"))?;
+    for (key, value) in members {
+        let name = if prefix.is_empty() {
+            key.clone()
+        } else {
+            format!("{prefix}.{key}")
+        };
+        match value {
+            tpn_service::Json::Obj(_) => flatten_stats(&name, value, rows)?,
+            other => {
+                let rendered = match other.as_num() {
+                    Some(n) => n.to_string(),
+                    None => other
+                        .as_str()
+                        .map(str::to_string)
+                        .unwrap_or_else(|| format!("{other:?}")),
+                };
+                rows.push((name, rendered));
+            }
+        }
+    }
     Ok(())
 }
 
@@ -605,6 +739,7 @@ mod tests {
             "optimize",
             "whatif",
             "serve",
+            "stats",
             "batch",
         ] {
             assert!(command_help(name).is_some(), "{name} missing from COMMANDS");

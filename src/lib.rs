@@ -23,6 +23,7 @@
 //! | [`sim`] | `tpn-sim` | discrete-event Monte-Carlo validation |
 //! | [`protocols`] | `tpn-protocols` | the paper's nets and parametric families |
 //! | [`session`] | `tpn-session` | memoized typed-artifact pipeline: one handle, the whole chain |
+//! | [`obs`] | `tpn-obs` | observability: lock-free latency histograms, Prometheus exposition, span traces |
 //! | [`service`] | `tpn-service` | analysis daemon: two-tier cache, thread pool, HTTP + JSON |
 //!
 //! # Quickstart
@@ -61,6 +62,7 @@ pub use tpn_core as core;
 pub use tpn_eval as eval;
 pub use tpn_linalg as linalg;
 pub use tpn_net as net;
+pub use tpn_obs as obs;
 pub use tpn_opt as opt;
 pub use tpn_protocols as protocols;
 pub use tpn_rational as rational;
