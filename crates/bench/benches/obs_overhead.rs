@@ -9,33 +9,90 @@
 //! and once with `ServiceConfig { metrics: false, .. }`, which turns
 //! the whole layer into a no-op — on the same two nets.
 //!
-//! `BENCH_6.json` records the instrumented/no-op mean ratio; the
-//! acceptance gate is <3% overhead. Setting `TPN_OBS_GATE=<percent>`
+//! Since PR 8 the instrumented arm carries the full retention layer
+//! too: every request passes the slow-request watchdog (the default
+//! 250 ms analysis objective — warm hits pay the threshold compare,
+//! never a capture), and a live sampler thread pushes retention-ring
+//! frames (counter deltas + 17 histogram snapshots + `/proc/self`
+//! gauges) every 25 ms — 200× the production 5 s cadence, so the
+//! measured interference is a hard upper bound. Both arms get an
+//! identical background thread (the no-op arm's `sample_now` is a
+//! single branch) so the scheduler load is symmetric.
+//!
+//! `BENCH_7.json` records the per-request instrumentation delta over
+//! the no-op time (see `overhead_gate` for the paired-block method);
+//! the acceptance gate is <3% overhead. Setting `TPN_OBS_GATE=<percent>`
 //! additionally runs an interleaved A/B timing loop after the criterion
 //! groups and fails the process if the measured overhead exceeds the
 //! given percentage — the CI hook (CI uses a lenient bound; the precise
-//! number comes from the quiet-host run recorded in BENCH_6.json).
+//! number comes from the quiet-host run recorded in BENCH_7.json).
 
 use criterion::{criterion_group, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
-use std::time::Instant;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 use tpn_protocols::families;
 use tpn_rational::Rational;
 use tpn_service::{RequestKind, Service, ServiceConfig};
 
 const FIG1: &str = include_str!("../../../tests/fixtures/fig1.tpn");
 
-fn service(instrumented: bool) -> Service {
-    Service::new(ServiceConfig {
+fn service(instrumented: bool) -> Arc<Service> {
+    Arc::new(Service::new(ServiceConfig {
         metrics: instrumented,
         ..ServiceConfig::default()
-    })
+    }))
+}
+
+/// A background retention-sampler thread over one service, ticking
+/// far faster than production would; stops and joins on drop.
+struct Sampler {
+    stop: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Sampler {
+    fn over(service: &Arc<Service>) -> Sampler {
+        // Overridable for decomposition runs (how much of the measured
+        // overhead is sampler interference vs per-request cost).
+        let interval = std::env::var("TPN_OBS_SAMPLER_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(25);
+        let stop = Arc::new(AtomicBool::new(false));
+        let (service, stopped) = (Arc::clone(service), Arc::clone(&stop));
+        let thread = std::thread::spawn(move || {
+            let mut next = Instant::now();
+            while !stopped.load(Ordering::Relaxed) {
+                if Instant::now() >= next {
+                    service.sample_now();
+                    next += Duration::from_millis(interval);
+                }
+                std::thread::sleep(Duration::from_millis(5.min(interval)));
+            }
+        });
+        Sampler {
+            stop,
+            thread: Some(thread),
+        }
+    }
+}
+
+impl Drop for Sampler {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
 }
 
 fn bench_one(g: &mut criterion::BenchmarkGroup<'_>, label: &str, src: &str) {
     for (arm, instrumented) in [("instrumented", true), ("noop", false)] {
         g.bench_with_input(BenchmarkId::new(arm, label), &src, |b, src| {
             let service = service(instrumented);
+            let _sampler = Sampler::over(&service);
             b.iter(|| {
                 let (status, body) = service.respond(RequestKind::Analyze, black_box(src));
                 assert_eq!(status, 200, "{body}");
@@ -57,7 +114,7 @@ fn bench_obs_overhead(c: &mut Criterion) {
 
 /// Nanoseconds for one block of `BLOCK` warm-hit requests.
 fn block_ns(service: &Service, src: &str) -> f64 {
-    const BLOCK: u32 = 8;
+    const BLOCK: u32 = 64;
     let start = Instant::now();
     for _ in 0..BLOCK {
         let (status, body) = service.respond(RequestKind::Analyze, black_box(src));
@@ -67,13 +124,26 @@ fn block_ns(service: &Service, src: &str) -> f64 {
     start.elapsed().as_nanos() as f64 / f64::from(BLOCK)
 }
 
+/// The middle element of a sorted copy of `xs`.
+fn median(xs: &[f64]) -> f64 {
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|x, y| x.total_cmp(y));
+    sorted[sorted.len() / 2]
+}
+
 /// `TPN_OBS_GATE=<percent>`: paired A/B overhead measurement with a
 /// hard failure past the bound, built to survive a noisy shared host.
-/// The two services are timed in short 8-request blocks in ABBA order
-/// (instrumented, no-op, no-op, no-op-warm…), one per-quad ratio each
-/// ~230 µs, so scheduler preemptions and load drift land on whole
-/// quads; the verdict is the **median** of ~2000 quad ratios, which a
-/// minority of disturbed quads cannot move.
+/// The two services are timed in 64-request blocks in ABBA order
+/// (instrumented, no-op, no-op, instrumented) — long enough that the
+/// cache refill from switching services amortizes (8-request blocks
+/// over-charged the instrumented arm, whose resident state is
+/// bigger), short enough (~400 µs per block) that a scheduler
+/// preemption disturbs one quad, not many. Each quad yields one
+/// per-request **delta** `(a1+a2-b1-b2)/2`; the verdict is the median
+/// delta over the median no-op time. Deltas are additive, so
+/// symmetric timing noise cancels in the median — a per-quad *ratio*
+/// is right-skewed by noise spikes and read ~0.5-1% high on a busy
+/// host.
 fn overhead_gate() {
     let Ok(bound) = std::env::var("TPN_OBS_GATE") else {
         return;
@@ -83,30 +153,28 @@ fn overhead_gate() {
         families::producer_consumer(32, Rational::from_int(2), Rational::from_int(5)).to_tpn();
     let with = service(true);
     let without = service(false);
+    let _samplers = (Sampler::over(&with), Sampler::over(&without));
     // Warm both caches (and the instrumented trace ring) first.
-    for _ in 0..300 {
+    for _ in 0..40 {
         black_box(block_ns(&with, &prodcons));
         black_box(block_ns(&without, &prodcons));
     }
     const QUADS: usize = 2_001;
-    let mut ratios = Vec::with_capacity(QUADS);
-    let mut sum_with = 0.0;
-    let mut sum_without = 0.0;
+    let mut deltas = Vec::with_capacity(QUADS);
+    let mut noops = Vec::with_capacity(QUADS);
     for _ in 0..QUADS {
         let a1 = block_ns(&with, &prodcons);
         let b1 = block_ns(&without, &prodcons);
         let b2 = block_ns(&without, &prodcons);
         let a2 = block_ns(&with, &prodcons);
-        ratios.push((a1 + a2) / (b1 + b2));
-        sum_with += a1 + a2;
-        sum_without += b1 + b2;
+        deltas.push((a1 + a2 - b1 - b2) / 2.0);
+        noops.push((b1 + b2) / 2.0);
     }
-    ratios.sort_by(|x, y| x.total_cmp(y));
-    let overhead = (ratios[QUADS / 2] - 1.0) * 100.0;
+    let noop_ns = median(&noops);
+    let delta_ns = median(&deltas);
+    let overhead = 100.0 * delta_ns / noop_ns;
     println!(
-        "obs overhead gate: instrumented {:.0} ns, noop {:.0} ns, median overhead {overhead:.2}% (bound {bound}%)",
-        sum_with / (2.0 * QUADS as f64),
-        sum_without / (2.0 * QUADS as f64)
+        "obs overhead gate: noop {noop_ns:.0} ns, instrumented +{delta_ns:.1} ns, median overhead {overhead:.2}% (bound {bound}%)",
     );
     assert!(
         overhead <= bound,

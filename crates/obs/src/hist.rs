@@ -128,6 +128,25 @@ impl HistogramSnapshot {
         self.sum_ns += other.sum_ns;
     }
 
+    /// The activity between `earlier` and this snapshot: bucket-wise
+    /// saturating subtraction. For two snapshots of one recorder the
+    /// delta equals the snapshot of exactly the samples recorded in
+    /// between; if the recorder was reset (earlier > later) the delta
+    /// saturates at zero rather than wrapping — windowed rates derived
+    /// from deltas can never go negative.
+    pub fn delta(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        let mut out = HistogramSnapshot::default();
+        for (o, (a, b)) in out
+            .counts
+            .iter_mut()
+            .zip(self.counts.iter().zip(&earlier.counts))
+        {
+            *o = a.saturating_sub(*b);
+        }
+        out.sum_ns = self.sum_ns.saturating_sub(earlier.sum_ns);
+        out
+    }
+
     /// Cumulative counts, aligned with [`BUCKET_BOUNDS_NS`] — exactly
     /// the `_bucket` series of the Prometheus exposition (the final
     /// entry equals [`count`](HistogramSnapshot::count)).

@@ -12,6 +12,9 @@
 //! | [`expo`] | Prometheus text-exposition rendering (format 0.0.4) with deterministic ordering |
 //! | [`validate`] | a hand-rolled exposition-format checker, used by tests against live `/metrics` output |
 //! | [`log`] | sampled NDJSON request logging behind a `Mutex`'d writer |
+//! | [`series`] | seqlock time-series ring retaining counter/gauge/histogram frames for trailing-window rates |
+//! | [`slo`] | objectives, windowed compliance and multi-window burn-rate arithmetic (Google SRE style) |
+//! | [`procinfo`] | best-effort `/proc/self` process gauges (RSS, open fds, threads) |
 //!
 //! Design constraints, in order:
 //!
@@ -31,12 +34,18 @@ pub mod clock;
 pub mod expo;
 pub mod hist;
 pub mod log;
+pub mod procinfo;
+pub mod series;
+pub mod slo;
 pub mod trace;
 pub mod validate;
 
 pub use expo::Renderer;
 pub use hist::{Histogram, HistogramSnapshot, BUCKET_BOUNDS_NS, NUM_BUCKETS};
 pub use log::RequestLog;
+pub use procinfo::ProcessGauges;
+pub use series::{Frame, SeriesRing, SeriesSchema};
+pub use slo::{Health, Objective, WindowBurn};
 pub use trace::Span;
 
 /// Milliseconds since the Unix epoch — the timestamp every trace ring

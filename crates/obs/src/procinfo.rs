@@ -1,0 +1,76 @@
+//! Process-level gauges read from `/proc/self` (Linux).
+//!
+//! Sampling is best-effort: on a non-Linux host, or if any `/proc`
+//! file is unreadable, the affected gauge reads zero rather than
+//! failing — retention must never take the server down. Each sample
+//! is three small file reads plus one directory scan, cheap enough
+//! for a once-per-interval sampler but not for a per-request path.
+
+/// One sample of the process's resource gauges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ProcessGauges {
+    /// Resident set size, bytes (`/proc/self/statm` field 2 × page size).
+    pub rss_bytes: u64,
+    /// Open file descriptors (entries of `/proc/self/fd`, including
+    /// the descriptor the scan itself holds).
+    pub open_fds: u64,
+    /// OS threads (`Threads:` in `/proc/self/status`).
+    pub threads: u64,
+}
+
+/// Page size assumed when converting `statm` pages to bytes. `statm`
+/// reports pages and std exposes no `sysconf`; 4 KiB is the page size
+/// on every x86-64 and default aarch64 Linux this workspace targets.
+const PAGE_SIZE: u64 = 4096;
+
+/// Sample the current process. Unreadable sources contribute zeros.
+pub fn sample() -> ProcessGauges {
+    ProcessGauges {
+        rss_bytes: statm_rss_pages().unwrap_or(0) * PAGE_SIZE,
+        open_fds: count_fds().unwrap_or(0),
+        threads: status_threads().unwrap_or(0),
+    }
+}
+
+fn statm_rss_pages() -> Option<u64> {
+    let text = std::fs::read_to_string("/proc/self/statm").ok()?;
+    text.split_whitespace().nth(1)?.parse().ok()
+}
+
+fn count_fds() -> Option<u64> {
+    let dir = std::fs::read_dir("/proc/self/fd").ok()?;
+    Some(dir.filter(|e| e.is_ok()).count() as u64)
+}
+
+fn status_threads() -> Option<u64> {
+    let text = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = text.lines().find(|l| l.starts_with("Threads:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_reports_plausible_linux_gauges() {
+        let g = sample();
+        if cfg!(target_os = "linux") {
+            assert!(g.rss_bytes > 0, "a running process has resident memory");
+            assert!(g.open_fds > 0, "stdio alone keeps descriptors open");
+            assert!(g.threads >= 1, "at least the sampling thread exists");
+        }
+    }
+
+    #[test]
+    fn repeated_samples_are_stable_in_scale() {
+        let a = sample();
+        let b = sample();
+        if a.rss_bytes > 0 {
+            // RSS should not swing by an order of magnitude between
+            // two immediate samples.
+            assert!(b.rss_bytes > a.rss_bytes / 10);
+            assert!(b.rss_bytes < a.rss_bytes.saturating_mul(10));
+        }
+    }
+}

@@ -1,0 +1,391 @@
+//! Fixed-capacity time-series retention: a seqlock ring of counter /
+//! gauge / histogram frames.
+//!
+//! A [`SeriesRing`] holds the last `capacity` [`Frame`]s a sampler
+//! pushed, each a point-in-time copy of every counter, gauge and
+//! histogram the owner cares about (named by a [`SeriesSchema`] fixed
+//! at construction). Writers are serialized by a `Mutex` the readers
+//! never touch; readers are lock-free via a per-slot sequence number
+//! (odd while a write is in flight — the classic seqlock). Slot
+//! payloads are flat `AtomicU64` words allocated once at construction,
+//! so a racing read can observe a stale or torn *frame* (detected and
+//! retried via the sequence number) but never a torn *word* and never
+//! freed memory.
+//!
+//! Derived rates come from frame-to-frame deltas
+//! ([`Frame::counter_delta`], [`Frame::hist_delta`]), which saturate
+//! at zero: a reset or wrapped counter yields a zero delta, never a
+//! negative rate (property-tested in `tests/series_props.rs`).
+
+use std::sync::atomic::{fence, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::hist::{HistogramSnapshot, NUM_BUCKETS};
+
+/// Column names of a ring's frames, fixed at construction. The ring
+/// itself only cares about the lengths; the names make the stored data
+/// self-describing for renderers.
+#[derive(Debug, Clone, Default)]
+pub struct SeriesSchema {
+    /// Monotone counters (deltas between frames are meaningful).
+    pub counters: Vec<String>,
+    /// Point-in-time gauges (deltas are not meaningful).
+    pub gauges: Vec<String>,
+    /// Histogram columns, one [`HistogramSnapshot`] per frame each.
+    pub hists: Vec<String>,
+}
+
+impl SeriesSchema {
+    /// Index of a counter column by name.
+    pub fn counter_index(&self, name: &str) -> Option<usize> {
+        self.counters.iter().position(|c| c == name)
+    }
+
+    /// Index of a gauge column by name.
+    pub fn gauge_index(&self, name: &str) -> Option<usize> {
+        self.gauges.iter().position(|g| g == name)
+    }
+
+    /// Index of a histogram column by name.
+    pub fn hist_index(&self, name: &str) -> Option<usize> {
+        self.hists.iter().position(|h| h == name)
+    }
+
+    /// `u64` words one frame occupies in the ring: timestamp, the
+    /// counters, the gauges (bit-cast `f64`), and each histogram's
+    /// buckets plus sum.
+    fn row_words(&self) -> usize {
+        1 + self.counters.len() + self.gauges.len() + self.hists.len() * (NUM_BUCKETS + 1)
+    }
+}
+
+/// One sampled frame: everything the owner's sampler read at one
+/// instant, shaped by the ring's [`SeriesSchema`].
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Frame {
+    /// Sample time, milliseconds since the Unix epoch.
+    pub unix_ms: u64,
+    /// Counter values, aligned with `schema.counters`.
+    pub counters: Vec<u64>,
+    /// Gauge values, aligned with `schema.gauges`.
+    pub gauges: Vec<f64>,
+    /// Histogram snapshots, aligned with `schema.hists`.
+    pub hists: Vec<HistogramSnapshot>,
+}
+
+impl Frame {
+    /// Counter increase since `earlier`, saturating at zero so a
+    /// counter reset can never produce a negative rate.
+    pub fn counter_delta(&self, earlier: &Frame, i: usize) -> u64 {
+        self.counters[i].saturating_sub(earlier.counters[i])
+    }
+
+    /// Histogram activity since `earlier` (bucket-wise saturating
+    /// subtraction): the windowed snapshot quantiles are estimated
+    /// from.
+    pub fn hist_delta(&self, earlier: &Frame, i: usize) -> HistogramSnapshot {
+        self.hists[i].delta(&earlier.hists[i])
+    }
+}
+
+/// A lock-free-to-read, fixed-capacity ring of [`Frame`]s.
+#[derive(Debug)]
+pub struct SeriesRing {
+    schema: SeriesSchema,
+    capacity: usize,
+    row_words: usize,
+    /// `capacity * row_words` flat payload words.
+    words: Box<[AtomicU64]>,
+    /// Per-slot seqlock counters: odd while that slot is being written.
+    seqs: Box<[AtomicU64]>,
+    /// Frames ever pushed; `head % capacity` is the next slot to write.
+    head: AtomicU64,
+    /// Serializes writers. Readers never take it.
+    writer: Mutex<()>,
+}
+
+impl SeriesRing {
+    /// An empty ring retaining up to `capacity` frames of `schema`'s
+    /// shape. All slot storage is allocated here, once.
+    pub fn new(schema: SeriesSchema, capacity: usize) -> SeriesRing {
+        let capacity = capacity.max(1);
+        let row_words = schema.row_words();
+        let words = (0..capacity * row_words)
+            .map(|_| AtomicU64::new(0))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        let seqs = (0..capacity)
+            .map(|_| AtomicU64::new(0))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        SeriesRing {
+            schema,
+            capacity,
+            row_words,
+            words,
+            seqs,
+            head: AtomicU64::new(0),
+            writer: Mutex::new(()),
+        }
+    }
+
+    /// The column layout frames must match.
+    pub fn schema(&self) -> &SeriesSchema {
+        &self.schema
+    }
+
+    /// Maximum retained frames.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Frames currently retained (saturates at capacity).
+    pub fn len(&self) -> usize {
+        (self.head.load(Ordering::Acquire) as usize).min(self.capacity)
+    }
+
+    /// True until the first push.
+    pub fn is_empty(&self) -> bool {
+        self.head.load(Ordering::Acquire) == 0
+    }
+
+    /// Append one frame, evicting the oldest once full. Panics if the
+    /// frame's shape disagrees with the schema — that is a programming
+    /// error, not a runtime condition.
+    pub fn push(&self, frame: &Frame) {
+        assert_eq!(
+            frame.counters.len(),
+            self.schema.counters.len(),
+            "counter column mismatch"
+        );
+        assert_eq!(
+            frame.gauges.len(),
+            self.schema.gauges.len(),
+            "gauge column mismatch"
+        );
+        assert_eq!(
+            frame.hists.len(),
+            self.schema.hists.len(),
+            "histogram column mismatch"
+        );
+        let _guard = self.writer.lock().unwrap();
+        let head = self.head.load(Ordering::Relaxed);
+        let slot = (head as usize) % self.capacity;
+        let seq = &self.seqs[slot];
+        let s = seq.load(Ordering::Relaxed);
+        seq.store(s.wrapping_add(1), Ordering::Relaxed); // odd: write in flight
+        fence(Ordering::Release);
+        let row = &self.words[slot * self.row_words..(slot + 1) * self.row_words];
+        let mut w = 0;
+        let mut put = |v: u64| {
+            row[w].store(v, Ordering::Relaxed);
+            w += 1;
+        };
+        put(frame.unix_ms);
+        for &c in &frame.counters {
+            put(c);
+        }
+        for &g in &frame.gauges {
+            put(g.to_bits());
+        }
+        for h in &frame.hists {
+            for &c in &h.counts {
+                put(c);
+            }
+            put(h.sum_ns);
+        }
+        debug_assert_eq!(w, self.row_words);
+        seq.store(s.wrapping_add(2), Ordering::Release); // even: write done
+        self.head.store(head + 1, Ordering::Release);
+    }
+
+    /// Read slot `slot` if a consistent copy can be taken within a few
+    /// retries (a slot being concurrently rewritten is skipped).
+    fn read_slot(&self, slot: usize) -> Option<Frame> {
+        let seq = &self.seqs[slot];
+        let row = &self.words[slot * self.row_words..(slot + 1) * self.row_words];
+        for _ in 0..8 {
+            let s1 = seq.load(Ordering::Acquire);
+            if s1 % 2 == 1 {
+                std::hint::spin_loop();
+                continue;
+            }
+            let copy: Vec<u64> = row.iter().map(|wrd| wrd.load(Ordering::Relaxed)).collect();
+            fence(Ordering::Acquire);
+            if seq.load(Ordering::Relaxed) != s1 {
+                continue; // torn: the writer lapped us mid-copy
+            }
+            let mut r = copy.into_iter();
+            let mut take = || r.next().expect("row layout mismatch");
+            let unix_ms = take();
+            let counters = (0..self.schema.counters.len()).map(|_| take()).collect();
+            let gauges = (0..self.schema.gauges.len())
+                .map(|_| f64::from_bits(take()))
+                .collect();
+            let hists = (0..self.schema.hists.len())
+                .map(|_| {
+                    let mut snap = HistogramSnapshot::default();
+                    for c in snap.counts.iter_mut() {
+                        *c = take();
+                    }
+                    snap.sum_ns = take();
+                    snap
+                })
+                .collect();
+            return Some(Frame {
+                unix_ms,
+                counters,
+                gauges,
+                hists,
+            });
+        }
+        None
+    }
+
+    /// Every retained frame, oldest first. Slots the writer was
+    /// rewriting throughout the read are skipped; the result is sorted
+    /// by timestamp so a reader lapped mid-scan still sees a monotone
+    /// series.
+    pub fn frames(&self) -> Vec<Frame> {
+        let head = self.head.load(Ordering::Acquire);
+        let n = (head as usize).min(self.capacity);
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            let abs = head as usize - n + i;
+            if let Some(f) = self.read_slot(abs % self.capacity) {
+                out.push(f);
+            }
+        }
+        out.sort_by_key(|f| f.unix_ms);
+        out
+    }
+
+    /// The most recently pushed frame, if any.
+    pub fn latest(&self) -> Option<Frame> {
+        let head = self.head.load(Ordering::Acquire);
+        if head == 0 {
+            return None;
+        }
+        self.read_slot((head as usize - 1) % self.capacity)
+    }
+
+    /// The newest retained frame sampled at or before `unix_ms` — the
+    /// window-start frame for "trailing W seconds" queries. Falls back
+    /// to the oldest retained frame when the requested instant predates
+    /// retention; `None` only on an empty ring.
+    pub fn at_or_before(&self, unix_ms: u64) -> Option<Frame> {
+        let frames = self.frames();
+        frames
+            .iter()
+            .rev()
+            .find(|f| f.unix_ms <= unix_ms)
+            .or_else(|| frames.first())
+            .cloned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> SeriesSchema {
+        SeriesSchema {
+            counters: vec!["requests".into(), "errors".into()],
+            gauges: vec!["rss".into()],
+            hists: vec!["latency".into()],
+        }
+    }
+
+    fn frame(ts: u64, requests: u64, errors: u64, rss: f64, ns: &[u64]) -> Frame {
+        let h = crate::hist::Histogram::new();
+        for &v in ns {
+            h.record_ns(v);
+        }
+        Frame {
+            unix_ms: ts,
+            counters: vec![requests, errors],
+            gauges: vec![rss],
+            hists: vec![h.snapshot()],
+        }
+    }
+
+    #[test]
+    fn round_trips_a_frame() {
+        let ring = SeriesRing::new(schema(), 4);
+        assert!(ring.is_empty());
+        assert_eq!(ring.latest(), None);
+        let f = frame(1_000, 7, 1, 4096.0, &[500, 3_000]);
+        ring.push(&f);
+        assert_eq!(ring.len(), 1);
+        assert_eq!(ring.latest().unwrap(), f);
+        assert_eq!(ring.frames(), vec![f]);
+    }
+
+    #[test]
+    fn evicts_oldest_when_full() {
+        let ring = SeriesRing::new(schema(), 3);
+        for i in 0..5u64 {
+            ring.push(&frame(i * 1_000, i, 0, 0.0, &[]));
+        }
+        let frames = ring.frames();
+        assert_eq!(ring.len(), 3);
+        assert_eq!(
+            frames.iter().map(|f| f.unix_ms).collect::<Vec<_>>(),
+            vec![2_000, 3_000, 4_000]
+        );
+    }
+
+    #[test]
+    fn at_or_before_picks_the_window_start() {
+        let ring = SeriesRing::new(schema(), 8);
+        for i in 0..4u64 {
+            ring.push(&frame(1_000 + i * 1_000, i, 0, 0.0, &[]));
+        }
+        assert_eq!(ring.at_or_before(2_500).unwrap().unix_ms, 2_000);
+        assert_eq!(ring.at_or_before(4_000).unwrap().unix_ms, 4_000);
+        // Before retention: oldest frame, not None.
+        assert_eq!(ring.at_or_before(10).unwrap().unix_ms, 1_000);
+        assert_eq!(SeriesRing::new(schema(), 8).at_or_before(10), None);
+    }
+
+    #[test]
+    fn deltas_saturate_instead_of_going_negative() {
+        let newer = frame(2_000, 5, 0, 0.0, &[500]);
+        let older = frame(1_000, 9, 0, 0.0, &[500, 500]);
+        assert_eq!(newer.counter_delta(&older, 0), 0);
+        assert_eq!(newer.hist_delta(&older, 0).count(), 0);
+        assert_eq!(older.counter_delta(&newer, 0), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "counter column mismatch")]
+    fn shape_mismatch_panics() {
+        let ring = SeriesRing::new(schema(), 2);
+        ring.push(&Frame::default());
+    }
+
+    #[test]
+    fn concurrent_reads_never_tear() {
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
+        let ring = Arc::new(SeriesRing::new(schema(), 4));
+        let stop = Arc::new(AtomicBool::new(false));
+        let reader = {
+            let (ring, stop) = (ring.clone(), stop.clone());
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    for f in ring.frames() {
+                        // Writer keeps both counters equal: any torn
+                        // read would surface as a mismatch.
+                        assert_eq!(f.counters[0], f.counters[1], "torn frame at {}", f.unix_ms);
+                    }
+                }
+            })
+        };
+        for i in 0..20_000u64 {
+            ring.push(&frame(i, i, i, i as f64, &[]));
+        }
+        stop.store(true, Ordering::Relaxed);
+        reader.join().unwrap();
+    }
+}

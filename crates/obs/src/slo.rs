@@ -1,0 +1,230 @@
+//! Service-level-objective arithmetic: objectives, windowed
+//! compliance and multi-window burn rates.
+//!
+//! An [`Objective`] states what "good" means for one endpoint: a
+//! latency bound a target fraction of requests must meet, and a
+//! ceiling on the error fraction. Compliance over a trailing window
+//! is computed from histogram / counter *deltas* (see
+//! [`crate::series`]), so the judgment tracks recent behaviour rather
+//! than the since-boot average.
+//!
+//! The burn rate is the Google SRE workbook quantity: how fast the
+//! window consumed its error budget, where `1.0` means exactly
+//! on-budget. Alert policy combines a fast and a slow window — the
+//! fast window makes the signal responsive, the slow window keeps
+//! one spike from paging — and is applied by the service layer; this
+//! module only supplies the arithmetic.
+
+use crate::hist::{HistogramSnapshot, BUCKET_BOUNDS_NS, NUM_BUCKETS};
+
+/// What "good" means for one endpoint.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Objective {
+    /// Latency bound, nanoseconds. Judged at histogram-bucket
+    /// granularity: the effective bound is the smallest bucket bound
+    /// at or above this value (see [`effective_latency_bound_ns`]).
+    pub latency_ns: u64,
+    /// Fraction of requests that must meet the latency bound
+    /// (e.g. `0.99`).
+    pub latency_target: f64,
+    /// Maximum tolerable error fraction (e.g. `0.001`).
+    pub error_target: f64,
+}
+
+impl Objective {
+    /// The latency error budget: the tolerable fraction of requests
+    /// slower than the bound.
+    pub fn latency_budget(&self) -> f64 {
+        (1.0 - self.latency_target).max(f64::MIN_POSITIVE)
+    }
+}
+
+/// The smallest histogram bucket bound at or above `latency_ns` — the
+/// bound the objective is actually judged against, since bucket
+/// counters cannot separate samples inside one bucket. `None` when
+/// the request exceeds the last finite bound (only the `+Inf` bucket
+/// would be "bad", which the ladder cannot distinguish from merely
+/// slow).
+pub fn effective_latency_bound_ns(latency_ns: u64) -> Option<u64> {
+    BUCKET_BOUNDS_NS.iter().copied().find(|&b| b >= latency_ns)
+}
+
+/// How many samples in `snap` exceeded the latency bound, at bucket
+/// granularity (the bound is first snapped up via
+/// [`effective_latency_bound_ns`]).
+pub fn bad_latency_count(snap: &HistogramSnapshot, latency_ns: u64) -> u64 {
+    let i = BUCKET_BOUNDS_NS.partition_point(|&b| b < latency_ns);
+    if i >= NUM_BUCKETS - 1 {
+        // Bound beyond the ladder: nothing measurable is "bad".
+        return 0;
+    }
+    let cum = snap.cumulative();
+    snap.count() - cum[i]
+}
+
+/// Budget burn rate of one window: `(bad/total) / budget`. `1.0`
+/// means the window consumed its budget exactly; `0` on an idle
+/// window (no traffic burns no budget).
+pub fn burn_rate(bad: u64, total: u64, budget: f64) -> f64 {
+    if total == 0 {
+        return 0.0;
+    }
+    let fraction = bad as f64 / total as f64;
+    fraction / budget.max(f64::MIN_POSITIVE)
+}
+
+/// Windowed compliance of one endpoint against one objective.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct WindowBurn {
+    /// Requests observed in the window.
+    pub total: u64,
+    /// Requests slower than the (bucket-snapped) latency bound.
+    pub slow: u64,
+    /// Errored requests in the window.
+    pub errors: u64,
+    /// Latency-budget burn rate.
+    pub latency_burn: f64,
+    /// Error-budget burn rate.
+    pub error_burn: f64,
+}
+
+impl WindowBurn {
+    /// Evaluate one window: `hist_delta` and `errors` must cover the
+    /// same trailing interval (both deltas of the same frame pair).
+    pub fn evaluate(
+        objective: &Objective,
+        hist_delta: &HistogramSnapshot,
+        errors: u64,
+    ) -> WindowBurn {
+        let total = hist_delta.count();
+        let slow = bad_latency_count(hist_delta, objective.latency_ns);
+        let errors = errors.min(total);
+        WindowBurn {
+            total,
+            slow,
+            errors,
+            latency_burn: burn_rate(slow, total, objective.latency_budget()),
+            error_burn: burn_rate(errors, total, objective.error_target.max(f64::MIN_POSITIVE)),
+        }
+    }
+
+    /// The worse of the two burn rates — the number alert thresholds
+    /// compare against.
+    pub fn worst_burn(&self) -> f64 {
+        self.latency_burn.max(self.error_burn)
+    }
+}
+
+/// Health grade a multi-window burn policy produces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Health {
+    /// Every objective within budget.
+    Ok,
+    /// At least one window of one objective burning past the
+    /// threshold — worth a look, still serving.
+    Degraded,
+    /// Fast and slow windows both burning past the threshold: the
+    /// budget is being consumed at page-worthy speed.
+    Unhealthy,
+}
+
+impl Health {
+    /// Lower-case wire label (`ok|degraded|unhealthy`).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Health::Ok => "ok",
+            Health::Degraded => "degraded",
+            Health::Unhealthy => "unhealthy",
+        }
+    }
+
+    /// Grade one objective from its fast- and slow-window burns.
+    /// `degraded_burn ≤ unhealthy_burn` is the caller's contract.
+    pub fn grade(
+        fast: &WindowBurn,
+        slow: &WindowBurn,
+        degraded_burn: f64,
+        unhealthy_burn: f64,
+    ) -> Health {
+        let f = fast.worst_burn();
+        let s = slow.worst_burn();
+        if f >= unhealthy_burn && s >= unhealthy_burn {
+            Health::Unhealthy
+        } else if f >= degraded_burn || s >= degraded_burn {
+            Health::Degraded
+        } else {
+            Health::Ok
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hist::Histogram;
+
+    fn objective() -> Objective {
+        Objective {
+            latency_ns: 250_000_000, // 250ms, an exact bucket bound
+            latency_target: 0.99,
+            error_target: 0.01,
+        }
+    }
+
+    fn snap(ns: &[u64]) -> HistogramSnapshot {
+        let h = Histogram::new();
+        for &v in ns {
+            h.record_ns(v);
+        }
+        h.snapshot()
+    }
+
+    #[test]
+    fn latency_bound_snaps_up_to_a_bucket() {
+        assert_eq!(effective_latency_bound_ns(250_000_000), Some(250_000_000));
+        assert_eq!(effective_latency_bound_ns(200_000_000), Some(250_000_000));
+        assert_eq!(effective_latency_bound_ns(10_000_000_001), None);
+    }
+
+    #[test]
+    fn bad_latency_counts_samples_past_the_bound() {
+        let s = snap(&[1_000, 100_000_000, 250_000_000, 300_000_000, 20_000_000_000]);
+        // 250ms is inclusive; 300ms and 20s are past it.
+        assert_eq!(bad_latency_count(&s, 250_000_000), 2);
+        // A bound past the ladder judges nothing bad.
+        assert_eq!(bad_latency_count(&s, 20_000_000_000), 0);
+    }
+
+    #[test]
+    fn burn_of_exactly_budget_is_one() {
+        // 1 bad in 100 against a 1% budget burns at exactly 1.0.
+        assert_eq!(burn_rate(1, 100, 0.01), 1.0);
+        assert_eq!(burn_rate(0, 0, 0.01), 0.0);
+        assert!(burn_rate(50, 100, 0.01) > 14.4);
+    }
+
+    #[test]
+    fn window_burn_combines_latency_and_errors() {
+        let obj = objective();
+        let mut ns = vec![1_000u64; 99];
+        ns.push(1_000_000_000); // one slow request in 100
+        let w = WindowBurn::evaluate(&obj, &snap(&ns), 0);
+        assert_eq!((w.total, w.slow, w.errors), (100, 1, 0));
+        assert!((w.latency_burn - 1.0).abs() < 1e-9, "{}", w.latency_burn);
+        assert_eq!(w.error_burn, 0.0);
+        assert_eq!(w.worst_burn(), w.latency_burn);
+    }
+
+    #[test]
+    fn grade_requires_both_windows_for_unhealthy() {
+        let hot = WindowBurn {
+            latency_burn: 20.0,
+            ..WindowBurn::default()
+        };
+        let cool = WindowBurn::default();
+        assert_eq!(Health::grade(&hot, &hot, 6.0, 14.4), Health::Unhealthy);
+        assert_eq!(Health::grade(&hot, &cool, 6.0, 14.4), Health::Degraded);
+        assert_eq!(Health::grade(&cool, &hot, 6.0, 14.4), Health::Degraded);
+        assert_eq!(Health::grade(&cool, &cool, 6.0, 14.4), Health::Ok);
+    }
+}

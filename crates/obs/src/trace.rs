@@ -49,18 +49,26 @@ const MAX_SPANS: usize = 512;
 /// Sentinel duration marking a span that is still open.
 const OPEN: u64 = u64::MAX;
 
+/// Identity annotation slots a collection carries (see [`annotate`]).
+pub const ANNOTATION_SLOTS: usize = 2;
+
 struct Collector {
     epoch_ns: u64,
     depth: u32,
     spans: Vec<Span>,
+    /// First-writer-wins identity annotations (domain-agnostic u128
+    /// values — the service layer stores net digests and spec hashes).
+    /// Living inside the collector, an annotation costs one
+    /// thread-local access and is cleared for free by [`end`].
+    annotations: [Option<u128>; ANNOTATION_SLOTS],
 }
 
 #[derive(Default)]
 struct Tracer {
     active: Option<Collector>,
-    /// A recycled span buffer (see [`recycle`]) — in steady state a
-    /// request's collection reuses the allocation of the trace its
-    /// ring push evicted, so the hot path stops allocating entirely.
+    /// A spare span buffer — refilled by [`end_with`] (which never
+    /// gives the buffer up) or [`recycle`], so in steady state a
+    /// request's collection allocates nothing.
     spare: Vec<Span>,
 }
 
@@ -88,6 +96,7 @@ fn start(epoch_ns: u64, depth: u32) -> bool {
             epoch_ns,
             depth,
             spans,
+            annotations: [None; ANNOTATION_SLOTS],
         });
         true
     })
@@ -131,18 +140,63 @@ pub fn active() -> bool {
     TRACER.with(|t| t.borrow().active.is_some())
 }
 
+/// Attach an identity annotation to this thread's active collection
+/// (no-op when none is — the unobserved path pays one thread-local
+/// read). First writer per slot wins: a `/whatif` re-timing resolves
+/// many inner digests, but the request is about the net it started
+/// with. Panics on `slot >= ANNOTATION_SLOTS`.
+#[inline]
+pub fn annotate(slot: usize, value: u128) {
+    TRACER.with(|t| {
+        if let Some(collector) = t.borrow_mut().active.as_mut() {
+            if collector.annotations[slot].is_none() {
+                collector.annotations[slot] = Some(value);
+            }
+        }
+    });
+}
+
 /// Finish this thread's collection and return its spans (preorder).
 /// Spans still open at this point are dropped. `None` if no collection
 /// was active.
 #[inline]
 pub fn end() -> Option<Vec<Span>> {
+    end_annotated().map(|(spans, _)| spans)
+}
+
+/// Like [`end`], but also returning the [`annotate`] slots.
+#[inline]
+pub fn end_annotated() -> Option<(Vec<Span>, [Option<u128>; ANNOTATION_SLOTS])> {
     TRACER
         .with(|t| t.borrow_mut().active.take())
         .map(|collector| {
             let mut spans = collector.spans;
             spans.retain(|s| s.duration_ns != OPEN);
-            spans
+            (spans, collector.annotations)
         })
+}
+
+/// Finish this thread's collection and hand the closed spans
+/// (preorder) plus the [`annotate`] slots to `f` by reference,
+/// keeping the span buffer: it returns to this thread's spare slot
+/// the moment `f` returns. Against [`end_annotated`] +
+/// [`recycle`], the consumer copies the spans it wants to keep and
+/// the buffer never travels — one thread-local access fewer per
+/// request, and the allocation stays put instead of rotating through
+/// the consumer's storage. `f` runs inside the collector borrow and
+/// must not call back into this module. Returns `None` (without
+/// calling `f`) if no collection was active.
+#[inline]
+pub fn end_with<R>(f: impl FnOnce(&[Span], &[Option<u128>; ANNOTATION_SLOTS]) -> R) -> Option<R> {
+    TRACER.with(|t| {
+        let mut t = t.borrow_mut();
+        let mut collector = t.active.take()?;
+        collector.spans.retain(|s| s.duration_ns != OPEN);
+        let result = f(&collector.spans, &collector.annotations);
+        collector.spans.clear();
+        t.spare = collector.spans;
+        Some(result)
+    })
 }
 
 /// The spans closed **so far** in this thread's active collection —
@@ -342,6 +396,45 @@ mod tests {
         let guards: Vec<SpanGuard> = (0..MAX_SPANS + 10).map(|_| span("s")).collect();
         drop(guards);
         assert_eq!(end().unwrap().len(), MAX_SPANS);
+    }
+
+    #[test]
+    fn end_with_borrows_spans_and_keeps_the_buffer() {
+        assert!(begin());
+        {
+            let _s = span("s");
+        }
+        let _leaked = std::mem::ManuallyDrop::new(span("open — dropped"));
+        annotate(1, 9);
+        let names = end_with(|spans, annotations| {
+            assert_eq!(annotations, &[None, Some(9)]);
+            spans.iter().map(|s| s.name).collect::<Vec<_>>()
+        });
+        assert_eq!(names, Some(vec!["s"]));
+        // The buffer stayed with this thread: the next collection
+        // reuses it without a fresh allocation.
+        assert!(begin());
+        let spans = end().unwrap();
+        assert!(spans.capacity() >= 2, "capacity {}", spans.capacity());
+        // Inactive: f is not called.
+        assert_eq!(
+            end_with(|_, _| unreachable!("no active collection")),
+            None::<()>
+        );
+    }
+
+    #[test]
+    fn annotations_are_first_writer_wins_and_returned_by_end() {
+        annotate(0, 7); // inactive: dropped
+        assert!(begin());
+        annotate(0, 1);
+        annotate(0, 2);
+        annotate(1, 3);
+        let (_, annotations) = end_annotated().unwrap();
+        assert_eq!(annotations, [Some(1), Some(3)]);
+        // A fresh collection starts clean.
+        assert!(begin());
+        assert_eq!(end_annotated().unwrap().1, [None, None]);
     }
 
     #[test]

@@ -19,10 +19,13 @@
 //! | POST | `/optimize` | JSON: box spec + `.tpn` text | certified optimal parameter point |
 //! | POST | `/whatif` | JSON: perturbation batch + `.tpn` text | incremental re-timed analyses |
 //! | POST | `/v1` | JSON: `.tpn` text + many requests | one envelope, one shared session |
-//! | GET | `/healthz` | — | liveness probe |
-//! | GET | `/stats` | — | cache/pool/sweep/optimize/whatif/artifact counters |
+//! | GET | `/healthz` | — | graded liveness: `ok` \| `degraded` \| `unhealthy` (503) with burn-rate reasons |
+//! | GET | `/stats` | — | cache/pool/sweep/optimize/whatif/artifact counters + process gauges |
 //! | GET | `/metrics` | — | Prometheus text exposition (counters + latency histograms) |
+//! | GET | `/metrics/history?window=W&step=S` | — | trailing-window rates and quantiles, columnar JSON |
+//! | GET | `/slo` | — | objectives and current multi-window burn rates per endpoint |
 //! | GET | `/debug/requests?n=K` | — | the K most recent request traces, NDJSON |
+//! | GET | `/debug/slow?n=K` | — | the K most recent objective-breaching traces, NDJSON |
 //!
 //! Status codes: 200 on success, 400 for malformed requests or `.tpn`
 //! parse errors, 404/405 for bad routes, 413 for oversized bodies, 422
@@ -41,14 +44,19 @@ use std::time::{Duration, Instant};
 
 use tpn_net::{parse_tpn, NetDigest, TimedPetriNet, TimingAssignment};
 use tpn_obs::log::RequestLog;
+use tpn_obs::series::SeriesRing;
 use tpn_session::{RetimeError, Session, SessionOptions, STAGES};
 
 use crate::analysis::{run_with_session, RequestKind, ServiceError};
 use crate::cache::{AnalysisCache, CacheConfig, CacheKey};
 use crate::executor::ThreadPool;
+use crate::history;
 use crate::json::{error_body, error_object, JsonWriter};
-use crate::metrics::{self, Endpoint, RequestTrace, ServiceMetrics, StatsSnapshot};
+use crate::metrics::{
+    self, Endpoint, RequestTrace, ServiceMetrics, SlowTrace, StatsSnapshot, ENDPOINTS,
+};
 use crate::sessions::SessionCache;
+use crate::slo::{self, SloConfig};
 use crate::spec::Spec;
 use crate::v1::{parse_envelope, V1Request};
 use crate::whatif::WhatifSpec;
@@ -83,6 +91,18 @@ pub struct ServiceConfig {
     /// Sampled NDJSON request logging (off when `None`). Requires
     /// `metrics` — the log is written by the same observation wrapper.
     pub log: Option<LogConfig>,
+    /// Milliseconds between retention-ring samples taken by the
+    /// sampler thread [`spawn`] runs (0 disables the thread; tests and
+    /// benches drive [`Service::sample_now`] directly). Requires
+    /// `metrics`.
+    pub sample_interval_ms: u64,
+    /// Retention-ring capacity in frames. At the 5s default interval
+    /// the 720-frame default covers one trailing hour.
+    pub history_frames: usize,
+    /// SLO policy: objectives, burn windows and thresholds — drives
+    /// the graded `/healthz`, `GET /slo`, and the slow-request
+    /// watchdog.
+    pub slo: SloConfig,
 }
 
 /// Request-log destination and sampling.
@@ -107,6 +127,9 @@ impl Default for ServiceConfig {
             max_sessions: 32,
             metrics: true,
             log: None,
+            sample_interval_ms: 5_000,
+            history_frames: 720,
+            slo: SloConfig::default(),
         }
     }
 }
@@ -153,6 +176,17 @@ pub struct Service {
     metrics: ServiceMetrics,
     log: Option<RequestLog>,
     started: Instant,
+    /// Unix time the service was constructed, milliseconds — the
+    /// `tpn_process_start_time_seconds` gauge and `/stats` restart
+    /// detector.
+    start_unix_ms: u64,
+    /// The retention ring the sampler fills (capacity 1 with metrics
+    /// disabled — nothing ever pushes).
+    ring: SeriesRing,
+    /// Per-endpoint watchdog thresholds, precomputed from the SLO
+    /// objectives: a request slower than its endpoint's entry is
+    /// captured into the slow ring.
+    slow_threshold: [Option<u64>; ENDPOINTS.len()],
 }
 
 impl Service {
@@ -178,6 +212,14 @@ impl Service {
         } else {
             None
         };
+        let ring_frames = if config.metrics {
+            config.history_frames.max(2)
+        } else {
+            1
+        };
+        let ring = SeriesRing::new(history::schema(), ring_frames);
+        let slow_threshold =
+            std::array::from_fn(|i| config.slo.objective_for(ENDPOINTS[i]).map(|o| o.latency_ns));
         Service {
             cache: AnalysisCache::new(&config.cache),
             sessions: SessionCache::new(config.max_sessions, config.session_options()),
@@ -200,6 +242,9 @@ impl Service {
             metrics,
             log,
             started: Instant::now(),
+            start_unix_ms: tpn_obs::unix_ms(),
+            ring,
+            slow_threshold,
         }
     }
 
@@ -254,13 +299,32 @@ impl Service {
         let end_ns = tpn_obs::clock::now_ns();
         let duration_ns = end_ns.saturating_sub(start_ns);
         self.metrics.record(endpoint, status, duration_ns);
-        let spans = tpn_obs::trace::end().unwrap_or_default();
-        self.metrics.push_trace(RequestTrace {
-            endpoint: endpoint.name(),
-            status,
-            unix_ms: tpn_obs::clock::unix_ms_at(end_ns),
-            duration_ns,
-            spans,
+        tpn_obs::trace::end_with(|spans, annotations| {
+            let header = RequestTrace {
+                endpoint: endpoint.name(),
+                status,
+                end_ns,
+                duration_ns,
+                digest: annotations[metrics::ANNOTATE_DIGEST],
+                spec: annotations[metrics::ANNOTATE_SPEC],
+                spans: Vec::new(),
+            };
+            // The slow-request watchdog: a request past its endpoint's
+            // SLO latency objective has its full trace captured into
+            // the dedicated slow ring, evidence-first — the general
+            // ring may rotate it out long before anyone looks.
+            if let Some(threshold_ns) = self.slow_threshold[endpoint.index()] {
+                if duration_ns > threshold_ns {
+                    self.metrics.push_slow(SlowTrace {
+                        trace: RequestTrace {
+                            spans: spans.to_vec(),
+                            ..header.clone()
+                        },
+                        threshold_ns,
+                    });
+                }
+            }
+            self.metrics.push_trace_copying(header, spans);
         });
         if let Some(log) = &self.log {
             log.record(endpoint.name(), status, duration_ns, body.len());
@@ -285,6 +349,7 @@ impl Service {
     /// file once and runs every requested kind against this handle).
     pub fn session_for(&self, net: TimedPetriNet) -> Arc<Session> {
         let digest = net.digest();
+        metrics::annotate_digest(digest.0);
         self.sessions.session_for(digest, net)
     }
 
@@ -375,9 +440,11 @@ impl Service {
         use crate::sweep::sweep_json;
         use std::sync::atomic::AtomicBool;
 
+        let spec_hash = spec.hash();
+        metrics::annotate_spec(spec_hash);
         let key = CacheKey {
             digest: session.net().digest(),
-            kind: RequestKind::Sweep { spec: spec.hash() },
+            kind: RequestKind::Sweep { spec: spec_hash },
         };
         let computed = AtomicBool::new(false);
         let result = self.cache.get_or_compute(key, || {
@@ -425,9 +492,11 @@ impl Service {
     ) -> Result<Arc<String>, ServiceError> {
         use crate::optimize::optimize_json;
 
+        let spec_hash = spec.hash();
+        metrics::annotate_spec(spec_hash);
         let key = CacheKey {
             digest: session.net().digest(),
-            kind: RequestKind::Optimize { spec: spec.hash() },
+            kind: RequestKind::Optimize { spec: spec_hash },
         };
         let computed = AtomicBool::new(false);
         let result = self.cache.get_or_compute(key, || {
@@ -485,6 +554,7 @@ impl Service {
         let base = session.net();
         let structural = base.structural_digest();
         let requests_hash = crate::spec::spec_hash(&spec.requests_canonical());
+        metrics::annotate_spec(requests_hash);
         let mut w = JsonWriter::new();
         w.begin_object();
         w.key("kind");
@@ -784,23 +854,87 @@ impl Service {
         w.uint(self.config.threads as u64);
         w.key("queue_cap");
         w.uint(self.config.queue_cap as u64);
+        // Process identity and resource gauges, appended last so the
+        // document stays a byte-stable extension of its pre-retention
+        // shape (the golden-capture test compares the prefix).
+        let proc = tpn_obs::procinfo::sample();
+        w.key("process");
+        w.begin_object();
+        w.key("version");
+        w.string(env!("CARGO_PKG_VERSION"));
+        w.key("start_time_ms");
+        w.uint(self.start_unix_ms);
+        w.key("uptime_seconds");
+        w.float(self.started.elapsed().as_secs_f64());
+        w.key("rss_bytes");
+        w.uint(proc.rss_bytes);
+        w.key("open_fds");
+        w.uint(proc.open_fds);
+        w.key("os_threads");
+        w.uint(proc.threads);
+        w.end_object();
         w.end_object();
         w.finish()
     }
 
-    /// The `/healthz` document.
+    /// The liveness body `/healthz` serves while every objective is
+    /// within budget (kept byte-stable for probes that compare it).
     pub fn health_json() -> String {
         r#"{"status":"ok"}"#.to_string()
     }
 
-    /// The `/metrics` document: Prometheus text exposition covering
-    /// every `/stats` counter plus the request/stage latency
-    /// histograms. Available even with metrics recording disabled (the
-    /// request families are simply empty).
-    pub fn metrics_text(&self) -> String {
+    /// The graded `/healthz` reply: `(200, ok)` with SLOs in budget
+    /// (or metrics disabled — no data, no judgment), `(200, degraded)`
+    /// when a burn threshold is crossed, `(503, unhealthy)` when fast
+    /// and slow windows both burn past the page threshold.
+    pub fn healthz(&self) -> (u16, String) {
+        if !self.metrics.enabled() {
+            return (200, Service::health_json());
+        }
+        let now = self.current_frame();
+        let status = slo::evaluate(&self.config.slo, &self.ring, &now);
+        slo::healthz_json(&status)
+    }
+
+    /// The `GET /slo` document: policy, objectives and current
+    /// windowed burn rates per endpoint.
+    pub fn slo_text(&self) -> String {
+        let now = self.current_frame();
+        let status = slo::evaluate(&self.config.slo, &self.ring, &now);
+        slo::slo_json(&self.config.slo, &status)
+    }
+
+    /// The `GET /metrics/history` document for a trailing window,
+    /// decimated to `step` seconds per interval.
+    pub fn history_text(&self, window_s: u64, step_s: u64) -> Result<String, ServiceError> {
+        history::history_json(&self.ring, tpn_obs::unix_ms(), window_s, step_s)
+    }
+
+    /// A frame of the live counters, as the sampler would push it.
+    fn current_frame(&self) -> tpn_obs::series::Frame {
+        history::collect_frame(&self.metrics, &self.stats_snapshot(), tpn_obs::unix_ms())
+    }
+
+    /// Push one retention-ring frame now — the sampler thread's tick,
+    /// also driven directly by tests and benches for deterministic
+    /// timelines. No-op with metrics disabled.
+    pub fn sample_now(&self) {
+        if !self.metrics.enabled() {
+            return;
+        }
+        self.ring.push(&self.current_frame());
+    }
+
+    /// The retention ring (for inspection in tests/benches).
+    pub fn series(&self) -> &SeriesRing {
+        &self.ring
+    }
+
+    /// Every `/stats` number, snapshotted for rendering.
+    fn stats_snapshot(&self) -> StatsSnapshot {
         let s = self.cache.stats();
         let sess = self.sessions.stats();
-        let stats = StatsSnapshot {
+        StatsSnapshot {
             requests: self.requests.load(Ordering::Relaxed),
             computations: s.computations,
             hits: s.hits,
@@ -830,14 +964,33 @@ impl Service {
             threads: self.config.threads as u64,
             queue_cap: self.config.queue_cap as u64,
             uptime_seconds: self.started.elapsed().as_secs_f64(),
-        };
-        metrics::render(&self.metrics, &stats, self.sessions.counters())
+            start_time_seconds: self.start_unix_ms as f64 / 1_000.0,
+        }
+    }
+
+    /// The `/metrics` document: Prometheus text exposition covering
+    /// every `/stats` counter plus the request/stage latency
+    /// histograms. Available even with metrics recording disabled (the
+    /// request families are simply empty).
+    pub fn metrics_text(&self) -> String {
+        metrics::render(
+            &self.metrics,
+            &self.stats_snapshot(),
+            self.sessions.counters(),
+        )
     }
 
     /// The `/debug/requests` document: the `n` most recent completed
     /// request traces, most recent first, one JSON object per line.
     pub fn debug_requests_text(&self, n: usize) -> String {
         metrics::debug_requests_ndjson(&self.metrics.recent_traces(n))
+    }
+
+    /// The `/debug/slow` document: the `n` most recent watchdog
+    /// captures (requests that breached their latency objective),
+    /// most recent first, one JSON object per line.
+    pub fn debug_slow_text(&self, n: usize) -> String {
+        metrics::debug_slow_ndjson(&self.metrics.recent_slow(n))
     }
 }
 
@@ -881,6 +1034,7 @@ pub struct ServerHandle {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
+    sampler_thread: Option<JoinHandle<()>>,
 }
 
 impl ServerHandle {
@@ -903,6 +1057,10 @@ impl ServerHandle {
     }
 
     fn stop_now(&mut self) {
+        if let Some(t) = self.sampler_thread.take() {
+            self.stop.store(true, Ordering::SeqCst);
+            let _ = t.join();
+        }
         if let Some(t) = self.accept_thread.take() {
             self.stop.store(true, Ordering::SeqCst);
             // Unblock the blocking accept() with a no-op connection.
@@ -940,6 +1098,31 @@ pub fn spawn(service: Arc<Service>, addr: &str) -> std::io::Result<ServerHandle>
     let local = listener.local_addr()?;
     let stop = Arc::new(AtomicBool::new(false));
     let stop2 = Arc::clone(&stop);
+    // The retention sampler: one frame every sample_interval_ms,
+    // sleeping in short slices so shutdown is prompt.
+    let sampler_thread = if service.metrics.enabled() && service.config.sample_interval_ms > 0 {
+        let service = Arc::clone(&service);
+        let stop = Arc::clone(&stop);
+        let interval = Duration::from_millis(service.config.sample_interval_ms);
+        Some(
+            std::thread::Builder::new()
+                .name("tpn-sampler".to_string())
+                .spawn(move || {
+                    service.sample_now();
+                    let slice = Duration::from_millis(50).min(interval);
+                    let mut next = Instant::now() + interval;
+                    while !stop.load(Ordering::SeqCst) {
+                        if Instant::now() >= next {
+                            service.sample_now();
+                            next += interval;
+                        }
+                        std::thread::sleep(slice);
+                    }
+                })?,
+        )
+    } else {
+        None
+    };
     let accept_thread = std::thread::Builder::new()
         .name("tpn-accept".to_string())
         .spawn(move || {
@@ -978,6 +1161,7 @@ pub fn spawn(service: Arc<Service>, addr: &str) -> std::io::Result<ServerHandle>
         addr: local,
         stop,
         accept_thread: Some(accept_thread),
+        sampler_thread,
     })
 }
 
@@ -1143,6 +1327,7 @@ fn reason(status: u16) -> &'static str {
         413 => "Payload Too Large",
         422 => "Unprocessable Entity",
         501 => "Not Implemented",
+        503 => "Service Unavailable",
         _ => "Internal Server Error",
     }
 }
@@ -1236,8 +1421,32 @@ fn route(service: &Service, req: &Request) -> (u16, &'static str, Arc<String>) {
     let json = |(status, body)| (status, JSON, body);
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => json(service.observed(Endpoint::Healthz, || {
-            (200, Arc::new(Service::health_json()))
+            let (status, body) = service.healthz();
+            (status, Arc::new(body))
         })),
+        ("GET", "/slo") => {
+            json(service.observed(Endpoint::Slo, || (200, Arc::new(service.slo_text()))))
+        }
+        ("GET", "/metrics/history") => json(service.observed(Endpoint::MetricsHistory, || {
+            let params =
+                query_u64(req, "window", 300).and_then(|w| Ok((w, query_u64(req, "step", 5)?)));
+            match params.and_then(|(w, s)| service.history_text(w, s)) {
+                Ok(body) => (200, Arc::new(body)),
+                Err(e) => (e.status(), Arc::new(error_body(&e.to_string()))),
+            }
+        })),
+        ("GET", "/debug/slow") => {
+            let (status, body) =
+                service.observed(Endpoint::DebugSlow, || match query_u64(req, "n", 16) {
+                    Ok(n) => {
+                        let n = usize::try_from(n).unwrap_or(usize::MAX);
+                        (200, Arc::new(service.debug_slow_text(n)))
+                    }
+                    Err(e) => (e.status(), Arc::new(error_body(&e.to_string()))),
+                });
+            let content_type = if status == 200 { NDJSON } else { JSON };
+            (status, content_type, body)
+        }
         ("GET", "/stats") => {
             json(service.observed(Endpoint::Stats, || (200, Arc::new(service.stats_json()))))
         }
@@ -1309,7 +1518,10 @@ fn route(service: &Service, req: &Request) -> (u16, &'static str, Arc<String>) {
                 || path == "/healthz"
                 || path == "/stats"
                 || path == "/metrics"
-                || path == "/debug/requests" =>
+                || path == "/metrics/history"
+                || path == "/slo"
+                || path == "/debug/requests"
+                || path == "/debug/slow" =>
         {
             json(service.observed(Endpoint::Other, || {
                 (

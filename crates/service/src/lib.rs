@@ -19,6 +19,8 @@
 //! | [`v1`] | the unified `POST /v1` envelope: many analyses, one session |
 //! | [`cache`] | sharded LRU result cache keyed by [`tpn_net::NetDigest`], with request coalescing |
 //! | [`metrics`] | per-endpoint latency histograms, `GET /metrics` exposition, request-trace ring |
+//! | [`history`] | time-series retention ring + the `GET /metrics/history` document |
+//! | [`slo`] | per-endpoint objectives, burn-rate health, `GET /slo` and the graded `/healthz` |
 //! | [`executor`] | fixed thread pool over a bounded work queue |
 //! | [`http`] | hand-rolled HTTP/1.1 server over [`std::net::TcpListener`] |
 //!
@@ -65,12 +67,14 @@
 pub mod analysis;
 pub mod cache;
 pub mod executor;
+pub mod history;
 pub mod http;
 pub mod json;
 pub mod jsonval;
 pub mod metrics;
 pub mod optimize;
 pub mod sessions;
+pub mod slo;
 pub mod spec;
 pub mod sweep;
 pub mod v1;
@@ -83,9 +87,12 @@ pub use cache::{AnalysisCache, CacheConfig, CacheKey, CacheStats};
 pub use executor::{PoolClosed, ThreadPool};
 pub use http::{spawn, LogConfig, ServerHandle, Service, ServiceConfig};
 pub use jsonval::Json;
-pub use metrics::{Endpoint, RequestTrace, ServiceMetrics, TRACE_RING_CAP};
+pub use metrics::{
+    Endpoint, RequestTrace, ServiceMetrics, SlowTrace, SLOW_RING_CAP, TRACE_RING_CAP,
+};
 pub use optimize::{optimize_json, BoxAxisSpec, OptimizeSpec};
 pub use sessions::{SessionCache, SessionCacheStats};
+pub use slo::{SloConfig, DEFAULT_OBJECTIVE};
 pub use spec::Spec;
 pub use sweep::{spec_hash, sweep_json, SweepBackend, SweepSpec};
 pub use v1::{parse_envelope, V1Request, MAX_V1_REQUESTS};

@@ -61,12 +61,18 @@ pub enum Endpoint {
     Metrics,
     /// `GET /debug/requests`.
     DebugRequests,
+    /// `GET /metrics/history`.
+    MetricsHistory,
+    /// `GET /slo`.
+    Slo,
+    /// `GET /debug/slow`.
+    DebugSlow,
     /// Anything else: unknown paths (404) and disallowed methods (405).
     Other,
 }
 
 /// Every endpoint, in the fixed order `/metrics` renders.
-pub const ENDPOINTS: [Endpoint; 14] = [
+pub const ENDPOINTS: [Endpoint; 17] = [
     Endpoint::Analyze,
     Endpoint::Graph,
     Endpoint::Correctness,
@@ -80,6 +86,9 @@ pub const ENDPOINTS: [Endpoint; 14] = [
     Endpoint::Stats,
     Endpoint::Metrics,
     Endpoint::DebugRequests,
+    Endpoint::MetricsHistory,
+    Endpoint::Slo,
+    Endpoint::DebugSlow,
     Endpoint::Other,
 ];
 
@@ -100,8 +109,34 @@ impl Endpoint {
             Endpoint::Stats => "stats",
             Endpoint::Metrics => "metrics",
             Endpoint::DebugRequests => "debug_requests",
+            Endpoint::MetricsHistory => "metrics_history",
+            Endpoint::Slo => "slo",
+            Endpoint::DebugSlow => "debug_slow",
             Endpoint::Other => "other",
         }
+    }
+
+    /// Whether this endpoint serves an analysis computation (the POST
+    /// surfaces the default SLO objective applies to), as opposed to a
+    /// read-only observability surface.
+    pub fn is_analysis(self) -> bool {
+        matches!(
+            self,
+            Endpoint::Analyze
+                | Endpoint::Graph
+                | Endpoint::Correctness
+                | Endpoint::Invariants
+                | Endpoint::Simulate
+                | Endpoint::Sweep
+                | Endpoint::Optimize
+                | Endpoint::Whatif
+                | Endpoint::V1
+        )
+    }
+
+    /// The endpoint with the given label value.
+    pub fn by_name(name: &str) -> Option<Endpoint> {
+        ENDPOINTS.iter().copied().find(|e| e.name() == name)
     }
 
     /// The endpoint serving a given analysis request kind.
@@ -118,17 +153,17 @@ impl Endpoint {
         }
     }
 
-    fn index(self) -> usize {
-        ENDPOINTS
-            .iter()
-            .position(|&e| e == self)
-            .expect("every endpoint is in ENDPOINTS")
+    pub(crate) fn index(self) -> usize {
+        // Discriminant order matches [`ENDPOINTS`] (pinned by a test
+        // below), so the hot path's slot lookup is a plain cast
+        // instead of a scan.
+        self as usize
     }
 }
 
 /// The status codes the server emits, each its own label value; any
 /// other code falls into the trailing "other" slot.
-const STATUSES: [u16; 7] = [200, 400, 404, 405, 413, 422, 501];
+const STATUSES: [u16; 8] = [200, 400, 404, 405, 413, 422, 501, 503];
 
 fn status_index(status: u16) -> usize {
     STATUSES
@@ -146,6 +181,7 @@ fn status_label(index: usize) -> &'static str {
         4 => "413",
         5 => "422",
         6 => "501",
+        7 => "503",
         _ => "other",
     }
 }
@@ -164,12 +200,59 @@ pub struct RequestTrace {
     pub endpoint: &'static str,
     /// The HTTP status returned.
     pub status: u16,
-    /// Completion time, milliseconds since the Unix epoch.
-    pub unix_ms: u64,
+    /// Completion time as a raw [`tpn_obs::clock::now_ns`] reading;
+    /// converted to Unix milliseconds at render time (the hot path
+    /// stores the reading it already has and never touches the Unix
+    /// base).
+    pub end_ns: u64,
     /// Total request duration in nanoseconds.
     pub duration_ns: u64,
+    /// Content digest of the net the request resolved, when one was —
+    /// the handle that reproduces the request against `/v1` or the
+    /// CLI. The two `NetDigest` words packed big-endian; rendered as
+    /// 32 hex digits at exposition time (the hot path never formats).
+    pub digest: Option<u128>,
+    /// Spec hash of the request's sweep/optimize/whatif spec, when
+    /// the request carried one. Rendered as 32 hex digits.
+    pub spec: Option<u128>,
     /// The collected spans, preorder, excluding the implicit root.
     pub spans: Vec<Span>,
+}
+
+/// Completed slow requests the `/debug/slow` ring retains.
+pub const SLOW_RING_CAP: usize = 64;
+
+/// One watchdog capture: a request that exceeded its endpoint's SLO
+/// latency objective, with the objective it breached.
+#[derive(Debug, Clone)]
+pub struct SlowTrace {
+    /// The captured request trace.
+    pub trace: RequestTrace,
+    /// The latency objective the request exceeded, nanoseconds.
+    pub threshold_ns: u64,
+}
+
+/// The trace-collector annotation slot holding the net digest.
+pub(crate) const ANNOTATE_DIGEST: usize = 0;
+/// The trace-collector annotation slot holding the spec hash.
+pub(crate) const ANNOTATE_SPEC: usize = 1;
+
+/// Record the net digest the current request resolved. Rides the
+/// trace collector's annotation slots (no-op when no collection is
+/// active; first writer wins — a `/whatif` re-timing resolves many
+/// inner digests, but the request is about the base net it started
+/// from): one thread-local access, no allocation or formatting.
+pub(crate) fn annotate_digest(digest: [u64; 2]) {
+    tpn_obs::trace::annotate(
+        ANNOTATE_DIGEST,
+        (u128::from(digest[0]) << 64) | u128::from(digest[1]),
+    );
+}
+
+/// Record the spec hash the current request carried. Same slot
+/// semantics as [`annotate_digest`].
+pub(crate) fn annotate_spec(spec: u128) {
+    tpn_obs::trace::annotate(ANNOTATE_SPEC, spec);
 }
 
 /// The recording half of service observability. One instance per
@@ -183,6 +266,10 @@ pub struct ServiceMetrics {
     durations: [Histogram; ENDPOINTS.len()],
     /// Most recent completed request traces, oldest first.
     traces: Mutex<VecDeque<RequestTrace>>,
+    /// Most recent objective-breaching request traces, oldest first —
+    /// the watchdog's evidence ring, separate from `traces` so a burst
+    /// of fast requests cannot evict the slow outliers.
+    slow: Mutex<VecDeque<SlowTrace>>,
 }
 
 impl ServiceMetrics {
@@ -195,6 +282,7 @@ impl ServiceMetrics {
             requests: std::array::from_fn(|_| std::array::from_fn(|_| AtomicU64::new(0))),
             durations: std::array::from_fn(|_| Histogram::new()),
             traces: Mutex::new(VecDeque::with_capacity(TRACE_RING_CAP)),
+            slow: Mutex::new(VecDeque::new()),
         }
     }
 
@@ -235,23 +323,62 @@ impl ServiceMetrics {
     }
 
     /// Push one completed trace, evicting the oldest past the cap.
-    pub(crate) fn push_trace(&self, trace: RequestTrace) {
+    /// `header` carries everything but the spans (its `spans` must be
+    /// empty — `Vec::new()`, no allocation), which are **copied** from
+    /// the borrowed slice into the evicted entry's buffer. Once the
+    /// ring is full no allocation happens here: the span storage is a
+    /// stable set of ring-resident buffers, and the collector keeps
+    /// its own (see [`tpn_obs::trace::end_with`]).
+    pub(crate) fn push_trace_copying(&self, mut header: RequestTrace, spans: &[Span]) {
+        debug_assert!(header.spans.is_empty());
         let mut ring = self.traces.lock().expect("trace ring lock");
         if ring.len() == TRACE_RING_CAP {
             if let Some(evicted) = ring.pop_front() {
-                // Hand the evicted span buffer back to this thread's
-                // collector: once the ring is full, the steady-state
-                // request path allocates nothing for its trace.
-                tpn_obs::trace::recycle(evicted.spans);
+                header.spans = evicted.spans;
+                header.spans.clear();
             }
         }
-        ring.push_back(trace);
+        header.spans.extend_from_slice(spans);
+        ring.push_back(header);
     }
 
     /// The `n` most recent completed traces, most recent first.
     pub fn recent_traces(&self, n: usize) -> Vec<RequestTrace> {
         let ring = self.traces.lock().expect("trace ring lock");
         ring.iter().rev().take(n).cloned().collect()
+    }
+
+    /// Capture one objective-breaching request into the slow ring. The
+    /// trace is a clone (the general ring owns the original), so no
+    /// span buffers are recycled from here.
+    pub(crate) fn push_slow(&self, capture: SlowTrace) {
+        let mut ring = self.slow.lock().expect("slow ring lock");
+        if ring.len() == SLOW_RING_CAP {
+            ring.pop_front();
+        }
+        ring.push_back(capture);
+    }
+
+    /// The `n` most recent slow-request captures, most recent first.
+    pub fn recent_slow(&self, n: usize) -> Vec<SlowTrace> {
+        let ring = self.slow.lock().expect("slow ring lock");
+        ring.iter().rev().take(n).cloned().collect()
+    }
+
+    /// Server-error (5xx) responses counted for one endpoint — the
+    /// error dimension of its SLO window.
+    pub(crate) fn errors_5xx(&self, e: usize) -> u64 {
+        STATUSES
+            .iter()
+            .enumerate()
+            .filter(|(_, &s)| s >= 500)
+            .map(|(slot, _)| self.requests[e][slot].load(Ordering::Relaxed))
+            // The trailing "other" slot holds 500s (and any future
+            // 5xx); nothing below 500 falls into it today.
+            .chain(std::iter::once(
+                self.requests[e][STATUSES.len()].load(Ordering::Relaxed),
+            ))
+            .sum()
     }
 
     /// Total requests counted for `(endpoint, status)` — test hook.
@@ -298,6 +425,7 @@ pub(crate) struct StatsSnapshot {
     pub threads: u64,
     pub queue_cap: u64,
     pub uptime_seconds: f64,
+    pub start_time_seconds: f64,
 }
 
 /// Assemble the `GET /metrics` document. Families render in one fixed
@@ -333,6 +461,17 @@ pub(crate) fn render(
         "gauge",
     );
     r.sample_f64("tpn_process_uptime_seconds", &[], stats.uptime_seconds);
+
+    r.header(
+        "tpn_process_start_time_seconds",
+        "Unix time the service was constructed, seconds — a change means a restart.",
+        "gauge",
+    );
+    r.sample_f64(
+        "tpn_process_start_time_seconds",
+        &[],
+        stats.start_time_seconds,
+    );
 
     r.header(
         "tpn_requests_total",
@@ -548,18 +687,32 @@ pub(crate) fn render(
 }
 
 /// Render one request trace as a single NDJSON line (no trailing
-/// newline — the route joins lines).
-fn trace_line(trace: &RequestTrace) -> String {
+/// newline — the route joins lines). `threshold_ns` is the breached
+/// latency objective on `/debug/slow` lines, absent on the general
+/// ring's.
+fn trace_line(trace: &RequestTrace, threshold_ns: Option<u64>) -> String {
     let mut w = JsonWriter::new();
     w.begin_object();
     w.key("ts_ms");
-    w.uint(trace.unix_ms);
+    w.uint(tpn_obs::clock::unix_ms_at(trace.end_ns));
     w.key("endpoint");
     w.string(trace.endpoint);
     w.key("status");
     w.uint(u64::from(trace.status));
     w.key("duration_ns");
     w.uint(trace.duration_ns);
+    if let Some(t) = threshold_ns {
+        w.key("threshold_ns");
+        w.uint(t);
+    }
+    if let Some(digest) = trace.digest {
+        w.key("digest");
+        w.string(&format!("{digest:032x}"));
+    }
+    if let Some(spec) = trace.spec {
+        w.key("spec");
+        w.string(&format!("{spec:032x}"));
+    }
     w.key("spans");
     w.begin_array();
     // The implicit root, synthesized from the header measurement.
@@ -595,7 +748,19 @@ fn trace_line(trace: &RequestTrace) -> String {
 pub(crate) fn debug_requests_ndjson(traces: &[RequestTrace]) -> String {
     let mut out = String::new();
     for trace in traces {
-        out.push_str(&trace_line(trace));
+        out.push_str(&trace_line(trace, None));
+        out.push('\n');
+    }
+    out
+}
+
+/// The `GET /debug/slow?n=K` body: the K most recent watchdog
+/// captures, most recent first, one JSON document per line — each the
+/// `/debug/requests` shape plus the `threshold_ns` it breached.
+pub(crate) fn debug_slow_ndjson(captures: &[SlowTrace]) -> String {
+    let mut out = String::new();
+    for capture in captures {
+        out.push_str(&trace_line(&capture.trace, Some(capture.threshold_ns)));
         out.push('\n');
     }
     out
@@ -683,20 +848,79 @@ mod tests {
     fn trace_ring_keeps_the_most_recent() {
         let m = ServiceMetrics::new(true);
         for i in 0..(TRACE_RING_CAP + 10) {
-            m.push_trace(RequestTrace {
-                endpoint: "analyze",
-                status: 200,
-                unix_ms: i as u64,
-                duration_ns: 1,
-                spans: Vec::new(),
-            });
+            m.push_trace_copying(
+                RequestTrace {
+                    endpoint: "analyze",
+                    status: 200,
+                    end_ns: i as u64,
+                    duration_ns: 1,
+                    digest: None,
+                    spec: None,
+                    spans: Vec::new(),
+                },
+                &[],
+            );
         }
         let recent = m.recent_traces(3);
         assert_eq!(recent.len(), 3);
-        assert_eq!(recent[0].unix_ms, (TRACE_RING_CAP + 9) as u64);
+        assert_eq!(recent[0].end_ns, (TRACE_RING_CAP + 9) as u64);
         assert!(m.recent_traces(10_000).len() == TRACE_RING_CAP);
         let ndjson = debug_requests_ndjson(&recent);
         assert_eq!(ndjson.lines().count(), 3);
         assert!(ndjson.starts_with("{\"ts_ms\":"), "{ndjson}");
+    }
+
+    #[test]
+    fn slow_ring_keeps_the_most_recent_and_renders_the_threshold() {
+        let m = ServiceMetrics::new(true);
+        for i in 0..(SLOW_RING_CAP + 5) {
+            m.push_slow(SlowTrace {
+                trace: RequestTrace {
+                    endpoint: "analyze",
+                    status: 200,
+                    end_ns: i as u64,
+                    duration_ns: 9_000_000,
+                    digest: Some((0xabc1 << 64) | 0x23),
+                    spec: None,
+                    spans: Vec::new(),
+                },
+                threshold_ns: 5_000_000,
+            });
+        }
+        assert_eq!(m.recent_slow(10_000).len(), SLOW_RING_CAP);
+        let recent = m.recent_slow(2);
+        assert_eq!(recent[0].trace.end_ns, (SLOW_RING_CAP + 4) as u64);
+        let ndjson = debug_slow_ndjson(&recent);
+        assert!(ndjson.contains("\"threshold_ns\":5000000"), "{ndjson}");
+        assert!(
+            ndjson.contains("\"digest\":\"000000000000abc10000000000000023\""),
+            "{ndjson}"
+        );
+    }
+
+    #[test]
+    fn errors_5xx_counts_only_server_errors() {
+        let m = ServiceMetrics::new(true);
+        m.record(Endpoint::Analyze, 200, 1);
+        m.record(Endpoint::Analyze, 422, 1);
+        m.record(Endpoint::Analyze, 501, 1);
+        m.record(Endpoint::Analyze, 503, 1);
+        m.record(Endpoint::Analyze, 500, 1); // the "other" slot
+        assert_eq!(m.errors_5xx(Endpoint::Analyze.index()), 3);
+        assert_eq!(m.errors_5xx(Endpoint::Sweep.index()), 0);
+    }
+
+    #[test]
+    fn annotations_pack_digest_words_into_the_trace_slots() {
+        // Inactive: annotations are dropped.
+        annotate_digest([9, 9]);
+        assert_eq!(tpn_obs::trace::end_annotated(), None);
+        assert!(tpn_obs::trace::begin_rooted(0));
+        annotate_digest([1, 2]);
+        annotate_digest([3, 4]); // first writer wins
+        annotate_spec(0xbeef);
+        let (_, annotations) = tpn_obs::trace::end_annotated().unwrap();
+        assert_eq!(annotations[ANNOTATE_DIGEST], Some((1 << 64) | 2));
+        assert_eq!(annotations[ANNOTATE_SPEC], Some(0xbeef));
     }
 }

@@ -12,7 +12,8 @@
 //! tpn optimize <net.tpn> <spec.json>    certified optimal timing parameters (JSON)
 //! tpn whatif <net.tpn> <spec.json>      incremental re-timed analyses over a perturbation batch (JSON)
 //! tpn serve <addr> [OPTIONS]            HTTP analysis daemon (JSON API)
-//! tpn stats <addr> [--metrics]          counters of a running daemon (pretty table or raw /metrics)
+//! tpn stats <addr> [--metrics] [--watch N]  counters of a running daemon (pretty table or raw /metrics)
+//! tpn top <addr> [--interval N]         live dashboard: req/s, latency, burn rates, RSS
 //! tpn batch <dir> [KIND..]              run analyses over every .tpn in a directory (JSON lines)
 //! ```
 //!
@@ -100,14 +101,20 @@ const COMMANDS: &[CommandHelp] = &[
     CommandHelp {
         name: "serve",
         usage: "tpn serve <addr> [--threads N] [--queue N] [--cache-bytes N] [--no-metrics] \
-                [--log[=FILE]] [--log-sample N]",
+                [--log[=FILE]] [--log-sample N] [--slo FILE] [--sample-interval MS]",
         summary: "HTTP analysis daemon with a content-addressed result cache",
     },
     CommandHelp {
         name: "stats",
-        usage: "tpn stats <addr> [--metrics]",
+        usage: "tpn stats <addr> [--metrics] [--watch SECS] [--ticks N]",
         summary: "fetch a running daemon's counters — pretty table from /stats, or the raw \
-                  Prometheus exposition with --metrics",
+                  Prometheus exposition with --metrics; --watch redraws every SECS seconds",
+    },
+    CommandHelp {
+        name: "top",
+        usage: "tpn top <addr> [--interval SECS] [--window SECS] [--ticks N]",
+        summary: "live terminal dashboard of a running daemon — req/s, latency quantiles, \
+                  cache hit ratio, SLO burn rates and RSS from /metrics/history and /slo",
     },
     CommandHelp {
         name: "batch",
@@ -223,6 +230,7 @@ fn run(args: &[String]) -> Result<(), String> {
     match cmd {
         "serve" => return cmd_serve(&args[1..]),
         "stats" => return cmd_stats(&args[1..]),
+        "top" => return cmd_top(&args[1..]),
         "batch" => return cmd_batch(&args[1..]),
         "sweep" => return cmd_sweep(&args[1..]),
         "optimize" => return cmd_optimize(&args[1..]),
@@ -500,6 +508,17 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             "--queue" => config.queue_cap = flag_value("--queue")?,
             "--cache-bytes" => config.cache.byte_budget = flag_value("--cache-bytes")?,
             "--no-metrics" => config.metrics = false,
+            "--sample-interval" => {
+                config.sample_interval_ms = flag_value("--sample-interval")? as u64
+            }
+            "--slo" => {
+                let path = it
+                    .next()
+                    .ok_or_else(|| format!("--slo needs a file\n{}", usage_of("serve")))?;
+                let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+                config.slo =
+                    tpn_service::SloConfig::from_json(&text).map_err(|e| format!("{path}: {e}"))?;
+            }
             "--log" => log_requested = true,
             "--log-sample" => log_sample = flag_value("--log-sample")? as u64,
             flag if flag.starts_with("--log=") => {
@@ -536,7 +555,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     println!("tpn-service listening on http://{}", handle.addr());
     println!(
         "endpoints: POST /v1 /analyze /graph /correctness /invariants /simulate /sweep /optimize \
-         /whatif · GET /healthz /stats /metrics /debug/requests"
+         /whatif · GET /healthz /stats /metrics /metrics/history /slo /debug/requests /debug/slow"
     );
     handle.wait();
     Ok(())
@@ -573,16 +592,30 @@ fn http_get(addr: &str, path: &str) -> Result<String, String> {
     Ok(body.to_string())
 }
 
-/// `tpn stats <addr> [--metrics]` — fetch and display a running
-/// daemon's counters. The default view renders `/stats` as aligned
-/// `name  value` lines (nested objects flattened with dotted names);
-/// `--metrics` prints the raw Prometheus exposition instead.
+/// `tpn stats <addr> [--metrics] [--watch SECS] [--ticks N]` — fetch
+/// and display a running daemon's counters. The default view renders
+/// `/stats` as aligned `name  value` lines (nested objects flattened
+/// with dotted names); `--metrics` prints the raw Prometheus
+/// exposition instead. `--watch SECS` redraws every SECS seconds
+/// (`--ticks N` stops after N frames; mostly for scripting and tests).
 fn cmd_stats(args: &[String]) -> Result<(), String> {
     let mut addr: Option<&str> = None;
     let mut raw_metrics = false;
-    for arg in args {
+    let mut watch: Option<u64> = None;
+    let mut ticks: u64 = 0;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut flag_value = |name: &str| -> Result<u64, String> {
+            let v = it
+                .next()
+                .ok_or_else(|| format!("{name} needs a value\n{}", usage_of("stats")))?;
+            v.parse()
+                .map_err(|_| format!("bad {name} value {v:?}\n{}", usage_of("stats")))
+        };
         match arg.as_str() {
             "--metrics" => raw_metrics = true,
+            "--watch" => watch = Some(flag_value("--watch")?),
+            "--ticks" => ticks = flag_value("--ticks")?,
             flag if flag.starts_with('-') => {
                 return Err(format!("unknown flag {flag:?}\n{}", usage_of("stats")))
             }
@@ -596,19 +629,305 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
         }
     }
     let addr = addr.ok_or_else(|| usage_of("stats"))?;
-    if raw_metrics {
-        print!("{}", http_get(addr, "/metrics")?);
-        return Ok(());
+    let frame = || -> Result<String, String> {
+        if raw_metrics {
+            return http_get(addr, "/metrics");
+        }
+        let body = http_get(addr, "/stats")?;
+        let doc = tpn_service::Json::parse(&body).map_err(|e| format!("{addr}/stats: {e}"))?;
+        let mut rows: Vec<(String, String)> = Vec::new();
+        flatten_stats("", &doc, &mut rows)?;
+        let table: Vec<Vec<String>> = rows.into_iter().map(|(k, v)| vec![k, v]).collect();
+        Ok(aligned_table(&table))
+    };
+    match watch {
+        None => {
+            print!("{}", frame()?);
+            Ok(())
+        }
+        Some(secs) => watch_loop(secs, ticks, frame),
     }
-    let body = http_get(addr, "/stats")?;
-    let doc = tpn_service::Json::parse(&body).map_err(|e| format!("{addr}/stats: {e}"))?;
-    let mut rows: Vec<(String, String)> = Vec::new();
-    flatten_stats("", &doc, &mut rows)?;
-    let width = rows.iter().map(|(k, _)| k.len()).max().unwrap_or(0);
-    for (key, value) in rows {
-        println!("{key:<width$}  {value}");
+}
+
+/// `tpn top <addr> [--interval SECS] [--window SECS] [--ticks N]` —
+/// live terminal dashboard over `/metrics/history` and `/slo`:
+/// service-wide req/s, cache hit ratio and RSS sparklines, then one
+/// aligned row per endpoint with current rates, latency quantiles,
+/// burn rates and health. Redraws every `--interval` seconds (default
+/// 2); `--ticks N` stops after N frames (default: run until ^C).
+fn cmd_top(args: &[String]) -> Result<(), String> {
+    let mut addr: Option<&str> = None;
+    let mut interval: u64 = 2;
+    let mut window: u64 = 60;
+    let mut ticks: u64 = 0;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut flag_value = |name: &str| -> Result<u64, String> {
+            let v = it
+                .next()
+                .ok_or_else(|| format!("{name} needs a value\n{}", usage_of("top")))?;
+            v.parse()
+                .map_err(|_| format!("bad {name} value {v:?}\n{}", usage_of("top")))
+        };
+        match arg.as_str() {
+            "--interval" => interval = flag_value("--interval")?.max(1),
+            "--window" => window = flag_value("--window")?.max(1),
+            "--ticks" => ticks = flag_value("--ticks")?,
+            flag if flag.starts_with('-') => {
+                return Err(format!("unknown flag {flag:?}\n{}", usage_of("top")))
+            }
+            a if addr.is_none() => addr = Some(a),
+            extra => {
+                return Err(format!(
+                    "unexpected argument {extra:?}\n{}",
+                    usage_of("top")
+                ))
+            }
+        }
     }
-    Ok(())
+    let addr = addr.ok_or_else(|| usage_of("top"))?;
+    let step = interval.min(window);
+    watch_loop(interval, ticks, || top_frame(addr, window, step))
+}
+
+/// Assemble one `tpn top` frame from a daemon's `/metrics/history`
+/// and `/slo` documents.
+fn top_frame(addr: &str, window_s: u64, step_s: u64) -> Result<String, String> {
+    let path = format!("/metrics/history?window={window_s}&step={step_s}");
+    let history = http_get(addr, &path)?;
+    let history = tpn_service::Json::parse(&history).map_err(|e| format!("{addr}{path}: {e}"))?;
+    let slo_body = http_get(addr, "/slo")?;
+    let slo = tpn_service::Json::parse(&slo_body).map_err(|e| format!("{addr}/slo: {e}"))?;
+
+    let status = slo.get("status").and_then(|s| s.as_str()).unwrap_or("?");
+    let samples = json_f64(history.get("samples")).unwrap_or(0.0) as u64;
+    let service = history.get("service");
+    let req_s = float_col(service.and_then(|s| s.get("req_s")));
+    let hit_ratio = float_col(service.and_then(|s| s.get("cache_hit_ratio")));
+    let rss = float_col(history.get("process").and_then(|p| p.get("rss_bytes")));
+
+    let mut out = format!(
+        "tpn top — {addr} · status {status} · window {window_s}s step {step_s}s · {samples} samples\n\n"
+    );
+    let headline = vec![
+        vec![
+            "req/s".to_string(),
+            fmt_opt(last_value(&req_s), |v| format!("{v:.1}")),
+            sparkline(&req_s),
+        ],
+        vec![
+            "cache hit".to_string(),
+            fmt_opt(last_value(&hit_ratio), |v| format!("{:.0}%", v * 100.0)),
+            sparkline(&hit_ratio),
+        ],
+        vec![
+            "rss".to_string(),
+            fmt_opt(last_value(&rss), |v| {
+                format!("{:.1} MiB", v / (1024.0 * 1024.0))
+            }),
+            sparkline(&rss),
+        ],
+    ];
+    out.push_str(&aligned_table(&headline));
+    out.push('\n');
+
+    // Per-endpoint burn rates and health from /slo, keyed by name.
+    let slo_rows: &[tpn_service::Json] =
+        slo.get("endpoints").and_then(|e| e.as_arr()).unwrap_or(&[]);
+    let slo_of = |name: &str| -> Option<&tpn_service::Json> {
+        slo_rows
+            .iter()
+            .find(|row| row.get("endpoint").and_then(|e| e.as_str()) == Some(name))
+    };
+
+    let mut table: Vec<Vec<String>> = vec![[
+        "endpoint", "req/s", "err/s", "p50", "p99", "fast", "slow", "health",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect()];
+    let empty: &[(String, tpn_service::Json)] = &[];
+    let endpoints = history
+        .get("endpoints")
+        .and_then(|e| e.as_obj())
+        .unwrap_or(empty);
+    for (name, cols) in endpoints {
+        let slo_row = slo_of(name);
+        table.push(vec![
+            name.clone(),
+            fmt_opt(last_value(&float_col(cols.get("req_s"))), |v| {
+                format!("{v:.1}")
+            }),
+            fmt_opt(last_value(&float_col(cols.get("err_s"))), |v| {
+                format!("{v:.1}")
+            }),
+            fmt_opt(last_value(&float_col(cols.get("p50_ns"))), fmt_ns),
+            fmt_opt(last_value(&float_col(cols.get("p99_ns"))), fmt_ns),
+            fmt_opt(worst_burn(slo_row, "fast"), |v| format!("{v:.2}")),
+            fmt_opt(worst_burn(slo_row, "slow"), |v| format!("{v:.2}")),
+            slo_row
+                .and_then(|r| r.get("health"))
+                .and_then(|h| h.as_str())
+                .unwrap_or("-")
+                .to_string(),
+        ]);
+    }
+    // Objectives that are burning without traffic in the rendered
+    // window (e.g. a since-boot slow window) still deserve a row.
+    for row in slo_rows {
+        let (Some(name), Some(health)) = (
+            row.get("endpoint").and_then(|e| e.as_str()),
+            row.get("health").and_then(|h| h.as_str()),
+        ) else {
+            continue;
+        };
+        if health == "ok" || endpoints.iter().any(|(n, _)| n == name) {
+            continue;
+        }
+        table.push(vec![
+            name.to_string(),
+            "-".to_string(),
+            "-".to_string(),
+            "-".to_string(),
+            "-".to_string(),
+            fmt_opt(worst_burn(Some(row), "fast"), |v| format!("{v:.2}")),
+            fmt_opt(worst_burn(Some(row), "slow"), |v| format!("{v:.2}")),
+            health.to_string(),
+        ]);
+    }
+    if table.len() > 1 {
+        out.push_str(&aligned_table(&table));
+    } else {
+        out.push_str("no endpoint traffic in window\n");
+    }
+    Ok(out)
+}
+
+/// The worst of an `/slo` endpoint row's latency and error burns over
+/// one window (`"fast"` or `"slow"`).
+fn worst_burn(row: Option<&tpn_service::Json>, window: &str) -> Option<f64> {
+    let w = row?.get(window)?;
+    let latency = json_f64(w.get("latency_burn"));
+    let error = json_f64(w.get("error_burn"));
+    match (latency, error) {
+        (Some(a), Some(b)) => Some(a.max(b)),
+        (one, other) => one.or(other),
+    }
+}
+
+/// Redraw loop shared by `tpn top` and `tpn stats --watch`: render a
+/// frame, clear the terminal (ANSI, only when stdout is a tty — piped
+/// output stays parseable), print, sleep, repeat. `ticks == 0` runs
+/// until interrupted; otherwise stops after that many frames.
+fn watch_loop(
+    interval_s: u64,
+    ticks: u64,
+    mut frame: impl FnMut() -> Result<String, String>,
+) -> Result<(), String> {
+    use std::io::{IsTerminal, Write};
+    let clear = std::io::stdout().is_terminal();
+    let mut drawn = 0u64;
+    loop {
+        let body = frame()?;
+        if clear {
+            print!("\x1b[2J\x1b[H");
+        }
+        print!("{body}");
+        std::io::stdout().flush().ok();
+        drawn += 1;
+        if ticks != 0 && drawn >= ticks {
+            return Ok(());
+        }
+        std::thread::sleep(std::time::Duration::from_secs(interval_s.max(1)));
+    }
+}
+
+/// Render rows as a left-aligned table, two spaces between columns,
+/// trailing whitespace trimmed. Width is per column over all rows
+/// (measured in chars — good enough for the box-drawing sparklines).
+fn aligned_table(rows: &[Vec<String>]) -> String {
+    let cols = rows.iter().map(Vec::len).max().unwrap_or(0);
+    let mut widths = vec![0usize; cols];
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.chars().count());
+        }
+    }
+    let mut out = String::new();
+    for row in rows {
+        let mut line = String::new();
+        for (i, cell) in row.iter().enumerate() {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            line.push_str(cell);
+            if i + 1 < row.len() {
+                line.extend(std::iter::repeat_n(' ', widths[i] - cell.chars().count()));
+            }
+        }
+        out.push_str(line.trim_end());
+        out.push('\n');
+    }
+    out
+}
+
+/// A JSON number as f64 (`None` for nulls and non-numbers).
+fn json_f64(v: Option<&tpn_service::Json>) -> Option<f64> {
+    v?.as_num()?.parse().ok()
+}
+
+/// A JSON array of numbers-or-nulls as a sample column.
+fn float_col(v: Option<&tpn_service::Json>) -> Vec<Option<f64>> {
+    v.and_then(|a| a.as_arr())
+        .map(|arr| arr.iter().map(|x| json_f64(Some(x))).collect())
+        .unwrap_or_default()
+}
+
+/// The most recent non-null sample of a column.
+fn last_value(col: &[Option<f64>]) -> Option<f64> {
+    col.iter().rev().flatten().next().copied()
+}
+
+fn fmt_opt(v: Option<f64>, f: impl Fn(f64) -> String) -> String {
+    v.map(f).unwrap_or_else(|| "-".to_string())
+}
+
+/// Nanoseconds as a human latency (`870µs`, `1.24ms`, `2.1s`).
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.2}s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.2}ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.1}µs", ns / 1e3)
+    } else {
+        format!("{ns:.0}ns")
+    }
+}
+
+/// A column of samples as a unicode sparkline; nulls render as spaces.
+fn sparkline(values: &[Option<f64>]) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let finite: Vec<f64> = values.iter().flatten().copied().collect();
+    if finite.is_empty() {
+        return String::new();
+    }
+    let max = finite.iter().copied().fold(f64::MIN, f64::max);
+    let min = finite.iter().copied().fold(f64::MAX, f64::min);
+    values
+        .iter()
+        .map(|v| match v {
+            None => ' ',
+            Some(x) => {
+                let t = if max > min {
+                    (x - min) / (max - min)
+                } else {
+                    0.5
+                };
+                BARS[((t * 7.0).round() as usize).min(7)]
+            }
+        })
+        .collect()
 }
 
 /// Flatten a `/stats` document into dotted `name → value` rows,
@@ -740,10 +1059,41 @@ mod tests {
             "whatif",
             "serve",
             "stats",
+            "top",
             "batch",
         ] {
             assert!(command_help(name).is_some(), "{name} missing from COMMANDS");
         }
+    }
+
+    #[test]
+    fn aligned_table_pads_columns_and_trims_trailing_space() {
+        let rows = vec![
+            vec!["endpoint".to_string(), "req/s".to_string()],
+            vec!["analyze".to_string(), "12.5".to_string()],
+            vec!["v1".to_string(), "3.0".to_string()],
+        ];
+        assert_eq!(
+            aligned_table(&rows),
+            "endpoint  req/s\nanalyze   12.5\nv1        3.0\n"
+        );
+    }
+
+    #[test]
+    fn sparkline_scales_to_extremes_and_blanks_nulls() {
+        let line = sparkline(&[Some(0.0), None, Some(1.0)]);
+        assert_eq!(line, "▁ █");
+        assert_eq!(sparkline(&[]), "");
+        // A flat series renders mid-height, not a panic on max == min.
+        assert_eq!(sparkline(&[Some(5.0), Some(5.0)]), "▅▅");
+    }
+
+    #[test]
+    fn fmt_ns_picks_the_readable_unit() {
+        assert_eq!(fmt_ns(870.0), "870ns");
+        assert_eq!(fmt_ns(870_500.0), "870.5µs");
+        assert_eq!(fmt_ns(1_240_000.0), "1.24ms");
+        assert_eq!(fmt_ns(2_100_000_000.0), "2.10s");
     }
 
     #[test]

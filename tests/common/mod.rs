@@ -23,10 +23,18 @@ pub fn fig1_text() -> String {
 
 /// A default-config server on an ephemeral loopback port.
 pub fn start_server() -> (ServerHandle, SocketAddr) {
-    let service = Arc::new(Service::new(ServiceConfig::default()));
-    let handle = spawn(service, "127.0.0.1:0").expect("bind ephemeral port");
-    let addr = handle.addr();
+    let (handle, addr, _) = start_server_with(ServiceConfig::default());
     (handle, addr)
+}
+
+/// Like [`start_server`] but with a caller-built config, also handing
+/// back the shared [`Service`] so tests can drive in-process hooks
+/// (e.g. manual retention-ring ticks via `Service::sample_now`).
+pub fn start_server_with(config: ServiceConfig) -> (ServerHandle, SocketAddr, Arc<Service>) {
+    let service = Arc::new(Service::new(config));
+    let handle = spawn(Arc::clone(&service), "127.0.0.1:0").expect("bind ephemeral port");
+    let addr = handle.addr();
+    (handle, addr, service)
 }
 
 /// A minimal HTTP/1.1 client: one request, one `Connection: close`

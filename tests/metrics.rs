@@ -99,11 +99,29 @@ fn stats_document_matches_pre_instrumentation_bytes() {
     replay_capture_sequence(addr);
     let (status, stats) = http(addr, "GET", "/stats", "");
     assert_eq!(status, 200);
-    assert_eq!(
-        stats,
-        golden("stats.json"),
-        "/stats drifted from the pre-instrumentation bytes"
+    // PR 8 appends a `"process"` object as the document's LAST member;
+    // every byte before it must still match the golden capture.
+    let full = golden("stats.json");
+    let prefix = full.strip_suffix('}').expect("golden is a JSON object");
+    assert!(
+        stats.starts_with(prefix),
+        "/stats drifted from the pre-instrumentation bytes\n--- live ---\n{stats}\n--- golden prefix ---\n{prefix}"
     );
+    let tail = &stats[prefix.len()..];
+    assert!(
+        tail.starts_with(",\"process\":{\"version\":"),
+        "unexpected /stats tail: {tail}"
+    );
+    for key in [
+        "\"start_time_ms\":",
+        "\"uptime_seconds\":",
+        "\"rss_bytes\":",
+        "\"open_fds\":",
+        "\"os_threads\":",
+    ] {
+        assert!(tail.contains(key), "missing {key} in {tail}");
+    }
+    assert!(tail.ends_with("}}"), "tail must close both objects: {tail}");
     handle.shutdown();
 }
 
