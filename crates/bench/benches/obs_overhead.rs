@@ -13,19 +13,23 @@
 //! too: every request passes the slow-request watchdog (the default
 //! 250 ms analysis objective — warm hits pay the threshold compare,
 //! never a capture), and a live sampler thread pushes retention-ring
-//! frames (counter deltas + 17 histogram snapshots + `/proc/self`
+//! frames (counter deltas + histogram snapshots + `/proc/self`
 //! gauges) every 25 ms — 200× the production 5 s cadence, so the
-//! measured interference is a hard upper bound. Both arms get an
-//! identical background thread (the no-op arm's `sample_now` is a
-//! single branch) so the scheduler load is symmetric.
+//! measured interference is a hard upper bound. Since PR 9 each of
+//! those sampler ticks also runs the alert evaluator over the default
+//! burn-rate rule set (one rule per SLO objective, windowed histogram
+//! deltas and all) — `Service::sample_now` is the evaluator's only
+//! driver, so the tick inherits it with no bench changes. Both arms
+//! get an identical background thread (the no-op arm's `sample_now`
+//! is a single branch) so the scheduler load is symmetric.
 //!
-//! `BENCH_7.json` records the per-request instrumentation delta over
+//! `BENCH_8.json` records the per-request instrumentation delta over
 //! the no-op time (see `overhead_gate` for the paired-block method);
 //! the acceptance gate is <3% overhead. Setting `TPN_OBS_GATE=<percent>`
 //! additionally runs an interleaved A/B timing loop after the criterion
 //! groups and fails the process if the measured overhead exceeds the
 //! given percentage — the CI hook (CI uses a lenient bound; the precise
-//! number comes from the quiet-host run recorded in BENCH_7.json).
+//! number comes from the quiet-host run recorded in BENCH_8.json).
 
 use criterion::{criterion_group, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;

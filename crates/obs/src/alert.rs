@@ -1,0 +1,678 @@
+//! Rule-driven alerting over a retention ring: declarative threshold
+//! rules, a per-rule hysteresis state machine and a bounded event
+//! history.
+//!
+//! An [`AlertRule`] names a [`Signal`] — a number reconstructed from
+//! [`SeriesRing`] frames (counter rate,
+//! gauge, histogram quantile, or an SLO burn rate reusing
+//! [`crate::slo`] math) — and a comparison against a threshold. The
+//! [`AlertEngine`] evaluates every rule once per pushed frame and
+//! drives each through `inactive → pending → firing → resolved`:
+//!
+//! * a rule only **fires** after its condition has held continuously
+//!   for `for_s` seconds (the `for`-duration hysteresis), and
+//! * a firing rule only **resolves** after the condition has been
+//!   continuously false for `resolve_s` seconds (resolve debounce),
+//!
+//! so an input oscillating around the threshold cannot flap
+//! (property-tested in `tests/alert_props.rs`). Every timestamp the
+//! machine consumes comes from the frames themselves, never a wall
+//! clock, so replaying the same frames yields byte-identical
+//! transitions. Firing/resolved transitions are appended to a bounded
+//! history ring the owner can render or forward to a notifier.
+
+use std::collections::VecDeque;
+
+use crate::series::{Frame, SeriesRing};
+use crate::slo::{Objective, WindowBurn};
+
+/// Comparison an [`AlertRule`] applies between signal and threshold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Cmp {
+    /// Signal strictly above threshold.
+    Gt,
+    /// Signal at or above threshold.
+    Ge,
+    /// Signal strictly below threshold.
+    Lt,
+    /// Signal at or below threshold.
+    Le,
+}
+
+impl Cmp {
+    /// Wire spelling (`>`, `>=`, `<`, `<=`).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Cmp::Gt => ">",
+            Cmp::Ge => ">=",
+            Cmp::Lt => "<",
+            Cmp::Le => "<=",
+        }
+    }
+
+    /// Parse the wire spelling.
+    pub fn by_name(s: &str) -> Option<Cmp> {
+        match s {
+            ">" => Some(Cmp::Gt),
+            ">=" => Some(Cmp::Ge),
+            "<" => Some(Cmp::Lt),
+            "<=" => Some(Cmp::Le),
+            _ => None,
+        }
+    }
+
+    /// Whether `value cmp threshold` holds. A NaN value never
+    /// satisfies any comparison — an unevaluable signal (idle window,
+    /// empty ring column) cannot trip an alert.
+    pub fn holds(&self, value: f64, threshold: f64) -> bool {
+        match self {
+            Cmp::Gt => value > threshold,
+            Cmp::Ge => value >= threshold,
+            Cmp::Lt => value < threshold,
+            Cmp::Le => value <= threshold,
+        }
+    }
+}
+
+/// The number a rule watches, reconstructed from ring frames each
+/// tick. Window-based signals compare the newest frame against the
+/// frame `window_s` before it (via
+/// [`SeriesRing::at_or_before`](crate::series::SeriesRing::at_or_before)),
+/// falling back to the since-boot totals in the newest frame while
+/// the ring is still empty.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Signal {
+    /// Per-second increase of counter column `column` over the window.
+    /// NaN when the window has zero width.
+    CounterRate {
+        /// Index into the schema's counters.
+        column: usize,
+    },
+    /// Latest value of gauge column `column` (windowless).
+    Gauge {
+        /// Index into the schema's gauges.
+        column: usize,
+    },
+    /// Quantile `q` (in nanoseconds) of histogram column `column`'s
+    /// activity over the window. NaN when the window saw no samples.
+    QuantileNs {
+        /// Index into the schema's hists.
+        column: usize,
+        /// Quantile in `(0, 1)`, e.g. `0.99`.
+        q: f64,
+    },
+    /// Worst SLO budget burn rate of histogram `hist` (latency) and
+    /// counter `errors` over the window, per [`WindowBurn`]. Zero on
+    /// an idle window.
+    BurnRate {
+        /// Latency histogram column index.
+        hist: usize,
+        /// Error counter column index.
+        errors: usize,
+        /// The objective judged against.
+        objective: Objective,
+    },
+}
+
+impl Signal {
+    /// Evaluate against the newest frame `now` and the window-start
+    /// frame `start` (`None` while the ring is empty; the since-boot
+    /// totals in `now` are then the window).
+    fn value(&self, now: &Frame, start: Option<&Frame>) -> f64 {
+        match *self {
+            Signal::CounterRate { column } => {
+                let (delta, dt_ms) = match start {
+                    Some(s) => (now.counter_delta(s, column), now.unix_ms - s.unix_ms),
+                    None => (now.counters[column], now.unix_ms),
+                };
+                if dt_ms == 0 {
+                    return f64::NAN;
+                }
+                delta as f64 / (dt_ms as f64 / 1_000.0)
+            }
+            Signal::Gauge { column } => now.gauges[column],
+            Signal::QuantileNs { column, q } => {
+                let snap = match start {
+                    Some(s) => now.hist_delta(s, column),
+                    None => now.hists[column],
+                };
+                snap.quantile_ns(q).unwrap_or(f64::NAN)
+            }
+            Signal::BurnRate {
+                hist,
+                errors,
+                ref objective,
+            } => {
+                let (snap, errs) = match start {
+                    Some(s) => (now.hist_delta(s, hist), now.counter_delta(s, errors)),
+                    None => (now.hists[hist], now.counters[errors]),
+                };
+                WindowBurn::evaluate(objective, &snap, errs).worst_burn()
+            }
+        }
+    }
+}
+
+/// One declarative alert rule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AlertRule {
+    /// Unique rule name, the identity events and silences key on.
+    pub name: String,
+    /// Free-form severity label (`warn`, `page`, ...), forwarded to
+    /// notifications verbatim.
+    pub severity: String,
+    /// The watched number.
+    pub signal: Signal,
+    /// Comparison between signal and threshold.
+    pub cmp: Cmp,
+    /// Threshold the signal is compared against.
+    pub threshold: f64,
+    /// Trailing window, seconds, for window-based signals.
+    pub window_s: u64,
+    /// The condition must hold continuously this long before the rule
+    /// fires (`0` fires on the first true evaluation).
+    pub for_s: u64,
+    /// The condition must be continuously false this long before a
+    /// firing rule resolves (`0` resolves on the first false one).
+    pub resolve_s: u64,
+}
+
+/// Where a rule currently sits in its lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlertState {
+    /// Condition false (or never evaluated).
+    Inactive,
+    /// Condition true but not yet for `for_s` — waiting out the
+    /// hysteresis.
+    Pending,
+    /// Fired and not yet resolved.
+    Firing,
+}
+
+impl AlertState {
+    /// Lower-case wire label.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            AlertState::Inactive => "inactive",
+            AlertState::Pending => "pending",
+            AlertState::Firing => "firing",
+        }
+    }
+}
+
+/// The two transitions worth notifying about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Transition {
+    /// Pending → firing: the condition held for `for_s`.
+    Firing,
+    /// Firing → inactive: the condition stayed false for `resolve_s`.
+    Resolved,
+}
+
+impl Transition {
+    /// Lower-case wire label.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Transition::Firing => "firing",
+            Transition::Resolved => "resolved",
+        }
+    }
+}
+
+/// One recorded transition.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AlertEvent {
+    /// Monotone sequence number, unique per engine.
+    pub seq: u64,
+    /// Frame timestamp of the tick that produced the transition.
+    pub unix_ms: u64,
+    /// Index of the rule (into [`AlertEngine::rules`]).
+    pub rule: usize,
+    /// Which transition happened.
+    pub transition: Transition,
+    /// Signal value at the transition tick.
+    pub value: f64,
+}
+
+/// Per-rule live status, for rendering.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RuleStatus {
+    /// Current lifecycle state.
+    pub state: AlertState,
+    /// Frame timestamp the current state was entered at (`0` before
+    /// the first evaluation).
+    pub since_ms: u64,
+    /// Most recently evaluated signal value (NaN before the first
+    /// evaluation or when unevaluable).
+    pub value: f64,
+}
+
+/// Internal per-rule bookkeeping.
+#[derive(Debug, Clone, Copy)]
+struct RuleSlot {
+    state: AlertState,
+    since_ms: u64,
+    /// While firing: the frame timestamp the condition first went
+    /// false at, `u64::MAX` while it still holds.
+    ok_since_ms: u64,
+    value: f64,
+}
+
+/// The evaluator: owns the rules, their states and the transition
+/// history. Single-threaded by design — the owner serializes ticks
+/// (the service wraps it in a `Mutex` and ticks from its sampler).
+#[derive(Debug)]
+pub struct AlertEngine {
+    rules: Vec<AlertRule>,
+    slots: Vec<RuleSlot>,
+    history: VecDeque<AlertEvent>,
+    history_cap: usize,
+    next_seq: u64,
+    last_tick_ms: u64,
+}
+
+impl AlertEngine {
+    /// A fresh engine over `rules`, retaining up to `history_cap`
+    /// transition events (oldest evicted first).
+    pub fn new(rules: Vec<AlertRule>, history_cap: usize) -> AlertEngine {
+        let slots = rules
+            .iter()
+            .map(|_| RuleSlot {
+                state: AlertState::Inactive,
+                since_ms: 0,
+                ok_since_ms: u64::MAX,
+                value: f64::NAN,
+            })
+            .collect();
+        AlertEngine {
+            rules,
+            slots,
+            history: VecDeque::new(),
+            history_cap: history_cap.max(1),
+            next_seq: 0,
+            last_tick_ms: 0,
+        }
+    }
+
+    /// The rules, in evaluation (and rendering) order.
+    pub fn rules(&self) -> &[AlertRule] {
+        &self.rules
+    }
+
+    /// Live status of rule `i`.
+    pub fn status(&self, i: usize) -> RuleStatus {
+        let s = &self.slots[i];
+        RuleStatus {
+            state: s.state,
+            since_ms: s.since_ms,
+            value: s.value,
+        }
+    }
+
+    /// Live status of every rule, in rule order.
+    pub fn statuses(&self) -> Vec<RuleStatus> {
+        (0..self.rules.len()).map(|i| self.status(i)).collect()
+    }
+
+    /// Recorded transitions, oldest first.
+    pub fn history(&self) -> impl Iterator<Item = &AlertEvent> {
+        self.history.iter()
+    }
+
+    /// Rules currently firing.
+    pub fn firing_count(&self) -> u64 {
+        self.slots
+            .iter()
+            .filter(|s| s.state == AlertState::Firing)
+            .count() as u64
+    }
+
+    /// Rules currently pending.
+    pub fn pending_count(&self) -> u64 {
+        self.slots
+            .iter()
+            .filter(|s| s.state == AlertState::Pending)
+            .count() as u64
+    }
+
+    /// Frame timestamp of the last tick (`0` before the first).
+    pub fn last_tick_ms(&self) -> u64 {
+        self.last_tick_ms
+    }
+
+    /// Evaluate every rule against the newest frame `now` (which the
+    /// caller has already pushed into `ring`), returning the
+    /// transitions this tick produced, in rule order. All state-machine
+    /// time comes from frame timestamps, so replaying identical frames
+    /// reproduces identical events.
+    pub fn tick(&mut self, ring: &SeriesRing, now: &Frame) -> Vec<AlertEvent> {
+        // Pass 1: signal values. Window-start lookups are memoized per
+        // distinct window so N rules over one window clone one frame.
+        let mut starts: Vec<(u64, Option<Frame>)> = Vec::new();
+        let values: Vec<f64> = self
+            .rules
+            .iter()
+            .map(|r| {
+                let start = match r.signal {
+                    Signal::Gauge { .. } => None,
+                    _ => {
+                        let t = now.unix_ms.saturating_sub(r.window_s.saturating_mul(1_000));
+                        match starts.iter().find(|(w, _)| *w == t) {
+                            Some((_, f)) => f.clone(),
+                            None => {
+                                let f = ring.at_or_before(t);
+                                starts.push((t, f.clone()));
+                                f
+                            }
+                        }
+                    }
+                };
+                r.signal.value(now, start.as_ref())
+            })
+            .collect();
+
+        // Pass 2: state machine.
+        let ts = now.unix_ms;
+        let mut events = Vec::new();
+        for (i, (rule, value)) in self.rules.iter().zip(values).enumerate() {
+            let slot = &mut self.slots[i];
+            slot.value = value;
+            let cond = rule.cmp.holds(value, rule.threshold);
+            match slot.state {
+                AlertState::Inactive => {
+                    if cond {
+                        slot.state = AlertState::Pending;
+                        slot.since_ms = ts;
+                        // for_s == 0: fire on the first true tick.
+                        if rule.for_s == 0 {
+                            slot.state = AlertState::Firing;
+                            slot.ok_since_ms = u64::MAX;
+                            events.push(AlertEvent {
+                                seq: self.next_seq,
+                                unix_ms: ts,
+                                rule: i,
+                                transition: Transition::Firing,
+                                value,
+                            });
+                            self.next_seq += 1;
+                        }
+                    }
+                }
+                AlertState::Pending => {
+                    if !cond {
+                        slot.state = AlertState::Inactive;
+                        slot.since_ms = ts;
+                    } else if ts.saturating_sub(slot.since_ms) >= rule.for_s * 1_000 {
+                        slot.state = AlertState::Firing;
+                        slot.since_ms = ts;
+                        slot.ok_since_ms = u64::MAX;
+                        events.push(AlertEvent {
+                            seq: self.next_seq,
+                            unix_ms: ts,
+                            rule: i,
+                            transition: Transition::Firing,
+                            value,
+                        });
+                        self.next_seq += 1;
+                    }
+                }
+                AlertState::Firing => {
+                    if cond {
+                        slot.ok_since_ms = u64::MAX;
+                    } else {
+                        if slot.ok_since_ms == u64::MAX {
+                            slot.ok_since_ms = ts;
+                        }
+                        if ts.saturating_sub(slot.ok_since_ms) >= rule.resolve_s * 1_000 {
+                            slot.state = AlertState::Inactive;
+                            slot.since_ms = ts;
+                            slot.ok_since_ms = u64::MAX;
+                            events.push(AlertEvent {
+                                seq: self.next_seq,
+                                unix_ms: ts,
+                                rule: i,
+                                transition: Transition::Resolved,
+                                value,
+                            });
+                            self.next_seq += 1;
+                        }
+                    }
+                }
+            }
+        }
+        for &e in &events {
+            if self.history.len() == self.history_cap {
+                self.history.pop_front();
+            }
+            self.history.push_back(e);
+        }
+        self.last_tick_ms = ts;
+        events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::series::SeriesSchema;
+
+    fn schema() -> SeriesSchema {
+        SeriesSchema {
+            counters: vec!["requests".into(), "errors".into()],
+            gauges: vec!["rss".into()],
+            hists: vec!["latency".into()],
+        }
+    }
+
+    fn frame(ts: u64, requests: u64, errors: u64, rss: f64, ns: &[u64]) -> Frame {
+        let h = crate::hist::Histogram::new();
+        for &v in ns {
+            h.record_ns(v);
+        }
+        Frame {
+            unix_ms: ts,
+            counters: vec![requests, errors],
+            gauges: vec![rss],
+            hists: vec![h.snapshot()],
+        }
+    }
+
+    fn gauge_rule(for_s: u64, resolve_s: u64) -> AlertRule {
+        AlertRule {
+            name: "rss_high".into(),
+            severity: "warn".into(),
+            signal: Signal::Gauge { column: 0 },
+            cmp: Cmp::Ge,
+            threshold: 100.0,
+            window_s: 60,
+            for_s,
+            resolve_s,
+        }
+    }
+
+    /// Drive `engine` with one gauge frame per second; `rss[i]` is the
+    /// gauge at `(i+1) * 1000` ms. Returns all events.
+    fn drive(engine: &mut AlertEngine, ring: &SeriesRing, rss: &[f64]) -> Vec<AlertEvent> {
+        let mut out = Vec::new();
+        for (i, &v) in rss.iter().enumerate() {
+            let f = frame((i as u64 + 1) * 1_000, 0, 0, v, &[]);
+            ring.push(&f);
+            out.extend(engine.tick(ring, &f));
+        }
+        out
+    }
+
+    #[test]
+    fn cmp_never_holds_on_nan() {
+        for cmp in [Cmp::Gt, Cmp::Ge, Cmp::Lt, Cmp::Le] {
+            assert!(!cmp.holds(f64::NAN, 0.0));
+        }
+        assert!(Cmp::Ge.holds(1.0, 1.0));
+        assert!(!Cmp::Gt.holds(1.0, 1.0));
+    }
+
+    #[test]
+    fn fires_only_after_for_duration_and_resolves_after_debounce() {
+        let ring = SeriesRing::new(schema(), 16);
+        let mut engine = AlertEngine::new(vec![gauge_rule(2, 2)], 16);
+        // True at t=1s..6s: pending at 1s, fires at 3s (held 2s).
+        // False from 7s: resolves at 9s (false for 2s).
+        let events = drive(
+            &mut engine,
+            &ring,
+            &[150.0, 150.0, 150.0, 150.0, 150.0, 150.0, 0.0, 0.0, 0.0],
+        );
+        assert_eq!(events.len(), 2);
+        assert_eq!(
+            (events[0].transition, events[0].unix_ms),
+            (Transition::Firing, 3_000)
+        );
+        assert_eq!(
+            (events[1].transition, events[1].unix_ms),
+            (Transition::Resolved, 9_000)
+        );
+        assert_eq!(engine.status(0).state, AlertState::Inactive);
+    }
+
+    #[test]
+    fn oscillation_inside_hysteresis_never_flaps() {
+        let ring = SeriesRing::new(schema(), 64);
+        let mut engine = AlertEngine::new(vec![gauge_rule(3, 3)], 16);
+        // Alternates every second: no 4-tick run of either phase, so
+        // the rule never fires at all.
+        let wave: Vec<f64> = (0..30)
+            .map(|i| if i % 2 == 0 { 150.0 } else { 0.0 })
+            .collect();
+        let events = drive(&mut engine, &ring, &wave);
+        assert!(events.is_empty(), "flapped: {events:?}");
+    }
+
+    #[test]
+    fn firing_rule_rides_out_short_recoveries() {
+        let ring = SeriesRing::new(schema(), 64);
+        let mut engine = AlertEngine::new(vec![gauge_rule(0, 3)], 16);
+        // Fires immediately; single-tick dips must not resolve it.
+        let trace = [150.0, 0.0, 150.0, 0.0, 150.0, 0.0, 0.0, 0.0, 0.0];
+        let events = drive(&mut engine, &ring, &trace);
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].transition, Transition::Firing);
+        assert_eq!(
+            (events[1].transition, events[1].unix_ms),
+            (Transition::Resolved, 9_000)
+        );
+    }
+
+    #[test]
+    fn pending_resets_on_first_false_tick() {
+        let ring = SeriesRing::new(schema(), 64);
+        let mut engine = AlertEngine::new(vec![gauge_rule(5, 0)], 16);
+        let trace = [150.0, 150.0, 0.0, 150.0, 150.0, 0.0];
+        let events = drive(&mut engine, &ring, &trace);
+        assert!(events.is_empty());
+        assert_eq!(engine.status(0).state, AlertState::Inactive);
+    }
+
+    #[test]
+    fn counter_rate_and_quantile_signals() {
+        let ring = SeriesRing::new(schema(), 16);
+        let rules = vec![
+            AlertRule {
+                name: "req_rate".into(),
+                severity: "warn".into(),
+                signal: Signal::CounterRate { column: 0 },
+                cmp: Cmp::Ge,
+                threshold: 5.0,
+                window_s: 10,
+                for_s: 0,
+                resolve_s: 0,
+            },
+            AlertRule {
+                name: "p99_slow".into(),
+                severity: "page".into(),
+                signal: Signal::QuantileNs { column: 0, q: 0.99 },
+                cmp: Cmp::Gt,
+                threshold: 1e9,
+                window_s: 10,
+                for_s: 0,
+                resolve_s: 0,
+            },
+        ];
+        let mut engine = AlertEngine::new(rules, 16);
+        let f1 = frame(1_000, 0, 0, 0.0, &[]);
+        ring.push(&f1);
+        assert!(engine.tick(&ring, &f1).is_empty());
+        // 60 requests in 6 seconds = 10/s ≥ 5; p99 ~ 2s > 1s.
+        let f2 = frame(7_000, 60, 0, 0.0, &[2_000_000_000]);
+        ring.push(&f2);
+        let events = engine.tick(&ring, &f2);
+        assert_eq!(events.len(), 2);
+        assert!(engine.status(0).value >= 5.0);
+        assert!(engine.status(1).value > 1e9);
+    }
+
+    #[test]
+    fn burn_rate_signal_reuses_slo_math() {
+        let ring = SeriesRing::new(schema(), 16);
+        let rule = AlertRule {
+            name: "burn".into(),
+            severity: "page".into(),
+            signal: Signal::BurnRate {
+                hist: 0,
+                errors: 1,
+                objective: Objective {
+                    latency_ns: 250_000_000,
+                    latency_target: 0.99,
+                    error_target: 0.01,
+                },
+            },
+            cmp: Cmp::Ge,
+            threshold: 6.0,
+            window_s: 10,
+            for_s: 0,
+            resolve_s: 0,
+        };
+        let mut engine = AlertEngine::new(vec![rule], 16);
+        let f1 = frame(1_000, 0, 0, 0.0, &[]);
+        ring.push(&f1);
+        engine.tick(&ring, &f1);
+        // All 10 requests slow: burn = 1.0/0.01 = 100 ≥ 6.
+        let f2 = frame(2_000, 10, 0, 0.0, &[1_000_000_000; 10]);
+        ring.push(&f2);
+        let events = engine.tick(&ring, &f2);
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].transition, Transition::Firing);
+        assert!(engine.status(0).value >= 99.0);
+    }
+
+    #[test]
+    fn history_is_bounded() {
+        let ring = SeriesRing::new(schema(), 128);
+        let mut engine = AlertEngine::new(vec![gauge_rule(0, 0)], 4);
+        // Each on/off pair is one fire + one resolve.
+        let wave: Vec<f64> = (0..20)
+            .map(|i| if i % 2 == 0 { 150.0 } else { 0.0 })
+            .collect();
+        drive(&mut engine, &ring, &wave);
+        let hist: Vec<_> = engine.history().collect();
+        assert_eq!(hist.len(), 4);
+        // Oldest first, consecutive seqs, and only the newest events.
+        for w in hist.windows(2) {
+            assert_eq!(w[1].seq, w[0].seq + 1);
+        }
+        assert_eq!(hist.last().unwrap().seq, engine.next_seq - 1);
+    }
+
+    #[test]
+    fn replay_is_deterministic() {
+        let trace: Vec<f64> = (0..40)
+            .map(|i| if (i / 3) % 2 == 0 { 150.0 } else { 0.0 })
+            .collect();
+        let run = || {
+            let ring = SeriesRing::new(schema(), 64);
+            let mut engine = AlertEngine::new(vec![gauge_rule(2, 2)], 32);
+            let events = drive(&mut engine, &ring, &trace);
+            (events, engine.statuses())
+        };
+        assert_eq!(run(), run());
+    }
+}

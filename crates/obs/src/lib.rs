@@ -14,6 +14,7 @@
 //! | [`log`] | sampled NDJSON request logging behind a `Mutex`'d writer |
 //! | [`series`] | seqlock time-series ring retaining counter/gauge/histogram frames for trailing-window rates |
 //! | [`slo`] | objectives, windowed compliance and multi-window burn-rate arithmetic (Google SRE style) |
+//! | [`alert`] | declarative threshold/burn-rate rules over a [`series`] ring, hysteresis state machine, bounded event history |
 //! | [`procinfo`] | best-effort `/proc/self` process gauges (RSS, open fds, threads) |
 //!
 //! Design constraints, in order:
@@ -30,6 +31,7 @@
 //!    state renders byte-identically — the property the golden-style
 //!    exposition tests rely on.
 
+pub mod alert;
 pub mod clock;
 pub mod expo;
 pub mod hist;
@@ -40,6 +42,9 @@ pub mod slo;
 pub mod trace;
 pub mod validate;
 
+pub use alert::{
+    AlertEngine, AlertEvent, AlertRule, AlertState, Cmp, RuleStatus, Signal, Transition,
+};
 pub use expo::Renderer;
 pub use hist::{Histogram, HistogramSnapshot, BUCKET_BOUNDS_NS, NUM_BUCKETS};
 pub use log::RequestLog;

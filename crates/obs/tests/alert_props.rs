@@ -1,0 +1,209 @@
+//! Property tests for the alert engine's hysteresis state machine:
+//! agreement with an independent run-length reference model (which
+//! implies no flapping inside the `for`/`resolve` windows), rule-order
+//! independence, and tick-for-tick determinism.
+
+use proptest::prelude::*;
+use tpn_obs::alert::{AlertEngine, AlertRule, AlertState, Cmp, Signal};
+use tpn_obs::series::{Frame, SeriesRing, SeriesSchema};
+
+fn schema() -> SeriesSchema {
+    SeriesSchema {
+        counters: vec![],
+        gauges: vec!["load".into()],
+        hists: vec![],
+    }
+}
+
+fn gauge_rule(name: &str, for_s: u64, resolve_s: u64) -> AlertRule {
+    AlertRule {
+        name: name.into(),
+        severity: "warn".into(),
+        signal: Signal::Gauge { column: 0 },
+        cmp: Cmp::Gt,
+        threshold: 0.5,
+        window_s: 60,
+        for_s,
+        resolve_s,
+    }
+}
+
+/// Drive an engine over one boolean condition sequence at a strict
+/// 1-second cadence (tick i lands at `(i + 1) * 1000` ms), returning
+/// the observed state after every tick.
+fn drive(engine: &mut AlertEngine, condition: &[bool]) -> Vec<AlertState> {
+    let ring = SeriesRing::new(schema(), condition.len().max(1));
+    let mut states = Vec::with_capacity(condition.len());
+    for (i, &hot) in condition.iter().enumerate() {
+        let frame = Frame {
+            unix_ms: (i as u64 + 1) * 1_000,
+            counters: vec![],
+            gauges: vec![if hot { 1.0 } else { 0.0 }],
+            hists: vec![],
+        };
+        ring.push(&frame);
+        engine.tick(&ring, &frame);
+        states.push(engine.status(0).state);
+    }
+    states
+}
+
+/// An independent reference model of the hysteresis contract, written
+/// directly over run lengths: fire after the condition has held for
+/// `for_s + 1` consecutive 1-second ticks (`for_s = 0` fires on the
+/// first true tick), resolve after `resolve_s + 1` consecutive false
+/// ticks, and reset a pending run on the first false tick.
+fn reference(condition: &[bool], for_s: u64, resolve_s: u64) -> Vec<AlertState> {
+    let mut states = Vec::with_capacity(condition.len());
+    let mut state = AlertState::Inactive;
+    let mut true_run = 0u64;
+    let mut false_run = 0u64;
+    for &hot in condition {
+        if hot {
+            true_run += 1;
+            false_run = 0;
+        } else {
+            false_run += 1;
+            true_run = 0;
+        }
+        state = match state {
+            AlertState::Firing => {
+                if false_run > resolve_s {
+                    AlertState::Inactive
+                } else {
+                    AlertState::Firing
+                }
+            }
+            _ => {
+                if true_run > for_s {
+                    AlertState::Firing
+                } else if hot {
+                    AlertState::Pending
+                } else {
+                    AlertState::Inactive
+                }
+            }
+        };
+        states.push(state);
+    }
+    states
+}
+
+proptest! {
+    /// Over any oscillation pattern, the engine's state sequence equals
+    /// the run-length reference model — which means recoveries shorter
+    /// than the resolve debounce never un-fire the alert and spikes
+    /// shorter than the `for` duration never fire it. No flapping
+    /// inside the hysteresis windows, by construction.
+    #[test]
+    fn state_sequence_matches_run_length_model(
+        condition in proptest::collection::vec(any::<bool>(), 1..60),
+        for_s in 0u64..5,
+        resolve_s in 0u64..5,
+    ) {
+        let mut engine = AlertEngine::new(vec![gauge_rule("hot", for_s, resolve_s)], 256);
+        let got = drive(&mut engine, &condition);
+        prop_assert_eq!(got, reference(&condition, for_s, resolve_s));
+    }
+
+    /// The number of firing transitions is bounded by the number of
+    /// maximal true-runs long enough to satisfy the `for` duration —
+    /// an oscillation that never holds the threshold long enough
+    /// produces zero events.
+    #[test]
+    fn firing_transitions_bounded_by_qualifying_runs(
+        condition in proptest::collection::vec(any::<bool>(), 1..60),
+        for_s in 0u64..5,
+    ) {
+        let mut engine = AlertEngine::new(vec![gauge_rule("hot", for_s, 0)], 256);
+        drive(&mut engine, &condition);
+        let qualifying = condition
+            .split(|&hot| !hot)
+            .filter(|run| run.len() as u64 > for_s)
+            .count();
+        let fired = engine
+            .history()
+            .filter(|e| e.transition == tpn_obs::alert::Transition::Firing)
+            .count();
+        prop_assert!(fired <= qualifying, "{fired} firings from {qualifying} runs");
+    }
+
+    /// Rule evaluation is order-independent: rotating the rule list
+    /// changes nothing about any individual rule's state sequence or
+    /// event history (matched up by rule name).
+    #[test]
+    fn evaluation_is_rule_order_independent(
+        condition in proptest::collection::vec(any::<bool>(), 1..40),
+        rotate in 0usize..3,
+    ) {
+        let rules = vec![
+            gauge_rule("fast", 0, 0),
+            gauge_rule("slow", 2, 1),
+            gauge_rule("stubborn", 1, 3),
+        ];
+        let mut rotated = rules.clone();
+        rotated.rotate_left(rotate % rules.len());
+
+        let mut a = AlertEngine::new(rules, 256);
+        let mut b = AlertEngine::new(rotated, 256);
+        let ring_a = SeriesRing::new(schema(), condition.len());
+        let ring_b = SeriesRing::new(schema(), condition.len());
+        for (i, &hot) in condition.iter().enumerate() {
+            let frame = Frame {
+                unix_ms: (i as u64 + 1) * 1_000,
+                counters: vec![],
+                gauges: vec![if hot { 1.0 } else { 0.0 }],
+                hists: vec![],
+            };
+            ring_a.push(&frame);
+            ring_b.push(&frame);
+            a.tick(&ring_a, &frame);
+            b.tick(&ring_b, &frame);
+        }
+        for (i, rule) in a.rules().iter().enumerate() {
+            let j = b.rules().iter().position(|r| r.name == rule.name).unwrap();
+            let sa = a.status(i);
+            let sb = b.status(j);
+            prop_assert_eq!(sa.state, sb.state);
+            prop_assert_eq!(sa.since_ms, sb.since_ms);
+            let ha: Vec<_> = a
+                .history()
+                .filter(|e| e.rule == i)
+                .map(|e| (e.unix_ms, e.transition))
+                .collect();
+            let hb: Vec<_> = b
+                .history()
+                .filter(|e| e.rule == j)
+                .map(|e| (e.unix_ms, e.transition))
+                .collect();
+            prop_assert_eq!(ha, hb);
+        }
+    }
+
+    /// Two engines fed the same synthetic frames agree tick for tick —
+    /// states, values and full event histories are identical, because
+    /// every state-machine clock reads the frame timestamp rather than
+    /// the wall.
+    #[test]
+    fn evaluation_is_deterministic(
+        condition in proptest::collection::vec(any::<bool>(), 1..40),
+        for_s in 0u64..4,
+        resolve_s in 0u64..4,
+    ) {
+        let rules = vec![gauge_rule("hot", for_s, resolve_s)];
+        let mut a = AlertEngine::new(rules.clone(), 64);
+        let mut b = AlertEngine::new(rules, 64);
+        let sa = drive(&mut a, &condition);
+        let sb = drive(&mut b, &condition);
+        prop_assert_eq!(sa, sb);
+        let ha: Vec<_> = a
+            .history()
+            .map(|e| (e.seq, e.unix_ms, e.rule, e.transition))
+            .collect();
+        let hb: Vec<_> = b
+            .history()
+            .map(|e| (e.seq, e.unix_ms, e.rule, e.transition))
+            .collect();
+        prop_assert_eq!(ha, hb);
+    }
+}

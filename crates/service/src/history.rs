@@ -189,16 +189,65 @@ fn select_frames(ring: &SeriesRing, now_ms: u64, window_s: u64, step_s: u64) -> 
     selected
 }
 
-/// Assemble the `GET /metrics/history?window=&step=` document.
+/// The leaf column names `series=` may select, i.e. every array the
+/// document can emit below the header block.
+const SERIES_NAMES: [&str; 9] = [
+    "req_s",
+    "cache_hit_ratio",
+    "rss_bytes",
+    "open_fds",
+    "threads",
+    "err_s",
+    "p50_ns",
+    "p90_ns",
+    "p99_ns",
+];
+
+/// The validated `series=` name filter: `None` selects everything, a
+/// list selects only those leaf columns (the header block — `t_ms`,
+/// `dt_s` and the counts — always renders).
+pub(crate) struct SeriesFilter(Option<Vec<String>>);
+
+impl SeriesFilter {
+    /// Parse a comma-separated `series=` value; every name must be one
+    /// of [`SERIES_NAMES`].
+    pub(crate) fn parse(param: Option<&str>) -> Result<SeriesFilter, ServiceError> {
+        let Some(param) = param else {
+            return Ok(SeriesFilter(None));
+        };
+        let mut names = Vec::new();
+        for name in param.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+            if !SERIES_NAMES.contains(&name) {
+                return Err(ServiceError::BadRequest(format!(
+                    "unknown series {name:?}; known: {}",
+                    SERIES_NAMES.join(", ")
+                )));
+            }
+            names.push(name.to_string());
+        }
+        Ok(SeriesFilter(Some(names)))
+    }
+
+    fn keeps(&self, name: &str) -> bool {
+        match &self.0 {
+            None => true,
+            Some(names) => names.iter().any(|n| n == name),
+        }
+    }
+}
+
+/// Assemble the `GET /metrics/history?window=&step=&series=` document.
 /// Columnar JSON: every array holds one entry per interval between
 /// consecutively selected frames, aligned by index; quantile entries
 /// are `null` for intervals without samples. Endpoints appear only
-/// when they saw traffic inside the rendered span.
+/// when they saw traffic inside the rendered span; `filter` drops
+/// unselected leaf arrays so dashboards can fetch one column.
 pub(crate) fn history_json(
     ring: &SeriesRing,
     now_ms: u64,
     window_s: u64,
     step_s: u64,
+    filter: &SeriesFilter,
 ) -> Result<String, ServiceError> {
     validate_params(window_s, step_s)?;
     let frames = select_frames(ring, now_ms, window_s, step_s);
@@ -233,24 +282,28 @@ pub(crate) fn history_json(
 
     w.key("service");
     w.begin_object();
-    w.key("req_s");
-    w.begin_array();
-    for ((a, b), dt) in intervals.iter().zip(&dt_s) {
-        rate(&mut w, b.counter_delta(a, COL_REQUESTS), *dt);
-    }
-    w.end_array();
-    w.key("cache_hit_ratio");
-    w.begin_array();
-    for (a, b) in &intervals {
-        let hits = b.counter_delta(a, COL_HITS);
-        let total = hits + b.counter_delta(a, COL_MISSES);
-        if total == 0 {
-            w.null();
-        } else {
-            w.float(hits as f64 / total as f64);
+    if filter.keeps("req_s") {
+        w.key("req_s");
+        w.begin_array();
+        for ((a, b), dt) in intervals.iter().zip(&dt_s) {
+            rate(&mut w, b.counter_delta(a, COL_REQUESTS), *dt);
         }
+        w.end_array();
     }
-    w.end_array();
+    if filter.keeps("cache_hit_ratio") {
+        w.key("cache_hit_ratio");
+        w.begin_array();
+        for (a, b) in &intervals {
+            let hits = b.counter_delta(a, COL_HITS);
+            let total = hits + b.counter_delta(a, COL_MISSES);
+            if total == 0 {
+                w.null();
+            } else {
+                w.float(hits as f64 / total as f64);
+            }
+        }
+        w.end_array();
+    }
     w.end_object();
 
     w.key("process");
@@ -260,6 +313,9 @@ pub(crate) fn history_json(
         ("open_fds", GAUGE_FDS),
         ("threads", GAUGE_THREADS),
     ] {
+        if !filter.keeps(key) {
+            continue;
+        }
         w.key(key);
         w.begin_array();
         for (_, b) in &intervals {
@@ -282,19 +338,26 @@ pub(crate) fn history_json(
         }
         w.key(endpoint.name());
         w.begin_object();
-        w.key("req_s");
-        w.begin_array();
-        for ((a, b), dt) in intervals.iter().zip(&dt_s) {
-            rate(&mut w, b.hist_delta(a, hist).count(), *dt);
+        if filter.keeps("req_s") {
+            w.key("req_s");
+            w.begin_array();
+            for ((a, b), dt) in intervals.iter().zip(&dt_s) {
+                rate(&mut w, b.hist_delta(a, hist).count(), *dt);
+            }
+            w.end_array();
         }
-        w.end_array();
-        w.key("err_s");
-        w.begin_array();
-        for ((a, b), dt) in intervals.iter().zip(&dt_s) {
-            rate(&mut w, b.counter_delta(a, endpoint_error_col(i)), *dt);
+        if filter.keeps("err_s") {
+            w.key("err_s");
+            w.begin_array();
+            for ((a, b), dt) in intervals.iter().zip(&dt_s) {
+                rate(&mut w, b.counter_delta(a, endpoint_error_col(i)), *dt);
+            }
+            w.end_array();
         }
-        w.end_array();
         for (key, q) in [("p50_ns", 0.50), ("p90_ns", 0.90), ("p99_ns", 0.99)] {
+            if !filter.keeps(key) {
+                continue;
+            }
             w.key(key);
             w.begin_array();
             for (a, b) in &intervals {
@@ -384,7 +447,7 @@ mod tests {
         }
         let f2 = frame_at(&m, 30, 12_000);
         let ring = ring_with(&[f0, f1, f2]);
-        let doc = history_json(&ring, 12_000, 10, 1).unwrap();
+        let doc = history_json(&ring, 12_000, 10, 1, &SeriesFilter(None)).unwrap();
         crate::jsonval::Json::parse(&doc).expect("history document parses");
         assert!(doc.contains(r#""samples":3"#), "{doc}");
         // Interval rates: 10 req/s then 20 req/s.
@@ -403,11 +466,34 @@ mod tests {
         let f0 = frame_at(&m, 1, 10_000);
         let f1 = frame_at(&m, 1, 11_000); // no new samples
         let ring = ring_with(&[f0, f1]);
-        let doc = history_json(&ring, 11_000, 10, 1).unwrap();
+        let doc = history_json(&ring, 11_000, 10, 1, &SeriesFilter(None)).unwrap();
         // The single interval has traffic 0 → analyze is omitted, but
         // the service arrays still render.
         assert!(doc.contains(r#""req_s":[0]"#), "{doc}");
         assert!(doc.contains(r#""cache_hit_ratio":[null]"#), "{doc}");
+    }
+
+    #[test]
+    fn series_filter_selects_leaf_columns() {
+        let m = ServiceMetrics::new(true);
+        let f0 = frame_at(&m, 0, 10_000);
+        for _ in 0..10 {
+            m.record(Endpoint::Analyze, 200, 2_000_000);
+        }
+        let f1 = frame_at(&m, 10, 11_000);
+        let ring = ring_with(&[f0, f1]);
+        let filter = SeriesFilter::parse(Some("req_s,p99_ns")).unwrap();
+        let doc = history_json(&ring, 11_000, 10, 1, &filter).unwrap();
+        crate::jsonval::Json::parse(&doc).expect("filtered document parses");
+        assert!(doc.contains(r#""req_s":"#), "{doc}");
+        assert!(doc.contains(r#""p99_ns":"#), "{doc}");
+        assert!(!doc.contains(r#""cache_hit_ratio""#), "{doc}");
+        assert!(!doc.contains(r#""rss_bytes""#), "{doc}");
+        assert!(!doc.contains(r#""p50_ns""#), "{doc}");
+        // The header block always renders.
+        assert!(doc.contains(r#""t_ms":"#), "{doc}");
+        // Unknown names are a 400, not a silent empty document.
+        assert!(SeriesFilter::parse(Some("req_s,nope")).is_err());
     }
 
     #[test]

@@ -22,10 +22,12 @@
 //! | GET | `/healthz` | — | graded liveness: `ok` \| `degraded` \| `unhealthy` (503) with burn-rate reasons |
 //! | GET | `/stats` | — | cache/pool/sweep/optimize/whatif/artifact counters + process gauges |
 //! | GET | `/metrics` | — | Prometheus text exposition (counters + latency histograms) |
-//! | GET | `/metrics/history?window=W&step=S` | — | trailing-window rates and quantiles, columnar JSON |
+//! | GET | `/metrics/history?window=W&step=S&series=A,B` | — | trailing-window rates and quantiles, columnar JSON |
 //! | GET | `/slo` | — | objectives and current multi-window burn rates per endpoint |
-//! | GET | `/debug/requests?n=K` | — | the K most recent request traces, NDJSON |
-//! | GET | `/debug/slow?n=K` | — | the K most recent objective-breaching traces, NDJSON |
+//! | GET | `/alerts` | — | alert rule states, transition history and active silences, columnar JSON |
+//! | POST | `/alerts/silence` | JSON: rule + TTL | create a TTL-bounded notification silence |
+//! | GET | `/debug/requests?n=K` | — | the K most recent request traces, NDJSON (K capped at the ring size) |
+//! | GET | `/debug/slow?n=K` | — | the K most recent objective-breaching traces, NDJSON (K capped at the ring size) |
 //!
 //! Status codes: 200 on success, 400 for malformed requests or `.tpn`
 //! parse errors, 404/405 for bad routes, 413 for oversized bodies, 422
@@ -38,15 +40,17 @@
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use tpn_net::{parse_tpn, NetDigest, TimedPetriNet, TimingAssignment};
+use tpn_obs::alert::AlertEngine;
 use tpn_obs::log::RequestLog;
 use tpn_obs::series::SeriesRing;
 use tpn_session::{RetimeError, Session, SessionOptions, STAGES};
 
+use crate::alerts::{self, AlertsConfig, Notifier, NotifyCounters, Silence};
 use crate::analysis::{run_with_session, RequestKind, ServiceError};
 use crate::cache::{AnalysisCache, CacheConfig, CacheKey};
 use crate::executor::ThreadPool;
@@ -103,6 +107,11 @@ pub struct ServiceConfig {
     /// the graded `/healthz`, `GET /slo`, and the slow-request
     /// watchdog.
     pub slo: SloConfig,
+    /// Alerting policy: rules (merged onto defaults derived from
+    /// `slo`), history sizing and the optional webhook sink — drives
+    /// `GET /alerts` and the evaluator the sampler ticks. Requires
+    /// `metrics`.
+    pub alerts: AlertsConfig,
 }
 
 /// Request-log destination and sampling.
@@ -130,6 +139,7 @@ impl Default for ServiceConfig {
             sample_interval_ms: 5_000,
             history_frames: 720,
             slo: SloConfig::default(),
+            alerts: AlertsConfig::default(),
         }
     }
 }
@@ -187,6 +197,19 @@ pub struct Service {
     /// objectives: a request slower than its endpoint's entry is
     /// captured into the slow ring.
     slow_threshold: [Option<u64>; ENDPOINTS.len()],
+    /// The alert evaluator, ticked by the sampler against each pushed
+    /// frame. The mutex serializes ticks with `/alerts` renders; both
+    /// sides hold it only for in-memory work.
+    alerts: Mutex<AlertEngine>,
+    /// Active notification silences (expired entries pruned on write).
+    silences: Mutex<Vec<Silence>>,
+    /// Silence id allocator.
+    silence_seq: AtomicU64,
+    /// Webhook notification outcome counters (rendered in `/metrics`
+    /// whether or not a notifier is configured).
+    notify: Arc<NotifyCounters>,
+    /// The webhook notifier worker, when configured.
+    notifier: Option<Notifier>,
 }
 
 impl Service {
@@ -220,6 +243,17 @@ impl Service {
         let ring = SeriesRing::new(history::schema(), ring_frames);
         let slow_threshold =
             std::array::from_fn(|i| config.slo.objective_for(ENDPOINTS[i]).map(|o| o.latency_ns));
+        let alerts = Mutex::new(config.alerts.engine(&config.slo));
+        let notify = Arc::new(NotifyCounters::default());
+        let notifier = if config.metrics {
+            config
+                .alerts
+                .webhook
+                .clone()
+                .map(|hook| Notifier::spawn(hook, Arc::clone(&notify)))
+        } else {
+            None
+        };
         Service {
             cache: AnalysisCache::new(&config.cache),
             sessions: SessionCache::new(config.max_sessions, config.session_options()),
@@ -245,6 +279,11 @@ impl Service {
             start_unix_ms: tpn_obs::unix_ms(),
             ring,
             slow_threshold,
+            alerts,
+            silences: Mutex::new(Vec::new()),
+            silence_seq: AtomicU64::new(0),
+            notify,
+            notifier,
         }
     }
 
@@ -905,9 +944,59 @@ impl Service {
     }
 
     /// The `GET /metrics/history` document for a trailing window,
-    /// decimated to `step` seconds per interval.
-    pub fn history_text(&self, window_s: u64, step_s: u64) -> Result<String, ServiceError> {
-        history::history_json(&self.ring, tpn_obs::unix_ms(), window_s, step_s)
+    /// decimated to `step` seconds per interval; `series` is the
+    /// optional comma-separated leaf-column filter.
+    pub fn history_text(
+        &self,
+        window_s: u64,
+        step_s: u64,
+        series: Option<&str>,
+    ) -> Result<String, ServiceError> {
+        let filter = history::SeriesFilter::parse(series)?;
+        history::history_json(&self.ring, tpn_obs::unix_ms(), window_s, step_s, &filter)
+    }
+
+    /// The `GET /alerts` document: rule states, transition history and
+    /// active silences.
+    pub fn alerts_text(&self) -> String {
+        let engine = self.alerts.lock().expect("alert engine lock");
+        let silences = self.silences.lock().expect("silence lock");
+        alerts::alerts_json(&engine, &silences)
+    }
+
+    /// Serve one `POST /alerts/silence` body: validate the rule name
+    /// and TTL, prune expired silences, and register a new one.
+    pub fn respond_silence(&self, body: &str) -> (u16, String) {
+        let parsed = {
+            let engine = self.alerts.lock().expect("alert engine lock");
+            alerts::parse_silence(body, engine.rules())
+        };
+        let (rule, ttl_s, comment) = match parsed {
+            Ok(parsed) => parsed,
+            Err(m) => return (400, error_body(&m)),
+        };
+        let now = tpn_obs::unix_ms();
+        let until_ms = now + ttl_s * 1_000;
+        let id = self.silence_seq.fetch_add(1, Ordering::Relaxed) + 1;
+        let mut silences = self.silences.lock().expect("silence lock");
+        silences.retain(|s| s.until_ms > now);
+        silences.push(Silence {
+            id,
+            rule: rule.clone(),
+            until_ms,
+            comment,
+        });
+        drop(silences);
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("id");
+        w.uint(id);
+        w.key("rule");
+        w.string(&rule);
+        w.key("until_ms");
+        w.uint(until_ms);
+        w.end_object();
+        (200, w.finish())
     }
 
     /// A frame of the live counters, as the sampler would push it.
@@ -915,14 +1004,40 @@ impl Service {
         history::collect_frame(&self.metrics, &self.stats_snapshot(), tpn_obs::unix_ms())
     }
 
-    /// Push one retention-ring frame now — the sampler thread's tick,
-    /// also driven directly by tests and benches for deterministic
-    /// timelines. No-op with metrics disabled.
+    /// Push one retention-ring frame now and tick the alert evaluator
+    /// against it — the sampler thread's tick, also driven directly by
+    /// tests and benches for deterministic timelines. No-op with
+    /// metrics disabled. Notification lines for unsilenced transitions
+    /// are enqueued to the webhook notifier, which never blocks here:
+    /// its queue push is bounded and its I/O lives on its own thread.
     pub fn sample_now(&self) {
         if !self.metrics.enabled() {
             return;
         }
-        self.ring.push(&self.current_frame());
+        let frame = self.current_frame();
+        self.ring.push(&frame);
+        let mut engine = self.alerts.lock().expect("alert engine lock");
+        let events = engine.tick(&self.ring, &frame);
+        if events.is_empty() {
+            return;
+        }
+        let lines: Vec<String> = {
+            let silences = self.silences.lock().expect("silence lock");
+            events
+                .iter()
+                .filter(|e| {
+                    let rule = &engine.rules()[e.rule];
+                    !alerts::is_silenced(&silences, &rule.name, frame.unix_ms)
+                })
+                .map(|e| alerts::notification_line(&engine.rules()[e.rule], e))
+                .collect()
+        };
+        drop(engine);
+        if let Some(notifier) = &self.notifier {
+            for line in lines {
+                notifier.enqueue(line);
+            }
+        }
     }
 
     /// The retention ring (for inspection in tests/benches).
@@ -934,6 +1049,10 @@ impl Service {
     fn stats_snapshot(&self) -> StatsSnapshot {
         let s = self.cache.stats();
         let sess = self.sessions.stats();
+        let (alerts_firing, alerts_pending) = {
+            let engine = self.alerts.lock().expect("alert engine lock");
+            (engine.firing_count(), engine.pending_count())
+        };
         StatsSnapshot {
             requests: self.requests.load(Ordering::Relaxed),
             computations: s.computations,
@@ -965,6 +1084,11 @@ impl Service {
             queue_cap: self.config.queue_cap as u64,
             uptime_seconds: self.started.elapsed().as_secs_f64(),
             start_time_seconds: self.start_unix_ms as f64 / 1_000.0,
+            alerts_firing,
+            alerts_pending,
+            notifications_sent: self.notify.sent.load(Ordering::Relaxed),
+            notifications_dropped: self.notify.dropped.load(Ordering::Relaxed),
+            notifications_failed: self.notify.failed.load(Ordering::Relaxed),
         }
     }
 
@@ -1314,7 +1438,7 @@ fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, Read
     })
 }
 
-fn find_double_crlf(buf: &[u8]) -> Option<usize> {
+pub(crate) fn find_double_crlf(buf: &[u8]) -> Option<usize> {
     buf.windows(4).position(|w| w == b"\r\n\r\n")
 }
 
@@ -1430,16 +1554,35 @@ fn route(service: &Service, req: &Request) -> (u16, &'static str, Arc<String>) {
         ("GET", "/metrics/history") => json(service.observed(Endpoint::MetricsHistory, || {
             let params =
                 query_u64(req, "window", 300).and_then(|w| Ok((w, query_u64(req, "step", 5)?)));
-            match params.and_then(|(w, s)| service.history_text(w, s)) {
+            let series = req
+                .query
+                .iter()
+                .find(|(k, _)| k == "series")
+                .map(|(_, v)| v.as_str());
+            match params.and_then(|(w, s)| service.history_text(w, s, series)) {
                 Ok(body) => (200, Arc::new(body)),
                 Err(e) => (e.status(), Arc::new(error_body(&e.to_string()))),
+            }
+        })),
+        ("GET", "/alerts") => {
+            json(service.observed(Endpoint::Alerts, || (200, Arc::new(service.alerts_text()))))
+        }
+        ("POST", "/alerts/silence") => json(service.observed(Endpoint::AlertsSilence, || {
+            match std::str::from_utf8(&req.body) {
+                Ok(text) => {
+                    let (status, body) = service.respond_silence(text);
+                    (status, Arc::new(body))
+                }
+                Err(_) => (400, Arc::new(error_body("request body is not UTF-8"))),
             }
         })),
         ("GET", "/debug/slow") => {
             let (status, body) =
                 service.observed(Endpoint::DebugSlow, || match query_u64(req, "n", 16) {
                     Ok(n) => {
-                        let n = usize::try_from(n).unwrap_or(usize::MAX);
+                        let n = usize::try_from(n)
+                            .unwrap_or(usize::MAX)
+                            .min(metrics::SLOW_RING_CAP);
                         (200, Arc::new(service.debug_slow_text(n)))
                     }
                     Err(e) => (e.status(), Arc::new(error_body(&e.to_string()))),
@@ -1460,7 +1603,9 @@ fn route(service: &Service, req: &Request) -> (u16, &'static str, Arc<String>) {
             let (status, body) =
                 service.observed(Endpoint::DebugRequests, || match query_u64(req, "n", 16) {
                     Ok(n) => {
-                        let n = usize::try_from(n).unwrap_or(usize::MAX);
+                        let n = usize::try_from(n)
+                            .unwrap_or(usize::MAX)
+                            .min(metrics::TRACE_RING_CAP);
                         (200, Arc::new(service.debug_requests_text(n)))
                     }
                     Err(e) => (e.status(), Arc::new(error_body(&e.to_string()))),
@@ -1520,6 +1665,8 @@ fn route(service: &Service, req: &Request) -> (u16, &'static str, Arc<String>) {
                 || path == "/metrics"
                 || path == "/metrics/history"
                 || path == "/slo"
+                || path == "/alerts"
+                || path == "/alerts/silence"
                 || path == "/debug/requests"
                 || path == "/debug/slow" =>
         {

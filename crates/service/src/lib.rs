@@ -21,6 +21,7 @@
 //! | [`metrics`] | per-endpoint latency histograms, `GET /metrics` exposition, request-trace ring |
 //! | [`history`] | time-series retention ring + the `GET /metrics/history` document |
 //! | [`slo`] | per-endpoint objectives, burn-rate health, `GET /slo` and the graded `/healthz` |
+//! | [`alerts`] | declarative alert rules over the retention ring, `GET /alerts`, silences, webhook notifier |
 //! | [`executor`] | fixed thread pool over a bounded work queue |
 //! | [`http`] | hand-rolled HTTP/1.1 server over [`std::net::TcpListener`] |
 //!
@@ -64,6 +65,7 @@
 //! handle.wait(); // forever (shutdown comes from dropping the handle)
 //! ```
 
+pub mod alerts;
 pub mod analysis;
 pub mod cache;
 pub mod executor;
@@ -80,6 +82,7 @@ pub mod sweep;
 pub mod v1;
 pub mod whatif;
 
+pub use alerts::{AlertsConfig, RuleSpec, Silence, WebhookConfig};
 pub use analysis::{
     run, run_with_session, RequestKind, ServiceError, DEFAULT_SIM_EVENTS, DEFAULT_SIM_SEED,
 };

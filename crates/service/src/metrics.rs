@@ -67,12 +67,16 @@ pub enum Endpoint {
     Slo,
     /// `GET /debug/slow`.
     DebugSlow,
+    /// `GET /alerts`.
+    Alerts,
+    /// `POST /alerts/silence`.
+    AlertsSilence,
     /// Anything else: unknown paths (404) and disallowed methods (405).
     Other,
 }
 
 /// Every endpoint, in the fixed order `/metrics` renders.
-pub const ENDPOINTS: [Endpoint; 17] = [
+pub const ENDPOINTS: [Endpoint; 19] = [
     Endpoint::Analyze,
     Endpoint::Graph,
     Endpoint::Correctness,
@@ -89,6 +93,8 @@ pub const ENDPOINTS: [Endpoint; 17] = [
     Endpoint::MetricsHistory,
     Endpoint::Slo,
     Endpoint::DebugSlow,
+    Endpoint::Alerts,
+    Endpoint::AlertsSilence,
     Endpoint::Other,
 ];
 
@@ -112,6 +118,8 @@ impl Endpoint {
             Endpoint::MetricsHistory => "metrics_history",
             Endpoint::Slo => "slo",
             Endpoint::DebugSlow => "debug_slow",
+            Endpoint::Alerts => "alerts",
+            Endpoint::AlertsSilence => "alerts_silence",
             Endpoint::Other => "other",
         }
     }
@@ -426,6 +434,11 @@ pub(crate) struct StatsSnapshot {
     pub queue_cap: u64,
     pub uptime_seconds: f64,
     pub start_time_seconds: f64,
+    pub alerts_firing: u64,
+    pub alerts_pending: u64,
+    pub notifications_sent: u64,
+    pub notifications_dropped: u64,
+    pub notifications_failed: u64,
 }
 
 /// Assemble the `GET /metrics` document. Families render in one fixed
@@ -681,6 +694,40 @@ pub(crate) fn render(
     for (name, help, value) in gauges {
         r.header(name, help, "gauge");
         r.sample_u64(name, &[], value);
+    }
+
+    r.header(
+        "tpn_alerts_firing",
+        "Alert rules currently in the firing state.",
+        "gauge",
+    );
+    r.sample_u64("tpn_alerts_firing", &[], stats.alerts_firing);
+
+    r.header(
+        "tpn_alerts_pending",
+        "Alert rules currently waiting out their for-duration.",
+        "gauge",
+    );
+    r.sample_u64("tpn_alerts_pending", &[], stats.alerts_pending);
+
+    r.header(
+        "tpn_alert_notifications_total",
+        "Webhook notification lines, by result (sent, dropped at the queue, or failed after retries).",
+        "counter",
+    );
+    // All three label values always render (even at zero) so the
+    // family's series set — and thus the document bytes — never
+    // depends on notifier activity.
+    for (result, value) in [
+        ("sent", stats.notifications_sent),
+        ("dropped", stats.notifications_dropped),
+        ("failed", stats.notifications_failed),
+    ] {
+        r.sample_u64(
+            "tpn_alert_notifications_total",
+            &[("result", result)],
+            value,
+        );
     }
 
     r.finish()

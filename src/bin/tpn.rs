@@ -14,6 +14,7 @@
 //! tpn serve <addr> [OPTIONS]            HTTP analysis daemon (JSON API)
 //! tpn stats <addr> [--metrics] [--watch N]  counters of a running daemon (pretty table or raw /metrics)
 //! tpn top <addr> [--interval N]         live dashboard: req/s, latency, burn rates, RSS
+//! tpn alerts <addr> [--watch N]         alert rule states, transition history and silences
 //! tpn batch <dir> [KIND..]              run analyses over every .tpn in a directory (JSON lines)
 //! ```
 //!
@@ -101,7 +102,8 @@ const COMMANDS: &[CommandHelp] = &[
     CommandHelp {
         name: "serve",
         usage: "tpn serve <addr> [--threads N] [--queue N] [--cache-bytes N] [--no-metrics] \
-                [--log[=FILE]] [--log-sample N] [--slo FILE] [--sample-interval MS]",
+                [--log[=FILE]] [--log-sample N] [--slo FILE] [--alerts FILE] \
+                [--sample-interval MS]",
         summary: "HTTP analysis daemon with a content-addressed result cache",
     },
     CommandHelp {
@@ -115,6 +117,12 @@ const COMMANDS: &[CommandHelp] = &[
         usage: "tpn top <addr> [--interval SECS] [--window SECS] [--ticks N]",
         summary: "live terminal dashboard of a running daemon — req/s, latency quantiles, \
                   cache hit ratio, SLO burn rates and RSS from /metrics/history and /slo",
+    },
+    CommandHelp {
+        name: "alerts",
+        usage: "tpn alerts <addr> [--watch SECS] [--ticks N]",
+        summary: "alert rule states of a running daemon — severity, state, value vs threshold, \
+                  recent firing/resolved transitions and active silences from /alerts",
     },
     CommandHelp {
         name: "batch",
@@ -231,6 +239,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "serve" => return cmd_serve(&args[1..]),
         "stats" => return cmd_stats(&args[1..]),
         "top" => return cmd_top(&args[1..]),
+        "alerts" => return cmd_alerts(&args[1..]),
         "batch" => return cmd_batch(&args[1..]),
         "sweep" => return cmd_sweep(&args[1..]),
         "optimize" => return cmd_optimize(&args[1..]),
@@ -519,6 +528,14 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
                 config.slo =
                     tpn_service::SloConfig::from_json(&text).map_err(|e| format!("{path}: {e}"))?;
             }
+            "--alerts" => {
+                let path = it
+                    .next()
+                    .ok_or_else(|| format!("--alerts needs a file\n{}", usage_of("serve")))?;
+                let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+                config.alerts = tpn_service::AlertsConfig::from_json(&text)
+                    .map_err(|e| format!("{path}: {e}"))?;
+            }
             "--log" => log_requested = true,
             "--log-sample" => log_sample = flag_value("--log-sample")? as u64,
             flag if flag.starts_with("--log=") => {
@@ -555,7 +572,8 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     println!("tpn-service listening on http://{}", handle.addr());
     println!(
         "endpoints: POST /v1 /analyze /graph /correctness /invariants /simulate /sweep /optimize \
-         /whatif · GET /healthz /stats /metrics /metrics/history /slo /debug/requests /debug/slow"
+         /whatif /alerts/silence · GET /healthz /stats /metrics /metrics/history /slo /alerts \
+         /debug/requests /debug/slow"
     );
     handle.wait();
     Ok(())
@@ -690,14 +708,165 @@ fn cmd_top(args: &[String]) -> Result<(), String> {
     watch_loop(interval, ticks, || top_frame(addr, window, step))
 }
 
+/// `tpn alerts <addr> [--watch SECS] [--ticks N]` — render a running
+/// daemon's `/alerts` document: one aligned row per rule (severity,
+/// state, last value vs threshold, time in state, silenced), then the
+/// most recent firing/resolved transitions. `--watch SECS` redraws
+/// every SECS seconds (`--ticks N` stops after N frames).
+fn cmd_alerts(args: &[String]) -> Result<(), String> {
+    let mut addr: Option<&str> = None;
+    let mut watch: Option<u64> = None;
+    let mut ticks: u64 = 0;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut flag_value = |name: &str| -> Result<u64, String> {
+            let v = it
+                .next()
+                .ok_or_else(|| format!("{name} needs a value\n{}", usage_of("alerts")))?;
+            v.parse()
+                .map_err(|_| format!("bad {name} value {v:?}\n{}", usage_of("alerts")))
+        };
+        match arg.as_str() {
+            "--watch" => watch = Some(flag_value("--watch")?),
+            "--ticks" => ticks = flag_value("--ticks")?,
+            flag if flag.starts_with('-') => {
+                return Err(format!("unknown flag {flag:?}\n{}", usage_of("alerts")))
+            }
+            a if addr.is_none() => addr = Some(a),
+            extra => {
+                return Err(format!(
+                    "unexpected argument {extra:?}\n{}",
+                    usage_of("alerts")
+                ))
+            }
+        }
+    }
+    let addr = addr.ok_or_else(|| usage_of("alerts"))?;
+    match watch {
+        None => {
+            print!("{}", alerts_frame(addr)?);
+            Ok(())
+        }
+        Some(secs) => watch_loop(secs, ticks, || alerts_frame(addr)),
+    }
+}
+
+/// Assemble one `tpn alerts` frame from a daemon's `/alerts` document.
+fn alerts_frame(addr: &str) -> Result<String, String> {
+    let body = http_get(addr, "/alerts")?;
+    let doc = tpn_service::Json::parse(&body).map_err(|e| format!("{addr}/alerts: {e}"))?;
+    let as_of_ms = json_f64(doc.get("as_of_ms")).unwrap_or(0.0);
+    let firing = json_f64(doc.get("firing")).unwrap_or(0.0) as u64;
+    let pending = json_f64(doc.get("pending")).unwrap_or(0.0) as u64;
+    let mut out = format!("tpn alerts — {addr} · {firing} firing · {pending} pending\n\n");
+
+    let str_col = |name: &str| -> Vec<String> {
+        doc.get(name)
+            .and_then(|a| a.as_arr())
+            .map(|arr| {
+                arr.iter()
+                    .map(|v| v.as_str().unwrap_or("?").to_string())
+                    .collect()
+            })
+            .unwrap_or_default()
+    };
+    let rules = str_col("rules");
+    let severity = str_col("severity");
+    let state = str_col("state");
+    let since = float_col(doc.get("since_ms"));
+    let value = float_col(doc.get("value"));
+    let threshold = float_col(doc.get("threshold"));
+    let silenced: Vec<bool> = doc
+        .get("silenced")
+        .and_then(|a| a.as_arr())
+        .map(|arr| arr.iter().map(|v| v.as_bool().unwrap_or(false)).collect())
+        .unwrap_or_default();
+
+    let mut table: Vec<Vec<String>> = vec![[
+        "rule",
+        "severity",
+        "state",
+        "value",
+        "threshold",
+        "for",
+        "silenced",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect()];
+    for (i, rule) in rules.iter().enumerate() {
+        let in_state = since
+            .get(i)
+            .copied()
+            .flatten()
+            .map(|ms| format!("{:.0}s", (as_of_ms - ms).max(0.0) / 1_000.0));
+        table.push(vec![
+            rule.clone(),
+            severity.get(i).cloned().unwrap_or_default(),
+            state.get(i).cloned().unwrap_or_default(),
+            fmt_opt(value.get(i).copied().flatten(), |v| format!("{v:.3}")),
+            fmt_opt(threshold.get(i).copied().flatten(), |v| format!("{v:.3}")),
+            in_state.unwrap_or_else(|| "-".to_string()),
+            if silenced.get(i).copied().unwrap_or(false) {
+                "yes".to_string()
+            } else {
+                "-".to_string()
+            },
+        ]);
+    }
+    if table.len() > 1 {
+        out.push_str(&aligned_table(&table));
+    } else {
+        out.push_str("no alert rules configured\n");
+    }
+
+    let history: &[tpn_service::Json] = doc
+        .get("history")
+        .and_then(|h| h.as_arr())
+        .unwrap_or_default();
+    if !history.is_empty() {
+        out.push_str("\nrecent transitions (oldest first):\n");
+        let mut rows: Vec<Vec<String>> = Vec::new();
+        for event in history.iter().rev().take(10).rev() {
+            let ago = json_f64(event.get("ts_ms"))
+                .map(|ms| format!("{:.0}s ago", (as_of_ms - ms).max(0.0) / 1_000.0))
+                .unwrap_or_else(|| "-".to_string());
+            rows.push(vec![
+                format!("  {ago}"),
+                event
+                    .get("rule")
+                    .and_then(|r| r.as_str())
+                    .unwrap_or("?")
+                    .to_string(),
+                event
+                    .get("event")
+                    .and_then(|e| e.as_str())
+                    .unwrap_or("?")
+                    .to_string(),
+                fmt_opt(json_f64(event.get("value")), |v| format!("{v:.3}")),
+            ]);
+        }
+        out.push_str(&aligned_table(&rows));
+    }
+    Ok(out)
+}
+
 /// Assemble one `tpn top` frame from a daemon's `/metrics/history`
 /// and `/slo` documents.
 fn top_frame(addr: &str, window_s: u64, step_s: u64) -> Result<String, String> {
-    let path = format!("/metrics/history?window={window_s}&step={step_s}");
+    // Only the leaf series the dashboard renders — the filter keeps the
+    // transferred document small on daemons with many endpoints.
+    let path = format!(
+        "/metrics/history?window={window_s}&step={step_s}\
+         &series=req_s,cache_hit_ratio,rss_bytes,err_s,p50_ns,p99_ns"
+    );
     let history = http_get(addr, &path)?;
     let history = tpn_service::Json::parse(&history).map_err(|e| format!("{addr}{path}: {e}"))?;
     let slo_body = http_get(addr, "/slo")?;
     let slo = tpn_service::Json::parse(&slo_body).map_err(|e| format!("{addr}/slo: {e}"))?;
+    let alerts_body = http_get(addr, "/alerts")?;
+    let alerts =
+        tpn_service::Json::parse(&alerts_body).map_err(|e| format!("{addr}/alerts: {e}"))?;
 
     let status = slo.get("status").and_then(|s| s.as_str()).unwrap_or("?");
     let samples = json_f64(history.get("samples")).unwrap_or(0.0) as u64;
@@ -707,8 +876,27 @@ fn top_frame(addr: &str, window_s: u64, step_s: u64) -> Result<String, String> {
     let rss = float_col(history.get("process").and_then(|p| p.get("rss_bytes")));
 
     let mut out = format!(
-        "tpn top — {addr} · status {status} · window {window_s}s step {step_s}s · {samples} samples\n\n"
+        "tpn top — {addr} · status {status} · window {window_s}s step {step_s}s · {samples} samples\n"
     );
+    // Banner row: names of the rules currently firing, if any.
+    let firing: Vec<&str> = {
+        let rules = alerts.get("rules").and_then(|a| a.as_arr()).unwrap_or(&[]);
+        let states = alerts.get("state").and_then(|a| a.as_arr()).unwrap_or(&[]);
+        rules
+            .iter()
+            .zip(states)
+            .filter(|(_, s)| s.as_str() == Some("firing"))
+            .filter_map(|(r, _)| r.as_str())
+            .collect()
+    };
+    if !firing.is_empty() {
+        out.push_str(&format!(
+            "ALERTS: {} firing — {}\n",
+            firing.len(),
+            firing.join(", ")
+        ));
+    }
+    out.push('\n');
     let headline = vec![
         vec![
             "req/s".to_string(),
@@ -1060,6 +1248,7 @@ mod tests {
             "serve",
             "stats",
             "top",
+            "alerts",
             "batch",
         ] {
             assert!(command_help(name).is_some(), "{name} missing from COMMANDS");
