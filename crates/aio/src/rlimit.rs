@@ -1,0 +1,64 @@
+//! File-descriptor limit handling for high-connection-count runs.
+//!
+//! A 10k-connection benchmark needs 10k server-side plus 10k
+//! client-side descriptors in one process; default soft limits are
+//! often far lower. [`ensure_nofile`] raises `RLIMIT_NOFILE` toward
+//! the requested count, capped at the hard limit.
+
+#![allow(non_camel_case_types)]
+
+use std::io;
+use std::os::raw::c_int;
+
+#[repr(C)]
+#[derive(Clone, Copy)]
+struct rlimit {
+    rlim_cur: u64,
+    rlim_max: u64,
+}
+
+const RLIMIT_NOFILE: c_int = 7;
+
+extern "C" {
+    fn getrlimit(resource: c_int, rlim: *mut rlimit) -> c_int;
+    fn setrlimit(resource: c_int, rlim: *const rlimit) -> c_int;
+}
+
+/// Best-effort raise of the open-file soft limit to at least `want`.
+/// Returns the soft limit in effect afterwards.
+pub fn ensure_nofile(want: u64) -> io::Result<u64> {
+    let mut lim = rlimit {
+        rlim_cur: 0,
+        rlim_max: 0,
+    };
+    if unsafe { getrlimit(RLIMIT_NOFILE, &mut lim) } != 0 {
+        return Err(io::Error::last_os_error());
+    }
+    if lim.rlim_cur >= want {
+        return Ok(lim.rlim_cur);
+    }
+    if want > lim.rlim_max {
+        // With CAP_SYS_RESOURCE the hard limit itself can move (up to
+        // the kernel's fs.nr_open); try that first, fall through to
+        // the capped raise when the process is unprivileged.
+        let lifted = rlimit {
+            rlim_cur: want,
+            rlim_max: want,
+        };
+        if unsafe { setrlimit(RLIMIT_NOFILE, &lifted) } == 0 {
+            return Ok(want);
+        }
+    }
+    let target = want.max(lim.rlim_cur).min(lim.rlim_max);
+    let raised = rlimit {
+        rlim_cur: target,
+        rlim_max: lim.rlim_max,
+    };
+    if unsafe { setrlimit(RLIMIT_NOFILE, &raised) } != 0 {
+        // Raising can fail under seccomp or container policy even
+        // below the hard limit; report the limit still in effect
+        // rather than failing the caller outright.
+        return Ok(lim.rlim_cur);
+    }
+    Ok(target)
+}

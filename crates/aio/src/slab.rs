@@ -1,0 +1,136 @@
+//! A generational slab keyed by `u64` tokens.
+//!
+//! The reactor parks connection state here and stamps the slab token
+//! into each epoll registration. Tokens carry the slot index in the
+//! low 32 bits and a per-slot generation in the high 32, so a stale
+//! readiness event or timer entry for a connection that has since
+//! been closed (and its slot reused) fails the generation check
+//! instead of touching the wrong connection.
+
+pub struct Slab<T> {
+    entries: Vec<Slot<T>>,
+    free: Vec<u32>,
+    len: usize,
+}
+
+struct Slot<T> {
+    generation: u32,
+    value: Option<T>,
+}
+
+impl<T> Slab<T> {
+    pub fn new() -> Slab<T> {
+        Slab {
+            entries: Vec::new(),
+            free: Vec::new(),
+            len: 0,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Store `value`, returning its token.
+    pub fn insert(&mut self, value: T) -> u64 {
+        let index = match self.free.pop() {
+            Some(index) => {
+                self.entries[index as usize].value = Some(value);
+                index
+            }
+            None => {
+                let index = self.entries.len() as u32;
+                self.entries.push(Slot {
+                    generation: 0,
+                    value: Some(value),
+                });
+                index
+            }
+        };
+        self.len += 1;
+        (u64::from(self.entries[index as usize].generation) << 32) | u64::from(index)
+    }
+
+    fn slot(&self, token: u64) -> Option<usize> {
+        let index = (token & 0xffff_ffff) as usize;
+        let generation = (token >> 32) as u32;
+        match self.entries.get(index) {
+            Some(slot) if slot.generation == generation && slot.value.is_some() => Some(index),
+            _ => None,
+        }
+    }
+
+    pub fn get(&self, token: u64) -> Option<&T> {
+        self.slot(token)
+            .and_then(|index| self.entries[index].value.as_ref())
+    }
+
+    pub fn get_mut(&mut self, token: u64) -> Option<&mut T> {
+        self.slot(token)
+            .and_then(move |index| self.entries[index].value.as_mut())
+    }
+
+    /// Remove and return the value for `token`; the slot's generation
+    /// is bumped so the token (and any copies of it) go stale.
+    pub fn remove(&mut self, token: u64) -> Option<T> {
+        let index = self.slot(token)?;
+        let value = self.entries[index].value.take();
+        self.entries[index].generation = self.entries[index].generation.wrapping_add(1);
+        self.free.push(index as u32);
+        self.len -= 1;
+        value
+    }
+
+    /// Tokens of all live entries (for shutdown sweeps).
+    pub fn tokens(&self) -> Vec<u64> {
+        self.entries
+            .iter()
+            .enumerate()
+            .filter(|(_, slot)| slot.value.is_some())
+            .map(|(index, slot)| (u64::from(slot.generation) << 32) | index as u64)
+            .collect()
+    }
+}
+
+impl<T> Default for Slab<T> {
+    fn default() -> Self {
+        Slab::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reuse_bumps_generation_and_invalidates_stale_tokens() {
+        let mut slab = Slab::new();
+        let a = slab.insert("a");
+        assert_eq!(slab.get(a), Some(&"a"));
+        assert_eq!(slab.remove(a), Some("a"));
+        assert_eq!(slab.get(a), None, "stale token must not resolve");
+        let b = slab.insert("b");
+        assert_ne!(a, b, "reused slot must mint a fresh token");
+        assert_eq!(slab.get(a), None);
+        assert_eq!(slab.get(b), Some(&"b"));
+        assert_eq!(slab.len(), 1);
+    }
+
+    #[test]
+    fn tokens_lists_live_entries() {
+        let mut slab = Slab::new();
+        let a = slab.insert(1);
+        let b = slab.insert(2);
+        let c = slab.insert(3);
+        slab.remove(b);
+        let mut live = slab.tokens();
+        live.sort_unstable();
+        let mut expect = vec![a, c];
+        expect.sort_unstable();
+        assert_eq!(live, expect);
+    }
+}

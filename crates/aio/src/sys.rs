@@ -1,0 +1,109 @@
+//! Thin `extern "C"` bindings for the Linux epoll/eventfd syscalls.
+//!
+//! The build environment has no registry access, so there is no `libc`
+//! crate to lean on. std already links the platform C library, which
+//! means these symbols resolve without any extra build configuration —
+//! we only need the prototypes and the handful of constants the
+//! reactor uses.
+
+#![allow(non_camel_case_types)]
+
+use std::io;
+use std::os::raw::{c_int, c_uint, c_void};
+
+// On x86 the kernel ABI packs `epoll_event` so the 64-bit data field
+// sits at offset 4; other architectures use natural alignment.
+#[repr(C)]
+#[cfg_attr(any(target_arch = "x86", target_arch = "x86_64"), repr(packed))]
+#[derive(Clone, Copy)]
+pub struct epoll_event {
+    pub events: u32,
+    pub data: u64,
+}
+
+pub const EPOLLIN: u32 = 0x001;
+pub const EPOLLOUT: u32 = 0x004;
+pub const EPOLLERR: u32 = 0x008;
+pub const EPOLLHUP: u32 = 0x010;
+pub const EPOLLRDHUP: u32 = 0x2000;
+pub const EPOLLET: u32 = 1 << 31;
+
+pub const EPOLL_CTL_ADD: c_int = 1;
+pub const EPOLL_CTL_DEL: c_int = 2;
+pub const EPOLL_CTL_MOD: c_int = 3;
+
+pub const EPOLL_CLOEXEC: c_int = 0o2000000;
+pub const EFD_CLOEXEC: c_int = 0o2000000;
+pub const EFD_NONBLOCK: c_int = 0o4000;
+
+extern "C" {
+    fn epoll_create1(flags: c_int) -> c_int;
+    fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut epoll_event) -> c_int;
+    fn epoll_wait(epfd: c_int, events: *mut epoll_event, maxevents: c_int, timeout: c_int)
+        -> c_int;
+    fn eventfd(initval: c_uint, flags: c_int) -> c_int;
+    fn close(fd: c_int) -> c_int;
+    fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
+    fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
+}
+
+fn cvt(ret: c_int) -> io::Result<c_int> {
+    if ret < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(ret)
+    }
+}
+
+pub fn sys_epoll_create1() -> io::Result<c_int> {
+    cvt(unsafe { epoll_create1(EPOLL_CLOEXEC) })
+}
+
+pub fn sys_epoll_ctl(epfd: c_int, op: c_int, fd: c_int, events: u32, data: u64) -> io::Result<()> {
+    let mut ev = epoll_event { events, data };
+    cvt(unsafe { epoll_ctl(epfd, op, fd, &mut ev) }).map(|_| ())
+}
+
+pub fn sys_epoll_del(epfd: c_int, fd: c_int) -> io::Result<()> {
+    // Pre-2.6.9 kernels required a non-null event pointer for DEL;
+    // passing one is harmless everywhere.
+    let mut ev = epoll_event { events: 0, data: 0 };
+    cvt(unsafe { epoll_ctl(epfd, EPOLL_CTL_DEL, fd, &mut ev) }).map(|_| ())
+}
+
+pub fn sys_epoll_wait(
+    epfd: c_int,
+    events: &mut [epoll_event],
+    timeout_ms: c_int,
+) -> io::Result<usize> {
+    let n = unsafe { epoll_wait(epfd, events.as_mut_ptr(), events.len() as c_int, timeout_ms) };
+    cvt(n).map(|n| n as usize)
+}
+
+pub fn sys_eventfd() -> io::Result<c_int> {
+    cvt(unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) })
+}
+
+pub fn sys_close(fd: c_int) {
+    unsafe { close(fd) };
+}
+
+pub fn sys_read_u64(fd: c_int) -> io::Result<u64> {
+    let mut buf = [0u8; 8];
+    let n = unsafe { read(fd, buf.as_mut_ptr() as *mut c_void, 8) };
+    if n < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(u64::from_ne_bytes(buf))
+    }
+}
+
+pub fn sys_write_u64(fd: c_int, value: u64) -> io::Result<()> {
+    let buf = value.to_ne_bytes();
+    let n = unsafe { write(fd, buf.as_ptr() as *const c_void, 8) };
+    if n < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(())
+    }
+}

@@ -1,0 +1,194 @@
+//! A hashed timer wheel with lazy cancellation.
+//!
+//! The reactor arms at most one logical deadline per connection but
+//! never cancels wheel entries in place: when an entry fires, the
+//! owner re-checks the connection's current deadline and either acts,
+//! ignores, or asks for re-insertion. [`TimerWheel::advance`] hands
+//! every due key to the callback; keys whose slot has come around but
+//! whose stored deadline lies in a later rotation are re-queued
+//! internally.
+//!
+//! Time is caller-supplied milliseconds from an arbitrary monotonic
+//! origin (the reactor uses `Instant` elapsed time), which keeps the
+//! wheel deterministic and directly testable.
+
+#[derive(Clone, Copy)]
+struct Entry {
+    key: u64,
+    deadline_ms: u64,
+}
+
+pub struct TimerWheel {
+    granularity_ms: u64,
+    slots: Vec<Vec<Entry>>,
+    /// Slot index corresponding to `now_ms`.
+    cursor: usize,
+    /// The time up to which the wheel has been advanced.
+    now_ms: u64,
+    len: usize,
+}
+
+impl TimerWheel {
+    /// `granularity_ms` is the tick size; `slots` the wheel length.
+    /// Deadlines beyond `granularity * slots` simply ride extra
+    /// rotations.
+    pub fn new(granularity_ms: u64, slots: usize) -> TimerWheel {
+        assert!(granularity_ms > 0 && slots > 1);
+        TimerWheel {
+            granularity_ms,
+            slots: (0..slots).map(|_| Vec::new()).collect(),
+            cursor: 0,
+            now_ms: 0,
+            len: 0,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Schedule `key` to fire once `advance` passes `deadline_ms`.
+    /// Deadlines at or before the current time fire on the next
+    /// `advance` call.
+    pub fn insert(&mut self, key: u64, deadline_ms: u64) {
+        self.place(Entry { key, deadline_ms });
+        self.len += 1;
+    }
+
+    /// Drop `entry` into the slot matching its deadline relative to
+    /// the current cursor. Deadlines beyond one rotation land in the
+    /// farthest slot and are re-normalized when the cursor sweeps it.
+    fn place(&mut self, entry: Entry) {
+        let ticks_ahead = (entry.deadline_ms.saturating_sub(self.now_ms)) / self.granularity_ms;
+        let ticks_ahead = ticks_ahead.min(self.slots.len() as u64 - 1) as usize;
+        let slot = (self.cursor + ticks_ahead) % self.slots.len();
+        self.slots[slot].push(entry);
+    }
+
+    /// Advance wheel time to `now_ms`, invoking `fire(key)` for every
+    /// entry whose deadline has passed.
+    pub fn advance(&mut self, now_ms: u64, mut fire: impl FnMut(u64)) {
+        if now_ms <= self.now_ms {
+            return;
+        }
+        let ticks = (now_ms - self.now_ms) / self.granularity_ms;
+        let ticks = ticks.min(self.slots.len() as u64) as usize;
+        // Sweep each slot the cursor passes (a jump of a full rotation
+        // or more sweeps every slot exactly once), collecting not-yet-
+        // due entries so they can be re-placed against the *final*
+        // cursor position rather than dropped back a rotation behind.
+        let mut deferred: Vec<Entry> = Vec::new();
+        for step in 1..=ticks {
+            let slot = (self.cursor + step) % self.slots.len();
+            self.sweep_slot(slot, now_ms, &mut fire, &mut deferred);
+        }
+        self.cursor = (self.cursor + ticks) % self.slots.len();
+        self.now_ms = now_ms;
+        // The cursor slot itself can hold entries inserted with an
+        // immediate deadline; sweep it too.
+        let cursor = self.cursor;
+        self.sweep_slot(cursor, now_ms, &mut fire, &mut deferred);
+        for entry in deferred {
+            self.place(entry);
+        }
+    }
+
+    fn sweep_slot(
+        &mut self,
+        slot: usize,
+        now_ms: u64,
+        fire: &mut impl FnMut(u64),
+        deferred: &mut Vec<Entry>,
+    ) {
+        if self.slots[slot].is_empty() {
+            return;
+        }
+        let entries = std::mem::take(&mut self.slots[slot]);
+        for entry in entries {
+            if entry.deadline_ms <= now_ms {
+                self.len -= 1;
+                fire(entry.key);
+            } else {
+                deferred.push(entry);
+            }
+        }
+    }
+
+    /// Milliseconds until the next *potentially* due entry, relative
+    /// to the current wheel time. This is an under-estimate (entries
+    /// for later rotations make the wheel wake early and re-queue),
+    /// which is safe for use as an `epoll_wait` timeout.
+    pub fn next_timeout_ms(&self, now_ms: u64) -> Option<u64> {
+        if self.len == 0 {
+            return None;
+        }
+        let slots = self.slots.len();
+        for step in 0..slots {
+            let slot = (self.cursor + step) % slots;
+            if !self.slots[slot].is_empty() {
+                let due_at = self.now_ms + step as u64 * self.granularity_ms;
+                return Some(due_at.saturating_sub(now_ms));
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fires_in_deadline_order_across_rotations() {
+        let mut wheel = TimerWheel::new(10, 8);
+        wheel.insert(1, 25); // slot 2
+        wheel.insert(2, 250); // > one rotation
+        let mut fired = Vec::new();
+        wheel.advance(30, |k| fired.push(k));
+        assert_eq!(fired, vec![1]);
+        assert_eq!(wheel.len(), 1);
+        wheel.advance(240, |k| fired.push(k));
+        assert_eq!(fired, vec![1]);
+        wheel.advance(260, |k| fired.push(k));
+        assert_eq!(fired, vec![1, 2]);
+        assert!(wheel.is_empty());
+    }
+
+    #[test]
+    fn immediate_deadline_fires_on_next_advance() {
+        let mut wheel = TimerWheel::new(10, 4);
+        wheel.advance(100, |_| {});
+        wheel.insert(7, 50); // already past
+        let mut fired = Vec::new();
+        wheel.advance(101, |k| fired.push(k));
+        assert_eq!(fired, vec![7]);
+    }
+
+    #[test]
+    fn next_timeout_tracks_earliest_slot() {
+        let mut wheel = TimerWheel::new(10, 8);
+        assert_eq!(wheel.next_timeout_ms(0), None);
+        wheel.insert(1, 35);
+        let t = wheel.next_timeout_ms(0).unwrap();
+        assert!(t <= 35, "timeout {t} must not overshoot the deadline");
+        wheel.advance(20, |_| {});
+        let t = wheel.next_timeout_ms(20).unwrap();
+        assert!(t <= 15);
+    }
+
+    #[test]
+    fn large_jump_sweeps_every_slot_once() {
+        let mut wheel = TimerWheel::new(10, 4);
+        for key in 0..16 {
+            wheel.insert(key, key * 7);
+        }
+        let mut fired = Vec::new();
+        wheel.advance(1_000, |k| fired.push(k));
+        fired.sort_unstable();
+        assert_eq!(fired, (0..16).collect::<Vec<_>>());
+    }
+}

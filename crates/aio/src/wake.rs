@@ -1,0 +1,50 @@
+//! Cross-thread reactor wakeup via eventfd.
+
+use std::io;
+use std::os::fd::RawFd;
+use std::sync::Arc;
+
+use crate::sys;
+
+/// A cloneable handle that interrupts a blocked `epoll_wait`. Register
+/// `fd()` with the poller under a reserved token; call [`Waker::wake`]
+/// from any thread; call [`Waker::drain`] on the reactor when the
+/// token fires (edge-triggered registration requires draining fully).
+#[derive(Clone)]
+pub struct Waker {
+    inner: Arc<WakerFd>,
+}
+
+struct WakerFd {
+    fd: RawFd,
+}
+
+impl Waker {
+    pub fn new() -> io::Result<Waker> {
+        let fd = sys::sys_eventfd()?;
+        Ok(Waker {
+            inner: Arc::new(WakerFd { fd }),
+        })
+    }
+
+    pub fn fd(&self) -> RawFd {
+        self.inner.fd
+    }
+
+    pub fn wake(&self) {
+        // EAGAIN means the counter is already saturated — the reactor
+        // is guaranteed to wake, so the nudge was delivered either way.
+        let _ = sys::sys_write_u64(self.inner.fd, 1);
+    }
+
+    /// Reset the eventfd counter. Call once per wakeup event.
+    pub fn drain(&self) {
+        let _ = sys::sys_read_u64(self.inner.fd);
+    }
+}
+
+impl Drop for WakerFd {
+    fn drop(&mut self) {
+        sys::sys_close(self.fd);
+    }
+}

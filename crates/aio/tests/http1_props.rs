@@ -1,0 +1,175 @@
+//! Property tests for the shared HTTP/1.1 parser: feeding a message
+//! in arbitrary splits must be indistinguishable from a one-shot
+//! parse — same requests, same bodies, same errors.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use tpn_aio::http1::{HttpError, HttpLimits, Request, RequestParser, Response, ResponseParser};
+
+fn parse_all(raw: &[u8], splits: &[usize]) -> Result<Vec<Request>, HttpError> {
+    let mut parser = RequestParser::new(HttpLimits::default());
+    let mut out = Vec::new();
+    let mut cursor = 0usize;
+    let mut cuts: Vec<usize> = splits.iter().map(|s| s % (raw.len() + 1)).collect();
+    cuts.push(raw.len());
+    cuts.sort_unstable();
+    for cut in cuts {
+        if cut > cursor {
+            parser.feed(&raw[cursor..cut]);
+            cursor = cut;
+        }
+        while let Some(req) = parser.poll()? {
+            out.push(req);
+        }
+    }
+    Ok(out)
+}
+
+fn requests_eq(a: &Request, b: &Request) -> bool {
+    a.method == b.method
+        && a.path == b.path
+        && a.query == b.query
+        && a.body == b.body
+        && a.close == b.close
+}
+
+/// A generated request serialized to wire form.
+fn wire_request(
+    method: &str,
+    path: &str,
+    query: &[(String, String)],
+    body: &[u8],
+    close: bool,
+) -> Vec<u8> {
+    let mut target = path.to_string();
+    if !query.is_empty() {
+        target.push('?');
+        let pairs: Vec<String> = query.iter().map(|(k, v)| format!("{k}={v}")).collect();
+        target.push_str(&pairs.join("&"));
+    }
+    let mut raw = format!(
+        "{method} {target} HTTP/1.1\r\nContent-Length: {}\r\n",
+        body.len()
+    );
+    if close {
+        raw.push_str("Connection: close\r\n");
+    }
+    raw.push_str("\r\n");
+    let mut bytes = raw.into_bytes();
+    bytes.extend_from_slice(body);
+    bytes
+}
+
+/// Short lowercase identifier built from generated digits (the
+/// offline proptest shim has no regex string strategies).
+fn ident() -> impl Strategy<Value = String> {
+    vec(0u8..26, 1..7).prop_map(|digits| {
+        digits
+            .into_iter()
+            .map(|d| char::from(b'a' + d))
+            .collect::<String>()
+    })
+}
+
+fn method() -> impl Strategy<Value = &'static str> {
+    (0usize..4).prop_map(|i| ["GET", "POST", "PUT", "DELETE"][i])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn any_split_matches_one_shot(
+        method in method(),
+        path_seg in ident(),
+        query in vec((ident(), ident()), 0..3),
+        body in vec(any::<u8>(), 0..200),
+        close in any::<bool>(),
+        splits in vec(any::<usize>(), 0..8),
+    ) {
+        let raw = wire_request(method, &format!("/{path_seg}"), &query, &body, close);
+        let one_shot = parse_all(&raw, &[]).unwrap();
+        let split = parse_all(&raw, &splits).unwrap();
+        prop_assert_eq!(one_shot.len(), 1);
+        prop_assert_eq!(split.len(), 1);
+        prop_assert!(requests_eq(&one_shot[0], &split[0]));
+    }
+
+    #[test]
+    fn pipelined_pair_survives_any_split(
+        body_a in vec(any::<u8>(), 0..64),
+        body_b in vec(any::<u8>(), 0..64),
+        splits in vec(any::<usize>(), 0..12),
+    ) {
+        let mut raw = wire_request("POST", "/analyze", &[], &body_a, false);
+        raw.extend_from_slice(&wire_request("POST", "/simulate", &[], &body_b, true));
+        let one_shot = parse_all(&raw, &[]).unwrap();
+        let split = parse_all(&raw, &splits).unwrap();
+        prop_assert_eq!(one_shot.len(), 2);
+        prop_assert_eq!(split.len(), 2);
+        for (a, b) in one_shot.iter().zip(split.iter()) {
+            prop_assert!(requests_eq(a, b));
+        }
+    }
+
+    #[test]
+    fn arbitrary_garbage_never_panics_and_errors_agree(
+        raw in vec(any::<u8>(), 0..512),
+        splits in vec(any::<usize>(), 0..8),
+    ) {
+        let one_shot = parse_all(&raw, &[]);
+        let split = parse_all(&raw, &splits);
+        match (one_shot, split) {
+            (Ok(a), Ok(b)) => {
+                prop_assert_eq!(a.len(), b.len());
+                for (x, y) in a.iter().zip(b.iter()) {
+                    prop_assert!(requests_eq(x, y));
+                }
+            }
+            (Err(ea), Err(eb)) => prop_assert_eq!(ea, eb),
+            // Splitting changes nothing about the byte stream, so
+            // success/failure must agree.
+            (a, b) => prop_assert!(false, "split divergence: {:?} vs {:?}", a, b),
+        }
+    }
+
+    #[test]
+    fn chunked_response_any_split_matches_one_shot(
+        chunks in vec(vec(any::<u8>(), 1..64), 0..6),
+        splits in vec(any::<usize>(), 0..8),
+    ) {
+        let mut raw = b"HTTP/1.1 200 OK\r\nContent-Type: application/json\r\nTransfer-Encoding: chunked\r\n\r\n".to_vec();
+        let mut expect = Vec::new();
+        for chunk in &chunks {
+            raw.extend_from_slice(format!("{:x}\r\n", chunk.len()).as_bytes());
+            raw.extend_from_slice(chunk);
+            raw.extend_from_slice(b"\r\n");
+            expect.extend_from_slice(chunk);
+        }
+        raw.extend_from_slice(b"0\r\n\r\n");
+
+        let decode = |cuts: &[usize]| -> Option<Response> {
+            let mut parser = ResponseParser::new();
+            let mut cursor = 0usize;
+            let mut cuts: Vec<usize> = cuts.iter().map(|s| s % (raw.len() + 1)).collect();
+            cuts.push(raw.len());
+            cuts.sort_unstable();
+            let mut done = None;
+            for cut in cuts {
+                if cut > cursor {
+                    parser.feed(&raw[cursor..cut]);
+                    cursor = cut;
+                }
+                if done.is_none() {
+                    done = parser.poll().unwrap();
+                }
+            }
+            done
+        };
+        let one_shot = decode(&[]).expect("complete response");
+        let split = decode(&splits).expect("complete response");
+        prop_assert_eq!(&one_shot.body, &expect);
+        prop_assert_eq!(&split.body, &expect);
+        prop_assert!(one_shot.chunked && split.chunked);
+    }
+}

@@ -1,1 +1,4 @@
 //! Benchmark harness crate (Criterion benches live in `benches/`).
+
+#[cfg(target_os = "linux")]
+pub mod loadgen;

@@ -97,6 +97,33 @@ impl ThreadPool {
         Ok(())
     }
 
+    /// Enqueue a job without blocking. Returns the job back as
+    /// `Ok(Some(job))` when the queue is full — the epoll reactor must
+    /// never block its event loop on the pool, so it keeps the request
+    /// parked on the connection and pauses accepting instead.
+    #[allow(clippy::type_complexity)]
+    pub fn try_execute(
+        &self,
+        job: impl FnOnce() + Send + 'static,
+    ) -> Result<Option<Box<dyn FnOnce() + Send + 'static>>, PoolClosed> {
+        let mut state = self.shared.state.lock().expect("pool lock");
+        if state.shutdown {
+            return Err(PoolClosed);
+        }
+        if state.queue.len() >= self.shared.queue_cap {
+            return Ok(Some(Box::new(job)));
+        }
+        state.queue.push_back(Box::new(job));
+        drop(state);
+        self.shared.not_empty.notify_one();
+        Ok(None)
+    }
+
+    /// Number of queued (not yet running) jobs right now.
+    pub fn queued(&self) -> usize {
+        self.shared.state.lock().expect("pool lock").queue.len()
+    }
+
     /// Number of worker threads.
     pub fn threads(&self) -> usize {
         self.threads

@@ -1,10 +1,17 @@
-//! The hand-rolled HTTP/1.1 front end over [`std::net::TcpListener`].
+//! The hand-rolled HTTP/1.1 front end.
 //!
-//! No external dependency and no async runtime: an accept thread hands
-//! each connection to the fixed [`ThreadPool`], whose bounded queue is
-//! the server's backpressure. One request per connection
-//! (`Connection: close`), which keeps the parser a strict subset of
-//! HTTP/1.1: request line, headers, `Content-Length` body.
+//! No external dependency and no async runtime. Two listeners share
+//! one routing table and one incremental parser
+//! ([`tpn_aio::http1`]), selected by [`ServiceConfig::io`]:
+//!
+//! - **Threaded** (the library default): an accept thread hands each
+//!   connection to the fixed [`ThreadPool`], whose bounded queue is
+//!   the server's backpressure. One request per connection
+//!   (`Connection: close`).
+//! - **Epoll** (`tpn serve` default on Linux): the edge-triggered
+//!   reactor in `crate::aio_server` — keep-alive, pipelining,
+//!   admission control and chunked streaming of large bodies, with
+//!   compute still dispatched to the same [`ThreadPool`].
 //!
 //! Routes:
 //!
@@ -44,6 +51,8 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+pub(crate) use tpn_aio::http1::Request;
+use tpn_aio::http1::{self, HttpError, HttpLimits};
 use tpn_net::{parse_tpn, NetDigest, TimedPetriNet, TimingAssignment};
 use tpn_obs::alert::AlertEngine;
 use tpn_obs::log::RequestLog;
@@ -57,7 +66,7 @@ use crate::executor::ThreadPool;
 use crate::history;
 use crate::json::{error_body, error_object, JsonWriter};
 use crate::metrics::{
-    self, Endpoint, RequestTrace, ServiceMetrics, SlowTrace, StatsSnapshot, ENDPOINTS,
+    self, ConnStats, Endpoint, RequestTrace, ServiceMetrics, SlowTrace, StatsSnapshot, ENDPOINTS,
 };
 use crate::sessions::SessionCache;
 use crate::slo::{self, SloConfig};
@@ -112,6 +121,96 @@ pub struct ServiceConfig {
     /// `GET /alerts` and the evaluator the sampler ticks. Requires
     /// `metrics`.
     pub alerts: AlertsConfig,
+    /// Which listener [`spawn`] builds. The *library* default is
+    /// [`IoMode::Threaded`] — its close-per-response framing is what
+    /// EOF-reading clients (including this repo's test helpers)
+    /// expect. `tpn serve` flips to [`IoMode::platform_default`],
+    /// which picks epoll where supported.
+    pub io: IoMode,
+    /// Tuning for the epoll listener (ignored by the threaded one).
+    pub aio: AioConfig,
+}
+
+/// Listener implementation selector — see [`ServiceConfig::io`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoMode {
+    /// Blocking accept loop, one pool thread per in-flight
+    /// connection, `Connection: close` after every response.
+    Threaded,
+    /// Edge-triggered epoll reactor: keep-alive, pipelining,
+    /// admission control, streaming writes. Requires Linux and the
+    /// `aio-epoll` feature; [`spawn`] errors otherwise.
+    Epoll,
+}
+
+impl IoMode {
+    /// True when [`IoMode::Epoll`] can actually serve on this build.
+    pub fn epoll_supported() -> bool {
+        cfg!(all(target_os = "linux", feature = "aio-epoll"))
+    }
+
+    /// The best mode for this platform: epoll where supported,
+    /// threaded elsewhere.
+    pub fn platform_default() -> IoMode {
+        if IoMode::epoll_supported() {
+            IoMode::Epoll
+        } else {
+            IoMode::Threaded
+        }
+    }
+}
+
+/// Epoll-listener tuning: admission control, deadlines, streaming.
+#[derive(Debug, Clone)]
+pub struct AioConfig {
+    /// Hard cap on concurrently open connections; connections beyond
+    /// it are answered `503` and closed immediately.
+    pub max_connections: usize,
+    /// Keep-alive bound: after this many responses on one connection
+    /// the server sends `Connection: close` (0 acts as 1).
+    pub max_requests_per_conn: u64,
+    /// Deadline for reading one full request (first byte of the
+    /// request line to last body byte) — the slow-loris bound.
+    pub read_deadline_ms: u64,
+    /// Stall deadline while writing a response: the timer re-arms on
+    /// every write that makes progress, so a slow-but-moving client
+    /// survives while a stalled one is cut.
+    pub write_deadline_ms: u64,
+    /// How long an idle keep-alive connection may sit between
+    /// requests before the server closes it.
+    pub idle_deadline_ms: u64,
+    /// In-flight request budget: while this many requests sit between
+    /// dispatch and response, the listener deregisters itself from
+    /// the poller (accept-pause backpressure) instead of accepting
+    /// work it cannot queue. `0` means "use `queue_cap`", which also
+    /// guarantees the reactor never blocks on the pool's queue.
+    pub inflight: usize,
+    /// Response bodies strictly larger than this stream out with
+    /// `Transfer-Encoding: chunked` through a bounded write buffer
+    /// instead of being queued as one contiguous write.
+    pub stream_threshold: usize,
+    /// Chunk-frame payload size for streamed bodies — the bound on
+    /// the per-connection write buffer.
+    pub write_chunk: usize,
+    /// Graceful-drain budget at shutdown: in-flight requests get this
+    /// long to finish flushing before their connections are closed.
+    pub drain_ms: u64,
+}
+
+impl Default for AioConfig {
+    fn default() -> AioConfig {
+        AioConfig {
+            max_connections: 10_240,
+            max_requests_per_conn: 1_000,
+            read_deadline_ms: 30_000,
+            write_deadline_ms: 10_000,
+            idle_deadline_ms: 60_000,
+            inflight: 0,
+            stream_threshold: 64 * 1024,
+            write_chunk: 32 * 1024,
+            drain_ms: 5_000,
+        }
+    }
 }
 
 /// Request-log destination and sampling.
@@ -140,6 +239,8 @@ impl Default for ServiceConfig {
             history_frames: 720,
             slo: SloConfig::default(),
             alerts: AlertsConfig::default(),
+            io: IoMode::Threaded,
+            aio: AioConfig::default(),
         }
     }
 }
@@ -210,6 +311,11 @@ pub struct Service {
     notify: Arc<NotifyCounters>,
     /// The webhook notifier worker, when configured.
     notifier: Option<Notifier>,
+    /// Listener connection counters (open gauge, accept/reject/
+    /// timeout/drain counters, lifetime histogram) — updated by
+    /// whichever listener [`spawn`] built, rendered on `/stats` and
+    /// `/metrics`.
+    conn: ConnStats,
 }
 
 impl Service {
@@ -284,6 +390,7 @@ impl Service {
             silence_seq: AtomicU64::new(0),
             notify,
             notifier,
+            conn: ConnStats::default(),
         }
     }
 
@@ -305,6 +412,12 @@ impl Service {
     /// The request-metrics recorder (for inspection in tests/benches).
     pub fn metrics(&self) -> &ServiceMetrics {
         &self.metrics
+    }
+
+    /// The listener connection counters — updated by whichever
+    /// listener serves this instance, readable any time.
+    pub fn connections(&self) -> &ConnStats {
+        &self.conn
     }
 
     /// Observe one request: time it, count it under
@@ -912,6 +1025,24 @@ impl Service {
         w.key("os_threads");
         w.uint(proc.threads);
         w.end_object();
+        // Listener connection counters, appended after `process` so
+        // the document stays a byte-stable extension (the golden
+        // prefix *and* the `,"process":{"version":…` tail anchor both
+        // survive).
+        let conn = self.conn.scalars();
+        w.key("connections");
+        w.begin_object();
+        w.key("open");
+        w.uint(conn.open);
+        w.key("accepted");
+        w.uint(conn.accepted);
+        w.key("rejected");
+        w.uint(conn.rejected);
+        w.key("timeouts");
+        w.uint(conn.timeouts);
+        w.key("drained");
+        w.uint(conn.drained);
+        w.end_object();
         w.end_object();
         w.finish()
     }
@@ -1101,6 +1232,7 @@ impl Service {
             &self.metrics,
             &self.stats_snapshot(),
             self.sessions.counters(),
+            &self.conn,
         )
     }
 
@@ -1155,10 +1287,14 @@ fn parse_spec_body<S>(
 /// [`ServerHandle::wait`] blocks forever (the `tpn serve` foreground
 /// mode).
 pub struct ServerHandle {
-    addr: SocketAddr,
-    stop: Arc<AtomicBool>,
-    accept_thread: Option<JoinHandle<()>>,
-    sampler_thread: Option<JoinHandle<()>>,
+    pub(crate) addr: SocketAddr,
+    pub(crate) stop: Arc<AtomicBool>,
+    pub(crate) accept_thread: Option<JoinHandle<()>>,
+    pub(crate) sampler_thread: Option<JoinHandle<()>>,
+    /// Set by the epoll listener: stopping wakes the reactor's
+    /// `epoll_wait` directly instead of dialing the listener.
+    #[cfg(all(target_os = "linux", feature = "aio-epoll"))]
+    pub(crate) waker: Option<tpn_aio::wake::Waker>,
 }
 
 impl ServerHandle {
@@ -1187,6 +1323,12 @@ impl ServerHandle {
         }
         if let Some(t) = self.accept_thread.take() {
             self.stop.store(true, Ordering::SeqCst);
+            #[cfg(all(target_os = "linux", feature = "aio-epoll"))]
+            if let Some(waker) = &self.waker {
+                waker.wake();
+                let _ = t.join();
+                return;
+            }
             // Unblock the blocking accept() with a no-op connection.
             // A wildcard bind (0.0.0.0/[::]) is not connectable on
             // every platform — dial loopback on the bound port instead.
@@ -1216,19 +1358,43 @@ impl Drop for ServerHandle {
     }
 }
 
-/// Bind `addr` and serve `service` until the handle is shut down.
+/// Bind `addr` and serve `service` until the handle is shut down,
+/// with the listener [`ServiceConfig::io`] selects. Asking for
+/// [`IoMode::Epoll`] on a build without it is an error — callers that
+/// want "epoll where possible" use [`IoMode::platform_default`].
 pub fn spawn(service: Arc<Service>, addr: &str) -> std::io::Result<ServerHandle> {
-    let listener = TcpListener::bind(addr)?;
-    let local = listener.local_addr()?;
-    let stop = Arc::new(AtomicBool::new(false));
-    let stop2 = Arc::clone(&stop);
-    // The retention sampler: one frame every sample_interval_ms,
-    // sleeping in short slices so shutdown is prompt.
-    let sampler_thread = if service.metrics.enabled() && service.config.sample_interval_ms > 0 {
-        let service = Arc::clone(&service);
-        let stop = Arc::clone(&stop);
+    match service.config.io {
+        IoMode::Threaded => spawn_threaded(service, addr),
+        IoMode::Epoll => {
+            #[cfg(all(target_os = "linux", feature = "aio-epoll"))]
+            {
+                crate::aio_server::spawn_epoll(service, addr)
+            }
+            #[cfg(not(all(target_os = "linux", feature = "aio-epoll")))]
+            {
+                let _ = &service;
+                Err(std::io::Error::new(
+                    std::io::ErrorKind::Unsupported,
+                    "epoll I/O is not available on this platform/build; \
+                     use IoMode::Threaded or IoMode::platform_default()",
+                ))
+            }
+        }
+    }
+}
+
+/// The retention sampler: one frame every `sample_interval_ms`,
+/// sleeping in short slices so shutdown is prompt. Shared by both
+/// listeners.
+pub(crate) fn spawn_sampler(
+    service: &Arc<Service>,
+    stop: &Arc<AtomicBool>,
+) -> std::io::Result<Option<JoinHandle<()>>> {
+    if service.metrics.enabled() && service.config.sample_interval_ms > 0 {
+        let service = Arc::clone(service);
+        let stop = Arc::clone(stop);
         let interval = Duration::from_millis(service.config.sample_interval_ms);
-        Some(
+        Ok(Some(
             std::thread::Builder::new()
                 .name("tpn-sampler".to_string())
                 .spawn(move || {
@@ -1243,10 +1409,22 @@ pub fn spawn(service: Arc<Service>, addr: &str) -> std::io::Result<ServerHandle>
                         std::thread::sleep(slice);
                     }
                 })?,
-        )
+        ))
     } else {
-        None
-    };
+        Ok(None)
+    }
+}
+
+/// The threaded listener: blocking accept loop, one pool thread per
+/// in-flight connection, one request per connection. Kept as the
+/// portable fallback and as the differential oracle the epoll
+/// listener is tested against.
+pub(crate) fn spawn_threaded(service: Arc<Service>, addr: &str) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop2 = Arc::clone(&stop);
+    let sampler_thread = spawn_sampler(&service, &stop)?;
     let accept_thread = std::thread::Builder::new()
         .name("tpn-accept".to_string())
         .spawn(move || {
@@ -1272,11 +1450,20 @@ pub fn spawn(service: Arc<Service>, addr: &str) -> std::io::Result<ServerHandle>
                 if stop2.load(Ordering::SeqCst) {
                     break;
                 }
-                let service = Arc::clone(&service);
+                let svc = Arc::clone(&service);
+                service.conn.opened();
+                let opened = Instant::now();
                 if pool
-                    .execute(move || handle_connection(&service, stream))
+                    .execute(move || {
+                        handle_connection(&svc, stream);
+                        svc.conn.closed(opened.elapsed().as_nanos() as u64);
+                    })
                     .is_err()
                 {
+                    // Pool shut down before the job was queued: the
+                    // connection is dropped unserved — balance the
+                    // open gauge here.
+                    service.conn.closed(opened.elapsed().as_nanos() as u64);
                     break;
                 }
             }
@@ -1286,18 +1473,12 @@ pub fn spawn(service: Arc<Service>, addr: &str) -> std::io::Result<ServerHandle>
         stop,
         accept_thread: Some(accept_thread),
         sampler_thread,
+        #[cfg(all(target_os = "linux", feature = "aio-epoll"))]
+        waker: None,
     })
 }
 
-/// One parsed request.
-struct Request {
-    method: String,
-    path: String,
-    query: Vec<(String, String)>,
-    body: Vec<u8>,
-}
-
-enum ReadError {
+pub(crate) enum ReadError {
     /// Protocol violation worth a 400.
     Malformed(String),
     /// Body larger than the configured cap: 413.
@@ -1308,141 +1489,72 @@ enum ReadError {
     Io,
 }
 
-const MAX_HEAD_BYTES: usize = 16 * 1024;
+pub(crate) const MAX_HEAD_BYTES: usize = 16 * 1024;
 
 /// Overall per-request read deadline. The socket read timeout only
 /// bounds *each* read; this bounds the total, so a slow-drip client
 /// (one byte per read-timeout window) cannot hold a worker past it.
 const READ_DEADLINE: Duration = Duration::from_secs(30);
 
-/// One bounded read appended to `buf`: enforces the overall deadline
-/// and maps EOF to `eof_error`.
-fn read_some(
-    stream: &mut TcpStream,
-    buf: &mut Vec<u8>,
-    deadline: std::time::Instant,
-    eof_error: ReadError,
-) -> Result<(), ReadError> {
-    if std::time::Instant::now() > deadline {
-        return Err(ReadError::Malformed(
-            "request read deadline exceeded".into(),
-        ));
-    }
-    let mut chunk = [0u8; 4096];
-    match stream.read(&mut chunk) {
-        Ok(0) => Err(eof_error),
-        Ok(n) => {
-            buf.extend_from_slice(&chunk[..n]);
-            Ok(())
+impl From<HttpError> for ReadError {
+    fn from(e: HttpError) -> ReadError {
+        match e {
+            HttpError::Malformed(m) => ReadError::Malformed(m),
+            HttpError::TooLarge => ReadError::TooLarge,
+            HttpError::Unsupported(m) => ReadError::Unsupported(m),
         }
-        Err(_) => Err(ReadError::Io),
     }
 }
 
+/// Read one request off a blocking stream by driving the shared
+/// incremental parser — the same state machine the epoll listener
+/// resumes across readiness events, fed here from synchronous reads.
 fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, ReadError> {
     let deadline = std::time::Instant::now() + READ_DEADLINE;
-    // Accumulate until the blank line ending the header section.
-    let mut buf: Vec<u8> = Vec::with_capacity(1024);
-    let head_end = loop {
-        if let Some(pos) = find_double_crlf(&buf) {
-            break pos;
+    let mut parser = http1::RequestParser::new(HttpLimits {
+        max_head_bytes: MAX_HEAD_BYTES,
+        max_body_bytes: max_body,
+    });
+    loop {
+        if let Some(req) = parser.poll()? {
+            return Ok(req);
         }
-        if buf.len() > MAX_HEAD_BYTES {
-            return Err(ReadError::Malformed("header section too large".into()));
-        }
-        read_some(stream, &mut buf, deadline, ReadError::Io)?;
-    };
-    let head = String::from_utf8_lossy(&buf[..head_end]).into_owned();
-    let mut lines = head.split("\r\n");
-    let request_line = lines.next().unwrap_or_default();
-    let mut parts = request_line.split(' ');
-    let method = parts
-        .next()
-        .filter(|m| !m.is_empty())
-        .ok_or_else(|| ReadError::Malformed("empty request line".into()))?
-        .to_string();
-    let target = parts
-        .next()
-        .ok_or_else(|| ReadError::Malformed("missing request target".into()))?;
-    let version = parts
-        .next()
-        .ok_or_else(|| ReadError::Malformed("missing HTTP version".into()))?;
-    if !version.starts_with("HTTP/1.") {
-        return Err(ReadError::Malformed(format!("unsupported {version}")));
-    }
-    let (path, query_str) = match target.split_once('?') {
-        Some((p, q)) => (p, q),
-        None => (target, ""),
-    };
-    let query: Vec<(String, String)> = query_str
-        .split('&')
-        .filter(|kv| !kv.is_empty())
-        .map(|kv| match kv.split_once('=') {
-            Some((k, v)) => (k.to_string(), v.to_string()),
-            None => (kv.to_string(), String::new()),
-        })
-        .collect();
-    let mut content_length = 0usize;
-    let mut expects_continue = false;
-    for line in lines {
-        if let Some((name, value)) = line.split_once(':') {
-            let name = name.trim();
-            if name.eq_ignore_ascii_case("content-length") {
-                content_length = value
-                    .trim()
-                    .parse()
-                    .map_err(|_| ReadError::Malformed("bad Content-Length".into()))?;
-            } else if name.eq_ignore_ascii_case("transfer-encoding")
-                && !value.trim().eq_ignore_ascii_case("identity")
-            {
-                // Bodies are framed by Content-Length only; silently
-                // reading a chunked body as empty would mis-serve a
-                // well-formed request (RFC 7230 §3.3.1: respond 501).
-                return Err(ReadError::Unsupported(format!(
-                    "Transfer-Encoding {:?} not supported; use Content-Length",
-                    value.trim()
-                )));
-            } else if name.eq_ignore_ascii_case("expect")
-                && value.trim().eq_ignore_ascii_case("100-continue")
-            {
-                expects_continue = true;
+        // curl sends `Expect: 100-continue` for bodies over ~1 KiB
+        // and waits for the interim response before transmitting the
+        // body.
+        if parser.wants_continue() {
+            if stream.write_all(b"HTTP/1.1 100 Continue\r\n\r\n").is_err() {
+                return Err(ReadError::Io);
             }
+            let _ = stream.flush();
+        }
+        if std::time::Instant::now() > deadline {
+            return Err(ReadError::Malformed(
+                "request read deadline exceeded".into(),
+            ));
+        }
+        let mut chunk = [0u8; 4096];
+        match stream.read(&mut chunk) {
+            // EOF mid-head is a silently closed connection (no reply);
+            // EOF mid-body truncated a declared Content-Length.
+            Ok(0) => {
+                return Err(if parser.in_body() {
+                    ReadError::Malformed("truncated body".into())
+                } else {
+                    ReadError::Io
+                })
+            }
+            Ok(n) => parser.feed(&chunk[..n]),
+            Err(_) => return Err(ReadError::Io),
         }
     }
-    if content_length > max_body {
-        return Err(ReadError::TooLarge);
-    }
-    let mut body = buf[head_end + 4..].to_vec();
-    // curl sends `Expect: 100-continue` for bodies over ~1 KiB and
-    // waits for the interim response before transmitting the body.
-    if expects_continue && body.len() < content_length {
-        if stream.write_all(b"HTTP/1.1 100 Continue\r\n\r\n").is_err() {
-            return Err(ReadError::Io);
-        }
-        let _ = stream.flush();
-    }
-    while body.len() < content_length {
-        read_some(
-            stream,
-            &mut body,
-            deadline,
-            ReadError::Malformed("truncated body".into()),
-        )?;
-    }
-    body.truncate(content_length);
-    Ok(Request {
-        method,
-        path: path.to_string(),
-        query,
-        body,
-    })
 }
 
 pub(crate) fn find_double_crlf(buf: &[u8]) -> Option<usize> {
     buf.windows(4).position(|w| w == b"\r\n\r\n")
 }
 
-fn reason(status: u16) -> &'static str {
+pub(crate) fn reason(status: u16) -> &'static str {
     match status {
         200 => "OK",
         400 => "Bad Request",
@@ -1471,7 +1583,7 @@ fn write_response(stream: &mut TcpStream, status: u16, content_type: &str, body:
 
 /// The JSON content type every route used before `/metrics` and
 /// `/debug/requests` introduced non-JSON bodies.
-const JSON: &str = "application/json";
+pub(crate) const JSON: &str = "application/json";
 
 /// The Prometheus text-exposition content type (format version 0.0.4).
 const PROMETHEUS: &str = "text/plain; version=0.0.4; charset=utf-8";
@@ -1534,7 +1646,7 @@ fn endpoint_of_path(path: &str) -> Endpoint {
 
 /// Dispatch one request to its endpoint. Returns the status, the
 /// response content type, and the body.
-fn route(service: &Service, req: &Request) -> (u16, &'static str, Arc<String>) {
+pub(crate) fn route(service: &Service, req: &Request) -> (u16, &'static str, Arc<String>) {
     const ANALYSES: [&str; 5] = [
         "/analyze",
         "/graph",
@@ -1758,6 +1870,7 @@ mod tests {
             path: "/simulate".into(),
             query: vec![("events".into(), "100".into()), ("seed".into(), "7".into())],
             body: Vec::new(),
+            close: false,
         };
         assert_eq!(
             analysis_kind(&req).unwrap(),
@@ -1771,6 +1884,7 @@ mod tests {
             path: "/simulate".into(),
             query: vec![("events".into(), "many".into())],
             body: Vec::new(),
+            close: false,
         };
         assert!(analysis_kind(&bad).is_err());
     }

@@ -24,6 +24,7 @@
 //! | [`alerts`] | declarative alert rules over the retention ring, `GET /alerts`, silences, webhook notifier |
 //! | [`executor`] | fixed thread pool over a bounded work queue |
 //! | [`http`] | hand-rolled HTTP/1.1 server over [`std::net::TcpListener`] |
+//! | `aio_server` | epoll listener (Linux): keep-alive, pipelining, admission control, streamed responses |
 //!
 //! Caching is **two-tier**. The body tier is keyed by
 //! `(net content digest, request kind)`: the digest is
@@ -65,6 +66,8 @@
 //! handle.wait(); // forever (shutdown comes from dropping the handle)
 //! ```
 
+#[cfg(all(target_os = "linux", feature = "aio-epoll"))]
+pub(crate) mod aio_server;
 pub mod alerts;
 pub mod analysis;
 pub mod cache;
@@ -88,10 +91,11 @@ pub use analysis::{
 };
 pub use cache::{AnalysisCache, CacheConfig, CacheKey, CacheStats};
 pub use executor::{PoolClosed, ThreadPool};
-pub use http::{spawn, LogConfig, ServerHandle, Service, ServiceConfig};
+pub use http::{spawn, AioConfig, IoMode, LogConfig, ServerHandle, Service, ServiceConfig};
 pub use jsonval::Json;
 pub use metrics::{
-    Endpoint, RequestTrace, ServiceMetrics, SlowTrace, SLOW_RING_CAP, TRACE_RING_CAP,
+    ConnScalars, ConnStats, Endpoint, RequestTrace, ServiceMetrics, SlowTrace, SLOW_RING_CAP,
+    TRACE_RING_CAP,
 };
 pub use optimize::{optimize_json, BoxAxisSpec, OptimizeSpec};
 pub use sessions::{SessionCache, SessionCacheStats};

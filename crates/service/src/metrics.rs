@@ -400,6 +400,97 @@ impl ServiceMetrics {
     }
 }
 
+/// Connection-level counters shared by both listeners. The threaded
+/// listener bumps these around each `handle_connection` call; the
+/// epoll listener bumps them from the reactor thread. All relaxed —
+/// the open gauge can be momentarily stale to a reader, never to the
+/// listener itself.
+#[derive(Debug)]
+pub struct ConnStats {
+    open: AtomicU64,
+    accepted: AtomicU64,
+    rejected: AtomicU64,
+    timeouts: AtomicU64,
+    drained: AtomicU64,
+    /// Accepted-to-closed connection lifetime.
+    lifetime: Histogram,
+}
+
+impl Default for ConnStats {
+    fn default() -> ConnStats {
+        ConnStats {
+            open: AtomicU64::new(0),
+            accepted: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            timeouts: AtomicU64::new(0),
+            drained: AtomicU64::new(0),
+            lifetime: Histogram::new(),
+        }
+    }
+}
+
+/// A plain-number copy of [`ConnStats`], for `/stats` and `tpn top`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ConnScalars {
+    /// Connections currently open (accepted, not yet closed).
+    pub open: u64,
+    /// Connections accepted since start.
+    pub accepted: u64,
+    /// Connections refused at the hard connection cap (503-and-close).
+    pub rejected: u64,
+    /// Connections closed by a read/write deadline.
+    pub timeouts: u64,
+    /// Connections closed by graceful drain at shutdown.
+    pub drained: u64,
+}
+
+impl ConnStats {
+    /// Count one accepted connection (bumps the open gauge).
+    pub fn opened(&self) {
+        self.accepted.fetch_add(1, Ordering::Relaxed);
+        self.open.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one closed connection and record its lifetime. The
+    /// histogram is bumped after the gauge so a racing scrape never
+    /// sees a lifetime sample for a still-open connection.
+    pub fn closed(&self, lifetime_ns: u64) {
+        self.open.fetch_sub(1, Ordering::Relaxed);
+        self.lifetime.record_ns(lifetime_ns);
+    }
+
+    /// Count one connection refused at the connection cap.
+    pub fn reject(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one connection closed by a deadline.
+    pub fn timeout(&self) {
+        self.timeouts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one connection closed by graceful drain.
+    pub fn drain(&self) {
+        self.drained.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Copy the scalar counters out.
+    pub fn scalars(&self) -> ConnScalars {
+        ConnScalars {
+            open: self.open.load(Ordering::Relaxed),
+            accepted: self.accepted.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            timeouts: self.timeouts.load(Ordering::Relaxed),
+            drained: self.drained.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Snapshot the connection-lifetime histogram.
+    pub fn lifetime(&self) -> HistogramSnapshot {
+        self.lifetime.snapshot()
+    }
+}
+
 /// Every `/stats` number, copied out for rendering — the bridge
 /// between the service's private counters and [`render`].
 #[derive(Debug, Clone, Copy, Default)]
@@ -454,6 +545,7 @@ pub(crate) fn render(
     metrics: &ServiceMetrics,
     stats: &StatsSnapshot,
     stages: &StageCounters,
+    conn: &ConnStats,
 ) -> String {
     let mut r = Renderer::new();
 
@@ -730,6 +822,51 @@ pub(crate) fn render(
         );
     }
 
+    // Connection families come last: the alert tests pin the ordered
+    // run of needles ending at tpn_alert_notifications_total, so new
+    // families must append after it.
+    let conn_scalars = conn.scalars();
+    r.header(
+        "tpn_connections_open",
+        "Connections currently open (accepted, not yet closed).",
+        "gauge",
+    );
+    r.sample_u64("tpn_connections_open", &[], conn_scalars.open);
+
+    let conn_counters: [(&str, &str, u64); 4] = [
+        (
+            "tpn_connections_accepted_total",
+            "Connections accepted since start.",
+            conn_scalars.accepted,
+        ),
+        (
+            "tpn_connections_rejected_total",
+            "Connections refused at the hard connection cap.",
+            conn_scalars.rejected,
+        ),
+        (
+            "tpn_connection_timeouts_total",
+            "Connections closed by a read or write deadline.",
+            conn_scalars.timeouts,
+        ),
+        (
+            "tpn_connections_drained_total",
+            "Connections closed by graceful drain at shutdown.",
+            conn_scalars.drained,
+        ),
+    ];
+    for (name, help, value) in conn_counters {
+        r.header(name, help, "counter");
+        r.sample_u64(name, &[], value);
+    }
+
+    r.header(
+        "tpn_connection_lifetime_seconds",
+        "Accepted-to-closed connection lifetime.",
+        "histogram",
+    );
+    r.histogram("tpn_connection_lifetime_seconds", &[], &conn.lifetime());
+
     r.finish()
 }
 
@@ -868,7 +1005,10 @@ mod tests {
             uptime_seconds: 1.25,
             ..StatsSnapshot::default()
         };
-        let text = render(&m, &stats, &stages);
+        let conn = ConnStats::default();
+        conn.opened();
+        conn.closed(2_000_000);
+        let text = render(&m, &stats, &stages, &conn);
         tpn_obs::validate::validate(&text).unwrap();
         assert!(
             text.contains("tpn_requests_total{endpoint=\"analyze\",status=\"200\"} 2\n"),
@@ -887,8 +1027,17 @@ mod tests {
             "{text}"
         );
         assert!(text.contains("tpn_build_info{version=\""), "{text}");
+        assert!(text.contains("tpn_connections_open 0\n"), "{text}");
+        assert!(
+            text.contains("tpn_connections_accepted_total 1\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("tpn_connection_lifetime_seconds_count 1\n"),
+            "{text}"
+        );
         // Deterministic: identical state renders identical bytes.
-        assert_eq!(text, render(&m, &stats, &stages));
+        assert_eq!(text, render(&m, &stats, &stages, &conn));
     }
 
     #[test]

@@ -101,10 +101,14 @@ const COMMANDS: &[CommandHelp] = &[
     },
     CommandHelp {
         name: "serve",
-        usage: "tpn serve <addr> [--threads N] [--queue N] [--cache-bytes N] [--no-metrics] \
-                [--log[=FILE]] [--log-sample N] [--slo FILE] [--alerts FILE] \
-                [--sample-interval MS]",
-        summary: "HTTP analysis daemon with a content-addressed result cache",
+        usage: "tpn serve <addr> [--io epoll|threaded] [--threads N] [--queue N] \
+                [--cache-bytes N] [--no-metrics] [--log[=FILE]] [--log-sample N] [--slo FILE] \
+                [--alerts FILE] [--sample-interval MS] [--max-conns N] [--max-requests N] \
+                [--read-timeout MS] [--write-timeout MS] [--idle-timeout MS] [--inflight N] \
+                [--stream-threshold BYTES] [--drain-ms MS]",
+        summary: "HTTP analysis daemon with a content-addressed result cache; serves through \
+                  the epoll reactor (keep-alive, backpressure, streaming) where supported, \
+                  the thread-per-connection listener with --io threaded",
     },
     CommandHelp {
         name: "stats",
@@ -499,7 +503,12 @@ fn cmd_whatif(args: &[String]) -> Result<(), String> {
 /// [--no-metrics] [--log[=FILE]] [--log-sample N]`
 fn cmd_serve(args: &[String]) -> Result<(), String> {
     let mut addr: Option<&str> = None;
-    let mut config = ServiceConfig::default();
+    let mut config = ServiceConfig {
+        // The daemon defaults to the best listener for the platform;
+        // the library default stays Threaded for embedders and tests.
+        io: tpn_service::IoMode::platform_default(),
+        ..ServiceConfig::default()
+    };
     let mut log_requested = false;
     let mut log_path: Option<String> = None;
     let mut log_sample: u64 = 1;
@@ -515,6 +524,40 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         match arg.as_str() {
             "--threads" => config.threads = flag_value("--threads")?,
             "--queue" => config.queue_cap = flag_value("--queue")?,
+            "--io" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| format!("--io needs a value\n{}", usage_of("serve")))?;
+                config.io = match v.as_str() {
+                    "epoll" => {
+                        if !tpn_service::IoMode::epoll_supported() {
+                            return Err(
+                                "--io epoll is unsupported on this platform/build".to_string()
+                            );
+                        }
+                        tpn_service::IoMode::Epoll
+                    }
+                    "threaded" => tpn_service::IoMode::Threaded,
+                    other => {
+                        return Err(format!(
+                            "bad --io value {other:?} (epoll or threaded)\n{}",
+                            usage_of("serve")
+                        ))
+                    }
+                };
+            }
+            "--max-conns" => config.aio.max_connections = flag_value("--max-conns")?,
+            "--max-requests" => {
+                config.aio.max_requests_per_conn = flag_value("--max-requests")? as u64
+            }
+            "--read-timeout" => config.aio.read_deadline_ms = flag_value("--read-timeout")? as u64,
+            "--write-timeout" => {
+                config.aio.write_deadline_ms = flag_value("--write-timeout")? as u64
+            }
+            "--idle-timeout" => config.aio.idle_deadline_ms = flag_value("--idle-timeout")? as u64,
+            "--inflight" => config.aio.inflight = flag_value("--inflight")?,
+            "--stream-threshold" => config.aio.stream_threshold = flag_value("--stream-threshold")?,
+            "--drain-ms" => config.aio.drain_ms = flag_value("--drain-ms")? as u64,
             "--cache-bytes" => config.cache.byte_budget = flag_value("--cache-bytes")?,
             "--no-metrics" => config.metrics = false,
             "--sample-interval" => {
@@ -567,9 +610,17 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         });
     }
     let addr = addr.ok_or_else(|| usage_of("serve"))?;
+    let io = config.io;
     let service = Arc::new(Service::new(config));
     let handle = tpn_service::spawn(service, addr).map_err(|e| format!("{addr}: {e}"))?;
-    println!("tpn-service listening on http://{}", handle.addr());
+    println!(
+        "tpn-service listening on http://{} ({} listener)",
+        handle.addr(),
+        match io {
+            tpn_service::IoMode::Epoll => "epoll",
+            tpn_service::IoMode::Threaded => "threaded",
+        }
+    );
     println!(
         "endpoints: POST /v1 /analyze /graph /correctness /invariants /simulate /sweep /optimize \
          /whatif /alerts/silence · GET /healthz /stats /metrics /metrics/history /slo /alerts \
@@ -862,6 +913,8 @@ fn top_frame(addr: &str, window_s: u64, step_s: u64) -> Result<String, String> {
     );
     let history = http_get(addr, &path)?;
     let history = tpn_service::Json::parse(&history).map_err(|e| format!("{addr}{path}: {e}"))?;
+    let stats_body = http_get(addr, "/stats")?;
+    let stats = tpn_service::Json::parse(&stats_body).map_err(|e| format!("{addr}/stats: {e}"))?;
     let slo_body = http_get(addr, "/slo")?;
     let slo = tpn_service::Json::parse(&slo_body).map_err(|e| format!("{addr}/slo: {e}"))?;
     let alerts_body = http_get(addr, "/alerts")?;
@@ -915,6 +968,25 @@ fn top_frame(addr: &str, window_s: u64, step_s: u64) -> Result<String, String> {
             }),
             sparkline(&rss),
         ],
+        {
+            let conns = stats.get("connections");
+            let count = |key: &str| {
+                json_f64(conns.and_then(|c| c.get(key)))
+                    .map(|v| v as u64)
+                    .unwrap_or(0)
+            };
+            vec![
+                "conns".to_string(),
+                format!("{} open", count("open")),
+                format!(
+                    "accepted {} · rejected {} · timeouts {} · drained {}",
+                    count("accepted"),
+                    count("rejected"),
+                    count("timeouts"),
+                    count("drained"),
+                ),
+            ]
+        },
     ];
     out.push_str(&aligned_table(&headline));
     out.push('\n');

@@ -58,6 +58,7 @@
 //! `solve_rates`, `Performance::new`) remains available for callers
 //! that need a single artifact with custom plumbing.
 
+pub use tpn_aio as aio;
 pub use tpn_core as core;
 pub use tpn_eval as eval;
 pub use tpn_linalg as linalg;

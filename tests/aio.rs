@@ -1,0 +1,473 @@
+//! Differential tests for the epoll serving tier (`crates/aio` +
+//! `aio_server`): the threaded listener is the oracle — both front
+//! ends sit on the same shared HTTP parser and the same
+//! `Service`/route paths, so deterministic endpoints must come back
+//! **byte-identical** across the two. On top of that, the epoll-only
+//! behaviours: keep-alive, pipelining, chunked streaming, slow-client
+//! deadlines, the connection cap, and graceful drain.
+//!
+//! Every test gates at runtime on `IoMode::epoll_supported()` so the
+//! suite stays green on builds without the `aio-epoll` feature (CI's
+//! `--no-default-features` check) and on non-Linux hosts.
+
+mod common;
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use common::{fig1_text, start_server_with};
+use timed_petri::aio::http1::{Response, ResponseParser};
+use timed_petri::obs::validate::validate;
+use timed_petri::service::{AioConfig, IoMode, ServerHandle, Service, ServiceConfig};
+
+fn fixture(name: &str) -> String {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures/golden")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+/// The sweep spec fixture with the net text embedded in-body, the
+/// shape `POST /sweep` takes (same splice as `tests/metrics.rs`).
+fn sweep_body() -> String {
+    let spec = fixture("sweep_spec.json");
+    let without_brace = spec
+        .trim_end()
+        .strip_suffix('}')
+        .unwrap()
+        .trim_end()
+        .to_string();
+    format!(
+        "{without_brace}, \"net\": {}}}",
+        timed_petri::service::json::escape(&fig1_text())
+    )
+}
+
+fn epoll_server(aio: AioConfig) -> (ServerHandle, SocketAddr, Arc<Service>) {
+    start_server_with(ServiceConfig {
+        io: IoMode::Epoll,
+        aio,
+        ..ServiceConfig::default()
+    })
+}
+
+/// One `Connection: close` exchange, returning the **raw response
+/// bytes** (status line, headers, body) — the byte-identity probe.
+fn raw_close_exchange(addr: SocketAddr, request: &[u8]) -> Vec<u8> {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    stream.write_all(request).expect("send");
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read to EOF");
+    raw
+}
+
+fn close_request(method: &str, target: &str, body: &str) -> Vec<u8> {
+    format!(
+        "{method} {target} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )
+    .into_bytes()
+}
+
+/// A blocking keep-alive client over the shared response parser.
+struct KeepAlive {
+    stream: TcpStream,
+    parser: ResponseParser,
+}
+
+impl KeepAlive {
+    fn connect(addr: SocketAddr) -> KeepAlive {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        KeepAlive {
+            stream,
+            parser: ResponseParser::new(),
+        }
+    }
+
+    fn send(&mut self, method: &str, target: &str, body: &str) {
+        let req = format!(
+            "{method} {target} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        self.stream.write_all(req.as_bytes()).expect("send");
+    }
+
+    fn send_raw(&mut self, bytes: &[u8]) {
+        self.stream.write_all(bytes).expect("send raw");
+    }
+
+    fn read_response(&mut self) -> Response {
+        let mut chunk = [0u8; 16 * 1024];
+        loop {
+            match self.parser.poll().expect("parse response") {
+                Some(resp) if resp.status / 100 == 1 => continue,
+                Some(resp) => return resp,
+                None => {}
+            }
+            let n = self.stream.read(&mut chunk).expect("read");
+            assert!(n > 0, "connection closed mid-response");
+            self.parser.feed(&chunk[..n]);
+        }
+    }
+}
+
+/// Wait (bounded) for the reactor's open-connection gauge to settle
+/// at `want` — client-side socket drops reach the server a beat later.
+fn await_open(service: &Service, want: u64) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        if service.connections().scalars().open == want {
+            return;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "open gauge stuck at {} (want {want})",
+            service.connections().scalars().open
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Differential: epoll vs threaded byte identity
+// ---------------------------------------------------------------------
+
+#[test]
+fn epoll_serves_goldens_byte_identical_to_threaded() {
+    if !IoMode::epoll_supported() {
+        return;
+    }
+    let (threaded, taddr, _) = start_server_with(ServiceConfig::default());
+    let (epoll, eaddr, _) = epoll_server(AioConfig::default());
+
+    let fig1 = fig1_text();
+    let exchanges: Vec<Vec<u8>> = vec![
+        close_request("POST", "/analyze", &fig1),
+        close_request("POST", "/graph", &fig1),
+        close_request("POST", "/correctness", &fig1),
+        close_request("POST", "/invariants", &fig1),
+        close_request("POST", "/sweep", &sweep_body()),
+        close_request("POST", "/sweep", &fixture("sweep_spec.json")),
+        close_request("POST", "/analyze", "not a petri net"),
+        close_request("GET", "/no/such/route", ""),
+        // Parser-level rejections share error strings via the common
+        // parser module, so even malformed input must match bytewise.
+        b"BOGUS\r\n\r\n".to_vec(),
+        b"GET /analyze HTTP/1.1\r\nContent-Length: 4\r\nContent-Length: 7\r\nConnection: close\r\n\r\nabcd".to_vec(),
+    ];
+    for request in &exchanges {
+        let from_threaded = raw_close_exchange(taddr, request);
+        let from_epoll = raw_close_exchange(eaddr, request);
+        assert_eq!(
+            from_threaded,
+            from_epoll,
+            "listener divergence for request:\n{}\nthreaded:\n{}\nepoll:\n{}",
+            String::from_utf8_lossy(request),
+            String::from_utf8_lossy(&from_threaded),
+            String::from_utf8_lossy(&from_epoll),
+        );
+    }
+
+    threaded.shutdown();
+    epoll.shutdown();
+}
+
+// ---------------------------------------------------------------------
+// Keep-alive and pipelining
+// ---------------------------------------------------------------------
+
+#[test]
+fn keep_alive_pipelined_requests_share_one_connection() {
+    if !IoMode::epoll_supported() {
+        return;
+    }
+    let (handle, addr, service) = epoll_server(AioConfig::default());
+
+    let mut client = KeepAlive::connect(addr);
+    // Two requests in a single write: the parser must peel them off
+    // the same buffer and the responses must come back in order.
+    let fig1 = fig1_text();
+    let mut pipelined = Vec::new();
+    pipelined.extend_from_slice(
+        &format!(
+            "POST /analyze HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{fig1}",
+            fig1.len()
+        )
+        .into_bytes(),
+    );
+    pipelined.extend_from_slice(b"GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n");
+    client.send_raw(&pipelined);
+
+    let first = client.read_response();
+    assert_eq!(first.status, 200);
+    assert!(!first.close, "keep-alive response must not close");
+    assert!(
+        String::from_utf8_lossy(&first.body).contains("\"kind\":\"analyze\""),
+        "responses out of order: first must be the analyze reply"
+    );
+
+    let second = client.read_response();
+    assert_eq!(second.status, 200);
+    assert!(!second.close);
+
+    // The connection is still usable afterwards — proof nothing closed.
+    client.send("GET", "/healthz", "");
+    assert_eq!(client.read_response().status, 200);
+
+    assert_eq!(service.connections().scalars().accepted, 1);
+    drop(client);
+    handle.shutdown();
+}
+
+#[test]
+fn max_requests_per_conn_sends_connection_close() {
+    if !IoMode::epoll_supported() {
+        return;
+    }
+    let (handle, addr, _) = epoll_server(AioConfig {
+        max_requests_per_conn: 2,
+        ..AioConfig::default()
+    });
+
+    let mut client = KeepAlive::connect(addr);
+    client.send("GET", "/healthz", "");
+    let first = client.read_response();
+    assert!(!first.close, "first response still under the cap");
+
+    client.send("GET", "/healthz", "");
+    let second = client.read_response();
+    assert!(second.close, "request cap must force Connection: close");
+
+    // And the server actually hangs up.
+    let mut rest = Vec::new();
+    client.stream.read_to_end(&mut rest).expect("EOF after cap");
+    assert!(rest.is_empty());
+    handle.shutdown();
+}
+
+// ---------------------------------------------------------------------
+// Streaming writes
+// ---------------------------------------------------------------------
+
+#[test]
+fn streamed_sweep_reassembles_to_the_threaded_body() {
+    if !IoMode::epoll_supported() {
+        return;
+    }
+    // Force the chunked path: the golden sweep body (~2 KB) is far
+    // above a 256-byte threshold, and a 64-byte frame size forces many
+    // partial-write round trips through the bounded out-buffer.
+    let (epoll, eaddr, _) = epoll_server(AioConfig {
+        stream_threshold: 256,
+        write_chunk: 64,
+        ..AioConfig::default()
+    });
+    let (threaded, taddr, _) = start_server_with(ServiceConfig::default());
+
+    let spec = sweep_body();
+    let mut client = KeepAlive::connect(eaddr);
+    client.send("POST", "/sweep", &spec);
+    let streamed = client.read_response();
+    assert_eq!(streamed.status, 200);
+    assert!(streamed.chunked, "body over threshold must stream chunked");
+    assert!(!streamed.close, "streaming must not cost keep-alive");
+
+    let raw = raw_close_exchange(taddr, &close_request("POST", "/sweep", &spec));
+    let text = String::from_utf8(raw).unwrap();
+    let oracle_body = &text[text.find("\r\n\r\n").unwrap() + 4..];
+    assert_eq!(
+        String::from_utf8(streamed.body).unwrap(),
+        oracle_body,
+        "de-chunked stream must reassemble to the threaded body"
+    );
+
+    // The same connection serves a follow-up request after streaming.
+    client.send("GET", "/healthz", "");
+    assert_eq!(client.read_response().status, 200);
+
+    threaded.shutdown();
+    epoll.shutdown();
+}
+
+// ---------------------------------------------------------------------
+// Admission control and deadlines
+// ---------------------------------------------------------------------
+
+#[test]
+fn slow_loris_is_cut_by_the_read_deadline() {
+    if !IoMode::epoll_supported() {
+        return;
+    }
+    let (handle, addr, service) = epoll_server(AioConfig {
+        read_deadline_ms: 200,
+        ..AioConfig::default()
+    });
+
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    // A request that never finishes: partial request line, then silence.
+    stream.write_all(b"GET /anal").expect("partial send");
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read");
+    let text = String::from_utf8_lossy(&raw);
+    assert!(
+        text.starts_with("HTTP/1.1 400 "),
+        "slow client must get 400, got:\n{text}"
+    );
+    assert!(text.contains("request read deadline exceeded"), "{text}");
+    assert!(service.connections().scalars().timeouts >= 1);
+    handle.shutdown();
+}
+
+#[test]
+fn connection_cap_rejects_overflow_with_503() {
+    if !IoMode::epoll_supported() {
+        return;
+    }
+    let (handle, addr, service) = epoll_server(AioConfig {
+        max_connections: 2,
+        ..AioConfig::default()
+    });
+
+    // Fill the cap with two live keep-alive connections; completing a
+    // request on each proves both are registered with the reactor.
+    let mut first = KeepAlive::connect(addr);
+    first.send("GET", "/healthz", "");
+    assert_eq!(first.read_response().status, 200);
+    let mut second = KeepAlive::connect(addr);
+    second.send("GET", "/healthz", "");
+    assert_eq!(second.read_response().status, 200);
+
+    // The third is turned away at accept, before any request bytes.
+    let mut overflow = TcpStream::connect(addr).expect("connect");
+    overflow
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut raw = Vec::new();
+    overflow.read_to_end(&mut raw).expect("read");
+    let text = String::from_utf8_lossy(&raw);
+    assert!(text.starts_with("HTTP/1.1 503 "), "{text}");
+    assert!(text.contains("connection limit reached"), "{text}");
+    let scalars = service.connections().scalars();
+    assert_eq!(scalars.rejected, 1);
+    assert_eq!(scalars.accepted, 2, "rejects must not count as accepts");
+
+    // Freeing a slot readmits new connections.
+    drop(first);
+    await_open(&service, 1);
+    let mut third = KeepAlive::connect(addr);
+    third.send("GET", "/healthz", "");
+    assert_eq!(third.read_response().status, 200);
+    handle.shutdown();
+}
+
+#[test]
+fn shutdown_drains_idle_connections() {
+    if !IoMode::epoll_supported() {
+        return;
+    }
+    let (handle, addr, service) = epoll_server(AioConfig::default());
+
+    let mut idle = KeepAlive::connect(addr);
+    idle.send("GET", "/healthz", "");
+    assert_eq!(idle.read_response().status, 200);
+
+    handle.shutdown();
+    let scalars = service.connections().scalars();
+    assert_eq!(scalars.open, 0, "drain must close every connection");
+    assert!(scalars.drained >= 1, "idle connection counts as drained");
+
+    // The client observes a clean EOF, not a mid-response cut.
+    let mut rest = Vec::new();
+    idle.stream.read_to_end(&mut rest).expect("EOF at drain");
+    assert!(rest.is_empty());
+}
+
+// ---------------------------------------------------------------------
+// Observability
+// ---------------------------------------------------------------------
+
+#[test]
+fn connection_stats_surface_on_stats_and_metrics() {
+    if !IoMode::epoll_supported() {
+        return;
+    }
+    let (handle, addr, _) = epoll_server(AioConfig::default());
+
+    let mut client = KeepAlive::connect(addr);
+    client.send("GET", "/healthz", "");
+    assert_eq!(client.read_response().status, 200);
+
+    client.send("GET", "/stats", "");
+    let stats = client.read_response();
+    let stats_body = String::from_utf8(stats.body).unwrap();
+    assert!(
+        stats_body.contains("\"connections\":{\"open\":"),
+        "{stats_body}"
+    );
+    assert!(stats_body.contains("\"accepted\":1"), "{stats_body}");
+
+    client.send("GET", "/metrics", "");
+    let metrics = client.read_response();
+    let text = String::from_utf8(metrics.body).unwrap();
+    validate(&text).unwrap_or_else(|e| panic!("{e}\n--- document ---\n{text}"));
+    for family in [
+        "tpn_connections_open",
+        "tpn_connections_accepted_total",
+        "tpn_connections_rejected_total",
+        "tpn_connection_timeouts_total",
+        "tpn_connections_drained_total",
+        "tpn_connection_lifetime_seconds_bucket",
+    ] {
+        assert!(text.contains(family), "missing {family} in:\n{text}");
+    }
+    handle.shutdown();
+}
+
+// ---------------------------------------------------------------------
+// Loadgen smoke (the CI gate: zero drops, clean drain)
+// ---------------------------------------------------------------------
+
+#[test]
+fn loadgen_smoke_512_connections_zero_drops_clean_drain() {
+    if !IoMode::epoll_supported() {
+        return;
+    }
+    #[cfg(target_os = "linux")]
+    {
+        use tpn_bench::loadgen::{self, LoadConfig, RequestSpec};
+
+        let (handle, addr, service) = epoll_server(AioConfig::default());
+        let cfg = LoadConfig {
+            connections: 512,
+            requests: 2048,
+            keep_alive: true,
+            // `/slo` is unconditionally 200; `/healthz` flips to 503
+            // when the burn-rate engine fires, which load can cause.
+            mix: vec![RequestSpec::new("GET", "/slo", "")],
+            deadline: Duration::from_secs(120),
+        };
+        let report = loadgen::run(addr, &cfg).expect("loadgen run");
+        assert_eq!(report.errors, 0, "no request may be dropped: {report:?}");
+        assert_eq!(report.ok, 2048, "every request answered 200: {report:?}");
+
+        // All 512 sockets drop with the loadgen; the reactor must reap
+        // every one — the open gauge returns to zero before shutdown.
+        await_open(&service, 0);
+        let scalars = service.connections().scalars();
+        assert!(scalars.accepted >= 512, "scalars: {scalars:?}");
+        assert_eq!(scalars.rejected, 0, "scalars: {scalars:?}");
+        handle.shutdown();
+        assert_eq!(service.connections().scalars().open, 0);
+    }
+}
